@@ -1,0 +1,65 @@
+// E11 (ablation) — timeout sensitivity of the optimistic/pessimistic split.
+// The paper's design bets that "the probability that the current leader is
+// not behaving correctly is small", so it starts optimistically and uses
+// timeouts only as a liveness backstop (§2.1's delay(t), §4). This ablation
+// shows what the timeout choice costs:
+//   * too small  -> spurious leader changes on an HONEST leader (wasted
+//     traffic, but never a safety violation);
+//   * large      -> zero waste when honest, slower recovery when faulty.
+#include "bench_util.hpp"
+
+using namespace dkg;
+
+namespace {
+
+struct Row {
+  bool ok;
+  bench::DkgRunResult r;
+};
+
+Row run(sim::Time timeout_base, bool crash_leader, std::uint64_t seed) {
+  core::RunnerConfig cfg;
+  cfg.grp = &crypto::Group::tiny256();
+  cfg.n = 10;
+  cfg.t = 2;
+  cfg.f = 1;
+  cfg.seed = seed;
+  cfg.timeout_base = timeout_base;
+  core::DkgRunner runner(cfg);
+  if (crash_leader) runner.simulator().schedule_crash(1, 0);
+  runner.start_all();
+  Row row;
+  row.ok = runner.run_to_completion(cfg.n - 1);
+  row.r = bench::summarize(runner);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E11  Ablation: timeout choice vs leader-change waste",
+                      "optimistic-first design: timeouts are a liveness backstop, "
+                      "never a safety input  [Sec 2.1, Sec 4]");
+  std::printf("n=10 t=2 f=1; link delays U[5,40]\n\n");
+  std::printf("%14s | %28s | %28s\n", "", "honest leader", "crashed leader");
+  std::printf("%14s | %10s %8s %8s | %10s %8s %8s\n", "timeout_base", "msgs", "lead-ch",
+              "time", "msgs", "lead-ch", "time");
+  for (sim::Time timeout : {60ull, 150ull, 400ull, 1'500ull, 6'000ull, 24'000ull}) {
+    Row honest = run(timeout, false, 8800);
+    Row faulty = run(timeout, true, 8800);
+    std::printf("%14llu | %10llu %8llu %8llu | %10llu %8llu %8llu%s\n",
+                static_cast<unsigned long long>(timeout),
+                static_cast<unsigned long long>(honest.r.messages),
+                static_cast<unsigned long long>(honest.r.lead_ch),
+                static_cast<unsigned long long>(honest.r.completion_time),
+                static_cast<unsigned long long>(faulty.r.messages),
+                static_cast<unsigned long long>(faulty.r.lead_ch),
+                static_cast<unsigned long long>(faulty.r.completion_time),
+                (honest.ok && faulty.ok) ? "" : "  [INCOMPLETE]");
+  }
+  std::printf("\nshape check: small timeouts fire spurious lead-ch even with an honest\n"
+              "leader (wasted O(n^2) traffic, completion still correct — safety never\n"
+              "depends on timing); large timeouts cost nothing when honest and delay\n"
+              "recovery roughly linearly when the leader is faulty.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E8 — Feldman vs Pedersen commitments (paper §1/§3 design choice):
+//   "with simplicity and efficiency, Feldman's commitments form the basis
+//    for many VSSs, including ours."
+// google-benchmark microbenches of commit / verify-poly / verify-point for
+// both schemes across thresholds t: Pedersen costs ~2x (second generator).
+#include <benchmark/benchmark.h>
+
+#include "crypto/feldman.hpp"
+#include "crypto/pedersen.hpp"
+
+using namespace dkg::crypto;
+
+namespace {
+
+const Group& grp() { return Group::small512(); }
+
+struct FeldmanFixtureData {
+  BiPolynomial f;
+  FeldmanMatrix c;
+  Polynomial row;
+  Scalar point;
+
+  explicit FeldmanFixtureData(std::size_t t, Drbg& rng)
+      : f(BiPolynomial::random(Scalar::random(grp(), rng), t, rng)),
+        c(FeldmanMatrix::commit(f)),
+        row(f.row(3)),
+        point(f.eval_at(5, 3)) {}
+};
+
+void BM_FeldmanCommit(benchmark::State& state) {
+  Drbg rng(1);
+  std::size_t t = static_cast<std::size_t>(state.range(0));
+  BiPolynomial f = BiPolynomial::random(Scalar::random(grp(), rng), t, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FeldmanMatrix::commit(f));
+  }
+}
+
+void BM_FeldmanVerifyPoly(benchmark::State& state) {
+  Drbg rng(2);
+  FeldmanFixtureData d(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.c.verify_poly(3, d.row));
+  }
+}
+
+void BM_FeldmanVerifyPoint(benchmark::State& state) {
+  Drbg rng(3);
+  FeldmanFixtureData d(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.c.verify_point(3, 5, d.point));
+  }
+}
+
+struct PedersenFixtureData {
+  PedersenDealing d;
+  PedersenMatrix c;
+  Polynomial row, row_p;
+  Scalar point, point_p;
+
+  explicit PedersenFixtureData(std::size_t t, Drbg& rng)
+      : d{BiPolynomial::random(Scalar::random(grp(), rng), t, rng),
+          BiPolynomial::random(Scalar::random(grp(), rng), t, rng)},
+        c(PedersenMatrix::commit(d)),
+        row(d.f.row(3)),
+        row_p(d.f_prime.row(3)),
+        point(d.f.eval_at(5, 3)),
+        point_p(d.f_prime.eval_at(5, 3)) {}
+};
+
+void BM_PedersenCommit(benchmark::State& state) {
+  Drbg rng(4);
+  std::size_t t = static_cast<std::size_t>(state.range(0));
+  PedersenDealing d{BiPolynomial::random(Scalar::random(grp(), rng), t, rng),
+                    BiPolynomial::random(Scalar::random(grp(), rng), t, rng)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PedersenMatrix::commit(d));
+  }
+}
+
+void BM_PedersenVerifyPoly(benchmark::State& state) {
+  Drbg rng(5);
+  PedersenFixtureData d(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.c.verify_poly(3, d.row, d.row_p));
+  }
+}
+
+void BM_PedersenVerifyPoint(benchmark::State& state) {
+  Drbg rng(6);
+  PedersenFixtureData d(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.c.verify_point(3, 5, d.point, d.point_p));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_FeldmanCommit)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PedersenCommit)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FeldmanVerifyPoly)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PedersenVerifyPoly)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FeldmanVerifyPoint)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PedersenVerifyPoint)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// E9 — Crypto substrate microbenchmarks across group sizes: the constants
+// behind every protocol cost (exponentiation dominates verify-poly /
+// verify-point; the paper's kappa = 160 regime is mod1024).
+#include <benchmark/benchmark.h>
+
+#include "crypto/element.hpp"
+#include "crypto/lagrange.hpp"
+#include "crypto/schnorr.hpp"
+
+using namespace dkg::crypto;
+
+namespace {
+
+const Group& group_for(int idx) {
+  switch (idx) {
+    case 0: return Group::tiny256();
+    case 1: return Group::small512();
+    case 2: return Group::mod1024();
+    default: return Group::big2048();
+  }
+}
+
+void BM_ExpG(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  Drbg rng(1);
+  Scalar x = Scalar::random(grp, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Element::exp_g(x));
+  }
+  state.SetLabel(grp.name());
+}
+
+void BM_ElementPow(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  Drbg rng(2);
+  Element e = Element::exp_g(Scalar::random(grp, rng));
+  Scalar x = Scalar::random(grp, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.pow(x));
+  }
+  state.SetLabel(grp.name());
+}
+
+void BM_ScalarMul(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  Drbg rng(3);
+  Scalar a = Scalar::random(grp, rng);
+  Scalar b = Scalar::random(grp, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetLabel(grp.name());
+}
+
+void BM_SchnorrSign(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  Drbg rng(4);
+  KeyPair kp = schnorr_keygen(grp, rng);
+  dkg::Bytes msg = dkg::bytes_of("benchmark message");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr_sign(kp, msg));
+  }
+  state.SetLabel(grp.name());
+}
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  Drbg rng(5);
+  KeyPair kp = schnorr_keygen(grp, rng);
+  dkg::Bytes msg = dkg::bytes_of("benchmark message");
+  Signature sig = schnorr_sign(kp, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr_verify(kp.pk, msg, sig));
+  }
+  state.SetLabel(grp.name());
+}
+
+void BM_Interpolate(benchmark::State& state) {
+  const Group& grp = Group::small512();
+  Drbg rng(6);
+  std::size_t t = static_cast<std::size_t>(state.range(0));
+  Polynomial p = Polynomial::random(grp, t, rng);
+  std::vector<std::pair<std::uint64_t, Scalar>> pts;
+  for (std::uint64_t i = 1; i <= t + 1; ++i) pts.emplace_back(i, p.eval_at(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interpolate_at(grp, pts, 0));
+  }
+  state.SetLabel("small512 t=" + std::to_string(t));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ExpG)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ElementPow)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ScalarMul)->DenseRange(0, 3)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_SchnorrSign)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SchnorrVerify)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Interpolate)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

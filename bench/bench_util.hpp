@@ -1,0 +1,87 @@
+// Shared helpers for the experiment benches: table formatting and compact
+// protocol-run drivers. Each bench binary regenerates one "table" from the
+// paper's efficiency analysis (see DESIGN.md §3 and EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dkg/runner.hpp"
+#include "vss/hybridvss.hpp"
+
+namespace dkg::bench {
+
+inline void print_header(const std::string& title, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+struct VssRunResult {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  sim::Time completion_time = 0;
+  bool all_shared = false;
+};
+
+/// Runs one HybridVSS sharing among n nodes and returns traffic totals.
+inline VssRunResult run_vss_once(const crypto::Group& grp, std::size_t n, std::size_t t,
+                                 std::size_t f, vss::CommitmentMode mode, std::uint64_t seed) {
+  vss::VssParams params;
+  params.grp = &grp;
+  params.n = n;
+  params.t = t;
+  params.f = f;
+  params.mode = mode;
+  sim::Simulator sim(n, std::make_unique<sim::UniformDelay>(5, 40), seed);
+  for (sim::NodeId i = 1; i <= n; ++i) sim.set_node(i, std::make_unique<vss::VssNode>(params, i));
+  vss::SessionId sid{1, 1};
+  crypto::Drbg rng(seed);
+  sim.post_operator(1, std::make_shared<vss::ShareOp>(sid, crypto::Scalar::random(grp, rng)), 0);
+  VssRunResult res;
+  res.all_shared = sim.run();
+  for (sim::NodeId i = 1; i <= n; ++i) {
+    auto& node = dynamic_cast<vss::VssNode&>(sim.node(i));
+    res.all_shared = res.all_shared && node.has_instance(sid) && node.instance(sid).has_shared();
+  }
+  res.messages = sim.metrics().total_messages();
+  res.bytes = sim.metrics().total_bytes();
+  res.completion_time = sim.now();
+  return res;
+}
+
+struct DkgRunResult {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t vss_messages = 0;
+  std::uint64_t vss_bytes = 0;
+  std::uint64_t agreement_messages = 0;
+  std::uint64_t agreement_bytes = 0;
+  std::uint64_t lead_ch = 0;
+  std::uint64_t final_view = 1;
+  sim::Time completion_time = 0;
+  bool ok = false;
+};
+
+inline DkgRunResult summarize(core::DkgRunner& runner) {
+  DkgRunResult res;
+  const sim::Metrics& m = runner.simulator().metrics();
+  res.messages = m.total_messages();
+  res.bytes = m.total_bytes();
+  sim::TypeStats vs = m.by_prefix("vss.");
+  res.vss_messages = vs.count;
+  res.vss_bytes = vs.bytes;
+  sim::TypeStats ds = m.by_prefix("dkg.");
+  res.agreement_messages = ds.count;
+  res.agreement_bytes = ds.bytes;
+  res.lead_ch = m.by_prefix("dkg.lead-ch").count;
+  res.completion_time = runner.simulator().now();
+  for (sim::NodeId id : runner.completed_nodes()) {
+    res.final_view = std::max(res.final_view, runner.dkg_node(id).output().view);
+  }
+  return res;
+}
+
+}  // namespace dkg::bench

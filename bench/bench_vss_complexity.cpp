@@ -1,0 +1,29 @@
+// E1 — HybridVSS crash-free complexity (paper §3, Efficiency Discussion):
+//   "A protocol execution without any crashes has O(n^2) message complexity
+//    and O(kappa n^4) communication complexity."
+// The table sweeps n with t = floor((n-1)/3), f = 0, full commitments, and
+// prints normalized columns msgs/n^2 and bytes/n^4 — both should flatten to
+// a constant as n grows.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dkg;
+  bench::print_header("E1  HybridVSS message/communication complexity (no crashes)",
+                      "O(n^2) messages, O(kappa n^4) bits  [Sec 3]");
+  const crypto::Group& grp = crypto::Group::tiny256();
+  std::printf("%4s %4s %10s %14s %12s %14s %10s\n", "n", "t", "messages", "bytes", "msgs/n^2",
+              "bytes/n^4", "sim-time");
+  for (std::size_t n : {4, 7, 10, 13, 16, 19, 25, 31, 40}) {
+    std::size_t t = (n - 1) / 3;
+    bench::VssRunResult r = bench::run_vss_once(grp, n, t, 0, vss::CommitmentMode::Full, n);
+    double n2 = static_cast<double>(n) * n;
+    double n4 = n2 * n2;
+    std::printf("%4zu %4zu %10llu %14llu %12.2f %14.4f %10llu%s\n", n, t,
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.bytes), r.messages / n2, r.bytes / n4,
+                static_cast<unsigned long long>(r.completion_time),
+                r.all_shared ? "" : "  [INCOMPLETE]");
+  }
+  std::printf("\nshape check: both normalized columns should approach a constant.\n");
+  return 0;
+}

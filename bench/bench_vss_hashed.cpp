@@ -1,0 +1,32 @@
+// E2 — Hash-compressed commitments (paper §3, citing [17 Sec 3.4]):
+//   "Using a collision-resistant hash function ... reduce the communication
+//    complexity to O(kappa n^3), which remains applicable in HybridVSS."
+// Full mode carries the (t+1)^2 matrix in every echo/ready; hashed mode
+// carries a 32-byte digest. bytes/n^4 flattens for full, bytes/n^3 for
+// hashed, and the ratio grows ~linearly in n.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dkg;
+  bench::print_header("E2  Full vs hash-compressed commitments",
+                      "O(kappa n^4) -> O(kappa n^3) bits  [Sec 3 / AVSS Sec 3.4]");
+  const crypto::Group& grp = crypto::Group::tiny256();
+  std::printf("%4s %4s %14s %14s %8s %14s %14s\n", "n", "t", "full-bytes", "hash-bytes",
+              "ratio", "full/n^4", "hash/n^3");
+  for (std::size_t n : {4, 7, 10, 13, 16, 19, 25, 31, 40}) {
+    std::size_t t = (n - 1) / 3;
+    bench::VssRunResult full = bench::run_vss_once(grp, n, t, 0, vss::CommitmentMode::Full, n);
+    bench::VssRunResult hashed =
+        bench::run_vss_once(grp, n, t, 0, vss::CommitmentMode::Hashed, n);
+    double n3 = static_cast<double>(n) * n * n;
+    double n4 = n3 * n;
+    std::printf("%4zu %4zu %14llu %14llu %8.2f %14.4f %14.4f%s\n", n, t,
+                static_cast<unsigned long long>(full.bytes),
+                static_cast<unsigned long long>(hashed.bytes),
+                static_cast<double>(full.bytes) / hashed.bytes, full.bytes / n4,
+                hashed.bytes / n3,
+                (full.all_shared && hashed.all_shared) ? "" : "  [INCOMPLETE]");
+  }
+  std::printf("\nshape check: ratio grows ~linearly with n; hash/n^3 flattens.\n");
+  return 0;
+}

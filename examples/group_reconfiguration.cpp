@@ -1,0 +1,92 @@
+// Group modification (paper §6): members agree on membership changes via
+// reliable broadcast, then execute node addition — the joining node obtains
+// a share of the existing secret without any renewal and without anyone
+// learning anything, and existing shares remain untouched.
+//
+//   $ ./example_group_reconfiguration
+#include <cstdio>
+
+#include "crypto/lagrange.hpp"
+#include "groupmod/agreement.hpp"
+#include "groupmod/node_add.hpp"
+#include "proactive/runner.hpp"
+
+using namespace dkg;
+
+int main() {
+  core::RunnerConfig cfg;
+  cfg.grp = &crypto::Group::small512();
+  cfg.n = 7;
+  cfg.t = 1;
+  cfg.f = 1;
+  cfg.seed = 99;
+
+  std::printf("bootstrapping a 7-node group (t=1, f=1) via DKG...\n");
+  proactive::ProactiveRunner boot(cfg);
+  if (!boot.run_dkg()) return 1;
+  crypto::Element pk = boot.public_key();
+  std::printf("group key: %s...\n\n", to_hex(pk.to_bytes()).substr(0, 32).c_str());
+
+  // --- §6.1: agree on the modification proposal -------------------------
+  std::printf("P3 proposes: ADD node P8 (size change absorbs into crash-limit f)\n");
+  groupmod::GmParams gm{cfg.n, cfg.t, cfg.f};
+  sim::Simulator agree_sim(cfg.n, std::make_unique<sim::UniformDelay>(5, 40), 7);
+  for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+    agree_sim.set_node(i, std::make_unique<groupmod::GroupModNode>(gm, i));
+  }
+  groupmod::Proposal prop{groupmod::ModKind::AddNode, 8, groupmod::Absorb::CrashLimit, 3};
+  agree_sim.post_operator(3, std::make_shared<groupmod::ProposeOp>(prop), 0);
+  agree_sim.run();
+  std::size_t accepted = 0;
+  for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+    accepted += dynamic_cast<groupmod::GroupModNode&>(agree_sim.node(i)).queue().size();
+  }
+  std::printf("modification queues: %zu/%zu nodes accepted the proposal\n", accepted, cfg.n);
+
+  groupmod::Membership before{cfg.n, cfg.t, cfg.f};
+  auto [after, applied] = before.apply_queue({prop});
+  std::printf("membership: n=%zu t=%zu f=%zu  ->  n=%zu t=%zu f=%zu (resilient: %s)\n\n",
+              before.n, before.t, before.f, after.n, after.t, after.f,
+              after.resilient() ? "yes" : "no");
+
+  // --- §6.2: node addition protocol --------------------------------------
+  std::printf("executing node addition for P8...\n");
+  auto keyring = crypto::Keyring::generate(*cfg.grp, cfg.n, cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+  core::DkgParams params;
+  params.vss.grp = cfg.grp;
+  params.vss.n = cfg.n;
+  params.vss.t = cfg.t;
+  params.vss.f = cfg.f;
+  params.vss.keyring = keyring;
+  params.tau = 2;
+  params.timeout_base = 20'000;
+
+  sim::Simulator sim(cfg.n, std::make_unique<sim::UniformDelay>(5, 40), cfg.seed);
+  sim::NodeId new_id = sim.add_node_slot();
+  for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+    sim.set_node(i, std::make_unique<groupmod::NodeAddNode>(params, i, boot.states()[i], new_id));
+  }
+  auto joining = std::make_unique<groupmod::JoiningNode>(*cfg.grp, cfg.t, new_id, params.tau);
+  groupmod::JoiningNode* j = joining.get();
+  sim.set_node(new_id, std::move(joining));
+  for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+    sim.post_operator(i, std::make_shared<core::DkgStartOp>(params.tau, std::nullopt), 0);
+  }
+  sim.run_until([&] { return j->has_share(); });
+  if (!j->has_share()) {
+    std::printf("node addition FAILED\n");
+    return 1;
+  }
+  std::printf("P8 obtained share: %s...\n", to_hex(j->share().to_bytes()).substr(0, 16).c_str());
+  std::printf("share lies on the ORIGINAL sharing polynomial: %s\n",
+              boot.states()[1].commitment.verify_share(8, j->share()) ? "yes" : "NO");
+
+  // Old share (P1) + new share (P8) reconstruct the same secret.
+  std::vector<std::pair<std::uint64_t, crypto::Scalar>> pts{{1, boot.states()[1].share},
+                                                            {8, j->share()}};
+  crypto::Scalar secret = crypto::interpolate_at(*cfg.grp, pts, 0);
+  std::printf("old+new share reconstruction matches group key: %s\n",
+              crypto::Element::exp_g(secret) == pk ? "yes" : "NO");
+  std::printf("existing shares untouched (no renewal happened): yes by construction\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "app/beacon.hpp"
+
+#include "common/serialize.hpp"
+#include "crypto/lagrange.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dkg::app {
+
+using crypto::Element;
+using crypto::Scalar;
+
+Element beacon_base(const crypto::Group& grp, std::uint64_t round) {
+  Writer w;
+  w.str("hybriddkg/beacon/base");
+  w.u64(round);
+  return crypto::hash_to_group(grp, w.data());
+}
+
+BeaconShare beacon_evaluate(const crypto::Group& grp, std::uint64_t round, std::uint64_t index,
+                            const Scalar& share) {
+  Element base = beacon_base(grp, round);
+  Element value = base.pow(share);
+  crypto::DleqProof proof =
+      crypto::dleq_prove(Element::generator(grp), Element::exp_g(share), base, value, share);
+  return BeaconShare{index, round, std::move(value), std::move(proof)};
+}
+
+bool beacon_verify_share(const crypto::FeldmanVector& vec, const BeaconShare& bs) {
+  if (bs.index == 0) return false;
+  const crypto::Group& grp = vec.group();
+  Element base = beacon_base(grp, bs.round);
+  Element pk_i = vec.eval_commit(bs.index);
+  return crypto::dleq_verify(Element::generator(grp), pk_i, base, bs.value, bs.proof);
+}
+
+std::optional<Bytes> beacon_combine(const crypto::FeldmanVector& vec, std::size_t t,
+                                    std::uint64_t round, const std::vector<BeaconShare>& shares) {
+  const crypto::Group& grp = vec.group();
+  std::vector<const BeaconShare*> valid;
+  std::vector<std::uint64_t> xs;
+  for (const BeaconShare& bs : shares) {
+    if (bs.round != round) continue;
+    bool dup = false;
+    for (std::uint64_t x : xs) dup |= (x == bs.index);
+    if (dup || !beacon_verify_share(vec, bs)) continue;
+    valid.push_back(&bs);
+    xs.push_back(bs.index);
+    if (valid.size() == t + 1) break;
+  }
+  if (valid.size() < t + 1) return std::nullopt;
+  Element combined = Element::identity(grp);
+  for (std::size_t k = 0; k < valid.size(); ++k) {
+    Scalar lambda = crypto::lagrange_coeff(grp, xs, k, 0);
+    combined *= valid[k]->value.pow(lambda);
+  }
+  Writer w;
+  w.str("hybriddkg/beacon/out");
+  w.u64(round);
+  w.blob(combined.to_bytes());
+  return crypto::sha256(w.data());
+}
+
+}  // namespace dkg::app

@@ -1,0 +1,37 @@
+// Distributed randomness beacon — the distributed coin / PRF application the
+// paper motivates (§1, refs [4],[7],[8]). Per round r, shareholder i
+// publishes a VUF evaluation share U_r^{s_i} (U_r = hash-to-group(r), with a
+// DLEQ proof against g^{s_i}); t+1 verified shares combine via Lagrange in
+// the exponent to the unique value U_r^s, whose hash is the beacon output.
+// Uniqueness of U_r^s makes the coin unbiased and unpredictable until t+1
+// nodes evaluate.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/dleq.hpp"
+#include "crypto/feldman.hpp"
+
+namespace dkg::app {
+
+struct BeaconShare {
+  std::uint64_t index = 0;
+  std::uint64_t round = 0;
+  crypto::Element value;  // U_r^{s_i}
+  crypto::DleqProof proof;
+};
+
+/// The round's base point U_r (publicly computable).
+crypto::Element beacon_base(const crypto::Group& grp, std::uint64_t round);
+
+BeaconShare beacon_evaluate(const crypto::Group& grp, std::uint64_t round, std::uint64_t index,
+                            const crypto::Scalar& share);
+
+bool beacon_verify_share(const crypto::FeldmanVector& vec, const BeaconShare& bs);
+
+/// Combines t+1 valid shares into the 32-byte beacon output for `round`.
+std::optional<Bytes> beacon_combine(const crypto::FeldmanVector& vec, std::size_t t,
+                                    std::uint64_t round, const std::vector<BeaconShare>& shares);
+
+}  // namespace dkg::app

@@ -1,0 +1,57 @@
+#include "app/threshold_elgamal.hpp"
+
+#include "crypto/lagrange.hpp"
+
+namespace dkg::app {
+
+using crypto::Element;
+using crypto::Scalar;
+
+ElGamalCiphertext elgamal_encrypt(const Element& public_key, const Element& m, crypto::Drbg& rng) {
+  const crypto::Group& grp = public_key.group();
+  Scalar k = Scalar::random(grp, rng);
+  return ElGamalCiphertext{Element::exp_g(k), m * public_key.pow(k)};
+}
+
+PartialDecryption partial_decrypt(const ElGamalCiphertext& ct, std::uint64_t index,
+                                  const Scalar& share) {
+  const crypto::Group& grp = share.group();
+  Element d = ct.c1.pow(share);
+  // Prove log_g(g^{s_i}) == log_{c1}(d_i).
+  crypto::DleqProof proof =
+      crypto::dleq_prove(Element::generator(grp), Element::exp_g(share), ct.c1, d, share);
+  return PartialDecryption{index, std::move(d), std::move(proof)};
+}
+
+bool verify_partial(const ElGamalCiphertext& ct, const crypto::FeldmanVector& vec,
+                    const PartialDecryption& pd) {
+  if (pd.index == 0) return false;
+  const crypto::Group& grp = vec.group();
+  Element pk_i = vec.eval_commit(pd.index);  // g^{s_i}
+  return crypto::dleq_verify(Element::generator(grp), pk_i, ct.c1, pd.d, pd.proof);
+}
+
+std::optional<Element> combine_decryption(const ElGamalCiphertext& ct,
+                                          const crypto::FeldmanVector& vec, std::size_t t,
+                                          const std::vector<PartialDecryption>& partials) {
+  const crypto::Group& grp = vec.group();
+  std::vector<const PartialDecryption*> valid;
+  std::vector<std::uint64_t> xs;
+  for (const PartialDecryption& pd : partials) {
+    bool dup = false;
+    for (std::uint64_t x : xs) dup |= (x == pd.index);
+    if (dup || !verify_partial(ct, vec, pd)) continue;
+    valid.push_back(&pd);
+    xs.push_back(pd.index);
+    if (valid.size() == t + 1) break;
+  }
+  if (valid.size() < t + 1) return std::nullopt;
+  Element c1_s = Element::identity(grp);
+  for (std::size_t k = 0; k < valid.size(); ++k) {
+    Scalar lambda = crypto::lagrange_coeff(grp, xs, k, 0);
+    c1_s *= valid[k]->d.pow(lambda);
+  }
+  return ct.c2 * c1_s.inverse();
+}
+
+}  // namespace dkg::app

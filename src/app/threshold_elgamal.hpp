@@ -1,0 +1,45 @@
+// Threshold ElGamal decryption on top of a DKG'd key (paper §1: "dealerless
+// threshold public-key encryption"). Ciphertext (c1, c2) = (g^k, m * y^k);
+// shareholder i publishes d_i = c1^{s_i} with a DLEQ proof against its
+// public verification value g^{s_i} (from the DKG commitment), and any t+1
+// verified partials combine via Lagrange in the exponent to c1^s.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/dleq.hpp"
+#include "crypto/feldman.hpp"
+
+namespace dkg::app {
+
+struct ElGamalCiphertext {
+  crypto::Element c1;  // g^k
+  crypto::Element c2;  // m * y^k
+};
+
+/// Encrypts a group-element message under the DKG public key y = vec.c0().
+ElGamalCiphertext elgamal_encrypt(const crypto::Element& public_key, const crypto::Element& m,
+                                  crypto::Drbg& rng);
+
+struct PartialDecryption {
+  std::uint64_t index = 0;
+  crypto::Element d;  // c1^{s_i}
+  crypto::DleqProof proof;
+};
+
+/// Shareholder-side: produce a verifiable partial decryption.
+PartialDecryption partial_decrypt(const ElGamalCiphertext& ct, std::uint64_t index,
+                                  const crypto::Scalar& share);
+
+/// Anyone-side: verify a partial against the DKG verification vector.
+bool verify_partial(const ElGamalCiphertext& ct, const crypto::FeldmanVector& vec,
+                    const PartialDecryption& pd);
+
+/// Combines t+1 verified partials: m = c2 / c1^s. Returns nullopt if fewer
+/// than t+1 distinct valid partials are supplied.
+std::optional<crypto::Element> combine_decryption(const ElGamalCiphertext& ct,
+                                                  const crypto::FeldmanVector& vec, std::size_t t,
+                                                  const std::vector<PartialDecryption>& partials);
+
+}  // namespace dkg::app

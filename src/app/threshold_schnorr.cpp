@@ -1,0 +1,53 @@
+#include "app/threshold_schnorr.hpp"
+
+#include "common/serialize.hpp"
+#include "crypto/lagrange.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dkg::app {
+
+using crypto::Element;
+using crypto::Scalar;
+
+crypto::Scalar SigningSession::challenge() const {
+  // Must match crypto/schnorr.cpp's challenge derivation so the combined
+  // signature verifies under schnorr_verify.
+  Writer w;
+  w.str("hybriddkg/schnorr/v1");
+  w.blob(nonce_point.to_bytes());
+  w.blob(key_vec.c0().to_bytes());
+  w.blob(message);
+  return Scalar::hash_to_scalar(nonce_point.group(), w.data());
+}
+
+PartialSignature partial_sign(const SigningSession& session, std::uint64_t index,
+                              const Scalar& key_share, const Scalar& nonce_share) {
+  Scalar c = session.challenge();
+  return PartialSignature{index, nonce_share + key_share * c};
+}
+
+bool verify_partial(const SigningSession& session, const PartialSignature& ps) {
+  if (ps.index == 0) return false;
+  Scalar c = session.challenge();
+  Element expected =
+      session.nonce_vec.eval_commit(ps.index) * session.key_vec.eval_commit(ps.index).pow(c);
+  return Element::exp_g(ps.sigma) == expected;
+}
+
+std::optional<crypto::Signature> combine_signature(const SigningSession& session, std::size_t t,
+                                                   const std::vector<PartialSignature>& partials) {
+  const crypto::Group& grp = session.nonce_point.group();
+  std::vector<std::pair<std::uint64_t, Scalar>> pts;
+  for (const PartialSignature& ps : partials) {
+    bool dup = false;
+    for (const auto& [x, y] : pts) dup |= (x == ps.index);
+    if (dup || !verify_partial(session, ps)) continue;
+    pts.emplace_back(ps.index, ps.sigma);
+    if (pts.size() == t + 1) break;
+  }
+  if (pts.size() < t + 1) return std::nullopt;
+  Scalar s = crypto::interpolate_at(grp, pts, 0);
+  return crypto::Signature{session.challenge(), s};
+}
+
+}  // namespace dkg::app

@@ -1,0 +1,311 @@
+#include "baseline/gennaro_dkg.hpp"
+
+#include <stdexcept>
+
+#include "crypto/feldman.hpp"
+#include "crypto/lagrange.hpp"
+
+namespace dkg::baseline {
+
+using crypto::Element;
+using crypto::FeldmanVector;
+using crypto::Polynomial;
+using crypto::Scalar;
+
+PedersenVector PedersenVector::commit(const Polynomial& a, const Polynomial& b) {
+  std::vector<Element> entries;
+  entries.reserve(a.degree() + 1);
+  for (std::size_t l = 0; l <= a.degree(); ++l) {
+    entries.push_back(Element::exp_g(a.coeff(l)) * Element::exp_h(b.coeff(l)));
+  }
+  return PedersenVector(std::move(entries));
+}
+
+bool PedersenVector::verify_pair(std::uint64_t i, const Scalar& s, const Scalar& s_prime) const {
+  const crypto::Group& grp = entries_.front().group();
+  Scalar x = Scalar::from_u64(grp, i);
+  Scalar xpow = Scalar::one(grp);
+  Element rhs = Element::identity(grp);
+  for (const Element& e : entries_) {
+    rhs *= e.pow(xpow);
+    xpow = xpow * x;
+  }
+  return Element::exp_g(s) * Element::exp_h(s_prime) == rhs;
+}
+
+Bytes PedersenVector::to_bytes() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const Element& e : entries_) w.raw(e.to_bytes());
+  return w.take();
+}
+
+namespace {
+struct GjkrCommitMsg : sim::Message {
+  std::shared_ptr<const PedersenVector> commitment;
+  explicit GjkrCommitMsg(std::shared_ptr<const PedersenVector> c) : commitment(std::move(c)) {}
+  std::string type() const override { return "gjkr.commit"; }
+  void serialize(Writer& w) const override { w.blob(commitment->to_bytes()); }
+};
+
+struct GjkrPairMsg : sim::Message {
+  Scalar s, s_prime;
+  GjkrPairMsg(Scalar a, Scalar b) : s(std::move(a)), s_prime(std::move(b)) {}
+  std::string type() const override { return "gjkr.pair"; }
+  void serialize(Writer& w) const override {
+    w.raw(s.to_bytes());
+    w.raw(s_prime.to_bytes());
+  }
+};
+
+struct GjkrComplaintMsg : sim::Message {
+  std::vector<sim::NodeId> accused;
+  explicit GjkrComplaintMsg(std::vector<sim::NodeId> a) : accused(std::move(a)) {}
+  std::string type() const override { return "gjkr.complaint"; }
+  void serialize(Writer& w) const override {
+    w.u32(static_cast<std::uint32_t>(accused.size()));
+    for (sim::NodeId id : accused) w.u32(id);
+  }
+};
+
+struct GjkrRevealMsg : sim::Message {
+  std::vector<std::tuple<sim::NodeId, Scalar, Scalar>> reveals;
+  std::string type() const override { return "gjkr.reveal"; }
+  void serialize(Writer& w) const override {
+    w.u32(static_cast<std::uint32_t>(reveals.size()));
+    for (const auto& [victim, s, sp] : reveals) {
+      w.u32(victim);
+      w.raw(s.to_bytes());
+      w.raw(sp.to_bytes());
+    }
+  }
+};
+
+struct GjkrFeldmanMsg : sim::Message {
+  std::shared_ptr<const FeldmanVector> commitment;
+  explicit GjkrFeldmanMsg(std::shared_ptr<const FeldmanVector> c) : commitment(std::move(c)) {}
+  std::string type() const override { return "gjkr.feldman"; }
+  void serialize(Writer& w) const override { w.blob(commitment->to_bytes()); }
+};
+
+/// Extraction complaint: the (s, s') pair proves the dealer's A_i is wrong.
+struct GjkrXComplaintMsg : sim::Message {
+  sim::NodeId dealer;
+  Scalar s, s_prime;
+  GjkrXComplaintMsg(sim::NodeId d, Scalar a, Scalar b)
+      : dealer(d), s(std::move(a)), s_prime(std::move(b)) {}
+  std::string type() const override { return "gjkr.xcomplaint"; }
+  void serialize(Writer& w) const override {
+    w.u32(dealer);
+    w.raw(s.to_bytes());
+    w.raw(s_prime.to_bytes());
+  }
+};
+
+/// Pooled share pair for reconstructing an exposed dealer's polynomial.
+struct GjkrPoolMsg : sim::Message {
+  sim::NodeId dealer;
+  Scalar s, s_prime;
+  GjkrPoolMsg(sim::NodeId d, Scalar a, Scalar b)
+      : dealer(d), s(std::move(a)), s_prime(std::move(b)) {}
+  std::string type() const override { return "gjkr.pool"; }
+  void serialize(Writer& w) const override {
+    w.u32(dealer);
+    w.raw(s.to_bytes());
+    w.raw(s_prime.to_bytes());
+  }
+};
+}  // namespace
+
+GennaroNode::GennaroNode(GennaroParams params, sim::NodeId self, crypto::Drbg rng)
+    : params_(params), self_(self), rng_(std::move(rng)) {
+  if (params_.n < 2 * params_.t + 1) throw std::invalid_argument("Gennaro: n < 2t + 1");
+}
+
+void GennaroNode::on_round(std::size_t round, const std::vector<Envelope>& inbox,
+                           std::vector<Envelope>& outbox) {
+  switch (round) {
+    case 0: round_deal(outbox); return;
+    case 1: round_complain(inbox, outbox); return;
+    case 2: round_reveal(inbox, outbox); return;
+    case 3: round_extract(inbox, outbox); return;
+    case 4: round_xcomplain(inbox, outbox); return;
+    case 5: round_pool(inbox, outbox); return;
+    case 6: round_finish(inbox); return;
+    default: return;
+  }
+}
+
+void GennaroNode::round_deal(std::vector<Envelope>& outbox) {
+  a_ = Polynomial::random(*params_.grp, params_.t, rng_);
+  b_ = Polynomial::random(*params_.grp, params_.t, rng_);
+  auto commitment = std::make_shared<const PedersenVector>(PedersenVector::commit(*a_, *b_));
+  outbox.push_back(Envelope{self_, 0, std::make_shared<GjkrCommitMsg>(commitment)});
+  for (sim::NodeId j = 1; j <= params_.n; ++j) {
+    outbox.push_back(
+        Envelope{self_, j, std::make_shared<GjkrPairMsg>(a_->eval_at(j), b_->eval_at(j))});
+  }
+}
+
+void GennaroNode::round_complain(const std::vector<Envelope>& inbox,
+                                 std::vector<Envelope>& outbox) {
+  for (const Envelope& e : inbox) {
+    if (const auto* c = dynamic_cast<const GjkrCommitMsg*>(e.msg.get())) {
+      if (c->commitment->degree() == params_.t) pedersen_.emplace(e.from, *c->commitment);
+    } else if (const auto* p = dynamic_cast<const GjkrPairMsg*>(e.msg.get())) {
+      pairs_.emplace(e.from, std::make_pair(p->s, p->s_prime));
+    }
+  }
+  std::vector<sim::NodeId> accused;
+  for (const auto& [dealer, commitment] : pedersen_) {
+    auto it = pairs_.find(dealer);
+    if (it == pairs_.end() ||
+        !commitment.verify_pair(self_, it->second.first, it->second.second)) {
+      accused.push_back(dealer);
+    }
+  }
+  if (!accused.empty()) {
+    outbox.push_back(Envelope{self_, 0, std::make_shared<GjkrComplaintMsg>(std::move(accused))});
+  }
+}
+
+void GennaroNode::round_reveal(const std::vector<Envelope>& inbox, std::vector<Envelope>& outbox) {
+  for (const Envelope& e : inbox) {
+    if (const auto* c = dynamic_cast<const GjkrComplaintMsg*>(e.msg.get())) {
+      for (sim::NodeId dealer : c->accused) complaints_[dealer].insert(e.from);
+    }
+  }
+  auto mine = complaints_.find(self_);
+  if (mine != complaints_.end()) {
+    auto reveal = std::make_shared<GjkrRevealMsg>();
+    for (sim::NodeId victim : mine->second) {
+      reveal->reveals.emplace_back(victim, a_->eval_at(victim), b_->eval_at(victim));
+    }
+    outbox.push_back(Envelope{self_, 0, std::move(reveal)});
+  }
+}
+
+void GennaroNode::round_extract(const std::vector<Envelope>& inbox,
+                                std::vector<Envelope>& outbox) {
+  std::map<sim::NodeId, const GjkrRevealMsg*> reveals;
+  for (const Envelope& e : inbox) {
+    if (const auto* r = dynamic_cast<const GjkrRevealMsg*>(e.msg.get())) reveals[e.from] = r;
+  }
+  for (const auto& [dealer, commitment] : pedersen_) {
+    bool qualified = true;
+    auto comp = complaints_.find(dealer);
+    if (comp != complaints_.end()) {
+      if (comp->second.size() > params_.t) qualified = false;
+      auto rev = reveals.find(dealer);
+      if (qualified && rev == reveals.end()) qualified = false;
+      if (qualified) {
+        for (sim::NodeId victim : comp->second) {
+          bool fixed = false;
+          for (const auto& [v, s, sp] : rev->second->reveals) {
+            if (v == victim && commitment.verify_pair(v, s, sp)) {
+              fixed = true;
+              if (v == self_) pairs_[dealer] = {s, sp};
+              break;
+            }
+          }
+          if (!fixed) {
+            qualified = false;
+            break;
+          }
+        }
+      }
+    }
+    if (qualified) qual_.insert(dealer);
+  }
+  // Extraction: publish A_i = g^{a_i} coefficients.
+  if (qual_.count(self_) != 0) {
+    Polynomial a = *a_;
+    if (cheat_extraction_) {
+      // Commit to a different polynomial — honest nodes must catch this.
+      a = Polynomial::random(*params_.grp, params_.t, rng_);
+      a.coeff(0) = a_->coeff(0);
+    }
+    auto commitment = std::make_shared<const FeldmanVector>(FeldmanVector::commit(a));
+    outbox.push_back(Envelope{self_, 0, std::make_shared<GjkrFeldmanMsg>(commitment)});
+  }
+}
+
+void GennaroNode::round_xcomplain(const std::vector<Envelope>& inbox,
+                                  std::vector<Envelope>& outbox) {
+  for (const Envelope& e : inbox) {
+    if (const auto* fmsg = dynamic_cast<const GjkrFeldmanMsg*>(e.msg.get())) {
+      if (qual_.count(e.from) != 0 && fmsg->commitment->degree() == params_.t) {
+        feldman_.emplace(e.from, *fmsg->commitment);
+      }
+    }
+  }
+  for (sim::NodeId dealer : qual_) {
+    auto fit = feldman_.find(dealer);
+    auto pit = pairs_.find(dealer);
+    if (pit == pairs_.end()) continue;
+    bool ok = fit != feldman_.end() && fit->second.verify_share(self_, pit->second.first);
+    if (!ok) {
+      // Publish the Pedersen-valid pair: proof the dealer misbehaved in
+      // extraction. Everyone will pool shares to reconstruct a_dealer.
+      outbox.push_back(Envelope{
+          self_, 0,
+          std::make_shared<GjkrXComplaintMsg>(dealer, pit->second.first, pit->second.second)});
+    }
+  }
+}
+
+void GennaroNode::round_pool(const std::vector<Envelope>& inbox, std::vector<Envelope>& outbox) {
+  for (const Envelope& e : inbox) {
+    if (const auto* x = dynamic_cast<const GjkrXComplaintMsg*>(e.msg.get())) {
+      auto ped = pedersen_.find(x->dealer);
+      if (ped == pedersen_.end() || qual_.count(x->dealer) == 0) continue;
+      if (!ped->second.verify_pair(e.from, x->s, x->s_prime)) continue;  // bogus accusation
+      auto fit = feldman_.find(x->dealer);
+      if (fit != feldman_.end() && fit->second.verify_share(e.from, x->s)) continue;  // consistent
+      exposed_.insert(x->dealer);
+    }
+  }
+  for (sim::NodeId dealer : exposed_) {
+    auto pit = pairs_.find(dealer);
+    if (pit == pairs_.end()) continue;
+    outbox.push_back(Envelope{
+        self_, 0,
+        std::make_shared<GjkrPoolMsg>(dealer, pit->second.first, pit->second.second)});
+  }
+}
+
+void GennaroNode::round_finish(const std::vector<Envelope>& inbox) {
+  for (const Envelope& e : inbox) {
+    if (const auto* p = dynamic_cast<const GjkrPoolMsg*>(e.msg.get())) {
+      if (exposed_.count(p->dealer) == 0) continue;
+      auto ped = pedersen_.find(p->dealer);
+      if (ped == pedersen_.end() || !ped->second.verify_pair(e.from, p->s, p->s_prime)) continue;
+      auto& pts = pooled_[p->dealer];
+      bool dup = false;
+      for (const auto& [i, s] : pts) dup |= (i == e.from);
+      if (!dup) pts.emplace_back(e.from, p->s);
+    }
+  }
+  GennaroOutput out{Scalar::zero(*params_.grp), Element::identity(*params_.grp), qual_};
+  for (sim::NodeId dealer : qual_) {
+    auto pit = pairs_.find(dealer);
+    if (pit == pairs_.end()) continue;
+    out.share += pit->second.first;
+    if (exposed_.count(dealer) != 0) {
+      // The cheater forfeited secrecy: reconstruct a(0) in the clear.
+      auto& pts = pooled_[dealer];
+      if (pts.size() >= params_.t + 1) {
+        std::vector<std::pair<std::uint64_t, Scalar>> head(
+            pts.begin(), pts.begin() + static_cast<std::ptrdiff_t>(params_.t + 1));
+        Scalar a0 = crypto::interpolate_at(*params_.grp, head, 0);
+        out.public_key *= Element::exp_g(a0);
+      }
+      continue;
+    }
+    auto fit = feldman_.find(dealer);
+    if (fit != feldman_.end()) out.public_key *= fit->second.c0();
+  }
+  output_ = std::move(out);
+}
+
+}  // namespace dkg::baseline

@@ -1,0 +1,93 @@
+// The "New-DKG" of Gennaro, Jarecki, Krawczyk & Rabin [9] (paper ref [9])
+// over the synchronous network: Pedersen-committed sharing first (so the
+// adversary cannot bias the key), Feldman extraction second (to publish
+// y = g^x). Implemented as the strongest synchronous baseline.
+//
+// Rounds:
+//  0 deal      broadcast Pedersen vector E_i, private share pairs (s, s').
+//  1 complain  broadcast complaints against bad share pairs.
+//  2 reveal    accused dealers reveal; QUAL fixed.
+//  3 extract   QUAL dealers broadcast Feldman vectors A_i.
+//  4 xcomplain nodes whose share fails against A_i publish the (s, s') pair
+//              (valid against E_i, proving the dealer cheated).
+//  5 pool      every node broadcasts its pair for each exposed dealer.
+//  6 finish    reconstruct exposed dealers' a_i(0) in the clear (they lost
+//              secrecy by cheating); output share & pk.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "baseline/sync_network.hpp"
+#include "crypto/element.hpp"
+#include "crypto/feldman.hpp"
+#include "crypto/polynomial.hpp"
+
+namespace dkg::baseline {
+
+struct GennaroParams {
+  const crypto::Group* grp = nullptr;
+  std::size_t n = 0;
+  std::size_t t = 0;
+};
+
+struct GennaroOutput {
+  crypto::Scalar share;
+  crypto::Element public_key;
+  std::set<sim::NodeId> qual;
+};
+
+/// Univariate Pedersen commitment vector: E_l = g^{a_l} h^{b_l}.
+class PedersenVector {
+ public:
+  static PedersenVector commit(const crypto::Polynomial& a, const crypto::Polynomial& b);
+  explicit PedersenVector(std::vector<crypto::Element> entries) : entries_(std::move(entries)) {}
+
+  std::size_t degree() const { return entries_.size() - 1; }
+  bool verify_pair(std::uint64_t i, const crypto::Scalar& s, const crypto::Scalar& s_prime) const;
+  Bytes to_bytes() const;
+
+ private:
+  std::vector<crypto::Element> entries_;
+};
+
+class GennaroNode : public SyncProtocol {
+ public:
+  GennaroNode(GennaroParams params, sim::NodeId self, crypto::Drbg rng);
+
+  void on_round(std::size_t round, const std::vector<Envelope>& inbox,
+                std::vector<Envelope>& outbox) override;
+  bool done() const override { return output_.has_value(); }
+  const GennaroOutput& output() const { return *output_; }
+
+  /// Test hook: publish a Feldman vector for a *different* polynomial in the
+  /// extraction round (the attack the x-complaint flow exists for).
+  void cheat_in_extraction() { cheat_extraction_ = true; }
+
+ private:
+  void round_deal(std::vector<Envelope>& outbox);
+  void round_complain(const std::vector<Envelope>& inbox, std::vector<Envelope>& outbox);
+  void round_reveal(const std::vector<Envelope>& inbox, std::vector<Envelope>& outbox);
+  void round_extract(const std::vector<Envelope>& inbox, std::vector<Envelope>& outbox);
+  void round_xcomplain(const std::vector<Envelope>& inbox, std::vector<Envelope>& outbox);
+  void round_pool(const std::vector<Envelope>& inbox, std::vector<Envelope>& outbox);
+  void round_finish(const std::vector<Envelope>& inbox);
+
+  GennaroParams params_;
+  sim::NodeId self_;
+  crypto::Drbg rng_;
+  bool cheat_extraction_ = false;
+
+  std::optional<crypto::Polynomial> a_, b_;
+  std::map<sim::NodeId, PedersenVector> pedersen_;
+  std::map<sim::NodeId, crypto::FeldmanVector> feldman_;
+  std::map<sim::NodeId, std::pair<crypto::Scalar, crypto::Scalar>> pairs_;
+  std::map<sim::NodeId, std::set<sim::NodeId>> complaints_;
+  std::set<sim::NodeId> qual_;
+  std::set<sim::NodeId> exposed_;  // dealers whose polynomial gets pooled
+  std::map<sim::NodeId, std::vector<std::pair<std::uint64_t, crypto::Scalar>>> pooled_;
+  std::optional<GennaroOutput> output_;
+};
+
+}  // namespace dkg::baseline

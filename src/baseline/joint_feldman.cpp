@@ -1,0 +1,166 @@
+#include "baseline/joint_feldman.hpp"
+
+#include <stdexcept>
+
+namespace dkg::baseline {
+
+using crypto::Element;
+using crypto::FeldmanVector;
+using crypto::Polynomial;
+using crypto::Scalar;
+
+namespace {
+struct JfCommitMsg : sim::Message {
+  std::shared_ptr<const FeldmanVector> commitment;
+  explicit JfCommitMsg(std::shared_ptr<const FeldmanVector> c) : commitment(std::move(c)) {}
+  std::string type() const override { return "jf.commit"; }
+  void serialize(Writer& w) const override { w.blob(commitment->to_bytes()); }
+};
+
+struct JfShareMsg : sim::Message {
+  Scalar share;
+  explicit JfShareMsg(Scalar s) : share(std::move(s)) {}
+  std::string type() const override { return "jf.share"; }
+  void serialize(Writer& w) const override { w.raw(share.to_bytes()); }
+};
+
+struct JfComplaintMsg : sim::Message {
+  std::vector<sim::NodeId> accused;
+  explicit JfComplaintMsg(std::vector<sim::NodeId> a) : accused(std::move(a)) {}
+  std::string type() const override { return "jf.complaint"; }
+  void serialize(Writer& w) const override {
+    w.u32(static_cast<std::uint32_t>(accused.size()));
+    for (sim::NodeId id : accused) w.u32(id);
+  }
+};
+
+struct JfRevealMsg : sim::Message {
+  std::vector<std::pair<sim::NodeId, Scalar>> reveals;  // (victim, share)
+  std::string type() const override { return "jf.reveal"; }
+  void serialize(Writer& w) const override {
+    w.u32(static_cast<std::uint32_t>(reveals.size()));
+    for (const auto& [victim, share] : reveals) {
+      w.u32(victim);
+      w.raw(share.to_bytes());
+    }
+  }
+};
+}  // namespace
+
+JointFeldmanNode::JointFeldmanNode(JfParams params, sim::NodeId self, crypto::Drbg rng)
+    : params_(params), self_(self), rng_(std::move(rng)) {
+  if (params_.n < 2 * params_.t + 1) throw std::invalid_argument("JointFeldman: n < 2t + 1");
+}
+
+void JointFeldmanNode::on_round(std::size_t round, const std::vector<Envelope>& inbox,
+                                std::vector<Envelope>& outbox) {
+  switch (round) {
+    case 0: round_deal(outbox); return;
+    case 1: round_complain(inbox, outbox); return;
+    case 2: round_reveal(inbox, outbox); return;
+    case 3: round_finish(inbox); return;
+    default: return;
+  }
+}
+
+void JointFeldmanNode::round_deal(std::vector<Envelope>& outbox) {
+  my_poly_ = Polynomial::random(*params_.grp, params_.t, rng_);
+  auto commitment = std::make_shared<const FeldmanVector>(FeldmanVector::commit(*my_poly_));
+  outbox.push_back(Envelope{self_, 0, std::make_shared<JfCommitMsg>(commitment)});
+  for (sim::NodeId j = 1; j <= params_.n; ++j) {
+    Scalar s = my_poly_->eval_at(j);
+    if (victims_.count(j) != 0) s = s + Scalar::one(*params_.grp);  // corrupt
+    outbox.push_back(Envelope{self_, j, std::make_shared<JfShareMsg>(std::move(s))});
+  }
+}
+
+void JointFeldmanNode::round_complain(const std::vector<Envelope>& inbox,
+                                      std::vector<Envelope>& outbox) {
+  for (const Envelope& e : inbox) {
+    if (const auto* c = dynamic_cast<const JfCommitMsg*>(e.msg.get())) {
+      if (c->commitment->degree() == params_.t) commitments_.emplace(e.from, *c->commitment);
+    } else if (const auto* s = dynamic_cast<const JfShareMsg*>(e.msg.get())) {
+      shares_.emplace(e.from, s->share);
+    }
+  }
+  std::vector<sim::NodeId> accused;
+  for (const auto& [dealer, commitment] : commitments_) {
+    auto it = shares_.find(dealer);
+    if (it == shares_.end() || !commitment.verify_share(self_, it->second)) {
+      accused.push_back(dealer);
+    }
+  }
+  if (!accused.empty()) {
+    outbox.push_back(Envelope{self_, 0, std::make_shared<JfComplaintMsg>(std::move(accused))});
+  }
+}
+
+void JointFeldmanNode::round_reveal(const std::vector<Envelope>& inbox,
+                                    std::vector<Envelope>& outbox) {
+  for (const Envelope& e : inbox) {
+    if (const auto* c = dynamic_cast<const JfComplaintMsg*>(e.msg.get())) {
+      for (sim::NodeId dealer : c->accused) complaints_[dealer].insert(e.from);
+    }
+  }
+  auto mine = complaints_.find(self_);
+  if (mine != complaints_.end() && !refuse_reveal_) {
+    auto reveal = std::make_shared<JfRevealMsg>();
+    for (sim::NodeId victim : mine->second) {
+      reveal->reveals.emplace_back(victim, my_poly_->eval_at(victim));
+    }
+    outbox.push_back(Envelope{self_, 0, std::move(reveal)});
+  }
+}
+
+void JointFeldmanNode::round_finish(const std::vector<Envelope>& inbox) {
+  std::map<sim::NodeId, const JfRevealMsg*> reveals;
+  for (const Envelope& e : inbox) {
+    if (const auto* r = dynamic_cast<const JfRevealMsg*>(e.msg.get())) reveals[e.from] = r;
+  }
+  JfOutput out{Scalar::zero(*params_.grp), Element::identity(*params_.grp), {}};
+  for (const auto& [dealer, commitment] : commitments_) {
+    bool qualified = true;
+    auto comp = complaints_.find(dealer);
+    if (comp != complaints_.end()) {
+      // More than t accusers, or any unresolved/invalid reveal: disqualify.
+      if (comp->second.size() > params_.t) qualified = false;
+      auto rev = reveals.find(dealer);
+      if (qualified && rev == reveals.end()) qualified = false;
+      if (qualified) {
+        for (sim::NodeId victim : comp->second) {
+          bool fixed = false;
+          for (const auto& [v, share] : rev->second->reveals) {
+            if (v == victim && commitment.verify_share(v, share)) {
+              fixed = true;
+              if (v == self_) shares_[dealer] = share;  // adopt corrected share
+              break;
+            }
+          }
+          if (!fixed) {
+            qualified = false;
+            break;
+          }
+        }
+      }
+    }
+    if (!qualified) continue;
+    auto sh = shares_.find(dealer);
+    if (sh == shares_.end() || !commitment.verify_share(self_, sh->second)) continue;
+    out.qual.insert(dealer);
+    out.share += sh->second;
+    out.public_key *= commitment.c0();
+  }
+  output_ = std::move(out);
+}
+
+std::vector<std::optional<JfOutput>> run_joint_feldman(SyncNetwork& net, const JfParams& params) {
+  net.run();
+  std::vector<std::optional<JfOutput>> outs(params.n + 1);
+  for (sim::NodeId i = 1; i <= params.n; ++i) {
+    auto& node = dynamic_cast<JointFeldmanNode&>(net.node(i));
+    if (node.done()) outs[i] = node.output();
+  }
+  return outs;
+}
+
+}  // namespace dkg::baseline

@@ -1,0 +1,75 @@
+// Joint-Feldman DKG (Pedersen '91 [1]) over the synchronous network — the
+// classical baseline the paper's protocol replaces for asynchronous settings.
+//
+// Round 0: every dealer i broadcasts a Feldman commitment V_i to a random
+//          degree-t polynomial a_i and privately sends s_ij = a_i(j).
+// Round 1: nodes broadcast complaints against dealers whose share failed
+//          verification.
+// Round 2: accused dealers broadcast the disputed shares (reveal).
+// Round 3: QUAL = dealers with no unresolved complaint; share = sum of
+//          QUAL shares; pk = prod_{i in QUAL} V_i(0).
+//
+// (Gennaro et al. [9] showed the adversary can bias the key distribution
+// here — one reason their protocol exists; see gennaro_dkg.*.)
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "baseline/sync_network.hpp"
+#include "crypto/feldman.hpp"
+
+namespace dkg::baseline {
+
+struct JfParams {
+  const crypto::Group* grp = nullptr;
+  std::size_t n = 0;
+  std::size_t t = 0;
+};
+
+struct JfOutput {
+  crypto::Scalar share;
+  crypto::Element public_key;
+  std::set<sim::NodeId> qual;
+};
+
+class JointFeldmanNode : public SyncProtocol {
+ public:
+  JointFeldmanNode(JfParams params, sim::NodeId self, crypto::Drbg rng);
+
+  void on_round(std::size_t round, const std::vector<Envelope>& inbox,
+                std::vector<Envelope>& outbox) override;
+  bool done() const override { return output_.has_value(); }
+
+  const JfOutput& output() const { return *output_; }
+
+  /// Test hook: deal corrupt shares to the given victims (they complain).
+  void corrupt_shares_to(std::set<sim::NodeId> victims) { victims_ = std::move(victims); }
+  /// Test hook: ignore complaints (leads to disqualification).
+  void refuse_reveal() { refuse_reveal_ = true; }
+
+ private:
+  void round_deal(std::vector<Envelope>& outbox);
+  void round_complain(const std::vector<Envelope>& inbox, std::vector<Envelope>& outbox);
+  void round_reveal(const std::vector<Envelope>& inbox, std::vector<Envelope>& outbox);
+  void round_finish(const std::vector<Envelope>& inbox);
+
+  JfParams params_;
+  sim::NodeId self_;
+  crypto::Drbg rng_;
+
+  std::optional<crypto::Polynomial> my_poly_;
+  std::map<sim::NodeId, crypto::FeldmanVector> commitments_;
+  std::map<sim::NodeId, crypto::Scalar> shares_;           // dealer -> my share
+  std::map<sim::NodeId, std::set<sim::NodeId>> complaints_;  // dealer -> accusers
+  std::set<sim::NodeId> victims_;
+  bool refuse_reveal_ = false;
+  std::optional<JfOutput> output_;
+};
+
+/// Convenience harness: run a full Joint-Feldman DKG; returns per-node
+/// outputs (index 0 unused) or nullopt nodes on failure.
+std::vector<std::optional<JfOutput>> run_joint_feldman(SyncNetwork& net, const JfParams& params);
+
+}  // namespace dkg::baseline

@@ -1,0 +1,51 @@
+#include "baseline/sync_network.hpp"
+
+#include <stdexcept>
+
+namespace dkg::baseline {
+
+SyncNetwork::SyncNetwork(std::size_t n, std::uint64_t seed) : nodes_(n + 1), rng_(seed) {}
+
+void SyncNetwork::set_node(sim::NodeId id, std::unique_ptr<SyncProtocol> node) {
+  if (id == 0 || id >= nodes_.size()) throw std::out_of_range("SyncNetwork: bad node id");
+  nodes_[id] = std::move(node);
+}
+
+std::size_t SyncNetwork::run(std::size_t max_rounds) {
+  std::size_t n = node_count();
+  std::vector<std::vector<Envelope>> inboxes(n + 1);
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool all_done = true;
+    for (sim::NodeId id = 1; id <= n; ++id) {
+      if (nodes_[id] && !nodes_[id]->done()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) return round;
+
+    std::vector<std::vector<Envelope>> next(n + 1);
+    for (sim::NodeId id = 1; id <= n; ++id) {
+      if (!nodes_[id]) continue;
+      std::vector<Envelope> outbox;
+      nodes_[id]->on_round(round, inboxes[id], outbox);
+      for (Envelope& e : outbox) {
+        e.from = id;
+        if (e.to == 0) {
+          // Broadcast: n point-to-point copies (metered individually).
+          for (sim::NodeId j = 1; j <= n; ++j) {
+            metrics_.record_send(e.msg->type(), e.msg->wire_size());
+            next[j].push_back(Envelope{id, j, e.msg});
+          }
+        } else if (e.to <= n) {
+          metrics_.record_send(e.msg->type(), e.msg->wire_size());
+          next[e.to].push_back(e);
+        }
+      }
+    }
+    inboxes = std::move(next);
+  }
+  return max_rounds;
+}
+
+}  // namespace dkg::baseline

@@ -1,0 +1,57 @@
+// Synchronous round-based network — the substrate the classical DKG
+// literature assumes (paper §1: "most of them assume a synchronous
+// communication model or a broadcast channel"). Provided so the baselines
+// (Joint-Feldman [1], Gennaro et al. [9]) run in their native model and the
+// benches can contrast them with the asynchronous protocol.
+//
+// A broadcast channel is modelled honestly as n point-to-point messages for
+// metering purposes (the paper's complexity accounting does the same).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+
+namespace dkg::baseline {
+
+struct Envelope {
+  sim::NodeId from = 0;
+  sim::NodeId to = 0;  // 0 = broadcast
+  sim::MessagePtr msg;
+};
+
+class SyncProtocol {
+ public:
+  virtual ~SyncProtocol() = default;
+  /// One synchronous round: `inbox` holds everything delivered this round;
+  /// messages appended to `outbox` are delivered next round.
+  virtual void on_round(std::size_t round, const std::vector<Envelope>& inbox,
+                        std::vector<Envelope>& outbox) = 0;
+  virtual bool done() const = 0;
+};
+
+class SyncNetwork {
+ public:
+  SyncNetwork(std::size_t n, std::uint64_t seed);
+
+  void set_node(sim::NodeId id, std::unique_ptr<SyncProtocol> node);
+  SyncProtocol& node(sim::NodeId id) { return *nodes_.at(id); }
+  std::size_t node_count() const { return nodes_.size() - 1; }
+
+  /// Runs rounds until every node reports done() or `max_rounds` elapse.
+  /// Returns the number of rounds executed.
+  std::size_t run(std::size_t max_rounds = 64);
+
+  sim::Metrics& metrics() { return metrics_; }
+  crypto::Drbg& rng() { return rng_; }
+
+ private:
+  std::vector<std::unique_ptr<SyncProtocol>> nodes_;  // 1-based
+  sim::Metrics metrics_;
+  crypto::Drbg rng_;
+};
+
+}  // namespace dkg::baseline

@@ -1,0 +1,28 @@
+// Byte-string utilities shared by every module.
+//
+// `Bytes` is the library-wide octet-string type: wire messages, hashes,
+// serialized commitments and signatures all travel as `Bytes`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dkg {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Lowercase hex encoding of `data`.
+std::string to_hex(const Bytes& data);
+
+/// Parses lowercase/uppercase hex. Throws std::invalid_argument on bad input.
+Bytes from_hex(std::string_view hex);
+
+/// Copies a C++ string's bytes verbatim.
+Bytes bytes_of(std::string_view s);
+
+/// Constant-time-ish equality (length leak only); for test/sim use.
+bool bytes_equal(const Bytes& a, const Bytes& b);
+
+}  // namespace dkg

@@ -1,0 +1,80 @@
+#include "common/serialize.hpp"
+
+#include <stdexcept>
+
+namespace dkg {
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int s = 24; s >= 0; s -= 8) buf_.push_back(static_cast<std::uint8_t>(v >> s));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int s = 56; s >= 0; s -= 8) buf_.push_back(static_cast<std::uint8_t>(v >> s));
+}
+
+void Writer::blob(const Bytes& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::raw(const Bytes& b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+void Reader::need(std::size_t n) const {
+  if (buf_.size() - pos_ < n) throw std::out_of_range("Reader: truncated input");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>((buf_[pos_] << 8) | buf_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | buf_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | buf_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+Bytes Reader::blob() {
+  std::uint32_t n = u32();
+  need(n);
+  Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string Reader::str() {
+  Bytes b = blob();
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace dkg

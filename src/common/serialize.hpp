@@ -1,0 +1,58 @@
+// Minimal deterministic binary serialization.
+//
+// The simulator charges communication complexity by serialized size, and
+// signatures are computed over serialized payloads, so encodings must be
+// canonical: fixed-width big-endian integers and length-prefixed strings.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace dkg {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Length-prefixed (u32) byte string.
+  void blob(const Bytes& b);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+  /// Raw bytes, no length prefix (caller knows the framing).
+  void raw(const Bytes& b);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reader throws std::out_of_range on truncated input; protocol code treats
+/// that as a malformed message from a Byzantine peer and drops it.
+class Reader {
+ public:
+  explicit Reader(const Bytes& b) : buf_(b) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes blob();
+  std::string str();
+
+  bool done() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  const Bytes& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dkg

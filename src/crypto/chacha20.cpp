@@ -1,0 +1,54 @@
+#include "crypto/chacha20.hpp"
+
+namespace dkg::crypto {
+
+namespace {
+inline std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+inline std::uint32_t load32_le(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) | (std::uint32_t(p[2]) << 16) |
+         (std::uint32_t(p[3]) << 24);
+}
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(const std::array<std::uint8_t, 32>& key,
+                                            const std::array<std::uint8_t, 12>& nonce,
+                                            std::uint32_t counter) {
+  std::uint32_t state[16];
+  state[0] = 0x61707865; state[1] = 0x3320646e;
+  state[2] = 0x79622d32; state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load32_le(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load32_le(nonce.data() + 4 * i);
+
+  std::uint32_t x[16];
+  for (int i = 0; i < 16; ++i) x[i] = state[i];
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  std::array<std::uint8_t, 64> out{};
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = x[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+}  // namespace dkg::crypto

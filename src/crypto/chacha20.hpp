@@ -1,0 +1,18 @@
+// ChaCha20 block function (RFC 8439) — the keystream generator behind the
+// library's deterministic random bit generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dkg::crypto {
+
+/// Computes one 64-byte ChaCha20 block.
+/// `key` is 32 bytes, `nonce` 12 bytes, `counter` the 32-bit block counter.
+std::array<std::uint8_t, 64> chacha20_block(const std::array<std::uint8_t, 32>& key,
+                                            const std::array<std::uint8_t, 12>& nonce,
+                                            std::uint32_t counter);
+
+}  // namespace dkg::crypto

@@ -1,0 +1,82 @@
+#include "crypto/dleq.hpp"
+
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dkg::crypto {
+
+namespace {
+Scalar challenge(const Element& g1, const Element& h1, const Element& g2, const Element& h2,
+                 const Element& a1, const Element& a2) {
+  Writer w;
+  w.str("hybriddkg/dleq/v1");
+  w.blob(g1.to_bytes());
+  w.blob(h1.to_bytes());
+  w.blob(g2.to_bytes());
+  w.blob(h2.to_bytes());
+  w.blob(a1.to_bytes());
+  w.blob(a2.to_bytes());
+  return Scalar::hash_to_scalar(g1.group(), w.data());
+}
+}  // namespace
+
+Bytes DleqProof::to_bytes() const {
+  Writer w;
+  w.raw(c.to_bytes());
+  w.raw(r.to_bytes());
+  return w.take();
+}
+
+DleqProof dleq_prove(const Element& g1, const Element& h1, const Element& g2, const Element& h2,
+                     const Scalar& x) {
+  const Group& grp = x.group();
+  Writer nw;
+  nw.str("hybriddkg/dleq/nonce");
+  nw.blob(x.to_bytes());
+  nw.blob(g1.to_bytes());
+  nw.blob(g2.to_bytes());
+  nw.blob(h1.to_bytes());
+  nw.blob(h2.to_bytes());
+  Scalar k = Scalar::hash_to_scalar(grp, nw.data());
+  if (k.is_zero()) k = Scalar::one(grp);
+  Element a1 = g1.pow(k);
+  Element a2 = g2.pow(k);
+  Scalar c = challenge(g1, h1, g2, h2, a1, a2);
+  Scalar r = k + x * c;
+  return DleqProof{c, r};
+}
+
+bool dleq_verify(const Element& g1, const Element& h1, const Element& g2, const Element& h2,
+                 const DleqProof& proof) {
+  if (h1.empty() || h2.empty() || proof.c.empty() || proof.r.empty()) return false;
+  Element a1 = g1.pow(proof.r) * h1.pow(proof.c).inverse();
+  Element a2 = g2.pow(proof.r) * h2.pow(proof.c).inverse();
+  return challenge(g1, h1, g2, h2, a1, a2) == proof.c;
+}
+
+Element hash_to_group(const Group& grp, const Bytes& data) {
+  mpz_class r = (grp.p() - 1) / grp.q();
+  std::size_t width = grp.p_bytes();
+  for (std::uint32_t ctr = 0;; ++ctr) {
+    Writer w;
+    w.str("hybriddkg/hash-to-group/v1");
+    w.blob(data);
+    w.u32(ctr);
+    Bytes stream;
+    Bytes block = sha256(w.data());
+    while (stream.size() < width) {
+      stream.insert(stream.end(), block.begin(), block.end());
+      block = sha256(block);
+    }
+    stream.resize(width);
+    mpz_class u = mod(mpz_from_bytes(stream), grp.p());
+    if (u <= 1) continue;
+    mpz_class h = powm(u, r, grp.p());
+    if (h != 1) {
+      Element e = Element::from_bytes(grp, mpz_to_bytes(h, width));
+      if (!e.empty()) return e;
+    }
+  }
+}
+
+}  // namespace dkg::crypto

@@ -1,0 +1,31 @@
+// Chaum-Pedersen discrete-log-equality proofs: NIZK that
+// log_{g1}(h1) == log_{g2}(h2). The application layer uses them to make
+// partial decryptions (threshold ElGamal) and VUF evaluations (random
+// beacon) publicly verifiable — robustness against Byzantine shareholders.
+#pragma once
+
+#include "crypto/drbg.hpp"
+#include "crypto/element.hpp"
+
+namespace dkg::crypto {
+
+struct DleqProof {
+  Scalar c;  // challenge
+  Scalar r;  // response
+
+  Bytes to_bytes() const;
+};
+
+/// Proves log_{g1}(h1) == log_{g2}(h2) == x (Fiat-Shamir, deterministic
+/// nonce derived from (x, statement)).
+DleqProof dleq_prove(const Element& g1, const Element& h1, const Element& g2, const Element& h2,
+                     const Scalar& x);
+
+bool dleq_verify(const Element& g1, const Element& h1, const Element& g2, const Element& h2,
+                 const DleqProof& proof);
+
+/// Hash arbitrary bytes into the order-q subgroup with unknown discrete log
+/// (exponentiation by (p-1)/q of an expanded digest). Domain-separated.
+Element hash_to_group(const Group& grp, const Bytes& data);
+
+}  // namespace dkg::crypto

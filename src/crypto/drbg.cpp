@@ -1,0 +1,73 @@
+#include "crypto/drbg.hpp"
+
+#include "common/serialize.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dkg::crypto {
+
+Drbg::Drbg(const Bytes& seed) : seed_material_(seed) {
+  Bytes k = sha256(seed);
+  std::copy(k.begin(), k.end(), key_.begin());
+  // Nonce fixed to zero: each (seed) keys a distinct stream.
+}
+
+Drbg::Drbg(std::uint64_t seed) : Drbg([&] {
+  Writer w;
+  w.str("hybriddkg/drbg/u64");
+  w.u64(seed);
+  return w.take();
+}()) {}
+
+Drbg Drbg::fork(std::string_view label) const {
+  Writer w;
+  w.blob(seed_material_);
+  w.str(label);
+  return Drbg(w.take());
+}
+
+void Drbg::refill() {
+  block_ = chacha20_block(key_, nonce_, counter_++);
+  pos_ = 0;
+}
+
+void Drbg::fill(std::uint8_t* out, std::size_t len) {
+  while (len > 0) {
+    if (pos_ == 64) refill();
+    std::size_t take = std::min(len, std::size_t{64} - pos_);
+    std::copy(block_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              block_.begin() + static_cast<std::ptrdiff_t>(pos_ + take), out);
+    pos_ += take;
+    out += take;
+    len -= take;
+  }
+}
+
+Bytes Drbg::bytes(std::size_t len) {
+  Bytes out(len);
+  fill(out.data(), len);
+  return out;
+}
+
+std::uint64_t Drbg::next_u64() {
+  std::uint8_t b[8];
+  fill(b, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | b[i];
+  return v;
+}
+
+std::uint64_t Drbg::uniform(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+  for (;;) {
+    std::uint64_t v = next_u64();
+    if (v < limit) return v % bound;
+  }
+}
+
+double Drbg::uniform_real() {
+  return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace dkg::crypto

@@ -1,0 +1,40 @@
+// Deterministic random bit generator: ChaCha20 keyed by SHA-256 of a seed.
+// All protocol and adversary randomness flows through Drbg instances so that
+// every simulation, test and benchmark is exactly reproducible from a seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace dkg::crypto {
+
+class Drbg {
+ public:
+  explicit Drbg(const Bytes& seed);
+  explicit Drbg(std::uint64_t seed);
+  /// Convenience: domain-separated child generator, e.g. one per node.
+  Drbg fork(std::string_view label) const;
+
+  void fill(std::uint8_t* out, std::size_t len);
+  Bytes bytes(std::size_t len);
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound) via rejection sampling; bound > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+  /// Uniform double in [0, 1).
+  double uniform_real();
+
+ private:
+  void refill();
+
+  std::array<std::uint8_t, 32> key_{};
+  std::array<std::uint8_t, 12> nonce_{};
+  std::uint32_t counter_ = 0;
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t pos_ = 64;
+  Bytes seed_material_;
+};
+
+}  // namespace dkg::crypto

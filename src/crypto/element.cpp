@@ -1,0 +1,80 @@
+#include "crypto/element.hpp"
+
+#include <stdexcept>
+
+namespace dkg::crypto {
+
+const Group& Element::group() const {
+  if (grp_ == nullptr) throw std::logic_error("Element: empty");
+  return *grp_;
+}
+
+void Element::check_same(const Element& o) const {
+  if (grp_ == nullptr || o.grp_ == nullptr) throw std::logic_error("Element: empty operand");
+  if (!(*grp_ == *o.grp_)) throw std::logic_error("Element: mixed groups");
+}
+
+Element Element::identity(const Group& grp) { return Element(grp, 1); }
+
+Element Element::generator(const Group& grp) { return Element(grp, grp.g()); }
+
+Element Element::pedersen_h(const Group& grp) { return Element(grp, grp.h()); }
+
+Element Element::exp_g(const Scalar& x) {
+  const Group& grp = x.group();
+  return Element(grp, powm(grp.g(), x.value(), grp.p()));
+}
+
+Element Element::exp_h(const Scalar& x) {
+  const Group& grp = x.group();
+  return Element(grp, powm(grp.h(), x.value(), grp.p()));
+}
+
+Element Element::from_bytes(const Group& grp, const Bytes& b) {
+  mpz_class v = mpz_from_bytes(b);
+  if (v <= 0 || v >= grp.p()) return Element{};
+  return Element(grp, std::move(v));
+}
+
+Element Element::operator*(const Element& o) const {
+  check_same(o);
+  return Element(*grp_, mod(v_ * o.v_, grp_->p()));
+}
+
+Element& Element::operator*=(const Element& o) {
+  *this = *this * o;
+  return *this;
+}
+
+Element Element::pow(const Scalar& e) const {
+  if (grp_ == nullptr) throw std::logic_error("Element: empty");
+  return Element(*grp_, powm(v_, e.value(), grp_->p()));
+}
+
+Element Element::pow_u64(std::uint64_t e) const {
+  if (grp_ == nullptr) throw std::logic_error("Element: empty");
+  mpz_class ez;
+  mpz_import(ez.get_mpz_t(), 1, 1, 8, 0, 0, &e);
+  return Element(*grp_, powm(v_, ez, grp_->p()));
+}
+
+Element Element::inverse() const {
+  if (grp_ == nullptr) throw std::logic_error("Element: empty");
+  return Element(*grp_, invmod(v_, grp_->p()));
+}
+
+bool Element::in_subgroup() const {
+  if (grp_ == nullptr) return false;
+  return grp_->in_subgroup(v_);
+}
+
+bool Element::operator==(const Element& o) const {
+  if (grp_ == nullptr || o.grp_ == nullptr) return grp_ == o.grp_;
+  return *grp_ == *o.grp_ && v_ == o.v_;
+}
+
+Bytes Element::to_bytes() const {
+  return mpz_to_bytes(v_, group().p_bytes());
+}
+
+}  // namespace dkg::crypto

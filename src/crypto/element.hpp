@@ -1,0 +1,55 @@
+// Element: a member of the order-q subgroup of Z_p*. Commitment entries and
+// public keys are Elements. Value type with the same group-tagging rules as
+// Scalar.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/scalar.hpp"
+
+namespace dkg::crypto {
+
+class Element {
+ public:
+  Element() = default;
+
+  static Element identity(const Group& grp);
+  static Element generator(const Group& grp);
+  /// The Pedersen second generator h.
+  static Element pedersen_h(const Group& grp);
+  /// g^x — the workhorse commitment operation.
+  static Element exp_g(const Scalar& x);
+  /// h^x.
+  static Element exp_h(const Scalar& x);
+  /// Decodes a fixed-width (p_bytes) encoding. Returns an empty Element on
+  /// range failure. Does NOT check subgroup membership (expensive); callers
+  /// handling adversarial input use `in_subgroup()` where it matters.
+  static Element from_bytes(const Group& grp, const Bytes& b);
+
+  bool empty() const { return grp_ == nullptr; }
+  const Group& group() const;
+  const mpz_class& value() const { return v_; }
+
+  Element operator*(const Element& o) const;
+  Element& operator*=(const Element& o);
+  Element pow(const Scalar& e) const;
+  /// Raise to a small non-negative integer (index powers in verify-poly).
+  Element pow_u64(std::uint64_t e) const;
+  Element inverse() const;
+
+  bool is_identity() const { return grp_ != nullptr && v_ == 1; }
+  bool in_subgroup() const;
+  bool operator==(const Element& o) const;
+  bool operator!=(const Element& o) const { return !(*this == o); }
+
+  /// Fixed-width (group().p_bytes()) big-endian encoding.
+  Bytes to_bytes() const;
+
+ private:
+  Element(const Group& grp, mpz_class v) : grp_(&grp), v_(std::move(v)) {}
+  void check_same(const Element& o) const;
+
+  const Group* grp_ = nullptr;
+  mpz_class v_;
+};
+
+}  // namespace dkg::crypto

@@ -1,0 +1,203 @@
+#include "crypto/feldman.hpp"
+
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dkg::crypto {
+
+namespace {
+// Powers 1, i, i^2, ..., i^t of an index, as Scalars mod q.
+std::vector<Scalar> index_powers(const Group& grp, std::uint64_t i, std::size_t t) {
+  std::vector<Scalar> out;
+  out.reserve(t + 1);
+  Scalar x = Scalar::from_u64(grp, i);
+  Scalar acc = Scalar::one(grp);
+  for (std::size_t j = 0; j <= t; ++j) {
+    out.push_back(acc);
+    acc = acc * x;
+  }
+  return out;
+}
+}  // namespace
+
+FeldmanMatrix FeldmanMatrix::commit(const BiPolynomial& f) {
+  std::size_t t = f.degree();
+  std::vector<Element> entries;
+  entries.reserve((t + 1) * (t + 1));
+  // Exploit symmetry: compute each g^{f_jl} once for j <= l.
+  std::vector<Element> upper((t + 1) * (t + 2) / 2);
+  std::size_t k = 0;
+  for (std::size_t j = 0; j <= t; ++j) {
+    for (std::size_t l = j; l <= t; ++l) upper[k++] = Element::exp_g(f.coeff(j, l));
+  }
+  auto upper_at = [&](std::size_t j, std::size_t l) -> const Element& {
+    if (j > l) std::swap(j, l);
+    return upper[j * (t + 1) - j * (j - 1) / 2 + (l - j)];
+  };
+  for (std::size_t j = 0; j <= t; ++j) {
+    for (std::size_t l = 0; l <= t; ++l) entries.push_back(upper_at(j, l));
+  }
+  return FeldmanMatrix(t, std::move(entries));
+}
+
+FeldmanMatrix FeldmanMatrix::identity(const Group& grp, std::size_t t) {
+  std::vector<Element> entries((t + 1) * (t + 1), Element::identity(grp));
+  return FeldmanMatrix(t, std::move(entries));
+}
+
+FeldmanMatrix FeldmanMatrix::from_entries(std::size_t t, std::vector<Element> entries) {
+  if (entries.size() != (t + 1) * (t + 1)) {
+    throw std::invalid_argument("FeldmanMatrix: wrong entry count");
+  }
+  return FeldmanMatrix(t, std::move(entries));
+}
+
+const Element& FeldmanMatrix::entry(std::size_t j, std::size_t l) const {
+  return entries_.at(j * (t_ + 1) + l);
+}
+
+bool FeldmanMatrix::verify_poly(std::uint64_t i, const Polynomial& a) const {
+  if (a.degree() != t_) return false;
+  const Group& grp = group();
+  std::vector<Scalar> ipow = index_powers(grp, i, t_);
+  for (std::size_t l = 0; l <= t_; ++l) {
+    Element rhs = Element::identity(grp);
+    for (std::size_t j = 0; j <= t_; ++j) rhs *= entry(j, l).pow(ipow[j]);
+    if (Element::exp_g(a.coeff(l)) != rhs) return false;
+  }
+  return true;
+}
+
+bool FeldmanMatrix::verify_poly_col(std::uint64_t i, const Polynomial& b) const {
+  if (b.degree() != t_) return false;
+  const Group& grp = group();
+  std::vector<Scalar> ipow = index_powers(grp, i, t_);
+  for (std::size_t j = 0; j <= t_; ++j) {
+    Element rhs = Element::identity(grp);
+    for (std::size_t l = 0; l <= t_; ++l) rhs *= entry(j, l).pow(ipow[l]);
+    if (Element::exp_g(b.coeff(j)) != rhs) return false;
+  }
+  return true;
+}
+
+Element FeldmanMatrix::eval_commit(std::uint64_t m, std::uint64_t i) const {
+  const Group& grp = group();
+  std::vector<Scalar> mpow = index_powers(grp, m, t_);
+  std::vector<Scalar> ipow = index_powers(grp, i, t_);
+  // prod_l (prod_j C_{jl}^{m^j})^{i^l}, inner products hoisted.
+  Element acc = Element::identity(grp);
+  for (std::size_t l = 0; l <= t_; ++l) {
+    Element inner = Element::identity(grp);
+    for (std::size_t j = 0; j <= t_; ++j) inner *= entry(j, l).pow(mpow[j]);
+    acc *= inner.pow(ipow[l]);
+  }
+  return acc;
+}
+
+bool FeldmanMatrix::verify_point(std::uint64_t i, std::uint64_t m, const Scalar& alpha) const {
+  return Element::exp_g(alpha) == eval_commit(m, i);
+}
+
+FeldmanMatrix FeldmanMatrix::operator*(const FeldmanMatrix& o) const {
+  if (t_ != o.t_) throw std::invalid_argument("FeldmanMatrix: degree mismatch");
+  std::vector<Element> entries;
+  entries.reserve(entries_.size());
+  for (std::size_t k = 0; k < entries_.size(); ++k) entries.push_back(entries_[k] * o.entries_[k]);
+  return FeldmanMatrix(t_, std::move(entries));
+}
+
+FeldmanVector FeldmanMatrix::share_vector() const {
+  std::vector<Element> v;
+  v.reserve(t_ + 1);
+  for (std::size_t j = 0; j <= t_; ++j) v.push_back(entry(j, 0));
+  return FeldmanVector(std::move(v));
+}
+
+Bytes FeldmanMatrix::to_bytes() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(t_));
+  for (const Element& e : entries_) w.raw(e.to_bytes());
+  return w.take();
+}
+
+Bytes FeldmanMatrix::digest() const { return sha256(to_bytes()); }
+
+std::optional<FeldmanMatrix> FeldmanMatrix::from_bytes(const Group& grp, const Bytes& b,
+                                                       std::size_t expect_t,
+                                                       bool check_subgroup) {
+  try {
+    Reader r(b);
+    std::uint32_t t = r.u32();
+    if (t != expect_t) return std::nullopt;
+    std::vector<Element> entries;
+    entries.reserve((t + 1) * (t + 1));
+    for (std::size_t k = 0; k < std::size_t(t + 1) * (t + 1); ++k) {
+      Bytes eb(grp.p_bytes());
+      for (auto& byte : eb) byte = r.u8();
+      Element e = Element::from_bytes(grp, eb);
+      if (e.empty()) return std::nullopt;
+      if (check_subgroup && !e.in_subgroup()) return std::nullopt;
+      entries.push_back(std::move(e));
+    }
+    if (!r.done()) return std::nullopt;
+    return FeldmanMatrix(t, std::move(entries));
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+FeldmanVector::FeldmanVector(std::vector<Element> entries) : entries_(std::move(entries)) {
+  if (entries_.empty()) throw std::invalid_argument("FeldmanVector: empty");
+}
+
+FeldmanVector FeldmanVector::commit(const Polynomial& a) {
+  std::vector<Element> v;
+  v.reserve(a.degree() + 1);
+  for (std::size_t l = 0; l <= a.degree(); ++l) v.push_back(Element::exp_g(a.coeff(l)));
+  return FeldmanVector(std::move(v));
+}
+
+Element FeldmanVector::eval_commit(std::uint64_t i) const {
+  const Group& grp = group();
+  std::vector<Scalar> ipow = index_powers(grp, i, degree());
+  Element acc = Element::identity(grp);
+  for (std::size_t l = 0; l < entries_.size(); ++l) acc *= entries_[l].pow(ipow[l]);
+  return acc;
+}
+
+bool FeldmanVector::verify_share(std::uint64_t i, const Scalar& share) const {
+  return Element::exp_g(share) == eval_commit(i);
+}
+
+Bytes FeldmanVector::to_bytes() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(degree()));
+  for (const Element& e : entries_) w.raw(e.to_bytes());
+  return w.take();
+}
+
+Bytes FeldmanVector::digest() const { return sha256(to_bytes()); }
+
+std::optional<FeldmanVector> FeldmanVector::from_bytes(const Group& grp, const Bytes& b,
+                                                       std::size_t expect_t) {
+  try {
+    Reader r(b);
+    std::uint32_t t = r.u32();
+    if (t != expect_t) return std::nullopt;
+    std::vector<Element> entries;
+    entries.reserve(t + 1);
+    for (std::size_t k = 0; k <= t; ++k) {
+      Bytes eb(grp.p_bytes());
+      for (auto& byte : eb) byte = r.u8();
+      Element e = Element::from_bytes(grp, eb);
+      if (e.empty()) return std::nullopt;
+      entries.push_back(std::move(e));
+    }
+    if (!r.done()) return std::nullopt;
+    return FeldmanVector(std::move(entries));
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace dkg::crypto

@@ -1,0 +1,106 @@
+// Feldman commitments (paper §1, §3): the dealer publishes C_{jl} = g^{f_jl}
+// for the symmetric bivariate dealing polynomial. Receivers check their row
+// polynomial (verify-poly) and cross-points (verify-point) against C.
+//
+// Two shapes are provided:
+//  * FeldmanMatrix  — the (t+1)x(t+1) matrix used during Sh;
+//  * FeldmanVector  — a univariate commitment V_l = g^{a_l}; the long-term
+//    verification data for a share set (row 0 of a matrix, or the Lagrange
+//    combination produced by share renewal / node addition, §5.2/§6.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/bipolynomial.hpp"
+#include "crypto/element.hpp"
+#include "crypto/polynomial.hpp"
+
+namespace dkg::crypto {
+
+class FeldmanVector;
+
+class FeldmanMatrix {
+ public:
+  /// Commit to a symmetric bivariate polynomial: C_{jl} = g^{f_jl}.
+  static FeldmanMatrix commit(const BiPolynomial& f);
+  /// Identity matrix (commitment to the zero polynomial) — the neutral
+  /// element for entrywise products when aggregating DKG contributions.
+  static FeldmanMatrix identity(const Group& grp, std::size_t t);
+  /// From explicit row-major entries (t+1)^2 — used by the AVSS baseline,
+  /// whose dealing polynomial is not symmetric.
+  static FeldmanMatrix from_entries(std::size_t t, std::vector<Element> entries);
+
+  std::size_t degree() const { return t_; }
+  const Group& group() const { return entries_.front().group(); }
+  const Element& entry(std::size_t j, std::size_t l) const;
+
+  /// Paper predicate verify-poly(C, i, a): g^{a_l} == prod_j C_{jl}^{i^j}.
+  bool verify_poly(std::uint64_t i, const Polynomial& a) const;
+  /// Column variant for non-symmetric matrices (AVSS): checks b(x) = f(x, i)
+  /// via g^{b_j} == prod_l C_{jl}^{i^l}.
+  bool verify_poly_col(std::uint64_t i, const Polynomial& b) const;
+  /// Paper predicate verify-point(C, i, m, alpha): alpha == f(m, i).
+  bool verify_point(std::uint64_t i, std::uint64_t m, const Scalar& alpha) const;
+  /// Commitment to the evaluation f(m, i) = prod_{jl} C_{jl}^{m^j i^l}.
+  Element eval_commit(std::uint64_t m, std::uint64_t i) const;
+
+  /// g^s where s = f(0,0) — the public key fragment this dealing carries.
+  const Element& c00() const { return entry(0, 0); }
+
+  /// Entrywise product: commitment to the sum of the dealing polynomials
+  /// (DKG share aggregation, Fig 2 "C_{p,q} <- prod (C_d)_{p,q}").
+  FeldmanMatrix operator*(const FeldmanMatrix& o) const;
+
+  /// Row j=* at l=0: the univariate commitment to f(x, 0), i.e. the
+  /// verification vector for shares s_i = f(i, 0).
+  FeldmanVector share_vector() const;
+
+  Bytes to_bytes() const;
+  /// SHA-256 of the canonical encoding; identifies C in echo/ready messages.
+  Bytes digest() const;
+  /// Deserializes and validates shape. Subgroup membership of entries is
+  /// checked when `check_subgroup` (costly; used in adversarial tests).
+  static std::optional<FeldmanMatrix> from_bytes(const Group& grp, const Bytes& b,
+                                                 std::size_t expect_t,
+                                                 bool check_subgroup = false);
+
+  bool operator==(const FeldmanMatrix& o) const { return t_ == o.t_ && entries_ == o.entries_; }
+
+ private:
+  FeldmanMatrix(std::size_t t, std::vector<Element> entries)
+      : t_(t), entries_(std::move(entries)) {}
+
+  std::size_t t_;
+  std::vector<Element> entries_;  // row-major (t+1)x(t+1)
+};
+
+class FeldmanVector {
+ public:
+  /// V_l = g^{a_l} for a univariate polynomial a.
+  static FeldmanVector commit(const Polynomial& a);
+  explicit FeldmanVector(std::vector<Element> entries);
+
+  std::size_t degree() const { return entries_.size() - 1; }
+  const Group& group() const { return entries_.front().group(); }
+  const Element& entry(std::size_t l) const { return entries_.at(l); }
+
+  /// g^{a(i)} = prod_l V_l^{i^l}.
+  Element eval_commit(std::uint64_t i) const;
+  /// Checks g^{share} == eval_commit(i).
+  bool verify_share(std::uint64_t i, const Scalar& share) const;
+  /// g^{a(0)} — the group public key under this commitment.
+  const Element& c0() const { return entries_.front(); }
+
+  Bytes to_bytes() const;
+  Bytes digest() const;
+  static std::optional<FeldmanVector> from_bytes(const Group& grp, const Bytes& b,
+                                                 std::size_t expect_t);
+
+  bool operator==(const FeldmanVector& o) const { return entries_ == o.entries_; }
+
+ private:
+  std::vector<Element> entries_;
+};
+
+}  // namespace dkg::crypto

@@ -1,0 +1,119 @@
+#include "crypto/group.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace dkg::crypto {
+
+namespace {
+// Deterministically generated Schnorr group parameters (seed 20090612; see
+// DESIGN.md §5). Hex, no 0x prefix.
+const char kTiny256P[] = "800000000000000000000000000000000000000000000042823f72995a7212cd";
+const char kTiny256Q[] = "f55a6b5f385ab24d";
+const char kTiny256G[] = "22ba78c31382e91d00a9020a736899e585ad76dda682abb91543bda58ce0160e";
+
+const char kSmall512P[] =
+    "8000000000000000000000000000000000000000000000000000000000000000000000000000000000000129e8"
+    "13ce8bc094d685282e28f48e62a0c7c808ed0b";
+const char kSmall512Q[] = "8480a13c6aa6ccdda3541f0c040cedd83bc0dafd";
+const char kSmall512G[] =
+    "83d87c857245e3fbe12bcb5f5a811d15c651911a08fe18e1013e7e8848dd21db0332b79fe0b9749a9259b3ae9e"
+    "5daf4236e115d14588ab2dca297cc77faa5d";
+
+const char kMod1024P[] =
+    "8000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000"
+    "0000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000"
+    "00000000000000000000000000000001cdf9bca7085b671ba4f209b4feb939d426695188a9";
+
+const char kMod1024Q[] = "aa4ba1cd7c2f4e7691a29ba205d68621bcb1c427";
+
+const char kMod1024G[] =
+    "5a042afe8225cdc8ef3d747c2d1eae3f523232ef42bd8c6d70ffc8d7bfc4ba308ae2174d538f4eb0c2270d31adb"
+    "34ae9d935ed6058afd73ca0fc45819d1d60f1db065eb73382423435ef5dca02f2d15bd6bfaca757a96689ff2f64"
+    "ff3f5aa3fabe3cb417348db14b1f73754a6d485bdb771e52c77a18ece51f90bd70ac076ad2";
+
+const char kBig2048P[] =
+    "8000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000"
+    "0000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000"
+    "0000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000"
+    "0000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000"
+    "00000000000000000000000000000000000000000000000000000000000000000000000000000000039c31ee77e"
+    "9a46333e9d54a3a51c2347135a9b9cf53b7d090d9166e3f5f762c23cd";
+
+const char kBig2048Q[] = "ef6d6a86c722d7c5f6e688b0799ac663a327ec144ec4798614eb8dbcd3e0f99b";
+
+const char kBig2048G[] =
+    "d17a5c08de7e7992b5af49c5387845bdc167051ad607fec1b66c07f5828fffb65e2a08434b0fff485508d4eae83"
+    "fbfd10e6a205858fbaaffbf3b2dedd77f111425c6f295def873f29c8db493075e3d59ec62debe2c51a61767c4ef"
+    "4864cea5c683235b4b46572251c3a4bd5e5f5be61d63f4e3dc783fcb159454262555b47bccb71ad38b37169e689"
+    "30b4794ff25e3bfbd52a369b976982e51a6c37d7f693fd661accab2e3b54bbe73160ed611417af3ad221cbfcf6b"
+    "e9e0fc885318dda31a95711b7441bcf3643299dbc803ed568a4c423eee22fdee3f7a956de1d2860eb6ca5e262c3"
+    "33b20bbd41c67560bcc0260fadb87bb988d25803b2cc13d50e477185";
+
+// Hash-to-subgroup: expand a domain tag to p_bytes pseudo-random bytes, then
+// raise to (p-1)/q so the result lands in the order-q subgroup. The discrete
+// log of the result with respect to g is unknown to everyone.
+mpz_class derive_h(const mpz_class& p, const mpz_class& q) {
+  mpz_class r = (p - 1) / q;
+  std::size_t width = byte_width(p);
+  for (std::uint32_t ctr = 0;; ++ctr) {
+    Bytes seed = bytes_of("hybriddkg/pedersen-h/v1");
+    seed.push_back(static_cast<std::uint8_t>(ctr));
+    Bytes stream;
+    Bytes block = seed;
+    while (stream.size() < width) {
+      block = sha256(block);
+      stream.insert(stream.end(), block.begin(), block.end());
+    }
+    stream.resize(width);
+    mpz_class u = mod(mpz_from_bytes(stream), p);
+    if (u <= 1) continue;
+    mpz_class h = powm(u, r, p);
+    if (h != 1) return h;
+  }
+}
+}  // namespace
+
+Group::Group(std::string name, const std::string& p_hex, const std::string& q_hex,
+             const std::string& g_hex)
+    : name_(std::move(name)), p_(p_hex, 16), q_(q_hex, 16), g_(g_hex, 16) {
+  h_ = derive_h(p_, q_);
+  p_bytes_ = byte_width(p_);
+  q_bytes_ = byte_width(q_);
+  kappa_ = mpz_sizeinbase(q_.get_mpz_t(), 2);
+}
+
+const Group& Group::tiny256() {
+  static const Group grp("tiny256", kTiny256P, kTiny256Q, kTiny256G);
+  return grp;
+}
+
+const Group& Group::small512() {
+  static const Group grp("small512", kSmall512P, kSmall512Q, kSmall512G);
+  return grp;
+}
+
+const Group& Group::mod1024() {
+  static const Group grp("mod1024", kMod1024P, kMod1024Q, kMod1024G);
+  return grp;
+}
+
+const Group& Group::big2048() {
+  static const Group grp("big2048", kBig2048P, kBig2048Q, kBig2048G);
+  return grp;
+}
+
+bool Group::valid() const {
+  if (!probably_prime(p_) || !probably_prime(q_)) return false;
+  if (mod(p_ - 1, q_) != 0) return false;
+  if (g_ <= 1 || g_ >= p_) return false;
+  if (powm(g_, q_, p_) != 1) return false;
+  if (h_ <= 1 || h_ >= p_ || powm(h_, q_, p_) != 1) return false;
+  return true;
+}
+
+bool Group::in_subgroup(const mpz_class& v) const {
+  if (v <= 0 || v >= p_) return false;
+  return powm(v, q_, p_) == 1;
+}
+
+}  // namespace dkg::crypto

@@ -1,0 +1,44 @@
+#include "crypto/keyring.hpp"
+
+#include <stdexcept>
+
+namespace dkg::crypto {
+
+std::shared_ptr<const Keyring> Keyring::generate(const Group& grp, std::size_t n,
+                                                 std::uint64_t seed) {
+  Drbg rng(seed);
+  Drbg keys = rng.fork("keyring");
+  std::vector<KeyPair> pairs;
+  pairs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pairs.push_back(schnorr_keygen(grp, keys));
+  return std::shared_ptr<const Keyring>(new Keyring(grp, std::move(pairs)));
+}
+
+const Element& Keyring::public_key(std::uint32_t node) const {
+  if (node == 0 || node > pairs_.size()) throw std::out_of_range("Keyring: bad node index");
+  return pairs_[node - 1].pk;
+}
+
+const KeyPair& Keyring::key_pair(std::uint32_t node) const {
+  if (node == 0 || node > pairs_.size()) throw std::out_of_range("Keyring: bad node index");
+  return pairs_[node - 1];
+}
+
+Signature Keyring::sign_as(std::uint32_t node, const Bytes& msg) const {
+  return schnorr_sign(key_pair(node), msg);
+}
+
+bool Keyring::verify_from(std::uint32_t node, const Bytes& msg, const Signature& sig) const {
+  if (node == 0 || node > pairs_.size()) return false;
+  return schnorr_verify(pairs_[node - 1].pk, msg, sig);
+}
+
+std::shared_ptr<const Keyring> Keyring::with_added_node(std::uint64_t seed) const {
+  Drbg rng(seed);
+  Drbg keys = rng.fork("keyring/added");
+  std::vector<KeyPair> pairs = pairs_;
+  pairs.push_back(schnorr_keygen(*grp_, keys));
+  return std::shared_ptr<const Keyring>(new Keyring(*grp_, std::move(pairs)));
+}
+
+}  // namespace dkg::crypto

@@ -1,0 +1,42 @@
+// Simulated PKI (paper §2.3: "indices and public keys for all nodes are
+// publicly available in the form of certificates"). A Keyring holds every
+// node's verification key; each node additionally knows its own signing key.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/schnorr.hpp"
+
+namespace dkg::crypto {
+
+class Keyring {
+ public:
+  /// Deterministically generates key pairs for nodes 1..n.
+  static std::shared_ptr<const Keyring> generate(const Group& grp, std::size_t n,
+                                                 std::uint64_t seed);
+
+  const Group& group() const { return *grp_; }
+  std::size_t size() const { return pairs_.size(); }
+
+  /// 1-based node indices, matching the paper's P_1..P_n.
+  const Element& public_key(std::uint32_t node) const;
+  const KeyPair& key_pair(std::uint32_t node) const;
+
+  Signature sign_as(std::uint32_t node, const Bytes& msg) const;
+  bool verify_from(std::uint32_t node, const Bytes& msg, const Signature& sig) const;
+
+  /// Extends the ring with a key pair for one more node (group modification,
+  /// §6.2 node addition). Returns the new ring; existing keys are shared.
+  std::shared_ptr<const Keyring> with_added_node(std::uint64_t seed) const;
+
+ private:
+  Keyring(const Group& grp, std::vector<KeyPair> pairs)
+      : grp_(&grp), pairs_(std::move(pairs)) {}
+
+  const Group* grp_;
+  std::vector<KeyPair> pairs_;
+};
+
+}  // namespace dkg::crypto

@@ -1,0 +1,69 @@
+#include "crypto/lagrange.hpp"
+
+#include <stdexcept>
+
+namespace dkg::crypto {
+
+Scalar lagrange_coeff(const Group& grp, const std::vector<std::uint64_t>& xs, std::size_t k,
+                      std::uint64_t at) {
+  Scalar num = Scalar::one(grp);
+  Scalar den = Scalar::one(grp);
+  Scalar xk = Scalar::from_u64(grp, xs[k]);
+  Scalar a = Scalar::from_u64(grp, at);
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    if (j == k) continue;
+    Scalar xj = Scalar::from_u64(grp, xs[j]);
+    num = num * (a - xj);
+    den = den * (xk - xj);
+  }
+  return num * den.inverse();
+}
+
+Scalar interpolate_at(const Group& grp, const std::vector<std::pair<std::uint64_t, Scalar>>& pts,
+                      std::uint64_t at) {
+  std::vector<std::uint64_t> xs;
+  xs.reserve(pts.size());
+  for (const auto& [x, y] : pts) xs.push_back(x);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = i + 1; j < xs.size(); ++j) {
+      if (xs[i] == xs[j]) throw std::invalid_argument("interpolate_at: duplicate abscissa");
+    }
+  }
+  Scalar acc = Scalar::zero(grp);
+  for (std::size_t k = 0; k < pts.size(); ++k) {
+    acc += lagrange_coeff(grp, xs, k, at) * pts[k].second;
+  }
+  return acc;
+}
+
+Polynomial interpolate(const Group& grp,
+                       const std::vector<std::pair<std::uint64_t, Scalar>>& pts) {
+  // Build sum_k y_k * prod_{j != k} (x - x_j)/(x_k - x_j) in coefficient form.
+  std::size_t n = pts.size();
+  if (n == 0) throw std::invalid_argument("interpolate: no points");
+  std::vector<Scalar> acc(n, Scalar::zero(grp));
+  for (std::size_t k = 0; k < n; ++k) {
+    // numerator polynomial prod_{j != k} (x - x_j), built incrementally.
+    std::vector<Scalar> numer{Scalar::one(grp)};
+    Scalar denom = Scalar::one(grp);
+    Scalar xk = Scalar::from_u64(grp, pts[k].first);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == k) continue;
+      Scalar xj = Scalar::from_u64(grp, pts[j].first);
+      if (xk == xj) throw std::invalid_argument("interpolate: duplicate abscissa");
+      denom = denom * (xk - xj);
+      // numer *= (x - xj)
+      std::vector<Scalar> next(numer.size() + 1, Scalar::zero(grp));
+      for (std::size_t d = 0; d < numer.size(); ++d) {
+        next[d + 1] += numer[d];
+        next[d] += numer[d] * xj.negate();
+      }
+      numer = std::move(next);
+    }
+    Scalar w = pts[k].second * denom.inverse();
+    for (std::size_t d = 0; d < numer.size(); ++d) acc[d] += numer[d] * w;
+  }
+  return Polynomial(std::move(acc));
+}
+
+}  // namespace dkg::crypto

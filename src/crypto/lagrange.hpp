@@ -1,0 +1,27 @@
+// Lagrange interpolation over Z_q. Used by Sh (interpolating a node's row
+// polynomial from echo/ready points), Rec (recovering the secret), share
+// renewal (combining subsharings at index 0) and node addition (index new).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "crypto/polynomial.hpp"
+
+namespace dkg::crypto {
+
+/// Lagrange coefficient lambda_k for evaluating at `at` the interpolating
+/// polynomial through the distinct abscissas `xs`; `k` indexes into `xs`.
+Scalar lagrange_coeff(const Group& grp, const std::vector<std::uint64_t>& xs, std::size_t k,
+                      std::uint64_t at);
+
+/// Evaluates the degree-(pts.size()-1) interpolating polynomial at `at`.
+/// Abscissas must be distinct; throws std::invalid_argument otherwise.
+Scalar interpolate_at(const Group& grp, const std::vector<std::pair<std::uint64_t, Scalar>>& pts,
+                      std::uint64_t at);
+
+/// Full interpolating polynomial (coefficient form) through `pts`.
+Polynomial interpolate(const Group& grp, const std::vector<std::pair<std::uint64_t, Scalar>>& pts);
+
+}  // namespace dkg::crypto

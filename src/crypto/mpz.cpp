@@ -1,0 +1,57 @@
+#include "crypto/mpz.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace dkg::crypto {
+
+Bytes mpz_to_bytes(const mpz_class& v, std::size_t width) {
+  if (v < 0) throw std::length_error("mpz_to_bytes: negative value");
+  std::size_t needed = byte_width(v);
+  if (v == 0) needed = 0;
+  if (needed > width) throw std::length_error("mpz_to_bytes: value too wide");
+  Bytes out(width, 0);
+  if (needed > 0) {
+    std::size_t count = 0;
+    // mpz_export writes most-significant-first with order=1, size=1.
+    mpz_export(out.data() + (width - needed), &count, 1, 1, 1, 0, v.get_mpz_t());
+  }
+  return out;
+}
+
+mpz_class mpz_from_bytes(const Bytes& b) {
+  mpz_class v;
+  if (!b.empty()) mpz_import(v.get_mpz_t(), b.size(), 1, 1, 1, 0, b.data());
+  return v;
+}
+
+mpz_class powm(const mpz_class& base, const mpz_class& exp, const mpz_class& m) {
+  mpz_class r;
+  mpz_powm(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), m.get_mpz_t());
+  return r;
+}
+
+mpz_class invmod(const mpz_class& v, const mpz_class& m) {
+  mpz_class r;
+  if (mpz_invert(r.get_mpz_t(), v.get_mpz_t(), m.get_mpz_t()) == 0) {
+    throw std::domain_error("invmod: value not invertible");
+  }
+  return r;
+}
+
+mpz_class mod(const mpz_class& v, const mpz_class& m) {
+  mpz_class r;
+  mpz_mod(r.get_mpz_t(), v.get_mpz_t(), m.get_mpz_t());
+  return r;
+}
+
+bool probably_prime(const mpz_class& v) {
+  return mpz_probab_prime_p(v.get_mpz_t(), 40) != 0;
+}
+
+std::size_t byte_width(const mpz_class& v) {
+  if (v == 0) return 1;
+  return (mpz_sizeinbase(v.get_mpz_t(), 2) + 7) / 8;
+}
+
+}  // namespace dkg::crypto

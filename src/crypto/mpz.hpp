@@ -1,0 +1,35 @@
+// Thin helpers over GMP's mpz_class: canonical byte encodings and the
+// modular operations the rest of src/crypto is built from.
+#pragma once
+
+#include <gmpxx.h>
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dkg::crypto {
+
+/// Big-endian, fixed-width encoding (zero padded). Throws std::length_error
+/// if `v` does not fit in `width` bytes or is negative.
+Bytes mpz_to_bytes(const mpz_class& v, std::size_t width);
+
+/// Big-endian decoding; empty input decodes to 0.
+mpz_class mpz_from_bytes(const Bytes& b);
+
+/// (base ^ exp) mod m, exp >= 0.
+mpz_class powm(const mpz_class& base, const mpz_class& exp, const mpz_class& m);
+
+/// Multiplicative inverse mod m. Throws std::domain_error if not invertible.
+mpz_class invmod(const mpz_class& v, const mpz_class& m);
+
+/// Canonical representative in [0, m).
+mpz_class mod(const mpz_class& v, const mpz_class& m);
+
+/// Miller-Rabin with 40 rounds (GMP's reps parameter).
+bool probably_prime(const mpz_class& v);
+
+/// Number of bytes needed to store v (at least 1).
+std::size_t byte_width(const mpz_class& v);
+
+}  // namespace dkg::crypto

@@ -1,0 +1,98 @@
+#include "crypto/pedersen.hpp"
+
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dkg::crypto {
+
+namespace {
+std::vector<Scalar> index_powers(const Group& grp, std::uint64_t i, std::size_t t) {
+  std::vector<Scalar> out;
+  out.reserve(t + 1);
+  Scalar x = Scalar::from_u64(grp, i);
+  Scalar acc = Scalar::one(grp);
+  for (std::size_t j = 0; j <= t; ++j) {
+    out.push_back(acc);
+    acc = acc * x;
+  }
+  return out;
+}
+}  // namespace
+
+PedersenMatrix PedersenMatrix::commit(const PedersenDealing& d) {
+  std::size_t t = d.f.degree();
+  if (d.f_prime.degree() != t) throw std::invalid_argument("PedersenMatrix: degree mismatch");
+  std::vector<Element> entries;
+  entries.reserve((t + 1) * (t + 1));
+  for (std::size_t j = 0; j <= t; ++j) {
+    for (std::size_t l = 0; l <= t; ++l) {
+      entries.push_back(Element::exp_g(d.f.coeff(j, l)) * Element::exp_h(d.f_prime.coeff(j, l)));
+    }
+  }
+  return PedersenMatrix(t, std::move(entries));
+}
+
+const Element& PedersenMatrix::entry(std::size_t j, std::size_t l) const {
+  return entries_.at(j * (t_ + 1) + l);
+}
+
+bool PedersenMatrix::verify_poly(std::uint64_t i, const Polynomial& a,
+                                 const Polynomial& a_prime) const {
+  if (a.degree() != t_ || a_prime.degree() != t_) return false;
+  const Group& grp = group();
+  std::vector<Scalar> ipow = index_powers(grp, i, t_);
+  for (std::size_t l = 0; l <= t_; ++l) {
+    Element rhs = Element::identity(grp);
+    for (std::size_t j = 0; j <= t_; ++j) rhs *= entry(j, l).pow(ipow[j]);
+    Element lhs = Element::exp_g(a.coeff(l)) * Element::exp_h(a_prime.coeff(l));
+    if (lhs != rhs) return false;
+  }
+  return true;
+}
+
+bool PedersenMatrix::verify_point(std::uint64_t i, std::uint64_t m, const Scalar& alpha,
+                                  const Scalar& alpha_prime) const {
+  const Group& grp = group();
+  std::vector<Scalar> mpow = index_powers(grp, m, t_);
+  std::vector<Scalar> ipow = index_powers(grp, i, t_);
+  Element acc = Element::identity(grp);
+  for (std::size_t l = 0; l <= t_; ++l) {
+    Element inner = Element::identity(grp);
+    for (std::size_t j = 0; j <= t_; ++j) inner *= entry(j, l).pow(mpow[j]);
+    acc *= inner.pow(ipow[l]);
+  }
+  return Element::exp_g(alpha) * Element::exp_h(alpha_prime) == acc;
+}
+
+Bytes PedersenMatrix::to_bytes() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(t_));
+  for (const Element& e : entries_) w.raw(e.to_bytes());
+  return w.take();
+}
+
+Bytes PedersenMatrix::digest() const { return sha256(to_bytes()); }
+
+std::optional<PedersenMatrix> PedersenMatrix::from_bytes(const Group& grp, const Bytes& b,
+                                                         std::size_t expect_t) {
+  try {
+    Reader r(b);
+    std::uint32_t t = r.u32();
+    if (t != expect_t) return std::nullopt;
+    std::vector<Element> entries;
+    entries.reserve((t + 1) * (t + 1));
+    for (std::size_t k = 0; k < std::size_t(t + 1) * (t + 1); ++k) {
+      Bytes eb(grp.p_bytes());
+      for (auto& byte : eb) byte = r.u8();
+      Element e = Element::from_bytes(grp, eb);
+      if (e.empty()) return std::nullopt;
+      entries.push_back(std::move(e));
+    }
+    if (!r.done()) return std::nullopt;
+    return PedersenMatrix(t, std::move(entries));
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace dkg::crypto

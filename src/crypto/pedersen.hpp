@@ -1,0 +1,51 @@
+// Pedersen commitments [Pedersen '91]: C_{jl} = g^{f_jl} h^{f'_jl} with a
+// companion random polynomial f'. Unconditionally hiding / computationally
+// binding — the converse trade-off to Feldman. The paper (§1, §3) picks
+// Feldman for simplicity and efficiency; this module exists so the choice
+// can be measured (bench E8) and so VSS can be instantiated either way.
+#pragma once
+
+#include <optional>
+
+#include "crypto/bipolynomial.hpp"
+#include "crypto/element.hpp"
+
+namespace dkg::crypto {
+
+/// A Pedersen dealing: the secret polynomial f and companion f'.
+struct PedersenDealing {
+  BiPolynomial f;
+  BiPolynomial f_prime;
+};
+
+class PedersenMatrix {
+ public:
+  static PedersenMatrix commit(const PedersenDealing& d);
+
+  std::size_t degree() const { return t_; }
+  const Group& group() const { return entries_.front().group(); }
+  const Element& entry(std::size_t j, std::size_t l) const;
+
+  /// verify-poly for the pair (a, a') of row polynomials:
+  /// g^{a_l} h^{a'_l} == prod_j C_{jl}^{i^j}.
+  bool verify_poly(std::uint64_t i, const Polynomial& a, const Polynomial& a_prime) const;
+  /// verify-point for the pair (alpha, alpha').
+  bool verify_point(std::uint64_t i, std::uint64_t m, const Scalar& alpha,
+                    const Scalar& alpha_prime) const;
+
+  Bytes to_bytes() const;
+  Bytes digest() const;
+  static std::optional<PedersenMatrix> from_bytes(const Group& grp, const Bytes& b,
+                                                  std::size_t expect_t);
+
+  bool operator==(const PedersenMatrix& o) const { return t_ == o.t_ && entries_ == o.entries_; }
+
+ private:
+  PedersenMatrix(std::size_t t, std::vector<Element> entries)
+      : t_(t), entries_(std::move(entries)) {}
+
+  std::size_t t_;
+  std::vector<Element> entries_;
+};
+
+}  // namespace dkg::crypto

@@ -1,0 +1,48 @@
+// Univariate polynomials over Z_q. A degree-t polynomial is the unit of
+// secret sharing: a(0) is the secret, a(i) is node i's share.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/scalar.hpp"
+
+namespace dkg::crypto {
+
+class Polynomial {
+ public:
+  /// Zero polynomial of the given degree (all coefficients zero).
+  Polynomial(const Group& grp, std::size_t degree);
+  /// From explicit coefficients, constant term first. Must be non-empty.
+  explicit Polynomial(std::vector<Scalar> coeffs);
+
+  /// Uniformly random degree-t polynomial.
+  static Polynomial random(const Group& grp, std::size_t degree, Drbg& rng);
+  /// Random polynomial with a fixed constant term (a(0) = c).
+  static Polynomial random_with_constant(const Scalar& c, std::size_t degree, Drbg& rng);
+
+  std::size_t degree() const { return coeffs_.size() - 1; }
+  const Group& group() const { return coeffs_.front().group(); }
+  const Scalar& coeff(std::size_t j) const { return coeffs_.at(j); }
+  Scalar& coeff(std::size_t j) { return coeffs_.at(j); }
+  const std::vector<Scalar>& coeffs() const { return coeffs_; }
+
+  /// Horner evaluation a(x).
+  Scalar eval(const Scalar& x) const;
+  Scalar eval_at(std::uint64_t x) const;
+
+  Polynomial operator+(const Polynomial& o) const;
+
+  /// Canonical encoding: degree (u32) then fixed-width coefficients.
+  Bytes to_bytes() const;
+  /// Returns an empty optional-like signal via degree mismatch: callers pass
+  /// the expected degree so Byzantine senders cannot inflate messages.
+  static Polynomial from_bytes(const Group& grp, const Bytes& b, std::size_t expect_degree);
+
+  bool operator==(const Polynomial& o) const { return coeffs_ == o.coeffs_; }
+
+ private:
+  std::vector<Scalar> coeffs_;  // coeffs_[j] multiplies x^j
+};
+
+}  // namespace dkg::crypto

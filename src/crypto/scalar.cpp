@@ -1,0 +1,103 @@
+#include "crypto/scalar.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace dkg::crypto {
+
+const Group& Scalar::group() const {
+  if (grp_ == nullptr) throw std::logic_error("Scalar: empty");
+  return *grp_;
+}
+
+void Scalar::check_same(const Scalar& o) const {
+  if (grp_ == nullptr || o.grp_ == nullptr) throw std::logic_error("Scalar: empty operand");
+  if (!(*grp_ == *o.grp_)) throw std::logic_error("Scalar: mixed groups");
+}
+
+Scalar Scalar::zero(const Group& grp) { return Scalar(grp, 0); }
+
+Scalar Scalar::one(const Group& grp) { return Scalar(grp, 1); }
+
+Scalar Scalar::from_u64(const Group& grp, std::uint64_t v) {
+  mpz_class m;
+  mpz_import(m.get_mpz_t(), 1, 1, 8, 0, 0, &v);
+  return Scalar(grp, mod(m, grp.q()));
+}
+
+Scalar Scalar::from_mpz(const Group& grp, const mpz_class& v) {
+  return Scalar(grp, mod(v, grp.q()));
+}
+
+Scalar Scalar::random(const Group& grp, Drbg& rng) {
+  // Sample q_bytes + 8 extra bytes and reduce: statistical distance from
+  // uniform is < 2^-64, ample for a simulation-grade library.
+  Bytes b = rng.bytes(grp.q_bytes() + 8);
+  return Scalar(grp, mod(mpz_from_bytes(b), grp.q()));
+}
+
+Scalar Scalar::from_bytes(const Group& grp, const Bytes& b) {
+  return Scalar(grp, mod(mpz_from_bytes(b), grp.q()));
+}
+
+Scalar Scalar::hash_to_scalar(const Group& grp, const Bytes& data) {
+  // Expand to q_bytes + 8 via counter-mode SHA-256, then reduce.
+  Bytes stream;
+  std::uint8_t ctr = 0;
+  while (stream.size() < grp.q_bytes() + 8) {
+    Bytes block = data;
+    block.push_back(ctr++);
+    Bytes d = sha256(block);
+    stream.insert(stream.end(), d.begin(), d.end());
+  }
+  stream.resize(grp.q_bytes() + 8);
+  return Scalar(grp, mod(mpz_from_bytes(stream), grp.q()));
+}
+
+Scalar Scalar::operator+(const Scalar& o) const {
+  check_same(o);
+  return Scalar(*grp_, mod(v_ + o.v_, grp_->q()));
+}
+
+Scalar Scalar::operator-(const Scalar& o) const {
+  check_same(o);
+  return Scalar(*grp_, mod(v_ - o.v_, grp_->q()));
+}
+
+Scalar Scalar::operator*(const Scalar& o) const {
+  check_same(o);
+  return Scalar(*grp_, mod(v_ * o.v_, grp_->q()));
+}
+
+Scalar& Scalar::operator+=(const Scalar& o) {
+  *this = *this + o;
+  return *this;
+}
+
+Scalar& Scalar::operator*=(const Scalar& o) {
+  *this = *this * o;
+  return *this;
+}
+
+Scalar Scalar::negate() const {
+  if (grp_ == nullptr) throw std::logic_error("Scalar: empty");
+  return Scalar(*grp_, mod(-v_, grp_->q()));
+}
+
+Scalar Scalar::inverse() const {
+  if (grp_ == nullptr) throw std::logic_error("Scalar: empty");
+  if (v_ == 0) throw std::domain_error("Scalar: inverse of zero");
+  return Scalar(*grp_, invmod(v_, grp_->q()));
+}
+
+bool Scalar::operator==(const Scalar& o) const {
+  if (grp_ == nullptr || o.grp_ == nullptr) return grp_ == o.grp_;
+  return *grp_ == *o.grp_ && v_ == o.v_;
+}
+
+Bytes Scalar::to_bytes() const {
+  return mpz_to_bytes(v_, group().q_bytes());
+}
+
+}  // namespace dkg::crypto

@@ -1,0 +1,58 @@
+// Scalar: an element of Z_q, the exponent field of a Schnorr group.
+// Shares, polynomial coefficients, signature values and Lagrange
+// coefficients are all Scalars. Value type; every Scalar remembers its
+// group, and mixing groups is a programming error (throws).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/group.hpp"
+
+namespace dkg::crypto {
+
+class Scalar {
+ public:
+  Scalar() = default;  // "empty" scalar; using it in arithmetic throws.
+
+  static Scalar zero(const Group& grp);
+  static Scalar one(const Group& grp);
+  static Scalar from_u64(const Group& grp, std::uint64_t v);
+  static Scalar from_mpz(const Group& grp, const mpz_class& v);  // reduced mod q
+  /// Uniform in [0, q).
+  static Scalar random(const Group& grp, Drbg& rng);
+  /// Canonical fixed-width decode; reduces mod q.
+  static Scalar from_bytes(const Group& grp, const Bytes& b);
+  /// Hash arbitrary bytes into Z_q (for signature challenges).
+  static Scalar hash_to_scalar(const Group& grp, const Bytes& data);
+
+  bool empty() const { return grp_ == nullptr; }
+  const Group& group() const;
+  const mpz_class& value() const { return v_; }
+
+  Scalar operator+(const Scalar& o) const;
+  Scalar operator-(const Scalar& o) const;
+  Scalar operator*(const Scalar& o) const;
+  Scalar& operator+=(const Scalar& o);
+  Scalar& operator*=(const Scalar& o);
+  Scalar negate() const;
+  /// Multiplicative inverse; throws std::domain_error on zero.
+  Scalar inverse() const;
+
+  bool is_zero() const { return grp_ != nullptr && v_ == 0; }
+  bool operator==(const Scalar& o) const;
+  bool operator!=(const Scalar& o) const { return !(*this == o); }
+
+  /// Fixed-width (group().q_bytes()) big-endian encoding.
+  Bytes to_bytes() const;
+
+ private:
+  Scalar(const Group& grp, mpz_class v) : grp_(&grp), v_(std::move(v)) {}
+  void check_same(const Scalar& o) const;
+
+  const Group* grp_ = nullptr;
+  mpz_class v_;
+};
+
+}  // namespace dkg::crypto

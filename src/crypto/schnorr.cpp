@@ -1,0 +1,60 @@
+#include "crypto/schnorr.hpp"
+
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dkg::crypto {
+
+namespace {
+Scalar challenge(const Element& r, const Element& pk, const Bytes& msg) {
+  Writer w;
+  w.str("hybriddkg/schnorr/v1");
+  w.blob(r.to_bytes());
+  w.blob(pk.to_bytes());
+  w.blob(msg);
+  return Scalar::hash_to_scalar(pk.group(), w.data());
+}
+}  // namespace
+
+Bytes Signature::to_bytes() const {
+  Writer w;
+  w.raw(c.to_bytes());
+  w.raw(s.to_bytes());
+  return w.take();
+}
+
+std::optional<Signature> Signature::from_bytes(const Group& grp, const Bytes& b) {
+  if (b.size() != 2 * grp.q_bytes()) return std::nullopt;
+  Bytes cb(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(grp.q_bytes()));
+  Bytes sb(b.begin() + static_cast<std::ptrdiff_t>(grp.q_bytes()), b.end());
+  return Signature{Scalar::from_bytes(grp, cb), Scalar::from_bytes(grp, sb)};
+}
+
+KeyPair schnorr_keygen(const Group& grp, Drbg& rng) {
+  Scalar sk = Scalar::random(grp, rng);
+  return KeyPair{sk, Element::exp_g(sk)};
+}
+
+Signature schnorr_sign(const KeyPair& kp, const Bytes& msg) {
+  const Group& grp = kp.sk.group();
+  Writer nw;
+  nw.str("hybriddkg/schnorr/nonce");
+  nw.blob(kp.sk.to_bytes());
+  nw.blob(msg);
+  Scalar k = Scalar::hash_to_scalar(grp, nw.data());
+  if (k.is_zero()) k = Scalar::one(grp);  // vanishing nonce is astronomically unlikely
+  Element r = Element::exp_g(k);
+  Scalar c = challenge(r, kp.pk, msg);
+  Scalar s = k + kp.sk * c;
+  return Signature{c, s};
+}
+
+bool schnorr_verify(const Element& pk, const Bytes& msg, const Signature& sig) {
+  if (pk.empty() || sig.c.empty() || sig.s.empty()) return false;
+  Element r = Element::exp_g(sig.s) * pk.pow(sig.c).inverse();
+  return challenge(r, pk, msg) == sig.c;
+}
+
+std::size_t signature_bytes(const Group& grp) { return 2 * grp.q_bytes(); }
+
+}  // namespace dkg::crypto

@@ -1,0 +1,41 @@
+// Schnorr signatures over the same discrete-log group the protocols use.
+// The paper (§2.3) assumes "message authentication with any digital
+// signature scheme secure against adaptive chosen-message attack"; nodes
+// sign echo/ready/lead-ch payloads so proof sets (R_d, M) are verifiable by
+// third parties. Nonces are derived deterministically from (sk, msg).
+#pragma once
+
+#include <optional>
+
+#include "crypto/element.hpp"
+#include "crypto/scalar.hpp"
+
+namespace dkg::crypto {
+
+struct KeyPair {
+  Scalar sk;   // x, uniform in Z_q
+  Element pk;  // y = g^x
+};
+
+struct Signature {
+  Scalar c;  // challenge
+  Scalar s;  // response
+
+  Bytes to_bytes() const;
+  static std::optional<Signature> from_bytes(const Group& grp, const Bytes& b);
+  bool operator==(const Signature& o) const { return c == o.c && s == o.s; }
+};
+
+KeyPair schnorr_keygen(const Group& grp, Drbg& rng);
+
+/// Signs `msg`: k = H(sk || msg), R = g^k, c = H(R || pk || msg),
+/// s = k + sk * c. Output (c, s).
+Signature schnorr_sign(const KeyPair& kp, const Bytes& msg);
+
+/// Verifies: R' = g^s * pk^{-c}; accept iff c == H(R' || pk || msg).
+bool schnorr_verify(const Element& pk, const Bytes& msg, const Signature& sig);
+
+/// Serialized signature width for a group (2 scalars).
+std::size_t signature_bytes(const Group& grp);
+
+}  // namespace dkg::crypto

@@ -1,0 +1,38 @@
+// Self-contained SHA-256 (FIPS 180-4). Used for commitment digests,
+// signature challenges, and DRBG seeding; keeps the library dependency-free
+// beyond GMP.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dkg::crypto {
+
+class Sha256 {
+ public:
+  Sha256();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& b) { update(b.data(), b.size()); }
+  /// Finalizes and returns the 32-byte digest; the object must not be
+  /// updated afterwards.
+  Bytes finish();
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> h_;
+  std::uint64_t total_ = 0;
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+};
+
+/// One-shot digest.
+Bytes sha256(const Bytes& data);
+
+/// Digest of the concatenation of several byte strings, each length-framed
+/// so the combined encoding is injective.
+Bytes sha256_framed(std::initializer_list<const Bytes*> parts);
+
+}  // namespace dkg::crypto

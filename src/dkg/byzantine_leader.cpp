@@ -1,0 +1,31 @@
+#include "dkg/byzantine_leader.hpp"
+
+namespace dkg::core {
+
+void ByzantineLeaderNode::send_proposal(sim::Context& ctx) {
+  switch (fault_) {
+    case LeaderFault::Mute:
+      return;
+    case LeaderFault::BogusProof: {
+      // A plausible Q with no/garbage proofs.
+      NodeSet q;
+      for (sim::NodeId d = 1; d <= params_.t() + 1; ++d) q.push_back(d);
+      auto msg = std::make_shared<DkgSendMsg>(params_.tau, view(), q);
+      for (sim::NodeId j = 1; j <= params_.n(); ++j) ctx.send(j, msg);
+      return;
+    }
+    case LeaderFault::Equivocate: {
+      // Two overlapping-but-different proposals, each with a forged empty
+      // proof set; echo quorum intersection must prevent dual agreement.
+      NodeSet q1, q2;
+      for (sim::NodeId d = 1; d <= params_.t() + 1; ++d) q1.push_back(d);
+      for (sim::NodeId d = 2; d <= params_.t() + 2; ++d) q2.push_back(d);
+      auto m1 = std::make_shared<DkgSendMsg>(params_.tau, view(), q1);
+      auto m2 = std::make_shared<DkgSendMsg>(params_.tau, view(), q2);
+      for (sim::NodeId j = 1; j <= params_.n(); ++j) ctx.send(j, (j % 2 == 0) ? m1 : m2);
+      return;
+    }
+  }
+}
+
+}  // namespace dkg::core

@@ -1,0 +1,33 @@
+// Faulty-leader behaviours for exercising the pessimistic phase (Fig 3).
+// Each variant participates honestly in the VSS layer (the hardest case for
+// detection) but corrupts exactly the leader duty.
+#pragma once
+
+#include "dkg/dkg_node.hpp"
+
+namespace dkg::core {
+
+enum class LeaderFault {
+  /// Never sends a proposal: liveness must come from timeouts + lead-ch.
+  Mute,
+  /// Sends a proposal with garbage proofs: receivers must reject it and
+  /// request a leader change immediately.
+  BogusProof,
+  /// Sends different (valid-looking) Q sets to different nodes; agreement
+  /// must still converge on at most one Q.
+  Equivocate,
+};
+
+class ByzantineLeaderNode : public DkgNode {
+ public:
+  ByzantineLeaderNode(DkgParams params, sim::NodeId self, LeaderFault fault)
+      : DkgNode(params, self), fault_(fault) {}
+
+ protected:
+  void send_proposal(sim::Context& ctx) override;
+
+ private:
+  LeaderFault fault_;
+};
+
+}  // namespace dkg::core

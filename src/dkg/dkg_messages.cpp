@@ -1,0 +1,61 @@
+#include "dkg/dkg_messages.hpp"
+
+namespace dkg::core {
+
+namespace {
+void put_dealer_proofs(Writer& w, const DealerProofMap& proofs) {
+  w.u32(static_cast<std::uint32_t>(proofs.size()));
+  for (const auto& [dealer, proof] : proofs) proof.serialize(w);
+}
+
+void put_signer_sigs(Writer& w, const std::vector<SignerSig>& sigs) {
+  w.u32(static_cast<std::uint32_t>(sigs.size()));
+  for (const SignerSig& s : sigs) {
+    w.u32(s.signer);
+    w.raw(s.sig.to_bytes());
+  }
+}
+}  // namespace
+
+void DkgStartOp::serialize(Writer& w) const {
+  w.u32(tau);
+  if (secret) w.raw(secret->to_bytes());
+}
+
+void DkgRecoverOp::serialize(Writer& w) const { w.u32(tau); }
+
+void DkgSendMsg::serialize(Writer& w) const {
+  w.u32(tau);
+  w.u64(view);
+  w.raw(node_set_bytes(q));
+  put_dealer_proofs(w, dealer_proofs);
+  proposal_proof.serialize(w);
+  put_signer_sigs(w, lead_ch_proof);
+}
+
+void DkgEchoMsg::serialize(Writer& w) const {
+  w.u32(tau);
+  w.u64(view);
+  w.raw(node_set_bytes(q));
+  w.raw(sig.to_bytes());
+}
+
+void DkgReadyMsg::serialize(Writer& w) const {
+  w.u32(tau);
+  w.u64(view);
+  w.raw(node_set_bytes(q));
+  w.raw(sig.to_bytes());
+}
+
+void LeadChMsg::serialize(Writer& w) const {
+  w.u32(tau);
+  w.u64(target_view);
+  w.raw(node_set_bytes(q));
+  put_dealer_proofs(w, dealer_proofs);
+  proposal_proof.serialize(w);
+  w.raw(sig.to_bytes());
+}
+
+void DkgHelpMsg::serialize(Writer& w) const { w.u32(tau); }
+
+}  // namespace dkg::core

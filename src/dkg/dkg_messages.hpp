@@ -1,0 +1,94 @@
+// Message vocabulary of the DKG protocol (paper §4, Fig 2 and Fig 3).
+#pragma once
+
+#include <optional>
+
+#include "dkg/proofs.hpp"
+#include "sim/message.hpp"
+
+namespace dkg::core {
+
+struct DkgMessage : sim::Message {
+  std::uint32_t tau;
+  explicit DkgMessage(std::uint32_t t) : tau(t) {}
+};
+
+/// Operator message: start the DKG — contribute a sharing of `secret`
+/// (random if absent) and run the agreement.
+struct DkgStartOp : DkgMessage {
+  std::optional<crypto::Scalar> secret;
+  DkgStartOp(std::uint32_t t, std::optional<crypto::Scalar> s)
+      : DkgMessage(t), secret(std::move(s)) {}
+  std::string type() const override { return "dkg.in.start"; }
+  void serialize(Writer& w) const override;
+};
+
+/// Operator message: (L, tau, in, recover).
+struct DkgRecoverOp : DkgMessage {
+  using DkgMessage::DkgMessage;
+  std::string type() const override { return "dkg.in.recover"; }
+  void serialize(Writer& w) const override;
+};
+
+/// Leader proposal (L, tau, send, Q, R/M). Carries exactly one of:
+///  * dealer_proofs (the paper's R-hat) for a fresh proposal Q-hat, or
+///  * proposal_proof (the paper's M) when re-proposing an agreed Q.
+/// After a leader change the new leader attaches lead_ch_proof — n-t-f
+/// signed lead-ch requests proving its legitimacy.
+struct DkgSendMsg : DkgMessage {
+  std::uint64_t view;
+  NodeSet q;
+  DealerProofMap dealer_proofs;
+  ProposalProof proposal_proof;
+  std::vector<SignerSig> lead_ch_proof;
+
+  DkgSendMsg(std::uint32_t t, std::uint64_t v, NodeSet qq)
+      : DkgMessage(t), view(v), q(std::move(qq)) {}
+  std::string type() const override { return "dkg.send"; }
+  void serialize(Writer& w) const override;
+};
+
+/// (L, tau, echo, Q)_sign.
+struct DkgEchoMsg : DkgMessage {
+  std::uint64_t view;
+  NodeSet q;
+  crypto::Signature sig;
+  DkgEchoMsg(std::uint32_t t, std::uint64_t v, NodeSet qq, crypto::Signature s)
+      : DkgMessage(t), view(v), q(std::move(qq)), sig(std::move(s)) {}
+  std::string type() const override { return "dkg.echo"; }
+  void serialize(Writer& w) const override;
+};
+
+/// (L, tau, ready, Q)_sign.
+struct DkgReadyMsg : DkgMessage {
+  std::uint64_t view;
+  NodeSet q;
+  crypto::Signature sig;
+  DkgReadyMsg(std::uint32_t t, std::uint64_t v, NodeSet qq, crypto::Signature s)
+      : DkgMessage(t), view(v), q(std::move(qq)), sig(std::move(s)) {}
+  std::string type() const override { return "dkg.ready"; }
+  void serialize(Writer& w) const override;
+};
+
+/// (tau, lead-ch, L-bar, Q, R/M)_sign: request to move to `target_view`.
+struct LeadChMsg : DkgMessage {
+  std::uint64_t target_view;
+  NodeSet q;
+  DealerProofMap dealer_proofs;   // if the sender had no agreed Q (R-hat case)
+  ProposalProof proposal_proof;   // if it had (M case)
+  crypto::Signature sig;          // over lead_ch_payload(tau, target_view)
+
+  LeadChMsg(std::uint32_t t, std::uint64_t v, crypto::Signature s)
+      : DkgMessage(t), target_view(v), sig(std::move(s)) {}
+  std::string type() const override { return "dkg.lead-ch"; }
+  void serialize(Writer& w) const override;
+};
+
+/// DKG-layer help request (recovery replay of B_{L,tau}).
+struct DkgHelpMsg : DkgMessage {
+  using DkgMessage::DkgMessage;
+  std::string type() const override { return "dkg.help"; }
+  void serialize(Writer& w) const override;
+};
+
+}  // namespace dkg::core

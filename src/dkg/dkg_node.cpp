@@ -1,0 +1,406 @@
+#include "dkg/dkg_node.hpp"
+
+#include <algorithm>
+
+namespace dkg::core {
+
+using crypto::FeldmanMatrix;
+using crypto::Scalar;
+
+DkgNode::DkgNode(DkgParams params, sim::NodeId self)
+    : params_(params), self_(self), buffer_(params.n() + 1) {
+  params_.vss.sign_ready = true;  // extended-HybridVSS is mandatory inside DKG
+  if (!params_.vss.keyring) throw std::invalid_argument("DkgNode: keyring required");
+  if (!params_.vss.resilient()) throw std::invalid_argument("DkgNode: n < 3t + 2f + 1");
+}
+
+sim::Time DkgNode::timeout_for_view(std::uint64_t view) const {
+  // delay(t) growing with t (§2.1): exponential per view, capped.
+  std::uint64_t shift = std::min<std::uint64_t>(view - 1, 10);
+  return params_.timeout_base << shift;
+}
+
+void DkgNode::send_buffered(sim::Context& ctx, sim::NodeId to, sim::MessagePtr msg) {
+  buffer_.at(to).push_back(msg);
+  ctx.send(to, std::move(msg));
+}
+
+vss::VssInstance& DkgNode::vss_instance(sim::NodeId dealer) {
+  auto it = vss_.find(dealer);
+  if (it == vss_.end()) {
+    vss::SessionId sid{dealer, params_.tau};
+    it = vss_.emplace(dealer, vss::VssInstance(params_.vss, sid, self_)).first;
+    it->second.set_on_shared(
+        [this](sim::Context& cctx, const vss::SharedOutput& out) { on_vss_shared(cctx, out); });
+  }
+  return it->second;
+}
+
+void DkgNode::init_vss(sim::Context&) {
+  for (sim::NodeId d = 1; d <= params_.n(); ++d) vss_instance(d);
+}
+
+void DkgNode::start(sim::Context& ctx, const std::optional<Scalar>& secret) {
+  if (started_) return;
+  started_ = true;
+  init_vss(ctx);
+  Scalar s = secret ? *secret : Scalar::random(*params_.vss.grp, ctx.rng());
+  vss_instance(self_).deal(ctx, s);
+}
+
+void DkgNode::start_with_polynomial(sim::Context& ctx, const crypto::BiPolynomial& f) {
+  if (started_) return;
+  started_ = true;
+  init_vss(ctx);
+  vss_instance(self_).deal_polynomial(ctx, f);
+}
+
+void DkgNode::on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) {
+  if (from == sim::kOperator) {
+    if (const auto* m = dynamic_cast<const DkgStartOp*>(msg.get()); m && m->tau == params_.tau) {
+      start(ctx, m->secret);
+    } else if (const auto* r = dynamic_cast<const DkgRecoverOp*>(msg.get());
+               r && r->tau == params_.tau) {
+      on_recover(ctx);
+    }
+    return;
+  }
+  if (const auto* vm = dynamic_cast<const vss::VssMessage*>(msg.get())) {
+    if (vm->sid.tau == params_.tau && vm->sid.dealer >= 1 && vm->sid.dealer <= params_.n()) {
+      vss_instance(vm->sid.dealer).handle(ctx, from, *msg);
+    }
+    return;
+  }
+  const auto* dm = dynamic_cast<const DkgMessage*>(msg.get());
+  if (dm == nullptr || dm->tau != params_.tau) return;
+  if (const auto* m = dynamic_cast<const DkgSendMsg*>(dm)) {
+    on_send(ctx, from, *m);
+  } else if (const auto* m = dynamic_cast<const DkgEchoMsg*>(dm)) {
+    on_echo(ctx, from, *m);
+  } else if (const auto* m = dynamic_cast<const DkgReadyMsg*>(dm)) {
+    on_ready(ctx, from, *m);
+  } else if (const auto* m = dynamic_cast<const LeadChMsg*>(dm)) {
+    on_lead_ch(ctx, from, *m);
+  } else if (dynamic_cast<const DkgHelpMsg*>(dm) != nullptr) {
+    on_help(ctx, from);
+  }
+}
+
+void DkgNode::on_vss_shared(sim::Context& ctx, const vss::SharedOutput& out) {
+  sim::NodeId dealer = out.sid.dealer;
+  if (vss_outputs_.count(dealer) != 0) return;
+  vss_outputs_.emplace(dealer, out);
+  if (std::find(q_hat_.begin(), q_hat_.end(), dealer) == q_hat_.end()) {
+    q_hat_.push_back(dealer);
+    normalize(q_hat_);
+    r_hat_[dealer] = DealerProof{dealer, out.commitment->digest(), out.ready_proof};
+  }
+  maybe_act_on_quorum(ctx);
+  try_finalize(ctx);
+}
+
+void DkgNode::maybe_act_on_quorum(sim::Context& ctx) {
+  // Fig 2: "if |Q-hat| = t+1 and Q = empty" (t+1 generalized to q_size).
+  if (acted_on_quorum_ || q_hat_.size() < params_.q_size() || !q_bar_.empty()) return;
+  acted_on_quorum_ = true;
+  if (leader_is_self()) {
+    send_proposal(ctx);
+  } else {
+    ctx.start_timer(kProposalTimer, timeout_for_view(view_));
+  }
+}
+
+void DkgNode::send_proposal(sim::Context& ctx) {
+  NodeSet q;
+  auto msg = [&]() -> std::shared_ptr<DkgSendMsg> {
+    if (!q_bar_.empty()) {
+      auto m = std::make_shared<DkgSendMsg>(params_.tau, view_, q_bar_);
+      m->proposal_proof = m_bar_;
+      return m;
+    }
+    q.assign(q_hat_.begin(),
+             q_hat_.begin() + static_cast<std::ptrdiff_t>(
+                                  std::min(q_hat_.size(), params_.q_size())));
+    auto m = std::make_shared<DkgSendMsg>(params_.tau, view_, q);
+    for (sim::NodeId d : q) m->dealer_proofs[d] = r_hat_.at(d);
+    return m;
+  }();
+  msg->lead_ch_proof = my_lead_ch_proof_;
+  for (sim::NodeId j = 1; j <= params_.n(); ++j) send_buffered(ctx, j, msg);
+}
+
+void DkgNode::on_send(sim::Context& ctx, sim::NodeId from, const DkgSendMsg& m) {
+  if (output_ || m.view < view_) return;
+  if (from != leader_of_view(m.view, params_.n())) return;
+  if (!seen_send_views_.insert(m.view).second) return;  // first time per view
+
+  const crypto::Keyring& ring = *params_.vss.keyring;
+  // A leader for a later view must prove its legitimacy with n-t-f signed
+  // lead-ch requests (Fig 3).
+  if (m.view > view_) {
+    if (!verify_lead_ch_proof(ring, params_.tau, m.view, m.lead_ch_proof,
+                              params_.ready_quorum())) {
+      ++rejected_;
+      return;
+    }
+    enter_view(ctx, m.view);
+    ctx.start_timer(kProposalTimer, timeout_for_view(view_));
+  }
+
+  // verify-signature(Q, R/M).
+  bool valid = m.q.size() == params_.q_size();
+  if (valid) {
+    if (!m.proposal_proof.empty()) {
+      valid = verify_proposal_proof(ring, params_.tau, m.proposal_proof, m.q,
+                                    params_.echo_quorum(), params_.t() + 1);
+    } else {
+      for (sim::NodeId d : m.q) {
+        auto it = m.dealer_proofs.find(d);
+        if (it == m.dealer_proofs.end() ||
+            !verify_dealer_proof(ring, params_.tau, it->second, params_.ready_quorum())) {
+          valid = false;
+          break;
+        }
+      }
+    }
+  }
+  if (!valid) {
+    ++rejected_;
+    // Faulty leader: ask for a change (Fig 2 "receives an invalid message").
+    if (!lcflag_) send_lead_ch(ctx, view_ + 1);
+    return;
+  }
+  // "if Q = empty or Q = Q": echo unless already bound to a different set.
+  if (!q_bar_.empty() && !(q_bar_ == m.q)) return;
+  crypto::Signature sig =
+      ring.sign_as(self_, dkg_echo_payload(params_.tau, m.view, m.q));
+  auto echo = std::make_shared<DkgEchoMsg>(params_.tau, m.view, m.q, std::move(sig));
+  for (sim::NodeId j = 1; j <= params_.n(); ++j) send_buffered(ctx, j, echo);
+}
+
+void DkgNode::adopt_certificate(const NodeSet& q, const ProposalProof& proof) {
+  if (!m_bar_.empty() && m_bar_.view > proof.view) return;  // keep highest view
+  q_bar_ = q;
+  m_bar_ = proof;
+}
+
+void DkgNode::on_echo(sim::Context& ctx, sim::NodeId from, const DkgEchoMsg& m) {
+  if (output_ || m.view < view_) return;
+  if (!seen_echo_[m.view].insert(from).second) return;
+  const crypto::Keyring& ring = *params_.vss.keyring;
+  if (!ring.verify_from(from, dkg_echo_payload(params_.tau, m.view, m.q), m.sig)) {
+    ++rejected_;
+    return;
+  }
+  auto key = std::make_pair(m.view, node_set_bytes(m.q));
+  Tally& tally = tallies_[key];
+  tally_sets_[key] = m.q;
+  tally.echo_signers.insert(from);
+  tally.echo_sigs.push_back(SignerSig{from, m.sig});
+  if (tally.echo_signers.size() == params_.echo_quorum() &&
+      tally.ready_signers.size() < params_.t() + 1 && !sent_ready_) {
+    sent_ready_ = true;
+    ProposalProof proof;
+    proof.kind = ProposalProof::Kind::Echo;
+    proof.view = m.view;
+    proof.q = m.q;
+    proof.sigs = tally.echo_sigs;
+    adopt_certificate(m.q, proof);
+    crypto::Signature sig = ring.sign_as(self_, dkg_ready_payload(params_.tau, m.view, m.q));
+    auto ready = std::make_shared<DkgReadyMsg>(params_.tau, m.view, m.q, std::move(sig));
+    for (sim::NodeId j = 1; j <= params_.n(); ++j) send_buffered(ctx, j, ready);
+  }
+}
+
+void DkgNode::on_ready(sim::Context& ctx, sim::NodeId from, const DkgReadyMsg& m) {
+  if (output_ || m.view < view_) return;
+  if (!seen_ready_[m.view].insert(from).second) return;
+  const crypto::Keyring& ring = *params_.vss.keyring;
+  if (!ring.verify_from(from, dkg_ready_payload(params_.tau, m.view, m.q), m.sig)) {
+    ++rejected_;
+    return;
+  }
+  auto key = std::make_pair(m.view, node_set_bytes(m.q));
+  Tally& tally = tallies_[key];
+  tally_sets_[key] = m.q;
+  tally.ready_signers.insert(from);
+  tally.ready_sigs.push_back(SignerSig{from, m.sig});
+  if (tally.ready_signers.size() == params_.t() + 1 &&
+      tally.echo_signers.size() < params_.echo_quorum() && !sent_ready_) {
+    // Ready amplification (Fig 2).
+    sent_ready_ = true;
+    ProposalProof proof;
+    proof.kind = ProposalProof::Kind::Ready;
+    proof.view = m.view;
+    proof.q = m.q;
+    proof.sigs = tally.ready_sigs;
+    adopt_certificate(m.q, proof);
+    crypto::Signature sig = ring.sign_as(self_, dkg_ready_payload(params_.tau, m.view, m.q));
+    auto ready = std::make_shared<DkgReadyMsg>(params_.tau, m.view, m.q, std::move(sig));
+    for (sim::NodeId j = 1; j <= params_.n(); ++j) send_buffered(ctx, j, ready);
+  } else if (tally.ready_signers.size() == params_.ready_quorum()) {
+    ctx.stop_timer(kProposalTimer);
+    decided_view_ = m.view;
+    decide(ctx, m.q);
+  }
+}
+
+void DkgNode::decide(sim::Context& ctx, const NodeSet& q) {
+  if (decided_) return;
+  decided_ = q;
+  try_finalize(ctx);
+}
+
+void DkgNode::try_finalize(sim::Context& ctx) {
+  if (!decided_ || output_) return;
+  for (sim::NodeId d : *decided_) {
+    if (vss_outputs_.count(d) == 0) return;  // wait for shared outputs (Fig 2)
+  }
+  DkgOutput out = combine(ctx, *decided_);
+  out.tau = params_.tau;
+  out.view = decided_view_ == 0 ? view_ : decided_view_;
+  out.q = *decided_;
+  output_ = std::move(out);
+  ctx.stop_timer(kProposalTimer);
+}
+
+DkgOutput DkgNode::combine(sim::Context&, const NodeSet& q) {
+  const crypto::Group& grp = *params_.vss.grp;
+  Scalar share = Scalar::zero(grp);
+  FeldmanMatrix commitment = FeldmanMatrix::identity(grp, params_.t());
+  for (sim::NodeId d : q) {
+    const vss::SharedOutput& out = vss_outputs_.at(d);
+    share += out.share;
+    commitment = commitment * (*out.commitment);
+  }
+  DkgOutput out;
+  out.share = std::move(share);
+  out.public_key = commitment.c00();
+  out.share_vec = commitment.share_vector();
+  out.commitment = std::make_shared<const FeldmanMatrix>(std::move(commitment));
+  return out;
+}
+
+void DkgNode::on_timer(sim::Context& ctx, sim::TimerId id) {
+  if (id != kProposalTimer || output_) return;
+  // Timeout: request a leader change (Fig 2 "upon timeout"), escalating to
+  // ever-higher views if changes themselves stall.
+  std::uint64_t target = view_ + 1;
+  while (lead_ch_.count(target) != 0 && lead_ch_.at(target).count(self_) != 0) ++target;
+  send_lead_ch(ctx, target);
+  ctx.start_timer(kProposalTimer, timeout_for_view(target));
+}
+
+void DkgNode::send_lead_ch(sim::Context& ctx, std::uint64_t target_view) {
+  lcflag_ = true;
+  const crypto::Keyring& ring = *params_.vss.keyring;
+  crypto::Signature sig = ring.sign_as(self_, lead_ch_payload(params_.tau, target_view));
+  auto msg = std::make_shared<LeadChMsg>(params_.tau, target_view, std::move(sig));
+  if (!q_bar_.empty()) {
+    msg->q = q_bar_;
+    msg->proposal_proof = m_bar_;
+  } else {
+    msg->q = q_hat_;
+    msg->dealer_proofs = r_hat_;
+  }
+  for (sim::NodeId j = 1; j <= params_.n(); ++j) send_buffered(ctx, j, msg);
+}
+
+void DkgNode::on_lead_ch(sim::Context& ctx, sim::NodeId from, const LeadChMsg& m) {
+  if (output_ || m.target_view <= view_) return;
+  const crypto::Keyring& ring = *params_.vss.keyring;
+  if (!ring.verify_from(from, lead_ch_payload(params_.tau, m.target_view), m.sig)) {
+    ++rejected_;
+    return;
+  }
+  auto& signers = lead_ch_[m.target_view];
+  if (signers.count(from) != 0) return;  // first time per (view, sender)
+  signers.emplace(from, m.sig);
+
+  // Merge the sender's evidence (Fig 3: "if R/M = R then Q-hat <- Q ...").
+  if (!m.proposal_proof.empty()) {
+    if (verify_proposal_proof(ring, params_.tau, m.proposal_proof, m.q, params_.echo_quorum(),
+                              params_.t() + 1)) {
+      adopt_certificate(m.q, m.proposal_proof);
+    } else {
+      ++rejected_;
+    }
+  } else {
+    for (const auto& [dealer, proof] : m.dealer_proofs) {
+      if (r_hat_.count(dealer) != 0) continue;
+      if (verify_dealer_proof(ring, params_.tau, proof, params_.ready_quorum())) {
+        q_hat_.push_back(dealer);
+        normalize(q_hat_);
+        r_hat_[dealer] = proof;
+      } else {
+        ++rejected_;
+      }
+    }
+  }
+
+  // "if sum lc_L = t+1 and lcflag = false": join the change for the
+  // smallest requested view.
+  if (!lcflag_) {
+    std::size_t total = 0;
+    std::uint64_t smallest = 0;
+    for (const auto& [view, sgs] : lead_ch_) {
+      if (view <= view_) continue;
+      total += sgs.size();
+      if (smallest == 0) smallest = view;
+    }
+    if (total >= params_.t() + 1) send_lead_ch(ctx, smallest);
+  }
+
+  // "else if lc_L = n-t-f": install the new leader.
+  auto it = lead_ch_.find(m.target_view);
+  if (it != lead_ch_.end() && it->second.size() >= params_.ready_quorum()) {
+    std::vector<SignerSig> proof;
+    proof.reserve(it->second.size());
+    for (const auto& [signer, sg] : it->second) proof.push_back(SignerSig{signer, sg});
+    enter_view(ctx, m.target_view);
+    my_lead_ch_proof_ = std::move(proof);
+    if (leader_is_self()) {
+      send_proposal(ctx);
+    } else {
+      ctx.start_timer(kProposalTimer, timeout_for_view(view_));
+    }
+  }
+}
+
+void DkgNode::enter_view(sim::Context& ctx, std::uint64_t new_view) {
+  view_ = new_view;
+  lcflag_ = false;
+  sent_ready_ = false;
+  ctx.stop_timer(kProposalTimer);
+  for (auto it = lead_ch_.begin(); it != lead_ch_.end();) {
+    it = it->first <= view_ ? lead_ch_.erase(it) : ++it;
+  }
+}
+
+void DkgNode::on_help(sim::Context& ctx, sim::NodeId from) {
+  std::uint64_t& cl = help_per_node_[from];
+  if (cl > params_.vss.d_kappa ||
+      help_total_ > (params_.t() + 1) * params_.vss.d_kappa) {
+    return;
+  }
+  cl += 1;
+  help_total_ += 1;
+  for (const sim::MessagePtr& m : buffer_.at(from)) ctx.send(from, m);
+}
+
+void DkgNode::on_recover(sim::Context& ctx) {
+  if (!started_) return;
+  for (sim::NodeId j = 1; j <= params_.n(); ++j) {
+    ctx.send(j, std::make_shared<DkgHelpMsg>(params_.tau));
+  }
+  for (sim::NodeId j = 1; j <= params_.n(); ++j) {
+    for (const sim::MessagePtr& m : buffer_.at(j)) ctx.send(j, m);
+  }
+  for (auto& [dealer, inst] : vss_) inst.recover(ctx);
+  // Re-arm the liveness timer if agreement is still pending.
+  if (acted_on_quorum_ && !output_ && !leader_is_self()) {
+    ctx.start_timer(kProposalTimer, timeout_for_view(view_));
+  }
+}
+
+}  // namespace dkg::core

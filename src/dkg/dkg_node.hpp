@@ -1,0 +1,165 @@
+// The DKG protocol node (paper §4): n parallel extended-HybridVSS sharings
+// plus a leader-based reliable broadcast that agrees on a set Q of t+1
+// finished sharings, with a PBFT-style leader change for liveness.
+//
+// Optimistic phase (Fig 2):
+//   * every node deals a random secret via extended HybridVSS (signed readys);
+//   * once t+1 sharings complete locally (set Q-hat with proofs R-hat), the
+//     leader broadcasts (send, Q-hat, R-hat); others start a timeout timer;
+//   * the proposal is agreed via signed echo (quorum ceil((n+t+1)/2)) and
+//     ready (t+1 amplification, completion at n-t-f);
+//   * on completion each node waits for the sharings in Q and outputs
+//     s_i = sum_{d in Q} s_{i,d} with C = prod C_d.
+//
+// Pessimistic phase (Fig 3):
+//   * timeout or invalid leader message -> signed lead-ch for the next view;
+//   * t+1 lead-ch for higher views -> join (for the smallest such view);
+//   * n-t-f lead-ch for view v-bar -> v-bar's leader takes over, proving
+//     legitimacy with the lead-ch signatures, and re-proposes the
+//     highest-view certified Q it knows (or its Q-hat/R-hat).
+#pragma once
+
+#include <optional>
+
+#include "dkg/dkg_messages.hpp"
+#include "vss/hybridvss.hpp"
+
+namespace dkg::core {
+
+struct DkgParams {
+  vss::VssParams vss;  // group, n, t, f, d_kappa, mode; sign_ready forced on
+  /// Base timeout (the paper's delay(t)); doubles per view change, capped.
+  sim::Time timeout_base = 5'000;
+  std::uint32_t tau = 1;
+  /// Size of the agreed dealer set Q. 0 = the default t+1. Share renewal
+  /// with a *decreasing* threshold (§6.4) sets this to t_old + 1: the
+  /// Lagrange combination at 0 must interpolate the old, higher-degree
+  /// polynomial even though the resharings use the new degree.
+  std::size_t q_size_override = 0;
+
+  std::size_t n() const { return vss.n; }
+  std::size_t t() const { return vss.t; }
+  std::size_t f() const { return vss.f; }
+  std::size_t q_size() const { return q_size_override != 0 ? q_size_override : vss.t + 1; }
+  std::size_t echo_quorum() const { return vss.echo_quorum(); }
+  std::size_t ready_quorum() const { return vss.ready_quorum(); }
+};
+
+/// (L-bar, tau, DKG-completed, C, s_i).
+struct DkgOutput {
+  std::uint32_t tau = 0;
+  std::uint64_t view = 0;  // view under which agreement completed
+  NodeSet q;               // agreed set of dealers
+  std::shared_ptr<const crypto::FeldmanMatrix> commitment;  // prod_{d in Q} C_d (null post-renewal)
+  /// Long-term verification vector V for the share set: g^{s_i} =
+  /// prod_l V_l^{i^l}. Row 0 of the matrix after DKG; the Lagrange
+  /// combination after share renewal (§5.2).
+  std::optional<crypto::FeldmanVector> share_vec;
+  crypto::Scalar share;        // sum (DKG) or Lagrange combination (renewal)
+  crypto::Element public_key;  // V_0 = g^s
+};
+
+class DkgNode : public sim::Node {
+ public:
+  DkgNode(DkgParams params, sim::NodeId self);
+
+  void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
+  void on_timer(sim::Context& ctx, sim::TimerId id) override;
+  void on_recover(sim::Context& ctx) override;
+
+  bool has_output() const { return output_.has_value(); }
+  const DkgOutput& output() const { return *output_; }
+  std::uint64_t view() const { return view_; }
+  std::uint64_t rejected() const { return rejected_; }
+  /// The VSS instance this node runs as dealer `d`'s receiver.
+  vss::VssInstance& vss_instance(sim::NodeId dealer);
+
+ protected:
+  /// Issues this leader's (send, Q, R/M) — virtual so Byzantine leader
+  /// variants can override it.
+  virtual void send_proposal(sim::Context& ctx);
+
+  /// Combines the VSS outputs of the agreed set Q into this node's DKG
+  /// output. Base: share summation and entrywise commitment product (Fig 2).
+  /// The proactive layer overrides with Lagrange combination (§5.2); node
+  /// addition additionally emits the subshare message (§6.2).
+  virtual DkgOutput combine(sim::Context& ctx, const NodeSet& q);
+
+  /// Starts participation: instantiate all VSS sessions and deal `secret`
+  /// (random if absent). Protected so subclasses can gate it (§5.1 clock
+  /// tick quorum) or deal an existing share instead.
+  void start(sim::Context& ctx, const std::optional<crypto::Scalar>& secret);
+  /// Starts participation dealing an explicit bivariate polynomial (share
+  /// renewal / node addition reshare f with f(0,0) = old share).
+  void start_with_polynomial(sim::Context& ctx, const crypto::BiPolynomial& f);
+  /// Instantiates the n VSS sessions without dealing.
+  void init_vss(sim::Context& ctx);
+  const vss::SharedOutput& vss_output(sim::NodeId dealer) const { return vss_outputs_.at(dealer); }
+  bool is_started() const { return started_; }
+
+  DkgParams params_;
+  sim::NodeId self_;
+
+ private:
+  static constexpr sim::TimerId kProposalTimer = 1;
+  void on_vss_shared(sim::Context& ctx, const vss::SharedOutput& out);
+  void on_send(sim::Context& ctx, sim::NodeId from, const DkgSendMsg& m);
+  void on_echo(sim::Context& ctx, sim::NodeId from, const DkgEchoMsg& m);
+  void on_ready(sim::Context& ctx, sim::NodeId from, const DkgReadyMsg& m);
+  void on_lead_ch(sim::Context& ctx, sim::NodeId from, const LeadChMsg& m);
+  void on_help(sim::Context& ctx, sim::NodeId from);
+
+  void maybe_act_on_quorum(sim::Context& ctx);  // |Q-hat| = t+1 reached
+  void adopt_certificate(const NodeSet& q, const ProposalProof& proof);
+  void send_lead_ch(sim::Context& ctx, std::uint64_t target_view);
+  void enter_view(sim::Context& ctx, std::uint64_t new_view);
+  void decide(sim::Context& ctx, const NodeSet& q);
+  void try_finalize(sim::Context& ctx);
+  sim::Time timeout_for_view(std::uint64_t view) const;
+  void send_buffered(sim::Context& ctx, sim::NodeId to, sim::MessagePtr msg);
+  bool leader_is_self() const { return leader_of_view(view_, params_.n()) == self_; }
+
+  // Per-(view, Q) echo/ready bookkeeping.
+  struct Tally {
+    std::set<sim::NodeId> echo_signers;
+    std::set<sim::NodeId> ready_signers;
+    std::vector<SignerSig> echo_sigs;
+    std::vector<SignerSig> ready_sigs;
+  };
+  std::map<std::pair<std::uint64_t, Bytes>, Tally> tallies_;
+  std::map<std::pair<std::uint64_t, Bytes>, NodeSet> tally_sets_;
+
+  // VSS layer.
+  std::map<sim::NodeId, vss::VssInstance> vss_;
+  std::map<sim::NodeId, vss::SharedOutput> vss_outputs_;
+
+  // Optimistic-phase state.
+  NodeSet q_hat_;                 // Q-hat: locally finished dealers
+  DealerProofMap r_hat_;          // R-hat: their ready-signature proofs
+  NodeSet q_bar_;                 // Q: adopted certified set (empty = none)
+  ProposalProof m_bar_;           // M: its certificate
+  bool acted_on_quorum_ = false;  // proposal sent / timer started once
+  bool sent_ready_ = false;       // per current certificate adoption
+  std::optional<NodeSet> decided_;
+  std::uint64_t decided_view_ = 0;
+  std::optional<DkgOutput> output_;
+
+  // Pessimistic-phase state.
+  std::uint64_t view_ = 1;
+  bool lcflag_ = false;
+  std::map<std::uint64_t, std::map<sim::NodeId, crypto::Signature>> lead_ch_;  // view -> signers
+  std::set<std::uint64_t> seen_send_views_;
+  std::map<std::uint64_t, std::set<sim::NodeId>> seen_echo_;   // view -> senders
+  std::map<std::uint64_t, std::set<sim::NodeId>> seen_ready_;  // view -> senders
+  std::vector<SignerSig> my_lead_ch_proof_;  // legitimacy proof if self became leader
+
+  // Recovery (B_{L,tau} buffers and help budget).
+  std::vector<std::vector<sim::MessagePtr>> buffer_;
+  std::uint64_t help_total_ = 0;
+  std::map<sim::NodeId, std::uint64_t> help_per_node_;
+
+  bool started_ = false;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace dkg::core

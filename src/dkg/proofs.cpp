@@ -1,0 +1,116 @@
+#include "dkg/proofs.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace dkg::core {
+
+Bytes node_set_bytes(const NodeSet& q) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(q.size()));
+  for (sim::NodeId id : q) w.u32(id);
+  return w.take();
+}
+
+void normalize(NodeSet& q) {
+  std::sort(q.begin(), q.end());
+  q.erase(std::unique(q.begin(), q.end()), q.end());
+}
+
+sim::NodeId leader_of_view(std::uint64_t view, std::size_t n) {
+  return static_cast<sim::NodeId>((view - 1) % n + 1);
+}
+
+std::size_t DealerProof::wire_size(const crypto::Group& grp) const {
+  return 4 + 4 + commit_digest.size() + sigs.size() * (4 + crypto::signature_bytes(grp));
+}
+
+void DealerProof::serialize(Writer& w) const {
+  w.u32(dealer);
+  w.blob(commit_digest);
+  w.u32(static_cast<std::uint32_t>(sigs.size()));
+  for (const vss::ReadySig& s : sigs) {
+    w.u32(s.signer);
+    w.raw(s.sig.to_bytes());
+  }
+}
+
+bool verify_dealer_proof(const crypto::Keyring& ring, std::uint32_t tau, const DealerProof& proof,
+                         std::size_t quorum) {
+  Bytes payload =
+      vss::ready_sig_payload(vss::SessionId{proof.dealer, tau}, proof.commit_digest);
+  std::set<sim::NodeId> signers;
+  for (const vss::ReadySig& s : proof.sigs) {
+    if (!signers.insert(s.signer).second) continue;
+    if (!ring.verify_from(s.signer, payload, s.sig)) return false;
+  }
+  return signers.size() >= quorum;
+}
+
+void ProposalProof::serialize(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(view);
+  w.raw(node_set_bytes(q));
+  w.u32(static_cast<std::uint32_t>(sigs.size()));
+  for (const SignerSig& s : sigs) {
+    w.u32(s.signer);
+    w.raw(s.sig.to_bytes());
+  }
+}
+
+namespace {
+Bytes tagged_payload(const char* tag, std::uint32_t tau, std::uint64_t view, const NodeSet& q) {
+  Writer w;
+  w.str(tag);
+  w.u32(tau);
+  w.u64(view);
+  w.raw(node_set_bytes(q));
+  return w.take();
+}
+}  // namespace
+
+Bytes dkg_echo_payload(std::uint32_t tau, std::uint64_t view, const NodeSet& q) {
+  return tagged_payload("hybriddkg/dkg/echo", tau, view, q);
+}
+
+Bytes dkg_ready_payload(std::uint32_t tau, std::uint64_t view, const NodeSet& q) {
+  return tagged_payload("hybriddkg/dkg/ready", tau, view, q);
+}
+
+Bytes lead_ch_payload(std::uint32_t tau, std::uint64_t target_view) {
+  Writer w;
+  w.str("hybriddkg/dkg/lead-ch");
+  w.u32(tau);
+  w.u64(target_view);
+  return w.take();
+}
+
+bool verify_proposal_proof(const crypto::Keyring& ring, std::uint32_t tau,
+                           const ProposalProof& proof, const NodeSet& q, std::size_t echo_quorum,
+                           std::size_t t_plus_1) {
+  if (proof.empty() || !(proof.q == q)) return false;
+  Bytes payload = proof.kind == ProposalProof::Kind::Echo
+                      ? dkg_echo_payload(tau, proof.view, q)
+                      : dkg_ready_payload(tau, proof.view, q);
+  std::set<sim::NodeId> signers;
+  for (const SignerSig& s : proof.sigs) {
+    if (!signers.insert(s.signer).second) continue;
+    if (!ring.verify_from(s.signer, payload, s.sig)) return false;
+  }
+  std::size_t need = proof.kind == ProposalProof::Kind::Echo ? echo_quorum : t_plus_1;
+  return signers.size() >= need;
+}
+
+bool verify_lead_ch_proof(const crypto::Keyring& ring, std::uint32_t tau,
+                          std::uint64_t target_view, const std::vector<SignerSig>& sigs,
+                          std::size_t quorum) {
+  Bytes payload = lead_ch_payload(tau, target_view);
+  std::set<sim::NodeId> signers;
+  for (const SignerSig& s : sigs) {
+    if (!signers.insert(s.signer).second) continue;
+    if (!ring.verify_from(s.signer, payload, s.sig)) return false;
+  }
+  return signers.size() >= quorum;
+}
+
+}  // namespace dkg::core

@@ -1,0 +1,84 @@
+// Signed proof sets for the DKG's leader-based agreement (paper §4).
+//
+// Three kinds of third-party-verifiable evidence circulate:
+//  * DealerProof (the paper's R_d / set R-hat): n-t-f signed HybridVSS
+//    `ready` witnesses showing that VSS session (P_d, tau) finished.
+//  * ProposalProof (the paper's set M): ceil((n+t+1)/2) signed DKG echo
+//    messages or t+1 signed DKG ready messages for an agreed set Q,
+//    collected under some view.
+//  * LeadChProof: n-t-f signed lead-ch requests legitimizing a new leader.
+//
+// Leader order: the paper's cyclic permutation pi is realized as increasing
+// view numbers v = 1, 2, ... with leader(v) = ((v-1) mod n) + 1; "leader
+// L-bar > L" becomes "view v-bar > v".
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "crypto/keyring.hpp"
+#include "vss/vss_messages.hpp"
+
+namespace dkg::core {
+
+using NodeSet = std::vector<sim::NodeId>;  // sorted, unique
+
+/// Canonical encoding of a node set.
+Bytes node_set_bytes(const NodeSet& q);
+/// Sorts + dedups in place.
+void normalize(NodeSet& q);
+
+sim::NodeId leader_of_view(std::uint64_t view, std::size_t n);
+
+/// Proof that VSS session (dealer, tau) completed with commitment digest
+/// `commit_digest`: at least n-t-f distinct valid ready signatures.
+struct DealerProof {
+  sim::NodeId dealer = 0;
+  Bytes commit_digest;
+  std::vector<vss::ReadySig> sigs;
+
+  std::size_t wire_size(const crypto::Group& grp) const;
+  void serialize(Writer& w) const;
+};
+
+/// R-hat: per-dealer proofs.
+using DealerProofMap = std::map<sim::NodeId, DealerProof>;
+
+bool verify_dealer_proof(const crypto::Keyring& ring, std::uint32_t tau, const DealerProof& proof,
+                         std::size_t quorum);
+
+/// One signer's signature over a DKG echo/ready/lead-ch payload.
+struct SignerSig {
+  sim::NodeId signer = 0;
+  crypto::Signature sig;
+};
+
+/// The paper's set M.
+struct ProposalProof {
+  enum class Kind { None, Echo, Ready };
+  Kind kind = Kind::None;
+  std::uint64_t view = 0;  // view under which the signatures were collected
+  NodeSet q;
+  std::vector<SignerSig> sigs;
+
+  bool empty() const { return kind == Kind::None; }
+  void serialize(Writer& w) const;
+};
+
+/// Payloads signed by protocol participants.
+Bytes dkg_echo_payload(std::uint32_t tau, std::uint64_t view, const NodeSet& q);
+Bytes dkg_ready_payload(std::uint32_t tau, std::uint64_t view, const NodeSet& q);
+Bytes lead_ch_payload(std::uint32_t tau, std::uint64_t target_view);
+
+/// Verifies a ProposalProof for set q: enough distinct valid signatures of
+/// the right payload. Echo proofs need `echo_quorum`, ready proofs t+1.
+bool verify_proposal_proof(const crypto::Keyring& ring, std::uint32_t tau,
+                           const ProposalProof& proof, const NodeSet& q, std::size_t echo_quorum,
+                           std::size_t t_plus_1);
+
+/// Verifies n-t-f distinct lead-ch signatures for `target_view`.
+bool verify_lead_ch_proof(const crypto::Keyring& ring, std::uint32_t tau,
+                          std::uint64_t target_view, const std::vector<SignerSig>& sigs,
+                          std::size_t quorum);
+
+}  // namespace dkg::core

@@ -1,0 +1,117 @@
+#include "dkg/runner.hpp"
+
+#include <stdexcept>
+
+#include "crypto/lagrange.hpp"
+
+namespace dkg::core {
+
+DkgRunner::DkgRunner(RunnerConfig cfg) : cfg_(cfg) {
+  keyring_ = crypto::Keyring::generate(*cfg_.grp, cfg_.n, cfg_.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  params_.vss.grp = cfg_.grp;
+  params_.vss.n = cfg_.n;
+  params_.vss.t = cfg_.t;
+  params_.vss.f = cfg_.f;
+  params_.vss.d_kappa = cfg_.d_kappa;
+  params_.vss.mode = cfg_.mode;
+  params_.vss.sign_ready = true;
+  params_.vss.keyring = keyring_;
+  params_.tau = cfg_.tau;
+  params_.timeout_base =
+      cfg_.timeout_base != 0 ? cfg_.timeout_base : (cfg_.delay_hi + 1) * 60;
+
+  std::unique_ptr<sim::DelayModel> delay =
+      std::make_unique<sim::UniformDelay>(cfg_.delay_lo, cfg_.delay_hi);
+  if (!cfg_.slow_nodes.empty() && cfg_.slow_penalty > 0) {
+    delay = std::make_unique<sim::AdversarialDelay>(std::move(delay), cfg_.slow_nodes,
+                                                    cfg_.slow_penalty);
+  }
+  sim_ = std::make_unique<sim::Simulator>(cfg_.n, std::move(delay), cfg_.seed);
+  for (sim::NodeId i = 1; i <= cfg_.n; ++i) {
+    sim_->set_node(i, std::make_unique<DkgNode>(params_, i));
+  }
+}
+
+void DkgRunner::replace_node(sim::NodeId id, std::unique_ptr<sim::Node> node) {
+  sim_->set_node(id, std::move(node));
+  byzantine_.insert(id);
+}
+
+void DkgRunner::start_all() {
+  crypto::Drbg stagger = sim_->rng().fork("start-stagger");
+  for (sim::NodeId i = 1; i <= cfg_.n; ++i) {
+    if (byzantine_.count(i) != 0) {
+      // Byzantine nodes get the operator message too; what they do with it
+      // is their business.
+      sim_->post_operator(i, std::make_shared<DkgStartOp>(cfg_.tau, std::nullopt),
+                          stagger.uniform(cfg_.delay_hi + 1));
+      continue;
+    }
+    sim_->post_operator(i, std::make_shared<DkgStartOp>(cfg_.tau, std::nullopt),
+                        stagger.uniform(cfg_.delay_hi + 1));
+  }
+}
+
+std::vector<sim::NodeId> DkgRunner::honest_nodes() const {
+  std::vector<sim::NodeId> out;
+  for (sim::NodeId i = 1; i <= cfg_.n; ++i) {
+    if (byzantine_.count(i) == 0) out.push_back(i);
+  }
+  return out;
+}
+
+DkgNode& DkgRunner::dkg_node(sim::NodeId id) {
+  if (byzantine_.count(id) != 0) throw std::logic_error("DkgRunner: node is adversarial");
+  return dynamic_cast<DkgNode&>(sim_->node(id));
+}
+
+bool DkgRunner::run_to_completion(std::size_t min_outputs) {
+  std::vector<sim::NodeId> honest = honest_nodes();
+  if (min_outputs == 0) min_outputs = honest.size();
+  auto done = [&] {
+    std::size_t count = 0;
+    for (sim::NodeId id : honest) {
+      if (dynamic_cast<DkgNode&>(sim_->node(id)).has_output()) ++count;
+    }
+    return count >= min_outputs;
+  };
+  return sim_->run_until(done);
+}
+
+std::vector<sim::NodeId> DkgRunner::completed_nodes() const {
+  std::vector<sim::NodeId> out;
+  for (sim::NodeId i = 1; i <= cfg_.n; ++i) {
+    if (byzantine_.count(i) != 0) continue;
+    if (dynamic_cast<DkgNode&>(sim_->node(i)).has_output()) out.push_back(i);
+  }
+  return out;
+}
+
+bool DkgRunner::outputs_consistent() const {
+  std::vector<sim::NodeId> done = completed_nodes();
+  if (done.empty()) return false;
+  const DkgOutput& first = dynamic_cast<DkgNode&>(sim_->node(done.front())).output();
+  crypto::FeldmanVector vec = first.commitment->share_vector();
+  for (sim::NodeId id : done) {
+    const DkgOutput& out = dynamic_cast<DkgNode&>(sim_->node(id)).output();
+    if (!(out.q == first.q)) return false;
+    if (out.public_key != first.public_key) return false;
+    if (!(*out.commitment == *first.commitment)) return false;
+    if (!vec.verify_share(id, out.share)) return false;
+  }
+  return true;
+}
+
+crypto::Scalar DkgRunner::reconstruct_secret() const {
+  std::vector<sim::NodeId> done = completed_nodes();
+  if (done.size() < cfg_.t + 1) throw std::logic_error("DkgRunner: not enough outputs");
+  std::vector<std::pair<std::uint64_t, crypto::Scalar>> pts;
+  for (std::size_t k = 0; k <= cfg_.t; ++k) {
+    const DkgOutput& out = dynamic_cast<DkgNode&>(sim_->node(done[k])).output();
+    pts.emplace_back(done[k], out.share);
+  }
+  return crypto::interpolate_at(*cfg_.grp, pts, 0);
+}
+
+}  // namespace dkg::core

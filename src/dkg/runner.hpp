@@ -1,0 +1,78 @@
+// Convenience harness: wires up a simulated network of DkgNodes, injects
+// faults/adversaries, runs to completion and checks the paper's DKG
+// correctness conditions (Definition 4.1). Used by tests, benchmarks and
+// examples so each stays a few lines long.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "dkg/dkg_node.hpp"
+#include "sim/faultplan.hpp"
+#include "sim/simulator.hpp"
+
+namespace dkg::core {
+
+struct RunnerConfig {
+  const crypto::Group* grp = &crypto::Group::tiny256();
+  std::size_t n = 7;
+  std::size_t t = 1;
+  std::size_t f = 1;
+  std::uint64_t seed = 1;
+  std::uint32_t tau = 1;
+  std::uint64_t d_kappa = 8;
+  vss::CommitmentMode mode = vss::CommitmentMode::Full;
+
+  /// Link delays: uniform in [delay_lo, delay_hi] ticks.
+  sim::Time delay_lo = 10;
+  sim::Time delay_hi = 100;
+  /// Extra delay on links touching `slow_nodes` (adversarial links, §2.1).
+  std::set<sim::NodeId> slow_nodes;
+  sim::Time slow_penalty = 0;
+  /// 0 = derive from delay_hi (comfortably above an honest VSS round trip).
+  sim::Time timeout_base = 0;
+};
+
+class DkgRunner {
+ public:
+  explicit DkgRunner(RunnerConfig cfg);
+
+  sim::Simulator& simulator() { return *sim_; }
+  const DkgParams& params() const { return params_; }
+  const std::shared_ptr<const crypto::Keyring>& keyring() const { return keyring_; }
+
+  /// Replaces node `id` with an adversarial implementation (call pre-start).
+  /// The node is excluded from completion checks.
+  void replace_node(sim::NodeId id, std::unique_ptr<sim::Node> node);
+
+  void apply_faults(const sim::FaultPlan& plan) { plan.apply(*sim_); }
+
+  /// Posts DkgStartOp to every honest node (staggered over [0, delay_hi]).
+  void start_all();
+
+  /// Runs until at least `min_outputs` honest nodes produced DKG output
+  /// (default: all honest nodes). Returns false on event-budget exhaustion.
+  bool run_to_completion(std::size_t min_outputs = 0);
+
+  std::vector<sim::NodeId> honest_nodes() const;
+  std::vector<sim::NodeId> completed_nodes() const;
+  DkgNode& dkg_node(sim::NodeId id);
+
+  /// Definition 4.1 checks over completed nodes: identical Q, identical
+  /// public key / commitment, every share valid against the commitment.
+  bool outputs_consistent() const;
+
+  /// Interpolates the group secret from t+1 completed shares (test-only
+  /// operation; in deployment the secret never exists in one place).
+  crypto::Scalar reconstruct_secret() const;
+
+ private:
+  RunnerConfig cfg_;
+  DkgParams params_;
+  std::shared_ptr<const crypto::Keyring> keyring_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::set<sim::NodeId> byzantine_;
+};
+
+}  // namespace dkg::core

@@ -1,0 +1,61 @@
+#include "groupmod/agreement.hpp"
+
+namespace dkg::groupmod {
+
+void GroupModNode::on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) {
+  if (from == sim::kOperator) {
+    if (const auto* op = dynamic_cast<const ProposeOp*>(msg.get())) {
+      auto propose = std::make_shared<GmProposeMsg>(op->proposal);
+      for (sim::NodeId j = 1; j <= params_.n; ++j) ctx.send(j, propose);
+    }
+    return;
+  }
+  const Proposal* p = nullptr;
+  enum { kPropose, kEcho, kReady } kind;
+  if (const auto* m = dynamic_cast<const GmProposeMsg*>(msg.get())) {
+    p = &m->proposal;
+    kind = kPropose;
+  } else if (const auto* m = dynamic_cast<const GmEchoMsg*>(msg.get())) {
+    p = &m->proposal;
+    kind = kEcho;
+  } else if (const auto* m = dynamic_cast<const GmReadyMsg*>(msg.get())) {
+    p = &m->proposal;
+    kind = kReady;
+  } else {
+    return;
+  }
+  Bytes key = p->encode();
+  Tally& tally = tallies_[key];
+  proposals_.emplace(key, *p);
+  switch (kind) {
+    case kPropose:
+      if (!tally.sent_echo && (!policy_ || policy_(*p))) {
+        tally.sent_echo = true;
+        auto echo = std::make_shared<GmEchoMsg>(*p);
+        for (sim::NodeId j = 1; j <= params_.n; ++j) ctx.send(j, echo);
+      }
+      break;
+    case kEcho:
+      tally.echoes.insert(from);
+      break;
+    case kReady:
+      tally.readys.insert(from);
+      break;
+  }
+  maybe_progress(ctx, *p, tally);
+}
+
+void GroupModNode::maybe_progress(sim::Context& ctx, const Proposal& p, Tally& tally) {
+  if (!tally.sent_ready &&
+      (tally.echoes.size() >= params_.echo_quorum() || tally.readys.size() >= params_.t + 1)) {
+    tally.sent_ready = true;
+    auto ready = std::make_shared<GmReadyMsg>(p);
+    for (sim::NodeId j = 1; j <= params_.n; ++j) ctx.send(j, ready);
+  }
+  if (!tally.accepted && tally.readys.size() >= params_.ready_quorum()) {
+    tally.accepted = true;
+    queue_.push_back(p);
+  }
+}
+
+}  // namespace dkg::groupmod

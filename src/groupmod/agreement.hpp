@@ -1,0 +1,94 @@
+// Group-modification agreement (paper §6.1): proposals are disseminated by
+// reliable broadcast (echo at ceil((n+t+1)/2), ready amplification at t+1,
+// acceptance at n-t-f) and appended to each node's modification queue.
+// Commutativity of add/remove proposals means queue *sets* — not orders —
+// must agree across nodes by the phase change.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "groupmod/membership.hpp"
+#include "sim/node.hpp"
+
+namespace dkg::groupmod {
+
+struct GmParams {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  std::size_t f = 0;
+  std::size_t echo_quorum() const { return (n + t + 2) / 2; }
+  std::size_t ready_quorum() const { return n - t - f; }
+};
+
+/// Operator message: this node proposes a modification.
+struct ProposeOp : sim::Message {
+  Proposal proposal;
+  explicit ProposeOp(Proposal p) : proposal(p) {}
+  std::string type() const override { return "gm.in.propose"; }
+  void serialize(Writer& w) const override { w.raw(proposal.encode()); }
+};
+
+struct GmProposeMsg : sim::Message {
+  Proposal proposal;
+  explicit GmProposeMsg(Proposal p) : proposal(p) {}
+  std::string type() const override { return "gm.propose"; }
+  void serialize(Writer& w) const override { w.raw(proposal.encode()); }
+};
+
+struct GmEchoMsg : sim::Message {
+  Proposal proposal;
+  explicit GmEchoMsg(Proposal p) : proposal(p) {}
+  std::string type() const override { return "gm.echo"; }
+  void serialize(Writer& w) const override { w.raw(proposal.encode()); }
+};
+
+struct GmReadyMsg : sim::Message {
+  Proposal proposal;
+  explicit GmReadyMsg(Proposal p) : proposal(p) {}
+  std::string type() const override { return "gm.ready"; }
+  void serialize(Writer& w) const override { w.raw(proposal.encode()); }
+};
+
+/// One participant in the agreement. An application-supplied policy decides
+/// whether this node endorses a proposal (§6.1: "nodes who agree with the
+/// proposal continue with echo messages").
+class GroupModNode : public sim::Node {
+ public:
+  using Policy = std::function<bool(const Proposal&)>;
+
+  GroupModNode(GmParams params, sim::NodeId self, Policy policy = {})
+      : params_(params), self_(self), policy_(std::move(policy)) {}
+
+  void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
+
+  /// Accepted proposals, in acceptance order.
+  const std::vector<Proposal>& queue() const { return queue_; }
+  /// Applies the queue at a phase change.
+  std::pair<Membership, std::vector<Proposal>> apply_at_phase_change(
+      const Membership& current) const {
+    return current.apply_queue(queue_);
+  }
+
+ private:
+  struct Tally {
+    std::set<sim::NodeId> echoes;
+    std::set<sim::NodeId> readys;
+    bool sent_echo = false;
+    bool sent_ready = false;
+    bool accepted = false;
+  };
+
+  void maybe_progress(sim::Context& ctx, const Proposal& p, Tally& tally);
+
+  GmParams params_;
+  sim::NodeId self_;
+  Policy policy_;
+  std::map<Bytes, Tally> tallies_;
+  std::map<Bytes, Proposal> proposals_;
+  std::vector<Proposal> queue_;
+};
+
+}  // namespace dkg::groupmod

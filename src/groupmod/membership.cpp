@@ -1,0 +1,51 @@
+#include "groupmod/membership.hpp"
+
+namespace dkg::groupmod {
+
+Bytes Proposal::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(node);
+  w.u8(static_cast<std::uint8_t>(absorb));
+  w.u32(proposer);
+  return w.take();
+}
+
+std::optional<Membership> Membership::apply(const Proposal& p) const {
+  Membership m = *this;
+  if (p.kind == ModKind::AddNode) {
+    m.n += 1;
+    // Growing the group may raise a resilience parameter; raising is always
+    // legal if the bound still holds.
+    if (p.absorb == Absorb::Threshold) {
+      if (m.n >= 3 * (m.t + 1) + 2 * m.f + 1) m.t += 1;
+    } else {
+      if (m.n >= 3 * m.t + 2 * (m.f + 1) + 1) m.f += 1;
+    }
+  } else {
+    if (m.n == 0 || p.node == 0 || p.node > n) return std::nullopt;
+    m.n -= 1;
+    if (p.absorb == Absorb::Threshold) {
+      if (m.t > 0) m.t -= 1;
+    } else {
+      if (m.f > 0) m.f -= 1;
+    }
+  }
+  if (!m.resilient()) return std::nullopt;
+  return m;
+}
+
+std::pair<Membership, std::vector<Proposal>> Membership::apply_queue(
+    const std::vector<Proposal>& queue) const {
+  Membership cur = *this;
+  std::vector<Proposal> accepted;
+  for (const Proposal& p : queue) {
+    if (auto next = cur.apply(p)) {
+      cur = *next;
+      accepted.push_back(p);
+    }
+  }
+  return {cur, accepted};
+}
+
+}  // namespace dkg::groupmod

@@ -1,0 +1,49 @@
+// Membership bookkeeping for group modification (paper §6): node additions/
+// removals queued during a phase are applied at the phase change, adjusting
+// the security threshold t or the crash limit f as each proposal directs
+// (§6.4: t and f are never modified directly — only via add/remove flags).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace dkg::groupmod {
+
+enum class ModKind : std::uint8_t { AddNode, RemoveNode };
+/// Which resilience parameter absorbs the size change (§6.1).
+enum class Absorb : std::uint8_t { Threshold, CrashLimit };
+
+struct Proposal {
+  ModKind kind = ModKind::AddNode;
+  sim::NodeId node = 0;
+  Absorb absorb = Absorb::Threshold;
+  sim::NodeId proposer = 0;
+
+  Bytes encode() const;
+  bool operator==(const Proposal& o) const {
+    return kind == o.kind && node == o.node && absorb == o.absorb && proposer == o.proposer;
+  }
+  bool operator<(const Proposal& o) const { return encode() < o.encode(); }
+};
+
+struct Membership {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  std::size_t f = 0;
+
+  bool resilient() const { return n >= 3 * t + 2 * f + 1; }
+
+  /// Applies one proposal; returns nullopt if it would break the resilience
+  /// bound n >= 3t + 2f + 1 (an honest node must refuse it, §6.3).
+  std::optional<Membership> apply(const Proposal& p) const;
+
+  /// Applies a whole phase's queue in order, skipping invalid proposals.
+  /// Returns the resulting membership and the accepted subset.
+  std::pair<Membership, std::vector<Proposal>> apply_queue(
+      const std::vector<Proposal>& queue) const;
+};
+
+}  // namespace dkg::groupmod

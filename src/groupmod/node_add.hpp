@@ -1,0 +1,79 @@
+// Node addition without share renewal (paper §6.2): existing nodes reshare
+// their current shares, agree (via the DKG machinery) on a set Q of t+1
+// completed resharings, then each node P_i sends the new node a subshare
+//     s_{i,new} = sum_{d in Q} lambda_d^{Q,new} s_{i,d}
+// with commitment V_l = prod_{d in Q} ((C_d)_{l,0})^{lambda_d^{Q,new}}.
+// The subshares lie on a degree-t polynomial h with h(0) = s_new = F(new),
+// so t+1 of them let the new node interpolate its share — which is exactly
+// the old sharing polynomial evaluated at its index (existing shares are
+// untouched).
+#pragma once
+
+#include "dkg/dkg_node.hpp"
+#include "proactive/renewal.hpp"
+
+namespace dkg::groupmod {
+
+/// Subshare delivery to the joining node.
+struct SubshareMsg : core::DkgMessage {
+  std::shared_ptr<const crypto::FeldmanVector> h_commitment;  // V (commits h)
+  std::shared_ptr<const crypto::FeldmanVector> group_vec;     // V_old (commits F)
+  crypto::Scalar subshare;                                    // h(i)
+  SubshareMsg(std::uint32_t t, std::shared_ptr<const crypto::FeldmanVector> hc,
+              std::shared_ptr<const crypto::FeldmanVector> gv, crypto::Scalar s)
+      : DkgMessage(t), h_commitment(std::move(hc)), group_vec(std::move(gv)),
+        subshare(std::move(s)) {}
+  std::string type() const override { return "gm.subshare"; }
+  void serialize(Writer& w) const override;
+};
+
+/// An existing member during node addition: reshares its current share and,
+/// once Q is agreed and combined, issues the subshare to `new_node`.
+class NodeAddNode : public core::DkgNode {
+ public:
+  NodeAddNode(core::DkgParams params, sim::NodeId self, proactive::ShareState state,
+              sim::NodeId new_node);
+
+  void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
+
+ protected:
+  core::DkgOutput combine(sim::Context& ctx, const core::NodeSet& q) override;
+
+ private:
+  proactive::ShareState state_;
+  sim::NodeId new_node_;
+};
+
+/// The joining node: collects t+1 verified subshares for one consistent
+/// commitment and interpolates its share at index 0.
+class JoiningNode : public sim::Node {
+ public:
+  JoiningNode(const crypto::Group& grp, std::size_t t, sim::NodeId self, std::uint32_t tau)
+      : grp_(&grp), t_(t), self_(self), tau_(tau) {}
+
+  void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
+
+  bool has_share() const { return share_.has_value(); }
+  const crypto::Scalar& share() const { return *share_; }
+  const crypto::FeldmanVector& group_vec() const { return *group_vec_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  const crypto::Group* grp_;
+  std::size_t t_;
+  sim::NodeId self_;
+  std::uint32_t tau_;
+
+  struct Bucket {
+    std::shared_ptr<const crypto::FeldmanVector> h_commitment;
+    std::shared_ptr<const crypto::FeldmanVector> group_vec;
+    std::vector<std::pair<std::uint64_t, crypto::Scalar>> points;
+    std::set<sim::NodeId> senders;
+  };
+  std::map<Bytes, Bucket> buckets_;
+  std::optional<crypto::Scalar> share_;
+  std::shared_ptr<const crypto::FeldmanVector> group_vec_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace dkg::groupmod

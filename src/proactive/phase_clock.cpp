@@ -1,0 +1,16 @@
+#include "proactive/phase_clock.hpp"
+
+#include "proactive/renewal.hpp"
+
+namespace dkg::proactive {
+
+void PhaseClock::schedule_phase(sim::Simulator& sim, std::uint32_t tau, std::size_t n,
+                                sim::Time base_at) {
+  crypto::Drbg skew = sim.rng().fork("phase-clock/" + std::to_string(tau));
+  for (sim::NodeId i = 1; i <= n; ++i) {
+    sim::Time at = base_at + (max_skew_ > 0 ? skew.uniform(max_skew_ + 1) : 0);
+    sim.post_operator(i, std::make_shared<PhaseTickOp>(tau), at);
+  }
+}
+
+}  // namespace dkg::proactive

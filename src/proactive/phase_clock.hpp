@@ -1,0 +1,30 @@
+// Local phase clocks (paper §5.1): each node receives clock ticks at
+// pre-defined intervals; ticks are local (skewed), not a global clock. The
+// PhaseClock schedules PhaseTickOp operator messages into the simulator with
+// bounded per-node skew.
+#pragma once
+
+#include "crypto/drbg.hpp"
+#include "sim/simulator.hpp"
+
+namespace dkg::proactive {
+
+class PhaseClock {
+ public:
+  /// Ticks for phase `tau` land at `base_at + skew`, skew uniform in
+  /// [0, max_skew] per node.
+  PhaseClock(sim::Time phase_interval, sim::Time max_skew)
+      : interval_(phase_interval), max_skew_(max_skew) {}
+
+  /// Schedules the tick for phase `tau` on every node in [1, n].
+  void schedule_phase(sim::Simulator& sim, std::uint32_t tau, std::size_t n,
+                      sim::Time base_at);
+
+  sim::Time interval() const { return interval_; }
+
+ private:
+  sim::Time interval_;
+  sim::Time max_skew_;
+};
+
+}  // namespace dkg::proactive

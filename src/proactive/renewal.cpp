@@ -1,0 +1,86 @@
+#include "proactive/renewal.hpp"
+
+#include "crypto/lagrange.hpp"
+
+namespace dkg::proactive {
+
+using crypto::Element;
+using crypto::FeldmanVector;
+using crypto::Scalar;
+
+RenewalNode::RenewalNode(core::DkgParams params, sim::NodeId self, ShareState old_state)
+    : core::DkgNode([&] {
+        params.vss.erase_row_on_store = true;  // §5.2 erasure rule
+        return params;
+      }(), self),
+      old_state_(std::move(old_state)),
+      old_public_key_(old_state_->commitment.c0()) {}
+
+void RenewalNode::on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) {
+  if (from == sim::kOperator) {
+    if (const auto* tick = dynamic_cast<const PhaseTickOp*>(msg.get());
+        tick && tick->tau == params_.tau) {
+      if (!local_tick_) {
+        local_tick_ = true;
+        // Announce the tick and count it for ourselves.
+        auto announce = std::make_shared<ClockTickMsg>(params_.tau);
+        for (sim::NodeId j = 1; j <= params_.n(); ++j) ctx.send(j, announce);
+      }
+      return;
+    }
+    DkgNode::on_message(ctx, from, msg);
+    return;
+  }
+  if (const auto* tick = dynamic_cast<const ClockTickMsg*>(msg.get())) {
+    if (tick->tau == params_.tau) on_tick(ctx, from);
+    return;
+  }
+  DkgNode::on_message(ctx, from, msg);
+}
+
+void RenewalNode::on_tick(sim::Context& ctx, sim::NodeId from) {
+  tick_senders_.insert(from);
+  // §5.1: proceed only after t+1 nodes (including self via its broadcast)
+  // have started the phase.
+  if (!resharing_started_ && local_tick_ && tick_senders_.size() >= params_.t() + 1) {
+    begin_resharing(ctx);
+  }
+}
+
+void RenewalNode::begin_resharing(sim::Context& ctx) {
+  resharing_started_ = true;
+  init_vss(ctx);
+  // Receivers accept only dealings of each dealer's certified old share:
+  // C_00 must equal g^{s_d} = V_old(d).
+  for (sim::NodeId d = 1; d <= params_.n(); ++d) {
+    vss_instance(d).set_expected_c00(old_state_->commitment.eval_commit(d));
+  }
+  crypto::BiPolynomial f =
+      crypto::BiPolynomial::random(old_state_->share, params_.t(), ctx.rng());
+  // Erase the old share before any resharing message leaves this node — the
+  // paper trades liveness for safety here (no phase overlap).
+  old_state_.reset();
+  start_with_polynomial(ctx, f);
+}
+
+core::DkgOutput RenewalNode::combine(sim::Context&, const core::NodeSet& q) {
+  const crypto::Group& grp = *params_.vss.grp;
+  std::vector<std::uint64_t> xs(q.begin(), q.end());
+  Scalar share = Scalar::zero(grp);
+  std::vector<Element> vec(params_.t() + 1, Element::identity(grp));
+  for (std::size_t k = 0; k < q.size(); ++k) {
+    Scalar lambda = crypto::lagrange_coeff(grp, xs, k, 0);
+    const vss::SharedOutput& out = vss_output(q[k]);
+    share += lambda * out.share;
+    for (std::size_t l = 0; l <= params_.t(); ++l) {
+      vec[l] *= out.commitment->entry(l, 0).pow(lambda);
+    }
+  }
+  core::DkgOutput out;
+  out.share = std::move(share);
+  out.share_vec = FeldmanVector(std::move(vec));
+  out.public_key = out.share_vec->c0();
+  return out;
+}
+
+}  // namespace dkg::proactive

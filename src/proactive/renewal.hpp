@@ -1,0 +1,63 @@
+// Share renewal (paper §5.2): at each phase boundary every node reshares its
+// previous-phase share through extended HybridVSS, the leader-based
+// agreement picks t+1 completed resharings Q, and each node's new share is
+// the Lagrange combination at index 0:
+//     s'_i = sum_{d in Q} lambda_d^{Q,0} s'_{i,d},
+//     V'_l = prod_{d in Q} ((C_d)_{l,0})^{lambda_d^{Q,0}}.
+// New shares interpolate to the same secret but are independent of old ones,
+// so a mobile adversary's t old shares become useless.
+//
+// Phase synchronization (§5.1): a node starts resharing only after observing
+// t+1 clock ticks for the phase (its own included); old-phase material is
+// erased when resharing starts (no phase overlap — safety over liveness).
+#pragma once
+
+#include "dkg/dkg_node.hpp"
+
+namespace dkg::proactive {
+
+/// A node's durable sharing state between phases.
+struct ShareState {
+  crypto::Scalar share;
+  crypto::FeldmanVector commitment;  // V: g^{s_i} = prod V_l^{i^l}
+};
+
+/// Operator message: local clock tick for phase `tau` (§5.1).
+struct PhaseTickOp : core::DkgMessage {
+  using DkgMessage::DkgMessage;
+  std::string type() const override { return "proactive.in.tick"; }
+  void serialize(Writer& w) const override { w.u32(tau); }
+};
+
+/// Broadcast announcement of a local clock tick.
+struct ClockTickMsg : core::DkgMessage {
+  using DkgMessage::DkgMessage;
+  std::string type() const override { return "proactive.tick"; }
+  void serialize(Writer& w) const override { w.u32(tau); }
+};
+
+class RenewalNode : public core::DkgNode {
+ public:
+  /// `params.tau` identifies the new phase; `old_state` is the share held
+  /// from phase tau-1 (the group verification vector must be common).
+  RenewalNode(core::DkgParams params, sim::NodeId self, ShareState old_state);
+
+  void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
+
+  bool resharing_started() const { return resharing_started_; }
+
+ protected:
+  core::DkgOutput combine(sim::Context& ctx, const core::NodeSet& q) override;
+
+ private:
+  void on_tick(sim::Context& ctx, sim::NodeId from);
+  void begin_resharing(sim::Context& ctx);
+
+  std::optional<ShareState> old_state_;  // erased when resharing begins (§5.2)
+  crypto::Element old_public_key_;
+  std::set<sim::NodeId> tick_senders_;
+  bool local_tick_ = false;
+  bool resharing_started_ = false;
+};
+
+}  // namespace dkg::proactive

@@ -1,0 +1,146 @@
+#include "proactive/runner.hpp"
+
+#include <stdexcept>
+
+#include "crypto/lagrange.hpp"
+
+namespace dkg::proactive {
+
+using crypto::Scalar;
+
+ProactiveRunner::ProactiveRunner(core::RunnerConfig cfg)
+    : cfg_(cfg), tau_(cfg.tau), states_(cfg.n + 1, ShareState{
+          Scalar{}, crypto::FeldmanVector({crypto::Element::identity(*cfg.grp)})}) {}
+
+bool ProactiveRunner::run_dkg() {
+  core::DkgRunner runner(cfg_);
+  runner.start_all();
+  if (!runner.run_to_completion()) return false;
+  if (!runner.outputs_consistent()) return false;
+  for (sim::NodeId i = 1; i <= cfg_.n; ++i) {
+    const core::DkgOutput& out = runner.dkg_node(i).output();
+    states_[i] = ShareState{out.share, *out.share_vec};
+    public_key_ = out.public_key;
+  }
+  last_metrics_ = runner.simulator().metrics();
+  return true;
+}
+
+bool ProactiveRunner::set_thresholds(std::size_t new_t, std::size_t new_f) {
+  if (cfg_.n < 3 * new_t + 2 * new_f + 1) return false;
+  pending_q_size_ = std::max(cfg_.t, new_t) + 1;
+  cfg_.t = new_t;
+  cfg_.f = new_f;
+  return true;
+}
+
+bool ProactiveRunner::remove_node(sim::NodeId id) {
+  if (id == 0 || id > cfg_.n || removed_.count(id) != 0) return false;
+  // An honest node refuses a removal invalidating liveness: the remaining
+  // active members must still reach the n - t - f completion quorum.
+  if (cfg_.n - (removed_.size() + 1) < cfg_.n - cfg_.t - cfg_.f) return false;
+  removed_.insert(id);
+  return true;
+}
+
+bool ProactiveRunner::run_renewal(const std::vector<sim::NodeId>& crashed) {
+  tau_ += 1;
+  core::RunnerConfig cfg = cfg_;
+  cfg.tau = tau_;
+  cfg.seed = cfg_.seed + tau_;
+
+  // Build a bespoke simulator (DkgRunner would install plain DkgNodes).
+  auto keyring = crypto::Keyring::generate(*cfg.grp, cfg.n, cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+  core::DkgParams params;
+  params.vss.grp = cfg.grp;
+  params.vss.n = cfg.n;
+  params.vss.t = cfg.t;
+  params.vss.f = cfg.f;
+  params.vss.d_kappa = cfg.d_kappa;
+  params.vss.mode = cfg.mode;
+  params.vss.keyring = keyring;
+  params.tau = tau_;
+  params.timeout_base = cfg.timeout_base != 0 ? cfg.timeout_base : (cfg.delay_hi + 1) * 60;
+  if (pending_q_size_ != 0) {
+    params.q_size_override = pending_q_size_;
+    pending_q_size_ = 0;
+  }
+
+  sim::Simulator sim(cfg.n, std::make_unique<sim::UniformDelay>(cfg.delay_lo, cfg.delay_hi),
+                     cfg.seed);
+  // Removed nodes (§6.3) are simply not included in the renewal: they get
+  // a mute placeholder, receive no clock tick, and end the phase with only
+  // their now-useless old share.
+  struct MuteNode : sim::Node {
+    void on_message(sim::Context&, sim::NodeId, const sim::MessagePtr&) override {}
+  };
+  for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+    if (removed_.count(i) != 0) {
+      sim.set_node(i, std::make_unique<MuteNode>());
+    } else {
+      sim.set_node(i, std::make_unique<RenewalNode>(params, i, states_[i]));
+    }
+  }
+  PhaseClock clock(/*phase_interval=*/0, /*max_skew=*/cfg.delay_hi);
+  clock.schedule_phase(sim, tau_, cfg.n, /*base_at=*/0);
+
+  // Crash/reboot plan: crashed nodes go down mid-phase and recover later;
+  // share recovery (§5.3) must let them finish via help replay.
+  sim::Time outage_start = (cfg.delay_hi + 1) * 4;
+  sim::Time outage_end = outage_start + (cfg.delay_hi + 1) * 30;
+  for (sim::NodeId id : crashed) {
+    sim.schedule_crash(id, outage_start);
+    sim.schedule_recover(id, outage_end);
+  }
+
+  auto all_done = [&] {
+    for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+      if (removed_.count(i) != 0) continue;
+      if (!dynamic_cast<RenewalNode&>(sim.node(i)).has_output()) return false;
+    }
+    return true;
+  };
+  if (!sim.run_until(all_done)) return false;
+
+  std::vector<ShareState> next(states_.size(), states_[0]);
+  crypto::Element pk;
+  bool first = true;
+  for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+    if (removed_.count(i) != 0) {
+      next[i] = states_[i];  // keeps only its stale old share
+      continue;
+    }
+    const core::DkgOutput& out = dynamic_cast<RenewalNode&>(sim.node(i)).output();
+    next[i] = ShareState{out.share, *out.share_vec};
+    if (first) {
+      pk = out.public_key;
+      first = false;
+    } else if (!(pk == out.public_key)) {
+      return false;
+    }
+  }
+  if (!(pk == public_key_)) return false;  // renewal must preserve the key
+  states_ = std::move(next);
+  last_metrics_ = sim.metrics();
+  return true;
+}
+
+Scalar ProactiveRunner::reconstruct() const {
+  std::vector<std::pair<std::uint64_t, Scalar>> pts;
+  for (sim::NodeId i = 1; i <= cfg_.n && pts.size() < cfg_.t + 1; ++i) {
+    if (removed_.count(i) != 0) continue;
+    pts.emplace_back(i, states_[i].share);
+  }
+  if (pts.size() < cfg_.t + 1) throw std::logic_error("ProactiveRunner: not enough members");
+  return crypto::interpolate_at(*cfg_.grp, pts, 0);
+}
+
+bool ProactiveRunner::shares_consistent() const {
+  for (sim::NodeId i = 1; i <= cfg_.n; ++i) {
+    if (removed_.count(i) != 0) continue;
+    if (!states_[i].commitment.verify_share(i, states_[i].share)) return false;
+  }
+  return true;
+}
+
+}  // namespace dkg::proactive

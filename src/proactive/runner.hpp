@@ -1,0 +1,67 @@
+// Multi-phase proactive harness: phase 1 runs the DKG, phases 2..k run share
+// renewals, with optional crash/reboot (share recovery, §5.3) along the way.
+// Used by tests, benches and the proactive example.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "dkg/runner.hpp"
+#include "proactive/phase_clock.hpp"
+#include "proactive/renewal.hpp"
+
+namespace dkg::proactive {
+
+class ProactiveRunner {
+ public:
+  explicit ProactiveRunner(core::RunnerConfig cfg);
+
+  /// Runs the initial DKG (phase tau = cfg.tau). Returns false on failure.
+  bool run_dkg();
+
+  /// Runs one share-renewal phase on a fresh simulated network seeded from
+  /// the previous phase's states. Optionally crashes `crashed` nodes during
+  /// the phase (they recover and must catch up via help replay).
+  bool run_renewal(const std::vector<sim::NodeId>& crashed = {});
+
+  /// Node removal (§6.3): "to remove a node from the group involves simply
+  /// not including it in the next share renewal protocol". The removed
+  /// node takes no part in the next renewal; its stale share stops
+  /// verifying against the new commitment. Refused (returns false) if the
+  /// remaining active count would drop below the n - t - f quorum.
+  bool remove_node(sim::NodeId id);
+  const std::set<sim::NodeId>& removed_nodes() const { return removed_; }
+
+  /// Schedules a threshold/crash-limit modification (§6.4): the NEXT
+  /// renewal reshares with degree `new_t` and completion quorum n - new_t -
+  /// new_f, agreeing on max(old_t, new_t) + 1 dealers so the old secret
+  /// interpolates exactly. Returns false (and changes nothing) if the new
+  /// parameters break n >= 3t + 2f + 1.
+  bool set_thresholds(std::size_t new_t, std::size_t new_f);
+
+  std::size_t t() const { return cfg_.t; }
+  std::size_t f() const { return cfg_.f; }
+
+  std::uint32_t phase() const { return tau_; }
+  const crypto::Element& public_key() const { return public_key_; }
+  const std::vector<ShareState>& states() const { return states_; }  // index 0 unused
+
+  /// Reconstructs the secret from the current phase's shares (test-only).
+  crypto::Scalar reconstruct() const;
+  /// Verifies every current share against the current commitment vector.
+  bool shares_consistent() const;
+
+  /// Metrics of the most recent phase run.
+  const sim::Metrics& last_metrics() const { return last_metrics_; }
+
+ private:
+  core::RunnerConfig cfg_;
+  std::uint32_t tau_;
+  std::size_t pending_q_size_ = 0;
+  std::set<sim::NodeId> removed_;
+  crypto::Element public_key_;
+  std::vector<ShareState> states_;
+  sim::Metrics last_metrics_;
+};
+
+}  // namespace dkg::proactive

@@ -1,0 +1,17 @@
+#include "sim/delay.hpp"
+
+namespace dkg::sim {
+
+Time UniformDelay::delay(NodeId, NodeId, const MessagePtr&, Time, crypto::Drbg& rng) {
+  if (hi_ <= lo_) return lo_;
+  return lo_ + rng.uniform(hi_ - lo_ + 1);
+}
+
+Time AdversarialDelay::delay(NodeId from, NodeId to, const MessagePtr& msg, Time now,
+                             crypto::Drbg& rng) {
+  Time base = base_->delay(from, to, msg, now, rng);
+  if (slow_.count(from) != 0 || slow_.count(to) != 0) return base + penalty_;
+  return base;
+}
+
+}  // namespace dkg::sim

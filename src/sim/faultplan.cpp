@@ -1,0 +1,45 @@
+#include "sim/faultplan.hpp"
+
+#include <algorithm>
+
+namespace dkg::sim {
+
+FaultPlan FaultPlan::random(const std::vector<NodeId>& candidates, std::size_t f,
+                            std::size_t total_crashes, Time horizon, Time min_outage,
+                            Time max_outage, crypto::Drbg& rng) {
+  std::vector<CrashWindow> windows;
+  if (candidates.empty() || f == 0 || total_crashes == 0) return FaultPlan(std::move(windows));
+  // Greedy placement: sample start times, keep a window only if adding it
+  // leaves at most f nodes concurrently crashed and the node is not already
+  // down during the window.
+  std::size_t attempts = 0;
+  while (windows.size() < total_crashes && attempts < total_crashes * 50) {
+    ++attempts;
+    NodeId node = candidates[rng.uniform(candidates.size())];
+    Time start = rng.uniform(horizon);
+    Time outage = min_outage + (max_outage > min_outage ? rng.uniform(max_outage - min_outage + 1) : 0);
+    CrashWindow w{node, start, start + outage};
+    bool ok = true;
+    std::size_t concurrent = 0;
+    for (const CrashWindow& o : windows) {
+      bool overlap = !(w.recover_at <= o.crash_at || o.recover_at <= w.crash_at);
+      if (overlap) {
+        if (o.node == w.node) { ok = false; break; }
+        if (++concurrent >= f) { ok = false; break; }
+      }
+    }
+    if (ok) windows.push_back(w);
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const CrashWindow& a, const CrashWindow& b) { return a.crash_at < b.crash_at; });
+  return FaultPlan(std::move(windows));
+}
+
+void FaultPlan::apply(Simulator& sim) const {
+  for (const CrashWindow& w : windows_) {
+    sim.schedule_crash(w.node, w.crash_at);
+    sim.schedule_recover(w.node, w.recover_at);
+  }
+}
+
+}  // namespace dkg::sim

@@ -1,0 +1,43 @@
+// Fault schedules for the hybrid model (paper §2.2): up to f nodes crashed
+// at any instant, at most d(kappa) crashes over the adversary's lifetime,
+// honest recovery after a bounded outage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "sim/simulator.hpp"
+
+namespace dkg::sim {
+
+struct CrashWindow {
+  NodeId node;
+  Time crash_at;
+  Time recover_at;
+};
+
+class FaultPlan {
+ public:
+  /// Randomly picks `total_crashes` crash/recover windows among nodes in
+  /// `candidates`, never exceeding `f` concurrent crashes. Windows start in
+  /// [0, horizon) and last [min_outage, max_outage] ticks.
+  static FaultPlan random(const std::vector<NodeId>& candidates, std::size_t f,
+                          std::size_t total_crashes, Time horizon, Time min_outage,
+                          Time max_outage, crypto::Drbg& rng);
+
+  /// Explicit plan.
+  explicit FaultPlan(std::vector<CrashWindow> windows) : windows_(std::move(windows)) {}
+  FaultPlan() = default;
+
+  const std::vector<CrashWindow>& windows() const { return windows_; }
+  std::size_t crash_count() const { return windows_.size(); }
+
+  /// Registers all crash/recover events with the simulator.
+  void apply(Simulator& sim) const;
+
+ private:
+  std::vector<CrashWindow> windows_;
+};
+
+}  // namespace dkg::sim

@@ -1,0 +1,20 @@
+#include "sim/message.hpp"
+
+namespace dkg::sim {
+
+std::size_t Message::wire_size() const {
+  if (cached_size_ == SIZE_MAX) {
+    Writer w;
+    serialize(w);
+    cached_size_ = w.size();
+  }
+  return cached_size_;
+}
+
+Bytes Message::wire_bytes() const {
+  Writer w;
+  serialize(w);
+  return w.take();
+}
+
+}  // namespace dkg::sim

@@ -1,0 +1,41 @@
+// Wire message abstraction for the simulated asynchronous network.
+//
+// Every protocol message implements `serialize`; the simulator charges
+// communication complexity (paper's "bit length of messages transferred")
+// by the exact serialized size, and signatures are computed over the same
+// canonical bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/serialize.hpp"
+
+namespace dkg::sim {
+
+using NodeId = std::uint32_t;           // 1-based, matching the paper's P_1..P_n
+constexpr NodeId kOperator = 0;         // sender id for operator ("in") messages
+using Time = std::uint64_t;             // abstract ticks
+using TimerId = std::uint64_t;
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Dotted type tag, e.g. "vss.echo" — the metrics key.
+  virtual std::string type() const = 0;
+  virtual void serialize(Writer& w) const = 0;
+
+  /// Serialized size in bytes (computed once, cached).
+  std::size_t wire_size() const;
+  /// Canonical bytes (for signing / hashing).
+  Bytes wire_bytes() const;
+
+ private:
+  mutable std::size_t cached_size_ = SIZE_MAX;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace dkg::sim

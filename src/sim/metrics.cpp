@@ -1,0 +1,44 @@
+#include "sim/metrics.hpp"
+
+namespace dkg::sim {
+
+void Metrics::record_send(const std::string& type, std::size_t bytes) {
+  TypeStats& s = by_type_[type];
+  s.count += 1;
+  s.bytes += bytes;
+}
+
+void Metrics::record_drop(const std::string&) { dropped_ += 1; }
+
+void Metrics::record_invalid(const std::string&) { invalid_ += 1; }
+
+std::uint64_t Metrics::total_messages() const {
+  std::uint64_t n = 0;
+  for (const auto& [_, s] : by_type_) n += s.count;
+  return n;
+}
+
+std::uint64_t Metrics::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [_, s] : by_type_) n += s.bytes;
+  return n;
+}
+
+TypeStats Metrics::by_prefix(std::string_view prefix) const {
+  TypeStats out;
+  for (const auto& [type, s] : by_type_) {
+    if (type.size() >= prefix.size() && std::string_view(type).substr(0, prefix.size()) == prefix) {
+      out.count += s.count;
+      out.bytes += s.bytes;
+    }
+  }
+  return out;
+}
+
+void Metrics::reset() {
+  by_type_.clear();
+  dropped_ = 0;
+  invalid_ = 0;
+}
+
+}  // namespace dkg::sim

@@ -1,0 +1,43 @@
+// Message/communication accounting — the measurement instrument behind every
+// experiment in EXPERIMENTS.md. Counts and byte totals are recorded at send
+// time (the paper's complexity counts messages transferred), with separate
+// counters for messages dropped at delivery (crashed receiver).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace dkg::sim {
+
+struct TypeStats {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Metrics {
+ public:
+  void record_send(const std::string& type, std::size_t bytes);
+  void record_drop(const std::string& type);
+  void record_invalid(const std::string& type);
+
+  /// Totals over all message types.
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes() const;
+  std::uint64_t dropped_messages() const { return dropped_; }
+  std::uint64_t invalid_messages() const { return invalid_; }
+
+  /// Totals restricted to types starting with `prefix` (e.g. "vss.").
+  TypeStats by_prefix(std::string_view prefix) const;
+  const std::map<std::string, TypeStats>& by_type() const { return by_type_; }
+
+  void reset();
+
+ private:
+  std::map<std::string, TypeStats> by_type_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t invalid_ = 0;
+};
+
+}  // namespace dkg::sim

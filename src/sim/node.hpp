@@ -1,0 +1,51 @@
+// The node-side view of the simulation: a deterministic state machine driven
+// by operator, network and timer messages (paper §7's three message types).
+#pragma once
+
+#include "crypto/drbg.hpp"
+#include "sim/message.hpp"
+
+namespace dkg::sim {
+
+/// Handle through which a node acts on the world. Only valid during a
+/// callback; nodes must not store it.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual NodeId self() const = 0;
+  virtual std::size_t node_count() const = 0;
+  virtual Time now() const = 0;
+
+  /// Sends a point-to-point message (metrics are charged here).
+  virtual void send(NodeId to, MessagePtr msg) = 0;
+  /// Sends to every node 1..n, including self ("send to each P_j").
+  void broadcast(const MessagePtr& msg) {
+    for (NodeId j = 1; j <= node_count(); ++j) send(j, msg);
+  }
+
+  /// One-shot timer; fires on_timer(id) after `after` ticks unless stopped.
+  virtual void start_timer(TimerId id, Time after) = 0;
+  virtual void stop_timer(TimerId id) = 0;
+
+  /// Per-node deterministic randomness.
+  virtual crypto::Drbg& rng() = 0;
+};
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called once when the simulation starts (or when the node is installed).
+  virtual void on_start(Context&) {}
+  /// Network or operator message. `from` = kOperator for operator messages.
+  virtual void on_message(Context& ctx, NodeId from, const MessagePtr& msg) = 0;
+  virtual void on_timer(Context&, TimerId) {}
+  /// Crash notification — bookkeeping only; a crashed node receives nothing.
+  virtual void on_crash(Context&) {}
+  /// Recovery from a well-defined state (paper §2.2): the protocol layer
+  /// reacts by emitting its recover/help flow.
+  virtual void on_recover(Context&) {}
+};
+
+}  // namespace dkg::sim

@@ -1,0 +1,155 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dkg::sim {
+
+class Simulator::NodeContext : public Context {
+ public:
+  NodeContext(Simulator& sim, NodeId self) : sim_(sim), self_(self) {}
+
+  NodeId self() const override { return self_; }
+  std::size_t node_count() const override { return sim_.node_count(); }
+  Time now() const override { return sim_.now_; }
+
+  void send(NodeId to, MessagePtr msg) override { sim_.internal_send(self_, to, std::move(msg)); }
+
+  void start_timer(TimerId id, Time after) override { sim_.internal_start_timer(self_, id, after); }
+  void stop_timer(TimerId id) override { sim_.internal_stop_timer(self_, id); }
+
+  crypto::Drbg& rng() override { return *sim_.node_rngs_.at(self_); }
+
+ private:
+  Simulator& sim_;
+  NodeId self_;
+};
+
+Simulator::Simulator(std::size_t n, std::unique_ptr<DelayModel> delay, std::uint64_t seed)
+    : delay_(std::move(delay)), rng_(seed) {
+  nodes_.resize(n + 1);  // 1-based
+  node_rngs_.resize(n + 1);
+  for (std::size_t i = 1; i <= n; ++i) {
+    node_rngs_[i] = std::make_unique<crypto::Drbg>(
+        rng_.fork("node/" + std::to_string(i)));
+  }
+}
+
+void Simulator::set_node(NodeId id, std::unique_ptr<Node> node) {
+  if (id == 0 || id >= nodes_.size()) throw std::out_of_range("Simulator: bad node id");
+  nodes_[id] = std::move(node);
+  if (started_ && nodes_[id]) {
+    NodeContext ctx(*this, id);
+    nodes_[id]->on_start(ctx);
+  }
+}
+
+Node& Simulator::node(NodeId id) {
+  if (id == 0 || id >= nodes_.size() || !nodes_[id]) throw std::out_of_range("Simulator: no node");
+  return *nodes_[id];
+}
+
+NodeId Simulator::add_node_slot() {
+  nodes_.emplace_back();
+  NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  node_rngs_.push_back(std::make_unique<crypto::Drbg>(
+      rng_.fork("node/" + std::to_string(id))));
+  return id;
+}
+
+void Simulator::post_operator(NodeId to, MessagePtr msg, Time at) {
+  queue_.push(Event{std::max(at, now_), seq_++, EventKind::Operator, to, kOperator,
+                    std::move(msg), 0, 0});
+}
+
+void Simulator::schedule_crash(NodeId id, Time at) {
+  queue_.push(Event{std::max(at, now_), seq_++, EventKind::Crash, id, 0, nullptr, 0, 0});
+}
+
+void Simulator::schedule_recover(NodeId id, Time at) {
+  queue_.push(Event{std::max(at, now_), seq_++, EventKind::Recover, id, 0, nullptr, 0, 0});
+}
+
+void Simulator::internal_send(NodeId from, NodeId to, MessagePtr msg) {
+  if (to == 0 || to >= nodes_.size()) return;  // tolerate stale membership views
+  metrics_.record_send(msg->type(), msg->wire_size());
+  Time d = delay_->delay(from, to, msg, now_, rng_);
+  if (d == 0) d = 1;  // strictly-later delivery keeps the event order causal
+  queue_.push(Event{now_ + d, seq_++, EventKind::Deliver, to, from, std::move(msg), 0, 0});
+}
+
+void Simulator::internal_start_timer(NodeId who, TimerId id, Time after) {
+  std::uint64_t gen = ++timer_gen_[{who, id}];
+  if (after == 0) after = 1;
+  queue_.push(Event{now_ + after, seq_++, EventKind::Timer, who, 0, nullptr, id, gen});
+}
+
+void Simulator::internal_stop_timer(NodeId who, TimerId id) { ++timer_gen_[{who, id}]; }
+
+void Simulator::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  for (NodeId id = 1; id < nodes_.size(); ++id) {
+    if (!nodes_[id]) continue;
+    NodeContext ctx(*this, id);
+    nodes_[id]->on_start(ctx);
+  }
+}
+
+void Simulator::dispatch(const Event& ev) {
+  now_ = ev.at;
+  NodeId id = ev.target;
+  if (id == 0 || id >= nodes_.size() || !nodes_[id]) return;
+  NodeContext ctx(*this, id);
+  switch (ev.kind) {
+    case EventKind::Deliver:
+    case EventKind::Operator:
+      if (crashed_.count(id) != 0) {
+        metrics_.record_drop(ev.msg ? ev.msg->type() : "unknown");
+        return;
+      }
+      nodes_[id]->on_message(ctx, ev.from, ev.msg);
+      return;
+    case EventKind::Timer: {
+      auto it = timer_gen_.find({id, ev.timer});
+      if (it == timer_gen_.end() || it->second != ev.timer_gen) return;  // cancelled or re-armed
+      if (crashed_.count(id) != 0) return;  // timer lost during crash
+      nodes_[id]->on_timer(ctx, ev.timer);
+      return;
+    }
+    case EventKind::Crash:
+      if (crashed_.insert(id).second) nodes_[id]->on_crash(ctx);
+      return;
+    case EventKind::Recover:
+      if (crashed_.erase(id) != 0) nodes_[id]->on_recover(ctx);
+      return;
+  }
+}
+
+bool Simulator::run(std::uint64_t max_events) {
+  ensure_started();
+  std::uint64_t processed = 0;
+  while (!queue_.empty()) {
+    if (processed++ >= max_events) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+  return true;
+}
+
+bool Simulator::run_until(const std::function<bool()>& pred, std::uint64_t max_events) {
+  ensure_started();
+  if (pred()) return true;
+  std::uint64_t processed = 0;
+  while (!queue_.empty()) {
+    if (processed++ >= max_events) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+}  // namespace dkg::sim

@@ -1,0 +1,104 @@
+// Discrete-event simulator of an asynchronous point-to-point network with
+// crash/recovery faults (paper §2). Fully deterministic given a seed.
+//
+// Semantics:
+//  * Every send is charged to Metrics at send time and delivered after a
+//    DelayModel-chosen delay, unless the receiver is crashed at delivery
+//    time (the message is then lost — recovery uses the protocols' own
+//    help/B-set retransmission, §3).
+//  * Crashed nodes receive no messages and no timer callbacks; their state
+//    object persists (stable storage) and on_recover is invoked on repair.
+//  * Timers are one-shot and cancellable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "sim/delay.hpp"
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+#include "sim/node.hpp"
+
+namespace dkg::sim {
+
+class Simulator {
+ public:
+  Simulator(std::size_t n, std::unique_ptr<DelayModel> delay, std::uint64_t seed);
+
+  /// Installs the state machine for node `id` (1-based).
+  void set_node(NodeId id, std::unique_ptr<Node> node);
+  Node& node(NodeId id);
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Grows the network by one node slot (group modification support).
+  NodeId add_node_slot();
+
+  /// Delivers an operator message ("in" messages, §7) at time `at`.
+  void post_operator(NodeId to, MessagePtr msg, Time at = 0);
+
+  /// Fault injection.
+  void schedule_crash(NodeId id, Time at);
+  void schedule_recover(NodeId id, Time at);
+  bool is_crashed(NodeId id) const { return crashed_.count(id) != 0; }
+
+  /// Runs on_start for all nodes then processes events until the queue is
+  /// empty or `max_events` is hit. Returns true if the queue drained.
+  bool run(std::uint64_t max_events = 50'000'000);
+
+  /// Processes events until `pred()` is true (checked after each event).
+  bool run_until(const std::function<bool()>& pred, std::uint64_t max_events = 50'000'000);
+
+  Time now() const { return now_; }
+  Metrics& metrics() { return metrics_; }
+  crypto::Drbg& rng() { return rng_; }
+  DelayModel& delay_model() { return *delay_; }
+
+ private:
+  enum class EventKind { Deliver, Timer, Crash, Recover, Operator };
+  struct Event {
+    Time at;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    EventKind kind;
+    NodeId target;
+    NodeId from = 0;
+    MessagePtr msg;
+    TimerId timer = 0;
+    std::uint64_t timer_gen = 0;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  class NodeContext;
+
+  void ensure_started();
+  void dispatch(const Event& ev);
+  void internal_send(NodeId from, NodeId to, MessagePtr msg);
+  void internal_start_timer(NodeId who, TimerId id, Time after);
+  void internal_stop_timer(NodeId who, TimerId id);
+
+  std::vector<std::unique_ptr<Node>> nodes_;  // index 0 unused
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::set<NodeId> crashed_;
+  // (node, timer id) -> generation; a timer event fires only if its
+  // generation is still current (stop_timer and re-arming bump it).
+  std::map<std::pair<NodeId, TimerId>, std::uint64_t> timer_gen_;
+
+  std::unique_ptr<DelayModel> delay_;
+  crypto::Drbg rng_;
+  std::vector<std::unique_ptr<crypto::Drbg>> node_rngs_;  // index 0 unused
+  Metrics metrics_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace dkg::sim

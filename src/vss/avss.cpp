@@ -1,0 +1,211 @@
+#include "vss/avss.hpp"
+
+#include <stdexcept>
+
+#include "crypto/lagrange.hpp"
+
+namespace dkg::vss {
+
+using crypto::Element;
+using crypto::FeldmanMatrix;
+using crypto::Polynomial;
+using crypto::Scalar;
+
+namespace {
+void put_sid(Writer& w, const SessionId& sid) {
+  w.u32(sid.dealer);
+  w.u32(sid.tau);
+}
+
+/// Non-symmetric bivariate dealing used by AVSS: full (t+1)^2 coefficients.
+struct FullBiPoly {
+  std::size_t t;
+  std::vector<Scalar> c;  // row-major, c[j*(t+1)+l] multiplies x^j y^l
+
+  static FullBiPoly random(const Scalar& secret, std::size_t t, crypto::Drbg& rng) {
+    const crypto::Group& grp = secret.group();
+    FullBiPoly f{t, {}};
+    f.c.reserve((t + 1) * (t + 1));
+    for (std::size_t k = 0; k < (t + 1) * (t + 1); ++k) f.c.push_back(Scalar::random(grp, rng));
+    f.c[0] = secret;
+    return f;
+  }
+
+  Polynomial row(std::uint64_t i) const {  // a_i(y) = f(i, y)
+    const crypto::Group& grp = c.front().group();
+    Scalar x = Scalar::from_u64(grp, i);
+    std::vector<Scalar> out;
+    out.reserve(t + 1);
+    for (std::size_t l = 0; l <= t; ++l) {
+      Scalar acc = c[t * (t + 1) + l];
+      for (std::size_t j = t; j-- > 0;) acc = acc * x + c[j * (t + 1) + l];
+      out.push_back(acc);
+    }
+    return Polynomial(std::move(out));
+  }
+
+  Polynomial col(std::uint64_t i) const {  // b_i(x) = f(x, i)
+    const crypto::Group& grp = c.front().group();
+    Scalar y = Scalar::from_u64(grp, i);
+    std::vector<Scalar> out;
+    out.reserve(t + 1);
+    for (std::size_t j = 0; j <= t; ++j) {
+      Scalar acc = c[j * (t + 1) + t];
+      for (std::size_t l = t; l-- > 0;) acc = acc * y + c[j * (t + 1) + l];
+      out.push_back(acc);
+    }
+    return Polynomial(std::move(out));
+  }
+};
+}  // namespace
+
+void AvssSendMsg::serialize(Writer& w) const {
+  put_sid(w, sid);
+  w.blob(commitment ? commitment->to_bytes() : Bytes{});
+  w.blob(row.to_bytes());
+  w.blob(col.to_bytes());
+}
+
+void AvssEchoMsg::serialize(Writer& w) const {
+  put_sid(w, sid);
+  w.blob(commitment ? commitment->to_bytes() : Bytes{});
+  w.raw(alpha.to_bytes());
+  w.raw(beta.to_bytes());
+}
+
+void AvssReadyMsg::serialize(Writer& w) const {
+  put_sid(w, sid);
+  w.blob(commitment ? commitment->to_bytes() : Bytes{});
+  w.raw(alpha.to_bytes());
+  w.raw(beta.to_bytes());
+}
+
+AvssInstance::AvssInstance(AvssParams params, SessionId sid, sim::NodeId self)
+    : params_(params), sid_(sid), self_(self) {
+  if (!params_.resilient()) throw std::invalid_argument("AVSS: n < 3t + 1");
+}
+
+void AvssInstance::deal(sim::Context& ctx, const Scalar& secret) {
+  if (self_ != sid_.dealer) throw std::logic_error("AVSS: deal on non-dealer");
+  FullBiPoly f = FullBiPoly::random(secret, params_.t, ctx.rng());
+  std::vector<Element> entries;
+  entries.reserve(f.c.size());
+  for (const Scalar& s : f.c) entries.push_back(Element::exp_g(s));
+  auto commitment =
+      std::make_shared<const FeldmanMatrix>(FeldmanMatrix::from_entries(params_.t, std::move(entries)));
+  for (sim::NodeId j = 1; j <= params_.n; ++j) {
+    ctx.send(j, std::make_shared<AvssSendMsg>(sid_, commitment, f.row(j), f.col(j)));
+  }
+}
+
+bool AvssInstance::handle(sim::Context& ctx, sim::NodeId from, const sim::Message& msg) {
+  const auto* vm = dynamic_cast<const VssMessage*>(&msg);
+  if (vm == nullptr || !(vm->sid == sid_)) return false;
+  if (const auto* m = dynamic_cast<const AvssSendMsg*>(vm)) {
+    on_send(ctx, from, *m);
+  } else if (const auto* m = dynamic_cast<const AvssEchoMsg*>(vm)) {
+    if (seen_echo_.insert(from).second) {
+      on_point(ctx, from, m->commitment, m->alpha, m->beta, /*is_ready=*/false);
+    }
+  } else if (const auto* m = dynamic_cast<const AvssReadyMsg*>(vm)) {
+    if (seen_ready_.insert(from).second) {
+      on_point(ctx, from, m->commitment, m->alpha, m->beta, /*is_ready=*/true);
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void AvssInstance::on_send(sim::Context& ctx, sim::NodeId from, const AvssSendMsg& m) {
+  if (from != sid_.dealer || got_send_) return;
+  if (!m.commitment || m.commitment->degree() != params_.t) return;
+  got_send_ = true;
+  // verify row against columns of C and column against rows.
+  if (!m.commitment->verify_poly(self_, m.row) || !m.commitment->verify_poly_col(self_, m.col)) {
+    return;
+  }
+  Bytes digest = m.commitment->digest();
+  PerCommit& pc = commits_[digest];
+  pc.commitment = m.commitment;
+  pc.row = m.row;
+  pc.col = m.col;
+  for (sim::NodeId j = 1; j <= params_.n; ++j) {
+    // To P_j: alpha' = a_i(j) = f(i, j) (P_j checks against its column) and
+    // beta' = b_i(j) = f(j, i) (P_j checks against its row).
+    ctx.send(j, std::make_shared<AvssEchoMsg>(sid_, m.commitment, m.row.eval_at(j),
+                                              m.col.eval_at(j)));
+  }
+}
+
+void AvssInstance::on_point(sim::Context& ctx, sim::NodeId from,
+                            const std::shared_ptr<const FeldmanMatrix>& c, const Scalar& alpha,
+                            const Scalar& beta, bool is_ready) {
+  if (share_ || !c || c->degree() != params_.t) return;
+  Bytes digest = c->digest();
+  PerCommit& pc = commits_[digest];
+  if (!pc.commitment) pc.commitment = c;
+  // alpha claims f(m, i); beta claims f(i, m).
+  if (!pc.commitment->verify_point(self_, from, alpha)) return;
+  if (!pc.commitment->verify_point(from, self_, beta)) return;
+  if (pc.point_senders.insert(from).second) pc.points.emplace_back(from, alpha, beta);
+  if (is_ready) {
+    pc.readys += 1;
+  } else {
+    pc.echoes += 1;
+  }
+  check_transitions(ctx, pc);
+}
+
+void AvssInstance::check_transitions(sim::Context& ctx, PerCommit& pc) {
+  if (!pc.sent_ready &&
+      (pc.echoes >= params_.echo_quorum() || pc.readys >= params_.t + 1) &&
+      pc.points.size() >= params_.t + 1) {
+    send_ready_round(ctx, pc);
+  }
+  if (!share_ && pc.readys >= params_.ready_quorum() && pc.row) {
+    share_ = pc.row->eval_at(0);
+    if (on_shared_) on_shared_(ctx, *share_, pc.commitment);
+  }
+}
+
+void AvssInstance::send_ready_round(sim::Context& ctx, PerCommit& pc) {
+  pc.sent_ready = true;
+  if (!pc.row || !pc.col) {
+    // alpha points (m, f(m, i)) interpolate b_i; beta points (m, f(i, m))
+    // interpolate a_i.
+    std::vector<std::pair<std::uint64_t, Scalar>> alphas, betas;
+    for (std::size_t k = 0; k < params_.t + 1; ++k) {
+      const auto& [m, a, b] = pc.points[k];
+      alphas.emplace_back(m, a);
+      betas.emplace_back(m, b);
+    }
+    pc.col = crypto::interpolate(*params_.grp, alphas);
+    pc.row = crypto::interpolate(*params_.grp, betas);
+  }
+  for (sim::NodeId j = 1; j <= params_.n; ++j) {
+    ctx.send(j, std::make_shared<AvssReadyMsg>(sid_, pc.commitment, pc.row->eval_at(j),
+                                               pc.col->eval_at(j)));
+  }
+}
+
+AvssNode::AvssNode(AvssParams params, sim::NodeId self) : params_(params), self_(self) {}
+
+AvssInstance& AvssNode::instance(const SessionId& sid) {
+  auto it = instances_.find(sid);
+  if (it == instances_.end()) it = instances_.emplace(sid, AvssInstance(params_, sid, self_)).first;
+  return it->second;
+}
+
+void AvssNode::on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) {
+  const auto* vm = dynamic_cast<const VssMessage*>(msg.get());
+  if (vm == nullptr) return;
+  AvssInstance& inst = instance(vm->sid);
+  if (from == sim::kOperator) {
+    if (const auto* share = dynamic_cast<const ShareOp*>(vm)) inst.deal(ctx, share->secret);
+    return;
+  }
+  inst.handle(ctx, from, *msg);
+}
+
+}  // namespace dkg::vss

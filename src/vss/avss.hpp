@@ -1,0 +1,128 @@
+// AVSS baseline [Cachin, Kursawe, Lysyanskaya, Strobl — CCS'02], the scheme
+// HybridVSS modifies (paper §3). Differences from HybridVSS, implemented
+// faithfully so bench E6 can measure them:
+//   * Byzantine-only model: n >= 3t + 1, f = 0, no recovery/help flow.
+//   * The dealing polynomial f(x, y) is NOT symmetric, so the dealer sends
+//     each node both its row a_i(y) = f(i, y) and column b_i(x) = f(x, i),
+//     and echo/ready carry two evaluation points instead of one — the
+//     constant-factor overhead the paper removes with symmetric dealings.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "crypto/feldman.hpp"
+#include "crypto/polynomial.hpp"
+#include "sim/node.hpp"
+#include "vss/vss_messages.hpp"
+
+namespace dkg::vss {
+
+struct AvssParams {
+  const crypto::Group* grp = nullptr;
+  std::size_t n = 0;
+  std::size_t t = 0;
+
+  std::size_t echo_quorum() const { return (n + t + 2) / 2; }
+  std::size_t ready_quorum() const { return n - t; }
+  bool resilient() const { return n >= 3 * t + 1; }
+};
+
+struct AvssSendMsg : VssMessage {
+  std::shared_ptr<const crypto::FeldmanMatrix> commitment;
+  crypto::Polynomial row;  // a_i(y) = f(i, y)
+  crypto::Polynomial col;  // b_i(x) = f(x, i)
+  AvssSendMsg(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c, crypto::Polynomial a,
+              crypto::Polynomial b)
+      : VssMessage(s), commitment(std::move(c)), row(std::move(a)), col(std::move(b)) {}
+  std::string type() const override { return "avss.send"; }
+  void serialize(Writer& w) const override;
+};
+
+struct AvssEchoMsg : VssMessage {
+  std::shared_ptr<const crypto::FeldmanMatrix> commitment;
+  crypto::Scalar alpha;  // f(m, i): sender m's row evaluated at receiver i
+  crypto::Scalar beta;   // f(i, m): sender m's column evaluated at receiver i
+  AvssEchoMsg(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c, crypto::Scalar a,
+              crypto::Scalar b)
+      : VssMessage(s), commitment(std::move(c)), alpha(std::move(a)), beta(std::move(b)) {}
+  std::string type() const override { return "avss.echo"; }
+  void serialize(Writer& w) const override;
+};
+
+struct AvssReadyMsg : VssMessage {
+  std::shared_ptr<const crypto::FeldmanMatrix> commitment;
+  crypto::Scalar alpha;
+  crypto::Scalar beta;
+  AvssReadyMsg(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c, crypto::Scalar a,
+               crypto::Scalar b)
+      : VssMessage(s), commitment(std::move(c)), alpha(std::move(a)), beta(std::move(b)) {}
+  std::string type() const override { return "avss.ready"; }
+  void serialize(Writer& w) const override;
+};
+
+/// One AVSS participant for one session; wrap in AvssNode for simulation.
+class AvssInstance {
+ public:
+  using SharedHandler =
+      std::function<void(sim::Context&, const crypto::Scalar& share,
+                         const std::shared_ptr<const crypto::FeldmanMatrix>&)>;
+
+  AvssInstance(AvssParams params, SessionId sid, sim::NodeId self);
+
+  void set_on_shared(SharedHandler h) { on_shared_ = std::move(h); }
+
+  void deal(sim::Context& ctx, const crypto::Scalar& secret);
+  bool handle(sim::Context& ctx, sim::NodeId from, const sim::Message& msg);
+
+  bool has_shared() const { return share_.has_value(); }
+  const crypto::Scalar& share() const { return *share_; }
+
+ private:
+  struct PerCommit {
+    std::shared_ptr<const crypto::FeldmanMatrix> commitment;
+    // Verified (m, alpha=f(m,i), beta=f(i,m)) triples.
+    std::vector<std::tuple<std::uint64_t, crypto::Scalar, crypto::Scalar>> points;
+    std::set<sim::NodeId> point_senders;  // echo+ready of one sender coincide
+    std::size_t echoes = 0;
+    std::size_t readys = 0;
+    std::optional<crypto::Polynomial> row;  // a_i
+    std::optional<crypto::Polynomial> col;  // b_i
+    bool sent_ready = false;
+  };
+
+  void on_send(sim::Context& ctx, sim::NodeId from, const AvssSendMsg& m);
+  void on_point(sim::Context& ctx, sim::NodeId from,
+                const std::shared_ptr<const crypto::FeldmanMatrix>& c, const crypto::Scalar& alpha,
+                const crypto::Scalar& beta, bool is_ready);
+  void check_transitions(sim::Context& ctx, PerCommit& pc);
+  void send_ready_round(sim::Context& ctx, PerCommit& pc);
+
+  AvssParams params_;
+  SessionId sid_;
+  sim::NodeId self_;
+
+  std::map<Bytes, PerCommit> commits_;
+  bool got_send_ = false;
+  std::set<sim::NodeId> seen_echo_;
+  std::set<sim::NodeId> seen_ready_;
+  std::optional<crypto::Scalar> share_;
+  SharedHandler on_shared_;
+};
+
+class AvssNode : public sim::Node {
+ public:
+  AvssNode(AvssParams params, sim::NodeId self);
+
+  void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
+  AvssInstance& instance(const SessionId& sid);
+
+ private:
+  AvssParams params_;
+  sim::NodeId self_;
+  std::map<SessionId, AvssInstance> instances_;
+};
+
+}  // namespace dkg::vss

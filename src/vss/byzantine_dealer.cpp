@@ -1,0 +1,79 @@
+#include "vss/byzantine_dealer.hpp"
+
+namespace dkg::vss {
+
+using crypto::BiPolynomial;
+using crypto::FeldmanMatrix;
+using crypto::Scalar;
+
+void ByzantineDealerNode::on_message(sim::Context& ctx, sim::NodeId from,
+                                     const sim::MessagePtr& msg) {
+  if (from != sim::kOperator) return;  // ignores the protocol entirely
+  const auto* share = dynamic_cast<const ShareOp*>(msg.get());
+  if (share == nullptr) return;
+  deal_faulty(ctx, share->sid, share->secret);
+}
+
+void ByzantineDealerNode::deal_faulty(sim::Context& ctx, const SessionId& sid,
+                                      const Scalar& secret) {
+  const crypto::Group& grp = *params_.grp;
+  switch (fault_) {
+    case DealerFault::Silent:
+      return;
+    case DealerFault::InconsistentRows: {
+      BiPolynomial f = BiPolynomial::random(secret, params_.t, ctx.rng());
+      BiPolynomial wrong = BiPolynomial::random(Scalar::random(grp, ctx.rng()), params_.t, ctx.rng());
+      auto commitment = std::make_shared<const FeldmanMatrix>(FeldmanMatrix::commit(f));
+      for (sim::NodeId j = 1; j <= params_.n; ++j) {
+        const BiPolynomial& src = (j % 2 == 0) ? wrong : f;
+        ctx.send(j, std::make_shared<SendMsg>(sid, commitment, src.row(j)));
+      }
+      return;
+    }
+    case DealerFault::Equivocate: {
+      BiPolynomial f1 = BiPolynomial::random(secret, params_.t, ctx.rng());
+      BiPolynomial f2 = BiPolynomial::random(Scalar::random(grp, ctx.rng()), params_.t, ctx.rng());
+      auto c1 = std::make_shared<const FeldmanMatrix>(FeldmanMatrix::commit(f1));
+      auto c2 = std::make_shared<const FeldmanMatrix>(FeldmanMatrix::commit(f2));
+      for (sim::NodeId j = 1; j <= params_.n; ++j) {
+        if (j % 2 == 1) {
+          ctx.send(j, std::make_shared<SendMsg>(sid, c1, f1.row(j)));
+        } else {
+          ctx.send(j, std::make_shared<SendMsg>(sid, c2, f2.row(j)));
+        }
+      }
+      return;
+    }
+    case DealerFault::PartialSend: {
+      BiPolynomial f = BiPolynomial::random(secret, params_.t, ctx.rng());
+      auto commitment = std::make_shared<const FeldmanMatrix>(FeldmanMatrix::commit(f));
+      for (sim::NodeId j = 1; j <= params_.n && j <= params_.t + 1; ++j) {
+        ctx.send(j, std::make_shared<SendMsg>(sid, commitment, f.row(j)));
+      }
+      return;
+    }
+  }
+}
+
+void GarbagePointNode::on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) {
+  // On the dealer's send, spray garbage echo points; on any echo, spray
+  // garbage ready points. Uses the real commitment so messages pass every
+  // check except verify-point.
+  const crypto::Group& grp = *params_.grp;
+  if (const auto* m = dynamic_cast<const SendMsg*>(msg.get()); m && from == m->sid.dealer) {
+    for (sim::NodeId j = 1; j <= params_.n; ++j) {
+      ctx.send(j, std::make_shared<EchoMsg>(m->sid, m->commitment,
+                                            m->commitment ? m->commitment->digest() : Bytes{},
+                                            crypto::Scalar::random(grp, ctx.rng())));
+    }
+    return;
+  }
+  if (const auto* m = dynamic_cast<const EchoMsg*>(msg.get())) {
+    for (sim::NodeId j = 1; j <= params_.n; ++j) {
+      ctx.send(j, std::make_shared<ReadyMsg>(m->sid, m->commitment, m->digest,
+                                             crypto::Scalar::random(grp, ctx.rng()), std::nullopt));
+    }
+  }
+}
+
+}  // namespace dkg::vss

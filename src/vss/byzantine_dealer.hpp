@@ -1,0 +1,59 @@
+// Byzantine behaviours for VSS testing and benchmarking (paper §2.2's
+// t-limited Byzantine adversary). Each node here replaces an honest
+// participant and misbehaves in a specific, reproducible way.
+#pragma once
+
+#include "vss/hybridvss.hpp"
+
+namespace dkg::vss {
+
+enum class DealerFault {
+  /// Sends rows from a *different* random polynomial to half the nodes —
+  /// verify-poly fails there; sharing must still not produce inconsistency.
+  InconsistentRows,
+  /// Sends commitment C1 to odd nodes and C2 to even nodes (equivocation).
+  /// Agreement on a single C must prevent completion with mixed quorums.
+  Equivocate,
+  /// Sends only to t+1 chosen nodes and stays silent to the rest.
+  PartialSend,
+  /// Never sends anything.
+  Silent,
+};
+
+/// A dealer that misbehaves per `fault` when given ShareOp, and otherwise
+/// stays mute (it does not participate honestly in echo/ready either).
+class ByzantineDealerNode : public sim::Node {
+ public:
+  ByzantineDealerNode(VssParams params, sim::NodeId self, DealerFault fault)
+      : params_(params), self_(self), fault_(fault) {}
+
+  void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
+
+ private:
+  void deal_faulty(sim::Context& ctx, const SessionId& sid, const crypto::Scalar& secret);
+
+  VssParams params_;
+  sim::NodeId self_;
+  DealerFault fault_;
+};
+
+/// An honest-looking participant that injects garbage echo/ready points for
+/// the commitment it received — receivers must reject them via verify-point.
+class GarbagePointNode : public sim::Node {
+ public:
+  GarbagePointNode(VssParams params, sim::NodeId self) : params_(params), self_(self) {}
+
+  void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
+
+ private:
+  VssParams params_;
+  sim::NodeId self_;
+};
+
+/// A node that simply never sends anything (fail-silent Byzantine).
+class SilentNode : public sim::Node {
+ public:
+  void on_message(sim::Context&, sim::NodeId, const sim::MessagePtr&) override {}
+};
+
+}  // namespace dkg::vss

@@ -1,0 +1,324 @@
+#include "vss/hybridvss.hpp"
+
+#include <stdexcept>
+
+#include "crypto/lagrange.hpp"
+
+namespace dkg::vss {
+
+using crypto::BiPolynomial;
+using crypto::FeldmanMatrix;
+using crypto::Polynomial;
+using crypto::Scalar;
+
+VssInstance::VssInstance(VssParams params, SessionId sid, sim::NodeId self)
+    : params_(params), sid_(sid), self_(self), buffer_(params.n + 1) {
+  if (!params_.resilient()) throw std::invalid_argument("HybridVSS: n < 3t + 2f + 1");
+  if (params_.sign_ready && !params_.keyring) {
+    throw std::invalid_argument("HybridVSS: sign_ready requires a keyring");
+  }
+}
+
+void VssInstance::send_buffered(sim::Context& ctx, sim::NodeId to, sim::MessagePtr msg) {
+  buffer_.at(to).push_back(msg);
+  ctx.send(to, std::move(msg));
+}
+
+void VssInstance::deal(sim::Context& ctx, const Scalar& secret) {
+  BiPolynomial f = BiPolynomial::random(secret, params_.t, ctx.rng());
+  deal_polynomial(ctx, f);
+}
+
+void VssInstance::deal_polynomial(sim::Context& ctx, const BiPolynomial& f) {
+  if (self_ != sid_.dealer) throw std::logic_error("HybridVSS: deal on non-dealer");
+  auto commitment = std::make_shared<const FeldmanMatrix>(FeldmanMatrix::commit(f));
+  for (sim::NodeId j = 1; j <= params_.n; ++j) {
+    std::optional<Polynomial> row = f.row(j);
+    auto msg = std::make_shared<SendMsg>(sid_, commitment, std::move(row));
+    if (params_.erase_row_on_store) {
+      // §5.2: retransmissions of send must not carry old-phase polynomials;
+      // buffer a stripped copy.
+      buffer_.at(j).push_back(std::make_shared<SendMsg>(sid_, commitment, std::nullopt));
+      ctx.send(j, std::move(msg));
+    } else {
+      send_buffered(ctx, j, std::move(msg));
+    }
+  }
+}
+
+bool VssInstance::handle(sim::Context& ctx, sim::NodeId from, const sim::Message& msg) {
+  const auto* vm = dynamic_cast<const VssMessage*>(&msg);
+  if (vm == nullptr || !(vm->sid == sid_)) return false;
+  if (const auto* m = dynamic_cast<const SendMsg*>(vm)) {
+    on_send(ctx, from, *m);
+  } else if (const auto* m = dynamic_cast<const EchoMsg*>(vm)) {
+    on_echo(ctx, from, *m);
+  } else if (const auto* m = dynamic_cast<const ReadyMsg*>(vm)) {
+    on_ready(ctx, from, *m);
+  } else if (dynamic_cast<const HelpMsg*>(vm) != nullptr) {
+    on_help(ctx, from);
+  } else if (const auto* m = dynamic_cast<const CommitmentReq*>(vm)) {
+    on_ccreq(ctx, from, *m);
+  } else if (const auto* m = dynamic_cast<const CommitmentReply*>(vm)) {
+    on_ccreply(ctx, from, *m);
+  } else if (const auto* m = dynamic_cast<const RecShareMsg*>(vm)) {
+    on_rec_share(ctx, from, *m);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+VssInstance::PerCommit& VssInstance::per_commit(const Bytes& digest) { return commits_[digest]; }
+
+void VssInstance::on_send(sim::Context& ctx, sim::NodeId from, const SendMsg& m) {
+  // Only the dealer's first send counts (Fig 1 "from P_d (first time)").
+  if (from != sid_.dealer || got_send_) return;
+  if (!m.commitment || m.commitment->degree() != params_.t) {
+    ++rejected_;
+    return;
+  }
+  got_send_ = true;
+  Bytes digest = m.commitment->digest();
+  learn_commitment(ctx, digest, m.commitment);
+  if (!m.row || !m.commitment->verify_poly(self_, *m.row)) {
+    // Renewal retransmissions legitimately omit the row; a mismatching row
+    // is a faulty dealer. Either way no echo round is triggered.
+    if (m.row) ++rejected_;
+    return;
+  }
+  // Echo a(j) = f(i, j) to every P_j.
+  for (sim::NodeId j = 1; j <= params_.n; ++j) {
+    Scalar alpha = m.row->eval_at(j);
+    auto echo = std::make_shared<EchoMsg>(
+        sid_, params_.mode == CommitmentMode::Full ? m.commitment : nullptr, digest,
+        std::move(alpha));
+    send_buffered(ctx, j, std::move(echo));
+  }
+}
+
+void VssInstance::on_echo(sim::Context& ctx, sim::NodeId from, const EchoMsg& m) {
+  if (!seen_echo_.insert(from).second) return;  // first time only
+  Bytes digest = m.commitment ? m.commitment->digest() : m.digest;
+  PerCommit& pc = per_commit(digest);
+  if (m.commitment) learn_commitment(ctx, digest, m.commitment);
+  if (!pc.commitment) {
+    // Hashed mode and C unknown: buffer and ask the sender for the matrix.
+    pc.pending.push_back(PerCommit::Pending{from, m.point, false, std::nullopt});
+    if (!pc.requested_commitment) {
+      pc.requested_commitment = true;
+      ctx.send(from, std::make_shared<CommitmentReq>(sid_, digest));
+    }
+    return;
+  }
+  accept_point(ctx, digest, pc, from, m.point, /*is_ready=*/false, std::nullopt);
+}
+
+void VssInstance::on_ready(sim::Context& ctx, sim::NodeId from, const ReadyMsg& m) {
+  if (!seen_ready_.insert(from).second) return;
+  Bytes digest = m.commitment ? m.commitment->digest() : m.digest;
+  PerCommit& pc = per_commit(digest);
+  if (m.commitment) learn_commitment(ctx, digest, m.commitment);
+  if (params_.sign_ready) {
+    if (!m.sig ||
+        !params_.keyring->verify_from(from, ready_sig_payload(sid_, digest), *m.sig)) {
+      ++rejected_;
+      return;
+    }
+  }
+  if (!pc.commitment) {
+    pc.pending.push_back(PerCommit::Pending{from, m.point, true, m.sig});
+    if (!pc.requested_commitment) {
+      pc.requested_commitment = true;
+      ctx.send(from, std::make_shared<CommitmentReq>(sid_, digest));
+    }
+    return;
+  }
+  accept_point(ctx, digest, pc, from, m.point, /*is_ready=*/true, m.sig);
+}
+
+void VssInstance::learn_commitment(sim::Context& ctx, const Bytes& digest,
+                                   std::shared_ptr<const crypto::FeldmanMatrix> c) {
+  if (expected_c00_ && c->c00() != *expected_c00_) {
+    // Resharing of something other than the dealer's old share (§5.2).
+    ++rejected_;
+    return;
+  }
+  PerCommit& pc = per_commit(digest);
+  if (pc.commitment) return;
+  pc.commitment = std::move(c);
+  // Flush buffered hashed-mode points now that verification is possible.
+  std::vector<PerCommit::Pending> pend = std::move(pc.pending);
+  pc.pending.clear();
+  for (const auto& p : pend) {
+    accept_point(ctx, digest, pc, p.from, p.point, p.is_ready, p.sig);
+    if (shared_) break;
+  }
+}
+
+void VssInstance::accept_point(sim::Context& ctx, const Bytes& digest, PerCommit& pc,
+                               sim::NodeId from, const Scalar& alpha, bool is_ready,
+                               const std::optional<crypto::Signature>& sig) {
+  if (shared_) return;
+  // verify-point(C, i, m, alpha): alpha must equal f(m, i).
+  if (!pc.commitment->verify_point(self_, from, alpha)) {
+    ++rejected_;
+    return;
+  }
+  // The echo and ready points of one sender are the same evaluation f(m, i);
+  // keep one copy so interpolation abscissas stay distinct.
+  if (pc.point_senders.insert(from).second) pc.points.emplace_back(from, alpha);
+  if (is_ready) {
+    pc.readys += 1;
+    if (params_.sign_ready && sig) pc.ready_sigs.push_back(ReadySig{from, *sig});
+  } else {
+    pc.echoes += 1;
+  }
+  check_transitions(ctx, digest, pc);
+}
+
+void VssInstance::check_transitions(sim::Context& ctx, const Bytes& digest, PerCommit& pc) {
+  // Echo path: e_C hits ceil((n+t+1)/2) with r_C < t+1 — or ready path:
+  // r_C hits t+1 with e_C below quorum. Both interpolate the row and send
+  // ready; `sent_ready` makes the two firing rules mutually exclusive.
+  if (!pc.sent_ready &&
+      (pc.echoes >= params_.echo_quorum() || pc.readys >= params_.t + 1) &&
+      pc.points.size() >= params_.t + 1) {
+    send_ready_round(ctx, digest, pc);
+  }
+  if (!shared_ && pc.readys >= params_.ready_quorum() && pc.row) {
+    complete(ctx, digest, pc);
+  }
+}
+
+void VssInstance::send_ready_round(sim::Context& ctx, const Bytes& digest, PerCommit& pc) {
+  pc.sent_ready = true;
+  if (!pc.row) {
+    // Lagrange-interpolate a_i from t+1 verified points of A_C.
+    std::vector<std::pair<std::uint64_t, Scalar>> pts(
+        pc.points.begin(), pc.points.begin() + static_cast<std::ptrdiff_t>(params_.t + 1));
+    pc.row = crypto::interpolate(*params_.grp, pts);
+  }
+  std::optional<crypto::Signature> sig;
+  if (params_.sign_ready) {
+    sig = params_.keyring->sign_as(self_, ready_sig_payload(sid_, digest));
+  }
+  for (sim::NodeId j = 1; j <= params_.n; ++j) {
+    Scalar alpha = pc.row->eval_at(j);
+    auto ready = std::make_shared<ReadyMsg>(
+        sid_, params_.mode == CommitmentMode::Full ? pc.commitment : nullptr, digest,
+        std::move(alpha), sig);
+    send_buffered(ctx, j, std::move(ready));
+  }
+}
+
+void VssInstance::complete(sim::Context& ctx, const Bytes&, PerCommit& pc) {
+  SharedOutput out;
+  out.sid = sid_;
+  out.commitment = pc.commitment;
+  out.share = pc.row->eval_at(0);  // s_i = a_i(0)
+  if (params_.sign_ready) {
+    out.ready_proof.assign(
+        pc.ready_sigs.begin(),
+        pc.ready_sigs.begin() +
+            static_cast<std::ptrdiff_t>(std::min(pc.ready_sigs.size(), params_.ready_quorum())));
+  }
+  shared_ = out;
+  if (on_shared_) on_shared_(ctx, *shared_);
+}
+
+void VssInstance::on_help(sim::Context& ctx, sim::NodeId from) {
+  // Help budget (Fig 1): c_l <= d(kappa), c <= (t+1) d(kappa).
+  std::uint64_t& cl = help_per_node_[from];
+  if (cl > params_.d_kappa || help_total_ > (params_.t + 1) * params_.d_kappa) return;
+  cl += 1;
+  help_total_ += 1;
+  for (const sim::MessagePtr& m : buffer_.at(from)) ctx.send(from, m);
+}
+
+void VssInstance::on_ccreq(sim::Context& ctx, sim::NodeId from, const CommitmentReq& m) {
+  auto it = commits_.find(m.digest);
+  if (it == commits_.end() || !it->second.commitment) return;
+  ctx.send(from, std::make_shared<CommitmentReply>(sid_, it->second.commitment));
+}
+
+void VssInstance::on_ccreply(sim::Context& ctx, sim::NodeId, const CommitmentReply& m) {
+  if (!m.commitment || m.commitment->degree() != params_.t) {
+    ++rejected_;
+    return;
+  }
+  Bytes digest = m.commitment->digest();
+  if (commits_.count(digest) == 0) return;  // unsolicited
+  learn_commitment(ctx, digest, m.commitment);
+}
+
+void VssInstance::recover(sim::Context& ctx) {
+  for (sim::NodeId j = 1; j <= params_.n; ++j) {
+    ctx.send(j, std::make_shared<HelpMsg>(sid_));
+  }
+  // Replay own outgoing buffer (Fig 1: "send all messages in B").
+  for (sim::NodeId j = 1; j <= params_.n; ++j) {
+    for (const sim::MessagePtr& m : buffer_.at(j)) ctx.send(j, m);
+  }
+}
+
+void VssInstance::start_reconstruct(sim::Context& ctx) {
+  if (!shared_ || reconstructing_) return;
+  reconstructing_ = true;
+  Bytes digest = shared_->commitment->digest();
+  for (sim::NodeId j = 1; j <= params_.n; ++j) {
+    ctx.send(j, std::make_shared<RecShareMsg>(sid_, digest, shared_->share));
+  }
+}
+
+void VssInstance::on_rec_share(sim::Context& ctx, sim::NodeId from, const RecShareMsg& m) {
+  if (!shared_ || reconstructed_) return;
+  if (!seen_rec_.insert(from).second) return;
+  if (!bytes_equal(m.digest, shared_->commitment->digest())) {
+    ++rejected_;
+    return;
+  }
+  // Share s_m = f(m, 0); verify-point with i = 0.
+  if (!shared_->commitment->verify_point(0, from, m.share)) {
+    ++rejected_;
+    return;
+  }
+  rec_points_.emplace_back(from, m.share);
+  if (rec_points_.size() >= params_.t + 1) {
+    reconstructed_ = crypto::interpolate_at(*params_.grp, rec_points_, 0);
+    if (on_reconstructed_) on_reconstructed_(ctx, *reconstructed_);
+  }
+}
+
+VssNode::VssNode(VssParams params, sim::NodeId self) : params_(params), self_(self) {}
+
+VssInstance& VssNode::instance(const SessionId& sid) {
+  auto it = instances_.find(sid);
+  if (it == instances_.end()) {
+    it = instances_.emplace(sid, VssInstance(params_, sid, self_)).first;
+  }
+  return it->second;
+}
+
+void VssNode::on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) {
+  const auto* vm = dynamic_cast<const VssMessage*>(msg.get());
+  if (vm == nullptr) return;
+  VssInstance& inst = instance(vm->sid);
+  if (from == sim::kOperator) {
+    if (const auto* share = dynamic_cast<const ShareOp*>(vm)) {
+      inst.deal(ctx, share->secret);
+    } else if (dynamic_cast<const ReconstructOp*>(vm) != nullptr) {
+      inst.start_reconstruct(ctx);
+    } else if (dynamic_cast<const RecoverOp*>(vm) != nullptr) {
+      inst.recover(ctx);
+    }
+    return;
+  }
+  inst.handle(ctx, from, *msg);
+}
+
+void VssNode::on_recover(sim::Context& ctx) {
+  for (auto& [sid, inst] : instances_) inst.recover(ctx);
+}
+
+}  // namespace dkg::vss

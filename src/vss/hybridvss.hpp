@@ -1,0 +1,194 @@
+// HybridVSS (paper §3, Fig 1): asynchronous verifiable secret sharing in the
+// hybrid model (t Byzantine + f crash/link failures, n >= 3t + 2f + 1).
+//
+// The protocol object is deliberately *not* a sim::Node: the DKG runs n
+// instances inside one node, so VssInstance is a plain state machine driven
+// through handler methods; `VssNode` (below) wraps instances for standalone
+// use. All sending goes through sim::Context.
+//
+// Thresholds (Fig 1):
+//   echo quorum   ceil((n+t+1)/2)   -> interpolate row, send ready
+//   ready trigger t+1               -> amplify ready (if echo quorum missed)
+//   completion    n-t-f readys      -> s_i = a_i(0), output shared
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "crypto/bipolynomial.hpp"
+#include "crypto/feldman.hpp"
+#include "crypto/keyring.hpp"
+#include "sim/node.hpp"
+#include "vss/vss_messages.hpp"
+
+namespace dkg::vss {
+
+enum class CommitmentMode {
+  Full,    // echo/ready carry the full matrix C: O(kappa n^4) bits (E1)
+  Hashed,  // echo/ready carry H(C): O(kappa n^3) bits, [17 §3.4] (E2)
+};
+
+struct VssParams {
+  const crypto::Group* grp = nullptr;
+  std::size_t n = 0;
+  std::size_t t = 0;
+  std::size_t f = 0;
+  /// d(kappa): the adversary's lifetime crash budget; bounds help replies.
+  std::uint64_t d_kappa = 8;
+  CommitmentMode mode = CommitmentMode::Full;
+  /// Extended-HybridVSS (§4): sign ready messages and collect proof sets.
+  bool sign_ready = false;
+  /// Share renewal (§5.2): do not retain row polynomials in the
+  /// retransmission buffer B (erasure of old-phase material).
+  bool erase_row_on_store = false;
+  std::shared_ptr<const crypto::Keyring> keyring;  // required if sign_ready
+
+  std::size_t echo_quorum() const { return (n + t + 2) / 2; }  // ceil((n+t+1)/2)
+  std::size_t ready_quorum() const { return n - t - f; }
+  bool resilient() const { return n >= 3 * t + 2 * f + 1; }
+};
+
+/// Output of protocol Sh: (P_d, tau, out, shared, C, s_i [, R_d]).
+struct SharedOutput {
+  SessionId sid;
+  std::shared_ptr<const crypto::FeldmanMatrix> commitment;
+  crypto::Scalar share;
+  std::vector<ReadySig> ready_proof;  // n-t-f signed readys when sign_ready
+};
+
+class VssInstance {
+ public:
+  using SharedHandler = std::function<void(sim::Context&, const SharedOutput&)>;
+  using ReconstructedHandler = std::function<void(sim::Context&, const crypto::Scalar&)>;
+
+  VssInstance(VssParams params, SessionId sid, sim::NodeId self);
+
+  const SessionId& sid() const { return sid_; }
+
+  void set_on_shared(SharedHandler h) { on_shared_ = std::move(h); }
+  void set_on_reconstructed(ReconstructedHandler h) { on_reconstructed_ = std::move(h); }
+
+  /// Dealer entry point: (P_d, tau, in, share, s).
+  void deal(sim::Context& ctx, const crypto::Scalar& secret);
+  /// Dealer entry point with an explicit dealing polynomial (share renewal
+  /// and node addition reshare an existing value: f(0,0) = old share).
+  void deal_polynomial(sim::Context& ctx, const crypto::BiPolynomial& f);
+
+  /// Network message dispatch; returns false if the message type is not a
+  /// VSS message for this session.
+  bool handle(sim::Context& ctx, sim::NodeId from, const sim::Message& msg);
+
+  /// (P_d, tau, in, reconstruct): start protocol Rec (requires shared).
+  void start_reconstruct(sim::Context& ctx);
+
+  /// (P_d, tau, in, recover): ask all peers for replay and replay own B.
+  void recover(sim::Context& ctx);
+
+  /// Proactive resharing check (§5.2/§6.2): only accept commitments whose
+  /// C_00 equals `e` — i.e., dealings of the dealer's previous-phase share,
+  /// whose public value g^{s_d} is known from the old commitment vector.
+  void set_expected_c00(crypto::Element e) { expected_c00_ = std::move(e); }
+
+  bool has_shared() const { return shared_.has_value(); }
+  const SharedOutput& shared() const { return *shared_; }
+  bool has_reconstructed() const { return reconstructed_.has_value(); }
+  const crypto::Scalar& reconstructed() const { return *reconstructed_; }
+
+  /// Number of invalid/ignored adversarial inputs seen (for tests).
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  // Per-commitment bookkeeping (the paper's A_C, e_C, r_C keyed by C).
+  struct PerCommit {
+    std::shared_ptr<const crypto::FeldmanMatrix> commitment;  // null until known
+    std::vector<std::pair<std::uint64_t, crypto::Scalar>> points;  // verified A_C
+    std::set<sim::NodeId> point_senders;  // a sender's echo+ready share one abscissa
+    struct Pending {
+      sim::NodeId from;
+      crypto::Scalar point;
+      bool is_ready;
+      std::optional<crypto::Signature> sig;
+    };
+    std::vector<Pending> pending;  // hashed mode: points awaiting C
+    std::size_t echoes = 0;
+    std::size_t readys = 0;
+    std::vector<ReadySig> ready_sigs;
+    std::optional<crypto::Polynomial> row;  // interpolated a_i
+    bool sent_ready = false;
+    bool requested_commitment = false;
+  };
+
+  void on_send(sim::Context& ctx, sim::NodeId from, const SendMsg& m);
+  void on_echo(sim::Context& ctx, sim::NodeId from, const EchoMsg& m);
+  void on_ready(sim::Context& ctx, sim::NodeId from, const ReadyMsg& m);
+  void on_help(sim::Context& ctx, sim::NodeId from);
+  void on_ccreq(sim::Context& ctx, sim::NodeId from, const CommitmentReq& m);
+  void on_ccreply(sim::Context& ctx, sim::NodeId from, const CommitmentReply& m);
+  void on_rec_share(sim::Context& ctx, sim::NodeId from, const RecShareMsg& m);
+
+  PerCommit& per_commit(const Bytes& digest);
+  void learn_commitment(sim::Context& ctx, const Bytes& digest,
+                        std::shared_ptr<const crypto::FeldmanMatrix> c);
+  /// Verifies and accounts one point; fires transitions.
+  void accept_point(sim::Context& ctx, const Bytes& digest, PerCommit& pc, sim::NodeId from,
+                    const crypto::Scalar& alpha, bool is_ready,
+                    const std::optional<crypto::Signature>& sig);
+  void check_transitions(sim::Context& ctx, const Bytes& digest, PerCommit& pc);
+  void send_ready_round(sim::Context& ctx, const Bytes& digest, PerCommit& pc);
+  void complete(sim::Context& ctx, const Bytes& digest, PerCommit& pc);
+
+  /// Sends and records into the retransmission buffer B.
+  void send_buffered(sim::Context& ctx, sim::NodeId to, sim::MessagePtr msg);
+
+  VssParams params_;
+  SessionId sid_;
+  sim::NodeId self_;
+
+  std::map<Bytes, PerCommit> commits_;
+  std::optional<crypto::Element> expected_c00_;
+  bool got_send_ = false;
+  std::set<sim::NodeId> seen_echo_;
+  std::set<sim::NodeId> seen_ready_;
+  std::optional<SharedOutput> shared_;
+
+  // Retransmission buffers (paper's B, B_l) and help budget counters c, c_l.
+  std::vector<std::vector<sim::MessagePtr>> buffer_;  // index 1..n
+  std::uint64_t help_total_ = 0;
+  std::map<sim::NodeId, std::uint64_t> help_per_node_;
+
+  // Rec protocol state.
+  bool reconstructing_ = false;
+  std::set<sim::NodeId> seen_rec_;
+  std::vector<std::pair<std::uint64_t, crypto::Scalar>> rec_points_;
+  std::optional<crypto::Scalar> reconstructed_;
+
+  std::uint64_t rejected_ = 0;
+
+  SharedHandler on_shared_;
+  ReconstructedHandler on_reconstructed_;
+};
+
+/// Standalone node wrapper: one VSS participant that can take part in any
+/// number of sessions (lazily created on first message). Operator messages:
+/// ShareOp (dealer), ReconstructOp, RecoverOp.
+class VssNode : public sim::Node {
+ public:
+  VssNode(VssParams params, sim::NodeId self);
+
+  void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
+  void on_recover(sim::Context& ctx) override;
+
+  VssInstance& instance(const SessionId& sid);
+  bool has_instance(const SessionId& sid) const { return instances_.count(sid) != 0; }
+
+ private:
+  VssParams params_;
+  sim::NodeId self_;
+  std::map<SessionId, VssInstance> instances_;
+};
+
+}  // namespace dkg::vss

@@ -1,0 +1,24 @@
+#include "vss/reconstruct.hpp"
+
+namespace dkg::vss {
+
+bool SecretReconstructor::add_share(std::uint64_t index, const crypto::Scalar& share) {
+  for (const auto& [i, s] : points_) {
+    if (i == index) return false;
+  }
+  if (!commitment_.verify_share(index, share)) {
+    ++rejected_;
+    return false;
+  }
+  points_.emplace_back(index, share);
+  return true;
+}
+
+std::optional<crypto::Scalar> SecretReconstructor::secret() const {
+  if (!complete()) return std::nullopt;
+  std::vector<std::pair<std::uint64_t, crypto::Scalar>> pts(
+      points_.begin(), points_.begin() + static_cast<std::ptrdiff_t>(t_ + 1));
+  return crypto::interpolate_at(commitment_.group(), pts, 0);
+}
+
+}  // namespace dkg::vss

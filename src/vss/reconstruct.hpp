@@ -1,0 +1,39 @@
+// Verified reconstruction utilities — the share-combination arithmetic of
+// protocol Rec (paper §3) factored out for reuse by the application layer
+// (threshold decryption/signing use the same verify-then-interpolate step).
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "crypto/feldman.hpp"
+#include "crypto/lagrange.hpp"
+
+namespace dkg::vss {
+
+/// Accumulates claimed shares (i, s_i), verifying each against a commitment,
+/// and interpolates the secret once t+1 valid shares are present.
+class SecretReconstructor {
+ public:
+  SecretReconstructor(const crypto::FeldmanVector& commitment, std::size_t t)
+      : commitment_(commitment), t_(t) {}
+
+  /// Returns true if the share verified and was added (duplicates ignored).
+  bool add_share(std::uint64_t index, const crypto::Scalar& share);
+
+  bool complete() const { return points_.size() >= t_ + 1; }
+  /// The reconstructed secret; empty until t+1 valid shares were added.
+  std::optional<crypto::Scalar> secret() const;
+
+  std::size_t valid_count() const { return points_.size(); }
+  std::size_t rejected_count() const { return rejected_; }
+
+ private:
+  crypto::FeldmanVector commitment_;
+  std::size_t t_;
+  std::vector<std::pair<std::uint64_t, crypto::Scalar>> points_;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace dkg::vss

@@ -1,0 +1,83 @@
+#include "vss/vss_messages.hpp"
+
+namespace dkg::vss {
+
+namespace {
+void put_sid(Writer& w, const SessionId& sid) {
+  w.u32(sid.dealer);
+  w.u32(sid.tau);
+}
+}  // namespace
+
+Bytes ready_sig_payload(const SessionId& sid, const Bytes& commit_digest) {
+  Writer w;
+  w.str("hybriddkg/vss/ready");
+  put_sid(w, sid);
+  w.blob(commit_digest);
+  return w.take();
+}
+
+void ShareOp::serialize(Writer& w) const {
+  put_sid(w, sid);
+  w.raw(secret.to_bytes());
+}
+
+void RecoverOp::serialize(Writer& w) const { put_sid(w, sid); }
+
+void ReconstructOp::serialize(Writer& w) const { put_sid(w, sid); }
+
+void SendMsg::serialize(Writer& w) const {
+  put_sid(w, sid);
+  w.blob(commitment ? commitment->to_bytes() : Bytes{});
+  w.blob(row ? row->to_bytes() : Bytes{});
+}
+
+void EchoMsg::serialize(Writer& w) const {
+  put_sid(w, sid);
+  if (commitment) {
+    w.u8(1);
+    w.blob(commitment->to_bytes());
+  } else {
+    w.u8(0);
+    w.blob(digest);
+  }
+  w.raw(point.to_bytes());
+}
+
+void ReadyMsg::serialize(Writer& w) const {
+  put_sid(w, sid);
+  if (commitment) {
+    w.u8(1);
+    w.blob(commitment->to_bytes());
+  } else {
+    w.u8(0);
+    w.blob(digest);
+  }
+  w.raw(point.to_bytes());
+  if (sig) {
+    w.u8(1);
+    w.raw(sig->to_bytes());
+  } else {
+    w.u8(0);
+  }
+}
+
+void HelpMsg::serialize(Writer& w) const { put_sid(w, sid); }
+
+void CommitmentReq::serialize(Writer& w) const {
+  put_sid(w, sid);
+  w.blob(digest);
+}
+
+void CommitmentReply::serialize(Writer& w) const {
+  put_sid(w, sid);
+  w.blob(commitment ? commitment->to_bytes() : Bytes{});
+}
+
+void RecShareMsg::serialize(Writer& w) const {
+  put_sid(w, sid);
+  w.blob(digest);
+  w.raw(share.to_bytes());
+}
+
+}  // namespace dkg::vss

@@ -1,0 +1,145 @@
+// Message vocabulary of HybridVSS (paper §3, Fig 1) plus the Rec protocol
+// and the crash-recovery flow. Messages are passed in-process as typed
+// objects; `serialize` defines the canonical wire encoding used for byte
+// accounting and signatures.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "crypto/feldman.hpp"
+#include "crypto/polynomial.hpp"
+#include "crypto/schnorr.hpp"
+#include "sim/message.hpp"
+
+namespace dkg::vss {
+
+/// Session identifier (P_d, tau): dealer identity plus a counter.
+struct SessionId {
+  sim::NodeId dealer = 0;
+  std::uint32_t tau = 0;
+
+  bool operator==(const SessionId& o) const { return dealer == o.dealer && tau == o.tau; }
+  bool operator<(const SessionId& o) const {
+    return dealer != o.dealer ? dealer < o.dealer : tau < o.tau;
+  }
+};
+
+/// A third-party-verifiable signed `ready` witness: node `signer` signed the
+/// canonical ready payload for (sid, commitment digest). The DKG leader
+/// forwards n-t-f of these per finished VSS as its proposal proof (R_d).
+struct ReadySig {
+  sim::NodeId signer = 0;
+  crypto::Signature sig;
+};
+
+/// Canonical bytes a ready signature commits to.
+Bytes ready_sig_payload(const SessionId& sid, const Bytes& commit_digest);
+
+struct VssMessage : sim::Message {
+  SessionId sid;
+  explicit VssMessage(SessionId s) : sid(s) {}
+};
+
+/// Operator message (P_d, tau, in, share, s): instructs the dealer to share.
+struct ShareOp : VssMessage {
+  crypto::Scalar secret;
+  ShareOp(SessionId s, crypto::Scalar sec) : VssMessage(s), secret(std::move(sec)) {}
+  std::string type() const override { return "vss.in.share"; }
+  void serialize(Writer& w) const override;
+};
+
+/// Operator message (P_d, tau, in, recover).
+struct RecoverOp : VssMessage {
+  using VssMessage::VssMessage;
+  std::string type() const override { return "vss.in.recover"; }
+  void serialize(Writer& w) const override;
+};
+
+/// Operator message (P_d, tau, in, reconstruct).
+struct ReconstructOp : VssMessage {
+  using VssMessage::VssMessage;
+  std::string type() const override { return "vss.in.reconstruct"; }
+  void serialize(Writer& w) const override;
+};
+
+/// (P_d, tau, send, C, a): dealer -> P_i with the full commitment matrix and
+/// P_i's row polynomial a_i(y) = f(i, y). In share-renewal retransmissions
+/// the polynomial is absent (erasure rule, §5.2).
+struct SendMsg : VssMessage {
+  std::shared_ptr<const crypto::FeldmanMatrix> commitment;
+  std::optional<crypto::Polynomial> row;
+  SendMsg(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c,
+          std::optional<crypto::Polynomial> a)
+      : VssMessage(s), commitment(std::move(c)), row(std::move(a)) {}
+  std::string type() const override { return "vss.send"; }
+  void serialize(Writer& w) const override;
+};
+
+/// (P_d, tau, echo, C, alpha): P_m -> P_i carrying alpha = f(m, i).
+/// In Full commitment mode the matrix rides along; in Hashed mode only its
+/// digest does (the O(kappa n^3) optimization of [17 §3.4], bench E2).
+struct EchoMsg : VssMessage {
+  std::shared_ptr<const crypto::FeldmanMatrix> commitment;  // null in hashed mode
+  Bytes digest;
+  crypto::Scalar point;
+  EchoMsg(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c, Bytes dig,
+          crypto::Scalar alpha)
+      : VssMessage(s), commitment(std::move(c)), digest(std::move(dig)), point(std::move(alpha)) {}
+  std::string type() const override { return "vss.echo"; }
+  void serialize(Writer& w) const override;
+};
+
+/// (P_d, tau, ready, C, alpha), optionally signed (extended-HybridVSS for
+/// the DKG, §4: shared outputs carry proof sets R_d of signed readys).
+struct ReadyMsg : VssMessage {
+  std::shared_ptr<const crypto::FeldmanMatrix> commitment;  // null in hashed mode
+  Bytes digest;
+  crypto::Scalar point;
+  std::optional<crypto::Signature> sig;
+  ReadyMsg(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c, Bytes dig,
+           crypto::Scalar alpha, std::optional<crypto::Signature> sg)
+      : VssMessage(s),
+        commitment(std::move(c)),
+        digest(std::move(dig)),
+        point(std::move(alpha)),
+        sig(std::move(sg)) {}
+  std::string type() const override { return "vss.ready"; }
+  void serialize(Writer& w) const override;
+};
+
+/// (P_d, tau, help): a recovering node asks peers to replay B_l.
+struct HelpMsg : VssMessage {
+  using VssMessage::VssMessage;
+  std::string type() const override { return "vss.help"; }
+  void serialize(Writer& w) const override;
+};
+
+/// Hashed-mode fallback: ask a peer for the full matrix behind a digest.
+struct CommitmentReq : VssMessage {
+  Bytes digest;
+  CommitmentReq(SessionId s, Bytes dig) : VssMessage(s), digest(std::move(dig)) {}
+  std::string type() const override { return "vss.ccreq"; }
+  void serialize(Writer& w) const override;
+};
+
+struct CommitmentReply : VssMessage {
+  std::shared_ptr<const crypto::FeldmanMatrix> commitment;
+  CommitmentReply(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c)
+      : VssMessage(s), commitment(std::move(c)) {}
+  std::string type() const override { return "vss.ccreply"; }
+  void serialize(Writer& w) const override;
+};
+
+/// Rec protocol: P_i broadcasts its share s_i = f(i, 0) with the digest of
+/// the commitment it completed Sh with.
+struct RecShareMsg : VssMessage {
+  Bytes digest;
+  crypto::Scalar share;
+  RecShareMsg(SessionId s, Bytes dig, crypto::Scalar sh)
+      : VssMessage(s), digest(std::move(dig)), share(std::move(sh)) {}
+  std::string type() const override { return "vss.rec-share"; }
+  void serialize(Writer& w) const override;
+};
+
+}  // namespace dkg::vss

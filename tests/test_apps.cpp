@@ -1,0 +1,226 @@
+// Application tests: threshold ElGamal, threshold Schnorr and the random
+// beacon running on genuine DKG outputs (paper §1's motivating uses).
+#include <gtest/gtest.h>
+
+#include "app/beacon.hpp"
+#include "app/threshold_elgamal.hpp"
+#include "app/threshold_schnorr.hpp"
+#include "dkg/runner.hpp"
+
+namespace dkg::app {
+namespace {
+
+using crypto::Element;
+using crypto::Group;
+using crypto::Scalar;
+
+struct DkgFixture : ::testing::Test {
+  static constexpr std::size_t kN = 7, kT = 2, kF = 0;
+
+  void SetUp() override {
+    core::RunnerConfig cfg;
+    cfg.n = kN;
+    cfg.t = kT;
+    cfg.f = kF;
+    cfg.seed = 301;
+    runner_ = std::make_unique<core::DkgRunner>(cfg);
+    runner_->start_all();
+    ASSERT_TRUE(runner_->run_to_completion());
+    ASSERT_TRUE(runner_->outputs_consistent());
+    vec_.emplace(*runner_->dkg_node(1).output().share_vec);
+    for (sim::NodeId i = 1; i <= kN; ++i) {
+      shares_.push_back(runner_->dkg_node(i).output().share);
+    }
+  }
+
+  Scalar share(std::size_t i) const { return shares_.at(i - 1); }
+
+  std::unique_ptr<core::DkgRunner> runner_;
+  std::optional<crypto::FeldmanVector> vec_;
+  std::vector<Scalar> shares_;
+};
+
+using ThresholdElGamal = DkgFixture;
+
+TEST_F(ThresholdElGamal, EncryptDecryptRoundTrip) {
+  const Group& grp = Group::tiny256();
+  crypto::Drbg rng(1);
+  Element m = Element::exp_g(Scalar::from_u64(grp, 123456789));
+  ElGamalCiphertext ct = elgamal_encrypt(vec_->c0(), m, rng);
+  std::vector<PartialDecryption> partials;
+  for (std::uint64_t i = 1; i <= kT + 1; ++i) {
+    partials.push_back(partial_decrypt(ct, i, share(i)));
+  }
+  auto out = combine_decryption(ct, *vec_, kT, partials);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, m);
+}
+
+TEST_F(ThresholdElGamal, AnySubsetOfTPlusOneWorks) {
+  const Group& grp = Group::tiny256();
+  crypto::Drbg rng(2);
+  Element m = Element::exp_g(Scalar::from_u64(grp, 42));
+  ElGamalCiphertext ct = elgamal_encrypt(vec_->c0(), m, rng);
+  std::vector<PartialDecryption> partials;
+  for (std::uint64_t i : {2ull, 5ull, 7ull}) partials.push_back(partial_decrypt(ct, i, share(i)));
+  auto out = combine_decryption(ct, *vec_, kT, partials);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, m);
+}
+
+TEST_F(ThresholdElGamal, BogusPartialIsRejected) {
+  const Group& grp = Group::tiny256();
+  crypto::Drbg rng(3);
+  Element m = Element::exp_g(Scalar::from_u64(grp, 7));
+  ElGamalCiphertext ct = elgamal_encrypt(vec_->c0(), m, rng);
+  // A partial computed with the WRONG share but a self-consistent proof.
+  PartialDecryption bad = partial_decrypt(ct, 1, share(2));
+  EXPECT_FALSE(verify_partial(ct, *vec_, bad));
+  // With only t valid partials + the bad one, combination fails.
+  std::vector<PartialDecryption> partials{bad, partial_decrypt(ct, 2, share(2)),
+                                          partial_decrypt(ct, 3, share(3))};
+  EXPECT_FALSE(combine_decryption(ct, *vec_, kT, partials).has_value());
+  // Adding one more honest partial succeeds despite the bad one.
+  partials.push_back(partial_decrypt(ct, 4, share(4)));
+  auto out = combine_decryption(ct, *vec_, kT, partials);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, m);
+}
+
+TEST_F(ThresholdElGamal, TooFewPartialsFail) {
+  const Group& grp = Group::tiny256();
+  crypto::Drbg rng(4);
+  ElGamalCiphertext ct =
+      elgamal_encrypt(vec_->c0(), Element::exp_g(Scalar::from_u64(grp, 1)), rng);
+  std::vector<PartialDecryption> partials;
+  for (std::uint64_t i = 1; i <= kT; ++i) partials.push_back(partial_decrypt(ct, i, share(i)));
+  EXPECT_FALSE(combine_decryption(ct, *vec_, kT, partials).has_value());
+}
+
+struct ThresholdSchnorrFixture : DkgFixture {
+  void SetUp() override {
+    DkgFixture::SetUp();
+    // Nonce DKG: a second, independent run.
+    core::RunnerConfig cfg;
+    cfg.n = kN;
+    cfg.t = kT;
+    cfg.f = kF;
+    cfg.seed = 302;
+    cfg.tau = 2;
+    nonce_runner_ = std::make_unique<core::DkgRunner>(cfg);
+    nonce_runner_->start_all();
+    ASSERT_TRUE(nonce_runner_->run_to_completion());
+    nonce_vec_.emplace(*nonce_runner_->dkg_node(1).output().share_vec);
+    for (sim::NodeId i = 1; i <= kN; ++i) {
+      nonce_shares_.push_back(nonce_runner_->dkg_node(i).output().share);
+    }
+  }
+
+  SigningSession session(const Bytes& msg) const {
+    return SigningSession{nonce_vec_->c0(), *nonce_vec_, *vec_, msg};
+  }
+
+  std::unique_ptr<core::DkgRunner> nonce_runner_;
+  std::optional<crypto::FeldmanVector> nonce_vec_;
+  std::vector<Scalar> nonce_shares_;
+};
+
+using ThresholdSchnorr = ThresholdSchnorrFixture;
+
+TEST_F(ThresholdSchnorr, CombinedSignatureVerifiesUnderPlainSchnorr) {
+  Bytes msg = bytes_of("threshold-signed message");
+  SigningSession s = session(msg);
+  std::vector<PartialSignature> partials;
+  for (std::uint64_t i = 1; i <= kT + 1; ++i) {
+    partials.push_back(partial_sign(s, i, share(i), nonce_shares_[i - 1]));
+    EXPECT_TRUE(verify_partial(s, partials.back()));
+  }
+  auto sig = combine_signature(s, kT, partials);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(crypto::schnorr_verify(vec_->c0(), msg, *sig));
+}
+
+TEST_F(ThresholdSchnorr, DifferentSubsetsProduceSameSignature) {
+  Bytes msg = bytes_of("m");
+  SigningSession s = session(msg);
+  std::vector<PartialSignature> sub1, sub2;
+  for (std::uint64_t i : {1ull, 2ull, 3ull}) {
+    sub1.push_back(partial_sign(s, i, share(i), nonce_shares_[i - 1]));
+  }
+  for (std::uint64_t i : {4ull, 6ull, 7ull}) {
+    sub2.push_back(partial_sign(s, i, share(i), nonce_shares_[i - 1]));
+  }
+  auto s1 = combine_signature(s, kT, sub1);
+  auto s2 = combine_signature(s, kT, sub2);
+  ASSERT_TRUE(s1.has_value() && s2.has_value());
+  EXPECT_TRUE(*s1 == *s2);  // interpolation of the same polynomial
+}
+
+TEST_F(ThresholdSchnorr, WrongSharePartialIsRejected) {
+  Bytes msg = bytes_of("m2");
+  SigningSession s = session(msg);
+  PartialSignature bad = partial_sign(s, 1, share(2), nonce_shares_[0]);
+  EXPECT_FALSE(verify_partial(s, bad));
+  std::vector<PartialSignature> partials{bad};
+  for (std::uint64_t i = 2; i <= kT + 1; ++i) {
+    partials.push_back(partial_sign(s, i, share(i), nonce_shares_[i - 1]));
+  }
+  EXPECT_FALSE(combine_signature(s, kT, partials).has_value());
+}
+
+using Beacon = DkgFixture;
+
+TEST_F(Beacon, CombinesToUniqueValuePerRound) {
+  const Group& grp = Group::tiny256();
+  for (std::uint64_t round = 1; round <= 3; ++round) {
+    std::vector<BeaconShare> shares1, shares2;
+    for (std::uint64_t i : {1ull, 2ull, 3ull}) {
+      shares1.push_back(beacon_evaluate(grp, round, i, share(i)));
+    }
+    for (std::uint64_t i : {5ull, 6ull, 7ull}) {
+      shares2.push_back(beacon_evaluate(grp, round, i, share(i)));
+    }
+    auto out1 = beacon_combine(*vec_, kT, round, shares1);
+    auto out2 = beacon_combine(*vec_, kT, round, shares2);
+    ASSERT_TRUE(out1.has_value() && out2.has_value());
+    EXPECT_EQ(*out1, *out2);  // uniqueness: subset-independent output
+  }
+}
+
+TEST_F(Beacon, DifferentRoundsDiffer) {
+  const Group& grp = Group::tiny256();
+  std::vector<BeaconShare> r1, r2;
+  for (std::uint64_t i = 1; i <= kT + 1; ++i) {
+    r1.push_back(beacon_evaluate(grp, 1, i, share(i)));
+    r2.push_back(beacon_evaluate(grp, 2, i, share(i)));
+  }
+  auto o1 = beacon_combine(*vec_, kT, 1, r1);
+  auto o2 = beacon_combine(*vec_, kT, 2, r2);
+  ASSERT_TRUE(o1.has_value() && o2.has_value());
+  EXPECT_NE(*o1, *o2);
+}
+
+TEST_F(Beacon, ForgedShareIsRejected) {
+  const Group& grp = Group::tiny256();
+  BeaconShare forged = beacon_evaluate(grp, 1, 1, share(2));  // wrong share
+  EXPECT_FALSE(beacon_verify_share(*vec_, forged));
+  std::vector<BeaconShare> shares{forged};
+  for (std::uint64_t i = 2; i <= kT + 1; ++i) {
+    shares.push_back(beacon_evaluate(grp, 1, i, share(i)));
+  }
+  EXPECT_FALSE(beacon_combine(*vec_, kT, 1, shares).has_value());
+  shares.push_back(beacon_evaluate(grp, 1, kT + 2, share(kT + 2)));
+  EXPECT_TRUE(beacon_combine(*vec_, kT, 1, shares).has_value());
+}
+
+TEST_F(Beacon, WrongRoundSharesIgnored) {
+  const Group& grp = Group::tiny256();
+  std::vector<BeaconShare> shares;
+  for (std::uint64_t i = 1; i <= kT + 1; ++i) {
+    shares.push_back(beacon_evaluate(grp, 9, i, share(i)));
+  }
+  EXPECT_FALSE(beacon_combine(*vec_, kT, 1, shares).has_value());
+}
+
+}  // namespace
+}  // namespace dkg::app

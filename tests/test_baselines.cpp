@@ -1,0 +1,194 @@
+// Baseline tests: AVSS (the scheme HybridVSS modifies), Joint-Feldman and
+// Gennaro et al. synchronous DKGs.
+#include <gtest/gtest.h>
+
+#include "baseline/gennaro_dkg.hpp"
+#include "baseline/joint_feldman.hpp"
+#include "crypto/lagrange.hpp"
+#include "sim/simulator.hpp"
+#include "vss/avss.hpp"
+#include "vss/hybridvss.hpp"
+
+namespace dkg {
+namespace {
+
+using crypto::Element;
+using crypto::Group;
+using crypto::Scalar;
+
+TEST(Avss, AllNodesCompleteAndAgree) {
+  const Group& grp = Group::tiny256();
+  vss::AvssParams params{&grp, 7, 2};
+  sim::Simulator sim(7, std::make_unique<sim::UniformDelay>(5, 40), 51);
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    sim.set_node(i, std::make_unique<vss::AvssNode>(params, i));
+  }
+  vss::SessionId sid{1, 1};
+  Scalar secret = Scalar::from_u64(grp, 8888);
+  sim.post_operator(1, std::make_shared<vss::ShareOp>(sid, secret), 0);
+  ASSERT_TRUE(sim.run());
+  std::vector<std::pair<std::uint64_t, Scalar>> pts;
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    auto& node = dynamic_cast<vss::AvssNode&>(sim.node(i));
+    ASSERT_TRUE(node.instance(sid).has_shared()) << "node " << i;
+    if (pts.size() < 3) pts.emplace_back(i, node.instance(sid).share());
+  }
+  EXPECT_EQ(crypto::interpolate_at(grp, pts, 0), secret);
+}
+
+TEST(Avss, DealerCrashAfterSendStillCompletes) {
+  const Group& grp = Group::tiny256();
+  vss::AvssParams params{&grp, 7, 2};
+  sim::Simulator sim(7, std::make_unique<sim::UniformDelay>(5, 40), 52);
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    sim.set_node(i, std::make_unique<vss::AvssNode>(params, i));
+  }
+  vss::SessionId sid{1, 1};
+  sim.post_operator(1, std::make_shared<vss::ShareOp>(sid, Scalar::from_u64(grp, 3)), 0);
+  sim.schedule_crash(1, 1);
+  ASSERT_TRUE(sim.run());
+  for (sim::NodeId i = 2; i <= 7; ++i) {
+    EXPECT_TRUE(dynamic_cast<vss::AvssNode&>(sim.node(i)).instance(sid).has_shared());
+  }
+}
+
+TEST(Avss, HybridVssUsesFewerBytesThanAvss) {
+  // The paper's §3 claim: symmetric bivariate dealings give a constant-
+  // factor reduction over AVSS. Compare total bytes at equal (n, t), f = 0.
+  const Group& grp = Group::tiny256();
+  std::size_t n = 10, t = 3;
+  vss::SessionId sid{1, 1};
+  Scalar secret = Scalar::from_u64(grp, 5);
+
+  sim::Simulator avss_sim(n, std::make_unique<sim::UniformDelay>(5, 40), 53);
+  vss::AvssParams ap{&grp, n, t};
+  for (sim::NodeId i = 1; i <= n; ++i) {
+    avss_sim.set_node(i, std::make_unique<vss::AvssNode>(ap, i));
+  }
+  avss_sim.post_operator(1, std::make_shared<vss::ShareOp>(sid, secret), 0);
+  ASSERT_TRUE(avss_sim.run());
+
+  sim::Simulator hv_sim(n, std::make_unique<sim::UniformDelay>(5, 40), 53);
+  vss::VssParams hp;
+  hp.grp = &grp;
+  hp.n = n;
+  hp.t = t;
+  hp.f = 0;
+  for (sim::NodeId i = 1; i <= n; ++i) {
+    hv_sim.set_node(i, std::make_unique<vss::VssNode>(hp, i));
+  }
+  hv_sim.post_operator(1, std::make_shared<vss::ShareOp>(sid, secret), 0);
+  ASSERT_TRUE(hv_sim.run());
+
+  EXPECT_LT(hv_sim.metrics().total_bytes(), avss_sim.metrics().total_bytes());
+}
+
+baseline::SyncNetwork make_jf_network(const baseline::JfParams& p, std::uint64_t seed) {
+  baseline::SyncNetwork net(p.n, seed);
+  for (sim::NodeId i = 1; i <= p.n; ++i) {
+    net.set_node(i, std::make_unique<baseline::JointFeldmanNode>(p, i, net.rng().fork(
+                        "jf/" + std::to_string(i))));
+  }
+  return net;
+}
+
+TEST(JointFeldman, HonestRunProducesConsistentKey) {
+  const Group& grp = Group::tiny256();
+  baseline::JfParams p{&grp, 7, 2};
+  baseline::SyncNetwork net = make_jf_network(p, 61);
+  auto outs = run_joint_feldman(net, p);
+  ASSERT_TRUE(outs[1].has_value());
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    ASSERT_TRUE(outs[i].has_value());
+    EXPECT_EQ(outs[i]->public_key, outs[1]->public_key);
+    EXPECT_EQ(outs[i]->qual.size(), 7u);
+  }
+  // Shares interpolate to the discrete log of the public key.
+  std::vector<std::pair<std::uint64_t, Scalar>> pts;
+  for (sim::NodeId i = 1; i <= 3; ++i) pts.emplace_back(i, outs[i]->share);
+  EXPECT_EQ(Element::exp_g(crypto::interpolate_at(grp, pts, 0)), outs[1]->public_key);
+}
+
+TEST(JointFeldman, BadSharesResolvedByReveal) {
+  const Group& grp = Group::tiny256();
+  baseline::JfParams p{&grp, 7, 2};
+  baseline::SyncNetwork net = make_jf_network(p, 62);
+  dynamic_cast<baseline::JointFeldmanNode&>(net.node(3)).corrupt_shares_to({5, 6});
+  auto outs = run_joint_feldman(net, p);
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    ASSERT_TRUE(outs[i].has_value());
+    // Dealer 3 revealed correct shares, so it stays qualified everywhere.
+    EXPECT_EQ(outs[i]->qual.count(3), 1u) << "node " << i;
+    EXPECT_EQ(outs[i]->public_key, outs[1]->public_key);
+  }
+  std::vector<std::pair<std::uint64_t, Scalar>> pts;
+  for (sim::NodeId i = 4; i <= 6; ++i) pts.emplace_back(i, outs[i]->share);
+  EXPECT_EQ(Element::exp_g(crypto::interpolate_at(grp, pts, 0)), outs[1]->public_key);
+}
+
+TEST(JointFeldman, RefusingRevealDisqualifies) {
+  const Group& grp = Group::tiny256();
+  baseline::JfParams p{&grp, 7, 2};
+  baseline::SyncNetwork net = make_jf_network(p, 63);
+  auto& cheat = dynamic_cast<baseline::JointFeldmanNode&>(net.node(3));
+  cheat.corrupt_shares_to({5});
+  cheat.refuse_reveal();
+  auto outs = run_joint_feldman(net, p);
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    ASSERT_TRUE(outs[i].has_value());
+    EXPECT_EQ(outs[i]->qual.count(3), 0u) << "node " << i;
+    EXPECT_EQ(outs[i]->public_key, outs[1]->public_key);
+  }
+}
+
+baseline::SyncNetwork make_gjkr_network(const baseline::GennaroParams& p, std::uint64_t seed) {
+  baseline::SyncNetwork net(p.n, seed);
+  for (sim::NodeId i = 1; i <= p.n; ++i) {
+    net.set_node(i, std::make_unique<baseline::GennaroNode>(p, i, net.rng().fork(
+                        "gjkr/" + std::to_string(i))));
+  }
+  return net;
+}
+
+TEST(Gennaro, HonestRunProducesConsistentKey) {
+  const Group& grp = Group::tiny256();
+  baseline::GennaroParams p{&grp, 7, 2};
+  baseline::SyncNetwork net = make_gjkr_network(p, 71);
+  net.run();
+  std::vector<baseline::GennaroOutput> outs;
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    auto& node = dynamic_cast<baseline::GennaroNode&>(net.node(i));
+    ASSERT_TRUE(node.done()) << "node " << i;
+    outs.push_back(node.output());
+  }
+  for (const auto& o : outs) {
+    EXPECT_EQ(o.public_key, outs[0].public_key);
+    EXPECT_EQ(o.qual.size(), 7u);
+  }
+  std::vector<std::pair<std::uint64_t, Scalar>> pts;
+  for (sim::NodeId i = 1; i <= 3; ++i) pts.emplace_back(i, outs[i - 1].share);
+  EXPECT_EQ(Element::exp_g(crypto::interpolate_at(grp, pts, 0)), outs[0].public_key);
+}
+
+TEST(Gennaro, ExtractionCheaterIsExposedAndKeyStaysCorrect) {
+  const Group& grp = Group::tiny256();
+  baseline::GennaroParams p{&grp, 7, 2};
+  baseline::SyncNetwork net = make_gjkr_network(p, 72);
+  dynamic_cast<baseline::GennaroNode&>(net.node(4)).cheat_in_extraction();
+  net.run();
+  std::vector<baseline::GennaroOutput> outs;
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    auto& node = dynamic_cast<baseline::GennaroNode&>(net.node(i));
+    ASSERT_TRUE(node.done()) << "node " << i;
+    outs.push_back(node.output());
+  }
+  // The cheater stays in QUAL (its Pedersen phase was honest) but its
+  // Feldman lie is caught; the public key still matches the shared secret.
+  for (const auto& o : outs) EXPECT_EQ(o.public_key, outs[0].public_key);
+  std::vector<std::pair<std::uint64_t, Scalar>> pts;
+  for (sim::NodeId i = 1; i <= 3; ++i) pts.emplace_back(i, outs[i - 1].share);
+  EXPECT_EQ(Element::exp_g(crypto::interpolate_at(grp, pts, 0)), outs[0].public_key);
+}
+
+}  // namespace
+}  // namespace dkg

@@ -1,0 +1,167 @@
+// Unit tests: Feldman and Pedersen commitments — the verify-poly /
+// verify-point predicates of Fig 1 and their failure modes.
+#include <gtest/gtest.h>
+
+#include "crypto/feldman.hpp"
+#include "crypto/pedersen.hpp"
+
+namespace dkg::crypto {
+namespace {
+
+const Group& grp() { return Group::tiny256(); }
+
+class FeldmanDegrees : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Degrees, FeldmanDegrees, ::testing::Values(1, 2, 3, 5));
+
+TEST_P(FeldmanDegrees, VerifyPolyAcceptsHonestRows) {
+  std::size_t t = GetParam();
+  Drbg rng(t);
+  BiPolynomial f = BiPolynomial::random(Scalar::from_u64(grp(), 77), t, rng);
+  FeldmanMatrix c = FeldmanMatrix::commit(f);
+  for (std::uint64_t i = 1; i <= t + 2; ++i) EXPECT_TRUE(c.verify_poly(i, f.row(i)));
+}
+
+TEST_P(FeldmanDegrees, VerifyPolyRejectsWrongRows) {
+  std::size_t t = GetParam();
+  Drbg rng(10 + t);
+  BiPolynomial f = BiPolynomial::random(Scalar::from_u64(grp(), 77), t, rng);
+  BiPolynomial g = BiPolynomial::random(Scalar::from_u64(grp(), 78), t, rng);
+  FeldmanMatrix c = FeldmanMatrix::commit(f);
+  EXPECT_FALSE(c.verify_poly(1, g.row(1)));
+  EXPECT_FALSE(c.verify_poly(2, f.row(1)));  // right poly, wrong index
+}
+
+TEST_P(FeldmanDegrees, VerifyPointMatchesEvaluations) {
+  std::size_t t = GetParam();
+  Drbg rng(20 + t);
+  BiPolynomial f = BiPolynomial::random(Scalar::from_u64(grp(), 3), t, rng);
+  FeldmanMatrix c = FeldmanMatrix::commit(f);
+  for (std::uint64_t i = 1; i <= t + 1; ++i) {
+    for (std::uint64_t m = 0; m <= t + 1; ++m) {
+      EXPECT_TRUE(c.verify_point(i, m, f.eval_at(m, i)));
+      EXPECT_FALSE(c.verify_point(i, m, f.eval_at(m, i) + Scalar::one(grp())));
+    }
+  }
+}
+
+TEST_P(FeldmanDegrees, SerializationRoundTrip) {
+  std::size_t t = GetParam();
+  Drbg rng(30 + t);
+  BiPolynomial f = BiPolynomial::random(Scalar::from_u64(grp(), 4), t, rng);
+  FeldmanMatrix c = FeldmanMatrix::commit(f);
+  auto back = FeldmanMatrix::from_bytes(grp(), c.to_bytes(), t, /*check_subgroup=*/true);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == c);
+  EXPECT_EQ(back->digest(), c.digest());
+}
+
+TEST(Feldman, FromBytesRejectsMalformedInput) {
+  Drbg rng(1);
+  BiPolynomial f = BiPolynomial::random(Scalar::from_u64(grp(), 4), 2, rng);
+  FeldmanMatrix c = FeldmanMatrix::commit(f);
+  Bytes ok = c.to_bytes();
+  EXPECT_FALSE(FeldmanMatrix::from_bytes(grp(), ok, 3).has_value());  // wrong degree
+  Bytes truncated(ok.begin(), ok.end() - 1);
+  EXPECT_FALSE(FeldmanMatrix::from_bytes(grp(), truncated, 2).has_value());
+  Bytes extended = ok;
+  extended.push_back(0);
+  EXPECT_FALSE(FeldmanMatrix::from_bytes(grp(), extended, 2).has_value());
+  Bytes zeroed = ok;
+  std::fill(zeroed.begin() + 4, zeroed.begin() + 4 + grp().p_bytes(), 0);  // entry = 0
+  EXPECT_FALSE(FeldmanMatrix::from_bytes(grp(), zeroed, 2).has_value());
+}
+
+TEST(Feldman, ProductCommitsToSum) {
+  Drbg rng(2);
+  BiPolynomial f1 = BiPolynomial::random(Scalar::from_u64(grp(), 10), 2, rng);
+  BiPolynomial f2 = BiPolynomial::random(Scalar::from_u64(grp(), 20), 2, rng);
+  FeldmanMatrix c = FeldmanMatrix::commit(f1) * FeldmanMatrix::commit(f2);
+  // The product verifies the summed rows (used in DKG share aggregation).
+  Polynomial sum_row = f1.row(3) + f2.row(3);
+  EXPECT_TRUE(c.verify_poly(3, sum_row));
+  EXPECT_EQ(c.c00(), Element::exp_g(Scalar::from_u64(grp(), 30)));
+}
+
+TEST(Feldman, ShareVectorVerifiesShares) {
+  Drbg rng(3);
+  BiPolynomial f = BiPolynomial::random(Scalar::from_u64(grp(), 55), 3, rng);
+  FeldmanVector v = FeldmanMatrix::commit(f).share_vector();
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(v.verify_share(i, f.eval_at(i, 0)));
+    EXPECT_FALSE(v.verify_share(i, f.eval_at(i, 1)));
+  }
+  EXPECT_EQ(v.c0(), Element::exp_g(Scalar::from_u64(grp(), 55)));
+}
+
+TEST(Feldman, VectorCommitAndEval) {
+  Drbg rng(4);
+  Polynomial p = Polynomial::random(grp(), 3, rng);
+  FeldmanVector v = FeldmanVector::commit(p);
+  for (std::uint64_t i = 0; i <= 6; ++i) {
+    EXPECT_EQ(v.eval_commit(i), Element::exp_g(p.eval_at(i)));
+  }
+  auto back = FeldmanVector::from_bytes(grp(), v.to_bytes(), 3);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == v);
+}
+
+TEST(Feldman, ColumnVerificationForNonSymmetricMatrices) {
+  // Build a non-symmetric matrix by hand (the AVSS case).
+  Drbg rng(5);
+  std::size_t t = 2;
+  std::vector<Scalar> coeffs;
+  for (std::size_t k = 0; k < (t + 1) * (t + 1); ++k) coeffs.push_back(Scalar::random(grp(), rng));
+  std::vector<Element> entries;
+  for (const Scalar& s : coeffs) entries.push_back(Element::exp_g(s));
+  FeldmanMatrix c = FeldmanMatrix::from_entries(t, entries);
+  // Column polynomial b_i(x) = f(x, i): coefficient j is sum_l c_{jl} i^l.
+  std::uint64_t i = 4;
+  Scalar x = Scalar::from_u64(grp(), i);
+  std::vector<Scalar> col;
+  for (std::size_t j = 0; j <= t; ++j) {
+    Scalar acc = coeffs[j * (t + 1) + t];
+    for (std::size_t l = t; l-- > 0;) acc = acc * x + coeffs[j * (t + 1) + l];
+    col.push_back(acc);
+  }
+  EXPECT_TRUE(c.verify_poly_col(i, Polynomial(col)));
+  EXPECT_FALSE(c.verify_poly_col(i + 1, Polynomial(col)));
+}
+
+TEST(Pedersen, VerifyPolyAndPoint) {
+  Drbg rng(6);
+  std::size_t t = 2;
+  PedersenDealing d{BiPolynomial::random(Scalar::from_u64(grp(), 9), t, rng),
+                    BiPolynomial::random(Scalar::from_u64(grp(), 11), t, rng)};
+  PedersenMatrix c = PedersenMatrix::commit(d);
+  for (std::uint64_t i = 1; i <= t + 1; ++i) {
+    EXPECT_TRUE(c.verify_poly(i, d.f.row(i), d.f_prime.row(i)));
+    EXPECT_FALSE(c.verify_poly(i, d.f_prime.row(i), d.f.row(i)));
+    for (std::uint64_t m = 1; m <= t + 1; ++m) {
+      EXPECT_TRUE(c.verify_point(i, m, d.f.eval_at(m, i), d.f_prime.eval_at(m, i)));
+      EXPECT_FALSE(c.verify_point(i, m, d.f.eval_at(m, i) + Scalar::one(grp()),
+                                  d.f_prime.eval_at(m, i)));
+    }
+  }
+}
+
+TEST(Pedersen, IsPerfectlyHidingAcrossSecrets) {
+  // Same commitment can open to different secrets with suitable companions:
+  // structurally, commitments to different (f, f') pairs with matching
+  // g^f h^f' coincide. Here we check the weaker observable: commitments to
+  // different secrets are indistinguishable in distribution — at minimum,
+  // they are valid commitments of the same shape.
+  Drbg rng(7);
+  PedersenDealing d1{BiPolynomial::random(Scalar::from_u64(grp(), 1), 2, rng),
+                     BiPolynomial::random(Scalar::from_u64(grp(), 2), 2, rng)};
+  PedersenDealing d2{BiPolynomial::random(Scalar::from_u64(grp(), 3), 2, rng),
+                     BiPolynomial::random(Scalar::from_u64(grp(), 4), 2, rng)};
+  PedersenMatrix c1 = PedersenMatrix::commit(d1);
+  PedersenMatrix c2 = PedersenMatrix::commit(d2);
+  EXPECT_EQ(c1.to_bytes().size(), c2.to_bytes().size());
+  auto rt = PedersenMatrix::from_bytes(grp(), c1.to_bytes(), 2);
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_TRUE(*rt == c1);
+}
+
+}  // namespace
+}  // namespace dkg::crypto

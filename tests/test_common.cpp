@@ -1,0 +1,88 @@
+// Unit tests: byte utilities and canonical serialization.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+
+namespace dkg {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes b{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(b), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), b);
+  EXPECT_EQ(from_hex("0001ABFF"), b);
+}
+
+TEST(Bytes, HexRejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // bad digit
+}
+
+TEST(Bytes, EmptyHex) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(Bytes, Equality) {
+  EXPECT_TRUE(bytes_equal(bytes_of("abc"), bytes_of("abc")));
+  EXPECT_FALSE(bytes_equal(bytes_of("abc"), bytes_of("abd")));
+  EXPECT_FALSE(bytes_equal(bytes_of("abc"), bytes_of("abcd")));
+}
+
+TEST(Serialize, IntegerRoundTrip) {
+  Writer w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  w.u64(0x0123456789abcdefULL);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u32(), 0x789abcdeu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, BigEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[3], 0x04);
+}
+
+TEST(Serialize, BlobAndString) {
+  Writer w;
+  w.blob(Bytes{1, 2, 3});
+  w.str("hello");
+  Reader r(w.data());
+  EXPECT_EQ(r.blob(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  Writer w;
+  w.u32(7);
+  Bytes data = w.data();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_THROW(r.u32(), std::out_of_range);
+}
+
+TEST(Serialize, TruncatedBlobThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow; none do
+  Reader r(w.data());
+  EXPECT_THROW(r.blob(), std::out_of_range);
+}
+
+TEST(Serialize, RawHasNoFraming) {
+  Writer w;
+  w.raw(Bytes{9, 9});
+  EXPECT_EQ(w.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dkg

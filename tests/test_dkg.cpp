@@ -1,0 +1,211 @@
+// Protocol tests: the DKG optimistic phase (paper §4, Fig 2) — liveness,
+// agreement on Q, consistency of shares and public key, swept over (n,t,f).
+#include <gtest/gtest.h>
+
+#include "crypto/lagrange.hpp"
+#include "dkg/runner.hpp"
+
+namespace dkg::core {
+namespace {
+
+using crypto::Element;
+using crypto::Group;
+using crypto::Scalar;
+
+struct DkgConfig {
+  std::size_t n, t, f;
+  vss::CommitmentMode mode = vss::CommitmentMode::Full;
+  std::uint64_t seed = 17;
+
+  friend std::ostream& operator<<(std::ostream& os, const DkgConfig& c) {
+    return os << "n" << c.n << "t" << c.t << "f" << c.f
+              << (c.mode == vss::CommitmentMode::Hashed ? "hashed" : "full");
+  }
+};
+
+RunnerConfig to_runner(const DkgConfig& c) {
+  RunnerConfig cfg;
+  cfg.n = c.n;
+  cfg.t = c.t;
+  cfg.f = c.f;
+  cfg.mode = c.mode;
+  cfg.seed = c.seed;
+  return cfg;
+}
+
+class DkgSweep : public ::testing::TestWithParam<DkgConfig> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DkgSweep,
+    ::testing::Values(DkgConfig{4, 1, 0}, DkgConfig{6, 1, 1}, DkgConfig{7, 2, 0},
+                      DkgConfig{10, 2, 1}, DkgConfig{13, 3, 1},
+                      DkgConfig{7, 1, 1, vss::CommitmentMode::Hashed},
+                      DkgConfig{10, 2, 1, vss::CommitmentMode::Hashed}),
+    [](const auto& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+TEST_P(DkgSweep, AllNodesCompleteConsistently) {
+  DkgRunner runner(to_runner(GetParam()));
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion());
+  EXPECT_EQ(runner.completed_nodes().size(), GetParam().n);
+  EXPECT_TRUE(runner.outputs_consistent());
+}
+
+TEST_P(DkgSweep, PublicKeyMatchesReconstructedSecret) {
+  DkgRunner runner(to_runner(GetParam()));
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion());
+  Scalar secret = runner.reconstruct_secret();
+  EXPECT_EQ(Element::exp_g(secret), runner.dkg_node(1).output().public_key);
+}
+
+TEST_P(DkgSweep, AgreedSetHasExactlyTPlusOneDealers) {
+  DkgRunner runner(to_runner(GetParam()));
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion());
+  const DkgOutput& out = runner.dkg_node(1).output();
+  EXPECT_EQ(out.q.size(), GetParam().t + 1);
+  // Commitment aggregates exactly Q's dealings: every node agrees on Q.
+  for (sim::NodeId i = 2; i <= GetParam().n; ++i) {
+    EXPECT_TRUE(runner.dkg_node(i).output().q == out.q);
+  }
+}
+
+TEST_P(DkgSweep, CompletesWithoutLeaderChangeWhenLeaderHonest) {
+  DkgRunner runner(to_runner(GetParam()));
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion());
+  for (sim::NodeId i = 1; i <= GetParam().n; ++i) {
+    EXPECT_EQ(runner.dkg_node(i).output().view, 1u) << "node " << i;
+  }
+  EXPECT_EQ(runner.simulator().metrics().by_prefix("dkg.lead-ch").count, 0u);
+}
+
+TEST(Dkg, NoRejectionsOnHonestPath) {
+  RunnerConfig cfg;
+  cfg.n = 7;
+  cfg.t = 1;
+  cfg.f = 1;
+  DkgRunner runner(cfg);
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion());
+  for (sim::NodeId i = 1; i <= cfg.n; ++i) EXPECT_EQ(runner.dkg_node(i).rejected(), 0u);
+}
+
+TEST(Dkg, SharesVerifyAgainstAggregatedCommitment) {
+  RunnerConfig cfg;
+  cfg.n = 10;
+  cfg.t = 2;
+  cfg.f = 1;
+  DkgRunner runner(cfg);
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion());
+  const DkgOutput& out0 = runner.dkg_node(1).output();
+  ASSERT_TRUE(out0.share_vec.has_value());
+  for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+    const DkgOutput& out = runner.dkg_node(i).output();
+    EXPECT_TRUE(out0.share_vec->verify_share(i, out.share)) << "node " << i;
+    // The matrix-based check agrees with the vector-based one.
+    EXPECT_TRUE(out.commitment->verify_point(0, i, out.share));
+  }
+}
+
+TEST(Dkg, SecretIsSumOfQContributionsOnly) {
+  // Seed every node's contribution deterministically and check that the
+  // group secret equals the sum over the agreed Q (not over all dealers).
+  RunnerConfig cfg;
+  cfg.n = 7;
+  cfg.t = 2;
+  cfg.f = 0;
+  DkgRunner runner(cfg);
+  const crypto::Group& grp = *cfg.grp;
+  std::map<sim::NodeId, Scalar> contributions;
+  for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+    Scalar s = Scalar::from_u64(grp, 1000 + i);
+    contributions.emplace(i, s);
+    runner.simulator().post_operator(i, std::make_shared<DkgStartOp>(cfg.tau, s), 0);
+  }
+  ASSERT_TRUE(runner.run_to_completion());
+  Scalar secret = runner.reconstruct_secret();
+  Scalar expected = Scalar::zero(grp);
+  for (sim::NodeId d : runner.dkg_node(1).output().q) expected += contributions.at(d);
+  EXPECT_EQ(secret, expected);
+}
+
+TEST(Dkg, ToleratesStaggeredStarts) {
+  RunnerConfig cfg;
+  cfg.n = 7;
+  cfg.t = 1;
+  cfg.f = 1;
+  DkgRunner runner(cfg);
+  // Nodes start over a long window — slower than any single VSS round.
+  for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+    runner.simulator().post_operator(i, std::make_shared<DkgStartOp>(cfg.tau, std::nullopt),
+                                     static_cast<sim::Time>(i) * 500);
+  }
+  ASSERT_TRUE(runner.run_to_completion());
+  EXPECT_TRUE(runner.outputs_consistent());
+}
+
+TEST(Dkg, AdversarialDelaysOnByzantineLinksDontStallCompletion) {
+  // The paper's §2.1 argument: slowing the adversary's own links does not
+  // slow the honest mesh. Completion time should stay flat.
+  auto completion_time = [](sim::Time penalty) {
+    RunnerConfig cfg;
+    cfg.n = 7;
+    cfg.t = 1;
+    cfg.f = 1;
+    cfg.seed = 5;
+    cfg.slow_nodes = {7};  // one "adversarial" node's links are slowed
+    cfg.slow_penalty = penalty;
+    DkgRunner runner(cfg);
+    runner.start_all();
+    // Completion of the 6 prompt nodes (node 7's links are the slow ones).
+    EXPECT_TRUE(runner.run_to_completion(6));
+    return runner.simulator().now();
+  };
+  sim::Time fast = completion_time(0);
+  sim::Time slowed = completion_time(5'000);
+  // The slowed node cannot stall the other nodes' completion beyond a
+  // constant factor (they never need its messages once quorums are met).
+  EXPECT_LT(slowed, fast * 3 + 10'000);
+}
+
+TEST(Dkg, FCrashedNodesDontBlockOthers) {
+  RunnerConfig cfg;
+  cfg.n = 10;
+  cfg.t = 2;
+  cfg.f = 1;
+  cfg.seed = 23;
+  DkgRunner runner(cfg);
+  runner.simulator().schedule_crash(10, 0);  // down before start, forever
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion(9));
+  EXPECT_GE(runner.completed_nodes().size(), 9u);
+  EXPECT_TRUE(runner.outputs_consistent());
+}
+
+TEST(Dkg, CrashedNodeRecoversAndCompletes) {
+  RunnerConfig cfg;
+  cfg.n = 10;
+  cfg.t = 2;
+  cfg.f = 1;
+  cfg.seed = 29;
+  DkgRunner runner(cfg);
+  runner.simulator().schedule_crash(10, 50);
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion(9));
+  sim::Time now = runner.simulator().now();
+  runner.simulator().schedule_recover(10, now + 10);
+  runner.simulator().post_operator(10, std::make_shared<DkgRecoverOp>(cfg.tau), now + 20);
+  ASSERT_TRUE(runner.run_to_completion(10));
+  EXPECT_EQ(runner.completed_nodes().size(), 10u);
+  EXPECT_TRUE(runner.outputs_consistent());
+}
+
+}  // namespace
+}  // namespace dkg::core

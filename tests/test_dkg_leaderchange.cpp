@@ -1,0 +1,141 @@
+// Protocol tests: the DKG pessimistic phase (paper §4, Fig 3) — crashed,
+// mute, equivocating and proof-forging leaders must trigger leader changes
+// without ever compromising safety.
+#include <gtest/gtest.h>
+
+#include "dkg/byzantine_leader.hpp"
+#include "dkg/runner.hpp"
+
+namespace dkg::core {
+namespace {
+
+using crypto::Element;
+
+RunnerConfig base_config(std::uint64_t seed) {
+  RunnerConfig cfg;
+  cfg.n = 7;
+  cfg.t = 1;
+  cfg.f = 1;
+  cfg.seed = seed;
+  // Tight timeouts so pessimistic-phase tests stay fast.
+  cfg.timeout_base = 3'000;
+  return cfg;
+}
+
+TEST(LeaderChange, CrashedLeaderIsReplaced) {
+  RunnerConfig cfg = base_config(101);
+  DkgRunner runner(cfg);
+  runner.simulator().schedule_crash(1, 0);  // leader of view 1 never speaks
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion(6));
+  EXPECT_TRUE(runner.outputs_consistent());
+  for (sim::NodeId i : runner.completed_nodes()) {
+    EXPECT_GT(runner.dkg_node(i).output().view, 1u) << "node " << i;
+  }
+  EXPECT_GT(runner.simulator().metrics().by_prefix("dkg.lead-ch").count, 0u);
+}
+
+TEST(LeaderChange, MuteByzantineLeaderIsReplaced) {
+  // Worse than a crash: the leader participates in VSS (so everyone's
+  // Q-hat fills up) but never proposes.
+  RunnerConfig cfg = base_config(102);
+  DkgRunner runner(cfg);
+  runner.replace_node(1, std::make_unique<ByzantineLeaderNode>(runner.params(), 1,
+                                                               LeaderFault::Mute));
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion(6));
+  EXPECT_TRUE(runner.outputs_consistent());
+  for (sim::NodeId i : runner.completed_nodes()) {
+    EXPECT_GT(runner.dkg_node(i).output().view, 1u);
+  }
+}
+
+TEST(LeaderChange, BogusProofProposalIsRejectedAndLeaderReplaced) {
+  RunnerConfig cfg = base_config(103);
+  DkgRunner runner(cfg);
+  runner.replace_node(1, std::make_unique<ByzantineLeaderNode>(runner.params(), 1,
+                                                               LeaderFault::BogusProof));
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion(6));
+  EXPECT_TRUE(runner.outputs_consistent());
+  // At least one node must have rejected the invalid proposal outright.
+  std::uint64_t rejects = 0;
+  for (sim::NodeId i : runner.completed_nodes()) rejects += runner.dkg_node(i).rejected();
+  EXPECT_GT(rejects, 0u);
+}
+
+TEST(LeaderChange, EquivocatingLeaderCannotSplitAgreement) {
+  for (std::uint64_t seed : {104ull, 105ull, 106ull}) {
+    RunnerConfig cfg = base_config(seed);
+    DkgRunner runner(cfg);
+    runner.replace_node(1, std::make_unique<ByzantineLeaderNode>(runner.params(), 1,
+                                                                 LeaderFault::Equivocate));
+    runner.start_all();
+    ASSERT_TRUE(runner.run_to_completion(6)) << "seed " << seed;
+    // All completing honest nodes agree on one Q / one key.
+    EXPECT_TRUE(runner.outputs_consistent()) << "seed " << seed;
+  }
+}
+
+TEST(LeaderChange, TwoConsecutiveFaultyLeadersEscalate) {
+  RunnerConfig cfg = base_config(107);
+  DkgRunner runner(cfg);
+  runner.simulator().schedule_crash(1, 0);  // view-1 leader down
+  runner.simulator().schedule_crash(2, 0);  // view-2 leader down too
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion(5));
+  EXPECT_TRUE(runner.outputs_consistent());
+  for (sim::NodeId i : runner.completed_nodes()) {
+    EXPECT_GE(runner.dkg_node(i).output().view, 3u) << "node " << i;
+  }
+}
+
+TEST(LeaderChange, LateLeaderProposalAfterViewChangeIsHarmless) {
+  // Leader 1 is merely *slow* (its links are adversarially delayed), so its
+  // proposal arrives after the group moved to view 2. Safety must hold; at
+  // most one agreement outcome exists.
+  RunnerConfig cfg = base_config(108);
+  cfg.slow_nodes = {1};
+  cfg.slow_penalty = 40'000;  // far beyond the timeout
+  DkgRunner runner(cfg);
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion(6));
+  EXPECT_TRUE(runner.outputs_consistent());
+}
+
+TEST(LeaderChange, CompletionStillMatchesPublicKey) {
+  RunnerConfig cfg = base_config(109);
+  DkgRunner runner(cfg);
+  runner.simulator().schedule_crash(1, 0);
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion(6));
+  crypto::Scalar secret = runner.reconstruct_secret();
+  sim::NodeId some = runner.completed_nodes().front();
+  EXPECT_EQ(Element::exp_g(secret), runner.dkg_node(some).output().public_key);
+}
+
+TEST(LeaderChange, ViewChangeCostIsBounded) {
+  // A leader change should add lead-ch traffic (absent in the optimistic
+  // run) but keep the total within a small factor. Note the crashed leader
+  // also stops *sending*, so the total can even shrink; the meaningful
+  // bounds are "lead-ch appears" and "no blow-up".
+  auto run_with_crashes = [](std::size_t crashes) {
+    RunnerConfig cfg = base_config(110);
+    DkgRunner runner(cfg);
+    for (std::size_t k = 0; k < crashes; ++k) {
+      runner.simulator().schedule_crash(static_cast<sim::NodeId>(k + 1), 0);
+    }
+    runner.start_all();
+    EXPECT_TRUE(runner.run_to_completion(cfg.n - std::max(cfg.f, crashes)));
+    return std::make_pair(runner.simulator().metrics().total_messages(),
+                          runner.simulator().metrics().by_prefix("dkg.lead-ch").count);
+  };
+  auto [m0, lc0] = run_with_crashes(0);
+  auto [m1, lc1] = run_with_crashes(1);
+  EXPECT_EQ(lc0, 0u);
+  EXPECT_GT(lc1, 0u);      // pessimistic phase engaged
+  EXPECT_LT(m1, m0 * 3);   // ...without a message explosion
+}
+
+}  // namespace
+}  // namespace dkg::core

@@ -1,0 +1,132 @@
+// Unit tests: group parameter validity, Z_q field laws, subgroup element
+// algebra, canonical encodings — parameterized over all four groups.
+#include <gtest/gtest.h>
+
+#include "crypto/element.hpp"
+#include "crypto/group.hpp"
+#include "crypto/scalar.hpp"
+
+namespace dkg::crypto {
+namespace {
+
+class GroupSuite : public ::testing::TestWithParam<const Group*> {};
+
+INSTANTIATE_TEST_SUITE_P(AllGroups, GroupSuite,
+                         ::testing::Values(&Group::tiny256(), &Group::small512(),
+                                           &Group::mod1024(), &Group::big2048()),
+                         [](const auto& info) { return info.param->name(); });
+
+TEST_P(GroupSuite, ParametersAreValid) {
+  const Group& grp = *GetParam();
+  EXPECT_TRUE(grp.valid());
+  EXPECT_EQ(grp.kappa(), mpz_sizeinbase(grp.q().get_mpz_t(), 2));
+}
+
+TEST_P(GroupSuite, GeneratorHasOrderQ) {
+  const Group& grp = *GetParam();
+  EXPECT_TRUE(grp.in_subgroup(grp.g()));
+  EXPECT_TRUE(grp.in_subgroup(grp.h()));
+  EXPECT_NE(grp.g(), grp.h());
+}
+
+TEST_P(GroupSuite, ScalarFieldLaws) {
+  const Group& grp = *GetParam();
+  Drbg rng(11);
+  Scalar a = Scalar::random(grp, rng);
+  Scalar b = Scalar::random(grp, rng);
+  Scalar c = Scalar::random(grp, rng);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a + a.negate(), Scalar::zero(grp));
+  if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Scalar::one(grp));
+  EXPECT_EQ(a - b, a + b.negate());
+}
+
+TEST_P(GroupSuite, ScalarEncodingRoundTrip) {
+  const Group& grp = *GetParam();
+  Drbg rng(12);
+  for (int i = 0; i < 8; ++i) {
+    Scalar a = Scalar::random(grp, rng);
+    EXPECT_EQ(Scalar::from_bytes(grp, a.to_bytes()), a);
+    EXPECT_EQ(a.to_bytes().size(), grp.q_bytes());
+  }
+}
+
+TEST_P(GroupSuite, ExponentHomomorphism) {
+  const Group& grp = *GetParam();
+  Drbg rng(13);
+  Scalar a = Scalar::random(grp, rng);
+  Scalar b = Scalar::random(grp, rng);
+  EXPECT_EQ(Element::exp_g(a) * Element::exp_g(b), Element::exp_g(a + b));
+  EXPECT_EQ(Element::exp_g(a).pow(b), Element::exp_g(a * b));
+  EXPECT_EQ(Element::exp_g(a) * Element::exp_g(a).inverse(), Element::identity(grp));
+}
+
+TEST_P(GroupSuite, ElementsLieInSubgroup) {
+  const Group& grp = *GetParam();
+  Drbg rng(14);
+  Scalar a = Scalar::random(grp, rng);
+  EXPECT_TRUE(Element::exp_g(a).in_subgroup());
+  EXPECT_TRUE(Element::exp_h(a).in_subgroup());
+}
+
+TEST_P(GroupSuite, ElementEncodingRoundTrip) {
+  const Group& grp = *GetParam();
+  Drbg rng(15);
+  Element e = Element::exp_g(Scalar::random(grp, rng));
+  Element back = Element::from_bytes(grp, e.to_bytes());
+  EXPECT_EQ(back, e);
+  EXPECT_EQ(e.to_bytes().size(), grp.p_bytes());
+}
+
+TEST_P(GroupSuite, FromBytesRejectsOutOfRange) {
+  const Group& grp = *GetParam();
+  EXPECT_TRUE(Element::from_bytes(grp, Bytes(grp.p_bytes(), 0)).empty());       // zero
+  EXPECT_TRUE(Element::from_bytes(grp, Bytes(grp.p_bytes() + 8, 0xff)).empty());  // >= p
+}
+
+TEST_P(GroupSuite, PowU64MatchesScalarPow) {
+  const Group& grp = *GetParam();
+  Drbg rng(16);
+  Element e = Element::exp_g(Scalar::random(grp, rng));
+  EXPECT_EQ(e.pow_u64(5), e.pow(Scalar::from_u64(grp, 5)));
+  EXPECT_EQ(e.pow_u64(0), Element::identity(grp));
+}
+
+TEST(Scalar, MixedGroupArithmeticThrows) {
+  Scalar a = Scalar::one(Group::tiny256());
+  Scalar b = Scalar::one(Group::small512());
+  EXPECT_THROW(a + b, std::logic_error);
+  EXPECT_THROW(a * b, std::logic_error);
+}
+
+TEST(Scalar, EmptyScalarThrows) {
+  Scalar a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_THROW(a.to_bytes(), std::logic_error);
+  EXPECT_THROW(a.inverse(), std::logic_error);
+}
+
+TEST(Scalar, InverseOfZeroThrows) {
+  EXPECT_THROW(Scalar::zero(Group::tiny256()).inverse(), std::domain_error);
+}
+
+TEST(Scalar, FromU64Reduces) {
+  const Group& grp = Group::tiny256();
+  // q is 64-bit here, so large u64 values exercise reduction.
+  Scalar a = Scalar::from_u64(grp, ~std::uint64_t{0});
+  EXPECT_LT(a.value(), grp.q());
+}
+
+TEST(Scalar, HashToScalarIsDeterministicAndSpread) {
+  const Group& grp = Group::small512();
+  Scalar a = Scalar::hash_to_scalar(grp, bytes_of("x"));
+  Scalar b = Scalar::hash_to_scalar(grp, bytes_of("x"));
+  Scalar c = Scalar::hash_to_scalar(grp, bytes_of("y"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace dkg::crypto

@@ -1,0 +1,215 @@
+// Protocol tests: group modification (paper §6) — agreement, membership
+// arithmetic, node addition end-to-end, removal and t/f adjustment rules.
+#include <gtest/gtest.h>
+
+#include "crypto/lagrange.hpp"
+#include "groupmod/agreement.hpp"
+#include "groupmod/node_add.hpp"
+#include "proactive/runner.hpp"
+
+namespace dkg::groupmod {
+namespace {
+
+using crypto::Element;
+using crypto::Scalar;
+
+TEST(Membership, AddNodeRaisesThresholdWhenFlagged) {
+  Membership m{7, 1, 1};
+  Proposal p{ModKind::AddNode, 8, Absorb::Threshold, 1};
+  // 8 < 3*2 + 2*1 + 1 = 9, so t cannot rise yet.
+  auto m2 = m.apply(p);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m2->n, 8u);
+  EXPECT_EQ(m2->t, 1u);
+  // Two more additions reach n = 10 >= 3*2 + 2*1 + 1.
+  auto m3 = m2->apply(Proposal{ModKind::AddNode, 9, Absorb::Threshold, 1});
+  ASSERT_TRUE(m3.has_value());
+  EXPECT_EQ(m3->t, 2u);
+}
+
+TEST(Membership, AddNodeRaisesCrashLimitWhenFlagged) {
+  Membership m{8, 1, 1};
+  auto m2 = m.apply(Proposal{ModKind::AddNode, 9, Absorb::CrashLimit, 1});
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m2->n, 9u);
+  EXPECT_EQ(m2->f, 2u);  // 9 >= 3*1 + 2*2 + 1 = 8
+}
+
+TEST(Membership, RemovalPreservingResilience) {
+  Membership m{10, 2, 1};
+  auto m2 = m.apply(Proposal{ModKind::RemoveNode, 10, Absorb::Threshold, 1});
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m2->n, 9u);
+  EXPECT_EQ(m2->t, 1u);
+  EXPECT_TRUE(m2->resilient());
+}
+
+TEST(Membership, RemovalBreakingBoundIsRefused) {
+  Membership m{4, 1, 0};  // exactly 3t+1
+  // Removing a node without lowering t would give 3 < 3*1+1... and t
+  // cannot go below 0 after absorbing; crash-limit absorb leaves t=1.
+  EXPECT_FALSE(m.apply(Proposal{ModKind::RemoveNode, 4, Absorb::CrashLimit, 1}).has_value());
+}
+
+TEST(Membership, QueueSkipsInvalidProposals) {
+  Membership m{7, 1, 1};
+  std::vector<Proposal> queue{
+      Proposal{ModKind::RemoveNode, 7, Absorb::CrashLimit, 1},  // 6 >= 3+0+1? f->0: 6>=3*1+1=4 ok
+      Proposal{ModKind::RemoveNode, 6, Absorb::CrashLimit, 2},  // f already 0 -> invalid (5 < ...)
+      Proposal{ModKind::AddNode, 8, Absorb::Threshold, 3},
+  };
+  auto [result, accepted] = m.apply_queue(queue);
+  EXPECT_TRUE(result.resilient());
+  EXPECT_LE(accepted.size(), queue.size());
+}
+
+TEST(Agreement, AllNodesAcceptProposedModification) {
+  GmParams params{7, 1, 1};
+  sim::Simulator sim(7, std::make_unique<sim::UniformDelay>(5, 40), 31);
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    sim.set_node(i, std::make_unique<GroupModNode>(params, i));
+  }
+  Proposal p{ModKind::AddNode, 8, Absorb::Threshold, 3};
+  sim.post_operator(3, std::make_shared<ProposeOp>(p), 0);
+  ASSERT_TRUE(sim.run());
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    const auto& q = dynamic_cast<GroupModNode&>(sim.node(i)).queue();
+    ASSERT_EQ(q.size(), 1u) << "node " << i;
+    EXPECT_TRUE(q[0] == p);
+  }
+}
+
+TEST(Agreement, RejectedByPolicyNeverAccepted) {
+  GmParams params{7, 1, 1};
+  sim::Simulator sim(7, std::make_unique<sim::UniformDelay>(5, 40), 32);
+  // Every node's policy refuses removals.
+  auto policy = [](const Proposal& p) { return p.kind != ModKind::RemoveNode; };
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    sim.set_node(i, std::make_unique<GroupModNode>(params, i, policy));
+  }
+  sim.post_operator(2, std::make_shared<ProposeOp>(Proposal{ModKind::RemoveNode, 5,
+                                                            Absorb::CrashLimit, 2}), 0);
+  ASSERT_TRUE(sim.run());
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    EXPECT_TRUE(dynamic_cast<GroupModNode&>(sim.node(i)).queue().empty());
+  }
+}
+
+TEST(Agreement, CommutativeProposalsConvergeAsSets) {
+  GmParams params{7, 1, 1};
+  sim::Simulator sim(7, std::make_unique<sim::UniformDelay>(5, 60), 33);
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    sim.set_node(i, std::make_unique<GroupModNode>(params, i));
+  }
+  Proposal p1{ModKind::AddNode, 8, Absorb::Threshold, 1};
+  Proposal p2{ModKind::AddNode, 9, Absorb::CrashLimit, 2};
+  sim.post_operator(1, std::make_shared<ProposeOp>(p1), 0);
+  sim.post_operator(2, std::make_shared<ProposeOp>(p2), 3);
+  ASSERT_TRUE(sim.run());
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    auto q = dynamic_cast<GroupModNode&>(sim.node(i)).queue();
+    ASSERT_EQ(q.size(), 2u);
+    std::set<Bytes> keys{q[0].encode(), q[1].encode()};
+    EXPECT_EQ(keys.size(), 2u);
+    EXPECT_TRUE(keys.count(p1.encode()) == 1 && keys.count(p2.encode()) == 1);
+  }
+}
+
+class NodeAddTest : public ::testing::Test {
+ protected:
+  // Run a DKG to get share states, then execute the node-addition protocol.
+  void run_addition(std::uint64_t seed) {
+    core::RunnerConfig cfg;
+    cfg.n = 7;
+    cfg.t = 1;
+    cfg.f = 1;
+    cfg.seed = seed;
+    proactive::ProactiveRunner pro(cfg);
+    ASSERT_TRUE(pro.run_dkg());
+    secret_ = pro.reconstruct();
+    old_states_ = pro.states();
+    group_vec_.emplace(pro.states()[1].commitment);
+
+    auto keyring = crypto::Keyring::generate(*cfg.grp, cfg.n, seed ^ 0x9e3779b97f4a7c15ULL);
+    core::DkgParams params;
+    params.vss.grp = cfg.grp;
+    params.vss.n = cfg.n;
+    params.vss.t = cfg.t;
+    params.vss.f = cfg.f;
+    params.vss.keyring = keyring;
+    params.tau = 3;
+    params.timeout_base = 10'000;
+
+    sim_ = std::make_unique<sim::Simulator>(cfg.n, std::make_unique<sim::UniformDelay>(5, 40),
+                                            seed);
+    sim::NodeId new_id = sim_->add_node_slot();
+    ASSERT_EQ(new_id, 8u);
+    for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+      sim_->set_node(i, std::make_unique<NodeAddNode>(params, i, pro.states()[i], new_id));
+    }
+    auto joining = std::make_unique<JoiningNode>(*cfg.grp, cfg.t, new_id, params.tau);
+    joining_ = joining.get();
+    sim_->set_node(new_id, std::move(joining));
+    for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+      sim_->post_operator(i, std::make_shared<core::DkgStartOp>(params.tau, std::nullopt), 0);
+    }
+    ASSERT_TRUE(sim_->run_until([&] { return joining_->has_share(); }));
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+
+  crypto::Scalar secret_;
+  std::vector<proactive::ShareState> old_states_;
+  std::optional<crypto::FeldmanVector> group_vec_;
+  JoiningNode* joining_ = nullptr;
+};
+
+TEST_F(NodeAddTest, NewShareLiesOnOldPolynomial) {
+  run_addition(41);
+  ASSERT_TRUE(joining_->has_share());
+  // The new node's share is F_old(8): it verifies against the old group
+  // commitment vector at index 8.
+  EXPECT_TRUE(group_vec_->verify_share(8, joining_->share()));
+}
+
+TEST_F(NodeAddTest, NewShareExtendsReconstruction) {
+  run_addition(42);
+  ASSERT_TRUE(joining_->has_share());
+  // Secret reconstructable from the NEW node's share plus t old shares
+  // (old shares still work — addition does not renew, §6.2).
+  std::vector<std::pair<std::uint64_t, Scalar>> pts{{1, old_states_[1].share},
+                                                    {8, joining_->share()}};
+  EXPECT_EQ(crypto::interpolate_at(crypto::Group::tiny256(), pts, 0), secret_);
+  EXPECT_EQ(Element::exp_g(secret_), group_vec_->c0());
+  // The joining node learned the authentic group verification vector.
+  EXPECT_TRUE(joining_->group_vec() == *group_vec_);
+}
+
+TEST(NodeAdd, SubshareVerificationRejectsGarbage) {
+  const crypto::Group& grp = crypto::Group::tiny256();
+  crypto::Drbg rng(7);
+  crypto::Polynomial f_old = crypto::Polynomial::random(grp, 2, rng);
+  crypto::FeldmanVector group_vec = crypto::FeldmanVector::commit(f_old);
+  JoiningNode joining(grp, 2, 8, 3);
+
+  sim::Simulator sim(1, std::make_unique<sim::FixedDelay>(1), 1);
+  struct Shell : sim::Node {
+    JoiningNode* j;
+    explicit Shell(JoiningNode* jj) : j(jj) {}
+    void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override {
+      j->on_message(ctx, from, msg);
+    }
+  };
+  sim.set_node(1, std::make_unique<Shell>(&joining));
+  // Garbage subshare: h-commitment whose c0 doesn't match V_old(8).
+  crypto::Polynomial h_bad = crypto::Polynomial::random(grp, 2, rng);
+  auto hc = std::make_shared<const crypto::FeldmanVector>(crypto::FeldmanVector::commit(h_bad));
+  auto gv = std::make_shared<const crypto::FeldmanVector>(group_vec);
+  sim.post_operator(1, std::make_shared<SubshareMsg>(3, hc, gv, h_bad.eval_at(1)), 0);
+  ASSERT_TRUE(sim.run());
+  EXPECT_FALSE(joining.has_share());
+  EXPECT_GT(joining.rejected(), 0u);
+}
+
+}  // namespace
+}  // namespace dkg::groupmod

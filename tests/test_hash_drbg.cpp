@@ -1,0 +1,107 @@
+// Unit tests: SHA-256 against FIPS 180-4 vectors, ChaCha20 against the
+// RFC 8439 test vector, and DRBG determinism properties.
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dkg::crypto {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(sha256(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256(bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Bytes msg = bytes_of("the quick brown fox jumps over the lazy dog");
+  Sha256 h;
+  for (std::uint8_t b : msg) h.update(&b, 1);
+  EXPECT_EQ(h.finish(), sha256(msg));
+}
+
+TEST(Sha256, FramedIsInjective) {
+  // ("ab", "c") and ("a", "bc") must hash differently.
+  Bytes ab = bytes_of("ab"), c = bytes_of("c"), a = bytes_of("a"), bc = bytes_of("bc");
+  EXPECT_NE(sha256_framed({&ab, &c}), sha256_framed({&a, &bc}));
+}
+
+TEST(ChaCha20, Rfc8439BlockVector) {
+  // RFC 8439 §2.3.2.
+  std::array<std::uint8_t, 32> key{};
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  std::array<std::uint8_t, 12> nonce{0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                                     0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  auto block = chacha20_block(key, nonce, 1);
+  Bytes out(block.begin(), block.end());
+  EXPECT_EQ(to_hex(out),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(Drbg, DeterministicGivenSeed) {
+  Drbg a(123), b(123);
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+}
+
+TEST(Drbg, DifferentSeedsDiffer) {
+  Drbg a(123), b(124);
+  EXPECT_NE(a.bytes(64), b.bytes(64));
+}
+
+TEST(Drbg, ForkIsIndependentOfParentConsumption) {
+  Drbg a(5);
+  Drbg fork1 = a.fork("x");
+  a.bytes(100);  // consuming the parent must not change the fork stream
+  Drbg b(5);
+  Drbg fork2 = b.fork("x");
+  EXPECT_EQ(fork1.bytes(32), fork2.bytes(32));
+}
+
+TEST(Drbg, ForkLabelsSeparateStreams) {
+  Drbg a(5);
+  EXPECT_NE(a.fork("x").bytes(32), a.fork("y").bytes(32));
+}
+
+TEST(Drbg, UniformRespectsBound) {
+  Drbg a(99);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(a.uniform(17), 17u);
+}
+
+TEST(Drbg, UniformCoversRange) {
+  Drbg a(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(a.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Drbg, UniformRealInUnitInterval) {
+  Drbg a(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = a.uniform_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dkg::crypto

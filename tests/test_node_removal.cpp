@@ -1,0 +1,87 @@
+// Protocol tests: node removal (paper §6.3) — a removed node is simply not
+// included in the next share renewal; afterwards its share is stale and the
+// remaining members carry the secret alone.
+#include <gtest/gtest.h>
+
+#include "crypto/lagrange.hpp"
+#include "proactive/runner.hpp"
+
+namespace dkg::proactive {
+namespace {
+
+using crypto::Element;
+using crypto::Scalar;
+
+core::RunnerConfig config(std::uint64_t seed) {
+  core::RunnerConfig cfg;
+  cfg.n = 8;  // 8 >= 3*1 + 2*1 + 1 with slack for one removal
+  cfg.t = 1;
+  cfg.f = 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(NodeRemoval, RemovedNodeLosesAccessAfterRenewal) {
+  ProactiveRunner runner(config(501));
+  ASSERT_TRUE(runner.run_dkg());
+  Scalar secret = runner.reconstruct();
+  Element pk = runner.public_key();
+  ShareState removed_state = runner.states()[8];
+
+  ASSERT_TRUE(runner.remove_node(8));
+  ASSERT_TRUE(runner.run_renewal());
+
+  // The group continues unharmed.
+  EXPECT_EQ(runner.public_key(), pk);
+  EXPECT_TRUE(runner.shares_consistent());
+  EXPECT_EQ(runner.reconstruct(), secret);
+
+  // The removed node's share no longer verifies against the new commitment.
+  EXPECT_FALSE(runner.states()[1].commitment.verify_share(8, removed_state.share));
+  // Nor can it be combined with a fresh share to reconstruct: old and new
+  // shares lie on unrelated polynomials.
+  std::vector<std::pair<std::uint64_t, Scalar>> mixed{{8, removed_state.share},
+                                                      {1, runner.states()[1].share}};
+  EXPECT_NE(crypto::interpolate_at(*config(0).grp, mixed, 0), secret);
+}
+
+TEST(NodeRemoval, MidPhaseRemovalIsImpossibleByConstruction) {
+  // §6.3: "it is not possible to remove a node in the middle of a phase" —
+  // before renewal runs, the removed node's share remains valid (removal
+  // only takes effect at the phase change).
+  ProactiveRunner runner(config(502));
+  ASSERT_TRUE(runner.run_dkg());
+  ASSERT_TRUE(runner.remove_node(8));
+  EXPECT_TRUE(runner.states()[8].commitment.verify_share(8, runner.states()[8].share));
+}
+
+TEST(NodeRemoval, RefusesRemovalBreakingQuorum) {
+  // n=8, t=1, f=1: quorum 6, so at most 2 removals are tolerable.
+  ProactiveRunner runner(config(503));
+  ASSERT_TRUE(runner.run_dkg());
+  EXPECT_TRUE(runner.remove_node(8));
+  EXPECT_TRUE(runner.remove_node(7));
+  EXPECT_FALSE(runner.remove_node(6));  // would leave 5 < 6 active
+  EXPECT_FALSE(runner.remove_node(8));  // duplicate
+  EXPECT_FALSE(runner.remove_node(0));  // bogus ids
+  EXPECT_FALSE(runner.remove_node(99));
+}
+
+TEST(NodeRemoval, TwoRemovalsAndContinuedOperation) {
+  ProactiveRunner runner(config(504));
+  ASSERT_TRUE(runner.run_dkg());
+  Scalar secret = runner.reconstruct();
+  Element pk = runner.public_key();
+  ASSERT_TRUE(runner.remove_node(7));
+  ASSERT_TRUE(runner.remove_node(8));
+  ASSERT_TRUE(runner.run_renewal());
+  EXPECT_EQ(runner.public_key(), pk);
+  EXPECT_EQ(runner.reconstruct(), secret);
+  // A further ordinary renewal still works with 6 active members.
+  ASSERT_TRUE(runner.run_renewal());
+  EXPECT_EQ(runner.public_key(), pk);
+  EXPECT_EQ(runner.reconstruct(), secret);
+}
+
+}  // namespace
+}  // namespace dkg::proactive

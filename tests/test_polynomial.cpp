@@ -1,0 +1,140 @@
+// Unit tests: univariate/bivariate polynomials and Lagrange interpolation —
+// the share arithmetic every protocol relies on.
+#include <gtest/gtest.h>
+
+#include "crypto/bipolynomial.hpp"
+#include "crypto/lagrange.hpp"
+#include "crypto/polynomial.hpp"
+
+namespace dkg::crypto {
+namespace {
+
+const Group& grp() { return Group::tiny256(); }
+
+class PolyDegrees : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyDegrees, ::testing::Values(0, 1, 2, 3, 5, 8, 13));
+
+TEST_P(PolyDegrees, EvalMatchesDirectExpansion) {
+  std::size_t t = GetParam();
+  Drbg rng(t + 1);
+  Polynomial p = Polynomial::random(grp(), t, rng);
+  Scalar x = Scalar::from_u64(grp(), 7);
+  Scalar expected = Scalar::zero(grp());
+  Scalar xpow = Scalar::one(grp());
+  for (std::size_t j = 0; j <= t; ++j) {
+    expected += p.coeff(j) * xpow;
+    xpow = xpow * x;
+  }
+  EXPECT_EQ(p.eval(x), expected);
+}
+
+TEST_P(PolyDegrees, InterpolationRecoversPolynomial) {
+  std::size_t t = GetParam();
+  Drbg rng(100 + t);
+  Polynomial p = Polynomial::random(grp(), t, rng);
+  std::vector<std::pair<std::uint64_t, Scalar>> pts;
+  for (std::uint64_t i = 1; i <= t + 1; ++i) pts.emplace_back(i, p.eval_at(i));
+  Polynomial q = interpolate(grp(), pts);
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(interpolate_at(grp(), pts, 0), p.coeff(0));
+  EXPECT_EQ(interpolate_at(grp(), pts, 42), p.eval_at(42));
+}
+
+TEST_P(PolyDegrees, TPointsDoNotDetermineSecret) {
+  // The privacy core: t points on a degree-t polynomial are consistent with
+  // every possible secret (one consistent polynomial per candidate).
+  std::size_t t = GetParam();
+  if (t == 0) GTEST_SKIP() << "degree 0 has no slack";
+  Drbg rng(200 + t);
+  Polynomial p = Polynomial::random(grp(), t, rng);
+  std::vector<std::pair<std::uint64_t, Scalar>> pts;
+  for (std::uint64_t i = 1; i <= t; ++i) pts.emplace_back(i, p.eval_at(i));
+  // For an arbitrary candidate secret z, the t points plus (0, z) always
+  // interpolate to a valid degree-t polynomial through the adversary's view.
+  for (std::uint64_t z = 1; z <= 3; ++z) {
+    auto with_guess = pts;
+    with_guess.emplace_back(0, Scalar::from_u64(grp(), z * 31337));
+    Polynomial q = interpolate(grp(), with_guess);
+    for (const auto& [x, y] : pts) EXPECT_EQ(q.eval_at(x), y);
+  }
+}
+
+TEST(Polynomial, RandomWithConstantPinsSecret) {
+  Drbg rng(5);
+  Scalar s = Scalar::from_u64(grp(), 777);
+  Polynomial p = Polynomial::random_with_constant(s, 4, rng);
+  EXPECT_EQ(p.eval_at(0), s);
+  EXPECT_EQ(p.degree(), 4u);
+}
+
+TEST(Polynomial, AdditionIsPointwise) {
+  Drbg rng(6);
+  Polynomial p = Polynomial::random(grp(), 3, rng);
+  Polynomial q = Polynomial::random(grp(), 3, rng);
+  Polynomial r = p + q;
+  EXPECT_EQ(r.eval_at(9), p.eval_at(9) + q.eval_at(9));
+}
+
+TEST(Polynomial, SerializationRoundTrip) {
+  Drbg rng(7);
+  Polynomial p = Polynomial::random(grp(), 3, rng);
+  Polynomial q = Polynomial::from_bytes(grp(), p.to_bytes(), 3);
+  EXPECT_EQ(q, p);
+  EXPECT_THROW(Polynomial::from_bytes(grp(), p.to_bytes(), 4), std::out_of_range);
+}
+
+TEST(Lagrange, DuplicateAbscissaThrows) {
+  std::vector<std::pair<std::uint64_t, Scalar>> pts{{1, Scalar::one(grp())},
+                                                    {1, Scalar::zero(grp())}};
+  EXPECT_THROW(interpolate_at(grp(), pts, 0), std::invalid_argument);
+  EXPECT_THROW(interpolate(grp(), pts), std::invalid_argument);
+}
+
+TEST(Lagrange, CoefficientsSumToOneAtZero) {
+  // sum_k lambda_k(0) = 1 for interpolation of the constant polynomial 1.
+  std::vector<std::uint64_t> xs{2, 5, 9, 11};
+  Scalar sum = Scalar::zero(grp());
+  for (std::size_t k = 0; k < xs.size(); ++k) sum += lagrange_coeff(grp(), xs, k, 0);
+  EXPECT_EQ(sum, Scalar::one(grp()));
+}
+
+class BiPolyDegrees : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Degrees, BiPolyDegrees, ::testing::Values(1, 2, 3, 5));
+
+TEST_P(BiPolyDegrees, IsSymmetric) {
+  std::size_t t = GetParam();
+  Drbg rng(300 + t);
+  BiPolynomial f = BiPolynomial::random(Scalar::from_u64(grp(), 99), t, rng);
+  for (std::uint64_t x = 0; x <= t + 2; ++x) {
+    for (std::uint64_t y = 0; y <= t + 2; ++y) {
+      EXPECT_EQ(f.eval_at(x, y), f.eval_at(y, x));
+    }
+  }
+}
+
+TEST_P(BiPolyDegrees, RowMatchesEvaluation) {
+  std::size_t t = GetParam();
+  Drbg rng(400 + t);
+  BiPolynomial f = BiPolynomial::random(Scalar::from_u64(grp(), 5), t, rng);
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    Polynomial a = f.row(i);
+    EXPECT_EQ(a.degree(), t);
+    for (std::uint64_t y = 0; y <= t + 1; ++y) EXPECT_EQ(a.eval_at(y), f.eval_at(i, y));
+  }
+}
+
+TEST_P(BiPolyDegrees, SecretIsConstantTerm) {
+  std::size_t t = GetParam();
+  Drbg rng(500 + t);
+  Scalar s = Scalar::from_u64(grp(), 123456);
+  BiPolynomial f = BiPolynomial::random(s, t, rng);
+  EXPECT_EQ(f.secret(), s);
+  EXPECT_EQ(f.eval_at(0, 0), s);
+  // Shares s_i = f(i, 0) interpolate back to s.
+  std::vector<std::pair<std::uint64_t, Scalar>> pts;
+  for (std::uint64_t i = 1; i <= t + 1; ++i) pts.emplace_back(i, f.eval_at(i, 0));
+  EXPECT_EQ(interpolate_at(grp(), pts, 0), s);
+}
+
+}  // namespace
+}  // namespace dkg::crypto

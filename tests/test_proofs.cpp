@@ -1,0 +1,135 @@
+// Unit tests: the DKG's signed proof sets (paper §4) — dealer proofs R_d,
+// proposal proofs M, and lead-ch legitimacy proofs, including the forgery
+// and replay cases a Byzantine leader would attempt.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "dkg/proofs.hpp"
+
+namespace dkg::core {
+namespace {
+
+using crypto::Group;
+using crypto::Keyring;
+
+struct ProofFixture : ::testing::Test {
+  void SetUp() override {
+    ring = Keyring::generate(Group::tiny256(), 10, 7);
+    digest = crypto::sha256(bytes_of("commitment"));
+  }
+
+  DealerProof make_dealer_proof(sim::NodeId dealer, std::uint32_t tau, std::size_t signers) {
+    DealerProof p;
+    p.dealer = dealer;
+    p.commit_digest = digest;
+    Bytes payload = vss::ready_sig_payload(vss::SessionId{dealer, tau}, digest);
+    for (sim::NodeId s = 1; s <= signers; ++s) {
+      p.sigs.push_back(vss::ReadySig{s, ring->sign_as(s, payload)});
+    }
+    return p;
+  }
+
+  std::shared_ptr<const Keyring> ring;
+  Bytes digest;
+};
+
+TEST_F(ProofFixture, DealerProofAcceptsQuorum) {
+  DealerProof p = make_dealer_proof(3, 1, 7);
+  EXPECT_TRUE(verify_dealer_proof(*ring, 1, p, 7));
+}
+
+TEST_F(ProofFixture, DealerProofRejectsBelowQuorum) {
+  DealerProof p = make_dealer_proof(3, 1, 6);
+  EXPECT_FALSE(verify_dealer_proof(*ring, 1, p, 7));
+}
+
+TEST_F(ProofFixture, DealerProofDuplicateSignersDontCount) {
+  DealerProof p = make_dealer_proof(3, 1, 6);
+  p.sigs.push_back(p.sigs.front());  // same signer twice
+  EXPECT_FALSE(verify_dealer_proof(*ring, 1, p, 7));
+}
+
+TEST_F(ProofFixture, DealerProofBoundToSession) {
+  DealerProof p = make_dealer_proof(3, 1, 7);
+  EXPECT_FALSE(verify_dealer_proof(*ring, 2, p, 7));  // wrong tau
+  p.dealer = 4;                                       // wrong dealer
+  EXPECT_FALSE(verify_dealer_proof(*ring, 1, p, 7));
+}
+
+TEST_F(ProofFixture, DealerProofBoundToCommitment) {
+  DealerProof p = make_dealer_proof(3, 1, 7);
+  p.commit_digest = crypto::sha256(bytes_of("other"));
+  EXPECT_FALSE(verify_dealer_proof(*ring, 1, p, 7));
+}
+
+TEST_F(ProofFixture, ProposalProofEchoAndReadyQuorums) {
+  NodeSet q{1, 2, 3};
+  auto make = [&](ProposalProof::Kind kind, std::size_t signers) {
+    ProposalProof p;
+    p.kind = kind;
+    p.view = 1;
+    p.q = q;
+    Bytes payload = kind == ProposalProof::Kind::Echo ? dkg_echo_payload(1, 1, q)
+                                                      : dkg_ready_payload(1, 1, q);
+    for (sim::NodeId s = 1; s <= signers; ++s) {
+      p.sigs.push_back(SignerSig{s, ring->sign_as(s, payload)});
+    }
+    return p;
+  };
+  // n=10, t=2: echo quorum ceil((10+2+1)/2) = 7, ready quorum t+1 = 3.
+  EXPECT_TRUE(verify_proposal_proof(*ring, 1, make(ProposalProof::Kind::Echo, 7), q, 7, 3));
+  EXPECT_FALSE(verify_proposal_proof(*ring, 1, make(ProposalProof::Kind::Echo, 6), q, 7, 3));
+  EXPECT_TRUE(verify_proposal_proof(*ring, 1, make(ProposalProof::Kind::Ready, 3), q, 7, 3));
+  EXPECT_FALSE(verify_proposal_proof(*ring, 1, make(ProposalProof::Kind::Ready, 2), q, 7, 3));
+  // Proof bound to the exact set Q.
+  NodeSet other{1, 2, 4};
+  EXPECT_FALSE(verify_proposal_proof(*ring, 1, make(ProposalProof::Kind::Echo, 7), other, 7, 3));
+  // Empty proof never verifies.
+  EXPECT_FALSE(verify_proposal_proof(*ring, 1, ProposalProof{}, q, 7, 3));
+}
+
+TEST_F(ProofFixture, ProposalProofBoundToView) {
+  NodeSet q{1, 2, 3};
+  ProposalProof p;
+  p.kind = ProposalProof::Kind::Ready;
+  p.view = 2;
+  p.q = q;
+  Bytes wrong_view_payload = dkg_ready_payload(1, 1, q);  // signed for view 1
+  for (sim::NodeId s = 1; s <= 3; ++s) {
+    p.sigs.push_back(SignerSig{s, ring->sign_as(s, wrong_view_payload)});
+  }
+  EXPECT_FALSE(verify_proposal_proof(*ring, 1, p, q, 7, 3));
+}
+
+TEST_F(ProofFixture, LeadChProofQuorumAndBinding) {
+  auto make = [&](std::uint64_t view, std::size_t signers) {
+    std::vector<SignerSig> sigs;
+    Bytes payload = lead_ch_payload(1, view);
+    for (sim::NodeId s = 1; s <= signers; ++s) {
+      sigs.push_back(SignerSig{s, ring->sign_as(s, payload)});
+    }
+    return sigs;
+  };
+  EXPECT_TRUE(verify_lead_ch_proof(*ring, 1, 2, make(2, 7), 7));
+  EXPECT_FALSE(verify_lead_ch_proof(*ring, 1, 2, make(2, 6), 7));
+  EXPECT_FALSE(verify_lead_ch_proof(*ring, 1, 3, make(2, 7), 7));  // wrong target view
+  EXPECT_FALSE(verify_lead_ch_proof(*ring, 2, 2, make(2, 7), 7));  // wrong tau
+}
+
+TEST(NodeSet, NormalizeSortsAndDedups) {
+  NodeSet q{5, 1, 3, 1, 5};
+  normalize(q);
+  EXPECT_EQ(q, (NodeSet{1, 3, 5}));
+  EXPECT_EQ(node_set_bytes(q), node_set_bytes(NodeSet{1, 3, 5}));
+  EXPECT_NE(node_set_bytes(q), node_set_bytes(NodeSet{1, 3}));
+}
+
+TEST(LeaderOfView, CyclesThroughNodes) {
+  EXPECT_EQ(leader_of_view(1, 4), 1u);
+  EXPECT_EQ(leader_of_view(4, 4), 4u);
+  EXPECT_EQ(leader_of_view(5, 4), 1u);
+  EXPECT_EQ(leader_of_view(103, 4), 3u);
+}
+
+}  // namespace
+}  // namespace dkg::core

@@ -1,0 +1,132 @@
+// Unit tests: Schnorr signatures, the keyring PKI, and DLEQ proofs.
+#include <gtest/gtest.h>
+
+#include "crypto/dleq.hpp"
+#include "crypto/keyring.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace dkg::crypto {
+namespace {
+
+const Group& grp() { return Group::tiny256(); }
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  Drbg rng(1);
+  KeyPair kp = schnorr_keygen(grp(), rng);
+  Bytes msg = bytes_of("attack at dawn");
+  Signature sig = schnorr_sign(kp, msg);
+  EXPECT_TRUE(schnorr_verify(kp.pk, msg, sig));
+}
+
+TEST(Schnorr, RejectsWrongMessage) {
+  Drbg rng(2);
+  KeyPair kp = schnorr_keygen(grp(), rng);
+  Signature sig = schnorr_sign(kp, bytes_of("m1"));
+  EXPECT_FALSE(schnorr_verify(kp.pk, bytes_of("m2"), sig));
+}
+
+TEST(Schnorr, RejectsWrongKey) {
+  Drbg rng(3);
+  KeyPair kp1 = schnorr_keygen(grp(), rng);
+  KeyPair kp2 = schnorr_keygen(grp(), rng);
+  Signature sig = schnorr_sign(kp1, bytes_of("m"));
+  EXPECT_FALSE(schnorr_verify(kp2.pk, bytes_of("m"), sig));
+}
+
+TEST(Schnorr, RejectsTamperedSignature) {
+  Drbg rng(4);
+  KeyPair kp = schnorr_keygen(grp(), rng);
+  Signature sig = schnorr_sign(kp, bytes_of("m"));
+  Signature bad = sig;
+  bad.s = bad.s + Scalar::one(grp());
+  EXPECT_FALSE(schnorr_verify(kp.pk, bytes_of("m"), bad));
+  bad = sig;
+  bad.c = bad.c + Scalar::one(grp());
+  EXPECT_FALSE(schnorr_verify(kp.pk, bytes_of("m"), bad));
+}
+
+TEST(Schnorr, DeterministicNonce) {
+  Drbg rng(5);
+  KeyPair kp = schnorr_keygen(grp(), rng);
+  EXPECT_TRUE(schnorr_sign(kp, bytes_of("m")) == schnorr_sign(kp, bytes_of("m")));
+}
+
+TEST(Schnorr, SerializationRoundTrip) {
+  Drbg rng(6);
+  KeyPair kp = schnorr_keygen(grp(), rng);
+  Signature sig = schnorr_sign(kp, bytes_of("m"));
+  auto back = Signature::from_bytes(grp(), sig.to_bytes());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == sig);
+  EXPECT_EQ(sig.to_bytes().size(), signature_bytes(grp()));
+  EXPECT_FALSE(Signature::from_bytes(grp(), Bytes(3, 0)).has_value());
+}
+
+TEST(Keyring, SignAsAndVerifyFrom) {
+  auto ring = Keyring::generate(grp(), 5, 42);
+  Bytes msg = bytes_of("payload");
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    Signature sig = ring->sign_as(i, msg);
+    EXPECT_TRUE(ring->verify_from(i, msg, sig));
+    EXPECT_FALSE(ring->verify_from(i % 5 + 1, msg, sig));  // wrong signer
+  }
+  EXPECT_FALSE(ring->verify_from(0, msg, ring->sign_as(1, msg)));   // bad index
+  EXPECT_FALSE(ring->verify_from(99, msg, ring->sign_as(1, msg)));  // out of range
+}
+
+TEST(Keyring, DeterministicGeneration) {
+  auto r1 = Keyring::generate(grp(), 3, 7);
+  auto r2 = Keyring::generate(grp(), 3, 7);
+  for (std::uint32_t i = 1; i <= 3; ++i) EXPECT_EQ(r1->public_key(i), r2->public_key(i));
+}
+
+TEST(Keyring, WithAddedNodeKeepsExistingKeys) {
+  auto r1 = Keyring::generate(grp(), 3, 7);
+  auto r2 = r1->with_added_node(99);
+  EXPECT_EQ(r2->size(), 4u);
+  for (std::uint32_t i = 1; i <= 3; ++i) EXPECT_EQ(r1->public_key(i), r2->public_key(i));
+  Bytes msg = bytes_of("m");
+  EXPECT_TRUE(r2->verify_from(4, msg, r2->sign_as(4, msg)));
+}
+
+TEST(Dleq, ProveVerifyRoundTrip) {
+  Drbg rng(8);
+  Scalar x = Scalar::random(grp(), rng);
+  Element g1 = Element::generator(grp());
+  Element g2 = Element::exp_h(Scalar::from_u64(grp(), 1));
+  DleqProof proof = dleq_prove(g1, g1.pow(x), g2, g2.pow(x), x);
+  EXPECT_TRUE(dleq_verify(g1, g1.pow(x), g2, g2.pow(x), proof));
+}
+
+TEST(Dleq, RejectsUnequalLogs) {
+  Drbg rng(9);
+  Scalar x = Scalar::random(grp(), rng);
+  Scalar y = x + Scalar::one(grp());
+  Element g1 = Element::generator(grp());
+  Element g2 = Element::exp_h(Scalar::from_u64(grp(), 1));
+  DleqProof proof = dleq_prove(g1, g1.pow(x), g2, g2.pow(x), x);
+  EXPECT_FALSE(dleq_verify(g1, g1.pow(x), g2, g2.pow(y), proof));
+  EXPECT_FALSE(dleq_verify(g1, g1.pow(y), g2, g2.pow(x), proof));
+}
+
+TEST(Dleq, RejectsTamperedProof) {
+  Drbg rng(10);
+  Scalar x = Scalar::random(grp(), rng);
+  Element g1 = Element::generator(grp());
+  Element g2 = Element::exp_h(Scalar::from_u64(grp(), 1));
+  DleqProof proof = dleq_prove(g1, g1.pow(x), g2, g2.pow(x), x);
+  proof.r = proof.r + Scalar::one(grp());
+  EXPECT_FALSE(dleq_verify(g1, g1.pow(x), g2, g2.pow(x), proof));
+}
+
+TEST(HashToGroup, LandsInSubgroupAndIsDomainSeparated) {
+  Element a = hash_to_group(grp(), bytes_of("round-1"));
+  Element b = hash_to_group(grp(), bytes_of("round-1"));
+  Element c = hash_to_group(grp(), bytes_of("round-2"));
+  EXPECT_TRUE(a.in_subgroup());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace dkg::crypto

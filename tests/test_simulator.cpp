@@ -1,0 +1,220 @@
+// Unit tests: the discrete-event network simulator — ordering, delays,
+// timers, crash semantics and metrics accounting.
+#include <gtest/gtest.h>
+
+#include "sim/faultplan.hpp"
+#include "sim/simulator.hpp"
+
+namespace dkg::sim {
+namespace {
+
+struct PingMsg : Message {
+  std::uint32_t value;
+  explicit PingMsg(std::uint32_t v) : value(v) {}
+  std::string type() const override { return "test.ping"; }
+  void serialize(Writer& w) const override { w.u32(value); }
+};
+
+/// Records everything it sees; optionally echoes to a peer.
+struct RecorderNode : Node {
+  std::vector<std::pair<NodeId, std::uint32_t>> received;
+  std::vector<Time> receive_times;
+  std::vector<TimerId> timers;
+  int crashes = 0;
+  int recoveries = 0;
+  NodeId echo_to = 0;
+
+  void on_message(Context& ctx, NodeId from, const MessagePtr& msg) override {
+    const auto* p = dynamic_cast<const PingMsg*>(msg.get());
+    if (p == nullptr) return;
+    received.emplace_back(from, p->value);
+    receive_times.push_back(ctx.now());
+    if (echo_to != 0) ctx.send(echo_to, std::make_shared<PingMsg>(p->value + 1));
+  }
+  void on_timer(Context&, TimerId id) override { timers.push_back(id); }
+  void on_crash(Context&) override { ++crashes; }
+  void on_recover(Context&) override { ++recoveries; }
+};
+
+struct TimerStarterNode : RecorderNode {
+  std::vector<std::pair<TimerId, Time>> to_start;
+  std::vector<TimerId> to_stop_immediately;
+  void on_start(Context& ctx) override {
+    for (auto [id, after] : to_start) ctx.start_timer(id, after);
+    for (TimerId id : to_stop_immediately) ctx.stop_timer(id);
+  }
+};
+
+Simulator make_sim(std::size_t n, Time delay = 5) {
+  return Simulator(n, std::make_unique<FixedDelay>(delay), 42);
+}
+
+TEST(Simulator, DeliversOperatorMessage) {
+  Simulator sim = make_sim(2);
+  auto node = std::make_unique<RecorderNode>();
+  RecorderNode* ptr = node.get();
+  sim.set_node(1, std::move(node));
+  sim.set_node(2, std::make_unique<RecorderNode>());
+  sim.post_operator(1, std::make_shared<PingMsg>(7), 3);
+  EXPECT_TRUE(sim.run());
+  ASSERT_EQ(ptr->received.size(), 1u);
+  EXPECT_EQ(ptr->received[0], std::make_pair(kOperator, 7u));
+  EXPECT_EQ(ptr->receive_times[0], 3u);
+}
+
+TEST(Simulator, FixedDelayDelivery) {
+  Simulator sim = make_sim(2, 10);
+  auto a = std::make_unique<RecorderNode>();
+  a->echo_to = 2;
+  auto b = std::make_unique<RecorderNode>();
+  RecorderNode* bp = b.get();
+  sim.set_node(1, std::move(a));
+  sim.set_node(2, std::move(b));
+  sim.post_operator(1, std::make_shared<PingMsg>(1), 0);
+  EXPECT_TRUE(sim.run());
+  ASSERT_EQ(bp->received.size(), 1u);
+  EXPECT_EQ(bp->received[0].second, 2u);
+  EXPECT_EQ(bp->receive_times[0], 10u);  // operator at 0 + link delay 10
+}
+
+TEST(Simulator, SameTimeEventsKeepFifoOrder) {
+  Simulator sim = make_sim(1, 5);
+  auto node = std::make_unique<RecorderNode>();
+  RecorderNode* ptr = node.get();
+  sim.set_node(1, std::move(node));
+  for (std::uint32_t v = 0; v < 10; ++v) sim.post_operator(1, std::make_shared<PingMsg>(v), 7);
+  EXPECT_TRUE(sim.run());
+  ASSERT_EQ(ptr->received.size(), 10u);
+  for (std::uint32_t v = 0; v < 10; ++v) EXPECT_EQ(ptr->received[v].second, v);
+}
+
+TEST(Simulator, TimerFiresOnceAndStopCancels) {
+  Simulator sim = make_sim(1);
+  auto node = std::make_unique<TimerStarterNode>();
+  node->to_start = {{1, 10}, {2, 20}};
+  node->to_stop_immediately = {2};
+  TimerStarterNode* ptr = node.get();
+  sim.set_node(1, std::move(node));
+  EXPECT_TRUE(sim.run());
+  ASSERT_EQ(ptr->timers.size(), 1u);
+  EXPECT_EQ(ptr->timers[0], 1u);
+}
+
+TEST(Simulator, RestartedTimerSupersedesOldOne) {
+  struct RestartNode : RecorderNode {
+    void on_start(Context& ctx) override {
+      ctx.start_timer(1, 10);
+      ctx.start_timer(1, 30);  // re-arm: only the second should fire
+    }
+  };
+  Simulator sim = make_sim(1);
+  auto node = std::make_unique<RestartNode>();
+  RestartNode* ptr = node.get();
+  sim.set_node(1, std::move(node));
+  EXPECT_TRUE(sim.run());
+  EXPECT_EQ(ptr->timers.size(), 1u);
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, CrashedNodeLosesMessagesAndTimers) {
+  Simulator sim = make_sim(2, 10);
+  auto a = std::make_unique<RecorderNode>();
+  RecorderNode* ap = a.get();
+  sim.set_node(1, std::move(a));
+  sim.set_node(2, std::make_unique<RecorderNode>());
+  sim.schedule_crash(1, 5);
+  sim.post_operator(2, std::make_shared<PingMsg>(1), 0);  // irrelevant traffic
+  sim.post_operator(1, std::make_shared<PingMsg>(9), 20);  // lost: node crashed
+  EXPECT_TRUE(sim.run());
+  EXPECT_TRUE(ap->received.empty());
+  EXPECT_EQ(ap->crashes, 1);
+  EXPECT_EQ(sim.metrics().dropped_messages(), 1u);
+}
+
+TEST(Simulator, RecoveryInvokesHookAndResumesDelivery) {
+  Simulator sim = make_sim(1, 10);
+  auto a = std::make_unique<RecorderNode>();
+  RecorderNode* ap = a.get();
+  sim.set_node(1, std::move(a));
+  sim.schedule_crash(1, 5);
+  sim.schedule_recover(1, 50);
+  sim.post_operator(1, std::make_shared<PingMsg>(1), 20);   // lost
+  sim.post_operator(1, std::make_shared<PingMsg>(2), 60);   // delivered
+  EXPECT_TRUE(sim.run());
+  EXPECT_EQ(ap->crashes, 1);
+  EXPECT_EQ(ap->recoveries, 1);
+  ASSERT_EQ(ap->received.size(), 1u);
+  EXPECT_EQ(ap->received[0].second, 2u);
+}
+
+TEST(Simulator, MetricsCountSendsAndBytes) {
+  Simulator sim = make_sim(2, 1);
+  auto a = std::make_unique<RecorderNode>();
+  a->echo_to = 2;
+  sim.set_node(1, std::move(a));
+  sim.set_node(2, std::make_unique<RecorderNode>());
+  sim.post_operator(1, std::make_shared<PingMsg>(1), 0);
+  EXPECT_TRUE(sim.run());
+  // Operator messages are not metered; the one echo send is.
+  TypeStats s = sim.metrics().by_prefix("test.");
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.bytes, 4u);  // one u32
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator sim = make_sim(1, 1);
+  auto node = std::make_unique<RecorderNode>();
+  RecorderNode* ptr = node.get();
+  sim.set_node(1, std::move(node));
+  for (std::uint32_t v = 0; v < 100; ++v) sim.post_operator(1, std::make_shared<PingMsg>(v), v);
+  EXPECT_TRUE(sim.run_until([&] { return ptr->received.size() >= 3; }));
+  EXPECT_EQ(ptr->received.size(), 3u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim(3, std::make_unique<UniformDelay>(1, 50), 77);
+    std::vector<Time> times;
+    for (NodeId i = 1; i <= 3; ++i) {
+      auto node = std::make_unique<RecorderNode>();
+      node->echo_to = i % 3 + 1;
+      sim.set_node(i, std::move(node));
+    }
+    sim.post_operator(1, std::make_shared<PingMsg>(0), 0);
+    sim.run(2000);
+    return sim.now();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(AdversarialDelay, PenalizesOnlySlowLinks) {
+  crypto::Drbg rng(1);
+  AdversarialDelay d(std::make_unique<FixedDelay>(10), {2}, 1000);
+  auto msg = std::make_shared<PingMsg>(0);
+  EXPECT_EQ(d.delay(1, 3, msg, 0, rng), 10u);
+  EXPECT_EQ(d.delay(1, 2, msg, 0, rng), 1010u);
+  EXPECT_EQ(d.delay(2, 3, msg, 0, rng), 1010u);
+}
+
+TEST(FaultPlan, RespectsConcurrencyBound) {
+  crypto::Drbg rng(9);
+  std::vector<NodeId> nodes{1, 2, 3, 4, 5, 6};
+  FaultPlan plan = FaultPlan::random(nodes, /*f=*/2, /*total=*/10, /*horizon=*/1000,
+                                     /*min_outage=*/50, /*max_outage=*/200, rng);
+  EXPECT_GT(plan.crash_count(), 0u);
+  // At every window start, count overlapping windows.
+  for (const CrashWindow& w : plan.windows()) {
+    std::size_t concurrent = 0;
+    for (const CrashWindow& o : plan.windows()) {
+      if (&w == &o) continue;
+      if (!(w.recover_at <= o.crash_at || o.recover_at <= w.crash_at)) {
+        EXPECT_NE(w.node, o.node);  // no double-crash of one node
+        ++concurrent;
+      }
+    }
+    EXPECT_LE(concurrent + 1, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace dkg::sim

@@ -1,0 +1,39 @@
+// End-to-end smoke tests: the full DKG on a small honest network. Detailed
+// per-module tests live in the other test files.
+#include <gtest/gtest.h>
+
+#include "dkg/runner.hpp"
+
+namespace dkg {
+namespace {
+
+TEST(Smoke, DkgCompletesOnHonestNetwork) {
+  core::RunnerConfig cfg;
+  cfg.n = 7;
+  cfg.t = 1;
+  cfg.f = 1;
+  cfg.seed = 42;
+  core::DkgRunner runner(cfg);
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion());
+  EXPECT_EQ(runner.completed_nodes().size(), 7u);
+  EXPECT_TRUE(runner.outputs_consistent());
+}
+
+TEST(Smoke, SecretMatchesPublicKey) {
+  core::RunnerConfig cfg;
+  cfg.n = 7;
+  cfg.t = 2;
+  cfg.f = 0;
+  cfg.seed = 7;
+  core::DkgRunner runner(cfg);
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion());
+  ASSERT_TRUE(runner.outputs_consistent());
+  crypto::Scalar secret = runner.reconstruct_secret();
+  const core::DkgOutput& out = runner.dkg_node(1).output();
+  EXPECT_EQ(crypto::Element::exp_g(secret), out.public_key);
+}
+
+}  // namespace
+}  // namespace dkg

@@ -1,0 +1,104 @@
+// Protocol tests: security-threshold and crash-limit modification at the
+// phase change (paper §6.4) — realized by "correctly changing the degrees
+// of the resharing polynomials" during share renewal.
+#include <gtest/gtest.h>
+
+#include "crypto/lagrange.hpp"
+#include "proactive/runner.hpp"
+
+namespace dkg::proactive {
+namespace {
+
+using crypto::Element;
+using crypto::Scalar;
+
+core::RunnerConfig config(std::size_t n, std::size_t t, std::size_t f, std::uint64_t seed) {
+  core::RunnerConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.f = f;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ThresholdChange, IncreaseThresholdPreservesSecret) {
+  // n=10 supports t=1..3 (with f small): renew from t=1 to t=2.
+  ProactiveRunner runner(config(10, 1, 1, 401));
+  ASSERT_TRUE(runner.run_dkg());
+  Scalar secret = runner.reconstruct();
+  Element pk = runner.public_key();
+  ASSERT_TRUE(runner.set_thresholds(2, 1));
+  ASSERT_TRUE(runner.run_renewal());
+  EXPECT_EQ(runner.t(), 2u);
+  EXPECT_EQ(runner.public_key(), pk);
+  EXPECT_TRUE(runner.shares_consistent());
+  EXPECT_EQ(runner.reconstruct(), secret);  // now needs t+1 = 3 shares
+}
+
+TEST(ThresholdChange, IncreasedThresholdActuallyBinds) {
+  // After raising t to 2, two shares must no longer determine the secret.
+  ProactiveRunner runner(config(10, 1, 1, 402));
+  ASSERT_TRUE(runner.run_dkg());
+  Scalar secret = runner.reconstruct();
+  ASSERT_TRUE(runner.set_thresholds(2, 1));
+  ASSERT_TRUE(runner.run_renewal());
+  std::vector<std::pair<std::uint64_t, Scalar>> two{{1, runner.states()[1].share},
+                                                    {2, runner.states()[2].share}};
+  EXPECT_NE(crypto::interpolate_at(*config(10, 1, 1, 0).grp, two, 0), secret);
+}
+
+TEST(ThresholdChange, DecreaseThresholdPreservesSecret) {
+  // Renew from t=2 down to t=1: the agreed set must still contain
+  // t_old + 1 = 3 dealers so the old degree-2 polynomial interpolates.
+  ProactiveRunner runner(config(10, 2, 1, 403));
+  ASSERT_TRUE(runner.run_dkg());
+  Scalar secret = runner.reconstruct();
+  Element pk = runner.public_key();
+  ASSERT_TRUE(runner.set_thresholds(1, 1));
+  ASSERT_TRUE(runner.run_renewal());
+  EXPECT_EQ(runner.t(), 1u);
+  EXPECT_EQ(runner.public_key(), pk);
+  EXPECT_TRUE(runner.shares_consistent());
+  EXPECT_EQ(runner.reconstruct(), secret);  // now only 2 shares needed
+}
+
+TEST(ThresholdChange, CrashLimitChangeOnly) {
+  // f 1 -> 2 (n=10, t=1: 10 >= 3+4+1): quorums shift from 8 to 7.
+  ProactiveRunner runner(config(10, 1, 1, 404));
+  ASSERT_TRUE(runner.run_dkg());
+  Element pk = runner.public_key();
+  ASSERT_TRUE(runner.set_thresholds(1, 2));
+  ASSERT_TRUE(runner.run_renewal());
+  EXPECT_EQ(runner.f(), 2u);
+  EXPECT_EQ(runner.public_key(), pk);
+  EXPECT_TRUE(runner.shares_consistent());
+}
+
+TEST(ThresholdChange, RejectsResilienceViolation) {
+  ProactiveRunner runner(config(10, 1, 1, 405));
+  ASSERT_TRUE(runner.run_dkg());
+  EXPECT_FALSE(runner.set_thresholds(3, 1));  // 10 < 9 + 2 + 1
+  EXPECT_FALSE(runner.set_thresholds(2, 2));  // 10 < 6 + 4 + 1
+  EXPECT_EQ(runner.t(), 1u);
+  EXPECT_EQ(runner.f(), 1u);
+  // And the unchanged configuration still renews fine.
+  EXPECT_TRUE(runner.run_renewal());
+}
+
+TEST(ThresholdChange, SequenceOfChangesStaysConsistent) {
+  ProactiveRunner runner(config(13, 1, 1, 406));
+  ASSERT_TRUE(runner.run_dkg());
+  Scalar secret = runner.reconstruct();
+  Element pk = runner.public_key();
+  // t: 1 -> 2 -> 3 -> 2.
+  for (std::size_t t_next : {2u, 3u, 2u}) {
+    ASSERT_TRUE(runner.set_thresholds(t_next, 1));
+    ASSERT_TRUE(runner.run_renewal()) << "to t=" << t_next;
+    EXPECT_EQ(runner.public_key(), pk);
+    EXPECT_TRUE(runner.shares_consistent());
+    EXPECT_EQ(runner.reconstruct(), secret);
+  }
+}
+
+}  // namespace
+}  // namespace dkg::proactive

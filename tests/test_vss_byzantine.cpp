@@ -1,0 +1,181 @@
+// Adversarial VSS tests: Byzantine dealers and participants (paper §2.2's
+// t-limited adversary). Safety (consistency) must hold unconditionally;
+// liveness is only promised for honest dealers.
+#include <gtest/gtest.h>
+
+#include "crypto/lagrange.hpp"
+#include "sim/simulator.hpp"
+#include "vss/byzantine_dealer.hpp"
+
+namespace dkg::vss {
+namespace {
+
+using crypto::Group;
+using crypto::Scalar;
+
+VssParams make_params(std::size_t n, std::size_t t, std::size_t f) {
+  VssParams p;
+  p.grp = &Group::tiny256();
+  p.n = n;
+  p.t = t;
+  p.f = f;
+  return p;
+}
+
+struct Harness {
+  VssParams params;
+  sim::Simulator sim;
+  SessionId sid{1, 1};
+
+  Harness(std::size_t n, std::size_t t, std::size_t f, std::uint64_t seed = 1)
+      : params(make_params(n, t, f)),
+        sim(n, std::make_unique<sim::UniformDelay>(5, 40), seed) {
+    for (sim::NodeId i = 1; i <= n; ++i) sim.set_node(i, std::make_unique<VssNode>(params, i));
+  }
+
+  VssNode& node(sim::NodeId i) { return dynamic_cast<VssNode&>(sim.node(i)); }
+
+  std::vector<sim::NodeId> completed(std::size_t n, sim::NodeId skip = 0) {
+    std::vector<sim::NodeId> out;
+    for (sim::NodeId i = 1; i <= n; ++i) {
+      if (i == skip) continue;
+      if (node(i).has_instance(sid) && node(i).instance(sid).has_shared()) out.push_back(i);
+    }
+    return out;
+  }
+};
+
+TEST(ByzantineDealer, SilentDealerProducesNothingButHarmless) {
+  Harness h(7, 1, 1);
+  h.sim.set_node(1, std::make_unique<ByzantineDealerNode>(h.params, 1, DealerFault::Silent));
+  h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, Scalar::from_u64(Group::tiny256(), 1)));
+  ASSERT_TRUE(h.sim.run());
+  EXPECT_TRUE(h.completed(7, 1).empty());
+}
+
+TEST(ByzantineDealer, InconsistentRowsNeverYieldInconsistentShares) {
+  // Half the nodes get rows from the wrong polynomial; they reject at
+  // verify-poly. If completion happens at all, shares are consistent.
+  Harness h(7, 1, 1);
+  h.sim.set_node(1,
+                 std::make_unique<ByzantineDealerNode>(h.params, 1, DealerFault::InconsistentRows));
+  h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, Scalar::from_u64(Group::tiny256(), 5)));
+  ASSERT_TRUE(h.sim.run());
+  auto done = h.completed(7, 1);
+  if (!done.empty()) {
+    Bytes digest = h.node(done[0]).instance(h.sid).shared().commitment->digest();
+    for (sim::NodeId i : done) {
+      const SharedOutput& out = h.node(i).instance(h.sid).shared();
+      EXPECT_EQ(out.commitment->digest(), digest);
+      EXPECT_TRUE(out.commitment->verify_point(0, i, out.share));
+    }
+  }
+  // Nodes with bad rows must have registered rejections.
+  std::uint64_t total_rejects = 0;
+  for (sim::NodeId i = 2; i <= 7; ++i) total_rejects += h.node(i).instance(h.sid).rejected();
+  EXPECT_GT(total_rejects, 0u);
+}
+
+TEST(ByzantineDealer, EquivocationCannotCompleteTwoCommitments) {
+  // Dealer sends C1 to odd nodes and C2 to even nodes. The echo quorum
+  // ceil((n+t+1)/2) makes completing *both* impossible; whatever completes
+  // is unique.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Harness h(7, 1, 1, seed);
+    h.sim.set_node(1,
+                   std::make_unique<ByzantineDealerNode>(h.params, 1, DealerFault::Equivocate));
+    h.sim.post_operator(1,
+                        std::make_shared<ShareOp>(h.sid, Scalar::from_u64(Group::tiny256(), 9)));
+    ASSERT_TRUE(h.sim.run());
+    std::set<Bytes> digests;
+    for (sim::NodeId i : h.completed(7, 1)) {
+      digests.insert(h.node(i).instance(h.sid).shared().commitment->digest());
+    }
+    EXPECT_LE(digests.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(ByzantineDealer, PartialSendCannotReachEchoQuorumAlone) {
+  // Dealer sends valid rows to only t+1 nodes: the echo quorum
+  // ceil((n+t+1)/2) > t+1 cannot be met, so no honest node completes —
+  // but nothing bad happens either.
+  Harness h(7, 1, 1);
+  h.sim.set_node(1, std::make_unique<ByzantineDealerNode>(h.params, 1, DealerFault::PartialSend));
+  h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, Scalar::from_u64(Group::tiny256(), 2)));
+  ASSERT_TRUE(h.sim.run());
+  EXPECT_TRUE(h.completed(7, 1).empty());
+}
+
+TEST(ByzantinePeer, GarbagePointsAreRejectedAndSharingSucceeds) {
+  // One participant sprays invalid echo/ready points; verify-point drops
+  // them and the honest sharing completes regardless.
+  Harness h(7, 1, 1);
+  h.sim.set_node(4, std::make_unique<GarbagePointNode>(h.params, 4));
+  h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, Scalar::from_u64(Group::tiny256(), 21)));
+  ASSERT_TRUE(h.sim.run());
+  auto done = h.completed(7, 4);
+  EXPECT_EQ(done.size(), 6u);
+  std::uint64_t rejects = 0;
+  for (sim::NodeId i : done) rejects += h.node(i).instance(h.sid).rejected();
+  EXPECT_GT(rejects, 0u);
+  // Consistency unaffected.
+  std::vector<std::pair<std::uint64_t, Scalar>> pts;
+  for (sim::NodeId i : done) {
+    if (pts.size() < 2) pts.emplace_back(i, h.node(i).instance(h.sid).shared().share);
+  }
+  EXPECT_EQ(crypto::interpolate_at(Group::tiny256(), pts, 0),
+            Scalar::from_u64(Group::tiny256(), 21));
+}
+
+TEST(ByzantinePeer, SilentParticipantsWithinBoundDontBlock) {
+  // t Byzantine-silent + f crashed receivers: still n - t - f honest
+  // finally-up nodes, which is exactly the completion quorum.
+  Harness h(10, 2, 1);
+  h.sim.set_node(9, std::make_unique<SilentNode>());
+  h.sim.set_node(10, std::make_unique<SilentNode>());
+  h.sim.schedule_crash(8, 0);
+  h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, Scalar::from_u64(Group::tiny256(), 4)));
+  ASSERT_TRUE(h.sim.run());
+  EXPECT_GE(h.completed(7).size(), 7u);
+}
+
+TEST(ByzantinePeer, ReconstructionToleratesBadShares) {
+  // During Rec, a Byzantine node submits a wrong share; verification drops
+  // it and reconstruction still yields the secret.
+  Harness h(7, 2, 0);
+  Scalar secret = Scalar::from_u64(Group::tiny256(), 777);
+  h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, secret));
+  ASSERT_TRUE(h.sim.run());
+  // Node 3 "goes Byzantine" for reconstruction: replace with a node that
+  // broadcasts a corrupted share.
+  struct BadRecNode : sim::Node {
+    SessionId sid;
+    SharedOutput out;
+    std::size_t n;
+    BadRecNode(SessionId s, SharedOutput o, std::size_t nn) : sid(s), out(std::move(o)), n(nn) {}
+    void on_start(sim::Context& ctx) override {
+      Bytes digest = out.commitment->digest();
+      crypto::Scalar bad = out.share + crypto::Scalar::one(out.share.group());
+      for (sim::NodeId j = 1; j <= n; ++j) {
+        ctx.send(j, std::make_shared<RecShareMsg>(sid, digest, bad));
+      }
+    }
+    void on_message(sim::Context&, sim::NodeId, const sim::MessagePtr&) override {}
+  };
+  SharedOutput out3 = h.node(3).instance(h.sid).shared();
+  h.sim.set_node(3, std::make_unique<BadRecNode>(h.sid, out3, 7));
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    if (i == 3) continue;
+    h.sim.post_operator(i, std::make_shared<ReconstructOp>(h.sid), h.sim.now() + 5);
+  }
+  ASSERT_TRUE(h.sim.run());
+  for (sim::NodeId i = 1; i <= 7; ++i) {
+    if (i == 3) continue;
+    ASSERT_TRUE(h.node(i).instance(h.sid).has_reconstructed());
+    EXPECT_EQ(h.node(i).instance(h.sid).reconstructed(), secret);
+    EXPECT_GT(h.node(i).instance(h.sid).rejected(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dkg::vss

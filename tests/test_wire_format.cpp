@@ -1,0 +1,125 @@
+// Unit tests: wire encodings of protocol messages — the serialized sizes
+// back every communication-complexity measurement, so they must be
+// canonical, cached consistently, and scale the way the analysis assumes.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "dkg/dkg_messages.hpp"
+#include "vss/vss_messages.hpp"
+
+namespace dkg {
+namespace {
+
+using crypto::BiPolynomial;
+using crypto::Drbg;
+using crypto::FeldmanMatrix;
+using crypto::Group;
+using crypto::Scalar;
+
+const Group& grp() { return Group::tiny256(); }
+
+std::shared_ptr<const FeldmanMatrix> make_commitment(std::size_t t, std::uint64_t seed) {
+  Drbg rng(seed);
+  return std::make_shared<const FeldmanMatrix>(
+      FeldmanMatrix::commit(BiPolynomial::random(Scalar::from_u64(grp(), 1), t, rng)));
+}
+
+TEST(WireFormat, WireSizeIsCachedAndStable) {
+  auto c = make_commitment(2, 1);
+  vss::EchoMsg msg(vss::SessionId{1, 1}, c, c->digest(), Scalar::from_u64(grp(), 5));
+  std::size_t s1 = msg.wire_size();
+  std::size_t s2 = msg.wire_size();
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(msg.wire_bytes().size(), s1);
+}
+
+TEST(WireFormat, SendMessageScalesWithMatrix) {
+  // Send carries the (t+1)^2 matrix: quadratic in t.
+  auto size_at = [](std::size_t t) {
+    auto c = make_commitment(t, t);
+    Drbg rng(t + 50);
+    vss::SendMsg msg(vss::SessionId{1, 1}, c,
+                     crypto::Polynomial::random(grp(), t, rng));
+    return msg.wire_size();
+  };
+  std::size_t s2 = size_at(2), s5 = size_at(5);
+  // Matrix bytes: (t+1)^2 * 32; row: (t+1) * 8.
+  EXPECT_GT(s5, s2 * 3);
+  EXPECT_LT(s5, s2 * 5);
+}
+
+TEST(WireFormat, HashedEchoIsConstantSize) {
+  auto c2 = make_commitment(2, 1);
+  auto c5 = make_commitment(5, 2);
+  vss::EchoMsg hashed2(vss::SessionId{1, 1}, nullptr, c2->digest(), Scalar::from_u64(grp(), 5));
+  vss::EchoMsg hashed5(vss::SessionId{1, 1}, nullptr, c5->digest(), Scalar::from_u64(grp(), 5));
+  EXPECT_EQ(hashed2.wire_size(), hashed5.wire_size());  // digest is 32B regardless of t
+  vss::EchoMsg full2(vss::SessionId{1, 1}, c2, c2->digest(), Scalar::from_u64(grp(), 5));
+  EXPECT_GT(full2.wire_size(), hashed2.wire_size());
+}
+
+TEST(WireFormat, ReadySignatureAddsFixedOverhead) {
+  auto c = make_commitment(2, 3);
+  Scalar alpha = Scalar::from_u64(grp(), 9);
+  vss::ReadyMsg unsigned_msg(vss::SessionId{1, 1}, nullptr, c->digest(), alpha, std::nullopt);
+  Drbg rng(4);
+  crypto::KeyPair kp = crypto::schnorr_keygen(grp(), rng);
+  vss::ReadyMsg signed_msg(vss::SessionId{1, 1}, nullptr, c->digest(), alpha,
+                           crypto::schnorr_sign(kp, bytes_of("x")));
+  EXPECT_EQ(signed_msg.wire_size(), unsigned_msg.wire_size() + crypto::signature_bytes(grp()));
+}
+
+TEST(WireFormat, DkgSendGrowsWithProofSets) {
+  core::DkgSendMsg empty(1, 1, core::NodeSet{1, 2});
+  core::DkgSendMsg with_proofs(1, 1, core::NodeSet{1, 2});
+  auto ring = crypto::Keyring::generate(grp(), 7, 1);
+  Bytes digest = crypto::sha256(bytes_of("c"));
+  for (sim::NodeId d : {1u, 2u}) {
+    core::DealerProof p;
+    p.dealer = d;
+    p.commit_digest = digest;
+    Bytes payload = vss::ready_sig_payload(vss::SessionId{d, 1}, digest);
+    for (sim::NodeId s = 1; s <= 5; ++s) {
+      p.sigs.push_back(vss::ReadySig{s, ring->sign_as(s, payload)});
+    }
+    with_proofs.dealer_proofs[d] = p;
+  }
+  // 2 dealers x 5 sigs x (4 + sig bytes) plus digests.
+  EXPECT_GT(with_proofs.wire_size(),
+            empty.wire_size() + 10 * crypto::signature_bytes(grp()));
+}
+
+TEST(WireFormat, SessionDisambiguationInPayloads) {
+  Bytes d = crypto::sha256(bytes_of("c"));
+  EXPECT_NE(vss::ready_sig_payload(vss::SessionId{1, 1}, d),
+            vss::ready_sig_payload(vss::SessionId{2, 1}, d));
+  EXPECT_NE(vss::ready_sig_payload(vss::SessionId{1, 1}, d),
+            vss::ready_sig_payload(vss::SessionId{1, 2}, d));
+  EXPECT_NE(core::dkg_echo_payload(1, 1, {1, 2}), core::dkg_ready_payload(1, 1, {1, 2}));
+  EXPECT_NE(core::dkg_echo_payload(1, 1, {1, 2}), core::dkg_echo_payload(1, 2, {1, 2}));
+  EXPECT_NE(core::lead_ch_payload(1, 2), core::lead_ch_payload(1, 3));
+}
+
+TEST(WireFormat, MessageTypesAreDistinctAndPrefixed) {
+  auto c = make_commitment(1, 9);
+  Drbg rng(10);
+  std::vector<std::string> types{
+      vss::SendMsg(vss::SessionId{1, 1}, c, crypto::Polynomial::random(grp(), 1, rng)).type(),
+      vss::EchoMsg(vss::SessionId{1, 1}, c, c->digest(), Scalar::from_u64(grp(), 1)).type(),
+      vss::ReadyMsg(vss::SessionId{1, 1}, c, c->digest(), Scalar::from_u64(grp(), 1),
+                    std::nullopt)
+          .type(),
+      vss::HelpMsg(vss::SessionId{1, 1}).type(),
+      vss::RecShareMsg(vss::SessionId{1, 1}, c->digest(), Scalar::from_u64(grp(), 1)).type(),
+      core::DkgSendMsg(1, 1, {}).type(),
+      core::DkgHelpMsg(1).type(),
+  };
+  std::set<std::string> unique(types.begin(), types.end());
+  EXPECT_EQ(unique.size(), types.size());
+  for (const std::string& t : types.begin() == types.end() ? types : types) {
+    EXPECT_TRUE(t.rfind("vss.", 0) == 0 || t.rfind("dkg.", 0) == 0) << t;
+  }
+}
+
+}  // namespace
+}  // namespace dkg
