@@ -36,7 +36,9 @@ Row run(sim::Time timeout_base, bool crash_leader, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("bench_ablation_timeout", argc, argv);
+  if (!json.args_ok()) return 1;
   bench::print_header("E11  Ablation: timeout choice vs leader-change waste",
                       "optimistic-first design: timeouts are a liveness backstop, "
                       "never a safety input  [Sec 2.1, Sec 4]");
@@ -47,6 +49,17 @@ int main() {
   for (sim::Time timeout : {60ull, 150ull, 400ull, 1'500ull, 6'000ull, 24'000ull}) {
     Row honest = run(timeout, false, 8800);
     Row faulty = run(timeout, true, 8800);
+    json.add(bench::MetricRow("timeout=" + std::to_string(timeout))
+                 .set("timeout_base", timeout)
+                 .set("honest_messages", honest.r.messages)
+                 .set("honest_bytes", honest.r.bytes)
+                 .set("honest_lead_changes", honest.r.lead_ch)
+                 .set("honest_completion_time", honest.r.completion_time)
+                 .set("crashed_messages", faulty.r.messages)
+                 .set("crashed_bytes", faulty.r.bytes)
+                 .set("crashed_lead_changes", faulty.r.lead_ch)
+                 .set("crashed_completion_time", faulty.r.completion_time)
+                 .set("ok", honest.ok && faulty.ok));
     std::printf("%14llu | %10llu %8llu %8llu | %10llu %8llu %8llu%s\n",
                 static_cast<unsigned long long>(timeout),
                 static_cast<unsigned long long>(honest.r.messages),
@@ -61,5 +74,5 @@ int main() {
               "leader (wasted O(n^2) traffic, completion still correct — safety never\n"
               "depends on timing); large timeouts cost nothing when honest and delay\n"
               "recovery roughly linearly when the leader is faulty.\n");
-  return 0;
+  return json.flush() ? 0 : 1;
 }

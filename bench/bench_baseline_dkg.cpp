@@ -10,7 +10,9 @@
 
 using namespace dkg;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("bench_baseline_dkg", argc, argv);
+  if (!json.args_ok()) return 1;
   bench::print_header("E6c  Asynchronous DKG vs synchronous baselines",
                       "what the asynchronous/hybrid model costs over synchronous "
                       "broadcast-channel DKGs  [Sec 1, Sec 2]");
@@ -43,8 +45,20 @@ int main() {
     cfg.seed = 7200 + n;
     core::DkgRunner runner(cfg);
     runner.start_all();
-    runner.run_to_completion();
+    bool ok = runner.run_to_completion();
     bench::DkgRunResult hd = bench::summarize(runner);
+
+    json.add(bench::MetricRow("n=" + std::to_string(n))
+                 .set("n", n)
+                 .set("t", t)
+                 .set("jf_messages", jf_net.metrics().total_messages())
+                 .set("jf_bytes", jf_net.metrics().total_bytes())
+                 .set("gjkr_messages", gj_net.metrics().total_messages())
+                 .set("gjkr_bytes", gj_net.metrics().total_bytes())
+                 .set("hdkg_messages", hd.messages)
+                 .set("hdkg_bytes", hd.bytes)
+                 .set("hdkg_completion_time", hd.completion_time)
+                 .set("ok", ok));
 
     std::printf("%4zu %4zu | %10llu %12llu | %10llu %12llu | %10llu %12llu\n", n, t,
                 static_cast<unsigned long long>(jf_net.metrics().total_messages()),
@@ -57,5 +71,5 @@ int main() {
   std::printf("\nshape check: baselines grow ~n^2 (broadcast counted as n unicasts);\n"
               "HybridDKG grows ~n^3 — the price of no synchrony, no broadcast channel,\n"
               "and tolerance to crashed leaders.\n");
-  return 0;
+  return json.flush() ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 // both schemes across thresholds t: Pedersen costs ~2x (second generator).
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
 #include "crypto/feldman.hpp"
 #include "crypto/pedersen.hpp"
 
@@ -103,4 +104,4 @@ BENCHMARK(BM_PedersenVerifyPoly)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Unit(benchmar
 BENCHMARK(BM_FeldmanVerifyPoint)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PedersenVerifyPoint)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dkg::bench::run_gbench_main(argc, argv); }

@@ -3,6 +3,7 @@
 // verify-point; the paper's kappa = 160 regime is mod1024).
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
 #include "crypto/element.hpp"
 #include "crypto/lagrange.hpp"
 #include "crypto/schnorr.hpp"
@@ -97,4 +98,4 @@ BENCHMARK(BM_SchnorrSign)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SchnorrVerify)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Interpolate)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dkg::bench::run_gbench_main(argc, argv); }

@@ -8,8 +8,10 @@
 // a timeout.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dkg;
+  bench::JsonEmitter json("bench_dkg_pessimistic", argc, argv);
+  if (!json.args_ok()) return 1;
   bench::print_header("E5  DKG pessimistic phase: consecutive faulty leaders",
                       "O(d) leader changes, O(n^2) messages each; worst case "
                       "O(t d n^2 (n+d)) msgs  [Sec 4]");
@@ -34,6 +36,16 @@ int main() {
     runner.start_all();
     bool ok = runner.run_to_completion(n - std::max(f, k));
     bench::DkgRunResult r = bench::summarize(runner);
+    json.add(bench::MetricRow("k=" + std::to_string(k))
+                 .set("k_faulty", k)
+                 .set("n", n)
+                 .set("t", t)
+                 .set("messages", r.messages)
+                 .set("bytes", r.bytes)
+                 .set("lead_changes", r.lead_ch)
+                 .set("final_view", r.final_view)
+                 .set("completion_time", r.completion_time)
+                 .set("ok", ok));
     std::printf("%10zu %10llu %14llu %10llu %10llu %12llu%s\n", k,
                 static_cast<unsigned long long>(r.messages),
                 static_cast<unsigned long long>(r.bytes),
@@ -45,5 +57,5 @@ int main() {
   std::printf("\nshape check: final view grows with k (one change per faulty leader);\n"
               "lead-ch traffic grows ~linearly in k; completion time grows with the\n"
               "timeout escalation but the protocol always completes.\n");
-  return 0;
+  return json.flush() ? 0 : 1;
 }

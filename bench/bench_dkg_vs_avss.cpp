@@ -33,7 +33,9 @@ bench::VssRunResult run_avss_once(std::size_t n, std::size_t t, std::uint64_t se
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("bench_dkg_vs_avss", argc, argv);
+  if (!json.args_ok()) return 1;
   bench::print_header("E6a  HybridVSS (symmetric dealing) vs AVSS (full bivariate)",
                       "constant-factor reduction from symmetric polynomials  [Sec 3]");
   std::printf("%4s %4s %12s %12s %14s %14s | %12s %12s %8s\n", "n", "t", "hvss-msgs",
@@ -49,6 +51,19 @@ int main() {
     std::uint64_t matrix = 4 + (t + 1) * (t + 1) * grp.p_bytes();
     std::uint64_t hv_payload = hv.bytes - hv.messages * matrix;
     std::uint64_t av_payload = av.bytes - av.messages * matrix;
+    json.add(bench::MetricRow("vss-vs-avss n=" + std::to_string(n))
+                 .str("table", "hybridvss_vs_avss")
+                 .set("n", n)
+                 .set("t", t)
+                 .set("hvss_messages", hv.messages)
+                 .set("avss_messages", av.messages)
+                 .set("hvss_bytes", hv.bytes)
+                 .set("avss_bytes", av.bytes)
+                 .set("hvss_payload_bytes", hv_payload)
+                 .set("avss_payload_bytes", av_payload)
+                 .set("payload_ratio", static_cast<double>(av_payload) / hv_payload)
+                 .set("completion_time", hv.completion_time)
+                 .set("ok", hv.all_shared && av.all_shared));
     std::printf("%4zu %4zu %12llu %12llu %14llu %14llu | %12llu %12llu %8.2f%s\n", n, t,
                 static_cast<unsigned long long>(hv.messages),
                 static_cast<unsigned long long>(av.messages),
@@ -82,6 +97,16 @@ int main() {
     bool ok = runner.run_to_completion();
     bench::DkgRunResult r = bench::summarize(runner);
     double n3 = static_cast<double>(n) * n * n;
+    json.add(bench::MetricRow("byzantine-only n=" + std::to_string(n))
+                 .str("table", "dkg_byzantine_only")
+                 .set("n", n)
+                 .set("t", t)
+                 .set("messages", r.messages)
+                 .set("bytes", r.bytes)
+                 .set("messages_per_n3", r.messages / n3)
+                 .set("bytes_per_n4", r.bytes / (n3 * n))
+                 .set("completion_time", r.completion_time)
+                 .set("ok", ok));
     std::printf("%4zu %4zu %10llu %14llu %10.3f %12.4f%s\n", n, t,
                 static_cast<unsigned long long>(r.messages),
                 static_cast<unsigned long long>(r.bytes), r.messages / n3,
@@ -89,5 +114,5 @@ int main() {
   }
   std::printf("\nshape check: normalized columns flatten (pure-Byzantine DKG is\n"
               "O(n^3)/O(kappa n^4), the AVSS-refresh regime).\n");
-  return 0;
+  return json.flush() ? 0 : 1;
 }

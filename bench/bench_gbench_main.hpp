@@ -1,0 +1,42 @@
+// Shared main() body for the google-benchmark binaries (E8/E9): translates
+// the repo-wide `--json <path>` flag into benchmark's JSON file reporter so
+// every bench binary shares one metrics-emission interface.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dkg::bench {
+
+inline int run_gbench_main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i].rfind("--json=", 0) == 0 && args[i].size() > 7) {
+      args.insert(args.begin() + i + 1, "--benchmark_out=" + args[i].substr(7));
+      args[i] = "--benchmark_out_format=json";
+      ++i;
+      continue;
+    }
+    if (args[i] != "--json") continue;
+    if (i + 1 >= args.size()) {
+      std::fprintf(stderr, "bench: --json requires a path argument\n");
+      return 1;
+    }
+    args[i] = "--benchmark_out_format=json";
+    args[i + 1] = "--benchmark_out=" + args[i + 1];
+    ++i;
+  }
+  std::vector<char*> argp;
+  for (std::string& a : args) argp.push_back(a.data());
+  int argn = static_cast<int>(argp.size());
+  benchmark::Initialize(&argn, argp.data());
+  if (benchmark::ReportUnrecognizedArguments(argn, argp.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace dkg::bench

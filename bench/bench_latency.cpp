@@ -31,7 +31,9 @@ sim::Time honest_completion(std::set<sim::NodeId> slow, sim::Time penalty, std::
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("bench_latency", argc, argv);
+  if (!json.args_ok()) return 1;
   bench::print_header("E10  Completion latency under adversarial link delays",
                       "adversarial delays on corrupted links do not slow the honest "
                       "path  [Sec 2.1]");
@@ -43,6 +45,11 @@ int main() {
     // now quorums must wait for different (prompt) nodes, or if too many
     // are slowed, for the slow ones.
     sim::Time hon = honest_completion({1, 2}, penalty, 6001);
+    json.add(bench::MetricRow("penalty=" + std::to_string(penalty))
+                 .set("penalty", penalty)
+                 .set("adversarial_links_completion_time", adv)
+                 .set("honest_links_completion_time", hon)
+                 .set("ok", adv != 0 && hon != 0));
     std::printf("%12llu %22llu %26llu\n", static_cast<unsigned long long>(penalty),
                 static_cast<unsigned long long>(adv), static_cast<unsigned long long>(hon));
   }
@@ -50,5 +57,5 @@ int main() {
               "core systems argument for choosing the asynchronous model); slowing\n"
               "honest links can shift completion since quorums re-route around them\n"
               "only when enough prompt nodes remain.\n");
-  return 0;
+  return json.flush() ? 0 : 1;
 }

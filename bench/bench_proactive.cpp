@@ -9,7 +9,9 @@
 
 using namespace dkg;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("bench_proactive", argc, argv);
+  if (!json.args_ok()) return 1;
   bench::print_header("E7a  Share renewal traffic vs n",
                       "renewal ~ DKG complexity (three modifications of DKG)  [Sec 5.2]");
   std::printf("%4s %4s %12s %14s %12s %14s\n", "n", "t", "dkg-msgs", "dkg-bytes",
@@ -26,14 +28,35 @@ int main() {
     proactive::ProactiveRunner runner(cfg);
     if (!runner.run_dkg()) {
       std::printf("%4zu  DKG FAILED\n", n);
+      json.add(bench::MetricRow("renewal n=" + std::to_string(n))
+                   .str("table", "share_renewal")
+                   .set("n", n)
+                   .set("t", t)
+                   .set("ok", false));
       continue;
     }
     std::uint64_t dkg_msgs = runner.last_metrics().total_messages();
     std::uint64_t dkg_bytes = runner.last_metrics().total_bytes();
     if (!runner.run_renewal()) {
       std::printf("%4zu  RENEWAL FAILED\n", n);
+      json.add(bench::MetricRow("renewal n=" + std::to_string(n))
+                   .str("table", "share_renewal")
+                   .set("n", n)
+                   .set("t", t)
+                   .set("dkg_messages", dkg_msgs)
+                   .set("dkg_bytes", dkg_bytes)
+                   .set("ok", false));
       continue;
     }
+    json.add(bench::MetricRow("renewal n=" + std::to_string(n))
+                 .str("table", "share_renewal")
+                 .set("n", n)
+                 .set("t", t)
+                 .set("dkg_messages", dkg_msgs)
+                 .set("dkg_bytes", dkg_bytes)
+                 .set("renewal_messages", runner.last_metrics().total_messages())
+                 .set("renewal_bytes", runner.last_metrics().total_bytes())
+                 .set("ok", true));
     std::printf("%4zu %4zu %12llu %14llu %12llu %14llu\n", n, t,
                 static_cast<unsigned long long>(dkg_msgs),
                 static_cast<unsigned long long>(dkg_bytes),
@@ -56,7 +79,14 @@ int main() {
     cfg.f = f;
     cfg.seed = 5000 + n;
     proactive::ProactiveRunner boot(cfg);
-    if (!boot.run_dkg()) continue;
+    if (!boot.run_dkg()) {
+      json.add(bench::MetricRow("node-add n=" + std::to_string(n))
+                   .str("table", "node_addition")
+                   .set("n", n)
+                   .set("t", t)
+                   .set("ok", false));
+      continue;
+    }
 
     auto keyring = crypto::Keyring::generate(*cfg.grp, n, cfg.seed ^ 0x9e3779b97f4a7c15ULL);
     core::DkgParams params;
@@ -80,6 +110,15 @@ int main() {
       sim.post_operator(i, std::make_shared<core::DkgStartOp>(params.tau, std::nullopt), 0);
     }
     sim.run_until([&] { return j->has_share(); });
+    json.add(bench::MetricRow("node-add n=" + std::to_string(n))
+                 .str("table", "node_addition")
+                 .set("n", n)
+                 .set("t", t)
+                 .set("messages", sim.metrics().total_messages())
+                 .set("bytes", sim.metrics().total_bytes())
+                 .set("subshares", sim.metrics().by_prefix("gm.subshare").count)
+                 .set("completion_time", sim.now())
+                 .set("ok", j->has_share()));
     std::printf("%4zu %4zu %12llu %14llu %12llu%s\n", n, t,
                 static_cast<unsigned long long>(sim.metrics().total_messages()),
                 static_cast<unsigned long long>(sim.metrics().total_bytes()),
@@ -88,5 +127,5 @@ int main() {
   }
   std::printf("\nshape check: node addition costs one DKG-shaped resharing plus n\n"
               "subshare messages.\n");
-  return 0;
+  return json.flush() ? 0 : 1;
 }

@@ -1,10 +1,17 @@
-// Shared helpers for the experiment benches: table formatting and compact
-// protocol-run drivers. Each bench binary regenerates one "table" from the
-// paper's efficiency analysis (see DESIGN.md §3 and EXPERIMENTS.md).
+// Shared helpers for the experiment benches: table formatting, compact
+// protocol-run drivers, and the machine-readable JSON emitter behind the
+// `--json <path>` flag every bench binary accepts. Each bench binary
+// regenerates one experiment from the paper's efficiency analysis; the
+// bench -> paper-claim map lives in EXPERIMENTS.md.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "dkg/runner.hpp"
@@ -83,5 +90,149 @@ inline DkgRunResult summarize(core::DkgRunner& runner) {
   }
   return res;
 }
+
+// --- JSON metrics emission -------------------------------------------------
+//
+// Every bench binary accepts `--json <path>`; when given, it writes one JSON
+// object holding the bench name and the same rows the human table prints
+// (messages / bytes / completion-time per configuration). The driver scripts
+// collect these as BENCH_<name>.json trajectory points.
+
+/// Escapes a string for embedding in a JSON document (adds the quotes).
+inline std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out + "\"";
+}
+
+/// One row of a bench table, rendered as a flat JSON object.
+class MetricRow {
+ public:
+  explicit MetricRow(std::string name) { str("name", std::move(name)); }
+
+  MetricRow& set(const std::string& key, double v) {
+    if (!std::isfinite(v)) return raw(key, "null");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return raw(key, buf);
+  }
+  template <typename T, std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  MetricRow& set(const std::string& key, T v) {
+    return raw(key, std::to_string(v));
+  }
+  MetricRow& set(const std::string& key, bool v) { return raw(key, v ? "true" : "false"); }
+  // String values go through str(); without this a literal would silently
+  // bind to the bool overload and emit `true`.
+  MetricRow& set(const std::string& key, const char* v) = delete;
+  MetricRow& str(const std::string& key, const std::string& v) {
+    return raw(key, json_quote(v));
+  }
+
+  std::string render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (i) out += ", ";
+      out += json_quote(entries_[i].first) + ": " + entries_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  MetricRow& raw(const std::string& key, std::string rendered) {
+    entries_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Renders the full metrics document for one bench run.
+inline std::string emit_json(const std::string& name, const std::vector<MetricRow>& rows) {
+  std::string out = "{\n  \"bench\": " + json_quote(name) + ",\n  \"schema\": 1,\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out += "    " + rows[i].render();
+    if (i + 1 < rows.size()) out += ",";
+    out += "\n";
+  }
+  return out + "  ]\n}\n";
+}
+
+/// Collects rows during a bench run and writes them to the `--json <path>`
+/// destination (if any) when flushed or destroyed.
+class JsonEmitter {
+ public:
+  JsonEmitter(std::string bench_name, int argc, char** argv)
+      : bench_name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json") {
+        if (i + 1 < argc) {
+          path_ = argv[++i];
+        } else {
+          std::fprintf(stderr, "bench: --json requires a path argument\n");
+          arg_error_ = true;
+        }
+      } else if (arg.rfind("--json=", 0) == 0 && arg.size() > 7) {
+        path_ = arg.substr(7);
+      } else {
+        std::fprintf(stderr, "bench: unrecognized argument: %s\n", arg.c_str());
+        arg_error_ = true;
+      }
+    }
+  }
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+  ~JsonEmitter() {
+    if (needs_flush_) flush();
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+  /// False after a malformed command line; mains should bail out before
+  /// running the workload: `if (!json.args_ok()) return 1;`.
+  bool args_ok() const { return !arg_error_; }
+  void add(MetricRow row) {
+    rows_.push_back(std::move(row));
+    needs_flush_ = true;
+  }
+
+  /// Writes the document; safe to call repeatedly (later rows rewrite it).
+  /// Returns false on a malformed --json flag or a failed write, so bench
+  /// mains can end with `return json.flush() ? 0 : 1;`.
+  bool flush() {
+    needs_flush_ = false;
+    if (arg_error_) return false;
+    if (!enabled()) return true;
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write --json file %s\n", path_.c_str());
+      return false;
+    }
+    out << emit_json(bench_name_, rows_);
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  bool arg_error_ = false;
+  bool needs_flush_ = false;
+  std::vector<MetricRow> rows_;
+};
 
 }  // namespace dkg::bench

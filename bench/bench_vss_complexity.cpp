@@ -6,8 +6,10 @@
 // a constant as n grows.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dkg;
+  bench::JsonEmitter json("bench_vss_complexity", argc, argv);
+  if (!json.args_ok()) return 1;
   bench::print_header("E1  HybridVSS message/communication complexity (no crashes)",
                       "O(n^2) messages, O(kappa n^4) bits  [Sec 3]");
   const crypto::Group& grp = crypto::Group::tiny256();
@@ -18,6 +20,15 @@ int main() {
     bench::VssRunResult r = bench::run_vss_once(grp, n, t, 0, vss::CommitmentMode::Full, n);
     double n2 = static_cast<double>(n) * n;
     double n4 = n2 * n2;
+    json.add(bench::MetricRow("n=" + std::to_string(n))
+                 .set("n", n)
+                 .set("t", t)
+                 .set("messages", r.messages)
+                 .set("bytes", r.bytes)
+                 .set("messages_per_n2", r.messages / n2)
+                 .set("bytes_per_n4", r.bytes / n4)
+                 .set("completion_time", r.completion_time)
+                 .set("ok", r.all_shared));
     std::printf("%4zu %4zu %10llu %14llu %12.2f %14.4f %10llu%s\n", n, t,
                 static_cast<unsigned long long>(r.messages),
                 static_cast<unsigned long long>(r.bytes), r.messages / n2, r.bytes / n4,
@@ -25,5 +36,5 @@ int main() {
                 r.all_shared ? "" : "  [INCOMPLETE]");
   }
   std::printf("\nshape check: both normalized columns should approach a constant.\n");
-  return 0;
+  return json.flush() ? 0 : 1;
 }

@@ -6,8 +6,10 @@
 // hashed, and the ratio grows ~linearly in n.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dkg;
+  bench::JsonEmitter json("bench_vss_hashed", argc, argv);
+  if (!json.args_ok()) return 1;
   bench::print_header("E2  Full vs hash-compressed commitments",
                       "O(kappa n^4) -> O(kappa n^3) bits  [Sec 3 / AVSS Sec 3.4]");
   const crypto::Group& grp = crypto::Group::tiny256();
@@ -20,6 +22,18 @@ int main() {
         bench::run_vss_once(grp, n, t, 0, vss::CommitmentMode::Hashed, n);
     double n3 = static_cast<double>(n) * n * n;
     double n4 = n3 * n;
+    json.add(bench::MetricRow("n=" + std::to_string(n))
+                 .set("n", n)
+                 .set("t", t)
+                 .set("full_messages", full.messages)
+                 .set("full_bytes", full.bytes)
+                 .set("hashed_messages", hashed.messages)
+                 .set("hashed_bytes", hashed.bytes)
+                 .set("bytes_ratio", static_cast<double>(full.bytes) / hashed.bytes)
+                 .set("full_bytes_per_n4", full.bytes / n4)
+                 .set("hashed_bytes_per_n3", hashed.bytes / n3)
+                 .set("completion_time", hashed.completion_time)
+                 .set("ok", full.all_shared && hashed.all_shared));
     std::printf("%4zu %4zu %14llu %14llu %8.2f %14.4f %14.4f%s\n", n, t,
                 static_cast<unsigned long long>(full.bytes),
                 static_cast<unsigned long long>(hashed.bytes),
@@ -28,5 +42,5 @@ int main() {
                 (full.all_shared && hashed.all_shared) ? "" : "  [INCOMPLETE]");
   }
   std::printf("\nshape check: ratio grows ~linearly with n; hash/n^3 flattens.\n");
-  return 0;
+  return json.flush() ? 0 : 1;
 }

@@ -51,7 +51,9 @@ bench::VssRunResult run_with_recoveries(std::size_t n, std::size_t t, std::size_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("bench_vss_recovery", argc, argv);
+  if (!json.args_ok()) return 1;
   bench::print_header("E3  HybridVSS under crash/recovery cycles",
                       "O(t d n^2) messages, O(kappa t d n^3) bits  [Sec 3]");
   const std::size_t n = 13, t = 3, f = 1;  // 13 >= 3*3 + 2*1 + 1
@@ -65,6 +67,16 @@ int main() {
       base_msgs = r.messages;
       base_bytes = r.bytes;
     }
+    json.add(bench::MetricRow("d=" + std::to_string(d))
+                 .set("d", d)
+                 .set("n", n)
+                 .set("t", t)
+                 .set("messages", r.messages)
+                 .set("bytes", r.bytes)
+                 .set("extra_messages", static_cast<std::int64_t>(r.messages - base_msgs))
+                 .set("extra_bytes", static_cast<std::int64_t>(r.bytes - base_bytes))
+                 .set("completion_time", r.completion_time)
+                 .set("ok", r.all_shared));
     std::printf("%4zu %10llu %14llu %12lld %14lld %10s\n", d,
                 static_cast<unsigned long long>(r.messages),
                 static_cast<unsigned long long>(r.bytes),
@@ -73,5 +85,5 @@ int main() {
   }
   std::printf("\nshape check: extra traffic grows ~linearly in d (each recovery costs\n"
               "O(n) help requests plus bounded B-set replays from n helpers).\n");
-  return 0;
+  return json.flush() ? 0 : 1;
 }

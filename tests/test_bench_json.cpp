@@ -1,0 +1,161 @@
+// Round-trip tests for the bench JSON emitter (bench/bench_util.hpp): the
+// `--json <path>` flag must yield a parseable document whose rows carry the
+// metrics keys with finite numbers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace dkg::bench {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Pulls the raw rendered value of `key` out of a flat JSON fragment.
+std::string value_of(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\": ";
+  std::size_t at = json.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t start = at + needle.size();
+  std::size_t end = json.find_first_of(",}\n", start);
+  return json.substr(start, end - start);
+}
+
+TEST(MetricRowTest, RendersOrderedKeyValues) {
+  MetricRow row("n=7");
+  row.set("n", std::size_t{7}).set("messages", std::uint64_t{123}).set("ok", true);
+  EXPECT_EQ(row.render(), "{\"name\": \"n=7\", \"n\": 7, \"messages\": 123, \"ok\": true}");
+}
+
+TEST(MetricRowTest, RendersDoublesFinite) {
+  MetricRow row("r");
+  row.set("ratio", 2.5);
+  std::string v = value_of(row.render(), "ratio");
+  EXPECT_TRUE(std::isfinite(std::stod(v))) << v;
+  EXPECT_DOUBLE_EQ(std::stod(v), 2.5);
+}
+
+TEST(MetricRowTest, NonFiniteDoublesBecomeNull) {
+  MetricRow row("r");
+  row.set("inf", std::numeric_limits<double>::infinity())
+      .set("nan", std::nan(""))
+      .set("fine", 1.0);
+  std::string json = row.render();
+  EXPECT_EQ(value_of(json, "inf"), "null");
+  EXPECT_EQ(value_of(json, "nan"), "null");
+  EXPECT_EQ(value_of(json, "fine"), "1");
+}
+
+TEST(MetricRowTest, EscapesStrings) {
+  MetricRow row("quote\"back\\slash");
+  EXPECT_EQ(row.render(), "{\"name\": \"quote\\\"back\\\\slash\"}");
+}
+
+TEST(EmitJsonTest, DocumentHasBenchNameSchemaAndRows) {
+  std::vector<MetricRow> rows;
+  rows.push_back(MetricRow("a"));
+  rows.push_back(MetricRow("b"));
+  std::string doc = emit_json("bench_fake", rows);
+  EXPECT_NE(doc.find("\"bench\": \"bench_fake\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"rows\": ["), std::string::npos);
+  EXPECT_NE(doc.find("{\"name\": \"a\"},"), std::string::npos);
+  EXPECT_NE(doc.find("{\"name\": \"b\"}"), std::string::npos);
+  // Structurally balanced: as many closing as opening braces/brackets.
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'), std::count(doc.begin(), doc.end(), '}'));
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '['), std::count(doc.begin(), doc.end(), ']'));
+}
+
+TEST(JsonEmitterTest, DisabledWithoutFlag) {
+  const char* argv[] = {"bench_fake"};
+  JsonEmitter emitter("bench_fake", 1, const_cast<char**>(argv));
+  EXPECT_FALSE(emitter.enabled());
+  EXPECT_TRUE(emitter.flush());
+}
+
+TEST(JsonEmitterTest, TrailingFlagWithoutPathFailsFlush) {
+  const char* argv[] = {"bench_fake", "--json"};
+  JsonEmitter emitter("bench_fake", 2, const_cast<char**>(argv));
+  EXPECT_FALSE(emitter.enabled());
+  EXPECT_FALSE(emitter.args_ok());
+  EXPECT_FALSE(emitter.flush());
+}
+
+TEST(JsonEmitterTest, AcceptsEqualsForm) {
+  const char* argv[] = {"bench_fake", "--json=/tmp/eq.json"};
+  JsonEmitter emitter("bench_fake", 2, const_cast<char**>(argv));
+  EXPECT_TRUE(emitter.args_ok());
+  EXPECT_TRUE(emitter.enabled());
+  EXPECT_EQ(emitter.path(), "/tmp/eq.json");
+}
+
+TEST(JsonEmitterTest, RejectsUnrecognizedArguments) {
+  const char* argv[] = {"bench_fake", "--jsonn", "out.json"};
+  JsonEmitter emitter("bench_fake", 3, const_cast<char**>(argv));
+  EXPECT_FALSE(emitter.args_ok());
+  EXPECT_FALSE(emitter.flush());
+}
+
+TEST(JsonEmitterTest, WritesRoundTrippableFile) {
+  std::string path = testing::TempDir() + "BENCH_test_emitter.json";
+  std::remove(path.c_str());
+  {
+    const char* argv[] = {"bench_fake", "--json", path.c_str()};
+    JsonEmitter emitter("bench_fake", 3, const_cast<char**>(argv));
+    ASSERT_TRUE(emitter.enabled());
+    EXPECT_EQ(emitter.path(), path);
+    MetricRow row("n=10");
+    row.set("n", std::size_t{10})
+        .set("messages", std::uint64_t{4321})
+        .set("bytes", std::uint64_t{987654})
+        .set("messages_per_n3", 4.321)
+        .set("completion_time", std::uint64_t{777})
+        .set("ok", true);
+    emitter.add(std::move(row));
+    ASSERT_TRUE(emitter.flush());
+  }
+  std::string doc = read_file(path);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_NE(doc.find("\"bench\": \"bench_fake\""), std::string::npos);
+  for (const char* key : {"name", "n", "messages", "bytes", "messages_per_n3",
+                          "completion_time", "ok"}) {
+    EXPECT_NE(doc.find("\"" + std::string(key) + "\": "), std::string::npos) << key;
+  }
+  for (const char* key : {"n", "messages", "bytes", "messages_per_n3", "completion_time"}) {
+    std::string v = value_of(doc, key);
+    ASSERT_FALSE(v.empty()) << key;
+    EXPECT_TRUE(std::isfinite(std::stod(v))) << key << " = " << v;
+  }
+  EXPECT_DOUBLE_EQ(std::stod(value_of(doc, "messages_per_n3")), 4.321);
+  EXPECT_EQ(value_of(doc, "messages"), "4321");
+  std::remove(path.c_str());
+}
+
+TEST(JsonEmitterTest, DestructorFlushes) {
+  std::string path = testing::TempDir() + "BENCH_test_dtor.json";
+  std::remove(path.c_str());
+  {
+    const char* argv[] = {"bench_fake", "--json", path.c_str()};
+    JsonEmitter emitter("bench_fake", 3, const_cast<char**>(argv));
+    emitter.add(MetricRow("only-row"));
+  }
+  std::string doc = read_file(path);
+  EXPECT_NE(doc.find("\"name\": \"only-row\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dkg::bench
