@@ -8,71 +8,74 @@
 //   * large      -> zero waste when honest, slower recovery when faulty.
 #include "bench_util.hpp"
 
-using namespace dkg;
-
 namespace {
 
-struct Row {
-  bool ok;
-  bench::DkgRunResult r;
-};
-
-Row run(sim::Time timeout_base, bool crash_leader, std::uint64_t seed) {
-  core::RunnerConfig cfg;
-  cfg.grp = &crypto::Group::tiny256();
-  cfg.n = 10;
-  cfg.t = 2;
-  cfg.f = 1;
-  cfg.seed = seed;
-  cfg.timeout_base = timeout_base;
-  core::DkgRunner runner(cfg);
-  if (crash_leader) runner.simulator().schedule_crash(1, 0);
-  runner.start_all();
-  Row row;
-  row.ok = runner.run_to_completion(cfg.n - 1);
-  row.r = bench::summarize(runner);
-  return row;
+dkg::engine::ScenarioSpec make_spec(dkg::sim::Time timeout_base, bool crash_leader) {
+  using namespace dkg;
+  engine::ScenarioSpec spec;
+  spec.label = std::string(crash_leader ? "crashed" : "honest") +
+               " timeout=" + std::to_string(timeout_base);
+  spec.variant = engine::Variant::Dkg;
+  spec.n = 10;
+  spec.t = 2;
+  spec.f = 1;
+  spec.seed = 8800;
+  spec.timeout_base = timeout_base;
+  if (crash_leader) spec.crashes.push_back({1, 0, 0});
+  spec.min_outputs = spec.n - 1;
+  return spec;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace dkg;
   bench::JsonEmitter json("bench_ablation_timeout", argc, argv);
   if (!json.args_ok()) return 1;
   bench::print_header("E11  Ablation: timeout choice vs leader-change waste",
                       "optimistic-first design: timeouts are a liveness backstop, "
                       "never a safety input  [Sec 2.1, Sec 4]");
-  std::printf("n=10 t=2 f=1; link delays U[5,40]\n\n");
+  std::printf("n=10 t=2 f=1; link delays U[10,100]\n\n");
+  // Pairs per timeout: honest leader, then the same run with the leader
+  // crashed at t=0.
+  engine::SweepDriver driver;
+  for (sim::Time timeout : {60ull, 150ull, 400ull, 1'500ull, 6'000ull, 24'000ull}) {
+    driver.add(make_spec(timeout, false));
+    driver.add(make_spec(timeout, true));
+  }
+  std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   std::printf("%14s | %28s | %28s\n", "", "honest leader", "crashed leader");
   std::printf("%14s | %10s %8s %8s | %10s %8s %8s\n", "timeout_base", "msgs", "lead-ch",
               "time", "msgs", "lead-ch", "time");
-  for (sim::Time timeout : {60ull, 150ull, 400ull, 1'500ull, 6'000ull, 24'000ull}) {
-    Row honest = run(timeout, false, 8800);
-    Row faulty = run(timeout, true, 8800);
-    json.add(bench::MetricRow("timeout=" + std::to_string(timeout))
-                 .set("timeout_base", timeout)
-                 .set("honest_messages", honest.r.messages)
-                 .set("honest_bytes", honest.r.bytes)
-                 .set("honest_lead_changes", honest.r.lead_ch)
-                 .set("honest_completion_time", honest.r.completion_time)
-                 .set("crashed_messages", faulty.r.messages)
-                 .set("crashed_bytes", faulty.r.bytes)
-                 .set("crashed_lead_changes", faulty.r.lead_ch)
-                 .set("crashed_completion_time", faulty.r.completion_time)
-                 .set("ok", honest.ok && faulty.ok));
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    sim::Time timeout = driver.specs()[i].timeout_base;
+    const engine::ScenarioResult& honest = results[i];
+    const engine::ScenarioResult& faulty = results[i + 1];
+    bench::MetricRow row("timeout=" + std::to_string(timeout));
+    row.set("timeout_base", timeout)
+        .set("honest_messages", honest.messages)
+        .set("honest_bytes", honest.bytes)
+        .set("honest_lead_changes", honest.extra_u64("lead_changes"))
+        .set("honest_completion_time", honest.completion_time)
+        .set("crashed_messages", faulty.messages)
+        .set("crashed_bytes", faulty.bytes)
+        .set("crashed_lead_changes", faulty.extra_u64("lead_changes"))
+        .set("crashed_completion_time", faulty.completion_time)
+        .set("ok", honest.ok && faulty.ok);
+    json.add(std::move(bench::add_engine_fields(row, {&honest, &faulty})));
     std::printf("%14llu | %10llu %8llu %8llu | %10llu %8llu %8llu%s\n",
                 static_cast<unsigned long long>(timeout),
-                static_cast<unsigned long long>(honest.r.messages),
-                static_cast<unsigned long long>(honest.r.lead_ch),
-                static_cast<unsigned long long>(honest.r.completion_time),
-                static_cast<unsigned long long>(faulty.r.messages),
-                static_cast<unsigned long long>(faulty.r.lead_ch),
-                static_cast<unsigned long long>(faulty.r.completion_time),
+                static_cast<unsigned long long>(honest.messages),
+                static_cast<unsigned long long>(honest.extra_u64("lead_changes")),
+                static_cast<unsigned long long>(honest.completion_time),
+                static_cast<unsigned long long>(faulty.messages),
+                static_cast<unsigned long long>(faulty.extra_u64("lead_changes")),
+                static_cast<unsigned long long>(faulty.completion_time),
                 (honest.ok && faulty.ok) ? "" : "  [INCOMPLETE]");
   }
   std::printf("\nshape check: small timeouts fire spurious lead-ch even with an honest\n"
               "leader (wasted O(n^2) traffic, completion still correct — safety never\n"
               "depends on timing); large timeouts cost nothing when honest and delay\n"
               "recovery roughly linearly when the leader is faulty.\n");
-  return json.flush() ? 0 : 1;
+  return bench::finish(json, results);
 }

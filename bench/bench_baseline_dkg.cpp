@@ -5,71 +5,63 @@
 // that price (the paper's §1/§2 motivation made concrete).
 #include "bench_util.hpp"
 
-#include "baseline/gennaro_dkg.hpp"
-#include "baseline/joint_feldman.hpp"
-
-using namespace dkg;
-
 int main(int argc, char** argv) {
+  using namespace dkg;
   bench::JsonEmitter json("bench_baseline_dkg", argc, argv);
   if (!json.args_ok()) return 1;
   bench::print_header("E6c  Asynchronous DKG vs synchronous baselines",
                       "what the asynchronous/hybrid model costs over synchronous "
                       "broadcast-channel DKGs  [Sec 1, Sec 2]");
+  // Triples per n: Joint-Feldman, Gennaro et al., then HybridDKG.
+  engine::SweepDriver driver;
+  for (std::size_t n : {4, 7, 10, 13, 16}) {
+    engine::ScenarioSpec spec;
+    spec.n = n;
+    spec.t = (n - 1) / 3;
+    spec.f = 0;
+    spec.label = "jf n=" + std::to_string(n);
+    spec.variant = engine::Variant::JointFeldman;
+    spec.seed = 7000 + n;
+    driver.add(spec);
+    spec.label = "gjkr n=" + std::to_string(n);
+    spec.variant = engine::Variant::Gennaro;
+    spec.seed = 7100 + n;
+    driver.add(spec);
+    spec.label = "hdkg n=" + std::to_string(n);
+    spec.variant = engine::Variant::Dkg;
+    spec.seed = 7200 + n;
+    driver.add(spec);
+  }
+  std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   std::printf("%4s %4s | %10s %12s | %10s %12s | %10s %12s\n", "n", "t", "jf-msgs", "jf-bytes",
               "gjkr-msgs", "gjkr-bytes", "hdkg-msgs", "hdkg-bytes");
-  for (std::size_t n : {4, 7, 10, 13, 16}) {
-    std::size_t t = (n - 1) / 3;
-
-    baseline::JfParams jfp{&crypto::Group::tiny256(), n, t};
-    baseline::SyncNetwork jf_net(n, 7000 + n);
-    for (sim::NodeId i = 1; i <= n; ++i) {
-      jf_net.set_node(i, std::make_unique<baseline::JointFeldmanNode>(
-                             jfp, i, jf_net.rng().fork("jf/" + std::to_string(i))));
-    }
-    jf_net.run();
-
-    baseline::GennaroParams gp{&crypto::Group::tiny256(), n, t};
-    baseline::SyncNetwork gj_net(n, 7100 + n);
-    for (sim::NodeId i = 1; i <= n; ++i) {
-      gj_net.set_node(i, std::make_unique<baseline::GennaroNode>(
-                             gp, i, gj_net.rng().fork("gjkr/" + std::to_string(i))));
-    }
-    gj_net.run();
-
-    core::RunnerConfig cfg;
-    cfg.grp = &crypto::Group::tiny256();
-    cfg.n = n;
-    cfg.t = t;
-    cfg.f = 0;
-    cfg.seed = 7200 + n;
-    core::DkgRunner runner(cfg);
-    runner.start_all();
-    bool ok = runner.run_to_completion();
-    bench::DkgRunResult hd = bench::summarize(runner);
-
-    json.add(bench::MetricRow("n=" + std::to_string(n))
-                 .set("n", n)
-                 .set("t", t)
-                 .set("jf_messages", jf_net.metrics().total_messages())
-                 .set("jf_bytes", jf_net.metrics().total_bytes())
-                 .set("gjkr_messages", gj_net.metrics().total_messages())
-                 .set("gjkr_bytes", gj_net.metrics().total_bytes())
-                 .set("hdkg_messages", hd.messages)
-                 .set("hdkg_bytes", hd.bytes)
-                 .set("hdkg_completion_time", hd.completion_time)
-                 .set("ok", ok));
-
-    std::printf("%4zu %4zu | %10llu %12llu | %10llu %12llu | %10llu %12llu\n", n, t,
-                static_cast<unsigned long long>(jf_net.metrics().total_messages()),
-                static_cast<unsigned long long>(jf_net.metrics().total_bytes()),
-                static_cast<unsigned long long>(gj_net.metrics().total_messages()),
-                static_cast<unsigned long long>(gj_net.metrics().total_bytes()),
+  for (std::size_t i = 0; i + 2 < results.size(); i += 3) {
+    const engine::ScenarioSpec& spec = driver.specs()[i];
+    const engine::ScenarioResult& jf = results[i];
+    const engine::ScenarioResult& gj = results[i + 1];
+    const engine::ScenarioResult& hd = results[i + 2];
+    bench::MetricRow row("n=" + std::to_string(spec.n));
+    row.set("n", spec.n)
+        .set("t", spec.t)
+        .set("jf_messages", jf.messages)
+        .set("jf_bytes", jf.bytes)
+        .set("gjkr_messages", gj.messages)
+        .set("gjkr_bytes", gj.bytes)
+        .set("hdkg_messages", hd.messages)
+        .set("hdkg_bytes", hd.bytes)
+        .set("hdkg_completion_time", hd.completion_time)
+        .set("ok", jf.ok && gj.ok && hd.ok);
+    json.add(std::move(bench::add_engine_fields(row, {&jf, &gj, &hd})));
+    std::printf("%4zu %4zu | %10llu %12llu | %10llu %12llu | %10llu %12llu\n", spec.n, spec.t,
+                static_cast<unsigned long long>(jf.messages),
+                static_cast<unsigned long long>(jf.bytes),
+                static_cast<unsigned long long>(gj.messages),
+                static_cast<unsigned long long>(gj.bytes),
                 static_cast<unsigned long long>(hd.messages),
                 static_cast<unsigned long long>(hd.bytes));
   }
   std::printf("\nshape check: baselines grow ~n^2 (broadcast counted as n unicasts);\n"
               "HybridDKG grows ~n^3 — the price of no synchrony, no broadcast channel,\n"
               "and tolerance to crashed leaders.\n");
-  return json.flush() ? 0 : 1;
+  return bench::finish(json, results);
 }

@@ -11,47 +11,56 @@
 
 namespace {
 
-void run_table(dkg::vss::CommitmentMode mode, const char* label, const char* mode_key,
-               dkg::bench::JsonEmitter& json) {
+constexpr std::size_t kNs[] = {4, 7, 10, 13, 16, 19, 25};
+
+dkg::engine::ScenarioSpec make_spec(std::size_t n, dkg::vss::CommitmentMode mode,
+                                    const char* mode_key) {
+  using namespace dkg;
+  std::size_t t = (n - 1) / 3;
+  engine::ScenarioSpec spec;
+  spec.label = std::string(mode_key) + " n=" + std::to_string(n);
+  spec.variant = engine::Variant::Dkg;
+  spec.n = n;
+  spec.t = t;
+  spec.f = (n - 1 - 3 * t) / 2;
+  spec.mode = mode;
+  spec.seed = 1000 + n;
+  return spec;
+}
+
+void emit_table(const std::vector<dkg::engine::ScenarioSpec>& specs,
+                const std::vector<dkg::engine::ScenarioResult>& results, const char* label,
+                const char* mode_key, std::size_t offset, dkg::bench::JsonEmitter& json) {
   using namespace dkg;
   std::printf("\n--- %s ---\n", label);
   std::printf("%4s %4s %10s %14s %10s %12s %10s %12s %10s\n", "n", "t", "msgs", "bytes",
               "vss-msgs", "agr-msgs", "msgs/n^3", "bytes/n^4", "sim-time");
-  for (std::size_t n : {4, 7, 10, 13, 16, 19, 25}) {
-    std::size_t t = (n - 1) / 3;
-    std::size_t f = (n - 1 - 3 * t) / 2;
-    core::RunnerConfig cfg;
-    cfg.grp = &crypto::Group::tiny256();
-    cfg.n = n;
-    cfg.t = t;
-    cfg.f = f;
-    cfg.mode = mode;
-    cfg.seed = 1000 + n;
-    core::DkgRunner runner(cfg);
-    runner.start_all();
-    bool ok = runner.run_to_completion();
-    bench::DkgRunResult r = bench::summarize(runner);
-    double n3 = static_cast<double>(n) * n * n;
-    double n4 = n3 * n;
-    json.add(bench::MetricRow(std::string(mode_key) + " n=" + std::to_string(n))
-                 .str("mode", mode_key)
-                 .set("n", n)
-                 .set("t", t)
-                 .set("messages", r.messages)
-                 .set("bytes", r.bytes)
-                 .set("vss_messages", r.vss_messages)
-                 .set("agreement_messages", r.agreement_messages)
-                 .set("messages_per_n3", r.messages / n3)
-                 .set("bytes_per_n4", r.bytes / n4)
-                 .set("completion_time", r.completion_time)
-                 .set("ok", ok));
-    std::printf("%4zu %4zu %10llu %14llu %10llu %12llu %10.3f %12.4f %10llu%s\n", n, t,
+  for (std::size_t i = 0; i < std::size(kNs); ++i) {
+    const engine::ScenarioSpec& spec = specs[offset + i];
+    const engine::ScenarioResult& r = results[offset + i];
+    double n3 = static_cast<double>(spec.n) * spec.n * spec.n;
+    double n4 = n3 * spec.n;
+    bench::MetricRow row(spec.label);
+    row.str("mode", mode_key)
+        .set("n", spec.n)
+        .set("t", spec.t)
+        .set("messages", r.messages)
+        .set("bytes", r.bytes)
+        .set("vss_messages", r.extra_u64("vss_messages"))
+        .set("agreement_messages", r.extra_u64("agreement_messages"))
+        .set("messages_per_n3", r.messages / n3)
+        .set("bytes_per_n4", r.bytes / n4)
+        .set("completion_time", r.completion_time)
+        .set("ok", r.ok);
+    json.add(std::move(bench::add_engine_fields(row, r)));
+    std::printf("%4zu %4zu %10llu %14llu %10llu %12llu %10.3f %12.4f %10llu%s\n", spec.n, spec.t,
                 static_cast<unsigned long long>(r.messages),
                 static_cast<unsigned long long>(r.bytes),
-                static_cast<unsigned long long>(r.vss_messages),
-                static_cast<unsigned long long>(r.agreement_messages), r.messages / n3,
-                r.bytes / n4, static_cast<unsigned long long>(r.completion_time),
-                ok ? "" : "  [INCOMPLETE]");
+                static_cast<unsigned long long>(r.extra_u64("vss_messages")),
+                static_cast<unsigned long long>(r.extra_u64("agreement_messages")),
+                r.messages / n3, r.bytes / n4,
+                static_cast<unsigned long long>(r.completion_time),
+                r.completed ? "" : "  [INCOMPLETE]");
   }
 }
 
@@ -64,13 +73,17 @@ int main(int argc, char** argv) {
   bench::print_header("E4  DKG optimistic phase complexity (honest leader)",
                       "O(t d n^3) messages / O(kappa t d n^4) bits; leader broadcast "
                       "adds only O(n^2)/O(kappa n^3)  [Sec 4]");
-  run_table(vss::CommitmentMode::Hashed,
-            "hash-compressed commitments (the paper's accounting regime)", "hashed", json);
-  run_table(vss::CommitmentMode::Full, "full matrix commitments (for contrast: bytes ~ n^5)",
-            "full", json);
+  engine::SweepDriver driver;
+  driver.add_axis(kNs, [](std::size_t n) { return make_spec(n, vss::CommitmentMode::Hashed, "hashed"); });
+  driver.add_axis(kNs, [](std::size_t n) { return make_spec(n, vss::CommitmentMode::Full, "full"); });
+  std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
+  emit_table(driver.specs(), results,
+             "hash-compressed commitments (the paper's accounting regime)", "hashed", 0, json);
+  emit_table(driver.specs(), results, "full matrix commitments (for contrast: bytes ~ n^5)",
+             "full", std::size(kNs), json);
   std::printf("\nshape check: msgs/n^3 flattens in both modes; bytes/n^4 flattens in\n"
               "hashed mode (the O(kappa n^3)-per-VSS regime the paper's O(kappa t d n^4)\n"
               "DKG bound builds on) and grows ~n in full mode. Agreement traffic stays\n"
               "an order of magnitude below the VSS layer.\n");
-  return json.flush() ? 0 : 1;
+  return bench::finish(json, results);
 }

@@ -17,45 +17,51 @@ int main(int argc, char** argv) {
                       "O(t d n^2 (n+d)) msgs  [Sec 4]");
   const std::size_t n = 10, t = 2, f = 1;
   std::printf("n=%zu t=%zu f=%zu; first k leaders crash before proposing\n\n", n, t, f);
-  std::printf("%10s %10s %14s %10s %10s %12s\n", "k-faulty", "msgs", "bytes", "lead-ch",
-              "final-view", "sim-time");
   // k is capped at n - (n-t-f) = t + f: beyond that fewer than the n-t-f
   // completion quorum remain alive and no protocol can finish.
-  for (std::size_t k : {0, 1, 2, 3}) {
-    core::RunnerConfig cfg;
-    cfg.grp = &crypto::Group::tiny256();
-    cfg.n = n;
-    cfg.t = t;
-    cfg.f = f;
-    cfg.seed = 2000 + k;
-    cfg.timeout_base = 4'000;
-    core::DkgRunner runner(cfg);
+  engine::SweepDriver driver;
+  driver.add_axis(std::vector<std::size_t>{0, 1, 2, 3}, [&](std::size_t k) {
+    engine::ScenarioSpec spec;
+    spec.label = "k=" + std::to_string(k);
+    spec.variant = engine::Variant::Dkg;
+    spec.n = n;
+    spec.t = t;
+    spec.f = f;
+    spec.seed = 2000 + k;
+    spec.timeout_base = 4'000;
     for (std::size_t j = 0; j < k; ++j) {
-      runner.simulator().schedule_crash(static_cast<sim::NodeId>(j + 1), 0);
+      spec.crashes.push_back({static_cast<sim::NodeId>(j + 1), 0, 0});
     }
-    runner.start_all();
-    bool ok = runner.run_to_completion(n - std::max(f, k));
-    bench::DkgRunResult r = bench::summarize(runner);
-    json.add(bench::MetricRow("k=" + std::to_string(k))
-                 .set("k_faulty", k)
-                 .set("n", n)
-                 .set("t", t)
-                 .set("messages", r.messages)
-                 .set("bytes", r.bytes)
-                 .set("lead_changes", r.lead_ch)
-                 .set("final_view", r.final_view)
-                 .set("completion_time", r.completion_time)
-                 .set("ok", ok));
+    spec.min_outputs = n - std::max(f, k);
+    return spec;
+  });
+  std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
+  std::printf("%10s %10s %14s %10s %10s %12s\n", "k-faulty", "msgs", "bytes", "lead-ch",
+              "final-view", "sim-time");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const engine::ScenarioResult& r = results[i];
+    std::size_t k = driver.specs()[i].crashes.size();
+    bench::MetricRow row(driver.specs()[i].label);
+    row.set("k_faulty", k)
+        .set("n", n)
+        .set("t", t)
+        .set("messages", r.messages)
+        .set("bytes", r.bytes)
+        .set("lead_changes", r.extra_u64("lead_changes"))
+        .set("final_view", r.extra_u64("final_view", 1))
+        .set("completion_time", r.completion_time)
+        .set("ok", r.ok);
+    json.add(std::move(bench::add_engine_fields(row, r)));
     std::printf("%10zu %10llu %14llu %10llu %10llu %12llu%s\n", k,
                 static_cast<unsigned long long>(r.messages),
                 static_cast<unsigned long long>(r.bytes),
-                static_cast<unsigned long long>(r.lead_ch),
-                static_cast<unsigned long long>(r.final_view),
+                static_cast<unsigned long long>(r.extra_u64("lead_changes")),
+                static_cast<unsigned long long>(r.extra_u64("final_view", 1)),
                 static_cast<unsigned long long>(r.completion_time),
-                ok ? "" : "  [INCOMPLETE]");
+                r.completed ? "" : "  [INCOMPLETE]");
   }
   std::printf("\nshape check: final view grows with k (one change per faulty leader);\n"
               "lead-ch traffic grows ~linearly in k; completion time grows with the\n"
               "timeout escalation but the protocol always completes.\n");
-  return json.flush() ? 0 : 1;
+  return bench::finish(json, results);
 }

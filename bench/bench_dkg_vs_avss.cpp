@@ -6,73 +6,86 @@
 //        complexities of the proactive refresh protocol for AVSS [17]."
 #include "bench_util.hpp"
 
-#include "vss/avss.hpp"
-
-using namespace dkg;
-
 namespace {
 
-bench::VssRunResult run_avss_once(std::size_t n, std::size_t t, std::uint64_t seed) {
-  const crypto::Group& grp = crypto::Group::tiny256();
-  vss::AvssParams params{&grp, n, t};
-  sim::Simulator sim(n, std::make_unique<sim::UniformDelay>(5, 40), seed);
-  for (sim::NodeId i = 1; i <= n; ++i) sim.set_node(i, std::make_unique<vss::AvssNode>(params, i));
-  vss::SessionId sid{1, 1};
-  crypto::Drbg rng(seed);
-  sim.post_operator(1, std::make_shared<vss::ShareOp>(sid, crypto::Scalar::random(grp, rng)), 0);
-  bench::VssRunResult res;
-  res.all_shared = sim.run();
-  for (sim::NodeId i = 1; i <= n; ++i) {
-    auto& node = dynamic_cast<vss::AvssNode&>(sim.node(i));
-    res.all_shared = res.all_shared && node.instance(sid).has_shared();
-  }
-  res.messages = sim.metrics().total_messages();
-  res.bytes = sim.metrics().total_bytes();
-  return res;
-}
+constexpr std::size_t kVssNs[] = {4, 7, 10, 13, 16, 19, 25};
+constexpr std::size_t kDkgNs[] = {4, 7, 10, 13, 16, 19};
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace dkg;
   bench::JsonEmitter json("bench_dkg_vs_avss", argc, argv);
   if (!json.args_ok()) return 1;
+  const crypto::Group& grp = crypto::Group::tiny256();
+  // One sweep covers all three tables: paired hvss/avss specs per n, then
+  // the Byzantine-only DKG axis.
+  engine::SweepDriver driver;
+  for (std::size_t n : kVssNs) {
+    engine::ScenarioSpec spec;
+    spec.label = "hvss n=" + std::to_string(n);
+    spec.variant = engine::Variant::HybridVss;
+    spec.n = n;
+    spec.t = (n - 1) / 3;
+    spec.f = 0;
+    spec.mode = vss::CommitmentMode::Full;
+    spec.seed = n;
+    spec.delay_lo = 5;
+    spec.delay_hi = 40;
+    driver.add(spec);
+    spec.label = "avss n=" + std::to_string(n);
+    spec.variant = engine::Variant::Avss;
+    driver.add(spec);
+  }
+  driver.add_axis(kDkgNs, [](std::size_t n) {
+    engine::ScenarioSpec spec;
+    spec.label = "byzantine-only n=" + std::to_string(n);
+    spec.variant = engine::Variant::Dkg;
+    spec.n = n;
+    spec.t = (n - 1) / 3;
+    spec.f = 0;
+    spec.seed = 3000 + n;
+    return spec;
+  });
+  std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
+
   bench::print_header("E6a  HybridVSS (symmetric dealing) vs AVSS (full bivariate)",
                       "constant-factor reduction from symmetric polynomials  [Sec 3]");
   std::printf("%4s %4s %12s %12s %14s %14s | %12s %12s %8s\n", "n", "t", "hvss-msgs",
               "avss-msgs", "hvss-bytes", "avss-bytes", "hvss-payl", "avss-payl", "ratio");
-  const crypto::Group& grp = crypto::Group::tiny256();
-  for (std::size_t n : {4, 7, 10, 13, 16, 19, 25}) {
-    std::size_t t = (n - 1) / 3;
-    bench::VssRunResult hv = bench::run_vss_once(grp, n, t, 0, vss::CommitmentMode::Full, n);
-    bench::VssRunResult av = run_avss_once(n, t, n);
+  for (std::size_t i = 0; i < std::size(kVssNs); ++i) {
+    const engine::ScenarioSpec& spec = driver.specs()[2 * i];
+    const engine::ScenarioResult& hv = results[2 * i];
+    const engine::ScenarioResult& av = results[2 * i + 1];
     // Every protocol message of both schemes ships the same (t+1)^2 matrix;
     // the symmetric-dealing saving lives in the remaining payload (one
     // point/polynomial instead of two). Subtract the common matrix bytes.
-    std::uint64_t matrix = 4 + (t + 1) * (t + 1) * grp.p_bytes();
+    std::uint64_t matrix = 4 + (spec.t + 1) * (spec.t + 1) * grp.p_bytes();
     std::uint64_t hv_payload = hv.bytes - hv.messages * matrix;
     std::uint64_t av_payload = av.bytes - av.messages * matrix;
-    json.add(bench::MetricRow("vss-vs-avss n=" + std::to_string(n))
-                 .str("table", "hybridvss_vs_avss")
-                 .set("n", n)
-                 .set("t", t)
-                 .set("hvss_messages", hv.messages)
-                 .set("avss_messages", av.messages)
-                 .set("hvss_bytes", hv.bytes)
-                 .set("avss_bytes", av.bytes)
-                 .set("hvss_payload_bytes", hv_payload)
-                 .set("avss_payload_bytes", av_payload)
-                 .set("payload_ratio", static_cast<double>(av_payload) / hv_payload)
-                 .set("completion_time", hv.completion_time)
-                 .set("ok", hv.all_shared && av.all_shared));
-    std::printf("%4zu %4zu %12llu %12llu %14llu %14llu | %12llu %12llu %8.2f%s\n", n, t,
-                static_cast<unsigned long long>(hv.messages),
+    bench::MetricRow row("vss-vs-avss n=" + std::to_string(spec.n));
+    row.str("table", "hybridvss_vs_avss")
+        .set("n", spec.n)
+        .set("t", spec.t)
+        .set("hvss_messages", hv.messages)
+        .set("avss_messages", av.messages)
+        .set("hvss_bytes", hv.bytes)
+        .set("avss_bytes", av.bytes)
+        .set("hvss_payload_bytes", hv_payload)
+        .set("avss_payload_bytes", av_payload)
+        .set("payload_ratio", static_cast<double>(av_payload) / hv_payload)
+        .set("completion_time", hv.completion_time)
+        .set("ok", hv.ok && av.ok);
+    json.add(std::move(bench::add_engine_fields(row, {&hv, &av})));
+    std::printf("%4zu %4zu %12llu %12llu %14llu %14llu | %12llu %12llu %8.2f%s\n", spec.n,
+                spec.t, static_cast<unsigned long long>(hv.messages),
                 static_cast<unsigned long long>(av.messages),
                 static_cast<unsigned long long>(hv.bytes),
                 static_cast<unsigned long long>(av.bytes),
                 static_cast<unsigned long long>(hv_payload),
                 static_cast<unsigned long long>(av_payload),
                 static_cast<double>(av_payload) / hv_payload,
-                (hv.all_shared && av.all_shared) ? "" : "  [INCOMPLETE]");
+                (hv.ok && av.ok) ? "" : "  [INCOMPLETE]");
   }
   std::printf("\nshape check: total bytes are dominated by the identical commitment\n"
               "matrices; the payload ratio is a constant > 1 (AVSS ships two\n"
@@ -84,35 +97,28 @@ int main(int argc, char** argv) {
                       "refresh  [Sec 4]");
   std::printf("%4s %4s %10s %14s %10s %12s\n", "n", "t", "msgs", "bytes", "msgs/n^3",
               "bytes/n^4");
-  for (std::size_t n : {4, 7, 10, 13, 16, 19}) {
-    std::size_t t = (n - 1) / 3;
-    core::RunnerConfig cfg;
-    cfg.grp = &crypto::Group::tiny256();
-    cfg.n = n;
-    cfg.t = t;
-    cfg.f = 0;
-    cfg.seed = 3000 + n;
-    core::DkgRunner runner(cfg);
-    runner.start_all();
-    bool ok = runner.run_to_completion();
-    bench::DkgRunResult r = bench::summarize(runner);
-    double n3 = static_cast<double>(n) * n * n;
-    json.add(bench::MetricRow("byzantine-only n=" + std::to_string(n))
-                 .str("table", "dkg_byzantine_only")
-                 .set("n", n)
-                 .set("t", t)
-                 .set("messages", r.messages)
-                 .set("bytes", r.bytes)
-                 .set("messages_per_n3", r.messages / n3)
-                 .set("bytes_per_n4", r.bytes / (n3 * n))
-                 .set("completion_time", r.completion_time)
-                 .set("ok", ok));
-    std::printf("%4zu %4zu %10llu %14llu %10.3f %12.4f%s\n", n, t,
+  std::size_t dkg_offset = 2 * std::size(kVssNs);
+  for (std::size_t i = 0; i < std::size(kDkgNs); ++i) {
+    const engine::ScenarioSpec& spec = driver.specs()[dkg_offset + i];
+    const engine::ScenarioResult& r = results[dkg_offset + i];
+    double n3 = static_cast<double>(spec.n) * spec.n * spec.n;
+    bench::MetricRow row(spec.label);
+    row.str("table", "dkg_byzantine_only")
+        .set("n", spec.n)
+        .set("t", spec.t)
+        .set("messages", r.messages)
+        .set("bytes", r.bytes)
+        .set("messages_per_n3", r.messages / n3)
+        .set("bytes_per_n4", r.bytes / (n3 * spec.n))
+        .set("completion_time", r.completion_time)
+        .set("ok", r.ok);
+    json.add(std::move(bench::add_engine_fields(row, r)));
+    std::printf("%4zu %4zu %10llu %14llu %10.3f %12.4f%s\n", spec.n, spec.t,
                 static_cast<unsigned long long>(r.messages),
                 static_cast<unsigned long long>(r.bytes), r.messages / n3,
-                r.bytes / (n3 * n), ok ? "" : "  [INCOMPLETE]");
+                r.bytes / (n3 * spec.n), r.ok ? "" : "  [INCOMPLETE]");
   }
   std::printf("\nshape check: normalized columns flatten (pure-Byzantine DKG is\n"
               "O(n^3)/O(kappa n^4), the AVSS-refresh regime).\n");
-  return json.flush() ? 0 : 1;
+  return bench::finish(json, results);
 }

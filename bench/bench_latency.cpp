@@ -8,48 +8,60 @@
 // Contrast: delaying a quorum-critical fraction of HONEST links does hurt.
 #include "bench_util.hpp"
 
-using namespace dkg;
-
 namespace {
 
-sim::Time honest_completion(std::set<sim::NodeId> slow, sim::Time penalty, std::uint64_t seed) {
-  core::RunnerConfig cfg;
-  cfg.grp = &crypto::Group::tiny256();
-  cfg.n = 10;
-  cfg.t = 2;
-  cfg.f = 1;
-  cfg.seed = seed;
-  cfg.slow_nodes = std::move(slow);
-  cfg.slow_penalty = penalty;
-  cfg.timeout_base = 1'000'000;  // isolate delay effects from timeouts
-  core::DkgRunner runner(cfg);
-  runner.start_all();
-  std::size_t prompt = cfg.n - cfg.slow_nodes.size();
-  if (!runner.run_to_completion(prompt)) return 0;
-  return runner.simulator().now();
+dkg::engine::ScenarioSpec make_spec(std::set<dkg::sim::NodeId> slow, dkg::sim::Time penalty,
+                                    const char* tag) {
+  using namespace dkg;
+  engine::ScenarioSpec spec;
+  spec.label = std::string(tag) + " penalty=" + std::to_string(penalty);
+  spec.variant = engine::Variant::Dkg;
+  spec.n = 10;
+  spec.t = 2;
+  spec.f = 1;
+  spec.seed = 6001;
+  spec.slow_nodes = std::move(slow);
+  spec.slow_penalty = penalty;
+  spec.timeout_base = 1'000'000;  // isolate delay effects from timeouts
+  spec.min_outputs = spec.n - spec.slow_nodes.size();
+  return spec;
+}
+
+dkg::sim::Time completion_of(const dkg::engine::ScenarioResult& r) {
+  return r.completed ? r.completion_time : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace dkg;
   bench::JsonEmitter json("bench_latency", argc, argv);
   if (!json.args_ok()) return 1;
   bench::print_header("E10  Completion latency under adversarial link delays",
                       "adversarial delays on corrupted links do not slow the honest "
                       "path  [Sec 2.1]");
   std::printf("n=10 t=2 f=1; adversary nodes {9,10}; honest-node completion time\n\n");
-  std::printf("%12s %22s %26s\n", "penalty", "adv-links-slowed", "2-honest-links-slowed");
+  // Pairs per penalty: the adversary's links slowed, then — for contrast —
+  // the SAME delay applied to two honest nodes' links, where quorums must
+  // wait for different (prompt) nodes or, if too many are slowed, for the
+  // slow ones.
+  engine::SweepDriver driver;
   for (sim::Time penalty : {0ull, 1'000ull, 10'000ull, 100'000ull, 1'000'000ull}) {
-    sim::Time adv = honest_completion({9, 10}, penalty, 6001);
-    // Contrast case: the SAME delay applied to two honest nodes' links —
-    // now quorums must wait for different (prompt) nodes, or if too many
-    // are slowed, for the slow ones.
-    sim::Time hon = honest_completion({1, 2}, penalty, 6001);
-    json.add(bench::MetricRow("penalty=" + std::to_string(penalty))
-                 .set("penalty", penalty)
-                 .set("adversarial_links_completion_time", adv)
-                 .set("honest_links_completion_time", hon)
-                 .set("ok", adv != 0 && hon != 0));
+    driver.add(make_spec({9, 10}, penalty, "adv"));
+    driver.add(make_spec({1, 2}, penalty, "honest"));
+  }
+  std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
+  std::printf("%12s %22s %26s\n", "penalty", "adv-links-slowed", "2-honest-links-slowed");
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    sim::Time penalty = driver.specs()[i].slow_penalty;
+    sim::Time adv = completion_of(results[i]);
+    sim::Time hon = completion_of(results[i + 1]);
+    bench::MetricRow row("penalty=" + std::to_string(penalty));
+    row.set("penalty", penalty)
+        .set("adversarial_links_completion_time", adv)
+        .set("honest_links_completion_time", hon)
+        .set("ok", adv != 0 && hon != 0);
+    json.add(std::move(bench::add_engine_fields(row, {&results[i], &results[i + 1]})));
     std::printf("%12llu %22llu %26llu\n", static_cast<unsigned long long>(penalty),
                 static_cast<unsigned long long>(adv), static_cast<unsigned long long>(hon));
   }
@@ -57,5 +69,5 @@ int main(int argc, char** argv) {
               "core systems argument for choosing the asynchronous model); slowing\n"
               "honest links can shift completion since quorums re-route around them\n"
               "only when enough prompt nodes remain.\n");
-  return json.flush() ? 0 : 1;
+  return bench::finish(json, results);
 }

@@ -4,64 +4,70 @@
 //   resharing round plus t+1 subshare deliveries.
 #include "bench_util.hpp"
 
-#include "groupmod/node_add.hpp"
-#include "proactive/runner.hpp"
-
-using namespace dkg;
-
 int main(int argc, char** argv) {
+  using namespace dkg;
   bench::JsonEmitter json("bench_proactive", argc, argv);
   if (!json.args_ok()) return 1;
+  engine::SweepDriver driver;
+  driver.add_axis(std::vector<std::size_t>{4, 7, 10, 13, 16}, [](std::size_t n) {
+    std::size_t t = (n - 1) / 3;
+    engine::ScenarioSpec spec;
+    spec.label = "renewal n=" + std::to_string(n);
+    spec.variant = engine::Variant::Proactive;
+    spec.n = n;
+    spec.t = t;
+    spec.f = (n - 1 - 3 * t) / 2;
+    spec.seed = 4000 + n;
+    return spec;
+  });
+  std::size_t add_offset = driver.size();
+  driver.add_axis(std::vector<std::size_t>{4, 7, 10, 13}, [](std::size_t n) {
+    std::size_t t = (n - 1) / 3;
+    engine::ScenarioSpec spec;
+    spec.label = "node-add n=" + std::to_string(n);
+    spec.variant = engine::Variant::NodeAdd;
+    spec.n = n;
+    spec.t = t;
+    spec.f = (n - 1 - 3 * t) / 2;
+    spec.seed = 5000 + n;
+    // E7b's published numbers use the U[5,40] regime; the spec applies it
+    // to both the bootstrap DKG and the resharing network (the pre-engine
+    // bench ran the bootstrap at U[10,100]).
+    spec.delay_lo = 5;
+    spec.delay_hi = 40;
+    return spec;
+  });
+  std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
+
   bench::print_header("E7a  Share renewal traffic vs n",
                       "renewal ~ DKG complexity (three modifications of DKG)  [Sec 5.2]");
   std::printf("%4s %4s %12s %14s %12s %14s\n", "n", "t", "dkg-msgs", "dkg-bytes",
               "renew-msgs", "renew-bytes");
-  for (std::size_t n : {4, 7, 10, 13, 16}) {
-    std::size_t t = (n - 1) / 3;
-    std::size_t f = (n - 1 - 3 * t) / 2;
-    core::RunnerConfig cfg;
-    cfg.grp = &crypto::Group::tiny256();
-    cfg.n = n;
-    cfg.t = t;
-    cfg.f = f;
-    cfg.seed = 4000 + n;
-    proactive::ProactiveRunner runner(cfg);
-    if (!runner.run_dkg()) {
-      std::printf("%4zu  DKG FAILED\n", n);
-      json.add(bench::MetricRow("renewal n=" + std::to_string(n))
-                   .str("table", "share_renewal")
-                   .set("n", n)
-                   .set("t", t)
-                   .set("ok", false));
+  for (std::size_t i = 0; i < add_offset; ++i) {
+    const engine::ScenarioSpec& spec = driver.specs()[i];
+    const engine::ScenarioResult& r = results[i];
+    bench::MetricRow row(spec.label);
+    row.str("table", "share_renewal").set("n", spec.n).set("t", spec.t);
+    if (r.extra("dkg_messages") != nullptr) {
+      row.set("dkg_messages", r.extra_u64("dkg_messages"))
+          .set("dkg_bytes", r.extra_u64("dkg_bytes"));
+    }
+    if (r.extra("renewal_messages") != nullptr) {
+      row.set("renewal_messages", r.extra_u64("renewal_messages"))
+          .set("renewal_bytes", r.extra_u64("renewal_bytes"));
+    }
+    row.set("ok", r.ok);
+    json.add(std::move(bench::add_engine_fields(row, r)));
+    if (!r.ok) {
+      std::printf("%4zu  %s\n", spec.n,
+                  r.extra("dkg_messages") == nullptr ? "DKG FAILED" : "RENEWAL FAILED");
       continue;
     }
-    std::uint64_t dkg_msgs = runner.last_metrics().total_messages();
-    std::uint64_t dkg_bytes = runner.last_metrics().total_bytes();
-    if (!runner.run_renewal()) {
-      std::printf("%4zu  RENEWAL FAILED\n", n);
-      json.add(bench::MetricRow("renewal n=" + std::to_string(n))
-                   .str("table", "share_renewal")
-                   .set("n", n)
-                   .set("t", t)
-                   .set("dkg_messages", dkg_msgs)
-                   .set("dkg_bytes", dkg_bytes)
-                   .set("ok", false));
-      continue;
-    }
-    json.add(bench::MetricRow("renewal n=" + std::to_string(n))
-                 .str("table", "share_renewal")
-                 .set("n", n)
-                 .set("t", t)
-                 .set("dkg_messages", dkg_msgs)
-                 .set("dkg_bytes", dkg_bytes)
-                 .set("renewal_messages", runner.last_metrics().total_messages())
-                 .set("renewal_bytes", runner.last_metrics().total_bytes())
-                 .set("ok", true));
-    std::printf("%4zu %4zu %12llu %14llu %12llu %14llu\n", n, t,
-                static_cast<unsigned long long>(dkg_msgs),
-                static_cast<unsigned long long>(dkg_bytes),
-                static_cast<unsigned long long>(runner.last_metrics().total_messages()),
-                static_cast<unsigned long long>(runner.last_metrics().total_bytes()));
+    std::printf("%4zu %4zu %12llu %14llu %12llu %14llu\n", spec.n, spec.t,
+                static_cast<unsigned long long>(r.extra_u64("dkg_messages")),
+                static_cast<unsigned long long>(r.extra_u64("dkg_bytes")),
+                static_cast<unsigned long long>(r.extra_u64("renewal_messages")),
+                static_cast<unsigned long long>(r.extra_u64("renewal_bytes")));
   }
   std::printf("\nshape check: renewal traffic tracks DKG traffic within a small factor\n"
               "(clock ticks add O(n^2); stripped send replays subtract row payloads).\n");
@@ -69,63 +75,26 @@ int main(int argc, char** argv) {
   bench::print_header("E7b  Node addition cost vs n",
                       "one resharing round + t+1 verified subshares  [Sec 6.2]");
   std::printf("%4s %4s %12s %14s %12s\n", "n", "t", "msgs", "bytes", "subshares");
-  for (std::size_t n : {4, 7, 10, 13}) {
-    std::size_t t = (n - 1) / 3;
-    std::size_t f = (n - 1 - 3 * t) / 2;
-    core::RunnerConfig cfg;
-    cfg.grp = &crypto::Group::tiny256();
-    cfg.n = n;
-    cfg.t = t;
-    cfg.f = f;
-    cfg.seed = 5000 + n;
-    proactive::ProactiveRunner boot(cfg);
-    if (!boot.run_dkg()) {
-      json.add(bench::MetricRow("node-add n=" + std::to_string(n))
-                   .str("table", "node_addition")
-                   .set("n", n)
-                   .set("t", t)
-                   .set("ok", false));
-      continue;
-    }
-
-    auto keyring = crypto::Keyring::generate(*cfg.grp, n, cfg.seed ^ 0x9e3779b97f4a7c15ULL);
-    core::DkgParams params;
-    params.vss.grp = cfg.grp;
-    params.vss.n = n;
-    params.vss.t = t;
-    params.vss.f = f;
-    params.vss.keyring = keyring;
-    params.tau = 2;
-    params.timeout_base = 20'000;
-    sim::Simulator sim(n, std::make_unique<sim::UniformDelay>(5, 40), cfg.seed);
-    sim::NodeId new_id = sim.add_node_slot();
-    for (sim::NodeId i = 1; i <= n; ++i) {
-      sim.set_node(i,
-                   std::make_unique<groupmod::NodeAddNode>(params, i, boot.states()[i], new_id));
-    }
-    auto joining = std::make_unique<groupmod::JoiningNode>(*cfg.grp, t, new_id, params.tau);
-    groupmod::JoiningNode* j = joining.get();
-    sim.set_node(new_id, std::move(joining));
-    for (sim::NodeId i = 1; i <= n; ++i) {
-      sim.post_operator(i, std::make_shared<core::DkgStartOp>(params.tau, std::nullopt), 0);
-    }
-    sim.run_until([&] { return j->has_share(); });
-    json.add(bench::MetricRow("node-add n=" + std::to_string(n))
-                 .str("table", "node_addition")
-                 .set("n", n)
-                 .set("t", t)
-                 .set("messages", sim.metrics().total_messages())
-                 .set("bytes", sim.metrics().total_bytes())
-                 .set("subshares", sim.metrics().by_prefix("gm.subshare").count)
-                 .set("completion_time", sim.now())
-                 .set("ok", j->has_share()));
-    std::printf("%4zu %4zu %12llu %14llu %12llu%s\n", n, t,
-                static_cast<unsigned long long>(sim.metrics().total_messages()),
-                static_cast<unsigned long long>(sim.metrics().total_bytes()),
-                static_cast<unsigned long long>(sim.metrics().by_prefix("gm.subshare").count),
-                j->has_share() ? "" : "  [INCOMPLETE]");
+  for (std::size_t i = add_offset; i < results.size(); ++i) {
+    const engine::ScenarioSpec& spec = driver.specs()[i];
+    const engine::ScenarioResult& r = results[i];
+    bench::MetricRow row(spec.label);
+    row.str("table", "node_addition")
+        .set("n", spec.n)
+        .set("t", spec.t)
+        .set("messages", r.messages)
+        .set("bytes", r.bytes)
+        .set("subshares", r.extra_u64("subshares"))
+        .set("completion_time", r.completion_time)
+        .set("ok", r.ok);
+    json.add(std::move(bench::add_engine_fields(row, r)));
+    std::printf("%4zu %4zu %12llu %14llu %12llu%s\n", spec.n, spec.t,
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.bytes),
+                static_cast<unsigned long long>(r.extra_u64("subshares")),
+                r.ok ? "" : "  [INCOMPLETE]");
   }
   std::printf("\nshape check: node addition costs one DKG-shaped resharing plus n\n"
               "subshare messages.\n");
-  return json.flush() ? 0 : 1;
+  return bench::finish(json, results);
 }

@@ -1,21 +1,24 @@
-// Shared helpers for the experiment benches: table formatting, compact
-// protocol-run drivers, and the machine-readable JSON emitter behind the
-// `--json <path>` flag every bench binary accepts. Each bench binary
-// regenerates one experiment from the paper's efficiency analysis; the
-// bench -> paper-claim map lives in EXPERIMENTS.md.
+// Shared helpers for the experiment benches: table formatting, the bridge
+// from engine::ScenarioResult to metric rows, and the machine-readable JSON
+// emitter behind the `--json <path>` / `--jobs <N>` flags every bench
+// binary accepts. Each bench binary regenerates one experiment from the
+// paper's efficiency analysis as a declarative ScenarioSpec grid executed
+// by engine::SweepDriver; the bench -> paper-claim map lives in
+// EXPERIMENTS.md.
 #pragma once
 
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <initializer_list>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
-#include "dkg/runner.hpp"
-#include "vss/hybridvss.hpp"
+#include "engine/sweep.hpp"
 
 namespace dkg::bench {
 
@@ -24,71 +27,6 @@ inline void print_header(const std::string& title, const std::string& claim) {
   std::printf("%s\n", title.c_str());
   std::printf("paper claim: %s\n", claim.c_str());
   std::printf("================================================================\n");
-}
-
-struct VssRunResult {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  sim::Time completion_time = 0;
-  bool all_shared = false;
-};
-
-/// Runs one HybridVSS sharing among n nodes and returns traffic totals.
-inline VssRunResult run_vss_once(const crypto::Group& grp, std::size_t n, std::size_t t,
-                                 std::size_t f, vss::CommitmentMode mode, std::uint64_t seed) {
-  vss::VssParams params;
-  params.grp = &grp;
-  params.n = n;
-  params.t = t;
-  params.f = f;
-  params.mode = mode;
-  sim::Simulator sim(n, std::make_unique<sim::UniformDelay>(5, 40), seed);
-  for (sim::NodeId i = 1; i <= n; ++i) sim.set_node(i, std::make_unique<vss::VssNode>(params, i));
-  vss::SessionId sid{1, 1};
-  crypto::Drbg rng(seed);
-  sim.post_operator(1, std::make_shared<vss::ShareOp>(sid, crypto::Scalar::random(grp, rng)), 0);
-  VssRunResult res;
-  res.all_shared = sim.run();
-  for (sim::NodeId i = 1; i <= n; ++i) {
-    auto& node = dynamic_cast<vss::VssNode&>(sim.node(i));
-    res.all_shared = res.all_shared && node.has_instance(sid) && node.instance(sid).has_shared();
-  }
-  res.messages = sim.metrics().total_messages();
-  res.bytes = sim.metrics().total_bytes();
-  res.completion_time = sim.now();
-  return res;
-}
-
-struct DkgRunResult {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  std::uint64_t vss_messages = 0;
-  std::uint64_t vss_bytes = 0;
-  std::uint64_t agreement_messages = 0;
-  std::uint64_t agreement_bytes = 0;
-  std::uint64_t lead_ch = 0;
-  std::uint64_t final_view = 1;
-  sim::Time completion_time = 0;
-  bool ok = false;
-};
-
-inline DkgRunResult summarize(core::DkgRunner& runner) {
-  DkgRunResult res;
-  const sim::Metrics& m = runner.simulator().metrics();
-  res.messages = m.total_messages();
-  res.bytes = m.total_bytes();
-  sim::TypeStats vs = m.by_prefix("vss.");
-  res.vss_messages = vs.count;
-  res.vss_bytes = vs.bytes;
-  sim::TypeStats ds = m.by_prefix("dkg.");
-  res.agreement_messages = ds.count;
-  res.agreement_bytes = ds.bytes;
-  res.lead_ch = m.by_prefix("dkg.lead-ch").count;
-  res.completion_time = runner.simulator().now();
-  for (sim::NodeId id : runner.completed_nodes()) {
-    res.final_view = std::max(res.final_view, runner.dkg_node(id).output().view);
-  }
-  return res;
 }
 
 // --- JSON metrics emission -------------------------------------------------
@@ -173,7 +111,9 @@ inline std::string emit_json(const std::string& name, const std::vector<MetricRo
 }
 
 /// Collects rows during a bench run and writes them to the `--json <path>`
-/// destination (if any) when flushed or destroyed.
+/// destination (if any) when flushed or destroyed. Also owns the sweep
+/// command line: `--jobs <N>` picks the SweepDriver thread count (default
+/// 0 = hardware_concurrency; simulated metrics are identical either way).
 class JsonEmitter {
  public:
   JsonEmitter(std::string bench_name, int argc, char** argv)
@@ -189,6 +129,15 @@ class JsonEmitter {
         }
       } else if (arg.rfind("--json=", 0) == 0 && arg.size() > 7) {
         path_ = arg.substr(7);
+      } else if (arg == "--jobs") {
+        if (i + 1 < argc) {
+          parse_jobs(argv[++i]);
+        } else {
+          std::fprintf(stderr, "bench: --jobs requires a count argument\n");
+          arg_error_ = true;
+        }
+      } else if (arg.rfind("--jobs=", 0) == 0 && arg.size() > 7) {
+        parse_jobs(arg.substr(7));
       } else {
         std::fprintf(stderr, "bench: unrecognized argument: %s\n", arg.c_str());
         arg_error_ = true;
@@ -203,6 +152,8 @@ class JsonEmitter {
 
   bool enabled() const { return !path_.empty(); }
   const std::string& path() const { return path_; }
+  /// SweepDriver thread count from `--jobs N` (0 = hardware_concurrency).
+  unsigned jobs() const { return jobs_; }
   /// False after a malformed command line; mains should bail out before
   /// running the workload: `if (!json.args_ok()) return 1;`.
   bool args_ok() const { return !arg_error_; }
@@ -228,11 +179,64 @@ class JsonEmitter {
   }
 
  private:
+  void parse_jobs(const std::string& v) {
+    char* end = nullptr;
+    // strtoul silently wraps a leading '-', so reject it explicitly.
+    unsigned long parsed = std::strtoul(v.c_str(), &end, 10);
+    if (v.empty() || v[0] == '-' || end == v.c_str() || *end != '\0') {
+      std::fprintf(stderr, "bench: --jobs wants a non-negative integer, got: %s\n", v.c_str());
+      arg_error_ = true;
+      return;
+    }
+    // 0 is the documented "use hardware_concurrency" default.
+    jobs_ = static_cast<unsigned>(parsed);
+  }
+
   std::string bench_name_;
   std::string path_;
+  unsigned jobs_ = 0;
   bool arg_error_ = false;
   bool needs_flush_ = false;
   std::vector<MetricRow> rows_;
 };
+
+// --- engine bridge ---------------------------------------------------------
+
+/// Appends the engine-level fields every bench record must carry: the
+/// measured per-scenario CPU wall-clock and the completion flag (the
+/// event-budget bugfix — incomplete runs are marked, and finish() turns
+/// them into a non-zero exit).
+inline MetricRow& add_engine_fields(MetricRow& row, const engine::ScenarioResult& r) {
+  return row.set("cpu_ms", r.cpu_ms).set("completed", r.completed);
+}
+
+/// Same, for rows that combine several scenarios (paired/contrast tables):
+/// cpu_ms is the sum, completed the conjunction.
+inline MetricRow& add_engine_fields(MetricRow& row,
+                                    std::initializer_list<const engine::ScenarioResult*> rs) {
+  double cpu_ms = 0;
+  bool completed = true;
+  for (const engine::ScenarioResult* r : rs) {
+    cpu_ms += r->cpu_ms;
+    completed = completed && r->completed;
+  }
+  return row.set("cpu_ms", cpu_ms).set("completed", completed);
+}
+
+/// Common bench epilogue: flushes the JSON document and exits non-zero if
+/// any scenario blew its event budget (the metrics are still emitted, with
+/// `completed: false` on the affected rows).
+inline int finish(JsonEmitter& json, const std::vector<engine::ScenarioResult>& results) {
+  std::size_t incomplete = 0;
+  for (const engine::ScenarioResult& r : results) {
+    if (!r.completed) ++incomplete;
+  }
+  if (incomplete != 0) {
+    std::fprintf(stderr, "bench: %zu scenario(s) did not complete within their event budget\n",
+                 incomplete);
+  }
+  bool flushed = json.flush();
+  return (flushed && incomplete == 0) ? 0 : 1;
+}
 
 }  // namespace dkg::bench

@@ -12,29 +12,45 @@ int main(int argc, char** argv) {
   if (!json.args_ok()) return 1;
   bench::print_header("E1  HybridVSS message/communication complexity (no crashes)",
                       "O(n^2) messages, O(kappa n^4) bits  [Sec 3]");
-  const crypto::Group& grp = crypto::Group::tiny256();
+  engine::SweepDriver driver;
+  driver.add_axis(std::vector<std::size_t>{4, 7, 10, 13, 16, 19, 25, 31, 40},
+                  [](std::size_t n) {
+                    engine::ScenarioSpec spec;
+                    spec.label = "n=" + std::to_string(n);
+                    spec.variant = engine::Variant::HybridVss;
+                    spec.n = n;
+                    spec.t = (n - 1) / 3;
+                    spec.f = 0;
+                    spec.mode = vss::CommitmentMode::Full;
+                    spec.seed = n;
+                    spec.delay_lo = 5;
+                    spec.delay_hi = 40;
+                    return spec;
+                  });
+  std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   std::printf("%4s %4s %10s %14s %12s %14s %10s\n", "n", "t", "messages", "bytes", "msgs/n^2",
               "bytes/n^4", "sim-time");
-  for (std::size_t n : {4, 7, 10, 13, 16, 19, 25, 31, 40}) {
-    std::size_t t = (n - 1) / 3;
-    bench::VssRunResult r = bench::run_vss_once(grp, n, t, 0, vss::CommitmentMode::Full, n);
-    double n2 = static_cast<double>(n) * n;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const engine::ScenarioSpec& spec = driver.specs()[i];
+    const engine::ScenarioResult& r = results[i];
+    double n2 = static_cast<double>(spec.n) * spec.n;
     double n4 = n2 * n2;
-    json.add(bench::MetricRow("n=" + std::to_string(n))
-                 .set("n", n)
-                 .set("t", t)
-                 .set("messages", r.messages)
-                 .set("bytes", r.bytes)
-                 .set("messages_per_n2", r.messages / n2)
-                 .set("bytes_per_n4", r.bytes / n4)
-                 .set("completion_time", r.completion_time)
-                 .set("ok", r.all_shared));
-    std::printf("%4zu %4zu %10llu %14llu %12.2f %14.4f %10llu%s\n", n, t,
+    bench::MetricRow row(spec.label);
+    row.set("n", spec.n)
+        .set("t", spec.t)
+        .set("messages", r.messages)
+        .set("bytes", r.bytes)
+        .set("messages_per_n2", r.messages / n2)
+        .set("bytes_per_n4", r.bytes / n4)
+        .set("completion_time", r.completion_time)
+        .set("ok", r.ok);
+    json.add(std::move(bench::add_engine_fields(row, r)));
+    std::printf("%4zu %4zu %10llu %14llu %12.2f %14.4f %10llu%s\n", spec.n, spec.t,
                 static_cast<unsigned long long>(r.messages),
                 static_cast<unsigned long long>(r.bytes), r.messages / n2, r.bytes / n4,
                 static_cast<unsigned long long>(r.completion_time),
-                r.all_shared ? "" : "  [INCOMPLETE]");
+                r.ok ? "" : "  [INCOMPLETE]");
   }
   std::printf("\nshape check: both normalized columns should approach a constant.\n");
-  return json.flush() ? 0 : 1;
+  return bench::finish(json, results);
 }

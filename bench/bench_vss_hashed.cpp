@@ -6,41 +6,66 @@
 // hashed, and the ratio grows ~linearly in n.
 #include "bench_util.hpp"
 
+namespace {
+
+dkg::engine::ScenarioSpec make_spec(std::size_t n, dkg::vss::CommitmentMode mode) {
+  using namespace dkg;
+  engine::ScenarioSpec spec;
+  spec.label = std::string(mode == vss::CommitmentMode::Full ? "full" : "hashed") +
+               " n=" + std::to_string(n);
+  spec.variant = engine::Variant::HybridVss;
+  spec.n = n;
+  spec.t = (n - 1) / 3;
+  spec.f = 0;
+  spec.mode = mode;
+  spec.seed = n;
+  spec.delay_lo = 5;
+  spec.delay_hi = 40;
+  return spec;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dkg;
   bench::JsonEmitter json("bench_vss_hashed", argc, argv);
   if (!json.args_ok()) return 1;
   bench::print_header("E2  Full vs hash-compressed commitments",
                       "O(kappa n^4) -> O(kappa n^3) bits  [Sec 3 / AVSS Sec 3.4]");
-  const crypto::Group& grp = crypto::Group::tiny256();
+  // Paired grid: spec 2i runs full mode, spec 2i+1 the hashed contrast.
+  engine::SweepDriver driver;
+  for (std::size_t n : {4, 7, 10, 13, 16, 19, 25, 31, 40}) {
+    driver.add(make_spec(n, vss::CommitmentMode::Full));
+    driver.add(make_spec(n, vss::CommitmentMode::Hashed));
+  }
+  std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   std::printf("%4s %4s %14s %14s %8s %14s %14s\n", "n", "t", "full-bytes", "hash-bytes",
               "ratio", "full/n^4", "hash/n^3");
-  for (std::size_t n : {4, 7, 10, 13, 16, 19, 25, 31, 40}) {
-    std::size_t t = (n - 1) / 3;
-    bench::VssRunResult full = bench::run_vss_once(grp, n, t, 0, vss::CommitmentMode::Full, n);
-    bench::VssRunResult hashed =
-        bench::run_vss_once(grp, n, t, 0, vss::CommitmentMode::Hashed, n);
-    double n3 = static_cast<double>(n) * n * n;
-    double n4 = n3 * n;
-    json.add(bench::MetricRow("n=" + std::to_string(n))
-                 .set("n", n)
-                 .set("t", t)
-                 .set("full_messages", full.messages)
-                 .set("full_bytes", full.bytes)
-                 .set("hashed_messages", hashed.messages)
-                 .set("hashed_bytes", hashed.bytes)
-                 .set("bytes_ratio", static_cast<double>(full.bytes) / hashed.bytes)
-                 .set("full_bytes_per_n4", full.bytes / n4)
-                 .set("hashed_bytes_per_n3", hashed.bytes / n3)
-                 .set("completion_time", hashed.completion_time)
-                 .set("ok", full.all_shared && hashed.all_shared));
-    std::printf("%4zu %4zu %14llu %14llu %8.2f %14.4f %14.4f%s\n", n, t,
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const engine::ScenarioSpec& spec = driver.specs()[i];
+    const engine::ScenarioResult& full = results[i];
+    const engine::ScenarioResult& hashed = results[i + 1];
+    double n3 = static_cast<double>(spec.n) * spec.n * spec.n;
+    double n4 = n3 * spec.n;
+    bench::MetricRow row("n=" + std::to_string(spec.n));
+    row.set("n", spec.n)
+        .set("t", spec.t)
+        .set("full_messages", full.messages)
+        .set("full_bytes", full.bytes)
+        .set("hashed_messages", hashed.messages)
+        .set("hashed_bytes", hashed.bytes)
+        .set("bytes_ratio", static_cast<double>(full.bytes) / hashed.bytes)
+        .set("full_bytes_per_n4", full.bytes / n4)
+        .set("hashed_bytes_per_n3", hashed.bytes / n3)
+        .set("completion_time", hashed.completion_time)
+        .set("ok", full.ok && hashed.ok);
+    json.add(std::move(bench::add_engine_fields(row, {&full, &hashed})));
+    std::printf("%4zu %4zu %14llu %14llu %8.2f %14.4f %14.4f%s\n", spec.n, spec.t,
                 static_cast<unsigned long long>(full.bytes),
                 static_cast<unsigned long long>(hashed.bytes),
                 static_cast<double>(full.bytes) / hashed.bytes, full.bytes / n4,
-                hashed.bytes / n3,
-                (full.all_shared && hashed.all_shared) ? "" : "  [INCOMPLETE]");
+                hashed.bytes / n3, (full.ok && hashed.ok) ? "" : "  [INCOMPLETE]");
   }
   std::printf("\nshape check: ratio grows ~linearly with n; hash/n^3 flattens.\n");
-  return json.flush() ? 0 : 1;
+  return bench::finish(json, results);
 }

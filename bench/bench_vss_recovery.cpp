@@ -7,83 +7,65 @@
 // traffic growing ~linearly in d on top of the crash-free baseline.
 #include "bench_util.hpp"
 
-#include "crypto/lagrange.hpp"
-
-using namespace dkg;
-
-namespace {
-
-bench::VssRunResult run_with_recoveries(std::size_t n, std::size_t t, std::size_t f,
-                                        std::size_t d, std::uint64_t seed) {
-  const crypto::Group& grp = crypto::Group::tiny256();
-  vss::VssParams params;
-  params.grp = &grp;
-  params.n = n;
-  params.t = t;
-  params.f = f;
-  params.d_kappa = d + 1;
-  sim::Simulator sim(n, std::make_unique<sim::UniformDelay>(5, 40), seed);
-  for (sim::NodeId i = 1; i <= n; ++i) sim.set_node(i, std::make_unique<vss::VssNode>(params, i));
-  vss::SessionId sid{1, 1};
-  crypto::Drbg rng(seed);
-  sim.post_operator(1, std::make_shared<vss::ShareOp>(sid, crypto::Scalar::random(grp, rng)), 0);
-  // d crash/recover cycles spread over distinct non-dealer nodes, at most f
-  // concurrent (here: strictly sequential windows).
-  sim::Time at = 10;
-  for (std::size_t k = 0; k < d; ++k) {
-    sim::NodeId victim = static_cast<sim::NodeId>(2 + (k % (n - 1)));
-    sim.schedule_crash(victim, at);
-    sim.schedule_recover(victim, at + 300);
-    sim.post_operator(victim, std::make_shared<vss::RecoverOp>(sid), at + 310);
-    at += 400;
-  }
-  bench::VssRunResult res;
-  res.all_shared = sim.run();
-  for (sim::NodeId i = 1; i <= n; ++i) {
-    auto& node = dynamic_cast<vss::VssNode&>(sim.node(i));
-    res.all_shared = res.all_shared && node.has_instance(sid) && node.instance(sid).has_shared();
-  }
-  res.messages = sim.metrics().total_messages();
-  res.bytes = sim.metrics().total_bytes();
-  res.completion_time = sim.now();
-  return res;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace dkg;
   bench::JsonEmitter json("bench_vss_recovery", argc, argv);
   if (!json.args_ok()) return 1;
   bench::print_header("E3  HybridVSS under crash/recovery cycles",
                       "O(t d n^2) messages, O(kappa t d n^3) bits  [Sec 3]");
   const std::size_t n = 13, t = 3, f = 1;  // 13 >= 3*3 + 2*1 + 1
   std::printf("n=%zu t=%zu f=%zu; one sharing, d sequential crash+recover cycles\n\n", n, t, f);
+  engine::SweepDriver driver;
+  driver.add_axis(std::vector<std::size_t>{0, 1, 2, 4, 6, 8}, [&](std::size_t d) {
+    engine::ScenarioSpec spec;
+    spec.label = "d=" + std::to_string(d);
+    spec.variant = engine::Variant::HybridVss;
+    spec.n = n;
+    spec.t = t;
+    spec.f = f;
+    spec.d_kappa = d + 1;
+    spec.seed = 99 + d;
+    spec.delay_lo = 5;
+    spec.delay_hi = 40;
+    // d crash/recover cycles spread over distinct non-dealer nodes, at most
+    // f concurrent (here: strictly sequential windows); each recovery is
+    // followed by a RecoverOp so the node replays the help flow.
+    spec.post_recover_op = true;
+    sim::Time at = 10;
+    for (std::size_t k = 0; k < d; ++k) {
+      sim::NodeId victim = static_cast<sim::NodeId>(2 + (k % (n - 1)));
+      spec.crashes.push_back({victim, at, at + 300});
+      at += 400;
+    }
+    return spec;
+  });
+  std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   std::printf("%4s %10s %14s %12s %14s %10s\n", "d", "messages", "bytes", "extra-msgs",
               "extra-bytes", "complete");
-  std::uint64_t base_msgs = 0, base_bytes = 0;
-  for (std::size_t d : {0, 1, 2, 4, 6, 8}) {
-    bench::VssRunResult r = run_with_recoveries(n, t, f, d, 99 + d);
-    if (d == 0) {
-      base_msgs = r.messages;
-      base_bytes = r.bytes;
-    }
-    json.add(bench::MetricRow("d=" + std::to_string(d))
-                 .set("d", d)
-                 .set("n", n)
-                 .set("t", t)
-                 .set("messages", r.messages)
-                 .set("bytes", r.bytes)
-                 .set("extra_messages", static_cast<std::int64_t>(r.messages - base_msgs))
-                 .set("extra_bytes", static_cast<std::int64_t>(r.bytes - base_bytes))
-                 .set("completion_time", r.completion_time)
-                 .set("ok", r.all_shared));
+  const std::uint64_t base_msgs = results[0].messages;
+  const std::uint64_t base_bytes = results[0].bytes;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const engine::ScenarioSpec& spec = driver.specs()[i];
+    const engine::ScenarioResult& r = results[i];
+    std::size_t d = spec.d_kappa - 1;
+    bench::MetricRow row(spec.label);
+    row.set("d", d)
+        .set("n", spec.n)
+        .set("t", spec.t)
+        .set("messages", r.messages)
+        .set("bytes", r.bytes)
+        .set("extra_messages", static_cast<std::int64_t>(r.messages - base_msgs))
+        .set("extra_bytes", static_cast<std::int64_t>(r.bytes - base_bytes))
+        .set("completion_time", r.completion_time)
+        .set("ok", r.ok);
+    json.add(std::move(bench::add_engine_fields(row, r)));
     std::printf("%4zu %10llu %14llu %12lld %14lld %10s\n", d,
                 static_cast<unsigned long long>(r.messages),
                 static_cast<unsigned long long>(r.bytes),
                 static_cast<long long>(r.messages - base_msgs),
-                static_cast<long long>(r.bytes - base_bytes), r.all_shared ? "yes" : "NO");
+                static_cast<long long>(r.bytes - base_bytes), r.ok ? "yes" : "NO");
   }
   std::printf("\nshape check: extra traffic grows ~linearly in d (each recovery costs\n"
               "O(n) help requests plus bounded B-set replays from n helpers).\n");
-  return json.flush() ? 0 : 1;
+  return bench::finish(json, results);
 }

@@ -66,7 +66,7 @@ DkgNode& DkgRunner::dkg_node(sim::NodeId id) {
   return dynamic_cast<DkgNode&>(sim_->node(id));
 }
 
-bool DkgRunner::run_to_completion(std::size_t min_outputs) {
+bool DkgRunner::run_to_completion(std::size_t min_outputs, std::uint64_t max_events) {
   std::vector<sim::NodeId> honest = honest_nodes();
   if (min_outputs == 0) min_outputs = honest.size();
   auto done = [&] {
@@ -76,7 +76,7 @@ bool DkgRunner::run_to_completion(std::size_t min_outputs) {
     }
     return count >= min_outputs;
   };
-  return sim_->run_until(done);
+  return sim_->run_until(done, max_events);
 }
 
 std::vector<sim::NodeId> DkgRunner::completed_nodes() const {

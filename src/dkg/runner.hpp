@@ -53,7 +53,7 @@ class DkgRunner {
 
   /// Runs until at least `min_outputs` honest nodes produced DKG output
   /// (default: all honest nodes). Returns false on event-budget exhaustion.
-  bool run_to_completion(std::size_t min_outputs = 0);
+  bool run_to_completion(std::size_t min_outputs = 0, std::uint64_t max_events = 50'000'000);
 
   std::vector<sim::NodeId> honest_nodes() const;
   std::vector<sim::NodeId> completed_nodes() const;

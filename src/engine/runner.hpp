@@ -1,0 +1,29 @@
+// ScenarioRunner: the interface through which the engine drives a protocol
+// harness. Each existing harness (core::DkgRunner, the HybridVSS/AVSS sims,
+// proactive::ProactiveRunner, groupmod node addition, baseline::SyncNetwork)
+// is wrapped by one stateless implementation in runners.cpp; `runner_for`
+// dispatches on ScenarioSpec::variant so one sweep can mix protocols.
+//
+// Thread-safety contract: run() is const and builds every simulator, DRBG
+// and keyring locally from the spec — implementations must not touch any
+// shared mutable state, so distinct scenarios may run on distinct threads.
+#pragma once
+
+#include "engine/scenario.hpp"
+
+namespace dkg::engine {
+
+class ScenarioRunner {
+ public:
+  virtual ~ScenarioRunner() = default;
+  virtual ScenarioResult run(const ScenarioSpec& spec) const = 0;
+};
+
+/// Stateless singleton runner for a protocol variant.
+const ScenarioRunner& runner_for(Variant v);
+
+/// Executes one scenario on the calling thread (dispatch + run; does not
+/// fill in cpu_ms — the SweepDriver times its workers).
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+}  // namespace dkg::engine

@@ -1,0 +1,292 @@
+// Concrete ScenarioRunner implementations: each wraps one existing harness
+// and translates ScenarioSpec -> harness config and harness state ->
+// ScenarioResult. All protocol-driving logic that used to live inline in
+// the bench mains is concentrated here.
+#include "engine/runner.hpp"
+
+#include <algorithm>
+
+#include "baseline/gennaro_dkg.hpp"
+#include "baseline/joint_feldman.hpp"
+#include "baseline/sync_network.hpp"
+#include "dkg/runner.hpp"
+#include "groupmod/node_add.hpp"
+#include "proactive/runner.hpp"
+#include "vss/avss.hpp"
+
+namespace dkg::engine {
+
+namespace {
+
+core::RunnerConfig runner_config(const ScenarioSpec& spec) {
+  core::RunnerConfig cfg;
+  cfg.grp = spec.grp;
+  cfg.n = spec.n;
+  cfg.t = spec.t;
+  cfg.f = spec.f;
+  cfg.seed = spec.seed;
+  cfg.tau = spec.tau;
+  cfg.d_kappa = spec.d_kappa;
+  cfg.mode = spec.mode;
+  cfg.delay_lo = spec.delay_lo;
+  cfg.delay_hi = spec.delay_hi;
+  cfg.slow_nodes = spec.slow_nodes;
+  cfg.slow_penalty = spec.slow_penalty;
+  cfg.timeout_base = spec.timeout_base;
+  return cfg;
+}
+
+void apply_crashes(sim::Simulator& sim, const ScenarioSpec& spec) {
+  for (const CrashSpec& c : spec.crashes) {
+    sim.schedule_crash(c.node, c.crash_at);
+    if (c.recover_at != 0) sim.schedule_recover(c.node, c.recover_at);
+  }
+}
+
+/// One HybridVSS sharing among n nodes, with the spec's crash/recover
+/// cycles (each recovery optionally followed by a RecoverOp so the node
+/// runs the §3 help/replay flow).
+class VssScenarioRunner : public ScenarioRunner {
+ public:
+  ScenarioResult run(const ScenarioSpec& spec) const override {
+    vss::VssParams params;
+    params.grp = spec.grp;
+    params.n = spec.n;
+    params.t = spec.t;
+    params.f = spec.f;
+    params.d_kappa = spec.d_kappa;
+    params.mode = spec.mode;
+    sim::Simulator sim(spec.n, std::make_unique<sim::UniformDelay>(spec.delay_lo, spec.delay_hi),
+                       spec.seed);
+    for (sim::NodeId i = 1; i <= spec.n; ++i) {
+      sim.set_node(i, std::make_unique<vss::VssNode>(params, i));
+    }
+    vss::SessionId sid{1, 1};
+    crypto::Drbg rng(spec.seed);
+    sim.post_operator(1, std::make_shared<vss::ShareOp>(sid, crypto::Scalar::random(*spec.grp, rng)),
+                      0);
+    apply_crashes(sim, spec);
+    if (spec.post_recover_op) {
+      for (const CrashSpec& c : spec.crashes) {
+        if (c.recover_at != 0) {
+          sim.post_operator(c.node, std::make_shared<vss::RecoverOp>(sid), c.recover_at + 10);
+        }
+      }
+    }
+    ScenarioResult res;
+    res.completed = sim.run(spec.max_events);
+    bool all_shared = res.completed;
+    for (sim::NodeId i = 1; i <= spec.n; ++i) {
+      auto& node = dynamic_cast<vss::VssNode&>(sim.node(i));
+      all_shared = all_shared && node.has_instance(sid) && node.instance(sid).has_shared();
+    }
+    res.ok = all_shared;
+    res.messages = sim.metrics().total_messages();
+    res.bytes = sim.metrics().total_bytes();
+    res.completion_time = sim.now();
+    return res;
+  }
+};
+
+/// One AVSS sharing (the paper's §3 comparison target).
+class AvssScenarioRunner : public ScenarioRunner {
+ public:
+  ScenarioResult run(const ScenarioSpec& spec) const override {
+    vss::AvssParams params{spec.grp, spec.n, spec.t};
+    sim::Simulator sim(spec.n, std::make_unique<sim::UniformDelay>(spec.delay_lo, spec.delay_hi),
+                       spec.seed);
+    for (sim::NodeId i = 1; i <= spec.n; ++i) {
+      sim.set_node(i, std::make_unique<vss::AvssNode>(params, i));
+    }
+    vss::SessionId sid{1, 1};
+    crypto::Drbg rng(spec.seed);
+    sim.post_operator(1, std::make_shared<vss::ShareOp>(sid, crypto::Scalar::random(*spec.grp, rng)),
+                      0);
+    ScenarioResult res;
+    res.completed = sim.run(spec.max_events);
+    bool all_shared = res.completed;
+    for (sim::NodeId i = 1; i <= spec.n; ++i) {
+      auto& node = dynamic_cast<vss::AvssNode&>(sim.node(i));
+      all_shared = all_shared && node.instance(sid).has_shared();
+    }
+    res.ok = all_shared;
+    res.messages = sim.metrics().total_messages();
+    res.bytes = sim.metrics().total_bytes();
+    res.completion_time = sim.now();
+    return res;
+  }
+};
+
+/// Full HybridDKG run through core::DkgRunner, splitting VSS-layer and
+/// agreement-layer traffic the way the paper's accounting does.
+class DkgScenarioRunner : public ScenarioRunner {
+ public:
+  ScenarioResult run(const ScenarioSpec& spec) const override {
+    core::DkgRunner runner(runner_config(spec));
+    apply_crashes(runner.simulator(), spec);
+    runner.start_all();
+    ScenarioResult res;
+    res.completed = runner.run_to_completion(spec.min_outputs, spec.max_events);
+    res.ok = res.completed;
+    const sim::Metrics& m = runner.simulator().metrics();
+    res.messages = m.total_messages();
+    res.bytes = m.total_bytes();
+    res.completion_time = runner.simulator().now();
+    sim::TypeStats vs = m.by_prefix("vss.");
+    res.set_extra("vss_messages", vs.count);
+    res.set_extra("vss_bytes", vs.bytes);
+    sim::TypeStats ds = m.by_prefix("dkg.");
+    res.set_extra("agreement_messages", ds.count);
+    res.set_extra("agreement_bytes", ds.bytes);
+    res.set_extra("lead_changes", m.by_prefix("dkg.lead-ch").count);
+    std::uint64_t final_view = 1;
+    for (sim::NodeId id : runner.completed_nodes()) {
+      final_view = std::max(final_view, runner.dkg_node(id).output().view);
+    }
+    res.set_extra("final_view", final_view);
+    return res;
+  }
+};
+
+/// DKG bootstrap plus one share-renewal phase (§5.2), with the spec's
+/// renewal_crashed nodes going down and recovering mid-phase.
+class ProactiveScenarioRunner : public ScenarioRunner {
+ public:
+  ScenarioResult run(const ScenarioSpec& spec) const override {
+    proactive::ProactiveRunner runner(runner_config(spec));
+    ScenarioResult res;
+    bool dkg_ok = runner.run_dkg(spec.max_events);
+    res.completed = runner.last_phase_completed();
+    res.set_extra("dkg_ok", dkg_ok);
+    if (!dkg_ok) return res;
+    std::uint64_t dkg_msgs = runner.last_metrics().total_messages();
+    std::uint64_t dkg_bytes = runner.last_metrics().total_bytes();
+    res.set_extra("dkg_messages", dkg_msgs);
+    res.set_extra("dkg_bytes", dkg_bytes);
+    bool renewal_ok = runner.run_renewal(spec.renewal_crashed, spec.max_events);
+    res.completed = runner.last_phase_completed();
+    res.set_extra("renewal_ok", renewal_ok);
+    if (!renewal_ok) {
+      res.messages = dkg_msgs;
+      res.bytes = dkg_bytes;
+      return res;
+    }
+    std::uint64_t renew_msgs = runner.last_metrics().total_messages();
+    std::uint64_t renew_bytes = runner.last_metrics().total_bytes();
+    res.set_extra("renewal_messages", renew_msgs);
+    res.set_extra("renewal_bytes", renew_bytes);
+    res.ok = runner.shares_consistent();
+    res.messages = dkg_msgs + renew_msgs;
+    res.bytes = dkg_bytes + renew_bytes;
+    return res;
+  }
+};
+
+/// Node addition (§6.2): DKG bootstrap, then one resharing round on a fresh
+/// network with a joining node collecting t+1 verified subshares.
+class NodeAddScenarioRunner : public ScenarioRunner {
+ public:
+  ScenarioResult run(const ScenarioSpec& spec) const override {
+    ScenarioResult res;
+    proactive::ProactiveRunner boot(runner_config(spec));
+    bool dkg_ok = boot.run_dkg(spec.max_events);
+    res.completed = boot.last_phase_completed();
+    res.set_extra("dkg_ok", dkg_ok);
+    if (!dkg_ok) return res;
+
+    auto keyring =
+        crypto::Keyring::generate(*spec.grp, spec.n, spec.derived_seed("node-add/keyring"));
+    core::DkgParams params;
+    params.vss.grp = spec.grp;
+    params.vss.n = spec.n;
+    params.vss.t = spec.t;
+    params.vss.f = spec.f;
+    params.vss.keyring = keyring;
+    params.tau = spec.tau + 1;
+    params.timeout_base = spec.timeout_base != 0 ? spec.timeout_base : 20'000;
+    sim::Simulator sim(spec.n, std::make_unique<sim::UniformDelay>(spec.delay_lo, spec.delay_hi),
+                       spec.seed);
+    sim::NodeId new_id = sim.add_node_slot();
+    for (sim::NodeId i = 1; i <= spec.n; ++i) {
+      sim.set_node(
+          i, std::make_unique<groupmod::NodeAddNode>(params, i, boot.states()[i], new_id));
+    }
+    auto joining = std::make_unique<groupmod::JoiningNode>(*spec.grp, spec.t, new_id, params.tau);
+    groupmod::JoiningNode* j = joining.get();
+    sim.set_node(new_id, std::move(joining));
+    for (sim::NodeId i = 1; i <= spec.n; ++i) {
+      sim.post_operator(i, std::make_shared<core::DkgStartOp>(params.tau, std::nullopt), 0);
+    }
+    res.completed = sim.run_until([&] { return j->has_share(); }, spec.max_events);
+    res.ok = res.completed && j->has_share();
+    res.messages = sim.metrics().total_messages();
+    res.bytes = sim.metrics().total_bytes();
+    res.completion_time = sim.now();
+    res.set_extra("subshares", sim.metrics().by_prefix("gm.subshare").count);
+    return res;
+  }
+};
+
+/// Synchronous round-based baselines (Joint-Feldman [1], Gennaro et al.
+/// [9]) on the broadcast-channel substrate the classical literature assumes.
+class SyncBaselineScenarioRunner : public ScenarioRunner {
+ public:
+  explicit SyncBaselineScenarioRunner(bool gennaro) : gennaro_(gennaro) {}
+
+  ScenarioResult run(const ScenarioSpec& spec) const override {
+    baseline::SyncNetwork net(spec.n, spec.seed);
+    if (gennaro_) {
+      baseline::GennaroParams params{spec.grp, spec.n, spec.t};
+      for (sim::NodeId i = 1; i <= spec.n; ++i) {
+        net.set_node(i, std::make_unique<baseline::GennaroNode>(
+                            params, i, net.rng().fork("gjkr/" + std::to_string(i))));
+      }
+    } else {
+      baseline::JfParams params{spec.grp, spec.n, spec.t};
+      for (sim::NodeId i = 1; i <= spec.n; ++i) {
+        net.set_node(i, std::make_unique<baseline::JointFeldmanNode>(
+                            params, i, net.rng().fork("jf/" + std::to_string(i))));
+      }
+    }
+    std::size_t rounds = net.run(spec.max_rounds);
+    ScenarioResult res;
+    bool all_done = true;
+    for (sim::NodeId i = 1; i <= spec.n; ++i) all_done = all_done && net.node(i).done();
+    res.completed = all_done;
+    res.ok = all_done;
+    res.messages = net.metrics().total_messages();
+    res.bytes = net.metrics().total_bytes();
+    res.completion_time = rounds;
+    res.set_extra("rounds", static_cast<std::uint64_t>(rounds));
+    return res;
+  }
+
+ private:
+  bool gennaro_;
+};
+
+}  // namespace
+
+const ScenarioRunner& runner_for(Variant v) {
+  static const VssScenarioRunner vss;
+  static const AvssScenarioRunner avss;
+  static const DkgScenarioRunner dkg;
+  static const ProactiveScenarioRunner proactive;
+  static const NodeAddScenarioRunner node_add;
+  static const SyncBaselineScenarioRunner joint_feldman(false);
+  static const SyncBaselineScenarioRunner gennaro(true);
+  switch (v) {
+    case Variant::HybridVss: return vss;
+    case Variant::Avss: return avss;
+    case Variant::Dkg: return dkg;
+    case Variant::Proactive: return proactive;
+    case Variant::NodeAdd: return node_add;
+    case Variant::JointFeldman: return joint_feldman;
+    case Variant::Gennaro: return gennaro;
+  }
+  return dkg;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) { return runner_for(spec.variant).run(spec); }
+
+}  // namespace dkg::engine

@@ -1,0 +1,77 @@
+#include "engine/scenario.hpp"
+
+namespace dkg::engine {
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::HybridVss: return "hybridvss";
+    case Variant::Avss: return "avss";
+    case Variant::Dkg: return "dkg";
+    case Variant::Proactive: return "proactive";
+    case Variant::NodeAdd: return "node-add";
+    case Variant::JointFeldman: return "joint-feldman";
+    case Variant::Gennaro: return "gennaro";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// FNV-1a, the 64-bit variant — tiny, stable across platforms, and good
+// enough to spread grid coordinates into distinct seeds.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix_bytes(std::uint64_t& h, const void* data, std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void mix_u64(std::uint64_t& h, std::uint64_t v) {
+  // Fixed-width little-endian so the hash is independent of host layout.
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  mix_bytes(h, b, sizeof(b));
+}
+
+void mix_str(std::uint64_t& h, std::string_view s) {
+  mix_u64(h, s.size());
+  mix_bytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+std::uint64_t ScenarioSpec::derived_seed(std::string_view domain) const {
+  std::uint64_t h = kFnvOffset;
+  mix_str(h, "hybriddkg/engine/seed/v1");
+  mix_u64(h, seed);
+  mix_u64(h, static_cast<std::uint64_t>(variant));
+  mix_str(h, grp->name());
+  mix_u64(h, n);
+  mix_u64(h, t);
+  mix_u64(h, f);
+  mix_u64(h, static_cast<std::uint64_t>(mode));
+  mix_str(h, label);
+  mix_str(h, domain);
+  return h;
+}
+
+const MetricValue* ScenarioResult::extra(std::string_view key) const {
+  for (const auto& [k, v] : extras) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::uint64_t ScenarioResult::extra_u64(std::string_view key, std::uint64_t fallback) const {
+  const MetricValue* v = extra(key);
+  if (v == nullptr) return fallback;
+  if (const auto* u = std::get_if<std::uint64_t>(v)) return *u;
+  if (const auto* i = std::get_if<std::int64_t>(v)) return static_cast<std::uint64_t>(*i);
+  return fallback;
+}
+
+}  // namespace dkg::engine

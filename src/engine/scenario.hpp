@@ -1,0 +1,122 @@
+// Unified experiment engine (layer above sim/vss/dkg/proactive/baseline):
+// a ScenarioSpec names one fully-deterministic protocol run — which harness
+// to drive (Variant), the group and n/t/f regime, the seed, commitment mode,
+// delay model and fault plan — and a ScenarioResult carries its simulated
+// metrics plus the measured CPU wall-clock. Every scenario is self-contained
+// given its spec, so independent scenarios are embarrassingly parallel; the
+// SweepDriver (sweep.hpp) exploits exactly that.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "crypto/group.hpp"
+#include "sim/message.hpp"
+#include "vss/hybridvss.hpp"
+
+namespace dkg::engine {
+
+/// Which protocol harness executes the scenario (the paper's protagonists
+/// plus the comparison protocols its evaluation contrasts against).
+enum class Variant {
+  HybridVss,     // one HybridVSS sharing (paper §3)
+  Avss,          // AVSS comparison implementation (paper §3 vs [17])
+  Dkg,           // HybridDKG via core::DkgRunner (paper §4)
+  Proactive,     // DKG + one share-renewal phase (paper §5)
+  NodeAdd,       // group modification: node addition (paper §6.2)
+  JointFeldman,  // synchronous baseline [1]
+  Gennaro,       // synchronous baseline [9]
+};
+
+const char* variant_name(Variant v);
+
+/// One crash (and optional recovery) in a scenario's fault plan.
+/// recover_at == 0 means the node stays down for the whole run.
+struct CrashSpec {
+  sim::NodeId node = 0;
+  sim::Time crash_at = 0;
+  sim::Time recover_at = 0;
+};
+
+/// Full description of one deterministic protocol run. Plain data: specs are
+/// cheap to copy, compare and expand into grids, and carry no simulator
+/// state, so any thread may execute any spec.
+struct ScenarioSpec {
+  std::string label;  // row name in tables and BENCH_*.json
+  Variant variant = Variant::Dkg;
+  const crypto::Group* grp = &crypto::Group::tiny256();
+  std::size_t n = 7;
+  std::size_t t = 1;
+  std::size_t f = 1;
+  std::uint64_t seed = 1;
+  vss::CommitmentMode mode = vss::CommitmentMode::Full;
+  std::uint32_t tau = 1;
+  std::uint64_t d_kappa = 8;
+
+  /// Link delays: uniform in [delay_lo, delay_hi] ticks, plus an optional
+  /// adversarial penalty on links touching slow_nodes (§2.1).
+  sim::Time delay_lo = 10;
+  sim::Time delay_hi = 100;
+  std::set<sim::NodeId> slow_nodes;
+  sim::Time slow_penalty = 0;
+  /// 0 = harness default (comfortably above an honest VSS round trip).
+  sim::Time timeout_base = 0;
+
+  /// Crash/recovery fault plan applied before the run starts.
+  std::vector<CrashSpec> crashes;
+  /// HybridVss only: post a RecoverOp shortly after each recovery so the
+  /// recovering node exercises the §3 help/replay flow.
+  bool post_recover_op = false;
+  /// Dkg only: completion quorum for run_to_completion (0 = all honest).
+  std::size_t min_outputs = 0;
+  /// Proactive only: nodes crashed (and later recovered) mid-renewal.
+  std::vector<sim::NodeId> renewal_crashed;
+
+  /// Event budget for discrete-event runs / round budget for the
+  /// synchronous baselines. Exhaustion marks the result !completed.
+  std::uint64_t max_events = 50'000'000;
+  std::size_t max_rounds = 64;
+
+  /// Stable per-scenario seed: mixes `seed` with the scenario's identity
+  /// (variant, group, n/t/f, mode, label and an optional caller domain) so
+  /// grids can derive distinct, reproducible sub-seeds without hand-picking
+  /// constants. Pure function of the spec — never of address or time.
+  std::uint64_t derived_seed(std::string_view domain = {}) const;
+};
+
+/// Typed metric value for harness-specific result columns.
+using MetricValue = std::variant<std::uint64_t, std::int64_t, double, bool, std::string>;
+
+/// Outcome of one scenario. `completed` is the engine-level truth about
+/// whether the run finished inside its event budget (the old benches used
+/// to ignore this and happily emit metrics for incomplete runs); `ok`
+/// additionally folds in the harness's own protocol-level success checks.
+struct ScenarioResult {
+  bool completed = false;
+  bool ok = false;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  sim::Time completion_time = 0;
+  /// Measured wall-clock of this scenario on its worker thread
+  /// (steady_clock around the harness run) — the only nondeterministic
+  /// field. Under concurrent jobs, scheduler contention can inflate it;
+  /// record comparable trajectories with --jobs 1.
+  double cpu_ms = 0.0;
+  /// Harness-specific columns, in emission order (e.g. vss_messages,
+  /// lead_changes, renewal_bytes).
+  std::vector<std::pair<std::string, MetricValue>> extras;
+
+  void set_extra(std::string key, MetricValue v) {
+    extras.emplace_back(std::move(key), std::move(v));
+  }
+  const MetricValue* extra(std::string_view key) const;
+  /// Convenience for table printing: the extra as u64, or `fallback`.
+  std::uint64_t extra_u64(std::string_view key, std::uint64_t fallback = 0) const;
+};
+
+}  // namespace dkg::engine

@@ -1,0 +1,61 @@
+#include "engine/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace dkg::engine {
+
+namespace {
+
+ScenarioResult timed_run(const ScenarioSpec& spec) {
+  auto start = std::chrono::steady_clock::now();
+  ScenarioResult res;
+  try {
+    res = run_scenario(spec);
+  } catch (const std::exception& e) {
+    // A throwing harness is a failed scenario, not a failed sweep: record
+    // it so the bench can exit non-zero with the other results intact.
+    res = ScenarioResult{};
+    res.set_extra("error", std::string(e.what()));
+  }
+  auto end = std::chrono::steady_clock::now();
+  res.cpu_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  return res;
+}
+
+}  // namespace
+
+unsigned SweepDriver::default_jobs() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::vector<ScenarioResult> SweepDriver::run(unsigned jobs) const {
+  if (jobs == 0) jobs = default_jobs();
+  std::vector<ScenarioResult> results(specs_.size());
+  if (jobs <= 1 || specs_.size() <= 1) {
+    for (std::size_t i = 0; i < specs_.size(); ++i) results[i] = timed_run(specs_[i]);
+    return results;
+  }
+  // Work-stealing by atomic index: each worker claims the next unstarted
+  // spec and writes its own result slot, so merge order is spec order by
+  // construction and no locking is needed.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs_.size()) return;
+      results[i] = timed_run(specs_[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  std::size_t count = std::min<std::size_t>(jobs, specs_.size());
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+  return results;
+}
+
+}  // namespace dkg::engine

@@ -12,10 +12,11 @@ ProactiveRunner::ProactiveRunner(core::RunnerConfig cfg)
     : cfg_(cfg), tau_(cfg.tau), states_(cfg.n + 1, ShareState{
           Scalar{}, crypto::FeldmanVector({crypto::Element::identity(*cfg.grp)})}) {}
 
-bool ProactiveRunner::run_dkg() {
+bool ProactiveRunner::run_dkg(std::uint64_t max_events) {
   core::DkgRunner runner(cfg_);
   runner.start_all();
-  if (!runner.run_to_completion()) return false;
+  last_phase_completed_ = runner.run_to_completion(0, max_events);
+  if (!last_phase_completed_) return false;
   if (!runner.outputs_consistent()) return false;
   for (sim::NodeId i = 1; i <= cfg_.n; ++i) {
     const core::DkgOutput& out = runner.dkg_node(i).output();
@@ -43,7 +44,8 @@ bool ProactiveRunner::remove_node(sim::NodeId id) {
   return true;
 }
 
-bool ProactiveRunner::run_renewal(const std::vector<sim::NodeId>& crashed) {
+bool ProactiveRunner::run_renewal(const std::vector<sim::NodeId>& crashed,
+                                  std::uint64_t max_events) {
   tau_ += 1;
   core::RunnerConfig cfg = cfg_;
   cfg.tau = tau_;
@@ -100,7 +102,8 @@ bool ProactiveRunner::run_renewal(const std::vector<sim::NodeId>& crashed) {
     }
     return true;
   };
-  if (!sim.run_until(all_done)) return false;
+  last_phase_completed_ = sim.run_until(all_done, max_events);
+  if (!last_phase_completed_) return false;
 
   std::vector<ShareState> next(states_.size(), states_[0]);
   crypto::Element pk;

@@ -17,12 +17,18 @@ class ProactiveRunner {
   explicit ProactiveRunner(core::RunnerConfig cfg);
 
   /// Runs the initial DKG (phase tau = cfg.tau). Returns false on failure.
-  bool run_dkg();
+  bool run_dkg(std::uint64_t max_events = 50'000'000);
 
   /// Runs one share-renewal phase on a fresh simulated network seeded from
   /// the previous phase's states. Optionally crashes `crashed` nodes during
   /// the phase (they recover and must catch up via help replay).
-  bool run_renewal(const std::vector<sim::NodeId>& crashed = {});
+  bool run_renewal(const std::vector<sim::NodeId>& crashed = {},
+                   std::uint64_t max_events = 50'000'000);
+
+  /// True if the most recent phase's simulation finished within its event
+  /// budget — distinguishes budget exhaustion from a protocol-level failure
+  /// (inconsistent outputs) when run_dkg/run_renewal return false.
+  bool last_phase_completed() const { return last_phase_completed_; }
 
   /// Node removal (§6.3): "to remove a node from the group involves simply
   /// not including it in the next share renewal protocol". The removed
@@ -57,6 +63,7 @@ class ProactiveRunner {
  private:
   core::RunnerConfig cfg_;
   std::uint32_t tau_;
+  bool last_phase_completed_ = false;
   std::size_t pending_q_size_ = 0;
   std::set<sim::NodeId> removed_;
   crypto::Element public_key_;
