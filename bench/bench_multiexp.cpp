@@ -1,0 +1,200 @@
+// E12 — Multi-exponentiation engine microbenches: naive powm-product vs
+// Straus multiexp vs fixed-base comb tables, across all four parameter sets
+// and thresholds t in {5, 10, 20}. These are the constants behind every
+// verify-poly / verify-point in the paper's cost model (§3, §7): one
+// verify-poly is (t+1) products of (t+1) exponentiations, so the per-series
+// ratios here compound quadratically in the protocol layers above.
+//
+// The *VerifyPoly* pair measures the acceptance criterion for the engine:
+// FeldmanMatrix::verify_poly at mod1024 / t = 10 against the naive
+// independent-powm loop it replaced (>= 3x required).
+#include <benchmark/benchmark.h>
+
+#include "bench_gbench_main.hpp"
+#include "crypto/feldman.hpp"
+#include "crypto/multiexp.hpp"
+
+using namespace dkg::crypto;
+
+namespace {
+
+const Group& group_for(int idx) {
+  switch (idx) {
+    case 0: return Group::tiny256();
+    case 1: return Group::small512();
+    case 2: return Group::mod1024();
+    default: return Group::big2048();
+  }
+}
+
+std::string label_for(const Group& grp, std::size_t t) {
+  return grp.name() + " t=" + std::to_string(t);
+}
+
+struct MultiexpFixture {
+  std::vector<Element> bases;
+  std::vector<Scalar> exps;
+
+  MultiexpFixture(const Group& grp, std::size_t t, Drbg& rng) {
+    for (std::size_t k = 0; k <= t; ++k) {
+      bases.push_back(Element::exp_g(Scalar::random(grp, rng)));
+      exps.push_back(Scalar::random(grp, rng));
+    }
+  }
+};
+
+// prod_k bases[k]^exps[k] as t+1 independent powms — the pre-engine shape.
+Element naive_product(const Group& grp, const std::vector<Element>& bases,
+                      const std::vector<Scalar>& exps) {
+  Element acc = Element::identity(grp);
+  for (std::size_t k = 0; k < bases.size(); ++k) acc *= bases[k].pow(exps[k]);
+  return acc;
+}
+
+void BM_NaiveExpProduct(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  std::size_t t = static_cast<std::size_t>(state.range(1));
+  Drbg rng(1);
+  MultiexpFixture fx(grp, t, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive_product(grp, fx.bases, fx.exps));
+  }
+  state.SetLabel(label_for(grp, t));
+}
+
+void BM_Multiexp(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  std::size_t t = static_cast<std::size_t>(state.range(1));
+  Drbg rng(1);
+  MultiexpFixture fx(grp, t, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiexp(grp, fx.bases, fx.exps));
+  }
+  state.SetLabel(label_for(grp, t));
+}
+
+void BM_MultiexpIndex(benchmark::State& state) {
+  // The verify-poly shape: exponents are powers of a small node index, so
+  // the Horner-in-the-exponent path applies.
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  std::size_t t = static_cast<std::size_t>(state.range(1));
+  Drbg rng(1);
+  MultiexpFixture fx(grp, t, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiexp_index(grp, fx.bases, 3));
+  }
+  state.SetLabel(label_for(grp, t));
+}
+
+void BM_PowmG(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  Drbg rng(2);
+  Scalar x = Scalar::random(grp, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(powm(grp.g(), x.value(), grp.p()));
+  }
+  state.SetLabel(grp.name());
+}
+
+void BM_FixedBaseExpG(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  Drbg rng(2);
+  Scalar x = Scalar::random(grp, rng);
+  Element::exp_g(x);  // warm the table outside the timed region
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Element::exp_g(x));
+  }
+  state.SetLabel(grp.name());
+}
+
+struct VerifyPolyFixture {
+  BiPolynomial f;
+  FeldmanMatrix c;
+  Polynomial row;
+
+  VerifyPolyFixture(const Group& grp, std::size_t t, Drbg& rng)
+      : f(BiPolynomial::random(Scalar::random(grp, rng), t, rng)),
+        c(FeldmanMatrix::commit(f)),
+        row(f.row(3)) {}
+};
+
+// The seed implementation of verify_poly: independent powm per entry.
+bool naive_verify_poly(const FeldmanMatrix& c, std::uint64_t i, const Polynomial& a) {
+  const Group& grp = c.group();
+  std::size_t t = c.degree();
+  Scalar x = Scalar::from_u64(grp, i);
+  std::vector<Scalar> ipow{Scalar::one(grp)};
+  for (std::size_t j = 1; j <= t; ++j) ipow.push_back(ipow.back() * x);
+  for (std::size_t l = 0; l <= t; ++l) {
+    Element rhs = Element::identity(grp);
+    for (std::size_t j = 0; j <= t; ++j) rhs *= c.entry(j, l).pow(ipow[j]);
+    if (Element::generator(grp).pow(a.coeff(l)) != rhs) return false;
+  }
+  return true;
+}
+
+void BM_VerifyPolyNaive(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  std::size_t t = static_cast<std::size_t>(state.range(1));
+  Drbg rng(3);
+  VerifyPolyFixture fx(grp, t, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive_verify_poly(fx.c, 3, fx.row));
+  }
+  state.SetLabel(label_for(grp, t));
+}
+
+void BM_VerifyPolyMultiexp(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  std::size_t t = static_cast<std::size_t>(state.range(1));
+  Drbg rng(3);
+  VerifyPolyFixture fx(grp, t, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.c.verify_poly(3, fx.row));
+  }
+  state.SetLabel(label_for(grp, t));
+}
+
+void BM_VerifyPolyBatch(benchmark::State& state) {
+  // k dealings folded into one multi-exp vs k sequential verify_polys; the
+  // per-dealing cost drops because all k(t+1)^2 terms share one squaring
+  // chain. mod1024, t = 5 (the paper's kappa = 160 regime).
+  const Group& grp = Group::mod1024();
+  std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::size_t t = 5;
+  Drbg rng(4);
+  std::vector<VerifyPolyFixture> fx;
+  for (std::size_t d = 0; d < k; ++d) fx.emplace_back(grp, t, rng);
+  std::vector<RowCheck> checks;
+  for (std::size_t d = 0; d < k; ++d) checks.push_back(RowCheck{&fx[d].c, 3, &fx[d].row});
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Drbg batch_rng(seed++);
+    benchmark::DoNotOptimize(verify_poly_batch(checks, batch_rng));
+  }
+  state.SetLabel("mod1024 t=5 k=" + std::to_string(k));
+}
+
+}  // namespace
+
+// Group axis: 0=tiny256, 1=small512, 2=mod1024, 3=big2048.
+BENCHMARK(BM_PowmG)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FixedBaseExpG)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NaiveExpProduct)
+    ->ArgsProduct({{0, 1, 2, 3}, {5, 10, 20}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Multiexp)
+    ->ArgsProduct({{0, 1, 2, 3}, {5, 10, 20}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MultiexpIndex)
+    ->ArgsProduct({{0, 1, 2, 3}, {5, 10, 20}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VerifyPolyNaive)
+    ->ArgsProduct({{0, 1, 2, 3}, {10}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VerifyPolyMultiexp)
+    ->ArgsProduct({{0, 1, 2, 3}, {10}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VerifyPolyBatch)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) { return dkg::bench::run_gbench_main(argc, argv); }

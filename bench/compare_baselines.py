@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Diff freshly emitted BENCH_*.json files against bench/baselines/.
+
+Timing is the only nondeterministic part of a bench document, so the
+comparison strips it and fails on ANY other drift:
+
+* engine documents ({"bench": ..., "rows": [...]}): every row is compared
+  field-by-field with `cpu_ms` dropped. Simulated metrics (messages, bytes,
+  completion_time, ok, completed, ...) are deterministic functions of the
+  scenario spec and must match exactly.
+* google-benchmark documents ({"context": ..., "benchmarks": [...]}): the
+  context block and all timing fields are machine-dependent, so only the
+  benchmark NAME SET is compared — a renamed, added or removed series fails,
+  a faster or slower run does not.
+
+Usage:
+  bench/compare_baselines.py --fresh DIR [--baselines DIR] [NAME ...]
+
+With no NAME arguments every BENCH_*.json present in --fresh is compared
+(and a fresh file without a committed baseline, or vice versa when NAMEs
+are given, is an error). Exit status: 0 clean, 1 any difference.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+IGNORED_ROW_FIELDS = {"cpu_ms"}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench-delta: cannot load {path}: {e}")
+        return None
+
+
+def normalize(doc):
+    """Timing-free canonical form of a bench JSON document."""
+    if "rows" in doc:  # engine document (bench_util.hpp JsonEmitter)
+        rows = [
+            {k: v for k, v in row.items() if k not in IGNORED_ROW_FIELDS}
+            for row in doc["rows"]
+        ]
+        return {"bench": doc.get("bench"), "schema": doc.get("schema"), "rows": rows}
+    if "benchmarks" in doc:  # google-benchmark --benchmark_out document
+        names = sorted(
+            b["name"] for b in doc["benchmarks"] if b.get("run_type") != "aggregate"
+        )
+        return {"gbench_names": names}
+    return doc
+
+
+def describe_diff(name, base, fresh):
+    """Prints a human-oriented summary of what moved; returns True if differs."""
+    if base == fresh:
+        return False
+    print(f"bench-delta: {name}: MISMATCH")
+    if "gbench_names" in base and "gbench_names" in fresh:
+        missing = sorted(set(base["gbench_names"]) - set(fresh["gbench_names"]))
+        added = sorted(set(fresh["gbench_names"]) - set(base["gbench_names"]))
+        for n in missing:
+            print(f"  - series disappeared: {n}")
+        for n in added:
+            print(f"  + new series (baseline not committed): {n}")
+        return True
+    base_rows = {r.get("name"): r for r in base.get("rows", [])}
+    fresh_rows = {r.get("name"): r for r in fresh.get("rows", [])}
+    for rname in sorted(set(base_rows) | set(fresh_rows)):
+        b, f = base_rows.get(rname), fresh_rows.get(rname)
+        if b == f:
+            continue
+        if b is None:
+            print(f"  + new row (baseline not committed): {rname}")
+        elif f is None:
+            print(f"  - row disappeared: {rname}")
+        else:
+            for k in sorted(set(b) | set(f)):
+                if b.get(k) != f.get(k):
+                    print(f"  ~ {rname}: {k}: {b.get(k)!r} -> {f.get(k)!r}")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baselines", default=os.path.join(os.path.dirname(__file__), "baselines"))
+    ap.add_argument("--fresh", required=True, help="directory holding freshly emitted BENCH_*.json")
+    ap.add_argument("names", nargs="*", help="specific BENCH_*.json file names to compare")
+    args = ap.parse_args()
+
+    names = args.names or sorted(
+        n for n in os.listdir(args.fresh) if n.startswith("BENCH_") and n.endswith(".json")
+    )
+    if not names:
+        print(f"bench-delta: no BENCH_*.json files found in {args.fresh}")
+        return 1
+
+    failures = 0
+    for name in names:
+        fresh_path = os.path.join(args.fresh, name)
+        base_path = os.path.join(args.baselines, name)
+        if not os.path.exists(fresh_path):
+            print(f"bench-delta: {name}: missing fresh file {fresh_path}")
+            failures += 1
+            continue
+        if not os.path.exists(base_path):
+            print(f"bench-delta: {name}: no committed baseline {base_path}")
+            failures += 1
+            continue
+        fresh_doc, base_doc = load(fresh_path), load(base_path)
+        if fresh_doc is None or base_doc is None:
+            failures += 1
+            continue
+        if describe_diff(name, normalize(base_doc), normalize(fresh_doc)):
+            failures += 1
+        else:
+            print(f"bench-delta: {name}: OK")
+
+    if failures:
+        print(f"bench-delta: {failures} file(s) differ from committed baselines")
+        return 1
+    print(f"bench-delta: all {len(names)} file(s) match (timing fields ignored)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

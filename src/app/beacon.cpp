@@ -48,11 +48,11 @@ std::optional<Bytes> beacon_combine(const crypto::FeldmanVector& vec, std::size_
     if (valid.size() == t + 1) break;
   }
   if (valid.size() < t + 1) return std::nullopt;
-  Element combined = Element::identity(grp);
-  for (std::size_t k = 0; k < valid.size(); ++k) {
-    Scalar lambda = crypto::lagrange_coeff(grp, xs, k, 0);
-    combined *= valid[k]->value.pow(lambda);
-  }
+  // g^{s * log_g(base)} by Lagrange interpolation in the exponent at 0.
+  std::vector<std::pair<std::uint64_t, Element>> pts;
+  pts.reserve(valid.size());
+  for (const BeaconShare* bs : valid) pts.emplace_back(bs->index, bs->value);
+  Element combined = crypto::exp_interpolate_at(grp, pts, 0);
   Writer w;
   w.str("hybriddkg/beacon/out");
   w.u64(round);

@@ -46,11 +46,11 @@ std::optional<Element> combine_decryption(const ElGamalCiphertext& ct,
     if (valid.size() == t + 1) break;
   }
   if (valid.size() < t + 1) return std::nullopt;
-  Element c1_s = Element::identity(grp);
-  for (std::size_t k = 0; k < valid.size(); ++k) {
-    Scalar lambda = crypto::lagrange_coeff(grp, xs, k, 0);
-    c1_s *= valid[k]->d.pow(lambda);
-  }
+  // c1^s by Lagrange interpolation in the exponent at 0 (one multi-exp).
+  std::vector<std::pair<std::uint64_t, Element>> pts;
+  pts.reserve(valid.size());
+  for (const PartialDecryption* pd : valid) pts.emplace_back(pd->index, pd->d);
+  Element c1_s = crypto::exp_interpolate_at(grp, pts, 0);
   return ct.c2 * c1_s.inverse();
 }
 

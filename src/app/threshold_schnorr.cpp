@@ -29,6 +29,7 @@ PartialSignature partial_sign(const SigningSession& session, std::uint64_t index
 bool verify_partial(const SigningSession& session, const PartialSignature& ps) {
   if (ps.index == 0) return false;
   Scalar c = session.challenge();
+  // Both eval_commits are index-power multi-exps (Horner in the exponent).
   Element expected =
       session.nonce_vec.eval_commit(ps.index) * session.key_vec.eval_commit(ps.index).pow(c);
   return Element::exp_g(ps.sigma) == expected;

@@ -4,6 +4,7 @@
 
 #include "crypto/feldman.hpp"
 #include "crypto/lagrange.hpp"
+#include "crypto/multiexp.hpp"
 
 namespace dkg::baseline {
 
@@ -23,14 +24,8 @@ PedersenVector PedersenVector::commit(const Polynomial& a, const Polynomial& b) 
 
 bool PedersenVector::verify_pair(std::uint64_t i, const Scalar& s, const Scalar& s_prime) const {
   const crypto::Group& grp = entries_.front().group();
-  Scalar x = Scalar::from_u64(grp, i);
-  Scalar xpow = Scalar::one(grp);
-  Element rhs = Element::identity(grp);
-  for (const Element& e : entries_) {
-    rhs *= e.pow(xpow);
-    xpow = xpow * x;
-  }
-  return Element::exp_g(s) * Element::exp_h(s_prime) == rhs;
+  return Element::exp_g(s) * Element::exp_h(s_prime) ==
+         crypto::multiexp_index(grp, entries_, i);
 }
 
 Bytes PedersenVector::to_bytes() const {

@@ -39,8 +39,10 @@ DleqProof dleq_prove(const Element& g1, const Element& h1, const Element& g2, co
   nw.blob(h2.to_bytes());
   Scalar k = Scalar::hash_to_scalar(grp, nw.data());
   if (k.is_zero()) k = Scalar::one(grp);
-  Element a1 = g1.pow(k);
-  Element a2 = g2.pow(k);
+  // g1 is the group generator in every proof this repo emits; route those
+  // through the fixed-base table.
+  Element a1 = g1.value() == grp.g() ? Element::exp_g(k) : g1.pow(k);
+  Element a2 = g2.value() == grp.g() ? Element::exp_g(k) : g2.pow(k);
   Scalar c = challenge(g1, h1, g2, h2, a1, a2);
   Scalar r = k + x * c;
   return DleqProof{c, r};
@@ -49,8 +51,13 @@ DleqProof dleq_prove(const Element& g1, const Element& h1, const Element& g2, co
 bool dleq_verify(const Element& g1, const Element& h1, const Element& g2, const Element& h2,
                  const DleqProof& proof) {
   if (h1.empty() || h2.empty() || proof.c.empty() || proof.r.empty()) return false;
-  Element a1 = g1.pow(proof.r) * h1.pow(proof.c).inverse();
-  Element a2 = g2.pow(proof.r) * h2.pow(proof.c).inverse();
+  // The first base is the group generator in every proof this repo checks;
+  // route it through the fixed-base comb table.
+  const Group& grp = g1.group();
+  Element b1 = g1.value() == grp.g() ? Element::exp_g(proof.r) : g1.pow(proof.r);
+  Element b2 = g2.value() == grp.g() ? Element::exp_g(proof.r) : g2.pow(proof.r);
+  Element a1 = b1 * h1.pow(proof.c).inverse();
+  Element a2 = b2 * h2.pow(proof.c).inverse();
   return challenge(g1, h1, g2, h2, a1, a2) == proof.c;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "crypto/multiexp.hpp"
+
 namespace dkg::crypto {
 
 const Group& Element::group() const {
@@ -22,11 +24,13 @@ Element Element::pedersen_h(const Group& grp) { return Element(grp, grp.h()); }
 
 Element Element::exp_g(const Scalar& x) {
   const Group& grp = x.group();
+  if (const FixedBaseTable* t = FixedBaseTable::for_g(grp)) return t->pow(x);
   return Element(grp, powm(grp.g(), x.value(), grp.p()));
 }
 
 Element Element::exp_h(const Scalar& x) {
   const Group& grp = x.group();
+  if (const FixedBaseTable* t = FixedBaseTable::for_h(grp)) return t->pow(x);
   return Element(grp, powm(grp.h(), x.value(), grp.p()));
 }
 

@@ -3,6 +3,8 @@
 // Scalar.
 #pragma once
 
+#include <vector>
+
 #include "common/bytes.hpp"
 #include "crypto/scalar.hpp"
 
@@ -47,6 +49,14 @@ class Element {
  private:
   Element(const Group& grp, mpz_class v) : grp_(&grp), v_(std::move(v)) {}
   void check_same(const Element& o) const;
+
+  // The multi-exponentiation engine (crypto/multiexp.hpp) constructs
+  // Elements from raw residues it has computed itself.
+  friend class FixedBaseTable;
+  friend Element multiexp(const Group& grp, const std::vector<const Element*>& bases,
+                          const std::vector<Scalar>& exps);
+  friend Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
+                                std::uint64_t i);
 
   const Group* grp_ = nullptr;
   mpz_class v_;

@@ -1,6 +1,7 @@
 #include "crypto/feldman.hpp"
 
 #include "common/serialize.hpp"
+#include "crypto/multiexp.hpp"
 #include "crypto/sha256.hpp"
 
 namespace dkg::crypto {
@@ -59,11 +60,10 @@ const Element& FeldmanMatrix::entry(std::size_t j, std::size_t l) const {
 bool FeldmanMatrix::verify_poly(std::uint64_t i, const Polynomial& a) const {
   if (a.degree() != t_) return false;
   const Group& grp = group();
-  std::vector<Scalar> ipow = index_powers(grp, i, t_);
+  std::vector<const Element*> col(t_ + 1);
   for (std::size_t l = 0; l <= t_; ++l) {
-    Element rhs = Element::identity(grp);
-    for (std::size_t j = 0; j <= t_; ++j) rhs *= entry(j, l).pow(ipow[j]);
-    if (Element::exp_g(a.coeff(l)) != rhs) return false;
+    for (std::size_t j = 0; j <= t_; ++j) col[j] = &entry(j, l);
+    if (Element::exp_g(a.coeff(l)) != multiexp_index(grp, col, i)) return false;
   }
   return true;
 }
@@ -71,27 +71,42 @@ bool FeldmanMatrix::verify_poly(std::uint64_t i, const Polynomial& a) const {
 bool FeldmanMatrix::verify_poly_col(std::uint64_t i, const Polynomial& b) const {
   if (b.degree() != t_) return false;
   const Group& grp = group();
-  std::vector<Scalar> ipow = index_powers(grp, i, t_);
+  std::vector<const Element*> row(t_ + 1);
   for (std::size_t j = 0; j <= t_; ++j) {
-    Element rhs = Element::identity(grp);
-    for (std::size_t l = 0; l <= t_; ++l) rhs *= entry(j, l).pow(ipow[l]);
-    if (Element::exp_g(b.coeff(j)) != rhs) return false;
+    for (std::size_t l = 0; l <= t_; ++l) row[l] = &entry(j, l);
+    if (Element::exp_g(b.coeff(j)) != multiexp_index(grp, row, i)) return false;
   }
   return true;
 }
 
-Element FeldmanMatrix::eval_commit(std::uint64_t m, std::uint64_t i) const {
+FeldmanVector FeldmanMatrix::row_commitment(std::uint64_t i) const {
   const Group& grp = group();
-  std::vector<Scalar> mpow = index_powers(grp, m, t_);
-  std::vector<Scalar> ipow = index_powers(grp, i, t_);
-  // prod_l (prod_j C_{jl}^{m^j})^{i^l}, inner products hoisted.
-  Element acc = Element::identity(grp);
-  for (std::size_t l = 0; l <= t_; ++l) {
-    Element inner = Element::identity(grp);
-    for (std::size_t j = 0; j <= t_; ++j) inner *= entry(j, l).pow(mpow[j]);
-    acc *= inner.pow(ipow[l]);
+  std::vector<Element> v;
+  v.reserve(t_ + 1);
+  std::vector<const Element*> row(t_ + 1);
+  for (std::size_t j = 0; j <= t_; ++j) {
+    for (std::size_t l = 0; l <= t_; ++l) row[l] = &entry(j, l);
+    v.push_back(multiexp_index(grp, row, i));
   }
-  return acc;
+  return FeldmanVector(std::move(v));
+}
+
+FeldmanVector FeldmanMatrix::col_commitment(std::uint64_t m) const {
+  const Group& grp = group();
+  std::vector<Element> v;
+  v.reserve(t_ + 1);
+  std::vector<const Element*> col(t_ + 1);
+  for (std::size_t l = 0; l <= t_; ++l) {
+    for (std::size_t j = 0; j <= t_; ++j) col[j] = &entry(j, l);
+    v.push_back(multiexp_index(grp, col, m));
+  }
+  return FeldmanVector(std::move(v));
+}
+
+Element FeldmanMatrix::eval_commit(std::uint64_t m, std::uint64_t i) const {
+  // prod_l (prod_j C_{jl}^{m^j})^{i^l} — the column projection evaluated at
+  // i; both levels are index-power multi-exponentiations.
+  return col_commitment(m).eval_commit(i);
 }
 
 bool FeldmanMatrix::verify_point(std::uint64_t i, std::uint64_t m, const Scalar& alpha) const {
@@ -146,6 +161,11 @@ std::optional<FeldmanMatrix> FeldmanMatrix::from_bytes(const Group& grp, const B
   }
 }
 
+std::optional<FeldmanMatrix> FeldmanMatrix::from_bytes_checked(const Group& grp, const Bytes& b,
+                                                               std::size_t expect_t) {
+  return from_bytes(grp, b, expect_t, /*check_subgroup=*/true);
+}
+
 FeldmanVector::FeldmanVector(std::vector<Element> entries) : entries_(std::move(entries)) {
   if (entries_.empty()) throw std::invalid_argument("FeldmanVector: empty");
 }
@@ -158,15 +178,27 @@ FeldmanVector FeldmanVector::commit(const Polynomial& a) {
 }
 
 Element FeldmanVector::eval_commit(std::uint64_t i) const {
-  const Group& grp = group();
-  std::vector<Scalar> ipow = index_powers(grp, i, degree());
-  Element acc = Element::identity(grp);
-  for (std::size_t l = 0; l < entries_.size(); ++l) acc *= entries_[l].pow(ipow[l]);
-  return acc;
+  return multiexp_index(group(), entries_, i);
 }
 
 bool FeldmanVector::verify_share(std::uint64_t i, const Scalar& share) const {
   return Element::exp_g(share) == eval_commit(i);
+}
+
+bool FeldmanVector::verify_share_batch(
+    const std::vector<std::pair<std::uint64_t, Scalar>>& shares, Drbg& rng) const {
+  if (shares.empty()) return true;
+  const Group& grp = group();
+  // With random r_i:  g^{sum_i r_i s_i} == prod_l V_l^{sum_i r_i i^l}.
+  std::vector<Scalar> exps(entries_.size(), Scalar::zero(grp));
+  Scalar lhs = Scalar::zero(grp);
+  for (const auto& [i, s] : shares) {
+    Scalar r = Scalar::random(grp, rng);
+    std::vector<Scalar> ipow = index_powers(grp, i, degree());
+    for (std::size_t l = 0; l < entries_.size(); ++l) exps[l] += r * ipow[l];
+    lhs += r * s;
+  }
+  return Element::exp_g(lhs) == multiexp(grp, entries_, exps);
 }
 
 Bytes FeldmanVector::to_bytes() const {
@@ -179,7 +211,8 @@ Bytes FeldmanVector::to_bytes() const {
 Bytes FeldmanVector::digest() const { return sha256(to_bytes()); }
 
 std::optional<FeldmanVector> FeldmanVector::from_bytes(const Group& grp, const Bytes& b,
-                                                       std::size_t expect_t) {
+                                                       std::size_t expect_t,
+                                                       bool check_subgroup) {
   try {
     Reader r(b);
     std::uint32_t t = r.u32();
@@ -191,6 +224,7 @@ std::optional<FeldmanVector> FeldmanVector::from_bytes(const Group& grp, const B
       for (auto& byte : eb) byte = r.u8();
       Element e = Element::from_bytes(grp, eb);
       if (e.empty()) return std::nullopt;
+      if (check_subgroup && !e.in_subgroup()) return std::nullopt;
       entries.push_back(std::move(e));
     }
     if (!r.done()) return std::nullopt;
@@ -198,6 +232,44 @@ std::optional<FeldmanVector> FeldmanVector::from_bytes(const Group& grp, const B
   } catch (const std::out_of_range&) {
     return std::nullopt;
   }
+}
+
+std::optional<FeldmanVector> FeldmanVector::from_bytes_checked(const Group& grp, const Bytes& b,
+                                                               std::size_t expect_t) {
+  return from_bytes(grp, b, expect_t, /*check_subgroup=*/true);
+}
+
+bool verify_poly_batch(const std::vector<RowCheck>& checks, Drbg& rng) {
+  if (checks.empty()) return true;
+  // Deterministic pre-checks mirror verify_poly exactly (and run before any
+  // dereference — a null commitment in ANY slot, including the first, is a
+  // plain reject).
+  for (const RowCheck& c : checks) {
+    if (c.commitment == nullptr || c.row == nullptr) return false;
+    if (c.row->degree() != c.commitment->degree()) return false;
+  }
+  const Group& grp = checks.front().commitment->group();
+  for (const RowCheck& c : checks) {
+    if (!(c.commitment->group() == grp)) return false;
+  }
+  // One flattened multi-exp over every matrix entry: coefficient r_{d,l}
+  // folds column l of dealing d, scaled by the index powers i_d^j.
+  std::vector<const Element*> bases;
+  std::vector<Scalar> exps;
+  Scalar lhs = Scalar::zero(grp);
+  for (const RowCheck& c : checks) {
+    std::size_t t = c.commitment->degree();
+    std::vector<Scalar> ipow = index_powers(grp, c.index, t);
+    for (std::size_t l = 0; l <= t; ++l) {
+      Scalar r = Scalar::random(grp, rng);
+      lhs += r * c.row->coeff(l);
+      for (std::size_t j = 0; j <= t; ++j) {
+        bases.push_back(&c.commitment->entry(j, l));
+        exps.push_back(r * ipow[j]);
+      }
+    }
+  }
+  return Element::exp_g(lhs) == multiexp(grp, bases, exps);
 }
 
 }  // namespace dkg::crypto

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "crypto/bipolynomial.hpp"
@@ -45,6 +46,19 @@ class FeldmanMatrix {
   /// Commitment to the evaluation f(m, i) = prod_{jl} C_{jl}^{m^j i^l}.
   Element eval_commit(std::uint64_t m, std::uint64_t i) const;
 
+  /// Projection onto the row polynomial a_i(x) = f(x, i): entry j is
+  /// prod_l C_{jl}^{i^l}, so verify-point(i, m, alpha) for FIXED i is
+  /// row_commitment(i).verify_share(m, alpha) — (t+1) exponentiations per
+  /// point instead of (t+1)^2. A receiver checks n points against the same
+  /// (C, i), so the VSS layers cache this projection per commitment
+  /// (identical results: the projected entries ARE the hoisted inner
+  /// products of eval_commit).
+  FeldmanVector row_commitment(std::uint64_t i) const;
+  /// Projection onto the column polynomial b_m(y) = f(m, y): entry l is
+  /// prod_j C_{jl}^{m^j}. The fixed-m mirror of row_commitment (the two
+  /// coincide for the symmetric matrices of HybridVSS, not for AVSS).
+  FeldmanVector col_commitment(std::uint64_t m) const;
+
   /// g^s where s = f(0,0) — the public key fragment this dealing carries.
   const Element& c00() const { return entry(0, 0); }
 
@@ -64,6 +78,12 @@ class FeldmanMatrix {
   static std::optional<FeldmanMatrix> from_bytes(const Group& grp, const Bytes& b,
                                                  std::size_t expect_t,
                                                  bool check_subgroup = false);
+  /// The deserialization path for adversarial input (VSS/DKG message
+  /// handlers): additionally rejects matrices with entries outside the
+  /// order-q subgroup, which plain from_bytes skips per the
+  /// Element::from_bytes caveat.
+  static std::optional<FeldmanMatrix> from_bytes_checked(const Group& grp, const Bytes& b,
+                                                         std::size_t expect_t);
 
   bool operator==(const FeldmanMatrix& o) const { return t_ == o.t_ && entries_ == o.entries_; }
 
@@ -92,15 +112,44 @@ class FeldmanVector {
   /// g^{a(0)} — the group public key under this commitment.
   const Element& c0() const { return entries_.front(); }
 
+  /// Batch variant of verify_share: folds every (i, share) check into one
+  /// multi-exponentiation via a random linear combination with
+  /// `rng`-derived coefficients. True iff all shares verify (a false result
+  /// is certain; a true result is wrong with probability <= 1/q — fall back
+  /// to per-share verify_share to identify the offender).
+  bool verify_share_batch(const std::vector<std::pair<std::uint64_t, Scalar>>& shares,
+                          Drbg& rng) const;
+
   Bytes to_bytes() const;
   Bytes digest() const;
   static std::optional<FeldmanVector> from_bytes(const Group& grp, const Bytes& b,
-                                                 std::size_t expect_t);
+                                                 std::size_t expect_t,
+                                                 bool check_subgroup = false);
+  /// See FeldmanMatrix::from_bytes_checked.
+  static std::optional<FeldmanVector> from_bytes_checked(const Group& grp, const Bytes& b,
+                                                         std::size_t expect_t);
 
   bool operator==(const FeldmanVector& o) const { return entries_ == o.entries_; }
 
  private:
   std::vector<Element> entries_;
 };
+
+/// One row-polynomial check for verify_poly_batch: does `row` match
+/// commitment's row `index` (the paper's verify-poly predicate)?
+struct RowCheck {
+  const FeldmanMatrix* commitment = nullptr;
+  std::uint64_t index = 0;
+  const Polynomial* row = nullptr;
+};
+
+/// Folds k verify-poly checks into ONE multi-exponentiation via a random
+/// linear combination with `rng`-derived coefficients: with r_{d,l} random,
+///   g^{sum_{d,l} r_{d,l} a_d[l]} == prod_{d,j,l} C_d[j,l]^{r_{d,l} i_d^j}.
+/// True iff every dealing verifies (whp); on false, at least one check is
+/// certainly bad — rerun per-dealing verify_poly to identify which.
+/// Degenerate inputs (empty set) are vacuously true; degree mismatches fail
+/// deterministically, exactly as verify_poly would.
+bool verify_poly_batch(const std::vector<RowCheck>& checks, Drbg& rng);
 
 }  // namespace dkg::crypto

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "crypto/multiexp.hpp"
+
 namespace dkg::crypto {
 
 Scalar lagrange_coeff(const Group& grp, const std::vector<std::uint64_t>& xs, std::size_t k,
@@ -34,6 +36,28 @@ Scalar interpolate_at(const Group& grp, const std::vector<std::pair<std::uint64_
     acc += lagrange_coeff(grp, xs, k, at) * pts[k].second;
   }
   return acc;
+}
+
+Element exp_interpolate_at(const Group& grp,
+                           const std::vector<std::pair<std::uint64_t, Element>>& pts,
+                           std::uint64_t at) {
+  std::vector<std::uint64_t> xs;
+  xs.reserve(pts.size());
+  for (const auto& [x, y] : pts) xs.push_back(x);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = i + 1; j < xs.size(); ++j) {
+      if (xs[i] == xs[j]) throw std::invalid_argument("exp_interpolate_at: duplicate abscissa");
+    }
+  }
+  std::vector<const Element*> bases;
+  std::vector<Scalar> lambdas;
+  bases.reserve(pts.size());
+  lambdas.reserve(pts.size());
+  for (std::size_t k = 0; k < pts.size(); ++k) {
+    bases.push_back(&pts[k].second);
+    lambdas.push_back(lagrange_coeff(grp, xs, k, at));
+  }
+  return multiexp(grp, bases, lambdas);
 }
 
 Polynomial interpolate(const Group& grp,

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "crypto/element.hpp"
 #include "crypto/polynomial.hpp"
 
 namespace dkg::crypto {
@@ -23,5 +24,13 @@ Scalar interpolate_at(const Group& grp, const std::vector<std::pair<std::uint64_
 
 /// Full interpolating polynomial (coefficient form) through `pts`.
 Polynomial interpolate(const Group& grp, const std::vector<std::pair<std::uint64_t, Scalar>>& pts);
+
+/// Lagrange interpolation in the exponent: given points (i, g^{f(i)}),
+/// returns g^{f(at)} = prod_k y_k^{lambda_k}. One Straus multi-exp instead
+/// of pts.size() independent exponentiations — the share-combination step of
+/// threshold decryption/signing, the beacon, and share renewal/node addition.
+Element exp_interpolate_at(const Group& grp,
+                           const std::vector<std::pair<std::uint64_t, Element>>& pts,
+                           std::uint64_t at);
 
 }  // namespace dkg::crypto

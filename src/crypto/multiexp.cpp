@@ -1,0 +1,255 @@
+#include "crypto/multiexp.hpp"
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace dkg::crypto {
+
+namespace {
+
+/// w-bit digit of |e| at digit position `pos` (little-endian digit order).
+unsigned digit_at(const mpz_class& e, std::size_t pos, unsigned w) {
+  unsigned d = 0;
+  for (unsigned b = 0; b < w; ++b) {
+    if (mpz_tstbit(e.get_mpz_t(), pos * w + b) != 0) d |= 1u << b;
+  }
+  return d;
+}
+
+/// Hot-loop modular multiply-accumulate: acc = acc * m mod p, through one
+/// preallocated temporary (mpz_class operator chains would reallocate).
+struct ModMul {
+  explicit ModMul(const mpz_class& p) : p_(p) {}
+  void mul(mpz_class& acc, const mpz_class& m) {
+    mpz_mul(tmp_.get_mpz_t(), acc.get_mpz_t(), m.get_mpz_t());
+    mpz_mod(acc.get_mpz_t(), tmp_.get_mpz_t(), p_.get_mpz_t());
+  }
+  void sqr(mpz_class& acc) {
+    mpz_mul(tmp_.get_mpz_t(), acc.get_mpz_t(), acc.get_mpz_t());
+    mpz_mod(acc.get_mpz_t(), tmp_.get_mpz_t(), p_.get_mpz_t());
+  }
+
+ private:
+  const mpz_class& p_;
+  mpz_class tmp_;
+};
+
+void check_operands(const Group& grp, const std::vector<const Element*>& bases,
+                    const std::vector<Scalar>* exps) {
+  if (exps != nullptr && bases.size() != exps->size()) {
+    throw std::invalid_argument("multiexp: bases/exps size mismatch");
+  }
+  for (std::size_t k = 0; k < bases.size(); ++k) {
+    if (bases[k] == nullptr || bases[k]->empty() || (exps != nullptr && (*exps)[k].empty())) {
+      throw std::logic_error("multiexp: empty operand");
+    }
+    if (!(bases[k]->group() == grp) || (exps != nullptr && !((*exps)[k].group() == grp))) {
+      throw std::logic_error("multiexp: mixed groups");
+    }
+  }
+}
+
+}  // namespace
+
+unsigned multiexp_window(std::size_t bits) {
+  // Per base, a 2^w-ary pass costs (2^w - 2) precomputation multiplications
+  // plus ceil(bits/w) digit multiplications; the squaring chain is shared
+  // across bases and fixed at `bits`, so minimize the per-base term.
+  unsigned best = 1;
+  std::size_t best_cost = static_cast<std::size_t>(-1);
+  for (unsigned w = 1; w <= 8; ++w) {
+    std::size_t cost = ((std::size_t{1} << w) - 2) + (bits + w - 1) / w;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = w;
+    }
+  }
+  return best;
+}
+
+Element multiexp(const Group& grp, const std::vector<const Element*>& bases,
+                 const std::vector<Scalar>& exps) {
+  check_operands(grp, bases, &exps);
+  const mpz_class& p = grp.p();
+  std::size_t bits = 0;
+  for (const Scalar& e : exps) {
+    if (e.value() != 0) {
+      std::size_t b = mpz_sizeinbase(e.value().get_mpz_t(), 2);
+      if (b > bits) bits = b;
+    }
+  }
+  if (bits == 0) return Element::identity(grp);  // no terms, or all exponents zero
+  if (bases.size() == 1) {
+    // Straus degenerates to plain windowed exponentiation; GMP's powm
+    // (Montgomery + sliding window) is strictly better there.
+    return Element(grp, powm(bases[0]->value(), exps[0].value(), p));
+  }
+
+  const unsigned w = multiexp_window(bits);
+  const std::size_t tlen = std::size_t{1} << w;
+  ModMul mm(p);
+  // Per-base tables: tab[k * tlen + j] = bases[k]^j, j in [0, 2^w).
+  std::vector<mpz_class> tab(bases.size() * tlen);
+  for (std::size_t k = 0; k < bases.size(); ++k) {
+    mpz_class* row = &tab[k * tlen];
+    row[0] = 1;
+    row[1] = bases[k]->value();
+    for (std::size_t j = 2; j < tlen; ++j) {
+      row[j] = row[j - 1];
+      mm.mul(row[j], row[1]);
+    }
+  }
+
+  const std::size_t digits = (bits + w - 1) / w;
+  mpz_class acc{1};
+  for (std::size_t pos = digits; pos-- > 0;) {
+    if (acc != 1) {
+      for (unsigned s = 0; s < w; ++s) mm.sqr(acc);
+    }
+    for (std::size_t k = 0; k < bases.size(); ++k) {
+      unsigned d = digit_at(exps[k].value(), pos, w);
+      if (d != 0) mm.mul(acc, tab[k * tlen + d]);
+    }
+  }
+  return Element(grp, std::move(acc));
+}
+
+Element multiexp(const Group& grp, const std::vector<Element>& bases,
+                 const std::vector<Scalar>& exps) {
+  std::vector<const Element*> ptrs;
+  ptrs.reserve(bases.size());
+  for (const Element& b : bases) ptrs.push_back(&b);
+  return multiexp(grp, ptrs, exps);
+}
+
+Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
+                       std::uint64_t i) {
+  check_operands(grp, bases, nullptr);
+  if (bases.empty()) return Element::identity(grp);
+  if (i == 0) return *bases[0];  // ipow = 1, 0, 0, ... (0^0 = 1 convention)
+  const mpz_class& p = grp.p();
+  ModMul mm(p);
+  if (i == 1) {
+    mpz_class acc = bases[0]->value();
+    for (std::size_t k = 1; k < bases.size(); ++k) mm.mul(acc, bases[k]->value());
+    return Element(grp, std::move(acc));
+  }
+  const std::size_t t = bases.size() - 1;
+  unsigned ibits = 0;
+  for (std::uint64_t v = i; v != 0; v >>= 1) ++ibits;
+  std::size_t qbits = mpz_sizeinbase(grp.q().get_mpz_t(), 2);
+  if (t * ibits <= qbits - 1) {
+    // i^t < 2^(qbits-1) <= q: the integer exponents i^j equal their mod-q
+    // reductions, so Horner in the exponent is bit-identical to the naive
+    // reduced-power product for ALL inputs.
+    mpz_class acc = bases[t]->value();
+    mpz_class save;
+    for (std::size_t j = t; j-- > 0;) {
+      // acc = acc^i, left-to-right square-and-multiply on the u64 index.
+      save = acc;
+      for (unsigned b = ibits - 1; b-- > 0;) {
+        mm.sqr(acc);
+        if ((i >> b) & 1u) mm.mul(acc, save);
+      }
+      mm.mul(acc, bases[j]->value());
+    }
+    return Element(grp, std::move(acc));
+  }
+  // Large index or tiny q: reduced powers + Straus.
+  std::vector<Scalar> ipow;
+  ipow.reserve(bases.size());
+  Scalar x = Scalar::from_u64(grp, i);
+  Scalar acc = Scalar::one(grp);
+  for (std::size_t j = 0; j < bases.size(); ++j) {
+    ipow.push_back(acc);
+    acc = acc * x;
+  }
+  return multiexp(grp, bases, ipow);
+}
+
+Element multiexp_index(const Group& grp, const std::vector<Element>& bases, std::uint64_t i) {
+  std::vector<const Element*> ptrs;
+  ptrs.reserve(bases.size());
+  for (const Element& b : bases) ptrs.push_back(&b);
+  return multiexp_index(grp, ptrs, i);
+}
+
+// --- FixedBaseTable --------------------------------------------------------
+
+FixedBaseTable::FixedBaseTable(const Group& grp, const mpz_class& base)
+    : grp_(grp), base_(base) {
+  const mpz_class& p = grp_.p();
+  ModMul mm(p);
+  // Exponents are Scalars in [0, q); one extra row absorbs the top digit
+  // when |q| is not a multiple of w.
+  std::size_t qbits = mpz_sizeinbase(grp_.q().get_mpz_t(), 2);
+  rows_ = (qbits + w_ - 1) / w_;
+  const std::size_t row_len = (std::size_t{1} << w_) - 1;  // j in [1, 2^w)
+  table_.resize(rows_ * row_len);
+  mpz_class row_base = base;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    mpz_class* row = &table_[i * row_len];
+    row[0] = row_base;  // B^(1 * 2^(i*w))
+    for (std::size_t j = 1; j < row_len; ++j) {
+      row[j] = row[j - 1];
+      mm.mul(row[j], row_base);
+    }
+    if (i + 1 < rows_) {
+      for (unsigned s = 0; s < w_; ++s) mm.sqr(row_base);
+    }
+  }
+}
+
+Element FixedBaseTable::pow(const Scalar& e) const {
+  ModMul mm(grp_.p());
+  const std::size_t row_len = (std::size_t{1} << w_) - 1;
+  mpz_class acc{1};
+  for (std::size_t i = 0; i < rows_; ++i) {
+    unsigned d = digit_at(e.value(), i, w_);
+    if (d != 0) mm.mul(acc, table_[i * row_len + (d - 1)]);
+  }
+  return Element(grp_, std::move(acc));
+}
+
+std::size_t FixedBaseTable::memory_bytes() const {
+  return table_.size() * grp_.p_bytes();
+}
+
+const FixedBaseTable* FixedBaseTable::lookup(const Group& grp, const mpz_class& base) {
+  // Keyed by (group, base) VALUE, not address: the four canonical groups are
+  // function-local statics but callers may also pass their own Group
+  // instances, whose lifetime we must not depend on. unique_ptr entries keep
+  // returned references stable across cache growth.
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<FixedBaseTable>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  for (const auto& t : cache) {
+    if (t->grp_ == grp && t->base_ == base) return t.get();
+  }
+  if (cache.size() >= kMaxCachedTables) return nullptr;
+  cache.push_back(std::unique_ptr<FixedBaseTable>(new FixedBaseTable(grp, base)));
+  return cache.back().get();
+}
+
+// exp_g/exp_h are the hottest operations in the repo and SweepDriver workers
+// issue them concurrently, so the mutex-guarded cache scan must not sit on
+// the steady-state path: each thread memoizes its last hit per base kind and
+// revalidates with a few mpz compares (matches()) — correct even if a caller's
+// Group object was destroyed and a different group reallocated at the same
+// address, because the memo is validated by VALUE, never by address.
+const FixedBaseTable* FixedBaseTable::for_g(const Group& grp) {
+  thread_local const FixedBaseTable* memo = nullptr;
+  if (memo != nullptr && memo->matches(grp, grp.g())) return memo;
+  memo = lookup(grp, grp.g());
+  return memo;
+}
+
+const FixedBaseTable* FixedBaseTable::for_h(const Group& grp) {
+  thread_local const FixedBaseTable* memo = nullptr;
+  if (memo != nullptr && memo->matches(grp, grp.h())) return memo;
+  memo = lookup(grp, grp.h());
+  return memo;
+}
+
+}  // namespace dkg::crypto

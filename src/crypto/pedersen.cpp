@@ -1,23 +1,10 @@
 #include "crypto/pedersen.hpp"
 
 #include "common/serialize.hpp"
+#include "crypto/multiexp.hpp"
 #include "crypto/sha256.hpp"
 
 namespace dkg::crypto {
-
-namespace {
-std::vector<Scalar> index_powers(const Group& grp, std::uint64_t i, std::size_t t) {
-  std::vector<Scalar> out;
-  out.reserve(t + 1);
-  Scalar x = Scalar::from_u64(grp, i);
-  Scalar acc = Scalar::one(grp);
-  for (std::size_t j = 0; j <= t; ++j) {
-    out.push_back(acc);
-    acc = acc * x;
-  }
-  return out;
-}
-}  // namespace
 
 PedersenMatrix PedersenMatrix::commit(const PedersenDealing& d) {
   std::size_t t = d.f.degree();
@@ -40,12 +27,11 @@ bool PedersenMatrix::verify_poly(std::uint64_t i, const Polynomial& a,
                                  const Polynomial& a_prime) const {
   if (a.degree() != t_ || a_prime.degree() != t_) return false;
   const Group& grp = group();
-  std::vector<Scalar> ipow = index_powers(grp, i, t_);
+  std::vector<const Element*> col(t_ + 1);
   for (std::size_t l = 0; l <= t_; ++l) {
-    Element rhs = Element::identity(grp);
-    for (std::size_t j = 0; j <= t_; ++j) rhs *= entry(j, l).pow(ipow[j]);
+    for (std::size_t j = 0; j <= t_; ++j) col[j] = &entry(j, l);
     Element lhs = Element::exp_g(a.coeff(l)) * Element::exp_h(a_prime.coeff(l));
-    if (lhs != rhs) return false;
+    if (lhs != multiexp_index(grp, col, i)) return false;
   }
   return true;
 }
@@ -53,15 +39,14 @@ bool PedersenMatrix::verify_poly(std::uint64_t i, const Polynomial& a,
 bool PedersenMatrix::verify_point(std::uint64_t i, std::uint64_t m, const Scalar& alpha,
                                   const Scalar& alpha_prime) const {
   const Group& grp = group();
-  std::vector<Scalar> mpow = index_powers(grp, m, t_);
-  std::vector<Scalar> ipow = index_powers(grp, i, t_);
-  Element acc = Element::identity(grp);
+  std::vector<Element> inner;
+  inner.reserve(t_ + 1);
+  std::vector<const Element*> col(t_ + 1);
   for (std::size_t l = 0; l <= t_; ++l) {
-    Element inner = Element::identity(grp);
-    for (std::size_t j = 0; j <= t_; ++j) inner *= entry(j, l).pow(mpow[j]);
-    acc *= inner.pow(ipow[l]);
+    for (std::size_t j = 0; j <= t_; ++j) col[j] = &entry(j, l);
+    inner.push_back(multiexp_index(grp, col, m));
   }
-  return Element::exp_g(alpha) * Element::exp_h(alpha_prime) == acc;
+  return Element::exp_g(alpha) * Element::exp_h(alpha_prime) == multiexp_index(grp, inner, i);
 }
 
 Bytes PedersenMatrix::to_bytes() const {
@@ -74,7 +59,8 @@ Bytes PedersenMatrix::to_bytes() const {
 Bytes PedersenMatrix::digest() const { return sha256(to_bytes()); }
 
 std::optional<PedersenMatrix> PedersenMatrix::from_bytes(const Group& grp, const Bytes& b,
-                                                         std::size_t expect_t) {
+                                                         std::size_t expect_t,
+                                                         bool check_subgroup) {
   try {
     Reader r(b);
     std::uint32_t t = r.u32();
@@ -86,6 +72,7 @@ std::optional<PedersenMatrix> PedersenMatrix::from_bytes(const Group& grp, const
       for (auto& byte : eb) byte = r.u8();
       Element e = Element::from_bytes(grp, eb);
       if (e.empty()) return std::nullopt;
+      if (check_subgroup && !e.in_subgroup()) return std::nullopt;
       entries.push_back(std::move(e));
     }
     if (!r.done()) return std::nullopt;
@@ -93,6 +80,11 @@ std::optional<PedersenMatrix> PedersenMatrix::from_bytes(const Group& grp, const
   } catch (const std::out_of_range&) {
     return std::nullopt;
   }
+}
+
+std::optional<PedersenMatrix> PedersenMatrix::from_bytes_checked(const Group& grp, const Bytes& b,
+                                                                 std::size_t expect_t) {
+  return from_bytes(grp, b, expect_t, /*check_subgroup=*/true);
 }
 
 }  // namespace dkg::crypto

@@ -36,7 +36,12 @@ class PedersenMatrix {
   Bytes to_bytes() const;
   Bytes digest() const;
   static std::optional<PedersenMatrix> from_bytes(const Group& grp, const Bytes& b,
-                                                  std::size_t expect_t);
+                                                  std::size_t expect_t,
+                                                  bool check_subgroup = false);
+  /// Deserialization path for adversarial input: additionally rejects
+  /// entries outside the order-q subgroup (see FeldmanMatrix).
+  static std::optional<PedersenMatrix> from_bytes_checked(const Group& grp, const Bytes& b,
+                                                          std::size_t expect_t);
 
   bool operator==(const PedersenMatrix& o) const { return t_ == o.t_ && entries_ == o.entries_; }
 

@@ -10,8 +10,11 @@
 //    local statics — C++11 magic-static init is thread-safe and the objects
 //    are const afterwards;
 //  * every Drbg, Keyring, Simulator and Metrics instance is constructed
-//    per-scenario from the spec; nothing in src/sim or src/crypto keeps
-//    global mutable state (GMP mpz values are per-object).
+//    per-scenario from the spec; nothing in src/sim keeps global mutable
+//    state (GMP mpz values are per-object);
+//  * the one global cache in src/crypto — crypto::FixedBaseTable's
+//    per-(group, base) comb tables — is built behind a mutex and immutable
+//    afterwards (raced by ctest -R Multiexp under the tsan preset).
 #pragma once
 
 #include <vector>

@@ -1,6 +1,7 @@
 #include "groupmod/node_add.hpp"
 
 #include "crypto/lagrange.hpp"
+#include "crypto/multiexp.hpp"
 
 namespace dkg::groupmod {
 
@@ -43,14 +44,21 @@ core::DkgOutput NodeAddNode::combine(sim::Context& ctx, const core::NodeSet& q) 
   const crypto::Group& grp = *params_.vss.grp;
   std::vector<std::uint64_t> xs(q.begin(), q.end());
   Scalar subshare = Scalar::zero(grp);
-  std::vector<Element> vec(params_.t() + 1, Element::identity(grp));
+  std::vector<Scalar> lambdas;
+  lambdas.reserve(q.size());
   for (std::size_t k = 0; k < q.size(); ++k) {
-    Scalar lambda = crypto::lagrange_coeff(grp, xs, k, new_node_);
-    const vss::SharedOutput& out = vss_output(q[k]);
-    subshare += lambda * out.share;
-    for (std::size_t l = 0; l <= params_.t(); ++l) {
-      vec[l] *= out.commitment->entry(l, 0).pow(lambda);
+    lambdas.push_back(crypto::lagrange_coeff(grp, xs, k, new_node_));
+    subshare += lambdas.back() * vss_output(q[k]).share;
+  }
+  // h-commitment coefficients: one multi-exp per l (see renewal.cpp).
+  std::vector<Element> vec;
+  vec.reserve(params_.t() + 1);
+  std::vector<const Element*> bases(q.size());
+  for (std::size_t l = 0; l <= params_.t(); ++l) {
+    for (std::size_t k = 0; k < q.size(); ++k) {
+      bases[k] = &vss_output(q[k]).commitment->entry(l, 0);
     }
+    vec.push_back(crypto::multiexp(grp, bases, lambdas));
   }
   // Ship the subshare to the joining node. Existing members keep their old
   // share: node addition does not renew (§6.2).

@@ -1,6 +1,7 @@
 #include "proactive/renewal.hpp"
 
 #include "crypto/lagrange.hpp"
+#include "crypto/multiexp.hpp"
 
 namespace dkg::proactive {
 
@@ -67,14 +68,21 @@ core::DkgOutput RenewalNode::combine(sim::Context&, const core::NodeSet& q) {
   const crypto::Group& grp = *params_.vss.grp;
   std::vector<std::uint64_t> xs(q.begin(), q.end());
   Scalar share = Scalar::zero(grp);
-  std::vector<Element> vec(params_.t() + 1, Element::identity(grp));
+  std::vector<Scalar> lambdas;
+  lambdas.reserve(q.size());
   for (std::size_t k = 0; k < q.size(); ++k) {
-    Scalar lambda = crypto::lagrange_coeff(grp, xs, k, 0);
-    const vss::SharedOutput& out = vss_output(q[k]);
-    share += lambda * out.share;
-    for (std::size_t l = 0; l <= params_.t(); ++l) {
-      vec[l] *= out.commitment->entry(l, 0).pow(lambda);
+    lambdas.push_back(crypto::lagrange_coeff(grp, xs, k, 0));
+    share += lambdas.back() * vss_output(q[k]).share;
+  }
+  // V_new[l] = prod_k C_k[l,0]^{lambda_k}: one multi-exp per coefficient.
+  std::vector<Element> vec;
+  vec.reserve(params_.t() + 1);
+  std::vector<const Element*> bases(q.size());
+  for (std::size_t l = 0; l <= params_.t(); ++l) {
+    for (std::size_t k = 0; k < q.size(); ++k) {
+      bases[k] = &vss_output(q[k]).commitment->entry(l, 0);
     }
+    vec.push_back(crypto::multiexp(grp, bases, lambdas));
   }
   core::DkgOutput out;
   out.share = std::move(share);

@@ -139,11 +139,33 @@ Scalar ProactiveRunner::reconstruct() const {
 }
 
 bool ProactiveRunner::shares_consistent() const {
+  // Every active node holds the SAME commitment vector after a phase, so
+  // the n checks fold into one randomized batch against states_[1]'s copy
+  // (the vectors are compared entrywise first to keep the old semantics).
+  std::vector<std::pair<std::uint64_t, Scalar>> shares;
+  const crypto::FeldmanVector* vec = nullptr;
   for (sim::NodeId i = 1; i <= cfg_.n; ++i) {
     if (removed_.count(i) != 0) continue;
-    if (!states_[i].commitment.verify_share(i, states_[i].share)) return false;
+    if (vec == nullptr) {
+      vec = &states_[i].commitment;
+    } else if (!(states_[i].commitment == *vec)) {
+      // Diverging commitments: fall back to the per-node check, which is
+      // what the old loop effectively did.
+      for (sim::NodeId j = 1; j <= cfg_.n; ++j) {
+        if (removed_.count(j) != 0) continue;
+        if (!states_[j].commitment.verify_share(j, states_[j].share)) return false;
+      }
+      return true;
+    }
+    shares.emplace_back(i, states_[i].share);
   }
-  return true;
+  if (vec == nullptr) return true;
+  crypto::Drbg rng(cfg_.seed ^ 0x70726f61637469ULL);  // "proacti"
+  if (vec->verify_share_batch(shares, rng)) return true;
+  for (const auto& [i, share] : shares) {
+    if (!vec->verify_share(i, share)) return false;
+  }
+  return false;
 }
 
 }  // namespace dkg::proactive

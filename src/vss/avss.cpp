@@ -145,9 +145,12 @@ void AvssInstance::on_point(sim::Context& ctx, sim::NodeId from,
   Bytes digest = c->digest();
   PerCommit& pc = commits_[digest];
   if (!pc.commitment) pc.commitment = c;
-  // alpha claims f(m, i); beta claims f(i, m).
-  if (!pc.commitment->verify_point(self_, from, alpha)) return;
-  if (!pc.commitment->verify_point(from, self_, beta)) return;
+  // alpha claims f(m, i); beta claims f(i, m). Both verify against cached
+  // fixed-i projections of C (bit-identical to verify_point, (t+1) exps).
+  if (!pc.row_proj) pc.row_proj = pc.commitment->row_commitment(self_);
+  if (!pc.col_proj) pc.col_proj = pc.commitment->col_commitment(self_);
+  if (!pc.row_proj->verify_share(from, alpha)) return;
+  if (!pc.col_proj->verify_share(from, beta)) return;
   if (pc.point_senders.insert(from).second) pc.points.emplace_back(from, alpha, beta);
   if (is_ready) {
     pc.readys += 1;

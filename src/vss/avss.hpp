@@ -83,6 +83,11 @@ class AvssInstance {
  private:
   struct PerCommit {
     std::shared_ptr<const crypto::FeldmanMatrix> commitment;
+    /// Cached projections of the (non-symmetric) C onto this node's row
+    /// a_i(x) = f(x, i) and column b_i(y) = f(i, y): every incoming point
+    /// pair verifies against the same fixed i, so both checks drop from
+    /// (t+1)^2 to (t+1) exponentiations after the first point.
+    std::optional<crypto::FeldmanVector> row_proj, col_proj;
     // Verified (m, alpha=f(m,i), beta=f(i,m)) triples.
     std::vector<std::tuple<std::uint64_t, crypto::Scalar, crypto::Scalar>> points;
     std::set<sim::NodeId> point_senders;  // echo+ready of one sender coincide

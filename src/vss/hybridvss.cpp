@@ -160,8 +160,10 @@ void VssInstance::accept_point(sim::Context& ctx, const Bytes& digest, PerCommit
                                sim::NodeId from, const Scalar& alpha, bool is_ready,
                                const std::optional<crypto::Signature>& sig) {
   if (shared_) return;
-  // verify-point(C, i, m, alpha): alpha must equal f(m, i).
-  if (!pc.commitment->verify_point(self_, from, alpha)) {
+  // verify-point(C, i, m, alpha): alpha must equal f(m, i) — checked against
+  // the cached row projection (bit-identical to verify_point, (t+1) exps).
+  if (!pc.row_proj) pc.row_proj = pc.commitment->row_commitment(self_);
+  if (!pc.row_proj->verify_share(from, alpha)) {
     ++rejected_;
     return;
   }
@@ -278,8 +280,10 @@ void VssInstance::on_rec_share(sim::Context& ctx, sim::NodeId from, const RecSha
     ++rejected_;
     return;
   }
-  // Share s_m = f(m, 0); verify-point with i = 0.
-  if (!shared_->commitment->verify_point(0, from, m.share)) {
+  // Share s_m = f(m, 0); verify-point with i = 0, i.e. against the cached
+  // share vector (row 0 of C — no exponentiations to project).
+  if (!rec_vec_) rec_vec_ = shared_->commitment->share_vector();
+  if (!rec_vec_->verify_share(from, m.share)) {
     ++rejected_;
     return;
   }

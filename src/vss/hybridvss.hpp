@@ -105,6 +105,10 @@ class VssInstance {
   // Per-commitment bookkeeping (the paper's A_C, e_C, r_C keyed by C).
   struct PerCommit {
     std::shared_ptr<const crypto::FeldmanMatrix> commitment;  // null until known
+    /// Cached C projected onto this node's row (row_commitment(self)): every
+    /// echo/ready point verifies against the same (C, i), so verify-point
+    /// drops from (t+1)^2 to (t+1) exponentiations after the first.
+    std::optional<crypto::FeldmanVector> row_proj;
     std::vector<std::pair<std::uint64_t, crypto::Scalar>> points;  // verified A_C
     std::set<sim::NodeId> point_senders;  // a sender's echo+ready share one abscissa
     struct Pending {
@@ -164,6 +168,7 @@ class VssInstance {
   bool reconstructing_ = false;
   std::set<sim::NodeId> seen_rec_;
   std::vector<std::pair<std::uint64_t, crypto::Scalar>> rec_points_;
+  std::optional<crypto::FeldmanVector> rec_vec_;  // cached share_vector() of C
   std::optional<crypto::Scalar> reconstructed_;
 
   std::uint64_t rejected_ = 0;

@@ -2,6 +2,14 @@
 
 namespace dkg::vss {
 
+crypto::Element reconstruct_public_key(const crypto::FeldmanVector& commitment,
+                                       const std::vector<std::uint64_t>& quorum) {
+  std::vector<std::pair<std::uint64_t, crypto::Element>> pts;
+  pts.reserve(quorum.size());
+  for (std::uint64_t i : quorum) pts.emplace_back(i, commitment.eval_commit(i));
+  return crypto::exp_interpolate_at(commitment.group(), pts, 0);
+}
+
 bool SecretReconstructor::add_share(std::uint64_t index, const crypto::Scalar& share) {
   for (const auto& [i, s] : points_) {
     if (i == index) return false;

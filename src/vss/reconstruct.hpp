@@ -12,6 +12,16 @@
 
 namespace dkg::vss {
 
+/// Lagrange-in-the-exponent public-key reconstruction: recovers the group
+/// public key g^{f(0)} from the per-node public keys g^{s_i} = V(i) of any
+/// quorum of t+1 distinct indices — one multi-exponentiation, no scalar
+/// shares involved. Equals commitment.c0() for a consistent vector; a
+/// service that only learns a quorum's published member keys uses this to
+/// rebuild (and cross-check) the group key. Throws std::invalid_argument on
+/// duplicate indices.
+crypto::Element reconstruct_public_key(const crypto::FeldmanVector& commitment,
+                                       const std::vector<std::uint64_t>& quorum);
+
 /// Accumulates claimed shares (i, s_i), verifying each against a commitment,
 /// and interpolates the secret once t+1 valid shares are present.
 class SecretReconstructor {

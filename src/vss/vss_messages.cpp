@@ -1,5 +1,7 @@
 #include "vss/vss_messages.hpp"
 
+#include <stdexcept>
+
 namespace dkg::vss {
 
 namespace {
@@ -78,6 +80,55 @@ void RecShareMsg::serialize(Writer& w) const {
   put_sid(w, sid);
   w.blob(digest);
   w.raw(share.to_bytes());
+}
+
+namespace {
+SessionId read_sid(Reader& r) {
+  SessionId sid;
+  sid.dealer = r.u32();
+  sid.tau = r.u32();
+  return sid;
+}
+}  // namespace
+
+std::optional<SendMsg> decode_send(const crypto::Group& grp, std::size_t t, const Bytes& wire) {
+  try {
+    Reader r(wire);
+    SessionId sid = read_sid(r);
+    Bytes cb = r.blob();
+    Bytes rb = r.blob();
+    if (!r.done()) return std::nullopt;
+    if (cb.empty()) return std::nullopt;  // a send always carries the matrix
+    auto c = crypto::FeldmanMatrix::from_bytes_checked(grp, cb, t);
+    if (!c) return std::nullopt;
+    std::optional<crypto::Polynomial> row;
+    if (!rb.empty()) {
+      // Exact-size check: Polynomial::from_bytes does not reject trailing
+      // bytes inside the blob, and a canonical row is degree prefix plus
+      // exactly t+1 fixed-width coefficients.
+      if (rb.size() != 4 + (t + 1) * grp.q_bytes()) return std::nullopt;
+      row = crypto::Polynomial::from_bytes(grp, rb, t);
+    }
+    return SendMsg(sid, std::make_shared<const crypto::FeldmanMatrix>(std::move(*c)),
+                   std::move(row));
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<CommitmentReply> decode_ccreply(const crypto::Group& grp, std::size_t t,
+                                              const Bytes& wire) {
+  try {
+    Reader r(wire);
+    SessionId sid = read_sid(r);
+    Bytes cb = r.blob();
+    if (!r.done() || cb.empty()) return std::nullopt;
+    auto c = crypto::FeldmanMatrix::from_bytes_checked(grp, cb, t);
+    if (!c) return std::nullopt;
+    return CommitmentReply(sid, std::make_shared<const crypto::FeldmanMatrix>(std::move(*c)));
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace dkg::vss

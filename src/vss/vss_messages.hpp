@@ -142,4 +142,24 @@ struct RecShareMsg : VssMessage {
   void serialize(Writer& w) const override;
 };
 
+// --- checked wire decoding -------------------------------------------------
+//
+// The simulator passes messages as typed in-process objects, so the
+// `serialize` encodings above are normally only byte-accounting. Any real
+// transport, however, must reverse them from untrusted bytes — and the two
+// messages that carry a full commitment matrix (send, cc-reply) are exactly
+// where an adversarial dealer can smuggle entries outside the order-q
+// subgroup, which `Element::from_bytes` deliberately does not check. These
+// decoders are that boundary: they reject malformed framing, wrong-degree
+// matrices and rows, and any commitment entry failing subgroup membership
+// (FeldmanMatrix::from_bytes_checked). Covered by tests/test_wire_format.cpp.
+
+/// Decodes SendMsg::serialize output. `t` is the session's threshold (the
+/// receiver knows it; a matrix of any other degree is rejected).
+std::optional<SendMsg> decode_send(const crypto::Group& grp, std::size_t t, const Bytes& wire);
+
+/// Decodes CommitmentReply::serialize output.
+std::optional<CommitmentReply> decode_ccreply(const crypto::Group& grp, std::size_t t,
+                                              const Bytes& wire);
+
 }  // namespace dkg::vss

@@ -1,0 +1,253 @@
+// Unit tests: the multi-exponentiation engine (crypto/multiexp) — Straus
+// simultaneous exponentiation, the fixed-base comb tables behind
+// Element::exp_g/exp_h, and the batched verification predicates built on
+// them. The randomized cross-checks pin every fast path bit-identical to the
+// naive powm product in all four parameter sets (the acceptance condition
+// for replacing the naive path underneath the protocol layers).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "crypto/feldman.hpp"
+#include "crypto/multiexp.hpp"
+
+namespace dkg::crypto {
+namespace {
+
+const Group& group_for(int idx) {
+  switch (idx) {
+    case 0: return Group::tiny256();
+    case 1: return Group::small512();
+    case 2: return Group::mod1024();
+    default: return Group::big2048();
+  }
+}
+
+std::vector<Element> random_bases(const Group& grp, std::size_t k, Drbg& rng) {
+  std::vector<Element> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(Element::exp_g(Scalar::random(grp, rng)));
+  return out;
+}
+
+// The reference implementation multiexp must match bit-for-bit:
+// independent powm per term (Element::pow goes straight to GMP).
+Element naive_product(const Group& grp, const std::vector<Element>& bases,
+                      const std::vector<Scalar>& exps) {
+  Element acc = Element::identity(grp);
+  for (std::size_t i = 0; i < bases.size(); ++i) acc *= bases[i].pow(exps[i]);
+  return acc;
+}
+
+TEST(Multiexp, EmptyInputIsIdentity) {
+  const Group& grp = Group::tiny256();
+  EXPECT_EQ(multiexp(grp, std::vector<Element>{}, {}), Element::identity(grp));
+}
+
+TEST(Multiexp, SingleTermMatchesPow) {
+  Drbg rng(1);
+  const Group& grp = Group::small512();
+  Element b = Element::exp_g(Scalar::random(grp, rng));
+  Scalar e = Scalar::random(grp, rng);
+  EXPECT_EQ(multiexp(grp, {b}, {e}), b.pow(e));
+}
+
+TEST(Multiexp, ZeroAndOneExponentDegenerateCases) {
+  Drbg rng(2);
+  const Group& grp = Group::small512();
+  std::vector<Element> bases = random_bases(grp, 3, rng);
+  std::vector<Scalar> zeros(3, Scalar::zero(grp));
+  EXPECT_EQ(multiexp(grp, bases, zeros), Element::identity(grp));
+  // Mixed zero / one exponents hit the skipped-digit path.
+  std::vector<Scalar> mixed{Scalar::zero(grp), Scalar::one(grp), Scalar::random(grp, rng)};
+  EXPECT_EQ(multiexp(grp, bases, mixed), naive_product(grp, bases, mixed));
+}
+
+TEST(Multiexp, SizeMismatchThrows) {
+  Drbg rng(3);
+  const Group& grp = Group::tiny256();
+  std::vector<Element> bases = random_bases(grp, 2, rng);
+  std::vector<Scalar> exps{Scalar::one(grp)};
+  EXPECT_THROW(multiexp(grp, bases, exps), std::invalid_argument);
+}
+
+TEST(Multiexp, MixedGroupsThrow) {
+  Drbg rng(4);
+  std::vector<Element> bases{Element::generator(Group::tiny256())};
+  std::vector<Scalar> exps{Scalar::random(Group::small512(), rng)};
+  EXPECT_THROW(multiexp(Group::tiny256(), bases, exps), std::logic_error);
+  EXPECT_THROW(multiexp(Group::small512(), bases,
+                        std::vector<Scalar>{Scalar::one(Group::small512())}),
+               std::logic_error);
+}
+
+TEST(Multiexp, CrossCheckAgainstNaiveInAllGroups) {
+  for (int gi = 0; gi < 4; ++gi) {
+    const Group& grp = group_for(gi);
+    Drbg rng(100 + static_cast<std::uint64_t>(gi));
+    for (std::size_t k : {1u, 2u, 3u, 7u}) {
+      std::vector<Element> bases = random_bases(grp, k, rng);
+      std::vector<Scalar> exps;
+      for (std::size_t i = 0; i < k; ++i) exps.push_back(Scalar::random(grp, rng));
+      EXPECT_EQ(multiexp(grp, bases, exps), naive_product(grp, bases, exps))
+          << grp.name() << " k=" << k;
+    }
+  }
+}
+
+TEST(Multiexp, FixedBaseTablesMatchPowmInAllGroups) {
+  for (int gi = 0; gi < 4; ++gi) {
+    const Group& grp = group_for(gi);
+    Drbg rng(200 + static_cast<std::uint64_t>(gi));
+    // Boundary exponents plus random ones.
+    std::vector<Scalar> xs{Scalar::zero(grp), Scalar::one(grp),
+                           Scalar::from_mpz(grp, grp.q() - 1)};
+    for (int r = 0; r < 4; ++r) xs.push_back(Scalar::random(grp, rng));
+    for (const Scalar& x : xs) {
+      EXPECT_EQ(Element::exp_g(x).value(), powm(grp.g(), x.value(), grp.p())) << grp.name();
+      EXPECT_EQ(Element::exp_h(x).value(), powm(grp.h(), x.value(), grp.p())) << grp.name();
+    }
+    const FixedBaseTable* t = FixedBaseTable::for_g(grp);
+    ASSERT_NE(t, nullptr);
+    EXPECT_GT(t->memory_bytes(), 0u);
+  }
+}
+
+TEST(Multiexp, IndexPowerProductMatchesNaiveInAllGroups) {
+  // multiexp_index covers both regimes: Horner in the exponent (small i)
+  // and the Straus fallback (large i where i^t would wrap past q, which
+  // tiny256's 64-bit q hits first).
+  for (int gi = 0; gi < 4; ++gi) {
+    const Group& grp = group_for(gi);
+    Drbg rng(150 + static_cast<std::uint64_t>(gi));
+    for (std::uint64_t i : {0ull, 1ull, 3ull, 50ull, 1'000'000'007ull}) {
+      std::vector<Element> bases = random_bases(grp, 6, rng);
+      Element expect = Element::identity(grp);
+      Scalar x = Scalar::from_u64(grp, i);
+      Scalar ipow = Scalar::one(grp);
+      for (const Element& b : bases) {
+        expect *= b.pow(ipow);
+        ipow = ipow * x;
+      }
+      EXPECT_EQ(multiexp_index(grp, bases, i), expect) << grp.name() << " i=" << i;
+    }
+  }
+}
+
+TEST(Multiexp, WindowPolicyMatchesCostModel) {
+  // w minimizes (2^w - 2) + ceil(bits/w); spot-check the regimes the four
+  // parameter sets actually hit (kappa = 64, 160, 256).
+  EXPECT_EQ(multiexp_window(1), 1u);
+  EXPECT_EQ(multiexp_window(64), 3u);
+  EXPECT_EQ(multiexp_window(160), 4u);
+  EXPECT_EQ(multiexp_window(256), 4u);
+  for (std::size_t b : {1u, 8u, 64u, 160u, 256u, 2048u}) {
+    EXPECT_GE(multiexp_window(b), 1u);
+    EXPECT_LE(multiexp_window(b), 8u);
+  }
+}
+
+TEST(Multiexp, VerifyPolyBatchAcceptsHonestDealings) {
+  const Group& grp = Group::small512();
+  Drbg rng(300);
+  std::size_t t = 3, k = 4;
+  std::vector<BiPolynomial> polys;
+  std::vector<FeldmanMatrix> mats;
+  std::vector<Polynomial> rows;
+  for (std::size_t d = 0; d < k; ++d) {
+    polys.push_back(BiPolynomial::random(Scalar::random(grp, rng), t, rng));
+    mats.push_back(FeldmanMatrix::commit(polys.back()));
+    rows.push_back(polys.back().row(d + 1));
+  }
+  std::vector<RowCheck> checks;
+  for (std::size_t d = 0; d < k; ++d) checks.push_back(RowCheck{&mats[d], d + 1, &rows[d]});
+  Drbg batch_rng(301);
+  EXPECT_TRUE(verify_poly_batch(checks, batch_rng));
+  EXPECT_TRUE(verify_poly_batch({}, batch_rng));  // vacuous
+}
+
+TEST(Multiexp, VerifyPolyBatchRejectsOneBadDealingAndFallbackFindsIt) {
+  const Group& grp = Group::small512();
+  Drbg rng(310);
+  std::size_t t = 3, k = 5, bad = 2;
+  std::vector<BiPolynomial> polys;
+  std::vector<FeldmanMatrix> mats;
+  std::vector<Polynomial> rows;
+  for (std::size_t d = 0; d < k; ++d) {
+    polys.push_back(BiPolynomial::random(Scalar::random(grp, rng), t, rng));
+    mats.push_back(FeldmanMatrix::commit(polys.back()));
+    rows.push_back(polys.back().row(d + 1));
+  }
+  rows[bad].coeff(1) += Scalar::one(grp);  // one corrupted row polynomial
+  std::vector<RowCheck> checks;
+  for (std::size_t d = 0; d < k; ++d) checks.push_back(RowCheck{&mats[d], d + 1, &rows[d]});
+  Drbg batch_rng(311);
+  EXPECT_FALSE(verify_poly_batch(checks, batch_rng));
+  // The fallback the callers use: per-dealing verify_poly pinpoints the bad
+  // one — and only it.
+  for (std::size_t d = 0; d < k; ++d) {
+    EXPECT_EQ(mats[d].verify_poly(d + 1, rows[d]), d != bad) << d;
+  }
+}
+
+TEST(Multiexp, VerifyPolyBatchRejectsDegreeMismatchDeterministically) {
+  const Group& grp = Group::tiny256();
+  Drbg rng(320);
+  BiPolynomial f = BiPolynomial::random(Scalar::random(grp, rng), 2, rng);
+  FeldmanMatrix c = FeldmanMatrix::commit(f);
+  Polynomial wrong = Polynomial::random(grp, 3, rng);
+  std::vector<RowCheck> checks{RowCheck{&c, 1, &wrong}};
+  Drbg batch_rng(321);
+  EXPECT_FALSE(verify_poly_batch(checks, batch_rng));
+  // Null commitment/row in any slot — including the first — is a plain
+  // reject, not a crash.
+  Polynomial good = f.row(1);
+  EXPECT_FALSE(verify_poly_batch({RowCheck{nullptr, 1, &good}}, batch_rng));
+  EXPECT_FALSE(verify_poly_batch({RowCheck{&c, 1, nullptr}}, batch_rng));
+}
+
+TEST(Multiexp, VerifyShareBatch) {
+  const Group& grp = Group::small512();
+  Drbg rng(330);
+  Polynomial a = Polynomial::random(grp, 3, rng);
+  FeldmanVector vec = FeldmanVector::commit(a);
+  std::vector<std::pair<std::uint64_t, Scalar>> shares;
+  for (std::uint64_t i = 1; i <= 6; ++i) shares.emplace_back(i, a.eval_at(i));
+  Drbg batch_rng(331);
+  EXPECT_TRUE(vec.verify_share_batch(shares, batch_rng));
+  EXPECT_TRUE(vec.verify_share_batch({}, batch_rng));
+  shares[3].second += Scalar::one(grp);
+  EXPECT_FALSE(vec.verify_share_batch(shares, batch_rng));
+  for (std::size_t k = 0; k < shares.size(); ++k) {
+    EXPECT_EQ(vec.verify_share(shares[k].first, shares[k].second), k != 3) << k;
+  }
+}
+
+TEST(Multiexp, FixedBaseTableIsThreadSafe) {
+  // A fresh (group, base) cache entry built under concurrent first use: a
+  // distinct Group value (tiny256's subgroup generated by h instead of g)
+  // guarantees the table does not exist yet, so the build itself races with
+  // lookups. Run under the tsan preset by CI (ctest -R Multiexp).
+  const Group& base_grp = Group::tiny256();
+  Group grp("tiny256-h", base_grp.p().get_str(16), base_grp.q().get_str(16),
+            base_grp.h().get_str(16));
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  std::vector<int> ok(kThreads, 0);  // not vector<bool>: distinct ints, no packed-bit races
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Drbg rng(400 + static_cast<std::uint64_t>(w));
+      bool all = true;
+      for (int rep = 0; rep < 8; ++rep) {
+        Scalar x = Scalar::random(grp, rng);
+        all = all && Element::exp_g(x).value() == powm(grp.g(), x.value(), grp.p());
+      }
+      ok[w] = all;
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (int w = 0; w < kThreads; ++w) EXPECT_TRUE(ok[w]) << w;
+}
+
+}  // namespace
+}  // namespace dkg::crypto

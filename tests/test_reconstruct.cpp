@@ -30,6 +30,13 @@ TEST_F(ReconstructFixture, RecoverFromExactThreshold) {
   EXPECT_EQ(*rec.secret(), poly->eval_at(0));
 }
 
+TEST_F(ReconstructFixture, PublicKeyFromAnyQuorumInTheExponent) {
+  // g^{f(0)} from any t+1 member keys V(i) — no scalar shares involved.
+  EXPECT_EQ(reconstruct_public_key(*vec, {1, 2, 3}), vec->c0());
+  EXPECT_EQ(reconstruct_public_key(*vec, {2, 5, 9}), vec->c0());
+  EXPECT_THROW(reconstruct_public_key(*vec, {1, 1, 2}), std::invalid_argument);
+}
+
 TEST_F(ReconstructFixture, IncompleteBelowThreshold) {
   SecretReconstructor rec(*vec, 2);
   rec.add_share(1, poly->eval_at(1));

@@ -100,6 +100,75 @@ TEST(WireFormat, SessionDisambiguationInPayloads) {
   EXPECT_NE(core::lead_ch_payload(1, 2), core::lead_ch_payload(1, 3));
 }
 
+TEST(WireFormat, SendDecodeRoundTripsAndChecks) {
+  auto c = make_commitment(2, 21);
+  Drbg rng(22);
+  crypto::Polynomial row = crypto::Polynomial::random(grp(), 2, rng);
+  vss::SendMsg msg(vss::SessionId{3, 7}, c, row);
+  Writer w;
+  msg.serialize(w);
+  auto back = vss::decode_send(grp(), 2, w.data());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->sid == msg.sid);
+  EXPECT_TRUE(*back->commitment == *c);
+  ASSERT_TRUE(back->row.has_value());
+  EXPECT_TRUE(*back->row == row);
+  // Wrong threshold, truncation, trailing garbage: all rejected.
+  EXPECT_FALSE(vss::decode_send(grp(), 3, w.data()).has_value());
+  Bytes truncated(w.data().begin(), w.data().end() - 1);
+  EXPECT_FALSE(vss::decode_send(grp(), 2, truncated).has_value());
+  Bytes extended = w.data();
+  extended.push_back(0);
+  EXPECT_FALSE(vss::decode_send(grp(), 2, extended).has_value());
+  // Garbage INSIDE the length-prefixed row blob (frame-level framing still
+  // consistent) must also be rejected: re-serialize with a padded row blob.
+  Writer w2;
+  vss::SendMsg probe(vss::SessionId{3, 7}, c, std::nullopt);
+  probe.serialize(w2);  // sid + commitment blob + empty row blob
+  Bytes padded_row = row.to_bytes();
+  padded_row.push_back(0);
+  Bytes frame = w2.take();
+  // Overwrite the empty row blob (last 4 bytes: length 0) with the padded one.
+  frame.resize(frame.size() - 4);
+  Writer tail;
+  tail.blob(padded_row);
+  frame.insert(frame.end(), tail.data().begin(), tail.data().end());
+  EXPECT_FALSE(vss::decode_send(grp(), 2, frame).has_value());
+}
+
+TEST(WireFormat, CheckedDecodeRejectsOutOfSubgroupCommitments) {
+  // An adversarial dealer ships a matrix whose bytes parse fine but whose
+  // first entry lies outside the order-q subgroup (p-1 has order 2: q is an
+  // odd prime, so (p-1)^q = p-1 != 1). Plain from_bytes accepts it — the
+  // documented caveat — while the checked wire-decode boundary rejects it.
+  auto c = make_commitment(2, 23);
+  Bytes mat = c->to_bytes();
+  Bytes evil = crypto::mpz_to_bytes(grp().p() - 1, grp().p_bytes());
+  ASSERT_FALSE(crypto::Element::from_bytes(grp(), evil).in_subgroup());
+  std::copy(evil.begin(), evil.end(), mat.begin() + 4);  // u32 degree prefix
+  EXPECT_TRUE(FeldmanMatrix::from_bytes(grp(), mat, 2).has_value());
+  EXPECT_FALSE(FeldmanMatrix::from_bytes_checked(grp(), mat, 2).has_value());
+
+  // Splice the tampered matrix into a send frame: sid (8 bytes) + blob
+  // length prefix (4 bytes), then the matrix bytes.
+  vss::SendMsg msg(vss::SessionId{1, 1}, c, std::nullopt);
+  Writer w2;
+  msg.serialize(w2);
+  Bytes frame = w2.take();
+  std::copy(mat.begin(), mat.end(), frame.begin() + 12);
+  EXPECT_FALSE(vss::decode_send(grp(), 2, frame).has_value());
+  // The reply path enforces the same boundary.
+  vss::CommitmentReply reply(vss::SessionId{1, 1}, c);
+  Writer w3;
+  reply.serialize(w3);
+  auto ok = vss::decode_ccreply(grp(), 2, w3.data());
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(*ok->commitment == *c);
+  Bytes rframe = w3.take();
+  std::copy(mat.begin(), mat.end(), rframe.begin() + 12);
+  EXPECT_FALSE(vss::decode_ccreply(grp(), 2, rframe).has_value());
+}
+
 TEST(WireFormat, MessageTypesAreDistinctAndPrefixed) {
   auto c = make_commitment(1, 9);
   Drbg rng(10);
