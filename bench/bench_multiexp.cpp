@@ -8,10 +8,19 @@
 // The *VerifyPoly* pair measures the acceptance criterion for the engine:
 // FeldmanMatrix::verify_poly at mod1024 / t = 10 against the naive
 // independent-powm loop it replaced (>= 3x required).
+//
+// The *NoMont series are the Montgomery on/off axis: the same paths with
+// the REDC working domain toggled off (multiexp_set_montgomery), so the
+// ratio against their untagged twins isolates what REDC buys on top of the
+// algorithmic wins. BM_MulMod{Plain,Mont} are the kernel-level pair — one
+// modular multiplication, plain mpz_mul+mpz_mod vs one REDC pass. (The
+// NoMont verify-poly still drives exp_g through whatever domain its cached
+// comb table was built in; tables keep their build-time domain by design.)
 #include <benchmark/benchmark.h>
 
 #include "bench_gbench_main.hpp"
 #include "crypto/feldman.hpp"
+#include "crypto/montgomery.hpp"
 #include "crypto/multiexp.hpp"
 
 using namespace dkg::crypto;
@@ -73,6 +82,19 @@ void BM_Multiexp(benchmark::State& state) {
   state.SetLabel(label_for(grp, t));
 }
 
+void BM_MultiexpNoMont(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  std::size_t t = static_cast<std::size_t>(state.range(1));
+  Drbg rng(1);
+  MultiexpFixture fx(grp, t, rng);
+  multiexp_set_montgomery(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiexp(grp, fx.bases, fx.exps));
+  }
+  multiexp_set_montgomery(true);
+  state.SetLabel(label_for(grp, t));
+}
+
 void BM_MultiexpIndex(benchmark::State& state) {
   // The verify-poly shape: exponents are powers of a small node index, so
   // the Horner-in-the-exponent path applies.
@@ -84,6 +106,53 @@ void BM_MultiexpIndex(benchmark::State& state) {
     benchmark::DoNotOptimize(multiexp_index(grp, fx.bases, 3));
   }
   state.SetLabel(label_for(grp, t));
+}
+
+void BM_MultiexpIndexNoMont(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  std::size_t t = static_cast<std::size_t>(state.range(1));
+  Drbg rng(1);
+  MultiexpFixture fx(grp, t, rng);
+  multiexp_set_montgomery(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiexp_index(grp, fx.bases, 3));
+  }
+  multiexp_set_montgomery(true);
+  state.SetLabel(label_for(grp, t));
+}
+
+void BM_MulModPlain(benchmark::State& state) {
+  // One modular multiplication the way the pre-REDC hot loops did it: a
+  // full double-width product then a division-based mpz_mod.
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  Drbg rng(5);
+  mpz_class acc = powm(grp.g(), Scalar::random(grp, rng).value(), grp.p());
+  mpz_class m = powm(grp.h(), Scalar::random(grp, rng).value(), grp.p());
+  mpz_class tmp;
+  for (auto _ : state) {
+    mpz_mul(tmp.get_mpz_t(), acc.get_mpz_t(), m.get_mpz_t());
+    mpz_mod(acc.get_mpz_t(), tmp.get_mpz_t(), grp.p().get_mpz_t());
+    benchmark::DoNotOptimize(acc.get_mpz_t());
+  }
+  state.SetLabel(grp.name());
+}
+
+void BM_MulModMont(benchmark::State& state) {
+  // The same multiplication as one REDC pass in the Montgomery domain (the
+  // step every engine chain is made of).
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  const MontgomeryCtx& ctx = *grp.montgomery();
+  Drbg rng(5);
+  MontgomeryCtx::Mul mm(ctx);
+  mm.acc_enter(powm(grp.g(), Scalar::random(grp, rng).value(), grp.p()));
+  mpz_class m = ctx.to_mont(powm(grp.h(), Scalar::random(grp, rng).value(), grp.p()));
+  for (auto _ : state) {
+    mm.acc_mul(m);
+  }
+  mpz_class out;
+  mm.acc_get(out);
+  benchmark::DoNotOptimize(out.get_mpz_t());
+  state.SetLabel(grp.name());
 }
 
 void BM_PowmG(benchmark::State& state) {
@@ -155,6 +224,20 @@ void BM_VerifyPolyMultiexp(benchmark::State& state) {
   state.SetLabel(label_for(grp, t));
 }
 
+void BM_VerifyPolyMultiexpNoMont(benchmark::State& state) {
+  // verify_poly with the REDC engine toggled off — the PR 3 multiexp shape.
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  std::size_t t = static_cast<std::size_t>(state.range(1));
+  Drbg rng(3);
+  VerifyPolyFixture fx(grp, t, rng);
+  multiexp_set_montgomery(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.c.verify_poly(3, fx.row));
+  }
+  multiexp_set_montgomery(true);
+  state.SetLabel(label_for(grp, t));
+}
+
 void BM_VerifyPolyBatch(benchmark::State& state) {
   // k dealings folded into one multi-exp vs k sequential verify_polys; the
   // per-dealing cost drops because all k(t+1)^2 terms share one squaring
@@ -180,19 +263,30 @@ void BM_VerifyPolyBatch(benchmark::State& state) {
 // Group axis: 0=tiny256, 1=small512, 2=mod1024, 3=big2048.
 BENCHMARK(BM_PowmG)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_FixedBaseExpG)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MulModPlain)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MulModMont)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_NaiveExpProduct)
     ->ArgsProduct({{0, 1, 2, 3}, {5, 10, 20}})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Multiexp)
     ->ArgsProduct({{0, 1, 2, 3}, {5, 10, 20}})
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MultiexpNoMont)
+    ->ArgsProduct({{0, 1, 2, 3}, {5, 10, 20}})
+    ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_MultiexpIndex)
+    ->ArgsProduct({{0, 1, 2, 3}, {5, 10, 20}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MultiexpIndexNoMont)
     ->ArgsProduct({{0, 1, 2, 3}, {5, 10, 20}})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_VerifyPolyNaive)
     ->ArgsProduct({{0, 1, 2, 3}, {10}})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_VerifyPolyMultiexp)
+    ->ArgsProduct({{0, 1, 2, 3}, {10}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VerifyPolyMultiexpNoMont)
     ->ArgsProduct({{0, 1, 2, 3}, {10}})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_VerifyPolyBatch)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);

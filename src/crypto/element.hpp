@@ -57,6 +57,9 @@ class Element {
                           const std::vector<Scalar>& exps);
   friend Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
                                 std::uint64_t i);
+  friend Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
+                                const std::vector<const mpz_class*>& mont,
+                                const MontgomeryCtx& ctx, std::uint64_t i);
 
   const Group* grp_ = nullptr;
   mpz_class v_;

@@ -60,10 +60,10 @@ const Element& FeldmanMatrix::entry(std::size_t j, std::size_t l) const {
 bool FeldmanMatrix::verify_poly(std::uint64_t i, const Polynomial& a) const {
   if (a.degree() != t_) return false;
   const Group& grp = group();
-  std::vector<const Element*> col(t_ + 1);
+  IndexBases col(grp, t_ + 1, mont_.get(grp, entries_));
   for (std::size_t l = 0; l <= t_; ++l) {
-    for (std::size_t j = 0; j <= t_; ++j) col[j] = &entry(j, l);
-    if (Element::exp_g(a.coeff(l)) != multiexp_index(grp, col, i)) return false;
+    for (std::size_t j = 0; j <= t_; ++j) col.assign(j, entry(j, l), j * (t_ + 1) + l);
+    if (Element::exp_g(a.coeff(l)) != col.product(i)) return false;
   }
   return true;
 }
@@ -71,10 +71,10 @@ bool FeldmanMatrix::verify_poly(std::uint64_t i, const Polynomial& a) const {
 bool FeldmanMatrix::verify_poly_col(std::uint64_t i, const Polynomial& b) const {
   if (b.degree() != t_) return false;
   const Group& grp = group();
-  std::vector<const Element*> row(t_ + 1);
+  IndexBases row(grp, t_ + 1, mont_.get(grp, entries_));
   for (std::size_t j = 0; j <= t_; ++j) {
-    for (std::size_t l = 0; l <= t_; ++l) row[l] = &entry(j, l);
-    if (Element::exp_g(b.coeff(j)) != multiexp_index(grp, row, i)) return false;
+    for (std::size_t l = 0; l <= t_; ++l) row.assign(l, entry(j, l), j * (t_ + 1) + l);
+    if (Element::exp_g(b.coeff(j)) != row.product(i)) return false;
   }
   return true;
 }
@@ -83,22 +83,22 @@ FeldmanVector FeldmanMatrix::row_commitment(std::uint64_t i) const {
   const Group& grp = group();
   std::vector<Element> v;
   v.reserve(t_ + 1);
-  std::vector<const Element*> row(t_ + 1);
+  IndexBases row(grp, t_ + 1, mont_.get(grp, entries_));
   for (std::size_t j = 0; j <= t_; ++j) {
-    for (std::size_t l = 0; l <= t_; ++l) row[l] = &entry(j, l);
-    v.push_back(multiexp_index(grp, row, i));
+    for (std::size_t l = 0; l <= t_; ++l) row.assign(l, entry(j, l), j * (t_ + 1) + l);
+    v.push_back(row.product(i));
   }
   return FeldmanVector(std::move(v));
 }
 
 FeldmanVector FeldmanMatrix::col_commitment(std::uint64_t m) const {
   const Group& grp = group();
+  IndexBases col(grp, t_ + 1, mont_.get(grp, entries_));
   std::vector<Element> v;
   v.reserve(t_ + 1);
-  std::vector<const Element*> col(t_ + 1);
   for (std::size_t l = 0; l <= t_; ++l) {
-    for (std::size_t j = 0; j <= t_; ++j) col[j] = &entry(j, l);
-    v.push_back(multiexp_index(grp, col, m));
+    for (std::size_t j = 0; j <= t_; ++j) col.assign(j, entry(j, l), j * (t_ + 1) + l);
+    v.push_back(col.product(m));
   }
   return FeldmanVector(std::move(v));
 }
@@ -178,7 +178,10 @@ FeldmanVector FeldmanVector::commit(const Polynomial& a) {
 }
 
 Element FeldmanVector::eval_commit(std::uint64_t i) const {
-  return multiexp_index(group(), entries_, i);
+  const Group& grp = group();
+  IndexBases bases(grp, entries_.size(), mont_.get(grp, entries_));
+  for (std::size_t l = 0; l < entries_.size(); ++l) bases.assign(l, entries_[l], l);
+  return bases.product(i);
 }
 
 bool FeldmanVector::verify_share(std::uint64_t i, const Scalar& share) const {

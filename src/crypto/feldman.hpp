@@ -15,6 +15,7 @@
 
 #include "crypto/bipolynomial.hpp"
 #include "crypto/element.hpp"
+#include "crypto/multiexp.hpp"
 #include "crypto/polynomial.hpp"
 
 namespace dkg::crypto {
@@ -93,6 +94,10 @@ class FeldmanMatrix {
 
   std::size_t t_;
   std::vector<Element> entries_;  // row-major (t+1)x(t+1)
+  // A commitment is one shared object checked by every receiver; this keeps
+  // its entries in the REDC domain across all those verify-poly/projection
+  // calls (built on first use, invisible in results and in operator==).
+  MontDomainBases mont_;
 };
 
 class FeldmanVector {
@@ -133,6 +138,7 @@ class FeldmanVector {
 
  private:
   std::vector<Element> entries_;
+  MontDomainBases mont_;  // see FeldmanMatrix::mont_
 };
 
 /// One row-polynomial check for verify_poly_batch: does `row` match

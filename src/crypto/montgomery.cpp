@@ -1,0 +1,228 @@
+#include "crypto/montgomery.hpp"
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "crypto/group.hpp"
+
+namespace dkg::crypto {
+
+// The limb bookkeeping below assumes full limbs; nails builds of GMP are
+// essentially extinct, but fail loudly rather than miscompute.
+static_assert(GMP_NAIL_BITS == 0, "montgomery.cpp requires a nail-free GMP");
+
+namespace {
+
+/// Zero-padded L-limb image of v (which must be < B^L).
+void load(std::vector<mp_limb_t>& dst, const mpz_class& v, std::size_t L) {
+  std::size_t sz = mpz_size(v.get_mpz_t());
+  const mp_limb_t* src = mpz_limbs_read(v.get_mpz_t());
+  for (std::size_t i = 0; i < sz; ++i) dst[i] = src[i];
+  for (std::size_t i = sz; i < L; ++i) dst[i] = 0;
+}
+
+void store(mpz_class& out, const mp_limb_t* src, std::size_t L) {
+  mp_limb_t* w = mpz_limbs_write(out.get_mpz_t(), static_cast<mp_size_t>(L));
+  for (std::size_t i = 0; i < L; ++i) w[i] = src[i];
+  mpz_limbs_finish(out.get_mpz_t(), static_cast<mp_size_t>(L));
+}
+
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const mpz_class& n) : n_(n) {
+  if (n_ <= 1 || mpz_odd_p(n_.get_mpz_t()) == 0) {
+    throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 1");
+  }
+  L_ = mpz_size(n_.get_mpz_t());
+  nl_.resize(L_);
+  load(nl_, n_, L_);
+  // n0^{-1} mod B by Newton doubling: x = n0 is correct mod 8 (odd squares
+  // are 1 mod 8), and each step doubles the number of correct low bits, so
+  // five steps cover any limb width up to 96 bits.
+  mp_limb_t n0 = nl_[0];
+  mp_limb_t inv = n0;
+  for (int it = 0; it < 5; ++it) inv *= 2 - n0 * inv;
+  ninv_ = -inv;
+  mpz_class R;
+  mpz_setbit(R.get_mpz_t(), static_cast<mp_bitcnt_t>(L_) * GMP_NUMB_BITS);
+  one_ = R % n_;
+  r2_ = (one_ * one_) % n_;
+  onel_.resize(L_);
+  load(onel_, one_, L_);
+}
+
+MontgomeryCtx::Mul::Mul(const MontgomeryCtx& ctx)
+    : ctx_(ctx), t_(2 * ctx.L_), acc_(ctx.L_), sv_(ctx.L_), ev_(ctx.L_) {}
+
+void MontgomeryCtx::Mul::finish(mp_limb_t* out) {
+  const std::size_t L = ctx_.L_;
+  const mp_limb_t* n = ctx_.nl_.data();
+  mp_limb_t* t = t_.data();
+  // Carry-save word-by-word REDC (the mpn_redc_1 shape): row i adds
+  // (t[i] * n') * n at position i, zeroing t[i]; instead of rippling the
+  // row's carry-out through the high half — O(L^2) extra limb traffic —
+  // park it in the just-freed t[i] and fold all L parked carries with ONE
+  // mpn_add_n at the end.
+  for (std::size_t i = 0; i < L; ++i) {
+    mp_limb_t m = t[i] * ctx_.ninv_;
+    t[i] = mpn_addmul_1(t + i, n, static_cast<mp_size_t>(L), m);
+  }
+  mp_limb_t cy = mpn_add_n(out, t + L, t, static_cast<mp_size_t>(L));
+  // Quotient limbs shifted away: the result is out + cy B^L, in [0, 2n) —
+  // at most one subtraction restores the canonical range (a cy of 1 means
+  // the value passed B^L > n, and the borrow cancels it).
+  if (cy != 0 || mpn_cmp(out, n, static_cast<mp_size_t>(L)) >= 0) {
+    mpn_sub_n(out, out, n, static_cast<mp_size_t>(L));
+  }
+}
+
+void MontgomeryCtx::Mul::finish_mpz(mpz_class& acc) {
+  finish(t_.data() + ctx_.L_);
+  store(acc, t_.data() + ctx_.L_, ctx_.L_);
+}
+
+/// t_ = {ap, an} * m, zero-padded to 2L limbs. an, |m| <= L.
+void MontgomeryCtx::Mul::mul_into_t(const mp_limb_t* ap, std::size_t an, const mpz_class& m) {
+  const std::size_t L = ctx_.L_;
+  const std::size_t bn = mpz_size(m.get_mpz_t());
+  if (an == 0 || bn == 0) {
+    for (std::size_t i = 0; i < 2 * L; ++i) t_[i] = 0;
+    return;
+  }
+  // Multiply at the operands' true sizes straight out of the limb arrays
+  // (mpn_mul insists the larger operand comes first).
+  const mp_limb_t* bp = mpz_limbs_read(m.get_mpz_t());
+  if (an >= bn) {
+    mpn_mul(t_.data(), ap, static_cast<mp_size_t>(an), bp, static_cast<mp_size_t>(bn));
+  } else {
+    mpn_mul(t_.data(), bp, static_cast<mp_size_t>(bn), ap, static_cast<mp_size_t>(an));
+  }
+  for (std::size_t i = an + bn; i < 2 * L; ++i) t_[i] = 0;
+}
+
+void MontgomeryCtx::Mul::mul(mpz_class& acc, const mpz_class& m) {
+  const std::size_t an = mpz_size(acc.get_mpz_t());
+  if (an == 0 || mpz_size(m.get_mpz_t()) == 0) {  // Montgomery zero is zero
+    acc = 0;
+    return;
+  }
+  mul_into_t(mpz_limbs_read(acc.get_mpz_t()), an, m);
+  finish_mpz(acc);
+}
+
+void MontgomeryCtx::Mul::sqr(mpz_class& acc) {
+  const std::size_t L = ctx_.L_;
+  const std::size_t an = mpz_size(acc.get_mpz_t());
+  if (an == 0) return;
+  mpn_sqr(t_.data(), mpz_limbs_read(acc.get_mpz_t()), static_cast<mp_size_t>(an));
+  for (std::size_t i = 2 * an; i < 2 * L; ++i) t_[i] = 0;
+  finish_mpz(acc);
+}
+
+void MontgomeryCtx::Mul::redc(mpz_class& acc) {
+  const std::size_t L = ctx_.L_;
+  const std::size_t an = mpz_size(acc.get_mpz_t());
+  const mp_limb_t* ap = mpz_limbs_read(acc.get_mpz_t());
+  for (std::size_t i = 0; i < an; ++i) t_[i] = ap[i];
+  for (std::size_t i = an; i < 2 * L; ++i) t_[i] = 0;
+  finish_mpz(acc);
+}
+
+// --- accumulator chain -----------------------------------------------------
+//
+// acc_ / sv_ / ev_ hold zero-padded L-limb images, so the chain steps are
+// pure mpn calls — no mpz size bookkeeping per operation. A padded zero-
+// valued operand flows through REDC unharmed (every quotient digit is 0),
+// so none of these need the explicit zero checks of the mpz interface.
+
+void MontgomeryCtx::Mul::acc_set_one() {
+  for (std::size_t i = 0; i < ctx_.L_; ++i) acc_[i] = ctx_.onel_[i];
+}
+
+void MontgomeryCtx::Mul::acc_set(const mpz_class& v) { load(acc_, v, ctx_.L_); }
+
+void MontgomeryCtx::Mul::acc_enter(const mpz_class& v) {
+  acc_set(v);
+  acc_mul(ctx_.r2_);
+}
+
+void MontgomeryCtx::Mul::acc_mul(const mpz_class& m) {
+  mul_into_t(acc_.data(), ctx_.L_, m);
+  finish(acc_.data());
+}
+
+void MontgomeryCtx::Mul::acc_mul_entered(const mpz_class& v) {
+  mul_into_t(mpz_limbs_read(v.get_mpz_t()), mpz_size(v.get_mpz_t()), ctx_.r2_);
+  finish(ev_.data());
+  mpn_mul_n(t_.data(), acc_.data(), ev_.data(), static_cast<mp_size_t>(ctx_.L_));
+  finish(acc_.data());
+}
+
+void MontgomeryCtx::Mul::acc_sqr() {
+  mpn_sqr(t_.data(), acc_.data(), static_cast<mp_size_t>(ctx_.L_));
+  finish(acc_.data());
+}
+
+void MontgomeryCtx::Mul::acc_save() {
+  for (std::size_t i = 0; i < ctx_.L_; ++i) sv_[i] = acc_[i];
+}
+
+void MontgomeryCtx::Mul::acc_mul_saved() {
+  mpn_mul_n(t_.data(), acc_.data(), sv_.data(), static_cast<mp_size_t>(ctx_.L_));
+  finish(acc_.data());
+}
+
+void MontgomeryCtx::Mul::acc_redc() {
+  const std::size_t L = ctx_.L_;
+  for (std::size_t i = 0; i < L; ++i) t_[i] = acc_[i];
+  for (std::size_t i = L; i < 2 * L; ++i) t_[i] = 0;
+  finish(acc_.data());
+}
+
+bool MontgomeryCtx::Mul::acc_is_one() const {
+  return mpn_cmp(acc_.data(), ctx_.onel_.data(), static_cast<mp_size_t>(ctx_.L_)) == 0;
+}
+
+void MontgomeryCtx::Mul::acc_get(mpz_class& out) const {
+  store(out, acc_.data(), ctx_.L_);
+}
+
+mpz_class MontgomeryCtx::to_mont(const mpz_class& a) const {
+  // aR = REDC(a * R^2). Reduce first: REDC's bound argument needs both
+  // factors < n, and entry points may hand us any non-negative value.
+  mpz_class r = a >= n_ ? mpz_class(a % n_) : a;
+  Mul s(*this);
+  s.mul(r, r2_);
+  return r;
+}
+
+mpz_class MontgomeryCtx::from_mont(const mpz_class& a) const {
+  mpz_class r = a;
+  Mul s(*this);
+  s.redc(r);
+  return r;
+}
+
+const MontgomeryCtx* MontgomeryCtx::for_group(const Group& grp) {
+  if (mpz_odd_p(grp.p().get_mpz_t()) == 0) return nullptr;
+  // Same shape as FixedBaseTable::lookup: value-keyed (moduli, not Group
+  // addresses), mutex-guarded growth, unique_ptr entries so returned
+  // pointers stay stable, and a thread-local memo revalidated by VALUE so
+  // the steady-state path is lock-free.
+  thread_local const MontgomeryCtx* memo = nullptr;
+  if (memo != nullptr && memo->n_ == grp.p()) return memo;
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<MontgomeryCtx>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  for (const auto& c : cache) {
+    if (c->n_ == grp.p()) return memo = c.get();
+  }
+  if (cache.size() >= kMaxCached) return nullptr;
+  cache.push_back(std::make_unique<MontgomeryCtx>(grp.p()));
+  return memo = cache.back().get();
+}
+
+const MontgomeryCtx* Group::montgomery() const { return MontgomeryCtx::for_group(*this); }
+
+}  // namespace dkg::crypto

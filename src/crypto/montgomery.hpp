@@ -1,0 +1,127 @@
+// Montgomery (REDC) modular-multiplication engine. Every commitment hot
+// path ends in long chains of mul-mod-p (the Straus accumulation loops,
+// Horner index-power products and comb-table walks in crypto/multiexp), and
+// a plain mpz_mul + mpz_mod pays a full division per step. REDC replaces the
+// division with two half-products: values are carried as aR mod n (R = B^L
+// for the modulus's limb count L), a product a'b' REDCs back to abR mod n in
+// 2 L^2 limb multiplications and no division — GMP's own powm gets ~1.8x per
+// multiply this way, and this header makes the same representation available
+// to loops GMP cannot see inside.
+//
+// The representation changes but the results cannot: from_mont(REDC chain)
+// is exactly the canonical residue the plain chain produces, so callers that
+// convert only at entry/exit stay bit-identical (pinned by the differential
+// harness in tests/test_montgomery.cpp against GMP across all four parameter
+// sets). Only odd moduli have a Montgomery form; for_group() returns nullptr
+// for an even p and callers keep the plain path.
+#pragma once
+
+#include <gmpxx.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace dkg::crypto {
+
+class Group;
+
+class MontgomeryCtx {
+ public:
+  /// Precomputes n' = -n^{-1} mod B, R mod n and R^2 mod n for an odd
+  /// modulus n > 1. Throws std::invalid_argument otherwise.
+  explicit MontgomeryCtx(const mpz_class& n);
+
+  /// The cached context for a group's modulus p, built lazily once per
+  /// distinct modulus VALUE (any two Group instances with equal p share
+  /// one). Returns nullptr for even p — the transparent-fallback signal —
+  /// or if the cache is full (kMaxCached distinct moduli, far above any
+  /// real run). Thread-safe, including concurrent first touch.
+  static const MontgomeryCtx* for_group(const Group& grp);
+
+  const mpz_class& modulus() const { return n_; }
+  /// Limb count L of the modulus; R = B^L for B = 2^GMP_NUMB_BITS.
+  std::size_t limbs() const { return L_; }
+  /// R mod n — the Montgomery representation of 1 (identity for mul()).
+  const mpz_class& one() const { return one_; }
+
+  /// a (any non-negative value; reduced mod n) -> aR mod n.
+  mpz_class to_mont(const mpz_class& a) const;
+  /// aR mod n -> a, canonical in [0, n).
+  mpz_class from_mont(const mpz_class& a) const;
+
+  /// Scratch-reusing multiplier for hot loops — the Montgomery analogue of
+  /// the one-temporary mul-mod accumulators in crypto/multiexp. Operands
+  /// and results are Montgomery-domain residues in [0, n). One Mul per call
+  /// frame; not shareable across threads (the ctx itself is immutable and
+  /// freely shared).
+  ///
+  /// Two interfaces share the scratch space:
+  ///  * the mpz_class one (mul/sqr/redc/to_mont below) for one-off
+  ///    conversions and the differential tests;
+  ///  * the accumulator chain (acc_*): the working value lives INSIDE the
+  ///    Mul as a fixed-width limb vector, so a squaring ladder touches no
+  ///    mpz bookkeeping at all — set it, run the chain, take the result.
+  class Mul {
+   public:
+    explicit Mul(const MontgomeryCtx& ctx);
+    /// acc = REDC(acc * m): the Montgomery product, canonical in [0, n).
+    void mul(mpz_class& acc, const mpz_class& m);
+    /// acc = REDC(acc^2).
+    void sqr(mpz_class& acc);
+    /// acc = REDC(acc) — one division-free Montgomery reduction (this is
+    /// from_mont when acc is a Montgomery-domain value).
+    void redc(mpz_class& acc);
+    /// acc -> acc R mod n: the entry conversion, one Montgomery mul by R^2.
+    /// acc must already be canonical in [0, n) (use MontgomeryCtx::to_mont
+    /// for arbitrary non-negative values).
+    void to_mont(mpz_class& acc) { mul(acc, ctx_.r2_); }
+
+    // --- accumulator chain -------------------------------------------------
+    /// acc = R mod n (the domain image of 1).
+    void acc_set_one();
+    /// acc = v, a Montgomery-domain value in [0, n).
+    void acc_set(const mpz_class& v);
+    /// acc = to_mont(v) for canonical v in [0, n).
+    void acc_enter(const mpz_class& v);
+    /// acc = REDC(acc * m) for a domain value m in [0, n).
+    void acc_mul(const mpz_class& m);
+    /// acc = REDC(acc * to_mont(v)) for canonical v in [0, n) — folds one
+    /// entry conversion into the chain without an mpz temporary.
+    void acc_mul_entered(const mpz_class& v);
+    /// acc = REDC(acc^2).
+    void acc_sqr();
+    /// Parks a copy of acc in the one-slot save register…
+    void acc_save();
+    /// …and acc = REDC(acc * saved) multiplies it back in (the Horner
+    /// square-and-multiply shape).
+    void acc_mul_saved();
+    /// acc = REDC(acc) — the exit conversion for a domain-valued acc.
+    void acc_redc();
+    /// True iff acc == R mod n (the domain identity).
+    bool acc_is_one() const;
+    /// The current accumulator as an mpz (domain value, canonical size).
+    void acc_get(mpz_class& out) const;
+
+   private:
+    void finish(mp_limb_t* out);          // REDC t_ into out (L limbs)
+    void finish_mpz(mpz_class& acc);      // REDC t_ and store into acc
+    void mul_into_t(const mp_limb_t* ap, std::size_t an, const mpz_class& m);
+
+    const MontgomeryCtx& ctx_;
+    std::vector<mp_limb_t> t_;    // 2L-limb product / reduction buffer
+    std::vector<mp_limb_t> acc_;  // L-limb chain accumulator (zero-padded)
+    std::vector<mp_limb_t> sv_;   // L-limb save register
+    std::vector<mp_limb_t> ev_;   // L-limb entry-conversion scratch
+  };
+
+  static constexpr std::size_t kMaxCached = 64;
+
+ private:
+  mpz_class n_, r2_, one_;
+  std::vector<mp_limb_t> nl_;    // the modulus as L little-endian limbs
+  std::vector<mp_limb_t> onel_;  // R mod n, zero-padded to L limbs
+  mp_limb_t ninv_ = 0;           // -n^{-1} mod B
+  std::size_t L_ = 0;
+};
+
+}  // namespace dkg::crypto

@@ -1,20 +1,31 @@
 #include "crypto/multiexp.hpp"
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
+
+#include "crypto/montgomery.hpp"
 
 namespace dkg::crypto {
 
 namespace {
 
+std::atomic<bool> g_montgomery{true};
+
 /// w-bit digit of |e| at digit position `pos` (little-endian digit order).
+/// Reads whole limbs instead of w mpz_tstbit calls — the digit walks below
+/// extract hundreds of digits per exponentiation.
 unsigned digit_at(const mpz_class& e, std::size_t pos, unsigned w) {
-  unsigned d = 0;
-  for (unsigned b = 0; b < w; ++b) {
-    if (mpz_tstbit(e.get_mpz_t(), pos * w + b) != 0) d |= 1u << b;
+  const std::size_t bit = pos * w;
+  const mp_size_t li = static_cast<mp_size_t>(bit / GMP_NUMB_BITS);
+  const unsigned off = bit % GMP_NUMB_BITS;
+  mp_limb_t d = mpz_getlimbn(e.get_mpz_t(), li) >> off;  // 0 past the top limb
+  if (off + w > GMP_NUMB_BITS) {
+    d |= mpz_getlimbn(e.get_mpz_t(), li + 1) << (GMP_NUMB_BITS - off);
   }
-  return d;
+  return static_cast<unsigned>(d & ((mp_limb_t{1} << w) - 1));
 }
 
 /// Hot-loop modular multiply-accumulate: acc = acc * m mod p, through one
@@ -33,6 +44,116 @@ struct ModMul {
  private:
   const mpz_class& p_;
   mpz_class tmp_;
+};
+
+/// The engine's Montgomery context for a group: the cached per-modulus ctx
+/// when p is odd and the REDC path is enabled, nullptr otherwise.
+const MontgomeryCtx* engine_ctx(const Group& grp) {
+  return g_montgomery.load(std::memory_order_relaxed) ? MontgomeryCtx::for_group(grp) : nullptr;
+}
+
+/// Working-domain accumulator for the hot loops: one running value that
+/// lives in Montgomery form when `ctx` is non-null (odd modulus, engine
+/// enabled) and in plain canonical form otherwise. Operands enter the
+/// domain as they are folded in, the whole squaring/digit chain stays
+/// inside, and take()/value() convert back at the exit — so the REDC chains
+/// are division-free yet bit-identical to the plain path (from_mont of the
+/// REDC chain IS the plain product).
+class DomainAcc {
+ public:
+  explicit DomainAcc(const Group& grp) : DomainAcc(grp, engine_ctx(grp)) {}
+  DomainAcc(const Group& grp, const MontgomeryCtx* ctx) : ctx_(ctx), plain_(grp.p()) {
+    if (ctx_ != nullptr) mont_.emplace(*ctx_);
+  }
+
+  bool montgomery() const { return ctx_ != nullptr; }
+
+  void set_one() {
+    if (ctx_ != nullptr) {
+      mont_->acc_set_one();
+    } else {
+      acc_ = 1;
+    }
+  }
+  /// acc = a value already in this domain (a table entry, or domain_value()).
+  void set(const mpz_class& v) {
+    if (ctx_ != nullptr) {
+      mont_->acc_set(v);
+    } else {
+      acc_ = v;
+    }
+  }
+  /// acc = the domain image of a canonical residue v in [0, p).
+  void set_entered(const mpz_class& v) {
+    if (ctx_ != nullptr) {
+      mont_->acc_enter(v);
+    } else {
+      acc_ = v;
+    }
+  }
+  /// acc *= m for m already in this domain.
+  void mul(const mpz_class& m) {
+    if (ctx_ != nullptr) {
+      mont_->acc_mul(m);
+    } else {
+      plain_.mul(acc_, m);
+    }
+  }
+  /// acc *= (domain image of canonical v) — one fused entry conversion.
+  void mul_entered(const mpz_class& v) {
+    if (ctx_ != nullptr) {
+      mont_->acc_mul_entered(v);
+    } else {
+      plain_.mul(acc_, v);
+    }
+  }
+  void sqr() {
+    if (ctx_ != nullptr) {
+      mont_->acc_sqr();
+    } else {
+      plain_.sqr(acc_);
+    }
+  }
+  void save() {
+    if (ctx_ != nullptr) {
+      mont_->acc_save();
+    } else {
+      sv_ = acc_;
+    }
+  }
+  void mul_saved() {
+    if (ctx_ != nullptr) {
+      mont_->acc_mul_saved();
+    } else {
+      plain_.mul(acc_, sv_);
+    }
+  }
+  bool is_one() const { return ctx_ != nullptr ? mont_->acc_is_one() : acc_ == 1; }
+  /// The accumulator as a DOMAIN value (for building same-domain tables).
+  mpz_class domain_value() const {
+    if (ctx_ != nullptr) {
+      mpz_class out;
+      mont_->acc_get(out);
+      return out;
+    }
+    return acc_;
+  }
+  /// Exit conversion: the accumulator as the canonical residue.
+  mpz_class take() {
+    if (ctx_ != nullptr) {
+      mont_->acc_redc();
+      mpz_class out;
+      mont_->acc_get(out);
+      return out;
+    }
+    return std::move(acc_);
+  }
+
+ private:
+  const MontgomeryCtx* ctx_;
+  ModMul plain_;
+  std::optional<MontgomeryCtx::Mul> mont_;
+  mpz_class acc_, sv_;  // the plain-path registers
 };
 
 void check_operands(const Group& grp, const std::vector<const Element*>& bases,
@@ -68,6 +189,10 @@ unsigned multiexp_window(std::size_t bits) {
   return best;
 }
 
+bool multiexp_montgomery_enabled() { return g_montgomery.load(std::memory_order_relaxed); }
+
+void multiexp_set_montgomery(bool on) { g_montgomery.store(on, std::memory_order_relaxed); }
+
 Element multiexp(const Group& grp, const std::vector<const Element*>& bases,
                  const std::vector<Scalar>& exps) {
   check_operands(grp, bases, &exps);
@@ -88,31 +213,34 @@ Element multiexp(const Group& grp, const std::vector<const Element*>& bases,
 
   const unsigned w = multiexp_window(bits);
   const std::size_t tlen = std::size_t{1} << w;
-  ModMul mm(p);
-  // Per-base tables: tab[k * tlen + j] = bases[k]^j, j in [0, 2^w).
+  // The whole evaluation runs in the working domain (Montgomery for odd p):
+  // bases enter once, tables and accumulator stay inside, the result leaves.
+  DomainAcc acc(grp);
+  // Per-base tables: tab[k * tlen + j] = domain image of bases[k]^j for
+  // j >= 1 (a zero digit is skipped below, so slot 0 stays unused).
   std::vector<mpz_class> tab(bases.size() * tlen);
   for (std::size_t k = 0; k < bases.size(); ++k) {
     mpz_class* row = &tab[k * tlen];
-    row[0] = 1;
-    row[1] = bases[k]->value();
+    acc.set_entered(bases[k]->value());
+    row[1] = acc.domain_value();
     for (std::size_t j = 2; j < tlen; ++j) {
-      row[j] = row[j - 1];
-      mm.mul(row[j], row[1]);
+      acc.mul(row[1]);
+      row[j] = acc.domain_value();
     }
   }
 
   const std::size_t digits = (bits + w - 1) / w;
-  mpz_class acc{1};
+  acc.set_one();
   for (std::size_t pos = digits; pos-- > 0;) {
-    if (acc != 1) {
-      for (unsigned s = 0; s < w; ++s) mm.sqr(acc);
+    if (!acc.is_one()) {
+      for (unsigned s = 0; s < w; ++s) acc.sqr();
     }
     for (std::size_t k = 0; k < bases.size(); ++k) {
       unsigned d = digit_at(exps[k].value(), pos, w);
-      if (d != 0) mm.mul(acc, tab[k * tlen + d]);
+      if (d != 0) acc.mul(tab[k * tlen + d]);
     }
   }
-  return Element(grp, std::move(acc));
+  return Element(grp, acc.take());
 }
 
 Element multiexp(const Group& grp, const std::vector<Element>& bases,
@@ -123,40 +251,63 @@ Element multiexp(const Group& grp, const std::vector<Element>& bases,
   return multiexp(grp, ptrs, exps);
 }
 
-Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
-                       std::uint64_t i) {
-  check_operands(grp, bases, nullptr);
-  if (bases.empty()) return Element::identity(grp);
-  if (i == 0) return *bases[0];  // ipow = 1, 0, 0, ... (0^0 = 1 convention)
-  const mpz_class& p = grp.p();
-  ModMul mm(p);
+namespace {
+
+/// The shared multiexp_index core for i >= 1 and non-empty bases. `ctx` is
+/// the working domain; when `mont` is non-null it holds pre-entered images
+/// of the bases under `ctx` and every per-call entry conversion is skipped.
+/// Returns the product residue (Element semantics belong to the wrappers).
+mpz_class index_product(const Group& grp, const std::vector<const Element*>& bases,
+                        std::uint64_t i, const MontgomeryCtx* ctx,
+                        const std::vector<const mpz_class*>* mont) {
+  const std::size_t t = bases.size() - 1;
   if (i == 1) {
+    if (ctx != nullptr && mont != nullptr && t >= 2) {
+      // With free entry conversions the domain product wins: t REDC muls
+      // plus one exit reduction against t full mul+mod divisions.
+      DomainAcc acc(grp, ctx);
+      acc.set(*(*mont)[0]);
+      for (std::size_t k = 1; k <= t; ++k) acc.mul(*(*mont)[k]);
+      return acc.take();
+    }
+    // Without a cache the conversions would outweigh REDC's edge here.
+    ModMul mm(grp.p());
     mpz_class acc = bases[0]->value();
     for (std::size_t k = 1; k < bases.size(); ++k) mm.mul(acc, bases[k]->value());
-    return Element(grp, std::move(acc));
+    return acc;
   }
-  const std::size_t t = bases.size() - 1;
   unsigned ibits = 0;
   for (std::uint64_t v = i; v != 0; v >>= 1) ++ibits;
   std::size_t qbits = mpz_sizeinbase(grp.q().get_mpz_t(), 2);
   if (t * ibits <= qbits - 1) {
     // i^t < 2^(qbits-1) <= q: the integer exponents i^j equal their mod-q
     // reductions, so Horner in the exponent is bit-identical to the naive
-    // reduced-power product for ALL inputs.
-    mpz_class acc = bases[t]->value();
-    mpz_class save;
+    // reduced-power product for ALL inputs. The chain runs in the working
+    // domain; each base folds in pre-entered (cache) or pays one fused
+    // entry conversion.
+    DomainAcc acc(grp, ctx);
+    if (mont != nullptr) {
+      acc.set(*(*mont)[t]);
+    } else {
+      acc.set_entered(bases[t]->value());
+    }
     for (std::size_t j = t; j-- > 0;) {
       // acc = acc^i, left-to-right square-and-multiply on the u64 index.
-      save = acc;
+      acc.save();
       for (unsigned b = ibits - 1; b-- > 0;) {
-        mm.sqr(acc);
-        if ((i >> b) & 1u) mm.mul(acc, save);
+        acc.sqr();
+        if ((i >> b) & 1u) acc.mul_saved();
       }
-      mm.mul(acc, bases[j]->value());
+      if (mont != nullptr) {
+        acc.mul(*(*mont)[j]);
+      } else {
+        acc.mul_entered(bases[j]->value());
+      }
     }
-    return Element(grp, std::move(acc));
+    return acc.take();
   }
-  // Large index or tiny q: reduced powers + Straus.
+  // Large index or tiny q: reduced powers + Straus (the rare regime; the
+  // Straus tables re-enter the bases themselves, so the cache is unused).
   std::vector<Scalar> ipow;
   ipow.reserve(bases.size());
   Scalar x = Scalar::from_u64(grp, i);
@@ -165,7 +316,29 @@ Element multiexp_index(const Group& grp, const std::vector<const Element*>& base
     ipow.push_back(acc);
     acc = acc * x;
   }
-  return multiexp(grp, bases, ipow);
+  return mpz_class(multiexp(grp, bases, ipow).value());
+}
+
+}  // namespace
+
+Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
+                       std::uint64_t i) {
+  check_operands(grp, bases, nullptr);
+  if (bases.empty()) return Element::identity(grp);
+  if (i == 0) return *bases[0];  // ipow = 1, 0, 0, ... (0^0 = 1 convention)
+  return Element(grp, index_product(grp, bases, i, engine_ctx(grp), nullptr));
+}
+
+Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
+                       const std::vector<const mpz_class*>& mont, const MontgomeryCtx& ctx,
+                       std::uint64_t i) {
+  check_operands(grp, bases, nullptr);
+  if (mont.size() != bases.size()) {
+    throw std::invalid_argument("multiexp_index: bases/mont size mismatch");
+  }
+  if (bases.empty()) return Element::identity(grp);
+  if (i == 0) return *bases[0];
+  return Element(grp, index_product(grp, bases, i, &ctx, &mont));
 }
 
 Element multiexp_index(const Group& grp, const std::vector<Element>& bases, std::uint64_t i) {
@@ -175,41 +348,87 @@ Element multiexp_index(const Group& grp, const std::vector<Element>& bases, std:
   return multiexp_index(grp, ptrs, i);
 }
 
+// --- MontDomainBases -------------------------------------------------------
+
+const MontDomainBases::Image* MontDomainBases::get(const Group& grp,
+                                                   const std::vector<Element>& entries) const {
+  const MontgomeryCtx* ctx = engine_ctx(grp);
+  if (ctx == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (img_ == nullptr) {
+    auto img = std::make_unique<Image>();
+    img->ctx = ctx;
+    MontgomeryCtx::Mul mm(*ctx);
+    img->vals.reserve(entries.size());
+    mpz_class v;
+    for (const Element& e : entries) {
+      v = e.value();
+      mm.to_mont(v);
+      img->vals.push_back(v);
+    }
+    img_ = std::move(img);
+  }
+  // A toggle flip cannot invalidate a built image (handed-out pointers stay
+  // valid for the owner's lifetime); it just stops being offered while the
+  // engine is off or the ctx cache returned a different context.
+  return img_->ctx == ctx ? img_.get() : nullptr;
+}
+
+void MontDomainBases::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  img_.reset();
+}
+
 // --- FixedBaseTable --------------------------------------------------------
 
 FixedBaseTable::FixedBaseTable(const Group& grp, const mpz_class& base)
-    : grp_(grp), base_(base) {
-  const mpz_class& p = grp_.p();
-  ModMul mm(p);
+    : grp_(grp), base_(base), mont_(engine_ctx(grp)) {
+  // The whole table lives in the working domain fixed at build time
+  // (Montgomery for odd p): pow() then runs its entire digit walk on REDC
+  // muls and pays a single exit conversion — entry conversion happens once
+  // per TABLE, here, not per exponentiation.
+  DomainAcc acc(grp_, mont_);
   // Exponents are Scalars in [0, q); one extra row absorbs the top digit
   // when |q| is not a multiple of w.
   std::size_t qbits = mpz_sizeinbase(grp_.q().get_mpz_t(), 2);
   rows_ = (qbits + w_ - 1) / w_;
   const std::size_t row_len = (std::size_t{1} << w_) - 1;  // j in [1, 2^w)
   table_.resize(rows_ * row_len);
-  mpz_class row_base = base;
+  acc.set_entered(base);
   for (std::size_t i = 0; i < rows_; ++i) {
     mpz_class* row = &table_[i * row_len];
-    row[0] = row_base;  // B^(1 * 2^(i*w))
+    row[0] = acc.domain_value();  // B^(1 * 2^(i*w))
     for (std::size_t j = 1; j < row_len; ++j) {
-      row[j] = row[j - 1];
-      mm.mul(row[j], row_base);
+      acc.mul(row[0]);
+      row[j] = acc.domain_value();
     }
     if (i + 1 < rows_) {
-      for (unsigned s = 0; s < w_; ++s) mm.sqr(row_base);
+      // acc holds row_base^(2^w - 1), the row's last entry; one more mul by
+      // row_base reaches row_base^(2^w) — the next row's base — for the
+      // price of a single multiplication instead of w squarings.
+      acc.mul(row[0]);
     }
   }
 }
 
 Element FixedBaseTable::pow(const Scalar& e) const {
-  ModMul mm(grp_.p());
+  // mont_ records the domain the table was BUILT in; the process-wide
+  // engine toggle must not reinterpret existing entries.
+  DomainAcc acc(grp_, mont_);
   const std::size_t row_len = (std::size_t{1} << w_) - 1;
-  mpz_class acc{1};
+  bool started = false;
   for (std::size_t i = 0; i < rows_; ++i) {
     unsigned d = digit_at(e.value(), i, w_);
-    if (d != 0) mm.mul(acc, table_[i * row_len + (d - 1)]);
+    if (d == 0) continue;
+    if (started) {
+      acc.mul(table_[i * row_len + (d - 1)]);
+    } else {
+      acc.set(table_[i * row_len + (d - 1)]);  // skip the mul by the identity
+      started = true;
+    }
   }
-  return Element(grp_, std::move(acc));
+  if (!started) acc.set_one();
+  return Element(grp_, acc.take());
 }
 
 std::size_t FixedBaseTable::memory_bytes() const {

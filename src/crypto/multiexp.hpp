@@ -15,14 +15,25 @@
 // powm chain: a group element is a canonical residue mod p, so any correct
 // evaluation order yields the same value (pinned by tests/test_multiexp.cpp
 // against the naive product in all four parameter sets).
+//
+// Underneath both, the mul-mod chains themselves run in Montgomery (REDC)
+// form for odd moduli (crypto/montgomery.hpp): operands enter the domain
+// once, the whole squaring/digit walk is division-free, and the single exit
+// conversion restores the canonical residue — so the representation change
+// is invisible in results (pinned by tests/test_montgomery.cpp) and worth
+// ~1.8x per multiply on top of the algorithmic wins above.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "crypto/element.hpp"
 
 namespace dkg::crypto {
+
+class MontgomeryCtx;
 
 /// prod_k bases[k]^exps[k] via Straus simultaneous exponentiation.
 /// Empty input returns the identity; a lone term falls through to powm.
@@ -40,6 +51,17 @@ Element multiexp(const Group& grp, const std::vector<const Element*>& bases,
 /// exposed for tests and for the bench that documents the policy.
 unsigned multiexp_window(std::size_t bits);
 
+/// Process-wide switch for the Montgomery (REDC) working domain under the
+/// hot loops in this header (crypto/montgomery.hpp; on by default, and a
+/// no-op for even-modulus groups, which always take the plain mpz path).
+/// Exists for bench_multiexp's on/off series and the differential property
+/// harness in tests/test_montgomery.cpp — production code leaves it on.
+/// Toggling affects subsequent multiexp/multiexp_index calls and newly
+/// built FixedBaseTables; an existing table keeps the domain it was built
+/// in, so results remain correct across a toggle in either direction.
+bool multiexp_montgomery_enabled();
+void multiexp_set_montgomery(bool on);
+
 /// prod_j bases[j]^(i^j) — the index-power product at the heart of every
 /// verify-poly / verify-point / eval-commit (exponents are powers of a SMALL
 /// node index, not uniform scalars). When i^t provably fits below q
@@ -53,6 +75,90 @@ unsigned multiexp_window(std::size_t bits);
 Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
                        std::uint64_t i);
 Element multiexp_index(const Group& grp, const std::vector<Element>& bases, std::uint64_t i);
+
+/// Lazily built Montgomery images of a fixed base set — the "commitment
+/// stays in Montgomery domain end-to-end" piece. A commitment matrix is one
+/// shared object verified by every receiver, so its (t+1)^2 entries would
+/// otherwise re-enter the REDC domain on every verify-poly / projection
+/// call; this caches the entry conversions once per commitment (the
+/// dominant REDC overhead once the chains themselves are division-free,
+/// ~25% of verify-poly). Value-semantic holder for a value-semantic owner:
+/// copies and assignments start empty (the owner's entries changed or were
+/// duplicated), the image is built at most once behind a mutex and its
+/// address stays stable for the owner's lifetime, and get() returns nullptr
+/// whenever the engine is off for the group — callers then keep the plain
+/// path, so results stay bit-identical in every mode.
+class MontDomainBases {
+ public:
+  struct Image {
+    const MontgomeryCtx* ctx = nullptr;  // the domain vals were entered into
+    std::vector<mpz_class> vals;         // Montgomery images, entry order
+  };
+
+  MontDomainBases() = default;
+  MontDomainBases(const MontDomainBases&) noexcept {}
+  MontDomainBases(MontDomainBases&&) noexcept {}
+  MontDomainBases& operator=(const MontDomainBases&) noexcept {
+    reset();
+    return *this;
+  }
+  MontDomainBases& operator=(MontDomainBases&&) noexcept {
+    reset();
+    return *this;
+  }
+
+  /// The Montgomery images of `entries` (built on first use), or nullptr
+  /// when the group's modulus is even or the engine is toggled off.
+  /// `entries` must be the same immutable vector on every call — the
+  /// owning commitment's — and must outlive neither this object nor its
+  /// uses. Thread-safe, including concurrent first touch.
+  const Image* get(const Group& grp, const std::vector<Element>& entries) const;
+
+ private:
+  void reset();
+
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<Image> img_;
+};
+
+/// multiexp_index with pre-entered bases: mont[k] must be the Montgomery
+/// image of bases[k]->value() under `ctx` (both from MontDomainBases::get),
+/// which skips every per-call entry conversion. Bit-identical to
+/// multiexp_index(grp, bases, i).
+Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
+                       const std::vector<const mpz_class*>& mont, const MontgomeryCtx& ctx,
+                       std::uint64_t i);
+
+/// Reusable operand row for repeated multiexp_index calls over the
+/// rows/columns of a cached commitment: pairs each base Element with its
+/// Montgomery image (when the owning commitment's MontDomainBases image is
+/// built) and dispatches product() to the cached or plain overload. Binding
+/// the image at construction keeps the element/image pairing impossible to
+/// mismatch at the call sites (Feldman/Pedersen verify and projections).
+class IndexBases {
+ public:
+  IndexBases(const Group& grp, std::size_t terms, const MontDomainBases::Image* img)
+      : grp_(grp), img_(img), elems_(terms), mont_(img != nullptr ? terms : 0) {}
+
+  /// Slot k <- base element; img_index is its position in the owning
+  /// commitment's entry order (ignored when no image is built).
+  void assign(std::size_t k, const Element& e, std::size_t img_index) {
+    elems_[k] = &e;
+    if (img_ != nullptr) mont_[k] = &img_->vals[img_index];
+  }
+
+  /// prod_k elems[k]^(i^k) through the matching multiexp_index overload.
+  Element product(std::uint64_t i) const {
+    return img_ != nullptr ? multiexp_index(grp_, elems_, mont_, *img_->ctx, i)
+                           : multiexp_index(grp_, elems_, i);
+  }
+
+ private:
+  const Group& grp_;
+  const MontDomainBases::Image* img_;
+  std::vector<const Element*> elems_;
+  std::vector<const mpz_class*> mont_;
+};
 
 /// Fixed-base comb table (BGMW windowing): for a base B it stores
 /// table[i][j] = B^(j * 2^(i*w)) for i in [0, ceil(|q|/w)), j in [1, 2^w),
@@ -97,6 +203,10 @@ class FixedBaseTable {
 
   Group grp_;        // value copy: cache entries outlive any caller's Group
   mpz_class base_;
+  /// The working domain the table was built in: entries are Montgomery
+  /// residues when non-null (odd p, engine enabled at build), canonical
+  /// residues otherwise. pow() always follows this, not the live toggle.
+  const MontgomeryCtx* mont_ = nullptr;
   unsigned w_ = kWindow;
   std::size_t rows_ = 0;
   std::vector<mpz_class> table_;  // row-major, (2^w - 1) entries per row

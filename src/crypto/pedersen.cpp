@@ -27,11 +27,11 @@ bool PedersenMatrix::verify_poly(std::uint64_t i, const Polynomial& a,
                                  const Polynomial& a_prime) const {
   if (a.degree() != t_ || a_prime.degree() != t_) return false;
   const Group& grp = group();
-  std::vector<const Element*> col(t_ + 1);
+  IndexBases col(grp, t_ + 1, mont_.get(grp, entries_));
   for (std::size_t l = 0; l <= t_; ++l) {
-    for (std::size_t j = 0; j <= t_; ++j) col[j] = &entry(j, l);
+    for (std::size_t j = 0; j <= t_; ++j) col.assign(j, entry(j, l), j * (t_ + 1) + l);
     Element lhs = Element::exp_g(a.coeff(l)) * Element::exp_h(a_prime.coeff(l));
-    if (lhs != multiexp_index(grp, col, i)) return false;
+    if (lhs != col.product(i)) return false;
   }
   return true;
 }
@@ -39,12 +39,12 @@ bool PedersenMatrix::verify_poly(std::uint64_t i, const Polynomial& a,
 bool PedersenMatrix::verify_point(std::uint64_t i, std::uint64_t m, const Scalar& alpha,
                                   const Scalar& alpha_prime) const {
   const Group& grp = group();
+  IndexBases col(grp, t_ + 1, mont_.get(grp, entries_));
   std::vector<Element> inner;
   inner.reserve(t_ + 1);
-  std::vector<const Element*> col(t_ + 1);
   for (std::size_t l = 0; l <= t_; ++l) {
-    for (std::size_t j = 0; j <= t_; ++j) col[j] = &entry(j, l);
-    inner.push_back(multiexp_index(grp, col, m));
+    for (std::size_t j = 0; j <= t_; ++j) col.assign(j, entry(j, l), j * (t_ + 1) + l);
+    inner.push_back(col.product(m));
   }
   return Element::exp_g(alpha) * Element::exp_h(alpha_prime) == multiexp_index(grp, inner, i);
 }

@@ -9,6 +9,7 @@
 
 #include "crypto/bipolynomial.hpp"
 #include "crypto/element.hpp"
+#include "crypto/multiexp.hpp"
 
 namespace dkg::crypto {
 
@@ -51,6 +52,7 @@ class PedersenMatrix {
 
   std::size_t t_;
   std::vector<Element> entries_;
+  MontDomainBases mont_;  // see FeldmanMatrix::mont_
 };
 
 }  // namespace dkg::crypto

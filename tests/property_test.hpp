@@ -1,0 +1,38 @@
+// Shared knobs for the randomized property suites (ctest label `property`):
+// every case count and Drbg seed in those suites flows through here, so one
+// environment variable reproduces a failure and another turns a CI-speed
+// run into a local soak run.
+//
+//   DKG_PROPERTY_SEED    Drbg seed for the randomized cases. Defaults to
+//                        20090612 (the repo's parameter-generation seed);
+//                        CI exports the same value explicitly so the suite
+//                        is bit-reproducible there and here.
+//   DKG_PROPERTY_REPEAT  Multiplier on the per-test case counts (default 1).
+//                        e.g. DKG_PROPERTY_REPEAT=50 ctest -L property
+//                        for an overnight soak.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace dkg::testprop {
+
+inline std::uint64_t property_seed() {
+  if (const char* s = std::getenv("DKG_PROPERTY_SEED")) {
+    return std::strtoull(s, nullptr, 10);
+  }
+  return 20090612;
+}
+
+inline std::size_t property_repeat() {
+  if (const char* s = std::getenv("DKG_PROPERTY_REPEAT")) {
+    std::size_t r = std::strtoull(s, nullptr, 10);
+    if (r > 0) return r;
+  }
+  return 1;
+}
+
+/// `base` cases scaled by the soak multiplier.
+inline std::size_t property_cases(std::size_t base) { return base * property_repeat(); }
+
+}  // namespace dkg::testprop

@@ -1,0 +1,431 @@
+// Differential property harness for the Montgomery (REDC) engine
+// (crypto/montgomery + its threading under crypto/multiexp). REDC changes
+// the number representation on the hottest correctness-critical path, so
+// every path through it is pinned against GMP's reference arithmetic:
+// randomized (base, exponent, width) cases per parameter set cross-check
+// MontgomeryCtx::mul/sqr and the full multiexp / comb paths against
+// mpz_powm, plus the edge cases (0, 1, p-1, exponent 0, single-limb and
+// limb-boundary moduli) and the even-modulus fallback.
+//
+// Seeded via DKG_PROPERTY_SEED, scaled via DKG_PROPERTY_REPEAT — see
+// tests/property_test.hpp. Run by CI under the `property` ctest label with
+// the fixed default seed, and under TSan for the concurrent-first-touch
+// cases.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "crypto/feldman.hpp"
+#include "crypto/montgomery.hpp"
+#include "crypto/multiexp.hpp"
+#include "property_test.hpp"
+
+namespace dkg::crypto {
+namespace {
+
+const Group& group_for(int idx) {
+  switch (idx) {
+    case 0: return Group::tiny256();
+    case 1: return Group::small512();
+    case 2: return Group::mod1024();
+    default: return Group::big2048();
+  }
+}
+
+/// Uniform residue in [0, m) of a RANDOM byte width in [1, byte_width(m)] —
+/// the "width" axis of the differential cases: limb-boundary operand sizes
+/// are exactly where padded-limb bookkeeping goes wrong.
+mpz_class random_width_residue(const mpz_class& m, Drbg& rng) {
+  std::size_t max_w = byte_width(m);
+  std::size_t w = 1 + rng.uniform(max_w);
+  return mod(mpz_from_bytes(rng.bytes(w)), m);
+}
+
+/// Restores the engine toggle on scope exit (several tests flip it).
+struct ToggleGuard {
+  bool saved = multiexp_montgomery_enabled();
+  ~ToggleGuard() { multiexp_set_montgomery(saved); }
+};
+
+TEST(Montgomery, CtxPrecomputationAndAccessors) {
+  for (int gi = 0; gi < 4; ++gi) {
+    const Group& grp = group_for(gi);
+    const MontgomeryCtx* ctx = grp.montgomery();
+    ASSERT_NE(ctx, nullptr) << grp.name();
+    EXPECT_EQ(ctx->modulus(), grp.p());
+    EXPECT_EQ(ctx->limbs(), mpz_size(grp.p().get_mpz_t()));
+    // The same modulus value always yields the same cached context.
+    EXPECT_EQ(ctx, MontgomeryCtx::for_group(grp));
+    // one() is to_mont(1) and round-trips back to 1.
+    EXPECT_EQ(ctx->to_mont(1), ctx->one());
+    EXPECT_EQ(ctx->from_mont(ctx->one()), 1);
+  }
+}
+
+TEST(Montgomery, CtxRejectsEvenOrTrivialModulus) {
+  EXPECT_THROW(MontgomeryCtx(mpz_class{0}), std::invalid_argument);
+  EXPECT_THROW(MontgomeryCtx(mpz_class{1}), std::invalid_argument);
+  EXPECT_THROW(MontgomeryCtx(mpz_class{2}), std::invalid_argument);
+  EXPECT_THROW(MontgomeryCtx(Group::tiny256().p() + 1), std::invalid_argument);  // even
+  EXPECT_NO_THROW(MontgomeryCtx(mpz_class{3}));
+}
+
+TEST(Montgomery, RoundTripAndEdgeValuesAllGroups) {
+  for (int gi = 0; gi < 4; ++gi) {
+    const Group& grp = group_for(gi);
+    const MontgomeryCtx& ctx = *grp.montgomery();
+    Drbg rng(testprop::property_seed() + static_cast<std::uint64_t>(gi));
+    std::vector<mpz_class> edges{0, 1, 2, grp.p() - 1, grp.p() - 2, grp.g(), grp.h()};
+    for (int r = 0; r < 8; ++r) edges.push_back(random_width_residue(grp.p(), rng));
+    for (const mpz_class& x : edges) {
+      EXPECT_EQ(ctx.from_mont(ctx.to_mont(x)), x) << grp.name();
+    }
+    // to_mont reduces arbitrary non-negative input first.
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(grp.p())), 0) << grp.name();
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(grp.p() * 3 + 5)), 5) << grp.name();
+  }
+}
+
+TEST(MontgomeryProperty, MulSqrDifferentialAllGroups) {
+  // The core differential: >= 10k random multiply/square cases per group,
+  // REDC against GMP's plain (a*b) mod p, through both the mpz interface
+  // and the raw-limb accumulator chain the hot loops actually use.
+  const std::size_t kCases = testprop::property_cases(10000);
+  for (int gi = 0; gi < 4; ++gi) {
+    const Group& grp = group_for(gi);
+    const MontgomeryCtx& ctx = *grp.montgomery();
+    MontgomeryCtx::Mul mm(ctx);
+    Drbg rng(testprop::property_seed() ^ (0xa0 + static_cast<std::uint64_t>(gi)));
+    for (std::size_t c = 0; c < kCases; ++c) {
+      mpz_class a = random_width_residue(grp.p(), rng);
+      mpz_class b = random_width_residue(grp.p(), rng);
+      // mpz interface: mul and sqr in the Montgomery domain.
+      mpz_class am = ctx.to_mont(a), bm = ctx.to_mont(b);
+      mpz_class prod = am;
+      mm.mul(prod, bm);
+      ASSERT_EQ(ctx.from_mont(prod), mod(a * b, grp.p()))
+          << grp.name() << " mul case " << c;
+      mpz_class sq = am;
+      mm.sqr(sq);
+      ASSERT_EQ(ctx.from_mont(sq), mod(a * a, grp.p())) << grp.name() << " sqr case " << c;
+      // Accumulator chain: the same two ops via the raw-limb engine.
+      mm.acc_enter(a);
+      mm.acc_mul(bm);
+      mm.acc_redc();
+      mpz_class chain;
+      mm.acc_get(chain);
+      ASSERT_EQ(chain, mod(a * b, grp.p())) << grp.name() << " acc chain case " << c;
+    }
+  }
+}
+
+TEST(MontgomeryProperty, AccumulatorOpChainMatchesMpzModel) {
+  // Random walks over the full accumulator op set (sqr / mul / fused-enter
+  // mul / save / mul_saved) against a plain mpz model — this pins exactly
+  // the op sequences the Straus, Horner and comb loops compose.
+  const std::size_t kWalks = testprop::property_cases(200);
+  for (int gi = 0; gi < 4; ++gi) {
+    const Group& grp = group_for(gi);
+    const mpz_class& p = grp.p();
+    const MontgomeryCtx& ctx = *grp.montgomery();
+    MontgomeryCtx::Mul mm(ctx);
+    Drbg rng(testprop::property_seed() ^ (0xb0 + static_cast<std::uint64_t>(gi)));
+    for (std::size_t wk = 0; wk < kWalks; ++wk) {
+      mpz_class model = random_width_residue(p, rng);
+      mpz_class saved = model;
+      mm.acc_enter(model);
+      mm.acc_save();
+      for (int op = 0; op < 24; ++op) {
+        switch (rng.uniform(5)) {
+          case 0:
+            mm.acc_sqr();
+            model = mod(model * model, p);
+            break;
+          case 1: {
+            mpz_class v = random_width_residue(p, rng);
+            mm.acc_mul(ctx.to_mont(v));
+            model = mod(model * v, p);
+            break;
+          }
+          case 2: {
+            mpz_class v = random_width_residue(p, rng);
+            mm.acc_mul_entered(v);
+            model = mod(model * v, p);
+            break;
+          }
+          case 3:
+            mm.acc_save();
+            saved = model;
+            break;
+          default:
+            mm.acc_mul_saved();
+            model = mod(model * saved, p);
+            break;
+        }
+      }
+      mm.acc_redc();
+      mpz_class got;
+      mm.acc_get(got);
+      ASSERT_EQ(got, model) << grp.name() << " walk " << wk;
+    }
+  }
+}
+
+TEST(MontgomeryProperty, PowChainMatchesMpzPowmAllGroups) {
+  // (base, exponent, width) cases: a REDC square-and-multiply ladder against
+  // mpz_powm, with base and exponent drawn at random widths up to the
+  // group's sizes, plus the degenerate exponents 0 and 1 and base p-1.
+  const std::size_t kCases = testprop::property_cases(150);
+  for (int gi = 0; gi < 4; ++gi) {
+    const Group& grp = group_for(gi);
+    const MontgomeryCtx& ctx = *grp.montgomery();
+    MontgomeryCtx::Mul mm(ctx);
+    Drbg rng(testprop::property_seed() ^ (0xc0 + static_cast<std::uint64_t>(gi)));
+    for (std::size_t c = 0; c < kCases; ++c) {
+      mpz_class base = c == 0 ? mpz_class(grp.p() - 1) : random_width_residue(grp.p(), rng);
+      mpz_class e = c < 3 ? mpz_class(c) : random_width_residue(grp.q(), rng);
+      mpz_class bm = ctx.to_mont(base);
+      mm.acc_set_one();
+      for (std::size_t b = mpz_sizeinbase(e.get_mpz_t(), 2); b-- > 0;) {
+        if (e != 0) {  // sizeinbase(0) reports 1 bit; skip the ladder for e=0
+          mm.acc_sqr();
+          if (mpz_tstbit(e.get_mpz_t(), b) != 0) mm.acc_mul(bm);
+        }
+      }
+      mm.acc_redc();
+      mpz_class got;
+      mm.acc_get(got);
+      ASSERT_EQ(got, powm(base, e, grp.p())) << grp.name() << " case " << c;
+    }
+  }
+}
+
+TEST(MontgomeryProperty, SingleLimbAndLimbBoundaryModuli) {
+  // Odd moduli straddling the limb boundaries: one limb, exactly at the
+  // 64/128-bit edges, and just above them. Differential mul/sqr/pow against
+  // plain mpz for each.
+  std::vector<mpz_class> moduli{
+      mpz_class{3},
+      mpz_class{0x7fffffff},                       // single limb, half width
+      mpz_class("1fffffffffffffff", 16),           // 2^61 - 1 (Mersenne prime)
+      mpz_class("ffffffffffffffff", 16),           // all-ones single limb
+      mpz_class("10000000000000001", 16),          // 2^64 + 1: two limbs, top limb 1
+      mpz_class("1000000000000000000000000000000f", 16),  // just past 2^124
+      mpz_class("ffffffffffffffffffffffffffffffff", 16),  // all-ones double limb
+      mpz_class("100000000000000000000000000000001", 16),  // 2^128 + 1
+  };
+  const std::size_t kCases = testprop::property_cases(500);
+  Drbg rng(testprop::property_seed() ^ 0xd0);
+  for (const mpz_class& n : moduli) {
+    MontgomeryCtx ctx(n);
+    MontgomeryCtx::Mul mm(ctx);
+    EXPECT_EQ(ctx.limbs(), mpz_size(n.get_mpz_t()));
+    for (std::size_t c = 0; c < kCases; ++c) {
+      mpz_class a = c == 0 ? mpz_class(n - 1) : random_width_residue(n, rng);
+      mpz_class b = random_width_residue(n, rng);
+      mpz_class prod = ctx.to_mont(a);
+      mm.mul(prod, ctx.to_mont(b));
+      ASSERT_EQ(ctx.from_mont(prod), mod(a * b, n)) << "n=" << n << " case " << c;
+      mpz_class sq = ctx.to_mont(a);
+      mm.sqr(sq);
+      ASSERT_EQ(ctx.from_mont(sq), mod(a * a, n)) << "n=" << n << " case " << c;
+    }
+  }
+}
+
+TEST(MontgomeryProperty, MultiexpPathsMatchPowmReference) {
+  // The full engine-threaded paths against independent mpz_powm products:
+  // Straus multiexp, the Horner index products (both the small-i and
+  // large-i regimes), the comb tables behind exp_g/exp_h, and the on/off
+  // toggle differential — REDC on must be bit-identical to REDC off.
+  ToggleGuard guard;
+  const std::size_t kRounds = testprop::property_cases(25);
+  for (int gi = 0; gi < 4; ++gi) {
+    const Group& grp = group_for(gi);
+    Drbg rng(testprop::property_seed() ^ (0xe0 + static_cast<std::uint64_t>(gi)));
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      std::size_t k = 1 + rng.uniform(8);
+      std::vector<Element> bases;
+      std::vector<Scalar> exps;
+      for (std::size_t j = 0; j < k; ++j) {
+        bases.push_back(Element::exp_g(Scalar::random(grp, rng)));
+        // Random widths, plus forced 0 / 1 exponents in every round.
+        if (j == 0 && round % 3 == 0) {
+          exps.push_back(Scalar::zero(grp));
+        } else if (j == 1 && k > 1 && round % 3 == 1) {
+          exps.push_back(Scalar::one(grp));
+        } else {
+          exps.push_back(Scalar::from_mpz(grp, random_width_residue(grp.q(), rng)));
+        }
+      }
+      Element expect = Element::identity(grp);
+      for (std::size_t j = 0; j < k; ++j) expect *= bases[j].pow(exps[j]);  // plain GMP powm
+      multiexp_set_montgomery(true);
+      Element on = multiexp(grp, bases, exps);
+      multiexp_set_montgomery(false);
+      Element off = multiexp(grp, bases, exps);
+      multiexp_set_montgomery(true);
+      ASSERT_EQ(on, expect) << grp.name() << " round " << round;
+      ASSERT_EQ(off, expect) << grp.name() << " round " << round;
+
+      std::uint64_t i = round % 4 == 0 ? rng.next_u64() : rng.uniform(64);
+      Element idx_expect = Element::identity(grp);
+      Scalar x = Scalar::from_u64(grp, i);
+      Scalar ipow = Scalar::one(grp);
+      for (const Element& b : bases) {
+        idx_expect *= b.pow(ipow);
+        ipow = ipow * x;
+      }
+      Element idx_on = multiexp_index(grp, bases, i);
+      multiexp_set_montgomery(false);
+      Element idx_off = multiexp_index(grp, bases, i);
+      multiexp_set_montgomery(true);
+      ASSERT_EQ(idx_on, idx_expect) << grp.name() << " i=" << i;
+      ASSERT_EQ(idx_off, idx_expect) << grp.name() << " i=" << i;
+
+      Scalar e = Scalar::from_mpz(grp, random_width_residue(grp.q(), rng));
+      ASSERT_EQ(Element::exp_g(e).value(), powm(grp.g(), e.value(), grp.p())) << grp.name();
+      ASSERT_EQ(Element::exp_h(e).value(), powm(grp.h(), e.value(), grp.p())) << grp.name();
+    }
+  }
+}
+
+TEST(MontgomeryProperty, CommitmentPathsMatchAcrossToggle) {
+  // verify_poly / projections / eval_commit through FeldmanMatrix pick the
+  // engine up via multiexp and the per-commitment MontDomainBases cache;
+  // all of it must be bit-identical with the engine off (fresh matrices per
+  // mode so the cache itself is exercised both ways).
+  ToggleGuard guard;
+  const std::size_t kRounds = testprop::property_cases(6);
+  for (int gi = 0; gi < 4; ++gi) {
+    const Group& grp = group_for(gi);
+    Drbg rng(testprop::property_seed() ^ (0xf0 + static_cast<std::uint64_t>(gi)));
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      std::size_t t = 1 + rng.uniform(5);
+      BiPolynomial f = BiPolynomial::random(Scalar::random(grp, rng), t, rng);
+      FeldmanMatrix c = FeldmanMatrix::commit(f);
+      std::uint64_t i = 1 + rng.uniform(50);
+      Polynomial row = f.row(i);
+      multiexp_set_montgomery(true);
+      FeldmanMatrix c_on = c;  // fresh cache per mode
+      EXPECT_TRUE(c_on.verify_poly(i, row)) << grp.name();
+      FeldmanVector rc_on = c_on.row_commitment(i);
+      Element ec_on = c_on.eval_commit(i, i + 1);
+      multiexp_set_montgomery(false);
+      FeldmanMatrix c_off = c;
+      EXPECT_TRUE(c_off.verify_poly(i, row)) << grp.name();
+      FeldmanVector rc_off = c_off.row_commitment(i);
+      Element ec_off = c_off.eval_commit(i, i + 1);
+      multiexp_set_montgomery(true);
+      EXPECT_TRUE(rc_on == rc_off) << grp.name() << " round " << round;
+      EXPECT_EQ(ec_on, ec_off) << grp.name() << " round " << round;
+      // Corrupted row still rejected in both modes.
+      Polynomial bad = row;
+      bad.coeff(0) += Scalar::one(grp);
+      EXPECT_FALSE(c_on.verify_poly(i, bad)) << grp.name();
+      multiexp_set_montgomery(false);
+      EXPECT_FALSE(c_off.verify_poly(i, bad)) << grp.name();
+      multiexp_set_montgomery(true);
+    }
+  }
+}
+
+TEST(Montgomery, EvenModulusFallsBackToPlainPath) {
+  // The transparent-fallback guard: a group whose modulus is even has no
+  // Montgomery form — for_group must say so, and every engine entry point
+  // must produce the plain-path result anyway.
+  const Group& base = Group::tiny256();
+  mpz_class even_p = base.p() + 1;
+  ASSERT_EQ(mpz_odd_p(even_p.get_mpz_t()), 0);
+  Group grp("tiny256-even", even_p.get_str(16), base.q().get_str(16), base.g().get_str(16));
+  EXPECT_EQ(grp.montgomery(), nullptr);
+  EXPECT_EQ(MontgomeryCtx::for_group(grp), nullptr);
+
+  Drbg rng(testprop::property_seed() ^ 0x55);
+  std::vector<Element> bases;
+  std::vector<Scalar> exps;
+  for (int j = 0; j < 4; ++j) {
+    bases.push_back(Element::generator(grp).pow_u64(2 + static_cast<std::uint64_t>(j)));
+    exps.push_back(Scalar::random(grp, rng));
+  }
+  Element expect = Element::identity(grp);
+  for (std::size_t j = 0; j < bases.size(); ++j) expect *= bases[j].pow(exps[j]);
+  EXPECT_EQ(multiexp(grp, bases, exps), expect);
+  Element idx_expect = Element::identity(grp);
+  Scalar x = Scalar::from_u64(grp, 3);
+  Scalar ipow = Scalar::one(grp);
+  for (const Element& b : bases) {
+    idx_expect *= b.pow(ipow);
+    ipow = ipow * x;
+  }
+  EXPECT_EQ(multiexp_index(grp, bases, 3), idx_expect);
+  // The comb table builds (and answers) in the plain domain.
+  Scalar e = Scalar::random(grp, rng);
+  EXPECT_EQ(Element::exp_g(e).value(), powm(grp.g(), e.value(), even_p));
+}
+
+TEST(Montgomery, CtxCacheConcurrentFirstTouch) {
+  // Concurrent first use of a fresh modulus races the MontgomeryCtx cache
+  // build against lookups (the FixedBaseTable analogue; CI runs this file
+  // under the tsan preset). A distinct odd p guarantees the ctx does not
+  // exist yet.
+  const Group& base = Group::tiny256();
+  mpz_class fresh_p = base.p() + 4;  // odd: p is odd
+  ASSERT_NE(mpz_odd_p(fresh_p.get_mpz_t()), 0);
+  Group grp("tiny256-mont-race", fresh_p.get_str(16), base.q().get_str(16),
+            base.g().get_str(16));
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  std::vector<int> ok(kThreads, 0);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Drbg rng(testprop::property_seed() + 900 + static_cast<std::uint64_t>(w));
+      bool all = true;
+      for (int rep = 0; rep < 8; ++rep) {
+        const MontgomeryCtx* ctx = MontgomeryCtx::for_group(grp);
+        if (ctx == nullptr) {
+          all = false;
+          break;
+        }
+        mpz_class a = random_width_residue(fresh_p, rng);
+        mpz_class b = random_width_residue(fresh_p, rng);
+        MontgomeryCtx::Mul mm(*ctx);
+        mpz_class prod = ctx->to_mont(a);
+        mm.mul(prod, ctx->to_mont(b));
+        all = all && ctx->from_mont(prod) == mod(a * b, fresh_p);
+      }
+      ok[w] = all;
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (int w = 0; w < kThreads; ++w) EXPECT_TRUE(ok[w]) << w;
+}
+
+TEST(Montgomery, MontDomainBasesConcurrentFirstTouch) {
+  // Concurrent first verify_poly on one shared commitment races the
+  // per-commitment Montgomery image build (mirrors the SweepDriver shape:
+  // one SendMsg matrix, many receivers).
+  const Group& grp = Group::small512();
+  Drbg rng(testprop::property_seed() + 1000);
+  std::size_t t = 3;
+  BiPolynomial f = BiPolynomial::random(Scalar::random(grp, rng), t, rng);
+  FeldmanMatrix c = FeldmanMatrix::commit(f);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  std::vector<int> ok(kThreads, 0);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      bool all = true;
+      for (int rep = 0; rep < 4; ++rep) {
+        std::uint64_t i = 1 + static_cast<std::uint64_t>(w);
+        all = all && c.verify_poly(i, f.row(i));
+      }
+      ok[w] = all;
+    });
+  }
+  for (auto& t_ : workers) t_.join();
+  for (int w = 0; w < kThreads; ++w) EXPECT_TRUE(ok[w]) << w;
+}
+
+}  // namespace
+}  // namespace dkg::crypto

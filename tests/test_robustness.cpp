@@ -1,0 +1,220 @@
+// Negative/robustness property suite: randomized byte-stream mutation of
+// the adversarial-input decoding boundaries — FeldmanMatrix / FeldmanVector
+// / PedersenMatrix::from_bytes_checked and the wire decoders
+// vss::decode_send / vss::decode_ccreply. Every mutant must be handled
+// cleanly: either rejected (nullopt) or decoded into a value that satisfies
+// the boundary's invariants (right degree, all entries inside the order-q
+// subgroup). No crash, no UB — CI runs this under the ASan+UBSan preset,
+// where out-of-bounds reads in the Reader/limb paths would trip.
+//
+// Seeded via DKG_PROPERTY_SEED, scaled via DKG_PROPERTY_REPEAT (ctest
+// label `property`; see tests/property_test.hpp).
+#include <gtest/gtest.h>
+
+#include "common/serialize.hpp"
+#include "crypto/feldman.hpp"
+#include "crypto/pedersen.hpp"
+#include "property_test.hpp"
+#include "vss/vss_messages.hpp"
+
+namespace dkg {
+namespace {
+
+using crypto::BiPolynomial;
+using crypto::Drbg;
+using crypto::FeldmanMatrix;
+using crypto::FeldmanVector;
+using crypto::Group;
+using crypto::PedersenMatrix;
+using crypto::Polynomial;
+using crypto::Scalar;
+
+/// One random structural mutation of a valid frame: byte flips, bit flips,
+/// truncation, extension, splices and length-prefix tampering — the cheap
+/// end of a fuzzer, deterministic under the property seed.
+Bytes mutate(const Bytes& frame, Drbg& rng) {
+  Bytes b = frame;
+  switch (rng.uniform(6)) {
+    case 0:  // flip one whole byte
+      if (!b.empty()) b[rng.uniform(b.size())] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+      break;
+    case 1:  // flip one bit
+      if (!b.empty()) b[rng.uniform(b.size())] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+      break;
+    case 2:  // truncate at a random point
+      b.resize(rng.uniform(b.size() + 1));
+      break;
+    case 3:  // append random garbage
+      for (std::size_t n = 1 + rng.uniform(8); n-- > 0;) {
+        b.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+      }
+      break;
+    case 4: {  // overwrite a random span with random bytes
+      if (!b.empty()) {
+        std::size_t at = rng.uniform(b.size());
+        std::size_t len = 1 + rng.uniform(std::min<std::size_t>(16, b.size() - at));
+        for (std::size_t k = 0; k < len; ++k) {
+          b[at + k] = static_cast<std::uint8_t>(rng.uniform(256));
+        }
+      }
+      break;
+    }
+    default: {  // delete a random span (shifts every following field)
+      if (!b.empty()) {
+        std::size_t at = rng.uniform(b.size());
+        std::size_t len = 1 + rng.uniform(std::min<std::size_t>(8, b.size() - at));
+        b.erase(b.begin() + static_cast<std::ptrdiff_t>(at),
+                b.begin() + static_cast<std::ptrdiff_t>(at + len));
+      }
+      break;
+    }
+  }
+  return b;
+}
+
+Bytes random_bytes(Drbg& rng, std::size_t max_len) {
+  return rng.bytes(rng.uniform(max_len + 1));
+}
+
+bool entries_in_subgroup(const FeldmanMatrix& m) {
+  std::size_t t = m.degree();
+  for (std::size_t j = 0; j <= t; ++j) {
+    for (std::size_t l = 0; l <= t; ++l) {
+      if (!m.entry(j, l).in_subgroup()) return false;
+    }
+  }
+  return true;
+}
+
+TEST(RobustnessProperty, FeldmanMatrixCheckedDecodeSurvivesMutation) {
+  const Group& grp = Group::tiny256();
+  Drbg rng(testprop::property_seed() ^ 0x1001);
+  const std::size_t t = 2;
+  FeldmanMatrix m = FeldmanMatrix::commit(
+      BiPolynomial::random(Scalar::random(grp, rng), t, rng));
+  Bytes frame = m.to_bytes();
+  const std::size_t kCases = testprop::property_cases(2500);
+  std::size_t accepted = 0;
+  for (std::size_t c = 0; c < kCases; ++c) {
+    Bytes evil = mutate(frame, rng);
+    auto got = FeldmanMatrix::from_bytes_checked(grp, evil, t);
+    if (got.has_value()) {
+      ++accepted;
+      EXPECT_EQ(got->degree(), t);
+      EXPECT_TRUE(entries_in_subgroup(*got)) << "case " << c;
+    }
+  }
+  // Sanity: the harness isn't vacuous — the unmutated frame decodes, and
+  // mutants that decode are rare (subgroup membership is a strong filter).
+  EXPECT_TRUE(FeldmanMatrix::from_bytes_checked(grp, frame, t).has_value());
+  EXPECT_LT(accepted, kCases / 10);
+}
+
+TEST(RobustnessProperty, FeldmanVectorCheckedDecodeSurvivesMutation) {
+  const Group& grp = Group::tiny256();
+  Drbg rng(testprop::property_seed() ^ 0x1002);
+  const std::size_t t = 3;
+  FeldmanVector v = FeldmanVector::commit(Polynomial::random(grp, t, rng));
+  Bytes frame = v.to_bytes();
+  const std::size_t kCases = testprop::property_cases(2500);
+  for (std::size_t c = 0; c < kCases; ++c) {
+    Bytes evil = mutate(frame, rng);
+    auto got = FeldmanVector::from_bytes_checked(grp, evil, t);
+    if (got.has_value()) {
+      EXPECT_EQ(got->degree(), t);
+      for (std::size_t l = 0; l <= t; ++l) {
+        EXPECT_TRUE(got->entry(l).in_subgroup()) << "case " << c;
+      }
+    }
+  }
+  EXPECT_TRUE(FeldmanVector::from_bytes_checked(grp, frame, t).has_value());
+}
+
+TEST(RobustnessProperty, PedersenMatrixCheckedDecodeSurvivesMutation) {
+  const Group& grp = Group::tiny256();
+  Drbg rng(testprop::property_seed() ^ 0x1003);
+  const std::size_t t = 2;
+  crypto::PedersenDealing d{BiPolynomial::random(Scalar::random(grp, rng), t, rng),
+                            BiPolynomial::random(Scalar::random(grp, rng), t, rng)};
+  PedersenMatrix m = PedersenMatrix::commit(d);
+  Bytes frame = m.to_bytes();
+  const std::size_t kCases = testprop::property_cases(2000);
+  for (std::size_t c = 0; c < kCases; ++c) {
+    Bytes evil = mutate(frame, rng);
+    auto got = PedersenMatrix::from_bytes_checked(grp, evil, t);
+    if (got.has_value()) {
+      EXPECT_EQ(got->degree(), t);
+      for (std::size_t j = 0; j <= t; ++j) {
+        for (std::size_t l = 0; l <= t; ++l) {
+          EXPECT_TRUE(got->entry(j, l).in_subgroup()) << "case " << c;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(PedersenMatrix::from_bytes_checked(grp, frame, t).has_value());
+}
+
+TEST(RobustnessProperty, DecodeSendSurvivesMutation) {
+  const Group& grp = Group::tiny256();
+  Drbg rng(testprop::property_seed() ^ 0x1004);
+  const std::size_t t = 2;
+  auto c = std::make_shared<const FeldmanMatrix>(
+      FeldmanMatrix::commit(BiPolynomial::random(Scalar::random(grp, rng), t, rng)));
+  Polynomial row = Polynomial::random(grp, t, rng);
+  vss::SendMsg msg(vss::SessionId{3, 7}, c, row);
+  Writer w;
+  msg.serialize(w);
+  const Bytes frame = w.take();
+  ASSERT_TRUE(vss::decode_send(grp, t, frame).has_value());
+  const std::size_t kCases = testprop::property_cases(2500);
+  for (std::size_t cse = 0; cse < kCases; ++cse) {
+    Bytes evil = mutate(frame, rng);
+    auto got = vss::decode_send(grp, t, evil);  // must not crash / UB
+    if (got.has_value()) {
+      ASSERT_NE(got->commitment, nullptr);
+      EXPECT_EQ(got->commitment->degree(), t);
+      EXPECT_TRUE(entries_in_subgroup(*got->commitment)) << "case " << cse;
+      if (got->row.has_value()) EXPECT_EQ(got->row->degree(), t);
+    }
+  }
+  // Pure garbage streams, including empty ones.
+  for (std::size_t cse = 0; cse < testprop::property_cases(500); ++cse) {
+    Bytes junk = random_bytes(rng, frame.size() * 2);
+    auto got = vss::decode_send(grp, t, junk);
+    if (got.has_value()) {
+      EXPECT_TRUE(entries_in_subgroup(*got->commitment));
+    }
+  }
+}
+
+TEST(RobustnessProperty, DecodeCcreplySurvivesMutation) {
+  const Group& grp = Group::tiny256();
+  Drbg rng(testprop::property_seed() ^ 0x1005);
+  const std::size_t t = 2;
+  auto c = std::make_shared<const FeldmanMatrix>(
+      FeldmanMatrix::commit(BiPolynomial::random(Scalar::random(grp, rng), t, rng)));
+  vss::CommitmentReply msg(vss::SessionId{1, 9}, c);
+  Writer w;
+  msg.serialize(w);
+  const Bytes frame = w.take();
+  ASSERT_TRUE(vss::decode_ccreply(grp, t, frame).has_value());
+  const std::size_t kCases = testprop::property_cases(2500);
+  for (std::size_t cse = 0; cse < kCases; ++cse) {
+    Bytes evil = mutate(frame, rng);
+    auto got = vss::decode_ccreply(grp, t, evil);
+    if (got.has_value()) {
+      ASSERT_NE(got->commitment, nullptr);
+      EXPECT_EQ(got->commitment->degree(), t);
+      EXPECT_TRUE(entries_in_subgroup(*got->commitment)) << "case " << cse;
+    }
+  }
+  for (std::size_t cse = 0; cse < testprop::property_cases(500); ++cse) {
+    auto got = vss::decode_ccreply(grp, t, random_bytes(rng, frame.size() * 2));
+    if (got.has_value()) {
+      EXPECT_TRUE(entries_in_subgroup(*got->commitment));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dkg
