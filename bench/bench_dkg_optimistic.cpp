@@ -14,12 +14,14 @@
 
 namespace {
 
-// Hashed mode (the paper's regime) reaches n = 50; the full-matrix contrast
-// series stops at 31 — full mode ships a (t+1)^2 matrix in every echo/ready,
-// so its n = 50 point costs minutes of wall clock for no extra shape
-// information (bytes ~ n^5 is visible well before that).
+// Hashed mode (the paper's regime) reaches n = 50. The full-matrix contrast
+// series ships a (t+1)^2 matrix in every echo/ready (bytes ~ n^5); it used
+// to stop at 31 because every message RE-SERIALIZED that matrix per
+// recipient, but the interned wire layer (FeldmanMatrix::canonical_bytes +
+// shared-payload fan-out) serializes each commitment once, so the series
+// now reaches n = 64 — byte totals at the old grid points are unchanged.
 constexpr std::size_t kNs[] = {4, 7, 10, 13, 16, 19, 25, 31, 50};
-constexpr std::size_t kFullNs[] = {4, 7, 10, 13, 16, 19, 25, 31};
+constexpr std::size_t kFullNs[] = {4, 7, 10, 13, 16, 19, 25, 31, 50, 64};
 constexpr std::size_t kModNs[] = {10, 16};
 constexpr std::size_t kBigNs[] = {7};
 

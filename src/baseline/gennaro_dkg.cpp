@@ -28,25 +28,27 @@ bool PedersenVector::verify_pair(std::uint64_t i, const Scalar& s, const Scalar&
          crypto::multiexp_index(grp, entries_, i);
 }
 
-Bytes PedersenVector::to_bytes() const {
-  Writer w;
-  w.u32(static_cast<std::uint32_t>(entries_.size()));
-  for (const Element& e : entries_) w.raw(e.to_bytes());
-  return w.take();
+const Bytes& PedersenVector::canonical_bytes() const {
+  return wire_.bytes([this] {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(entries_.size()));
+    for (const Element& e : entries_) w.raw(e.to_bytes());
+    return w.take();
+  });
 }
 
 namespace {
 struct GjkrCommitMsg : sim::Message {
   std::shared_ptr<const PedersenVector> commitment;
   explicit GjkrCommitMsg(std::shared_ptr<const PedersenVector> c) : commitment(std::move(c)) {}
-  std::string type() const override { return "gjkr.commit"; }
-  void serialize(Writer& w) const override { w.blob(commitment->to_bytes()); }
+  std::string_view type() const override { return "gjkr.commit"; }
+  void serialize(Writer& w) const override { w.blob(commitment->canonical_bytes()); }
 };
 
 struct GjkrPairMsg : sim::Message {
   Scalar s, s_prime;
   GjkrPairMsg(Scalar a, Scalar b) : s(std::move(a)), s_prime(std::move(b)) {}
-  std::string type() const override { return "gjkr.pair"; }
+  std::string_view type() const override { return "gjkr.pair"; }
   void serialize(Writer& w) const override {
     w.raw(s.to_bytes());
     w.raw(s_prime.to_bytes());
@@ -56,7 +58,7 @@ struct GjkrPairMsg : sim::Message {
 struct GjkrComplaintMsg : sim::Message {
   std::vector<sim::NodeId> accused;
   explicit GjkrComplaintMsg(std::vector<sim::NodeId> a) : accused(std::move(a)) {}
-  std::string type() const override { return "gjkr.complaint"; }
+  std::string_view type() const override { return "gjkr.complaint"; }
   void serialize(Writer& w) const override {
     w.u32(static_cast<std::uint32_t>(accused.size()));
     for (sim::NodeId id : accused) w.u32(id);
@@ -65,7 +67,7 @@ struct GjkrComplaintMsg : sim::Message {
 
 struct GjkrRevealMsg : sim::Message {
   std::vector<std::tuple<sim::NodeId, Scalar, Scalar>> reveals;
-  std::string type() const override { return "gjkr.reveal"; }
+  std::string_view type() const override { return "gjkr.reveal"; }
   void serialize(Writer& w) const override {
     w.u32(static_cast<std::uint32_t>(reveals.size()));
     for (const auto& [victim, s, sp] : reveals) {
@@ -79,8 +81,8 @@ struct GjkrRevealMsg : sim::Message {
 struct GjkrFeldmanMsg : sim::Message {
   std::shared_ptr<const FeldmanVector> commitment;
   explicit GjkrFeldmanMsg(std::shared_ptr<const FeldmanVector> c) : commitment(std::move(c)) {}
-  std::string type() const override { return "gjkr.feldman"; }
-  void serialize(Writer& w) const override { w.blob(commitment->to_bytes()); }
+  std::string_view type() const override { return "gjkr.feldman"; }
+  void serialize(Writer& w) const override { w.blob(commitment->canonical_bytes()); }
 };
 
 /// Extraction complaint: the (s, s') pair proves the dealer's A_i is wrong.
@@ -89,7 +91,7 @@ struct GjkrXComplaintMsg : sim::Message {
   Scalar s, s_prime;
   GjkrXComplaintMsg(sim::NodeId d, Scalar a, Scalar b)
       : dealer(d), s(std::move(a)), s_prime(std::move(b)) {}
-  std::string type() const override { return "gjkr.xcomplaint"; }
+  std::string_view type() const override { return "gjkr.xcomplaint"; }
   void serialize(Writer& w) const override {
     w.u32(dealer);
     w.raw(s.to_bytes());
@@ -103,7 +105,7 @@ struct GjkrPoolMsg : sim::Message {
   Scalar s, s_prime;
   GjkrPoolMsg(sim::NodeId d, Scalar a, Scalar b)
       : dealer(d), s(std::move(a)), s_prime(std::move(b)) {}
-  std::string type() const override { return "gjkr.pool"; }
+  std::string_view type() const override { return "gjkr.pool"; }
   void serialize(Writer& w) const override {
     w.u32(dealer);
     w.raw(s.to_bytes());

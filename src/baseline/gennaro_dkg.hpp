@@ -23,6 +23,7 @@
 #include "crypto/element.hpp"
 #include "crypto/feldman.hpp"
 #include "crypto/polynomial.hpp"
+#include "crypto/wire_memo.hpp"
 
 namespace dkg::baseline {
 
@@ -46,10 +47,13 @@ class PedersenVector {
 
   std::size_t degree() const { return entries_.size() - 1; }
   bool verify_pair(std::uint64_t i, const crypto::Scalar& s, const crypto::Scalar& s_prime) const;
-  Bytes to_bytes() const;
+  /// See FeldmanMatrix::canonical_bytes.
+  const Bytes& canonical_bytes() const;
+  Bytes to_bytes() const { return canonical_bytes(); }
 
  private:
   std::vector<crypto::Element> entries_;
+  crypto::WireMemo wire_;  // see FeldmanMatrix::wire_
 };
 
 class GennaroNode : public SyncProtocol {

@@ -13,21 +13,21 @@ namespace {
 struct JfCommitMsg : sim::Message {
   std::shared_ptr<const FeldmanVector> commitment;
   explicit JfCommitMsg(std::shared_ptr<const FeldmanVector> c) : commitment(std::move(c)) {}
-  std::string type() const override { return "jf.commit"; }
-  void serialize(Writer& w) const override { w.blob(commitment->to_bytes()); }
+  std::string_view type() const override { return "jf.commit"; }
+  void serialize(Writer& w) const override { w.blob(commitment->canonical_bytes()); }
 };
 
 struct JfShareMsg : sim::Message {
   Scalar share;
   explicit JfShareMsg(Scalar s) : share(std::move(s)) {}
-  std::string type() const override { return "jf.share"; }
+  std::string_view type() const override { return "jf.share"; }
   void serialize(Writer& w) const override { w.raw(share.to_bytes()); }
 };
 
 struct JfComplaintMsg : sim::Message {
   std::vector<sim::NodeId> accused;
   explicit JfComplaintMsg(std::vector<sim::NodeId> a) : accused(std::move(a)) {}
-  std::string type() const override { return "jf.complaint"; }
+  std::string_view type() const override { return "jf.complaint"; }
   void serialize(Writer& w) const override {
     w.u32(static_cast<std::uint32_t>(accused.size()));
     for (sim::NodeId id : accused) w.u32(id);
@@ -36,7 +36,7 @@ struct JfComplaintMsg : sim::Message {
 
 struct JfRevealMsg : sim::Message {
   std::vector<std::pair<sim::NodeId, Scalar>> reveals;  // (victim, share)
-  std::string type() const override { return "jf.reveal"; }
+  std::string_view type() const override { return "jf.reveal"; }
   void serialize(Writer& w) const override {
     w.u32(static_cast<std::uint32_t>(reveals.size()));
     for (const auto& [victim, share] : reveals) {

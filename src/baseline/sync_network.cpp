@@ -32,9 +32,13 @@ std::size_t SyncNetwork::run(std::size_t max_rounds) {
       for (Envelope& e : outbox) {
         e.from = id;
         if (e.to == 0) {
-          // Broadcast: n point-to-point copies (metered individually).
+          // Broadcast: n point-to-point copies of ONE shared payload —
+          // serialized and looked up once, still metered per recipient.
+          const std::size_t size = e.msg->wire_size();
+          sim::TypeStats& slot = metrics_.slot(e.msg->type());
           for (sim::NodeId j = 1; j <= n; ++j) {
-            metrics_.record_send(e.msg->type(), e.msg->wire_size());
+            slot.count += 1;
+            slot.bytes += size;
             next[j].push_back(Envelope{id, j, e.msg});
           }
         } else if (e.to <= n) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
 #include "common/bytes.hpp"
@@ -32,6 +33,16 @@ class Writer {
  private:
   Bytes buf_;
 };
+
+/// Length-prefixed blob of an optional interned payload: the object's
+/// memoized canonical_bytes() when `p` is non-null, an empty blob otherwise.
+/// The one encoding every message serializer carrying an optional
+/// commitment handle (VSS/AVSS/groupmod) shares.
+template <class T>
+void blob_shared(Writer& w, const std::shared_ptr<const T>& p) {
+  static const Bytes kEmpty;
+  w.blob(p ? p->canonical_bytes() : kEmpty);
+}
 
 /// Reader throws std::out_of_range on truncated input; protocol code treats
 /// that as a malformed message from a Byzantine peer and drops it.

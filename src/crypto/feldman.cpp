@@ -1,5 +1,9 @@
 #include "crypto/feldman.hpp"
 
+#include <deque>
+#include <map>
+#include <mutex>
+
 #include "common/serialize.hpp"
 #include "crypto/multiexp.hpp"
 #include "crypto/sha256.hpp"
@@ -128,14 +132,20 @@ FeldmanVector FeldmanMatrix::share_vector() const {
   return FeldmanVector(std::move(v));
 }
 
-Bytes FeldmanMatrix::to_bytes() const {
+Bytes FeldmanMatrix::encode() const {
   Writer w;
   w.u32(static_cast<std::uint32_t>(t_));
   for (const Element& e : entries_) w.raw(e.to_bytes());
   return w.take();
 }
 
-Bytes FeldmanMatrix::digest() const { return sha256(to_bytes()); }
+const Bytes& FeldmanMatrix::canonical_bytes() const {
+  return wire_.bytes([this] { return encode(); });
+}
+
+const Bytes& FeldmanMatrix::digest() const {
+  return wire_.digest([this] { return encode(); });
+}
 
 std::optional<FeldmanMatrix> FeldmanMatrix::from_bytes(const Group& grp, const Bytes& b,
                                                        std::size_t expect_t,
@@ -164,6 +174,71 @@ std::optional<FeldmanMatrix> FeldmanMatrix::from_bytes(const Group& grp, const B
 std::optional<FeldmanMatrix> FeldmanMatrix::from_bytes_checked(const Group& grp, const Bytes& b,
                                                                std::size_t expect_t) {
   return from_bytes(grp, b, expect_t, /*check_subgroup=*/true);
+}
+
+namespace {
+// Process-wide decode cache: sha256(wire bytes) -> decoded matrix. Bounded
+// FIFO — kMaxInternedDecodes shared matrices (a broadcast round needs one
+// per in-flight dealing) is far above any real run's working set.
+//
+// A cached matrix's Elements point at the Group passed to the decode that
+// built it, and the cache outlives any one caller, so a hit is revalidated
+// by group IDENTITY (the stored pointer must be the caller's group), never
+// by value equality: the long-lived Group::tiny256()/mod1024()/... singletons
+// every protocol uses hit the cache, while an ad-hoc equal-valued Group just
+// decodes fresh instead of receiving references into another group's
+// (possibly ended) lifetime.
+struct DecodeCache {
+  struct Entry {
+    const Group* grp = nullptr;  // the group the decode ran under
+    std::shared_ptr<const FeldmanMatrix> matrix;
+  };
+  std::mutex mu;
+  std::map<Bytes, Entry> by_digest;
+  std::deque<Bytes> order;
+};
+constexpr std::size_t kMaxInternedDecodes = 256;
+
+DecodeCache& decode_cache() {
+  static DecodeCache cache;
+  return cache;
+}
+
+bool cache_hit_usable(const DecodeCache::Entry& hit, const Group& grp, std::size_t expect_t) {
+  return hit.grp == &grp && hit.matrix->degree() == expect_t;
+}
+}  // namespace
+
+std::shared_ptr<const FeldmanMatrix> FeldmanMatrix::from_bytes_interned(const Group& grp,
+                                                                        const Bytes& b,
+                                                                        std::size_t expect_t) {
+  DecodeCache& cache = decode_cache();
+  Bytes key = sha256(b);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.by_digest.find(key);
+    // Revalidate: the same byte string decoded under another group instance
+    // or another expected degree must not be served across; fall through to
+    // a fresh uncached decode.
+    if (it != cache.by_digest.end() && cache_hit_usable(it->second, grp, expect_t)) {
+      return it->second.matrix;
+    }
+  }
+  std::optional<FeldmanMatrix> decoded = from_bytes_checked(grp, b, expect_t);
+  if (!decoded) return nullptr;
+  auto shared = std::make_shared<const FeldmanMatrix>(std::move(*decoded));
+  std::lock_guard<std::mutex> lock(cache.mu);
+  auto [it, inserted] = cache.by_digest.emplace(std::move(key), DecodeCache::Entry{&grp, shared});
+  if (!inserted) {
+    // A concurrent decode won the race; share its object when compatible.
+    return cache_hit_usable(it->second, grp, expect_t) ? it->second.matrix : shared;
+  }
+  cache.order.push_back(it->first);
+  if (cache.order.size() > kMaxInternedDecodes) {
+    cache.by_digest.erase(cache.order.front());
+    cache.order.pop_front();
+  }
+  return shared;
 }
 
 FeldmanVector::FeldmanVector(std::vector<Element> entries) : entries_(std::move(entries)) {
@@ -204,14 +279,20 @@ bool FeldmanVector::verify_share_batch(
   return Element::exp_g(lhs) == multiexp(grp, entries_, exps);
 }
 
-Bytes FeldmanVector::to_bytes() const {
+Bytes FeldmanVector::encode() const {
   Writer w;
   w.u32(static_cast<std::uint32_t>(degree()));
   for (const Element& e : entries_) w.raw(e.to_bytes());
   return w.take();
 }
 
-Bytes FeldmanVector::digest() const { return sha256(to_bytes()); }
+const Bytes& FeldmanVector::canonical_bytes() const {
+  return wire_.bytes([this] { return encode(); });
+}
+
+const Bytes& FeldmanVector::digest() const {
+  return wire_.digest([this] { return encode(); });
+}
 
 std::optional<FeldmanVector> FeldmanVector::from_bytes(const Group& grp, const Bytes& b,
                                                        std::size_t expect_t,

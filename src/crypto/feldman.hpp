@@ -17,6 +17,7 @@
 #include "crypto/element.hpp"
 #include "crypto/multiexp.hpp"
 #include "crypto/polynomial.hpp"
+#include "crypto/wire_memo.hpp"
 
 namespace dkg::crypto {
 
@@ -71,9 +72,16 @@ class FeldmanMatrix {
   /// verification vector for shares s_i = f(i, 0).
   FeldmanVector share_vector() const;
 
-  Bytes to_bytes() const;
-  /// SHA-256 of the canonical encoding; identifies C in echo/ready messages.
-  Bytes digest() const;
+  /// Canonical encoding, serialized ONCE per commitment object (thread-safe
+  /// memo) and shared by reference by every message that carries this
+  /// commitment — the wire layer's payload-interning primitive. The returned
+  /// reference is stable for this object's lifetime.
+  const Bytes& canonical_bytes() const;
+  /// A fresh copy of canonical_bytes() (kept for value-semantic callers).
+  Bytes to_bytes() const { return canonical_bytes(); }
+  /// SHA-256 of the canonical encoding; identifies C in echo/ready messages
+  /// and signs ready_sig_payload. Memoized together with canonical_bytes().
+  const Bytes& digest() const;
   /// Deserializes and validates shape. Subgroup membership of entries is
   /// checked when `check_subgroup` (costly; used in adversarial tests).
   static std::optional<FeldmanMatrix> from_bytes(const Group& grp, const Bytes& b,
@@ -85,6 +93,18 @@ class FeldmanMatrix {
   /// Element::from_bytes caveat.
   static std::optional<FeldmanMatrix> from_bytes_checked(const Group& grp, const Bytes& b,
                                                          std::size_t expect_t);
+  /// Digest-keyed decode cache over from_bytes_checked: the n receivers of
+  /// one broadcast matrix share ONE decode, one MontDomainBases entry-image
+  /// cache and one canonical-bytes/digest memo instead of n of each. Keyed
+  /// by sha256 of the exact byte string; a hit is revalidated against the
+  /// SAME group instance (by identity — cached entries reference the
+  /// decode-time Group, so the static Group singletons share while ad-hoc
+  /// groups decode fresh) and expect_t. Returns nullptr exactly when
+  /// from_bytes_checked would. Thread-safe (including concurrent first
+  /// touch); bounded FIFO.
+  static std::shared_ptr<const FeldmanMatrix> from_bytes_interned(const Group& grp,
+                                                                  const Bytes& b,
+                                                                  std::size_t expect_t);
 
   bool operator==(const FeldmanMatrix& o) const { return t_ == o.t_ && entries_ == o.entries_; }
 
@@ -92,12 +112,17 @@ class FeldmanMatrix {
   FeldmanMatrix(std::size_t t, std::vector<Element> entries)
       : t_(t), entries_(std::move(entries)) {}
 
+  Bytes encode() const;  // the canonical wire encoding (uncached)
+
   std::size_t t_;
   std::vector<Element> entries_;  // row-major (t+1)x(t+1)
   // A commitment is one shared object checked by every receiver; this keeps
   // its entries in the REDC domain across all those verify-poly/projection
   // calls (built on first use, invisible in results and in operator==).
   MontDomainBases mont_;
+  // Likewise for the wire side: one canonical encoding + digest shared by
+  // every message/signature that carries this commitment.
+  WireMemo wire_;
 };
 
 class FeldmanVector {
@@ -125,8 +150,10 @@ class FeldmanVector {
   bool verify_share_batch(const std::vector<std::pair<std::uint64_t, Scalar>>& shares,
                           Drbg& rng) const;
 
-  Bytes to_bytes() const;
-  Bytes digest() const;
+  /// See FeldmanMatrix::canonical_bytes / digest.
+  const Bytes& canonical_bytes() const;
+  Bytes to_bytes() const { return canonical_bytes(); }
+  const Bytes& digest() const;
   static std::optional<FeldmanVector> from_bytes(const Group& grp, const Bytes& b,
                                                  std::size_t expect_t,
                                                  bool check_subgroup = false);
@@ -137,8 +164,11 @@ class FeldmanVector {
   bool operator==(const FeldmanVector& o) const { return entries_ == o.entries_; }
 
  private:
+  Bytes encode() const;  // the canonical wire encoding (uncached)
+
   std::vector<Element> entries_;
   MontDomainBases mont_;  // see FeldmanMatrix::mont_
+  WireMemo wire_;         // see FeldmanMatrix::wire_
 };
 
 /// One row-polynomial check for verify_poly_batch: does `row` match

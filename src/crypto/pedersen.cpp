@@ -49,14 +49,20 @@ bool PedersenMatrix::verify_point(std::uint64_t i, std::uint64_t m, const Scalar
   return Element::exp_g(alpha) * Element::exp_h(alpha_prime) == multiexp_index(grp, inner, i);
 }
 
-Bytes PedersenMatrix::to_bytes() const {
+Bytes PedersenMatrix::encode() const {
   Writer w;
   w.u32(static_cast<std::uint32_t>(t_));
   for (const Element& e : entries_) w.raw(e.to_bytes());
   return w.take();
 }
 
-Bytes PedersenMatrix::digest() const { return sha256(to_bytes()); }
+const Bytes& PedersenMatrix::canonical_bytes() const {
+  return wire_.bytes([this] { return encode(); });
+}
+
+const Bytes& PedersenMatrix::digest() const {
+  return wire_.digest([this] { return encode(); });
+}
 
 std::optional<PedersenMatrix> PedersenMatrix::from_bytes(const Group& grp, const Bytes& b,
                                                          std::size_t expect_t,

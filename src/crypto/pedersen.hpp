@@ -10,6 +10,7 @@
 #include "crypto/bipolynomial.hpp"
 #include "crypto/element.hpp"
 #include "crypto/multiexp.hpp"
+#include "crypto/wire_memo.hpp"
 
 namespace dkg::crypto {
 
@@ -34,8 +35,10 @@ class PedersenMatrix {
   bool verify_point(std::uint64_t i, std::uint64_t m, const Scalar& alpha,
                     const Scalar& alpha_prime) const;
 
-  Bytes to_bytes() const;
-  Bytes digest() const;
+  /// See FeldmanMatrix::canonical_bytes / digest.
+  const Bytes& canonical_bytes() const;
+  Bytes to_bytes() const { return canonical_bytes(); }
+  const Bytes& digest() const;
   static std::optional<PedersenMatrix> from_bytes(const Group& grp, const Bytes& b,
                                                   std::size_t expect_t,
                                                   bool check_subgroup = false);
@@ -50,9 +53,12 @@ class PedersenMatrix {
   PedersenMatrix(std::size_t t, std::vector<Element> entries)
       : t_(t), entries_(std::move(entries)) {}
 
+  Bytes encode() const;  // the canonical wire encoding (uncached)
+
   std::size_t t_;
   std::vector<Element> entries_;
   MontDomainBases mont_;  // see FeldmanMatrix::mont_
+  WireMemo wire_;         // see FeldmanMatrix::wire_
 };
 
 }  // namespace dkg::crypto

@@ -1,0 +1,27 @@
+#include "crypto/wire_memo.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace dkg::crypto {
+
+const WireMemo::Interned& WireMemo::intern(const Encoder& encode) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!interned_) {
+    auto built = std::make_unique<Interned>();
+    built->bytes = encode();
+    built->digest = sha256(built->bytes);
+    interned_ = std::move(built);
+  }
+  return *interned_;
+}
+
+const Bytes& WireMemo::bytes(const Encoder& encode) const { return intern(encode).bytes; }
+
+const Bytes& WireMemo::digest(const Encoder& encode) const { return intern(encode).digest; }
+
+void WireMemo::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  interned_.reset();
+}
+
+}  // namespace dkg::crypto

@@ -1,0 +1,60 @@
+// Shared-payload interning for commitment objects. A commitment matrix is
+// ONE immutable object referenced by every send/echo/ready message of a
+// broadcast round, but each of those messages used to re-serialize its
+// (t+1)^2 entries on the way to the wire — the ~n^5 byte/CPU wall the E4
+// full-commitment sweep hits. WireMemo pairs an object's canonical encoding
+// with its SHA-256 digest and computes both exactly once per object, so
+// serialization, signing payloads and digest lookups all share one buffer.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/bytes.hpp"
+
+namespace dkg::crypto {
+
+/// Thread-safe one-shot memo of (canonical bytes, sha256 digest).
+///
+/// Value-semantic holder for value-semantic owners (the same contract as
+/// MontDomainBases): copies and assignments start empty — the owner's
+/// entries changed or were duplicated — the pair is built at most once
+/// behind a mutex, and the returned references stay stable for the owner's
+/// lifetime. The encode callback must be a pure function of the owner's
+/// immutable state.
+class WireMemo {
+ public:
+  WireMemo() = default;
+  WireMemo(const WireMemo&) noexcept {}
+  WireMemo(WireMemo&&) noexcept {}
+  WireMemo& operator=(const WireMemo&) noexcept {
+    reset();
+    return *this;
+  }
+  WireMemo& operator=(WireMemo&&) noexcept {
+    reset();
+    return *this;
+  }
+
+  using Encoder = std::function<Bytes()>;
+
+  /// The canonical encoding; `encode` runs at most once per object.
+  const Bytes& bytes(const Encoder& encode) const;
+  /// SHA-256 of bytes(encode), memoized together with the encoding.
+  const Bytes& digest(const Encoder& encode) const;
+
+ private:
+  struct Interned {
+    Bytes bytes;
+    Bytes digest;
+  };
+
+  const Interned& intern(const Encoder& encode) const;
+  void reset();
+
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<const Interned> interned_;
+};
+
+}  // namespace dkg::crypto

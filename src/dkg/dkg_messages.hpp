@@ -19,14 +19,14 @@ struct DkgStartOp : DkgMessage {
   std::optional<crypto::Scalar> secret;
   DkgStartOp(std::uint32_t t, std::optional<crypto::Scalar> s)
       : DkgMessage(t), secret(std::move(s)) {}
-  std::string type() const override { return "dkg.in.start"; }
+  std::string_view type() const override { return "dkg.in.start"; }
   void serialize(Writer& w) const override;
 };
 
 /// Operator message: (L, tau, in, recover).
 struct DkgRecoverOp : DkgMessage {
   using DkgMessage::DkgMessage;
-  std::string type() const override { return "dkg.in.recover"; }
+  std::string_view type() const override { return "dkg.in.recover"; }
   void serialize(Writer& w) const override;
 };
 
@@ -44,7 +44,7 @@ struct DkgSendMsg : DkgMessage {
 
   DkgSendMsg(std::uint32_t t, std::uint64_t v, NodeSet qq)
       : DkgMessage(t), view(v), q(std::move(qq)) {}
-  std::string type() const override { return "dkg.send"; }
+  std::string_view type() const override { return "dkg.send"; }
   void serialize(Writer& w) const override;
 };
 
@@ -55,7 +55,7 @@ struct DkgEchoMsg : DkgMessage {
   crypto::Signature sig;
   DkgEchoMsg(std::uint32_t t, std::uint64_t v, NodeSet qq, crypto::Signature s)
       : DkgMessage(t), view(v), q(std::move(qq)), sig(std::move(s)) {}
-  std::string type() const override { return "dkg.echo"; }
+  std::string_view type() const override { return "dkg.echo"; }
   void serialize(Writer& w) const override;
 };
 
@@ -66,7 +66,7 @@ struct DkgReadyMsg : DkgMessage {
   crypto::Signature sig;
   DkgReadyMsg(std::uint32_t t, std::uint64_t v, NodeSet qq, crypto::Signature s)
       : DkgMessage(t), view(v), q(std::move(qq)), sig(std::move(s)) {}
-  std::string type() const override { return "dkg.ready"; }
+  std::string_view type() const override { return "dkg.ready"; }
   void serialize(Writer& w) const override;
 };
 
@@ -80,14 +80,14 @@ struct LeadChMsg : DkgMessage {
 
   LeadChMsg(std::uint32_t t, std::uint64_t v, crypto::Signature s)
       : DkgMessage(t), target_view(v), sig(std::move(s)) {}
-  std::string type() const override { return "dkg.lead-ch"; }
+  std::string_view type() const override { return "dkg.lead-ch"; }
   void serialize(Writer& w) const override;
 };
 
 /// DKG-layer help request (recovery replay of B_{L,tau}).
 struct DkgHelpMsg : DkgMessage {
   using DkgMessage::DkgMessage;
-  std::string type() const override { return "dkg.help"; }
+  std::string_view type() const override { return "dkg.help"; }
   void serialize(Writer& w) const override;
 };
 

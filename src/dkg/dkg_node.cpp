@@ -12,6 +12,7 @@ DkgNode::DkgNode(DkgParams params, sim::NodeId self)
   params_.vss.sign_ready = true;  // extended-HybridVSS is mandatory inside DKG
   if (!params_.vss.keyring) throw std::invalid_argument("DkgNode: keyring required");
   if (!params_.vss.resilient()) throw std::invalid_argument("DkgNode: n < 3t + 2f + 1");
+  peers_ = sim::all_nodes(params_.n());
 }
 
 sim::Time DkgNode::timeout_for_view(std::uint64_t view) const {
@@ -23,6 +24,11 @@ sim::Time DkgNode::timeout_for_view(std::uint64_t view) const {
 void DkgNode::send_buffered(sim::Context& ctx, sim::NodeId to, sim::MessagePtr msg) {
   buffer_.at(to).push_back(msg);
   ctx.send(to, std::move(msg));
+}
+
+void DkgNode::multicast_buffered(sim::Context& ctx, const sim::MessagePtr& msg) {
+  for (sim::NodeId j : peers_) buffer_.at(j).push_back(msg);
+  ctx.multicast(peers_, msg);
 }
 
 vss::VssInstance& DkgNode::vss_instance(sim::NodeId dealer) {
@@ -126,7 +132,7 @@ void DkgNode::send_proposal(sim::Context& ctx) {
     return m;
   }();
   msg->lead_ch_proof = my_lead_ch_proof_;
-  for (sim::NodeId j = 1; j <= params_.n(); ++j) send_buffered(ctx, j, msg);
+  multicast_buffered(ctx, msg);
 }
 
 void DkgNode::on_send(sim::Context& ctx, sim::NodeId from, const DkgSendMsg& m) {
@@ -175,7 +181,7 @@ void DkgNode::on_send(sim::Context& ctx, sim::NodeId from, const DkgSendMsg& m) 
   crypto::Signature sig =
       ring.sign_as(self_, dkg_echo_payload(params_.tau, m.view, m.q));
   auto echo = std::make_shared<DkgEchoMsg>(params_.tau, m.view, m.q, std::move(sig));
-  for (sim::NodeId j = 1; j <= params_.n(); ++j) send_buffered(ctx, j, echo);
+  multicast_buffered(ctx, echo);
 }
 
 void DkgNode::adopt_certificate(const NodeSet& q, const ProposalProof& proof) {
@@ -208,7 +214,7 @@ void DkgNode::on_echo(sim::Context& ctx, sim::NodeId from, const DkgEchoMsg& m) 
     adopt_certificate(m.q, proof);
     crypto::Signature sig = ring.sign_as(self_, dkg_ready_payload(params_.tau, m.view, m.q));
     auto ready = std::make_shared<DkgReadyMsg>(params_.tau, m.view, m.q, std::move(sig));
-    for (sim::NodeId j = 1; j <= params_.n(); ++j) send_buffered(ctx, j, ready);
+    multicast_buffered(ctx, ready);
   }
 }
 
@@ -237,7 +243,7 @@ void DkgNode::on_ready(sim::Context& ctx, sim::NodeId from, const DkgReadyMsg& m
     adopt_certificate(m.q, proof);
     crypto::Signature sig = ring.sign_as(self_, dkg_ready_payload(params_.tau, m.view, m.q));
     auto ready = std::make_shared<DkgReadyMsg>(params_.tau, m.view, m.q, std::move(sig));
-    for (sim::NodeId j = 1; j <= params_.n(); ++j) send_buffered(ctx, j, ready);
+    multicast_buffered(ctx, ready);
   } else if (tally.ready_signers.size() == params_.ready_quorum()) {
     ctx.stop_timer(kProposalTimer);
     decided_view_ = m.view;
@@ -303,7 +309,7 @@ void DkgNode::send_lead_ch(sim::Context& ctx, std::uint64_t target_view) {
     msg->q = q_hat_;
     msg->dealer_proofs = r_hat_;
   }
-  for (sim::NodeId j = 1; j <= params_.n(); ++j) send_buffered(ctx, j, msg);
+  multicast_buffered(ctx, msg);
 }
 
 void DkgNode::on_lead_ch(sim::Context& ctx, sim::NodeId from, const LeadChMsg& m) {
@@ -390,9 +396,7 @@ void DkgNode::on_help(sim::Context& ctx, sim::NodeId from) {
 
 void DkgNode::on_recover(sim::Context& ctx) {
   if (!started_) return;
-  for (sim::NodeId j = 1; j <= params_.n(); ++j) {
-    ctx.send(j, std::make_shared<DkgHelpMsg>(params_.tau));
-  }
+  ctx.multicast(peers_, std::make_shared<DkgHelpMsg>(params_.tau));
   for (sim::NodeId j = 1; j <= params_.n(); ++j) {
     for (const sim::MessagePtr& m : buffer_.at(j)) ctx.send(j, m);
   }

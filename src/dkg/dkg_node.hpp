@@ -96,6 +96,8 @@ class DkgNode : public sim::Node {
   void init_vss(sim::Context& ctx);
   const vss::SharedOutput& vss_output(sim::NodeId dealer) const { return vss_outputs_.at(dealer); }
   bool is_started() const { return started_; }
+  /// The protocol's recipient set 1..n (for shared-payload multicasts).
+  const std::vector<sim::NodeId>& peers() const { return peers_; }
 
   DkgParams params_;
   sim::NodeId self_;
@@ -117,6 +119,9 @@ class DkgNode : public sim::Node {
   void try_finalize(sim::Context& ctx);
   sim::Time timeout_for_view(std::uint64_t view) const;
   void send_buffered(sim::Context& ctx, sim::NodeId to, sim::MessagePtr msg);
+  /// Shared-payload fan-out of one identical message to all of 1..n,
+  /// recorded into every retransmission buffer (B_{L,tau}).
+  void multicast_buffered(sim::Context& ctx, const sim::MessagePtr& msg);
   bool leader_is_self() const { return leader_of_view(view_, params_.n()) == self_; }
 
   // Per-(view, Q) echo/ready bookkeeping.
@@ -154,6 +159,7 @@ class DkgNode : public sim::Node {
   std::vector<SignerSig> my_lead_ch_proof_;  // legitimacy proof if self became leader
 
   // Recovery (B_{L,tau} buffers and help budget).
+  std::vector<sim::NodeId> peers_;  // 1..n
   std::vector<std::vector<sim::MessagePtr>> buffer_;
   std::uint64_t help_total_ = 0;
   std::map<sim::NodeId, std::uint64_t> help_per_node_;

@@ -5,8 +5,7 @@ namespace dkg::groupmod {
 void GroupModNode::on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) {
   if (from == sim::kOperator) {
     if (const auto* op = dynamic_cast<const ProposeOp*>(msg.get())) {
-      auto propose = std::make_shared<GmProposeMsg>(op->proposal);
-      for (sim::NodeId j = 1; j <= params_.n; ++j) ctx.send(j, propose);
+      ctx.multicast(peers(), std::make_shared<GmProposeMsg>(op->proposal));
     }
     return;
   }
@@ -31,8 +30,7 @@ void GroupModNode::on_message(sim::Context& ctx, sim::NodeId from, const sim::Me
     case kPropose:
       if (!tally.sent_echo && (!policy_ || policy_(*p))) {
         tally.sent_echo = true;
-        auto echo = std::make_shared<GmEchoMsg>(*p);
-        for (sim::NodeId j = 1; j <= params_.n; ++j) ctx.send(j, echo);
+        ctx.multicast(peers(), std::make_shared<GmEchoMsg>(*p));
       }
       break;
     case kEcho:
@@ -49,8 +47,7 @@ void GroupModNode::maybe_progress(sim::Context& ctx, const Proposal& p, Tally& t
   if (!tally.sent_ready &&
       (tally.echoes.size() >= params_.echo_quorum() || tally.readys.size() >= params_.t + 1)) {
     tally.sent_ready = true;
-    auto ready = std::make_shared<GmReadyMsg>(p);
-    for (sim::NodeId j = 1; j <= params_.n; ++j) ctx.send(j, ready);
+    ctx.multicast(peers(), std::make_shared<GmReadyMsg>(p));
   }
   if (!tally.accepted && tally.readys.size() >= params_.ready_quorum()) {
     tally.accepted = true;

@@ -27,28 +27,28 @@ struct GmParams {
 struct ProposeOp : sim::Message {
   Proposal proposal;
   explicit ProposeOp(Proposal p) : proposal(p) {}
-  std::string type() const override { return "gm.in.propose"; }
+  std::string_view type() const override { return "gm.in.propose"; }
   void serialize(Writer& w) const override { w.raw(proposal.encode()); }
 };
 
 struct GmProposeMsg : sim::Message {
   Proposal proposal;
   explicit GmProposeMsg(Proposal p) : proposal(p) {}
-  std::string type() const override { return "gm.propose"; }
+  std::string_view type() const override { return "gm.propose"; }
   void serialize(Writer& w) const override { w.raw(proposal.encode()); }
 };
 
 struct GmEchoMsg : sim::Message {
   Proposal proposal;
   explicit GmEchoMsg(Proposal p) : proposal(p) {}
-  std::string type() const override { return "gm.echo"; }
+  std::string_view type() const override { return "gm.echo"; }
   void serialize(Writer& w) const override { w.raw(proposal.encode()); }
 };
 
 struct GmReadyMsg : sim::Message {
   Proposal proposal;
   explicit GmReadyMsg(Proposal p) : proposal(p) {}
-  std::string type() const override { return "gm.ready"; }
+  std::string_view type() const override { return "gm.ready"; }
   void serialize(Writer& w) const override { w.raw(proposal.encode()); }
 };
 
@@ -60,7 +60,8 @@ class GroupModNode : public sim::Node {
   using Policy = std::function<bool(const Proposal&)>;
 
   GroupModNode(GmParams params, sim::NodeId self, Policy policy = {})
-      : params_(params), self_(self), policy_(std::move(policy)) {}
+      : params_(params), self_(self), policy_(std::move(policy)),
+        peers_(sim::all_nodes(params_.n)) {}
 
   void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
 
@@ -82,10 +83,12 @@ class GroupModNode : public sim::Node {
   };
 
   void maybe_progress(sim::Context& ctx, const Proposal& p, Tally& tally);
+  const std::vector<sim::NodeId>& peers() const { return peers_; }
 
   GmParams params_;
   sim::NodeId self_;
   Policy policy_;
+  std::vector<sim::NodeId> peers_;  // 1..n
   std::map<Bytes, Tally> tallies_;
   std::map<Bytes, Proposal> proposals_;
   std::vector<Proposal> queue_;

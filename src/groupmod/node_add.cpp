@@ -11,8 +11,8 @@ using crypto::Scalar;
 
 void SubshareMsg::serialize(Writer& w) const {
   w.u32(tau);
-  w.blob(h_commitment ? h_commitment->to_bytes() : Bytes{});
-  w.blob(group_vec ? group_vec->to_bytes() : Bytes{});
+  blob_shared(w, h_commitment);
+  blob_shared(w, group_vec);
   w.raw(subshare.to_bytes());
 }
 

@@ -23,7 +23,7 @@ struct SubshareMsg : core::DkgMessage {
               std::shared_ptr<const crypto::FeldmanVector> gv, crypto::Scalar s)
       : DkgMessage(t), h_commitment(std::move(hc)), group_vec(std::move(gv)),
         subshare(std::move(s)) {}
-  std::string type() const override { return "gm.subshare"; }
+  std::string_view type() const override { return "gm.subshare"; }
   void serialize(Writer& w) const override;
 };
 

@@ -24,8 +24,7 @@ void RenewalNode::on_message(sim::Context& ctx, sim::NodeId from, const sim::Mes
       if (!local_tick_) {
         local_tick_ = true;
         // Announce the tick and count it for ourselves.
-        auto announce = std::make_shared<ClockTickMsg>(params_.tau);
-        for (sim::NodeId j = 1; j <= params_.n(); ++j) ctx.send(j, announce);
+        ctx.multicast(peers(), std::make_shared<ClockTickMsg>(params_.tau));
       }
       return;
     }

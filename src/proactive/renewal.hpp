@@ -25,14 +25,14 @@ struct ShareState {
 /// Operator message: local clock tick for phase `tau` (§5.1).
 struct PhaseTickOp : core::DkgMessage {
   using DkgMessage::DkgMessage;
-  std::string type() const override { return "proactive.in.tick"; }
+  std::string_view type() const override { return "proactive.in.tick"; }
   void serialize(Writer& w) const override { w.u32(tau); }
 };
 
 /// Broadcast announcement of a local clock tick.
 struct ClockTickMsg : core::DkgMessage {
   using DkgMessage::DkgMessage;
-  std::string type() const override { return "proactive.tick"; }
+  std::string_view type() const override { return "proactive.tick"; }
   void serialize(Writer& w) const override { w.u32(tau); }
 };
 

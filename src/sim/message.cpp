@@ -3,12 +3,14 @@
 namespace dkg::sim {
 
 std::size_t Message::wire_size() const {
-  if (cached_size_ == SIZE_MAX) {
+  std::size_t size = cached_size_.load(std::memory_order_acquire);
+  if (size == SIZE_MAX) {
     Writer w;
     serialize(w);
-    cached_size_ = w.size();
+    size = w.size();
+    cached_size_.store(size, std::memory_order_release);
   }
-  return cached_size_;
+  return size;
 }
 
 Bytes Message::wire_bytes() const {

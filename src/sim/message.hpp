@@ -3,12 +3,15 @@
 // Every protocol message implements `serialize`; the simulator charges
 // communication complexity (paper's "bit length of messages transferred")
 // by the exact serialized size, and signatures are computed over the same
-// canonical bytes.
+// canonical bytes. Message objects are immutable once sent and may be
+// shared across deliveries (broadcast fan-out) and across SweepDriver
+// threads, so the lazy wire-size memo below is atomic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <string>
+#include <string_view>
 
 #include "common/serialize.hpp"
 
@@ -21,19 +24,30 @@ using TimerId = std::uint64_t;
 
 class Message {
  public:
+  Message() = default;
+  // The atomic memo is not copyable; copies start unsized, and assignment
+  // drops the target's memo (the payload fields just changed).
+  Message(const Message&) noexcept {}
+  Message& operator=(const Message&) noexcept {
+    cached_size_.store(SIZE_MAX, std::memory_order_release);
+    return *this;
+  }
   virtual ~Message() = default;
 
-  /// Dotted type tag, e.g. "vss.echo" — the metrics key.
-  virtual std::string type() const = 0;
+  /// Dotted type tag, e.g. "vss.echo" — the metrics key. Implementations
+  /// return string literals (static storage), so the view never dangles.
+  virtual std::string_view type() const = 0;
   virtual void serialize(Writer& w) const = 0;
 
-  /// Serialized size in bytes (computed once, cached).
+  /// Serialized size in bytes (computed once, cached). Safe on payloads
+  /// shared across threads: a concurrent first touch may serialize twice,
+  /// but both writers store the same value through the atomic.
   std::size_t wire_size() const;
   /// Canonical bytes (for signing / hashing).
   Bytes wire_bytes() const;
 
  private:
-  mutable std::size_t cached_size_ = SIZE_MAX;
+  mutable std::atomic<std::size_t> cached_size_{SIZE_MAX};
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

@@ -2,15 +2,23 @@
 
 namespace dkg::sim {
 
-void Metrics::record_send(const std::string& type, std::size_t bytes) {
-  TypeStats& s = by_type_[type];
+TypeStats& Metrics::slot(std::string_view type) {
+  auto it = by_type_.find(type);
+  if (it == by_type_.end()) {
+    it = by_type_.emplace(std::string(type), TypeStats{}).first;
+  }
+  return it->second;
+}
+
+void Metrics::record_send(std::string_view type, std::size_t bytes) {
+  TypeStats& s = slot(type);
   s.count += 1;
   s.bytes += bytes;
 }
 
-void Metrics::record_drop(const std::string&) { dropped_ += 1; }
+void Metrics::record_drop(std::string_view) { dropped_ += 1; }
 
-void Metrics::record_invalid(const std::string&) { invalid_ += 1; }
+void Metrics::record_invalid(std::string_view) { invalid_ += 1; }
 
 std::uint64_t Metrics::total_messages() const {
   std::uint64_t n = 0;

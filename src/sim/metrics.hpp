@@ -18,9 +18,18 @@ struct TypeStats {
 
 class Metrics {
  public:
-  void record_send(const std::string& type, std::size_t bytes);
-  void record_drop(const std::string& type);
-  void record_invalid(const std::string& type);
+  /// Keyed by message type; std::less<> enables allocation-free
+  /// string_view lookup on the send hot path (a std::string key is built
+  /// only on a type's first appearance).
+  using TypeMap = std::map<std::string, TypeStats, std::less<>>;
+
+  void record_send(std::string_view type, std::size_t bytes);
+  void record_drop(std::string_view type);
+  void record_invalid(std::string_view type);
+
+  /// The mutable accounting slot for `type` — lets a broadcast fan-out
+  /// charge all n recipients through one map lookup.
+  TypeStats& slot(std::string_view type);
 
   /// Totals over all message types.
   std::uint64_t total_messages() const;
@@ -30,12 +39,12 @@ class Metrics {
 
   /// Totals restricted to types starting with `prefix` (e.g. "vss.").
   TypeStats by_prefix(std::string_view prefix) const;
-  const std::map<std::string, TypeStats>& by_type() const { return by_type_; }
+  const TypeMap& by_type() const { return by_type_; }
 
   void reset();
 
  private:
-  std::map<std::string, TypeStats> by_type_;
+  TypeMap by_type_;
   std::uint64_t dropped_ = 0;
   std::uint64_t invalid_ = 0;
 };

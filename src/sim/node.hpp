@@ -2,10 +2,21 @@
 // by operator, network and timer messages (paper §7's three message types).
 #pragma once
 
+#include <vector>
+
 #include "crypto/drbg.hpp"
 #include "sim/message.hpp"
 
 namespace dkg::sim {
+
+/// The full recipient set {1..n} — the peer list protocols keep for
+/// Context::multicast fan-outs.
+inline std::vector<NodeId> all_nodes(std::size_t n) {
+  std::vector<NodeId> out;
+  out.reserve(n);
+  for (NodeId j = 1; j <= n; ++j) out.push_back(j);
+  return out;
+}
 
 /// Handle through which a node acts on the world. Only valid during a
 /// callback; nodes must not store it.
@@ -19,10 +30,18 @@ class Context {
 
   /// Sends a point-to-point message (metrics are charged here).
   virtual void send(NodeId to, MessagePtr msg) = 0;
-  /// Sends to every node 1..n, including self ("send to each P_j").
-  void broadcast(const MessagePtr& msg) {
-    for (NodeId j = 1; j <= node_count(); ++j) send(j, msg);
+  /// Delivers the SAME immutable message object to every id in `to` — the
+  /// shared-payload fan-out: the payload is serialized once (its wire size
+  /// and any interned commitment bytes are memoized on the shared object),
+  /// while Metrics and the delay model are still consulted per recipient,
+  /// so byte totals and transcripts match `to.size()` unicasts bit for bit.
+  /// The default implementation IS that unicast loop; the simulator
+  /// overrides it with a single-charge fan-out.
+  virtual void multicast(const std::vector<NodeId>& to, MessagePtr msg) {
+    for (NodeId j : to) send(j, msg);
   }
+  /// Sends to every node 1..n, including self ("send to each P_j").
+  void broadcast(MessagePtr msg) { multicast(all_nodes(node_count()), std::move(msg)); }
 
   /// One-shot timer; fires on_timer(id) after `after` ticks unless stopped.
   virtual void start_timer(TimerId id, Time after) = 0;

@@ -15,6 +15,10 @@ class Simulator::NodeContext : public Context {
 
   void send(NodeId to, MessagePtr msg) override { sim_.internal_send(self_, to, std::move(msg)); }
 
+  void multicast(const std::vector<NodeId>& to, MessagePtr msg) override {
+    sim_.internal_multicast(self_, to, msg);
+  }
+
   void start_timer(TimerId id, Time after) override { sim_.internal_start_timer(self_, id, after); }
   void stop_timer(TimerId id) override { sim_.internal_stop_timer(self_, id); }
 
@@ -76,6 +80,30 @@ void Simulator::internal_send(NodeId from, NodeId to, MessagePtr msg) {
   Time d = delay_->delay(from, to, msg, now_, rng_);
   if (d == 0) d = 1;  // strictly-later delivery keeps the event order causal
   queue_.push(Event{now_ + d, seq_++, EventKind::Deliver, to, from, std::move(msg), 0, 0});
+}
+
+void Simulator::internal_multicast(NodeId from, const std::vector<NodeId>& to,
+                                   const MessagePtr& msg) {
+  if (!shared_fanout_) {
+    for (NodeId j : to) internal_send(from, j, msg);
+    return;
+  }
+  // One shared immutable payload: the wire size is computed once (and any
+  // commitment bytes inside it are interned on the shared object), while
+  // Metrics and the delay model run per recipient in the same order as the
+  // unicast loop — the paper charges by messages transferred, so counts,
+  // byte totals and the event transcript are bit-identical.
+  const std::size_t size = msg->wire_size();
+  TypeStats* slot = nullptr;
+  for (NodeId j : to) {
+    if (j == 0 || j >= nodes_.size()) continue;  // tolerate stale membership views
+    if (slot == nullptr) slot = &metrics_.slot(msg->type());
+    slot->count += 1;
+    slot->bytes += size;
+    Time d = delay_->delay(from, j, msg, now_, rng_);
+    if (d == 0) d = 1;
+    queue_.push(Event{now_ + d, seq_++, EventKind::Deliver, j, from, msg, 0, 0});
+  }
 }
 
 void Simulator::internal_start_timer(NodeId who, TimerId id, Time after) {

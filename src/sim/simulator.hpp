@@ -42,6 +42,13 @@ class Simulator {
   /// Delivers an operator message ("in" messages, §7) at time `at`.
   void post_operator(NodeId to, MessagePtr msg, Time at = 0);
 
+  /// Test/bench knob: when false, Context::multicast degrades to the
+  /// per-recipient unicast loop (the pre-interning wire path). Metrics and
+  /// transcripts are bit-identical either way — pinned by
+  /// tests/test_wire_interning.cpp; the fan-out only removes redundant
+  /// serialization work.
+  void set_shared_fanout(bool on) { shared_fanout_ = on; }
+
   /// Fault injection.
   void schedule_crash(NodeId id, Time at);
   void schedule_recover(NodeId id, Time at);
@@ -82,6 +89,7 @@ class Simulator {
   void ensure_started();
   void dispatch(const Event& ev);
   void internal_send(NodeId from, NodeId to, MessagePtr msg);
+  void internal_multicast(NodeId from, const std::vector<NodeId>& to, const MessagePtr& msg);
   void internal_start_timer(NodeId who, TimerId id, Time after);
   void internal_stop_timer(NodeId who, TimerId id);
 
@@ -99,6 +107,7 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   bool started_ = false;
+  bool shared_fanout_ = true;
 };
 
 }  // namespace dkg::sim

@@ -61,21 +61,21 @@ struct FullBiPoly {
 
 void AvssSendMsg::serialize(Writer& w) const {
   put_sid(w, sid);
-  w.blob(commitment ? commitment->to_bytes() : Bytes{});
+  blob_shared(w, commitment);
   w.blob(row.to_bytes());
   w.blob(col.to_bytes());
 }
 
 void AvssEchoMsg::serialize(Writer& w) const {
   put_sid(w, sid);
-  w.blob(commitment ? commitment->to_bytes() : Bytes{});
+  blob_shared(w, commitment);
   w.raw(alpha.to_bytes());
   w.raw(beta.to_bytes());
 }
 
 void AvssReadyMsg::serialize(Writer& w) const {
   put_sid(w, sid);
-  w.blob(commitment ? commitment->to_bytes() : Bytes{});
+  blob_shared(w, commitment);
   w.raw(alpha.to_bytes());
   w.raw(beta.to_bytes());
 }

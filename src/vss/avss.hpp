@@ -37,7 +37,7 @@ struct AvssSendMsg : VssMessage {
   AvssSendMsg(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c, crypto::Polynomial a,
               crypto::Polynomial b)
       : VssMessage(s), commitment(std::move(c)), row(std::move(a)), col(std::move(b)) {}
-  std::string type() const override { return "avss.send"; }
+  std::string_view type() const override { return "avss.send"; }
   void serialize(Writer& w) const override;
 };
 
@@ -48,7 +48,7 @@ struct AvssEchoMsg : VssMessage {
   AvssEchoMsg(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c, crypto::Scalar a,
               crypto::Scalar b)
       : VssMessage(s), commitment(std::move(c)), alpha(std::move(a)), beta(std::move(b)) {}
-  std::string type() const override { return "avss.echo"; }
+  std::string_view type() const override { return "avss.echo"; }
   void serialize(Writer& w) const override;
 };
 
@@ -59,7 +59,7 @@ struct AvssReadyMsg : VssMessage {
   AvssReadyMsg(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c, crypto::Scalar a,
                crypto::Scalar b)
       : VssMessage(s), commitment(std::move(c)), alpha(std::move(a)), beta(std::move(b)) {}
-  std::string type() const override { return "avss.ready"; }
+  std::string_view type() const override { return "avss.ready"; }
   void serialize(Writer& w) const override;
 };
 

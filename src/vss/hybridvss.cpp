@@ -17,11 +17,17 @@ VssInstance::VssInstance(VssParams params, SessionId sid, sim::NodeId self)
   if (params_.sign_ready && !params_.keyring) {
     throw std::invalid_argument("HybridVSS: sign_ready requires a keyring");
   }
+  peers_ = sim::all_nodes(params_.n);
 }
 
 void VssInstance::send_buffered(sim::Context& ctx, sim::NodeId to, sim::MessagePtr msg) {
   buffer_.at(to).push_back(msg);
   ctx.send(to, std::move(msg));
+}
+
+void VssInstance::multicast_buffered(sim::Context& ctx, const sim::MessagePtr& msg) {
+  for (sim::NodeId j : peers_) buffer_.at(j).push_back(msg);
+  ctx.multicast(peers_, msg);
 }
 
 void VssInstance::deal(sim::Context& ctx, const Scalar& secret) {
@@ -255,9 +261,7 @@ void VssInstance::on_ccreply(sim::Context& ctx, sim::NodeId, const CommitmentRep
 }
 
 void VssInstance::recover(sim::Context& ctx) {
-  for (sim::NodeId j = 1; j <= params_.n; ++j) {
-    ctx.send(j, std::make_shared<HelpMsg>(sid_));
-  }
+  ctx.multicast(peers_, std::make_shared<HelpMsg>(sid_));
   // Replay own outgoing buffer (Fig 1: "send all messages in B").
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
     for (const sim::MessagePtr& m : buffer_.at(j)) ctx.send(j, m);
@@ -267,10 +271,8 @@ void VssInstance::recover(sim::Context& ctx) {
 void VssInstance::start_reconstruct(sim::Context& ctx) {
   if (!shared_ || reconstructing_) return;
   reconstructing_ = true;
-  Bytes digest = shared_->commitment->digest();
-  for (sim::NodeId j = 1; j <= params_.n; ++j) {
-    ctx.send(j, std::make_shared<RecShareMsg>(sid_, digest, shared_->share));
-  }
+  ctx.multicast(peers_, std::make_shared<RecShareMsg>(sid_, shared_->commitment->digest(),
+                                                      shared_->share));
 }
 
 void VssInstance::on_rec_share(sim::Context& ctx, sim::NodeId from, const RecShareMsg& m) {

@@ -147,10 +147,14 @@ class VssInstance {
 
   /// Sends and records into the retransmission buffer B.
   void send_buffered(sim::Context& ctx, sim::NodeId to, sim::MessagePtr msg);
+  /// Shared-payload fan-out of one identical message to all of 1..n,
+  /// recorded into every retransmission buffer.
+  void multicast_buffered(sim::Context& ctx, const sim::MessagePtr& msg);
 
   VssParams params_;
   SessionId sid_;
   sim::NodeId self_;
+  std::vector<sim::NodeId> peers_;  // 1..n — the protocol's recipient set
 
   std::map<Bytes, PerCommit> commits_;
   std::optional<crypto::Element> expected_c00_;

@@ -30,7 +30,9 @@ void ReconstructOp::serialize(Writer& w) const { put_sid(w, sid); }
 
 void SendMsg::serialize(Writer& w) const {
   put_sid(w, sid);
-  w.blob(commitment ? commitment->to_bytes() : Bytes{});
+  // blob_shared: the commitment handle — every message sharing this matrix
+  // serializes the SAME interned buffer, none re-encodes entries.
+  blob_shared(w, commitment);
   w.blob(row ? row->to_bytes() : Bytes{});
 }
 
@@ -38,7 +40,7 @@ void EchoMsg::serialize(Writer& w) const {
   put_sid(w, sid);
   if (commitment) {
     w.u8(1);
-    w.blob(commitment->to_bytes());
+    w.blob(commitment->canonical_bytes());
   } else {
     w.u8(0);
     w.blob(digest);
@@ -50,7 +52,7 @@ void ReadyMsg::serialize(Writer& w) const {
   put_sid(w, sid);
   if (commitment) {
     w.u8(1);
-    w.blob(commitment->to_bytes());
+    w.blob(commitment->canonical_bytes());
   } else {
     w.u8(0);
     w.blob(digest);
@@ -73,7 +75,7 @@ void CommitmentReq::serialize(Writer& w) const {
 
 void CommitmentReply::serialize(Writer& w) const {
   put_sid(w, sid);
-  w.blob(commitment ? commitment->to_bytes() : Bytes{});
+  blob_shared(w, commitment);
 }
 
 void RecShareMsg::serialize(Writer& w) const {
@@ -99,7 +101,9 @@ std::optional<SendMsg> decode_send(const crypto::Group& grp, std::size_t t, cons
     Bytes rb = r.blob();
     if (!r.done()) return std::nullopt;
     if (cb.empty()) return std::nullopt;  // a send always carries the matrix
-    auto c = crypto::FeldmanMatrix::from_bytes_checked(grp, cb, t);
+    // Interned decode: the n receivers of one broadcast matrix share a
+    // single checked decode (and its Montgomery/wire memos).
+    auto c = crypto::FeldmanMatrix::from_bytes_interned(grp, cb, t);
     if (!c) return std::nullopt;
     std::optional<crypto::Polynomial> row;
     if (!rb.empty()) {
@@ -109,8 +113,7 @@ std::optional<SendMsg> decode_send(const crypto::Group& grp, std::size_t t, cons
       if (rb.size() != 4 + (t + 1) * grp.q_bytes()) return std::nullopt;
       row = crypto::Polynomial::from_bytes(grp, rb, t);
     }
-    return SendMsg(sid, std::make_shared<const crypto::FeldmanMatrix>(std::move(*c)),
-                   std::move(row));
+    return SendMsg(sid, std::move(c), std::move(row));
   } catch (const std::out_of_range&) {
     return std::nullopt;
   }
@@ -123,9 +126,9 @@ std::optional<CommitmentReply> decode_ccreply(const crypto::Group& grp, std::siz
     SessionId sid = read_sid(r);
     Bytes cb = r.blob();
     if (!r.done() || cb.empty()) return std::nullopt;
-    auto c = crypto::FeldmanMatrix::from_bytes_checked(grp, cb, t);
+    auto c = crypto::FeldmanMatrix::from_bytes_interned(grp, cb, t);
     if (!c) return std::nullopt;
-    return CommitmentReply(sid, std::make_shared<const crypto::FeldmanMatrix>(std::move(*c)));
+    return CommitmentReply(sid, std::move(c));
   } catch (const std::out_of_range&) {
     return std::nullopt;
   }

@@ -45,21 +45,21 @@ struct VssMessage : sim::Message {
 struct ShareOp : VssMessage {
   crypto::Scalar secret;
   ShareOp(SessionId s, crypto::Scalar sec) : VssMessage(s), secret(std::move(sec)) {}
-  std::string type() const override { return "vss.in.share"; }
+  std::string_view type() const override { return "vss.in.share"; }
   void serialize(Writer& w) const override;
 };
 
 /// Operator message (P_d, tau, in, recover).
 struct RecoverOp : VssMessage {
   using VssMessage::VssMessage;
-  std::string type() const override { return "vss.in.recover"; }
+  std::string_view type() const override { return "vss.in.recover"; }
   void serialize(Writer& w) const override;
 };
 
 /// Operator message (P_d, tau, in, reconstruct).
 struct ReconstructOp : VssMessage {
   using VssMessage::VssMessage;
-  std::string type() const override { return "vss.in.reconstruct"; }
+  std::string_view type() const override { return "vss.in.reconstruct"; }
   void serialize(Writer& w) const override;
 };
 
@@ -72,7 +72,7 @@ struct SendMsg : VssMessage {
   SendMsg(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c,
           std::optional<crypto::Polynomial> a)
       : VssMessage(s), commitment(std::move(c)), row(std::move(a)) {}
-  std::string type() const override { return "vss.send"; }
+  std::string_view type() const override { return "vss.send"; }
   void serialize(Writer& w) const override;
 };
 
@@ -86,7 +86,7 @@ struct EchoMsg : VssMessage {
   EchoMsg(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c, Bytes dig,
           crypto::Scalar alpha)
       : VssMessage(s), commitment(std::move(c)), digest(std::move(dig)), point(std::move(alpha)) {}
-  std::string type() const override { return "vss.echo"; }
+  std::string_view type() const override { return "vss.echo"; }
   void serialize(Writer& w) const override;
 };
 
@@ -104,14 +104,14 @@ struct ReadyMsg : VssMessage {
         digest(std::move(dig)),
         point(std::move(alpha)),
         sig(std::move(sg)) {}
-  std::string type() const override { return "vss.ready"; }
+  std::string_view type() const override { return "vss.ready"; }
   void serialize(Writer& w) const override;
 };
 
 /// (P_d, tau, help): a recovering node asks peers to replay B_l.
 struct HelpMsg : VssMessage {
   using VssMessage::VssMessage;
-  std::string type() const override { return "vss.help"; }
+  std::string_view type() const override { return "vss.help"; }
   void serialize(Writer& w) const override;
 };
 
@@ -119,7 +119,7 @@ struct HelpMsg : VssMessage {
 struct CommitmentReq : VssMessage {
   Bytes digest;
   CommitmentReq(SessionId s, Bytes dig) : VssMessage(s), digest(std::move(dig)) {}
-  std::string type() const override { return "vss.ccreq"; }
+  std::string_view type() const override { return "vss.ccreq"; }
   void serialize(Writer& w) const override;
 };
 
@@ -127,7 +127,7 @@ struct CommitmentReply : VssMessage {
   std::shared_ptr<const crypto::FeldmanMatrix> commitment;
   CommitmentReply(SessionId s, std::shared_ptr<const crypto::FeldmanMatrix> c)
       : VssMessage(s), commitment(std::move(c)) {}
-  std::string type() const override { return "vss.ccreply"; }
+  std::string_view type() const override { return "vss.ccreply"; }
   void serialize(Writer& w) const override;
 };
 
@@ -138,7 +138,7 @@ struct RecShareMsg : VssMessage {
   crypto::Scalar share;
   RecShareMsg(SessionId s, Bytes dig, crypto::Scalar sh)
       : VssMessage(s), digest(std::move(dig)), share(std::move(sh)) {}
-  std::string type() const override { return "vss.rec-share"; }
+  std::string_view type() const override { return "vss.rec-share"; }
   void serialize(Writer& w) const override;
 };
 

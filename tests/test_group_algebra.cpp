@@ -39,7 +39,9 @@ TEST_P(GroupSuite, ScalarFieldLaws) {
   EXPECT_EQ((a + b) + c, a + (b + c));
   EXPECT_EQ(a * (b + c), a * b + a * c);
   EXPECT_EQ(a + a.negate(), Scalar::zero(grp));
-  if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Scalar::one(grp));
+  if (!a.is_zero()) {
+    EXPECT_EQ(a * a.inverse(), Scalar::one(grp));
+  }
   EXPECT_EQ(a - b, a + b.negate());
 }
 

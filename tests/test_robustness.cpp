@@ -174,7 +174,9 @@ TEST(RobustnessProperty, DecodeSendSurvivesMutation) {
       ASSERT_NE(got->commitment, nullptr);
       EXPECT_EQ(got->commitment->degree(), t);
       EXPECT_TRUE(entries_in_subgroup(*got->commitment)) << "case " << cse;
-      if (got->row.has_value()) EXPECT_EQ(got->row->degree(), t);
+      if (got->row.has_value()) {
+        EXPECT_EQ(got->row->degree(), t);
+      }
     }
   }
   // Pure garbage streams, including empty ones.

@@ -11,7 +11,7 @@ namespace {
 struct PingMsg : Message {
   std::uint32_t value;
   explicit PingMsg(std::uint32_t v) : value(v) {}
-  std::string type() const override { return "test.ping"; }
+  std::string_view type() const override { return "test.ping"; }
   void serialize(Writer& w) const override { w.u32(value); }
 };
 
@@ -24,12 +24,17 @@ struct RecorderNode : Node {
   int recoveries = 0;
   NodeId echo_to = 0;
 
+  std::vector<NodeId> multicast_to;  // fan the first ping out to these ids
+
   void on_message(Context& ctx, NodeId from, const MessagePtr& msg) override {
     const auto* p = dynamic_cast<const PingMsg*>(msg.get());
     if (p == nullptr) return;
     received.emplace_back(from, p->value);
     receive_times.push_back(ctx.now());
     if (echo_to != 0) ctx.send(echo_to, std::make_shared<PingMsg>(p->value + 1));
+    if (!multicast_to.empty() && from == kOperator) {
+      ctx.multicast(multicast_to, std::make_shared<PingMsg>(p->value + 1));
+    }
   }
   void on_timer(Context&, TimerId id) override { timers.push_back(id); }
   void on_crash(Context&) override { ++crashes; }
@@ -159,6 +164,30 @@ TEST(Simulator, MetricsCountSendsAndBytes) {
   TypeStats s = sim.metrics().by_prefix("test.");
   EXPECT_EQ(s.count, 1u);
   EXPECT_EQ(s.bytes, 4u);  // one u32
+}
+
+TEST(Simulator, MulticastChargesPerRecipientAndSharesPayload) {
+  Simulator sim = make_sim(3, 1);
+  auto a = std::make_unique<RecorderNode>();
+  a->multicast_to = {1, 2, 3, 9};  // 9: stale membership view, silently skipped
+  sim.set_node(1, std::move(a));
+  auto b = std::make_unique<RecorderNode>();
+  RecorderNode* bp = b.get();
+  sim.set_node(2, std::move(b));
+  auto c = std::make_unique<RecorderNode>();
+  RecorderNode* cp = c.get();
+  sim.set_node(3, std::move(c));
+  sim.schedule_crash(3, 0);  // crashed at delivery: message dropped, still charged
+  sim.post_operator(1, std::make_shared<PingMsg>(1), 0);
+  EXPECT_TRUE(sim.run());
+  // Charged per valid recipient (self included), exactly like a unicast loop.
+  TypeStats s = sim.metrics().by_prefix("test.");
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.bytes, 12u);  // 3 x one u32
+  EXPECT_EQ(sim.metrics().dropped_messages(), 1u);
+  ASSERT_EQ(bp->received.size(), 1u);
+  EXPECT_EQ(bp->received[0], (std::pair<NodeId, std::uint32_t>{1, 2u}));
+  EXPECT_TRUE(cp->received.empty());
 }
 
 TEST(Simulator, RunUntilStopsEarly) {

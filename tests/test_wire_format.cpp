@@ -172,7 +172,7 @@ TEST(WireFormat, CheckedDecodeRejectsOutOfSubgroupCommitments) {
 TEST(WireFormat, MessageTypesAreDistinctAndPrefixed) {
   auto c = make_commitment(1, 9);
   Drbg rng(10);
-  std::vector<std::string> types{
+  std::vector<std::string_view> types{
       vss::SendMsg(vss::SessionId{1, 1}, c, crypto::Polynomial::random(grp(), 1, rng)).type(),
       vss::EchoMsg(vss::SessionId{1, 1}, c, c->digest(), Scalar::from_u64(grp(), 1)).type(),
       vss::ReadyMsg(vss::SessionId{1, 1}, c, c->digest(), Scalar::from_u64(grp(), 1),
@@ -183,9 +183,9 @@ TEST(WireFormat, MessageTypesAreDistinctAndPrefixed) {
       core::DkgSendMsg(1, 1, {}).type(),
       core::DkgHelpMsg(1).type(),
   };
-  std::set<std::string> unique(types.begin(), types.end());
+  std::set<std::string_view> unique(types.begin(), types.end());
   EXPECT_EQ(unique.size(), types.size());
-  for (const std::string& t : types.begin() == types.end() ? types : types) {
+  for (std::string_view t : types) {
     EXPECT_TRUE(t.rfind("vss.", 0) == 0 || t.rfind("dkg.", 0) == 0) << t;
   }
 }

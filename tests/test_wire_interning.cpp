@@ -1,0 +1,227 @@
+// Wire-layer interning tests (ctest label `wire`):
+//  * canonical_bytes()/digest() memo coherence on the three commitment
+//    shapes — the memoized encoding must equal a from-scratch encoding and
+//    the digest must be sha256 of exactly those bytes, across copies (which
+//    reset the memo) and repeated calls (which must not re-encode);
+//  * the digest-keyed decode cache (FeldmanMatrix::from_bytes_interned):
+//    one shared decode per byte string, parameter revalidation, rejection
+//    parity with from_bytes_checked;
+//  * broadcast-vs-unicast equality: a full DKG run over the shared-payload
+//    fan-out must produce bit-identical Metrics (per-type counts and byte
+//    totals) and protocol results to the per-recipient unicast path;
+//  * concurrent first touch of every new memo/cache (the TSan leg).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "crypto/pedersen.hpp"
+#include "crypto/sha256.hpp"
+#include "dkg/runner.hpp"
+#include "vss/vss_messages.hpp"
+
+namespace dkg {
+namespace {
+
+using crypto::BiPolynomial;
+using crypto::Drbg;
+using crypto::FeldmanMatrix;
+using crypto::FeldmanVector;
+using crypto::Group;
+using crypto::PedersenDealing;
+using crypto::PedersenMatrix;
+using crypto::Polynomial;
+using crypto::Scalar;
+using crypto::sha256;
+
+const Group& grp() { return Group::tiny256(); }
+
+FeldmanMatrix make_matrix(std::uint64_t seed, std::size_t t = 3) {
+  Drbg rng(seed);
+  return FeldmanMatrix::commit(BiPolynomial::random(Scalar::random(grp(), rng), t, rng));
+}
+
+TEST(WireInterning, FeldmanMatrixMemoCoherence) {
+  FeldmanMatrix c = make_matrix(1);
+  // A copy starts with a fresh memo; both must produce the same encoding.
+  FeldmanMatrix copy = c;
+  EXPECT_EQ(c.canonical_bytes(), copy.canonical_bytes());
+  EXPECT_NE(&c.canonical_bytes(), &copy.canonical_bytes());
+  // digest is sha256 of exactly the canonical bytes, and to_bytes is a copy.
+  EXPECT_EQ(c.digest(), sha256(c.canonical_bytes()));
+  EXPECT_EQ(c.to_bytes(), c.canonical_bytes());
+  // Repeated calls hand back the same interned buffer, not a re-encoding.
+  EXPECT_EQ(&c.canonical_bytes(), &c.canonical_bytes());
+  EXPECT_EQ(&c.digest(), &c.digest());
+  // Round-trip through the wire encoding reproduces the matrix.
+  auto back = FeldmanMatrix::from_bytes(grp(), c.canonical_bytes(), 3);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == c);
+}
+
+TEST(WireInterning, FeldmanVectorAndPedersenMemoCoherence) {
+  Drbg rng(2);
+  FeldmanVector v = FeldmanVector::commit(Polynomial::random(grp(), 3, rng));
+  EXPECT_EQ(v.digest(), sha256(v.canonical_bytes()));
+  EXPECT_EQ(v.to_bytes(), v.canonical_bytes());
+  EXPECT_EQ(&v.canonical_bytes(), &v.canonical_bytes());
+
+  PedersenDealing d{BiPolynomial::random(Scalar::random(grp(), rng), 3, rng),
+                    BiPolynomial::random(Scalar::random(grp(), rng), 3, rng)};
+  PedersenMatrix p = PedersenMatrix::commit(d);
+  EXPECT_EQ(p.digest(), sha256(p.canonical_bytes()));
+  EXPECT_EQ(p.to_bytes(), p.canonical_bytes());
+  EXPECT_EQ(&p.digest(), &p.digest());
+}
+
+TEST(WireInterning, AssignmentResetsMemo) {
+  FeldmanMatrix a = make_matrix(3);
+  FeldmanMatrix b = make_matrix(4);
+  const Bytes before = a.canonical_bytes();
+  ASSERT_NE(before, b.canonical_bytes());
+  a = b;  // entries changed: the memo must not survive
+  EXPECT_EQ(a.canonical_bytes(), b.canonical_bytes());
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.canonical_bytes(), before);
+}
+
+TEST(WireInterning, MessageWireSizeMatchesBytes) {
+  auto c = std::make_shared<const FeldmanMatrix>(make_matrix(5));
+  vss::EchoMsg echo(vss::SessionId{1, 1}, c, c->digest(), Scalar::from_u64(grp(), 7));
+  EXPECT_EQ(echo.wire_size(), echo.wire_bytes().size());
+  EXPECT_EQ(echo.wire_size(), echo.wire_size());
+  // Two messages sharing the commitment serialize the same interned bytes.
+  vss::ReadyMsg ready(vss::SessionId{1, 1}, c, c->digest(), Scalar::from_u64(grp(), 9),
+                      std::nullopt);
+  EXPECT_EQ(ready.wire_size(), ready.wire_bytes().size());
+}
+
+TEST(WireInterning, DecodeCacheSharesOneMatrix) {
+  FeldmanMatrix c = make_matrix(6);
+  const Bytes& wire = c.canonical_bytes();
+  auto first = FeldmanMatrix::from_bytes_interned(grp(), wire, 3);
+  auto second = FeldmanMatrix::from_bytes_interned(grp(), wire, 3);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());  // ONE decode shared by reference
+  EXPECT_TRUE(*first == c);
+  // Rejection parity with from_bytes_checked: wrong degree and garbage.
+  EXPECT_EQ(FeldmanMatrix::from_bytes_interned(grp(), wire, 4), nullptr);
+  Bytes garbage = wire;
+  garbage.resize(garbage.size() / 2);
+  EXPECT_EQ(FeldmanMatrix::from_bytes_interned(grp(), garbage, 3), nullptr);
+}
+
+TEST(WireInterning, DecodeCacheRevalidatesGroupIdentity) {
+  FeldmanMatrix c = make_matrix(10);
+  const Bytes& wire = c.canonical_bytes();
+  auto cached = FeldmanMatrix::from_bytes_interned(grp(), wire, 3);
+  ASSERT_NE(cached, nullptr);
+  // An ad-hoc group with the SAME parameter values is a different instance:
+  // the cached matrix's entries reference the singleton's lifetime, so the
+  // hit must not be served across — a fresh, uncached decode comes back.
+  Group clone("tiny256-clone", grp().p().get_str(16), grp().q().get_str(16),
+              grp().g().get_str(16));
+  auto fresh = FeldmanMatrix::from_bytes_interned(clone, wire, 3);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_NE(fresh.get(), cached.get());
+  EXPECT_TRUE(*fresh == c);
+  EXPECT_EQ(&fresh->group(), &clone);
+  // The singleton's entry is still served to singleton callers.
+  EXPECT_EQ(FeldmanMatrix::from_bytes_interned(grp(), wire, 3).get(), cached.get());
+}
+
+TEST(WireInterning, MessageAssignmentDropsSizeMemo) {
+  core::DkgSendMsg small(1, 1, core::NodeSet{1});
+  core::DkgSendMsg big(1, 1, core::NodeSet{1, 2, 3, 4, 5});
+  ASSERT_LT(small.wire_size(), big.wire_size());  // primes both memos
+  small = big;
+  EXPECT_EQ(small.wire_size(), big.wire_size());
+}
+
+// --- broadcast-vs-unicast equality on a full DKG run -----------------------
+
+void expect_metrics_equal(const sim::Metrics& a, const sim::Metrics& b) {
+  ASSERT_EQ(a.by_type().size(), b.by_type().size());
+  for (const auto& [type, stats] : a.by_type()) {
+    auto it = b.by_type().find(type);
+    ASSERT_NE(it, b.by_type().end()) << type;
+    EXPECT_EQ(stats.count, it->second.count) << type;
+    EXPECT_EQ(stats.bytes, it->second.bytes) << type;
+  }
+  EXPECT_EQ(a.dropped_messages(), b.dropped_messages());
+  EXPECT_EQ(a.invalid_messages(), b.invalid_messages());
+}
+
+void run_fanout_vs_unicast(vss::CommitmentMode mode) {
+  core::RunnerConfig cfg;
+  cfg.n = 7;
+  cfg.t = 1;
+  cfg.f = 1;
+  cfg.seed = 99;
+  cfg.mode = mode;
+
+  core::DkgRunner fanout(cfg);
+  fanout.start_all();
+  ASSERT_TRUE(fanout.run_to_completion());
+
+  core::DkgRunner unicast(cfg);
+  unicast.simulator().set_shared_fanout(false);
+  unicast.start_all();
+  ASSERT_TRUE(unicast.run_to_completion());
+
+  // The fan-out only removes redundant serialization: counts, byte totals,
+  // the simulated clock and every protocol output must be bit-identical.
+  expect_metrics_equal(fanout.simulator().metrics(), unicast.simulator().metrics());
+  EXPECT_EQ(fanout.simulator().now(), unicast.simulator().now());
+  ASSERT_EQ(fanout.completed_nodes().size(), cfg.n);
+  ASSERT_EQ(unicast.completed_nodes().size(), cfg.n);
+  for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+    const core::DkgOutput& fo = fanout.dkg_node(i).output();
+    const core::DkgOutput& uo = unicast.dkg_node(i).output();
+    EXPECT_TRUE(fo.q == uo.q);
+    EXPECT_EQ(fo.public_key, uo.public_key);
+    EXPECT_TRUE(fo.share == uo.share);
+    ASSERT_NE(fo.commitment, nullptr);
+    ASSERT_NE(uo.commitment, nullptr);
+    EXPECT_EQ(fo.commitment->digest(), uo.commitment->digest());
+  }
+}
+
+TEST(WireInterning, BroadcastMatchesUnicastFullDkg) {
+  run_fanout_vs_unicast(vss::CommitmentMode::Full);
+}
+
+TEST(WireInterning, BroadcastMatchesUnicastHashedDkg) {
+  run_fanout_vs_unicast(vss::CommitmentMode::Hashed);
+}
+
+// --- concurrent first touch (the TSan leg) ---------------------------------
+
+TEST(WireInterning, ConcurrentFirstTouchOfMemosAndDecodeCache) {
+  constexpr int kThreads = 8;
+  FeldmanMatrix c = make_matrix(7);
+  // Pre-build the wire bytes OUTSIDE the raced object so each thread's
+  // first canonical_bytes()/digest() call below can hit a cold memo.
+  const Bytes wire = FeldmanMatrix(c).to_bytes();
+  auto shared_msg = std::make_shared<const vss::EchoMsg>(
+      vss::SessionId{1, 1}, std::make_shared<const FeldmanMatrix>(make_matrix(8)),
+      Bytes{}, Scalar::from_u64(grp(), 3));
+
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  threads.reserve(kThreads);
+  for (int k = 0; k < kThreads; ++k) {
+    threads.emplace_back([&, k] {
+      bool good = c.canonical_bytes() == wire;
+      good = good && c.digest() == sha256(wire);
+      auto dec = FeldmanMatrix::from_bytes_interned(grp(), wire, 3);
+      good = good && dec != nullptr && *dec == c;
+      good = good && shared_msg->wire_size() == shared_msg->wire_bytes().size();
+      ok[k] = good ? 1 : 0;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int k = 0; k < kThreads; ++k) EXPECT_EQ(ok[k], 1) << "thread " << k;
+}
+
+}  // namespace
+}  // namespace dkg
