@@ -25,7 +25,7 @@ struct FeldmanFixtureData {
       : f(BiPolynomial::random(Scalar::random(grp(), rng), t, rng)),
         c(FeldmanMatrix::commit(f)),
         row(f.row(3)),
-        point(f.eval_at(5, 3)) {}
+        point(f.eval_at(5, 3).reveal()) {}
 };
 
 void BM_FeldmanCommit(benchmark::State& state) {
@@ -65,8 +65,8 @@ struct PedersenFixtureData {
         c(PedersenMatrix::commit(d)),
         row(d.f.row(3)),
         row_p(d.f_prime.row(3)),
-        point(d.f.eval_at(5, 3)),
-        point_p(d.f_prime.eval_at(5, 3)) {}
+        point(d.f.eval_at(5, 3).reveal()),
+        point_p(d.f_prime.eval_at(5, 3).reveal()) {}
 };
 
 void BM_PedersenCommit(benchmark::State& state) {

@@ -82,7 +82,7 @@ void BM_Interpolate(benchmark::State& state) {
   std::size_t t = static_cast<std::size_t>(state.range(0));
   Polynomial p = Polynomial::random(grp, t, rng);
   std::vector<std::pair<std::uint64_t, Scalar>> pts;
-  for (std::uint64_t i = 1; i <= t + 1; ++i) pts.emplace_back(i, p.eval_at(i));
+  for (std::uint64_t i = 1; i <= t + 1; ++i) pts.emplace_back(i, p.eval_at(i).reveal());
   for (auto _ : state) {
     benchmark::DoNotOptimize(interpolate_at(grp, pts, 0));
   }

@@ -197,7 +197,7 @@ bool naive_verify_poly(const FeldmanMatrix& c, std::uint64_t i, const Polynomial
   for (std::size_t l = 0; l <= t; ++l) {
     Element rhs = Element::identity(grp);
     for (std::size_t j = 0; j <= t; ++j) rhs *= c.entry(j, l).pow(ipow[j]);
-    if (Element::generator(grp).pow(a.coeff(l)) != rhs) return false;
+    if (Element::generator(grp).pow(a.coeff(l).reveal()) != rhs) return false;
   }
   return true;
 }

@@ -77,13 +77,14 @@ int main() {
     std::printf("node addition FAILED\n");
     return 1;
   }
-  std::printf("P8 obtained share: %s...\n", to_hex(j->share().to_bytes()).substr(0, 16).c_str());
+  std::printf("P8 obtained share: %s...\n",
+              to_hex(j->share().reveal_bytes()).substr(0, 16).c_str());
   std::printf("share lies on the ORIGINAL sharing polynomial: %s\n",
-              boot.states()[1].commitment.verify_share(8, j->share()) ? "yes" : "NO");
+              boot.states()[1].commitment.verify_share(8, j->share().reveal()) ? "yes" : "NO");
 
   // Old share (P1) + new share (P8) reconstruct the same secret.
-  std::vector<std::pair<std::uint64_t, crypto::Scalar>> pts{{1, boot.states()[1].share},
-                                                            {8, j->share()}};
+  std::vector<std::pair<std::uint64_t, crypto::Scalar>> pts{
+      {1, boot.states()[1].share.reveal()}, {8, j->share().reveal()}};
   crypto::Scalar secret = crypto::interpolate_at(*cfg.grp, pts, 0);
   std::printf("old+new share reconstruction matches group key: %s\n",
               crypto::Element::exp_g(secret) == pk ? "yes" : "NO");

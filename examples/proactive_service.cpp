@@ -52,7 +52,7 @@ int main() {
     // Does this old share still verify against the CURRENT commitment?
     bool valid_now = false;
     for (sim::NodeId i = 1; i <= cfg.n; ++i) {
-      if (service.states()[i].commitment.verify_share(i, st.share)) valid_now = true;
+      if (service.states()[i].commitment.verify_share(i, st.share.reveal())) valid_now = true;
     }
     std::printf("  phase-%u share: %s\n", phase,
                 valid_now ? "usable (current phase — within the t-per-phase bound)"

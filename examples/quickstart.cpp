@@ -43,9 +43,9 @@ int main() {
   std::printf("\nper-node shares (each verifies against the commitment):\n");
   for (sim::NodeId i = 1; i <= cfg.n; ++i) {
     const core::DkgOutput& o = runner.dkg_node(i).output();
-    bool ok = out.share_vec->verify_share(i, o.share);
+    bool ok = out.share_vec->verify_share(i, o.share.reveal());
     std::printf("  P%-2u  s_%u = %s...  verify=%s\n", i, i,
-                to_hex(o.share.to_bytes()).substr(0, 16).c_str(), ok ? "OK" : "FAIL");
+                to_hex(o.share.reveal_bytes()).substr(0, 16).c_str(), ok ? "OK" : "FAIL");
   }
 
   crypto::Scalar secret = runner.reconstruct_secret();

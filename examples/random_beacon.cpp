@@ -24,7 +24,7 @@ int main() {
   runner.start_all();
   if (!runner.run_to_completion() || !runner.outputs_consistent()) return 1;
   crypto::FeldmanVector vec = *runner.dkg_node(1).output().share_vec;
-  std::vector<crypto::Scalar> shares{crypto::Scalar{}};
+  std::vector<crypto::SecretScalar> shares{crypto::SecretScalar{}};
   for (sim::NodeId i = 1; i <= cfg.n; ++i) shares.push_back(runner.dkg_node(i).output().share);
   std::printf("committee key: %s...\n\n", to_hex(vec.c0().to_bytes()).substr(0, 32).c_str());
 

@@ -27,7 +27,7 @@ core::RunnerConfig service_config(std::uint32_t tau, std::uint64_t seed) {
 
 struct KeyMaterial {
   crypto::FeldmanVector vec;
-  std::vector<crypto::Scalar> shares;  // index 0 unused
+  std::vector<crypto::SecretScalar> shares;  // index 0 unused
 };
 
 KeyMaterial run_dkg(std::uint32_t tau, std::uint64_t seed) {
@@ -37,7 +37,7 @@ KeyMaterial run_dkg(std::uint32_t tau, std::uint64_t seed) {
     std::fprintf(stderr, "DKG failed\n");
     std::exit(1);
   }
-  KeyMaterial km{*runner.dkg_node(1).output().share_vec, {crypto::Scalar{}}};
+  KeyMaterial km{*runner.dkg_node(1).output().share_vec, {crypto::SecretScalar{}}};
   for (sim::NodeId i = 1; i <= 7; ++i) km.shares.push_back(runner.dkg_node(i).output().share);
   return km;
 }

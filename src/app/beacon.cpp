@@ -17,11 +17,11 @@ Element beacon_base(const crypto::Group& grp, std::uint64_t round) {
 }
 
 BeaconShare beacon_evaluate(const crypto::Group& grp, std::uint64_t round, std::uint64_t index,
-                            const Scalar& share) {
+                            const crypto::SecretScalar& share) {
   Element base = beacon_base(grp, round);
-  Element value = base.pow(share);
+  Element value = share.commit_to(base);
   crypto::DleqProof proof =
-      crypto::dleq_prove(Element::generator(grp), Element::exp_g(share), base, value, share);
+      crypto::dleq_prove(Element::generator(grp), share.commit_to(), base, value, share);
   return BeaconShare{index, round, std::move(value), std::move(proof)};
 }
 

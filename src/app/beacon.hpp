@@ -25,8 +25,10 @@ struct BeaconShare {
 /// The round's base point U_r (publicly computable).
 crypto::Element beacon_base(const crypto::Group& grp, std::uint64_t round);
 
+/// The share never leaves the secret domain: U_r^{s_i} and g^{s_i} are both
+/// constant-time commit_to exponentiations.
 BeaconShare beacon_evaluate(const crypto::Group& grp, std::uint64_t round, std::uint64_t index,
-                            const crypto::Scalar& share);
+                            const crypto::SecretScalar& share);
 
 bool beacon_verify_share(const crypto::FeldmanVector& vec, const BeaconShare& bs);
 

@@ -14,12 +14,12 @@ ElGamalCiphertext elgamal_encrypt(const Element& public_key, const Element& m, c
 }
 
 PartialDecryption partial_decrypt(const ElGamalCiphertext& ct, std::uint64_t index,
-                                  const Scalar& share) {
+                                  const crypto::SecretScalar& share) {
   const crypto::Group& grp = share.group();
-  Element d = ct.c1.pow(share);
+  Element d = share.commit_to(ct.c1);
   // Prove log_g(g^{s_i}) == log_{c1}(d_i).
   crypto::DleqProof proof =
-      crypto::dleq_prove(Element::generator(grp), Element::exp_g(share), ct.c1, d, share);
+      crypto::dleq_prove(Element::generator(grp), share.commit_to(), ct.c1, d, share);
   return PartialDecryption{index, std::move(d), std::move(proof)};
 }
 

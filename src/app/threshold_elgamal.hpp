@@ -28,9 +28,10 @@ struct PartialDecryption {
   crypto::DleqProof proof;
 };
 
-/// Shareholder-side: produce a verifiable partial decryption.
+/// Shareholder-side: produce a verifiable partial decryption. The share
+/// stays in the secret domain (constant-time commit_to exponentiations).
 PartialDecryption partial_decrypt(const ElGamalCiphertext& ct, std::uint64_t index,
-                                  const crypto::Scalar& share);
+                                  const crypto::SecretScalar& share);
 
 /// Anyone-side: verify a partial against the DKG verification vector.
 bool verify_partial(const ElGamalCiphertext& ct, const crypto::FeldmanVector& vec,

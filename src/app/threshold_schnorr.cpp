@@ -21,9 +21,11 @@ crypto::Scalar SigningSession::challenge() const {
 }
 
 PartialSignature partial_sign(const SigningSession& session, std::uint64_t index,
-                              const Scalar& key_share, const Scalar& nonce_share) {
+                              const crypto::SecretScalar& key_share,
+                              const crypto::SecretScalar& nonce_share) {
   Scalar c = session.challenge();
-  return PartialSignature{index, nonce_share + key_share * c};
+  // reveal-ok: sigma_i = k_i + c*s_i is the published partial signature.
+  return PartialSignature{index, (nonce_share + key_share * c).reveal()};
 }
 
 bool verify_partial(const SigningSession& session, const PartialSignature& ps) {

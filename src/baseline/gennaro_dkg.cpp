@@ -16,8 +16,10 @@ using crypto::Scalar;
 PedersenVector PedersenVector::commit(const Polynomial& a, const Polynomial& b) {
   std::vector<Element> entries;
   entries.reserve(a.degree() + 1);
+  // Dealer-side: both secret exponents run through constant-time commit_to.
+  const Element h = Element::pedersen_h(a.group());
   for (std::size_t l = 0; l <= a.degree(); ++l) {
-    entries.push_back(Element::exp_g(a.coeff(l)) * Element::exp_h(b.coeff(l)));
+    entries.push_back(a.coeff(l).commit_to() * b.coeff(l).commit_to(h));
   }
   return PedersenVector(std::move(entries));
 }
@@ -139,8 +141,10 @@ void GennaroNode::round_deal(std::vector<Envelope>& outbox) {
   auto commitment = std::make_shared<const PedersenVector>(PedersenVector::commit(*a_, *b_));
   outbox.push_back(Envelope{self_, 0, std::make_shared<GjkrCommitMsg>(commitment)});
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
-    outbox.push_back(
-        Envelope{self_, j, std::make_shared<GjkrPairMsg>(a_->eval_at(j), b_->eval_at(j))});
+    // reveal-ok: (s_j, s'_j) is node j's dealt share pair, addressed to j.
+    outbox.push_back(Envelope{
+        self_, j,
+        std::make_shared<GjkrPairMsg>(a_->eval_at(j).reveal(), b_->eval_at(j).reveal())});
   }
 }
 
@@ -176,7 +180,9 @@ void GennaroNode::round_reveal(const std::vector<Envelope>& inbox, std::vector<E
   if (mine != complaints_.end()) {
     auto reveal = std::make_shared<GjkrRevealMsg>();
     for (sim::NodeId victim : mine->second) {
-      reveal->reveals.emplace_back(victim, a_->eval_at(victim), b_->eval_at(victim));
+      // reveal-ok: protocol-mandated public reveal of an accused share pair.
+      reveal->reveals.emplace_back(victim, a_->eval_at(victim).reveal(),
+                                   b_->eval_at(victim).reveal());
     }
     outbox.push_back(Envelope{self_, 0, std::move(reveal)});
   }
@@ -283,7 +289,8 @@ void GennaroNode::round_finish(const std::vector<Envelope>& inbox) {
       if (!dup) pts.emplace_back(e.from, p->s);
     }
   }
-  GennaroOutput out{Scalar::zero(*params_.grp), Element::identity(*params_.grp), qual_};
+  GennaroOutput out{crypto::SecretScalar::zero(*params_.grp), Element::identity(*params_.grp),
+                    qual_};
   for (sim::NodeId dealer : qual_) {
     auto pit = pairs_.find(dealer);
     if (pit == pairs_.end()) continue;

@@ -34,7 +34,7 @@ struct GennaroParams {
 };
 
 struct GennaroOutput {
-  crypto::Scalar share;
+  crypto::SecretScalar share;
   crypto::Element public_key;
   std::set<sim::NodeId> qual;
 };

@@ -68,7 +68,8 @@ void JointFeldmanNode::round_deal(std::vector<Envelope>& outbox) {
   auto commitment = std::make_shared<const FeldmanVector>(FeldmanVector::commit(*my_poly_));
   outbox.push_back(Envelope{self_, 0, std::make_shared<JfCommitMsg>(commitment)});
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
-    Scalar s = my_poly_->eval_at(j);
+    // reveal-ok: s_ij = a_i(j) is node j's dealt share, addressed to j.
+    Scalar s = my_poly_->eval_at(j).reveal();
     if (victims_.count(j) != 0) s = s + Scalar::one(*params_.grp);  // corrupt
     outbox.push_back(Envelope{self_, j, std::make_shared<JfShareMsg>(std::move(s))});
   }
@@ -106,7 +107,8 @@ void JointFeldmanNode::round_reveal(const std::vector<Envelope>& inbox,
   if (mine != complaints_.end() && !refuse_reveal_) {
     auto reveal = std::make_shared<JfRevealMsg>();
     for (sim::NodeId victim : mine->second) {
-      reveal->reveals.emplace_back(victim, my_poly_->eval_at(victim));
+      // reveal-ok: protocol-mandated public reveal of an accused share.
+      reveal->reveals.emplace_back(victim, my_poly_->eval_at(victim).reveal());
     }
     outbox.push_back(Envelope{self_, 0, std::move(reveal)});
   }
@@ -117,7 +119,7 @@ void JointFeldmanNode::round_finish(const std::vector<Envelope>& inbox) {
   for (const Envelope& e : inbox) {
     if (const auto* r = dynamic_cast<const JfRevealMsg*>(e.msg.get())) reveals[e.from] = r;
   }
-  JfOutput out{Scalar::zero(*params_.grp), Element::identity(*params_.grp), {}};
+  JfOutput out{crypto::SecretScalar::zero(*params_.grp), Element::identity(*params_.grp), {}};
   for (const auto& [dealer, commitment] : commitments_) {
     bool qualified = true;
     auto comp = complaints_.find(dealer);

@@ -29,7 +29,7 @@ struct JfParams {
 };
 
 struct JfOutput {
-  crypto::Scalar share;
+  crypto::SecretScalar share;
   crypto::Element public_key;
   std::set<sim::NodeId> qual;
 };

@@ -42,11 +42,21 @@ Bytes bytes_of(std::string_view s) {
   return Bytes(s.begin(), s.end());
 }
 
-bool bytes_equal(const Bytes& a, const Bytes& b) {
-  if (a.size() != b.size()) return false;
+void secure_wipe(void* p, std::size_t len) noexcept {
+  volatile std::uint8_t* vp = static_cast<volatile std::uint8_t*>(p);
+  for (std::size_t i = 0; i < len; ++i) vp[i] = 0;
+}
+
+bool ct_equal(const std::uint8_t* a, const std::uint8_t* b, std::size_t len) {
   unsigned diff = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
-  return diff == 0;
+  for (std::size_t i = 0; i < len; ++i) diff |= a[i] ^ b[i];
+  // Collapse to 0/1 without a data-dependent branch.
+  return ((diff | (0u - diff)) >> 31) == 0;
+}
+
+bool ct_equal(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) return false;
+  return ct_equal(a.data(), b.data(), a.size());
 }
 
 }  // namespace dkg

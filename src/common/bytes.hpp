@@ -22,7 +22,19 @@ Bytes from_hex(std::string_view hex);
 /// Copies a C++ string's bytes verbatim.
 Bytes bytes_of(std::string_view s);
 
-/// Constant-time-ish equality (length leak only); for test/sim use.
-bool bytes_equal(const Bytes& a, const Bytes& b);
+/// Overwrites `len` bytes at `p` with zeros through a volatile pointer so the
+/// store cannot be elided by dead-store optimization. Used to scrub secret
+/// material (keys, shares, nonces) before memory is released.
+void secure_wipe(void* p, std::size_t len) noexcept;
+
+/// Constant-time equality of two equal-length byte ranges: the running time
+/// depends only on `len`, never on the contents or the position of the first
+/// mismatch. Adversary-timed comparisons (wire digests, signature payloads)
+/// must go through this, not memcmp/operator==.
+bool ct_equal(const std::uint8_t* a, const std::uint8_t* b, std::size_t len);
+
+/// Constant-time equality of two byte strings. Lengths are public (framing is
+/// length-prefixed on the wire), so a length mismatch returns false early.
+bool ct_equal(const Bytes& a, const Bytes& b);
 
 }  // namespace dkg

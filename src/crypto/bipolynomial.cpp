@@ -2,7 +2,7 @@
 
 namespace dkg::crypto {
 
-BiPolynomial::BiPolynomial(std::size_t t, std::vector<Scalar> upper)
+BiPolynomial::BiPolynomial(std::size_t t, std::vector<SecretScalar> upper)
     : t_(t), coeffs_(std::move(upper)) {}
 
 std::size_t BiPolynomial::index(std::size_t j, std::size_t l) const {
@@ -12,17 +12,21 @@ std::size_t BiPolynomial::index(std::size_t j, std::size_t l) const {
 }
 
 BiPolynomial BiPolynomial::random(const Scalar& secret, std::size_t t, Drbg& rng) {
+  return random(SecretScalar::from_scalar(secret), t, rng);
+}
+
+BiPolynomial BiPolynomial::random(const SecretScalar& secret, std::size_t t, Drbg& rng) {
   const Group& grp = secret.group();
   std::size_t n_upper = (t + 1) * (t + 2) / 2;
-  std::vector<Scalar> upper;
+  std::vector<SecretScalar> upper;
   upper.reserve(n_upper);
-  for (std::size_t k = 0; k < n_upper; ++k) upper.push_back(Scalar::random(grp, rng));
+  for (std::size_t k = 0; k < n_upper; ++k) upper.push_back(SecretScalar::random(grp, rng));
   BiPolynomial f(t, std::move(upper));
   f.coeffs_[f.index(0, 0)] = secret;
   return f;
 }
 
-const Scalar& BiPolynomial::coeff(std::size_t j, std::size_t l) const {
+const SecretScalar& BiPolynomial::coeff(std::size_t j, std::size_t l) const {
   return coeffs_.at(index(j, l));
 }
 
@@ -30,29 +34,29 @@ Polynomial BiPolynomial::row(std::uint64_t i) const {
   const Group& grp = group();
   Scalar x = Scalar::from_u64(grp, i);
   // a_i(y) coefficient of y^l is sum_j f_{jl} x^j.
-  std::vector<Scalar> out;
+  std::vector<SecretScalar> out;
   out.reserve(t_ + 1);
   for (std::size_t l = 0; l <= t_; ++l) {
-    Scalar acc = coeff(t_, l);
+    SecretScalar acc = coeff(t_, l);
     for (std::size_t j = t_; j-- > 0;) acc = acc * x + coeff(j, l);
     out.push_back(acc);
   }
   return Polynomial(std::move(out));
 }
 
-Scalar BiPolynomial::eval(const Scalar& x, const Scalar& y) const {
+SecretScalar BiPolynomial::eval(const Scalar& x, const Scalar& y) const {
   // Evaluate row polynomial in y at x first, Horner in both variables.
   const Group& grp = group();
-  Scalar acc = Scalar::zero(grp);
+  SecretScalar acc = SecretScalar::zero(grp);
   for (std::size_t l = t_ + 1; l-- > 0;) {
-    Scalar rowv = coeff(t_, l);
+    SecretScalar rowv = coeff(t_, l);
     for (std::size_t j = t_; j-- > 0;) rowv = rowv * x + coeff(j, l);
     acc = acc * y + rowv;
   }
   return acc;
 }
 
-Scalar BiPolynomial::eval_at(std::uint64_t x, std::uint64_t y) const {
+SecretScalar BiPolynomial::eval_at(std::uint64_t x, std::uint64_t y) const {
   const Group& grp = group();
   return eval(Scalar::from_u64(grp, x), Scalar::from_u64(grp, y));
 }

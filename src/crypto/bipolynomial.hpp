@@ -2,6 +2,8 @@
 // f_{jl} = f_{lj}, the dealing object of HybridVSS (paper Fig 1). Symmetry is
 // what lets echo/ready points be cross-verified between nodes and gives the
 // constant-factor complexity reduction over AVSS the paper claims (§3).
+// Coefficients are secret material (f(0,0) is the dealt secret, rows are
+// node shares) and are held in SecretScalar storage.
 #pragma once
 
 #include "crypto/polynomial.hpp"
@@ -12,28 +14,29 @@ class BiPolynomial {
  public:
   /// Random symmetric degree-(t,t) polynomial with f(0,0) = secret.
   static BiPolynomial random(const Scalar& secret, std::size_t t, Drbg& rng);
+  static BiPolynomial random(const SecretScalar& secret, std::size_t t, Drbg& rng);
 
   std::size_t degree() const { return t_; }
   const Group& group() const { return coeffs_.front().group(); }
 
   /// f_{jl}; symmetric access.
-  const Scalar& coeff(std::size_t j, std::size_t l) const;
+  const SecretScalar& coeff(std::size_t j, std::size_t l) const;
 
   /// The univariate slice a_i(y) = f(i, y) sent to node i in `send`.
   Polynomial row(std::uint64_t i) const;
 
-  Scalar eval(const Scalar& x, const Scalar& y) const;
-  Scalar eval_at(std::uint64_t x, std::uint64_t y) const;
+  SecretScalar eval(const Scalar& x, const Scalar& y) const;
+  SecretScalar eval_at(std::uint64_t x, std::uint64_t y) const;
 
-  const Scalar& secret() const { return coeff(0, 0); }
+  const SecretScalar& secret() const { return coeff(0, 0); }
 
  private:
-  BiPolynomial(std::size_t t, std::vector<Scalar> upper);
+  BiPolynomial(std::size_t t, std::vector<SecretScalar> upper);
   std::size_t index(std::size_t j, std::size_t l) const;
 
   std::size_t t_;
   // Upper-triangular storage (j <= l) of the symmetric coefficient matrix.
-  std::vector<Scalar> coeffs_;
+  std::vector<SecretScalar> coeffs_;
 };
 
 }  // namespace dkg::crypto

@@ -1,5 +1,7 @@
 #include "crypto/chacha20.hpp"
 
+#include "common/bytes.hpp"
+
 namespace dkg::crypto {
 
 namespace {
@@ -48,6 +50,10 @@ std::array<std::uint8_t, 64> chacha20_block(const std::array<std::uint8_t, 32>& 
     out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
     out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
   }
+  // The working state holds the key schedule; scrub it before the frames
+  // are reused (secret-hygiene: no key material left on the stack).
+  secure_wipe(state, sizeof(state));
+  secure_wipe(x, sizeof(x));
   return out;
 }
 

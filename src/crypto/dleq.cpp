@@ -28,23 +28,19 @@ Bytes DleqProof::to_bytes() const {
 }
 
 DleqProof dleq_prove(const Element& g1, const Element& h1, const Element& g2, const Element& h2,
-                     const Scalar& x) {
+                     const SecretScalar& x) {
   const Group& grp = x.group();
-  Writer nw;
-  nw.str("hybriddkg/dleq/nonce");
-  nw.blob(x.to_bytes());
-  nw.blob(g1.to_bytes());
-  nw.blob(g2.to_bytes());
-  nw.blob(h1.to_bytes());
-  nw.blob(h2.to_bytes());
-  Scalar k = Scalar::hash_to_scalar(grp, nw.data());
-  if (k.is_zero()) k = Scalar::one(grp);
-  // g1 is the group generator in every proof this repo emits; route those
-  // through the fixed-base table.
-  Element a1 = g1.value() == grp.g() ? Element::exp_g(k) : g1.pow(k);
-  Element a2 = g2.value() == grp.g() ? Element::exp_g(k) : g2.pow(k);
+  Bytes g1b = g1.to_bytes();
+  Bytes g2b = g2.to_bytes();
+  Bytes h1b = h1.to_bytes();
+  Bytes h2b = h2.to_bytes();
+  SecretScalar k = SecretScalar::derive(grp, "hybriddkg/dleq/nonce", x, {&g1b, &g2b, &h1b, &h2b});
+  k.one_if_zero();  // vanishing-nonce guard, branch-free
+  Element a1 = k.commit_to(g1);
+  Element a2 = k.commit_to(g2);
   Scalar c = challenge(g1, h1, g2, h2, a1, a2);
-  Scalar r = k + x * c;
+  // reveal-ok: r = k + x*c is the published proof response.
+  Scalar r = (k + x * c).reveal();
   return DleqProof{c, r};
 }
 

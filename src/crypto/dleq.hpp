@@ -6,6 +6,7 @@
 
 #include "crypto/drbg.hpp"
 #include "crypto/element.hpp"
+#include "crypto/secret.hpp"
 
 namespace dkg::crypto {
 
@@ -17,9 +18,14 @@ struct DleqProof {
 };
 
 /// Proves log_{g1}(h1) == log_{g2}(h2) == x (Fiat-Shamir, deterministic
-/// nonce derived from (x, statement)).
+/// nonce derived from (x, statement)). Witness and nonce stay in the
+/// constant-time secret domain until the published response is formed.
 DleqProof dleq_prove(const Element& g1, const Element& h1, const Element& g2, const Element& h2,
-                     const Scalar& x);
+                     const SecretScalar& x);
+inline DleqProof dleq_prove(const Element& g1, const Element& h1, const Element& g2,
+                            const Element& h2, const Scalar& x) {
+  return dleq_prove(g1, h1, g2, h2, SecretScalar::from_scalar(x));
+}
 
 bool dleq_verify(const Element& g1, const Element& h1, const Element& g2, const Element& h2,
                  const DleqProof& proof);

@@ -6,9 +6,11 @@
 
 namespace dkg::crypto {
 
-Drbg::Drbg(const Bytes& seed) : seed_material_(seed) {
-  Bytes k = sha256(seed);
-  std::copy(k.begin(), k.end(), key_.begin());
+Drbg::Drbg(const Bytes& seed) : Drbg(SecretBytes(seed)) {}
+
+Drbg::Drbg(const SecretBytes& seed) : seed_material_(seed) {
+  // Key directly from wiped storage: the ChaCha key never transits the heap.
+  sha256_into(seed.data(), seed.size(), key_.data());
   // Nonce fixed to zero: each (seed) keys a distinct stream.
 }
 
@@ -19,11 +21,19 @@ Drbg::Drbg(std::uint64_t seed) : Drbg([&] {
   return w.take();
 }()) {}
 
+Drbg::~Drbg() {
+  secure_wipe(key_.data(), key_.size());
+  secure_wipe(block_.data(), block_.size());
+}
+
 Drbg Drbg::fork(std::string_view label) const {
-  Writer w;
-  w.blob(seed_material_);
-  w.str(label);
-  return Drbg(w.take());
+  // Writer::{blob,str}-compatible framing, assembled in wiped storage so the
+  // parent seed never lands in an unwiped heap buffer.
+  SecretBytes w;
+  w.append_u32(static_cast<std::uint32_t>(seed_material_.size()));
+  w.append(seed_material_);
+  w.append_str(label);
+  return Drbg(w);
 }
 
 void Drbg::refill() {

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "common/bytes.hpp"
+#include "crypto/secret_bytes.hpp"
 
 namespace dkg::crypto {
 
@@ -15,6 +16,13 @@ class Drbg {
  public:
   explicit Drbg(const Bytes& seed);
   explicit Drbg(std::uint64_t seed);
+  /// Key state (ChaCha key, buffered keystream) is scrubbed on teardown;
+  /// seed material lives in wiped storage for its whole lifetime.
+  ~Drbg();
+  Drbg(const Drbg&) = default;
+  Drbg(Drbg&&) = default;
+  Drbg& operator=(const Drbg&) = default;
+  Drbg& operator=(Drbg&&) = default;
   /// Convenience: domain-separated child generator, e.g. one per node.
   Drbg fork(std::string_view label) const;
 
@@ -27,6 +35,7 @@ class Drbg {
   double uniform_real();
 
  private:
+  explicit Drbg(const SecretBytes& seed);
   void refill();
 
   std::array<std::uint8_t, 32> key_{};
@@ -34,7 +43,7 @@ class Drbg {
   std::uint32_t counter_ = 0;
   std::array<std::uint8_t, 64> block_{};
   std::size_t pos_ = 64;
-  Bytes seed_material_;
+  SecretBytes seed_material_;
 };
 
 }  // namespace dkg::crypto

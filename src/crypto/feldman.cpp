@@ -29,11 +29,13 @@ FeldmanMatrix FeldmanMatrix::commit(const BiPolynomial& f) {
   std::size_t t = f.degree();
   std::vector<Element> entries;
   entries.reserve((t + 1) * (t + 1));
-  // Exploit symmetry: compute each g^{f_jl} once for j <= l.
+  // Exploit symmetry: compute each g^{f_jl} once for j <= l. Dealer-side
+  // exponentiations of secret coefficients run through the constant-time
+  // commit_to() path (mpn_sec_powm), not the comb table.
   std::vector<Element> upper((t + 1) * (t + 2) / 2);
   std::size_t k = 0;
   for (std::size_t j = 0; j <= t; ++j) {
-    for (std::size_t l = j; l <= t; ++l) upper[k++] = Element::exp_g(f.coeff(j, l));
+    for (std::size_t l = j; l <= t; ++l) upper[k++] = f.coeff(j, l).commit_to();
   }
   auto upper_at = [&](std::size_t j, std::size_t l) -> const Element& {
     if (j > l) std::swap(j, l);
@@ -67,7 +69,10 @@ bool FeldmanMatrix::verify_poly(std::uint64_t i, const Polynomial& a) const {
   IndexBases col(grp, t_ + 1, mont_.get(grp, entries_));
   for (std::size_t l = 0; l <= t_; ++l) {
     for (std::size_t j = 0; j <= t_; ++j) col.assign(j, entry(j, l), j * (t_ + 1) + l);
-    if (Element::exp_g(a.coeff(l)) != col.product(i)) return false;
+    // reveal-ok: verify-poly re-derives the public commitment g^{a_l} of a
+    // row this node already holds; the fast comb/multiexp engine is kept on
+    // this receiver-local verification hot path by design (EXPERIMENTS.md).
+    if (Element::exp_g(a.coeff(l).reveal()) != col.product(i)) return false;
   }
   return true;
 }
@@ -78,7 +83,9 @@ bool FeldmanMatrix::verify_poly_col(std::uint64_t i, const Polynomial& b) const 
   IndexBases row(grp, t_ + 1, mont_.get(grp, entries_));
   for (std::size_t j = 0; j <= t_; ++j) {
     for (std::size_t l = 0; l <= t_; ++l) row.assign(l, entry(j, l), j * (t_ + 1) + l);
-    if (Element::exp_g(b.coeff(j)) != row.product(i)) return false;
+    // reveal-ok: verify-poly-col re-derives the public commitment of a
+    // column this node already holds (see verify_poly above).
+    if (Element::exp_g(b.coeff(j).reveal()) != row.product(i)) return false;
   }
   return true;
 }
@@ -248,7 +255,8 @@ FeldmanVector::FeldmanVector(std::vector<Element> entries) : entries_(std::move(
 FeldmanVector FeldmanVector::commit(const Polynomial& a) {
   std::vector<Element> v;
   v.reserve(a.degree() + 1);
-  for (std::size_t l = 0; l <= a.degree(); ++l) v.push_back(Element::exp_g(a.coeff(l)));
+  // Dealer-side: constant-time exponentiation of secret coefficients.
+  for (std::size_t l = 0; l <= a.degree(); ++l) v.push_back(a.coeff(l).commit_to());
   return FeldmanVector(std::move(v));
 }
 
@@ -346,7 +354,9 @@ bool verify_poly_batch(const std::vector<RowCheck>& checks, Drbg& rng) {
     std::vector<Scalar> ipow = index_powers(grp, c.index, t);
     for (std::size_t l = 0; l <= t; ++l) {
       Scalar r = Scalar::random(grp, rng);
-      lhs += r * c.row->coeff(l);
+      // reveal-ok: batched verify-poly over rows this node already holds;
+      // same receiver-local verification tradeoff as verify_poly.
+      lhs += r * c.row->coeff(l).reveal();
       for (std::size_t j = 0; j <= t; ++j) {
         bases.push_back(&c.commitment->entry(j, l));
         exps.push_back(r * ipow[j]);

@@ -11,9 +11,11 @@ PedersenMatrix PedersenMatrix::commit(const PedersenDealing& d) {
   if (d.f_prime.degree() != t) throw std::invalid_argument("PedersenMatrix: degree mismatch");
   std::vector<Element> entries;
   entries.reserve((t + 1) * (t + 1));
+  // Dealer-side: both secret exponents run through constant-time commit_to.
+  const Element h = Element::pedersen_h(d.f.group());
   for (std::size_t j = 0; j <= t; ++j) {
     for (std::size_t l = 0; l <= t; ++l) {
-      entries.push_back(Element::exp_g(d.f.coeff(j, l)) * Element::exp_h(d.f_prime.coeff(j, l)));
+      entries.push_back(d.f.coeff(j, l).commit_to() * d.f_prime.coeff(j, l).commit_to(h));
     }
   }
   return PedersenMatrix(t, std::move(entries));
@@ -30,7 +32,9 @@ bool PedersenMatrix::verify_poly(std::uint64_t i, const Polynomial& a,
   IndexBases col(grp, t_ + 1, mont_.get(grp, entries_));
   for (std::size_t l = 0; l <= t_; ++l) {
     for (std::size_t j = 0; j <= t_; ++j) col.assign(j, entry(j, l), j * (t_ + 1) + l);
-    Element lhs = Element::exp_g(a.coeff(l)) * Element::exp_h(a_prime.coeff(l));
+    // reveal-ok: verify-poly re-derives public commitments of rows this node
+    // already holds; receiver-local verification stays on the fast engine.
+    Element lhs = Element::exp_g(a.coeff(l).reveal()) * Element::exp_h(a_prime.coeff(l).reveal());
     if (lhs != col.product(i)) return false;
   }
   return true;

@@ -7,40 +7,51 @@
 namespace dkg::crypto {
 
 Polynomial::Polynomial(const Group& grp, std::size_t degree)
-    : coeffs_(degree + 1, Scalar::zero(grp)) {}
+    : coeffs_(degree + 1, SecretScalar::zero(grp)) {}
 
-Polynomial::Polynomial(std::vector<Scalar> coeffs) : coeffs_(std::move(coeffs)) {
+Polynomial::Polynomial(std::vector<SecretScalar> coeffs) : coeffs_(std::move(coeffs)) {
   if (coeffs_.empty()) throw std::invalid_argument("Polynomial: no coefficients");
 }
 
+Polynomial::Polynomial(const std::vector<Scalar>& coeffs) {
+  if (coeffs.empty()) throw std::invalid_argument("Polynomial: no coefficients");
+  coeffs_.reserve(coeffs.size());
+  for (const Scalar& c : coeffs) coeffs_.push_back(SecretScalar::from_scalar(c));
+}
+
 Polynomial Polynomial::random(const Group& grp, std::size_t degree, Drbg& rng) {
-  std::vector<Scalar> c;
+  std::vector<SecretScalar> c;
   c.reserve(degree + 1);
-  for (std::size_t j = 0; j <= degree; ++j) c.push_back(Scalar::random(grp, rng));
+  for (std::size_t j = 0; j <= degree; ++j) c.push_back(SecretScalar::random(grp, rng));
   return Polynomial(std::move(c));
 }
 
 Polynomial Polynomial::random_with_constant(const Scalar& c0, std::size_t degree, Drbg& rng) {
+  return random_with_constant(SecretScalar::from_scalar(c0), degree, rng);
+}
+
+Polynomial Polynomial::random_with_constant(const SecretScalar& c0, std::size_t degree,
+                                            Drbg& rng) {
   Polynomial p = random(c0.group(), degree, rng);
   p.coeff(0) = c0;
   return p;
 }
 
-Scalar Polynomial::eval(const Scalar& x) const {
-  Scalar acc = coeffs_.back();
+SecretScalar Polynomial::eval(const Scalar& x) const {
+  SecretScalar acc = coeffs_.back();
   for (std::size_t j = coeffs_.size() - 1; j-- > 0;) {
     acc = acc * x + coeffs_[j];
   }
   return acc;
 }
 
-Scalar Polynomial::eval_at(std::uint64_t x) const {
+SecretScalar Polynomial::eval_at(std::uint64_t x) const {
   return eval(Scalar::from_u64(group(), x));
 }
 
 Polynomial Polynomial::operator+(const Polynomial& o) const {
   if (coeffs_.size() != o.coeffs_.size()) throw std::invalid_argument("Polynomial: degree mismatch");
-  std::vector<Scalar> c;
+  std::vector<SecretScalar> c;
   c.reserve(coeffs_.size());
   for (std::size_t j = 0; j < coeffs_.size(); ++j) c.push_back(coeffs_[j] + o.coeffs_[j]);
   return Polynomial(std::move(c));
@@ -49,7 +60,9 @@ Polynomial Polynomial::operator+(const Polynomial& o) const {
 Bytes Polynomial::to_bytes() const {
   Writer w;
   w.u32(static_cast<std::uint32_t>(degree()));
-  for (const Scalar& c : coeffs_) w.raw(c.to_bytes());
+  // reveal-ok: canonical wire encoding of a dealt row; the caller addresses
+  // it to the row's owner (vss send / avss send).
+  for (const SecretScalar& c : coeffs_) w.raw(c.reveal_bytes());
   return w.take();
 }
 
@@ -57,14 +70,21 @@ Polynomial Polynomial::from_bytes(const Group& grp, const Bytes& b, std::size_t 
   Reader r(b);
   std::uint32_t deg = r.u32();
   if (deg != expect_degree) throw std::out_of_range("Polynomial: unexpected degree");
-  std::vector<Scalar> c;
+  std::vector<SecretScalar> c;
   c.reserve(deg + 1);
   for (std::uint32_t j = 0; j <= deg; ++j) {
     Bytes sb(grp.q_bytes());
     for (auto& byte : sb) byte = r.u8();
-    c.push_back(Scalar::from_bytes(grp, sb));
+    c.push_back(SecretScalar::from_bytes(grp, sb));
   }
   return Polynomial(std::move(c));
+}
+
+bool Polynomial::operator==(const Polynomial& o) const {
+  if (coeffs_.size() != o.coeffs_.size()) return false;
+  bool eq = true;
+  for (std::size_t j = 0; j < coeffs_.size(); ++j) eq &= coeffs_[j].ct_eq(o.coeffs_[j]);
+  return eq;
 }
 
 }  // namespace dkg::crypto

@@ -1,11 +1,16 @@
 // Univariate polynomials over Z_q. A degree-t polynomial is the unit of
-// secret sharing: a(0) is the secret, a(i) is node i's share.
+// secret sharing: a(0) is the secret, a(i) is node i's share — so the
+// coefficient vector is secret material and is held in SecretScalar (taint
+// typed, constant-time arithmetic, wiped storage). Evaluations are secret
+// too; call sites that put a point on the wire declassify it explicitly with
+// reveal() (audited by tools/lint/secret_lint.py rule SEC01).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "crypto/scalar.hpp"
+#include "crypto/secret.hpp"
 
 namespace dkg::crypto {
 
@@ -13,36 +18,43 @@ class Polynomial {
  public:
   /// Zero polynomial of the given degree (all coefficients zero).
   Polynomial(const Group& grp, std::size_t degree);
-  /// From explicit coefficients, constant term first. Must be non-empty.
-  explicit Polynomial(std::vector<Scalar> coeffs);
+  /// From explicit secret coefficients, constant term first. Non-empty.
+  explicit Polynomial(std::vector<SecretScalar> coeffs);
+  /// From public coefficients (Lagrange interpolation of public points, wire
+  /// decode); each coefficient is tainted on entry.
+  explicit Polynomial(const std::vector<Scalar>& coeffs);
 
   /// Uniformly random degree-t polynomial.
   static Polynomial random(const Group& grp, std::size_t degree, Drbg& rng);
   /// Random polynomial with a fixed constant term (a(0) = c).
   static Polynomial random_with_constant(const Scalar& c, std::size_t degree, Drbg& rng);
+  static Polynomial random_with_constant(const SecretScalar& c, std::size_t degree, Drbg& rng);
 
   std::size_t degree() const { return coeffs_.size() - 1; }
   const Group& group() const { return coeffs_.front().group(); }
-  const Scalar& coeff(std::size_t j) const { return coeffs_.at(j); }
-  Scalar& coeff(std::size_t j) { return coeffs_.at(j); }
-  const std::vector<Scalar>& coeffs() const { return coeffs_; }
+  const SecretScalar& coeff(std::size_t j) const { return coeffs_.at(j); }
+  SecretScalar& coeff(std::size_t j) { return coeffs_.at(j); }
+  const std::vector<SecretScalar>& coeffs() const { return coeffs_; }
 
-  /// Horner evaluation a(x).
-  Scalar eval(const Scalar& x) const;
-  Scalar eval_at(std::uint64_t x) const;
+  /// Horner evaluation a(x) at a public point.
+  SecretScalar eval(const Scalar& x) const;
+  SecretScalar eval_at(std::uint64_t x) const;
 
   Polynomial operator+(const Polynomial& o) const;
 
-  /// Canonical encoding: degree (u32) then fixed-width coefficients.
+  /// Canonical encoding: degree (u32) then fixed-width coefficients. This is
+  /// a declassification (rows ride in `send` messages addressed to their
+  /// owner); callers decide where the bytes may go.
   Bytes to_bytes() const;
   /// Returns an empty optional-like signal via degree mismatch: callers pass
   /// the expected degree so Byzantine senders cannot inflate messages.
   static Polynomial from_bytes(const Group& grp, const Bytes& b, std::size_t expect_degree);
 
-  bool operator==(const Polynomial& o) const { return coeffs_ == o.coeffs_; }
+  /// Coefficient-wise constant-time comparison (verdict declassified).
+  bool operator==(const Polynomial& o) const;
 
  private:
-  std::vector<Scalar> coeffs_;  // coeffs_[j] multiplies x^j
+  std::vector<SecretScalar> coeffs_;  // coeffs_[j] multiplies x^j
 };
 
 }  // namespace dkg::crypto

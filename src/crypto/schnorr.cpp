@@ -31,21 +31,19 @@ std::optional<Signature> Signature::from_bytes(const Group& grp, const Bytes& b)
 }
 
 KeyPair schnorr_keygen(const Group& grp, Drbg& rng) {
-  Scalar sk = Scalar::random(grp, rng);
-  return KeyPair{sk, Element::exp_g(sk)};
+  SecretScalar sk = SecretScalar::random(grp, rng);
+  Element pk = sk.commit_to();
+  return KeyPair{std::move(sk), std::move(pk)};
 }
 
 Signature schnorr_sign(const KeyPair& kp, const Bytes& msg) {
   const Group& grp = kp.sk.group();
-  Writer nw;
-  nw.str("hybriddkg/schnorr/nonce");
-  nw.blob(kp.sk.to_bytes());
-  nw.blob(msg);
-  Scalar k = Scalar::hash_to_scalar(grp, nw.data());
-  if (k.is_zero()) k = Scalar::one(grp);  // vanishing nonce is astronomically unlikely
-  Element r = Element::exp_g(k);
+  SecretScalar k = SecretScalar::derive(grp, "hybriddkg/schnorr/nonce", kp.sk, {&msg});
+  k.one_if_zero();  // vanishing-nonce guard, branch-free
+  Element r = k.commit_to();
   Scalar c = challenge(r, kp.pk, msg);
-  Scalar s = k + kp.sk * c;
+  // reveal-ok: s = k + x*c is the published signature response.
+  Scalar s = (k + kp.sk * c).reveal();
   return Signature{c, s};
 }
 

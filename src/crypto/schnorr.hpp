@@ -9,12 +9,13 @@
 
 #include "crypto/element.hpp"
 #include "crypto/scalar.hpp"
+#include "crypto/secret.hpp"
 
 namespace dkg::crypto {
 
 struct KeyPair {
-  Scalar sk;   // x, uniform in Z_q
-  Element pk;  // y = g^x
+  SecretScalar sk;  // x, uniform in Z_q; taint-typed, never leaves the node
+  Element pk;       // y = g^x
 };
 
 struct Signature {
@@ -29,7 +30,8 @@ struct Signature {
 KeyPair schnorr_keygen(const Group& grp, Drbg& rng);
 
 /// Signs `msg`: k = H(sk || msg), R = g^k, c = H(R || pk || msg),
-/// s = k + sk * c. Output (c, s).
+/// s = k + sk * c. Output (c, s). The nonce is derived, guarded against
+/// vanishing, and combined entirely in the constant-time secret domain.
 Signature schnorr_sign(const KeyPair& kp, const Bytes& msg);
 
 /// Verifies: R' = g^s * pk^{-c}; accept iff c == H(R' || pk || msg).

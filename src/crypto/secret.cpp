@@ -1,0 +1,377 @@
+#include "crypto/secret.hpp"
+
+#include <new>
+#include <stdexcept>
+
+#include "crypto/element.hpp"
+#include "crypto/mpz.hpp"
+#include "crypto/sha256.hpp"
+
+// ctcheck backend selection. Valgrind's client requests compile to a no-op
+// rotation sequence when not running under valgrind, so a DKG_CTCHECK build
+// is safe to execute anywhere; the poison only "arms" under the checker.
+#if defined(DKG_CTCHECK)
+#if __has_include(<valgrind/memcheck.h>)
+#include <valgrind/memcheck.h>
+#define DKG_CTCHECK_VALGRIND 1
+#elif defined(__has_feature)
+#if __has_feature(memory_sanitizer)
+#include <sanitizer/msan_interface.h>
+#define DKG_CTCHECK_MSAN 1
+#endif
+#endif
+#endif
+
+namespace dkg::crypto {
+
+static_assert(GMP_NAIL_BITS == 0, "SecretScalar assumes a nail-free GMP build");
+
+void ct_poison(void* p, std::size_t len) noexcept {
+#if defined(DKG_CTCHECK_VALGRIND)
+  VALGRIND_MAKE_MEM_UNDEFINED(p, len);
+#elif defined(DKG_CTCHECK_MSAN)
+  __msan_allocated_memory(p, len);
+#else
+  (void)p;
+  (void)len;
+#endif
+}
+
+void ct_unpoison(void* p, std::size_t len) noexcept {
+#if defined(DKG_CTCHECK_VALGRIND)
+  VALGRIND_MAKE_MEM_DEFINED(p, len);
+#elif defined(DKG_CTCHECK_MSAN)
+  __msan_unpoison(p, len);
+#else
+  (void)p;
+  (void)len;
+#endif
+}
+
+namespace {
+SecretScrapeHook g_scrape_hook = nullptr;
+}  // namespace
+
+void set_secret_scrape_hook(SecretScrapeHook hook) noexcept { g_scrape_hook = hook; }
+
+void* secret_alloc(std::size_t len) { return ::operator new(len); }
+
+void secret_free(void* p, std::size_t len) noexcept {
+  if (p == nullptr) return;
+  if (g_scrape_hook != nullptr) {
+    // The hook inspects what a buggy (wipe-free) free would have leaked.
+    ct_unpoison(p, len);
+    g_scrape_hook(p, len);
+  }
+  secure_wipe(p, len);
+  ::operator delete(p);
+}
+
+// --- SecretBytes ------------------------------------------------------------
+
+void SecretBytes::append(const void* p, std::size_t len) {
+  const std::uint8_t* b = static_cast<const std::uint8_t*>(p);
+  v_.insert(v_.end(), b, b + len);
+}
+
+void SecretBytes::append_u32(std::uint32_t v) {
+  for (int s = 24; s >= 0; s -= 8) v_.push_back(static_cast<std::uint8_t>(v >> s));
+}
+
+void SecretBytes::append_blob(const void* p, std::size_t len) {
+  append_u32(static_cast<std::uint32_t>(len));
+  append(p, len);
+}
+
+// --- limb helpers -----------------------------------------------------------
+
+namespace {
+
+using SecretLimbs = std::vector<mp_limb_t, SecretAllocator<mp_limb_t>>;
+
+constexpr std::size_t kLimbBytes = sizeof(mp_limb_t);
+
+std::size_t limbs_for_bytes(std::size_t len) { return (len + kLimbBytes - 1) / kLimbBytes; }
+
+const mp_limb_t* limbs_of(const mpz_class& v) { return mpz_limbs_read(v.get_mpz_t()); }
+std::size_t nlimbs_of(const mpz_class& v) {
+  return static_cast<std::size_t>(mpz_size(v.get_mpz_t()));
+}
+
+/// Big-endian bytes -> least-significant-first limbs, data-independent
+/// control flow (indices depend only on lengths).
+void be_bytes_to_limbs(const std::uint8_t* b, std::size_t len, mp_limb_t* out, std::size_t nl) {
+  for (std::size_t i = 0; i < nl; ++i) out[i] = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    std::size_t sig = len - 1 - i;  // byte significance, 0 = least
+    out[sig / kLimbBytes] |= static_cast<mp_limb_t>(b[i]) << (8 * (sig % kLimbBytes));
+  }
+}
+
+void limbs_to_be_bytes(const mp_limb_t* v, std::size_t nl, std::uint8_t* out, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    std::size_t sig = len - 1 - i;
+    std::size_t limb = sig / kLimbBytes;
+    out[i] = limb < nl ? static_cast<std::uint8_t>(v[limb] >> (8 * (sig % kLimbBytes))) : 0;
+  }
+}
+
+/// 1 if x == 0 else 0, branch-free.
+mp_limb_t ct_limb_is_zero(mp_limb_t x) {
+  return static_cast<mp_limb_t>(1) & ~((x | (static_cast<mp_limb_t>(0) - x)) >> (GMP_NUMB_BITS - 1));
+}
+
+/// r = (a + b) mod q over n limbs; a, b in [0, q). Scratch t must hold n
+/// limbs. Constant time.
+void limb_add_mod(mp_limb_t* r, const mp_limb_t* a, const mp_limb_t* b, const mp_limb_t* q,
+                  mp_size_t n, mp_limb_t* t) {
+  mp_limb_t cy = mpn_add_n(r, a, b, n);
+  mp_limb_t bw = mpn_sub_n(t, r, q, n);
+  // Keep the reduced candidate t when the sum overflowed a limb boundary
+  // (cy) or is >= q (no borrow). cy=1 with bw=0 cannot occur: a+b < 2q.
+  mpn_cnd_swap(cy | (bw ^ 1), r, t, n);
+}
+
+/// r = (a - b) mod q over n limbs; a, b in [0, q). Constant time.
+void limb_sub_mod(mp_limb_t* r, const mp_limb_t* a, const mp_limb_t* b, const mp_limb_t* q,
+                  mp_size_t n) {
+  mp_limb_t bw = mpn_sub_n(r, a, b, n);
+  mpn_cnd_add_n(bw, r, r, q, n);
+}
+
+/// r = (a * b) mod q over n limbs. Constant time (mpn_sec_mul + sec_div_r).
+void limb_mul_mod(mp_limb_t* r, const mp_limb_t* a, const mp_limb_t* b, const mp_limb_t* q,
+                  mp_size_t n) {
+  SecretLimbs prod(2 * static_cast<std::size_t>(n));
+  SecretLimbs scratch(static_cast<std::size_t>(
+      std::max(mpn_sec_mul_itch(n, n), mpn_sec_div_r_itch(2 * n, n))));
+  mpn_sec_mul(prod.data(), a, n, b, n, scratch.data());
+  mpn_sec_div_r(prod.data(), 2 * n, q, n, scratch.data());
+  for (mp_size_t i = 0; i < n; ++i) r[i] = prod[static_cast<std::size_t>(i)];
+}
+
+}  // namespace
+
+// --- SecretScalar -----------------------------------------------------------
+
+SecretScalar::SecretScalar(const Group& grp, std::size_t nlimbs) : grp_(&grp), v_(nlimbs, 0) {}
+
+const Group& SecretScalar::group() const {
+  if (grp_ == nullptr) throw std::logic_error("SecretScalar: empty");
+  return *grp_;
+}
+
+void SecretScalar::check_same(const SecretScalar& o) const {
+  if (grp_ == nullptr || o.grp_ == nullptr) throw std::logic_error("SecretScalar: empty operand");
+  if (!(*grp_ == *o.grp_)) throw std::logic_error("SecretScalar: mixed groups");
+}
+
+SecretScalar SecretScalar::zero(const Group& grp) {
+  return SecretScalar(grp, nlimbs_of(grp.q()));
+}
+
+SecretScalar SecretScalar::from_scalar(const Scalar& s) {
+  const Group& grp = s.group();
+  SecretScalar out(grp, nlimbs_of(grp.q()));
+  const mpz_class& v = s.value();  // already in [0, q)
+  std::size_t vn = nlimbs_of(v);
+  const mp_limb_t* vp = limbs_of(v);
+  for (std::size_t i = 0; i < vn; ++i) out.v_[i] = vp[i];
+  ct_poison(out.v_.data(), out.v_.size() * kLimbBytes);
+  return out;
+}
+
+SecretScalar SecretScalar::from_bytes(const Group& grp, const Bytes& b) {
+  std::size_t qn = nlimbs_of(grp.q());
+  std::size_t nl = std::max(limbs_for_bytes(b.size()), qn);
+  SecretLimbs wide(nl);
+  be_bytes_to_limbs(b.data(), b.size(), wide.data(), nl);
+  SecretLimbs scratch(static_cast<std::size_t>(
+      mpn_sec_div_r_itch(static_cast<mp_size_t>(nl), static_cast<mp_size_t>(qn))));
+  mpn_sec_div_r(wide.data(), static_cast<mp_size_t>(nl), limbs_of(grp.q()),
+                static_cast<mp_size_t>(qn), scratch.data());
+  SecretScalar out(grp, qn);
+  for (std::size_t i = 0; i < qn; ++i) out.v_[i] = wide[i];
+  ct_poison(out.v_.data(), out.v_.size() * kLimbBytes);
+  return out;
+}
+
+SecretScalar SecretScalar::random(const Group& grp, Drbg& rng) {
+  // Identical byte consumption and value to Scalar::random: q_bytes + 8
+  // big-endian bytes reduced mod q — but sampled into wiped storage and
+  // reduced with mpn_sec_div_r.
+  SecretBytes buf(grp.q_bytes() + 8);
+  rng.fill(buf.data(), buf.size());
+  std::size_t qn = nlimbs_of(grp.q());
+  std::size_t nl = std::max(limbs_for_bytes(buf.size()), qn);
+  SecretLimbs wide(nl);
+  be_bytes_to_limbs(buf.data(), buf.size(), wide.data(), nl);
+  ct_poison(wide.data(), wide.size() * kLimbBytes);
+  SecretLimbs scratch(static_cast<std::size_t>(
+      mpn_sec_div_r_itch(static_cast<mp_size_t>(nl), static_cast<mp_size_t>(qn))));
+  mpn_sec_div_r(wide.data(), static_cast<mp_size_t>(nl), limbs_of(grp.q()),
+                static_cast<mp_size_t>(qn), scratch.data());
+  SecretScalar out(grp, qn);
+  for (std::size_t i = 0; i < qn; ++i) out.v_[i] = wide[i];
+  return out;
+}
+
+SecretScalar SecretScalar::derive(const Group& grp, std::string_view domain,
+                                  const SecretScalar& secret, const std::vector<const Bytes*>& pub) {
+  // Writer-compatible framing, assembled in wiped storage.
+  SecretBytes material;
+  material.append_str(domain);
+  {
+    std::size_t qb = secret.group().q_bytes();
+    material.append_u32(static_cast<std::uint32_t>(qb));
+    std::size_t at = material.size();
+    material.append(Bytes(qb, 0));
+    SecretLimbs tmp(secret.v_.begin(), secret.v_.end());
+    limbs_to_be_bytes(tmp.data(), tmp.size(), material.data() + at, qb);
+  }
+  for (const Bytes* p : pub) material.append_blob(*p);
+
+  // Counter-mode SHA-256 expansion to q_bytes + 8 — bit-for-bit the stream
+  // Scalar::hash_to_scalar produces for the same input bytes.
+  std::size_t want = grp.q_bytes() + 8;
+  SecretBytes stream;
+  std::uint8_t ctr = 0;
+  while (stream.size() < want) {
+    SecretBytes block(material);
+    block.append(&ctr, 1);
+    ++ctr;
+    std::uint8_t d[32];
+    sha256_into(block.data(), block.size(), d);
+    stream.append(d, 32);
+    secure_wipe(d, sizeof(d));
+  }
+
+  std::size_t qn = nlimbs_of(grp.q());
+  std::size_t nl = std::max(limbs_for_bytes(want), qn);
+  SecretLimbs wide(nl);
+  be_bytes_to_limbs(stream.data(), want, wide.data(), nl);
+  SecretLimbs scratch(static_cast<std::size_t>(
+      mpn_sec_div_r_itch(static_cast<mp_size_t>(nl), static_cast<mp_size_t>(qn))));
+  mpn_sec_div_r(wide.data(), static_cast<mp_size_t>(nl), limbs_of(grp.q()),
+                static_cast<mp_size_t>(qn), scratch.data());
+  SecretScalar out(grp, qn);
+  for (std::size_t i = 0; i < qn; ++i) out.v_[i] = wide[i];
+  ct_poison(out.v_.data(), out.v_.size() * kLimbBytes);
+  return out;
+}
+
+SecretScalar SecretScalar::operator+(const SecretScalar& o) const {
+  check_same(o);
+  mp_size_t n = static_cast<mp_size_t>(v_.size());
+  SecretScalar out(*grp_, v_.size());
+  SecretLimbs t(v_.size());
+  limb_add_mod(out.v_.data(), v_.data(), o.v_.data(), limbs_of(grp_->q()), n, t.data());
+  return out;
+}
+
+SecretScalar SecretScalar::operator-(const SecretScalar& o) const {
+  check_same(o);
+  mp_size_t n = static_cast<mp_size_t>(v_.size());
+  SecretScalar out(*grp_, v_.size());
+  limb_sub_mod(out.v_.data(), v_.data(), o.v_.data(), limbs_of(grp_->q()), n);
+  return out;
+}
+
+SecretScalar SecretScalar::operator*(const SecretScalar& o) const {
+  check_same(o);
+  mp_size_t n = static_cast<mp_size_t>(v_.size());
+  SecretScalar out(*grp_, v_.size());
+  limb_mul_mod(out.v_.data(), v_.data(), o.v_.data(), limbs_of(grp_->q()), n);
+  return out;
+}
+
+SecretScalar& SecretScalar::operator+=(const SecretScalar& o) {
+  *this = *this + o;
+  return *this;
+}
+
+SecretScalar& SecretScalar::operator*=(const SecretScalar& o) {
+  *this = *this * o;
+  return *this;
+}
+
+SecretScalar SecretScalar::operator+(const Scalar& o) const { return *this + from_scalar(o); }
+SecretScalar SecretScalar::operator-(const Scalar& o) const { return *this - from_scalar(o); }
+SecretScalar SecretScalar::operator*(const Scalar& o) const { return *this * from_scalar(o); }
+
+SecretScalar& SecretScalar::operator+=(const Scalar& o) {
+  *this = *this + o;
+  return *this;
+}
+
+SecretScalar& SecretScalar::operator*=(const Scalar& o) {
+  *this = *this * o;
+  return *this;
+}
+
+void SecretScalar::one_if_zero() {
+  if (grp_ == nullptr) throw std::logic_error("SecretScalar: empty");
+  mp_limb_t acc = 0;
+  for (mp_limb_t l : v_) acc |= l;
+  SecretLimbs one(v_.size(), 0);
+  one[0] = 1;
+  mpn_cnd_add_n(ct_limb_is_zero(acc), v_.data(), v_.data(), one.data(),
+                static_cast<mp_size_t>(v_.size()));
+}
+
+bool SecretScalar::ct_eq(const SecretScalar& o) const {
+  check_same(o);
+  mp_limb_t acc = 0;
+  for (std::size_t i = 0; i < v_.size(); ++i) acc |= v_[i] ^ o.v_[i];
+  mp_limb_t zero = ct_limb_is_zero(acc);
+  ct_unpoison(&zero, sizeof(zero));  // the boolean verdict is declassified
+  return zero != 0;
+}
+
+Element SecretScalar::commit_to() const {
+  return commit_to(Element::generator(group()));
+}
+
+Element SecretScalar::commit_to(const Element& base) const {
+  const Group& grp = group();
+  if (!(base.group() == grp)) throw std::logic_error("SecretScalar: mixed groups");
+  const mpz_class& p = grp.p();
+  std::size_t pn = nlimbs_of(p);
+  std::size_t bn = nlimbs_of(base.value());
+  if (bn == 0) throw std::logic_error("SecretScalar: commit to zero base");
+  // Fixed exponent width: every commitment scans the full qn*limb bits, so
+  // the work is independent of the exponent's value.
+  mp_bitcnt_t enb = static_cast<mp_bitcnt_t>(v_.size()) * GMP_NUMB_BITS;
+  SecretLimbs ep(v_.begin(), v_.end());
+  SecretLimbs rp(pn);
+  SecretLimbs scratch(static_cast<std::size_t>(
+      mpn_sec_powm_itch(static_cast<mp_size_t>(bn), enb, static_cast<mp_size_t>(pn))));
+  mpn_sec_powm(rp.data(), limbs_of(base.value()), static_cast<mp_size_t>(bn), ep.data(), enb,
+               limbs_of(p), static_cast<mp_size_t>(pn), scratch.data());
+  ct_unpoison(rp.data(), rp.size() * kLimbBytes);  // g^x is a public commitment
+  Bytes be(grp.p_bytes());
+  limbs_to_be_bytes(rp.data(), rp.size(), be.data(), be.size());
+  Element e = Element::from_bytes(grp, be);
+  if (e.empty()) throw std::logic_error("SecretScalar: commit_to produced invalid element");
+  return e;
+}
+
+Scalar SecretScalar::reveal() const {
+  const Group& grp = group();
+  SecretLimbs tmp(v_.begin(), v_.end());
+  ct_unpoison(tmp.data(), tmp.size() * kLimbBytes);
+  mpz_class v;
+  mpz_import(v.get_mpz_t(), tmp.size(), -1, kLimbBytes, 0, 0, tmp.data());
+  return Scalar::from_mpz(grp, v);
+}
+
+Bytes SecretScalar::reveal_bytes() const {
+  const Group& grp = group();
+  SecretLimbs tmp(v_.begin(), v_.end());
+  ct_unpoison(tmp.data(), tmp.size() * kLimbBytes);
+  Bytes out(grp.q_bytes());
+  limbs_to_be_bytes(tmp.data(), tmp.size(), out.data(), out.size());
+  return out;
+}
+
+}  // namespace dkg::crypto

@@ -1,0 +1,116 @@
+// Taint types for secret material. Every genuinely-secret value in the
+// library — polynomial coefficients, VSS subshares, DKG key shares, Schnorr
+// and DLEQ nonces, signing keys, DRBG key state — lives in one of the two
+// types below, never in a bare Scalar/Bytes:
+//
+//   * SecretScalar: an element of Z_q held as a fixed-width limb vector.
+//     All arithmetic runs through GMP's side-channel-silent mpn_sec_* /
+//     mpn_cnd_* primitives, so secret-domain computation is constant-time by
+//     construction (mpz_class normalizes and branches on limb values, which
+//     is why this type does NOT wrap mpz_class). Storage is wiped before it
+//     is released.
+//   * SecretBytes: a wiped-on-free byte buffer for symmetric key material
+//     (DRBG seeds, hash inputs during nonce derivation).
+//
+// Neither type converts implicitly to Scalar/Bytes. The only exits are:
+//   reveal()/reveal_bytes() — declassify; every call site in src/ must carry
+//     a `// reveal-ok: <reason>` justification (enforced by
+//     tools/lint/secret_lint.py rule SEC01);
+//   commit_to() — g^x (or base^x) via mpn_sec_powm; the result is a public
+//     commitment, computed without variable-time exponentiation.
+//
+// Under -DDKG_CTCHECK (see tools/ctcheck/) secret limbs are poisoned with
+// valgrind/MSan client requests at creation, so any secret-dependent branch
+// or table index anywhere downstream is flagged by the checker.
+#pragma once
+
+#include <gmp.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/group.hpp"
+#include "crypto/scalar.hpp"
+#include "crypto/secret_bytes.hpp"
+
+namespace dkg::crypto {
+
+class Element;
+
+// --- SecretScalar -----------------------------------------------------------
+
+/// An element of Z_q in taint-typed, constant-time, wiped storage. Group
+/// mixing rules match Scalar (throws std::logic_error). Arithmetic cost is
+/// independent of the operand values; only the (public) group parameters
+/// determine the running time.
+class SecretScalar {
+ public:
+  SecretScalar() = default;  // empty; using it in arithmetic throws
+
+  static SecretScalar zero(const Group& grp);
+  /// Taints a public scalar (the sanctioned public -> secret entry point).
+  static SecretScalar from_scalar(const Scalar& s);
+  /// Uniform in [0, q). Consumes exactly the same Drbg byte stream as
+  /// Scalar::random and produces the same value, so switching a sampling
+  /// site to the secret domain never perturbs downstream randomness.
+  static SecretScalar random(const Group& grp, Drbg& rng);
+  /// Big-endian decode reduced mod q (same value as Scalar::from_bytes).
+  static SecretScalar from_bytes(const Group& grp, const Bytes& b);
+  /// Deterministic nonce derivation: hashes
+  ///   Writer{str(domain), blob(secret bytes), blob(pub[0]), ...}
+  /// into Z_q with the exact counter-mode expansion of
+  /// Scalar::hash_to_scalar, keeping every intermediate buffer in wiped
+  /// storage. Schnorr and DLEQ nonces are derived through this.
+  static SecretScalar derive(const Group& grp, std::string_view domain,
+                             const SecretScalar& secret, const std::vector<const Bytes*>& pub);
+
+  bool empty() const { return grp_ == nullptr; }
+  const Group& group() const;
+
+  SecretScalar operator+(const SecretScalar& o) const;
+  SecretScalar operator-(const SecretScalar& o) const;
+  SecretScalar operator*(const SecretScalar& o) const;
+  SecretScalar& operator+=(const SecretScalar& o);
+  SecretScalar& operator*=(const SecretScalar& o);
+  // Mixed secret (x) public operands: the public operand's value may leak,
+  // the secret one's may not.
+  SecretScalar operator+(const Scalar& o) const;
+  SecretScalar operator-(const Scalar& o) const;
+  SecretScalar operator*(const Scalar& o) const;
+  SecretScalar& operator+=(const Scalar& o);
+  SecretScalar& operator*=(const Scalar& o);
+
+  /// Constant-time: if the value is zero, set it to one (Schnorr/DLEQ
+  /// vanishing-nonce guard — replaces the old `if (k.is_zero())` branch).
+  void one_if_zero();
+
+  /// Constant-time equality (the boolean result is declassified; the
+  /// comparison itself leaks nothing about where operands differ).
+  bool ct_eq(const SecretScalar& o) const;
+
+  /// g^x via mpn_sec_powm: full fixed-width exponent scan, no comb tables,
+  /// no mpz normalization of the exponent. The result is public.
+  Element commit_to() const;
+  /// base^x, same contract. `base` is public.
+  Element commit_to(const Element& base) const;
+
+  /// Declassifies to a public Scalar. Every call site in src/ must carry a
+  /// `// reveal-ok:` justification (lint rule SEC01).
+  Scalar reveal() const;
+  /// Declassifies to the fixed-width (q_bytes) big-endian encoding.
+  Bytes reveal_bytes() const;
+
+ private:
+  SecretScalar(const Group& grp, std::size_t nlimbs);
+  void check_same(const SecretScalar& o) const;
+
+  const Group* grp_ = nullptr;
+  // Exactly mpz_size(q) limbs, value in [0, q). Wiped on free.
+  std::vector<mp_limb_t, SecretAllocator<mp_limb_t>> v_;
+};
+
+}  // namespace dkg::crypto

@@ -1,0 +1,91 @@
+// Wiped-on-free byte storage for symmetric secret material (DRBG seeds and
+// key state, hash inputs during nonce derivation), plus the allocator and
+// test/ctcheck plumbing shared with SecretScalar (crypto/secret.hpp). Split
+// from secret.hpp so low-level headers (drbg) can hold secret buffers
+// without a circular include through scalar.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dkg::crypto {
+
+// --- ctcheck poisoning hooks ------------------------------------------------
+// No-ops unless compiled with -DDKG_CTCHECK and a checker backend (valgrind
+// client requests or MSan) is available; see secret.cpp.
+void ct_poison(void* p, std::size_t len) noexcept;
+void ct_unpoison(void* p, std::size_t len) noexcept;
+
+// --- scraping-allocator plumbing --------------------------------------------
+
+/// Test hook: called with the contents of every secret buffer at the moment
+/// it is freed, BEFORE the wipe. tests/test_secret_hygiene.cpp installs one
+/// to prove that (a) all secret frees route through the wiping allocator and
+/// (b) the wipe actually happens before memory returns to the heap.
+using SecretScrapeHook = void (*)(const void* data, std::size_t len);
+void set_secret_scrape_hook(SecretScrapeHook hook) noexcept;
+
+void* secret_alloc(std::size_t len);
+void secret_free(void* p, std::size_t len) noexcept;
+
+/// Allocator used by all secret-material containers: frees are reported to
+/// the scrape hook (tests) and wiped before the memory returns to the heap.
+template <class T>
+struct SecretAllocator {
+  using value_type = T;
+
+  SecretAllocator() noexcept = default;
+  template <class U>
+  SecretAllocator(const SecretAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) { return static_cast<T*>(secret_alloc(n * sizeof(T))); }
+  void deallocate(T* p, std::size_t n) noexcept { secret_free(p, n * sizeof(T)); }
+
+  template <class U>
+  bool operator==(const SecretAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const SecretAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+// --- SecretBytes ------------------------------------------------------------
+
+/// A byte buffer whose storage is wiped before release. Used for DRBG seed
+/// material and for assembling hash inputs that contain secrets.
+class SecretBytes {
+ public:
+  SecretBytes() = default;
+  explicit SecretBytes(std::size_t len) : v_(len, 0) {}
+  explicit SecretBytes(const Bytes& b) : v_(b.begin(), b.end()) {}
+
+  std::uint8_t* data() { return v_.data(); }
+  const std::uint8_t* data() const { return v_.data(); }
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+
+  void append(const void* p, std::size_t len);
+  void append(const Bytes& b) { append(b.data(), b.size()); }
+  void append(const SecretBytes& b) { append(b.data(), b.size()); }
+  /// Appends a big-endian u32 (Writer::u32-compatible framing).
+  void append_u32(std::uint32_t v);
+  /// Appends Writer::blob framing: u32 length then the bytes.
+  void append_blob(const void* p, std::size_t len);
+  void append_blob(const Bytes& b) { append_blob(b.data(), b.size()); }
+  /// Appends Writer::str framing (identical to blob for raw bytes).
+  void append_str(std::string_view s) { append_blob(s.data(), s.size()); }
+
+  /// Declassifies to a plain heap Bytes copy (SEC01-audited).
+  Bytes reveal() const { return Bytes(v_.begin(), v_.end()); }
+
+ private:
+  std::vector<std::uint8_t, SecretAllocator<std::uint8_t>> v_;
+};
+
+}  // namespace dkg::crypto

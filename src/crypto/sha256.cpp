@@ -68,6 +68,12 @@ void Sha256::update(const std::uint8_t* data, std::size_t len) {
 }
 
 Bytes Sha256::finish() {
+  Bytes out(32);
+  finish_into(out.data());
+  return out;
+}
+
+void Sha256::finish_into(std::uint8_t out[32]) {
   std::uint64_t bit_len = total_ * 8;
   std::uint8_t pad = 0x80;
   update(&pad, 1);
@@ -76,20 +82,32 @@ Bytes Sha256::finish() {
   std::uint8_t len_be[8];
   for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
   update(len_be, 8);
-  Bytes out(32);
   for (int i = 0; i < 8; ++i) {
     out[4 * i] = static_cast<std::uint8_t>(h_[i] >> 24);
     out[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
     out[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
     out[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
   }
-  return out;
+}
+
+void Sha256::wipe() noexcept {
+  secure_wipe(h_.data(), h_.size() * sizeof(h_[0]));
+  secure_wipe(buf_.data(), buf_.size());
+  total_ = 0;
+  buf_len_ = 0;
 }
 
 Bytes sha256(const Bytes& data) {
   Sha256 h;
   h.update(data);
   return h.finish();
+}
+
+void sha256_into(const std::uint8_t* data, std::size_t len, std::uint8_t out[32]) {
+  Sha256 h;
+  h.update(data, len);
+  h.finish_into(out);
+  h.wipe();
 }
 
 Bytes sha256_framed(std::initializer_list<const Bytes*> parts) {

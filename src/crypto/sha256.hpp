@@ -18,6 +18,12 @@ class Sha256 {
   /// Finalizes and returns the 32-byte digest; the object must not be
   /// updated afterwards.
   Bytes finish();
+  /// Finalizes into a caller-owned buffer — the digest never touches the
+  /// heap, so callers hashing secret material (nonce derivation, DRBG
+  /// keying) can keep the output in wipeable storage.
+  void finish_into(std::uint8_t out[32]);
+  /// Wipes the hasher's internal state (buffered input chunk included).
+  void wipe() noexcept;
 
  private:
   void compress(const std::uint8_t block[64]);
@@ -30,6 +36,10 @@ class Sha256 {
 
 /// One-shot digest.
 Bytes sha256(const Bytes& data);
+
+/// One-shot digest into a caller-owned buffer; wipes the hasher state before
+/// returning. For hashing secret material without heap-resident copies.
+void sha256_into(const std::uint8_t* data, std::size_t len, std::uint8_t out[32]);
 
 /// Digest of the concatenation of several byte strings, each length-framed
 /// so the combined encoding is injective.

@@ -272,7 +272,7 @@ void DkgNode::try_finalize(sim::Context& ctx) {
 
 DkgOutput DkgNode::combine(sim::Context&, const NodeSet& q) {
   const crypto::Group& grp = *params_.vss.grp;
-  Scalar share = Scalar::zero(grp);
+  crypto::SecretScalar share = crypto::SecretScalar::zero(grp);
   FeldmanMatrix commitment = FeldmanMatrix::identity(grp, params_.t());
   for (sim::NodeId d : q) {
     const vss::SharedOutput& out = vss_outputs_.at(d);

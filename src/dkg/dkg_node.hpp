@@ -55,7 +55,7 @@ struct DkgOutput {
   /// prod_l V_l^{i^l}. Row 0 of the matrix after DKG; the Lagrange
   /// combination after share renewal (§5.2).
   std::optional<crypto::FeldmanVector> share_vec;
-  crypto::Scalar share;        // sum (DKG) or Lagrange combination (renewal)
+  crypto::SecretScalar share;  // sum (DKG) or Lagrange combination (renewal)
   crypto::Element public_key;  // V_0 = g^s
 };
 

@@ -100,7 +100,8 @@ bool DkgRunner::outputs_consistent() const {
     if (!(out.q == first.q)) return false;
     if (out.public_key != first.public_key) return false;
     if (!(*out.commitment == *first.commitment)) return false;
-    shares.emplace_back(id, out.share);
+    // reveal-ok: harness consistency audit (batch verification against V).
+    shares.emplace_back(id, out.share.reveal());
   }
   // All shares in one randomized batch; per-share fallback only on reject
   // (which here means genuine inconsistency — the check still fails, but
@@ -119,7 +120,9 @@ crypto::Scalar DkgRunner::reconstruct_secret() const {
   std::vector<std::pair<std::uint64_t, crypto::Scalar>> pts;
   for (std::size_t k = 0; k <= cfg_.t; ++k) {
     const DkgOutput& out = dynamic_cast<DkgNode&>(sim_->node(done[k])).output();
-    pts.emplace_back(done[k], out.share);
+    // reveal-ok: harness-level reconstruction of the master secret from t+1
+    // shares; the secret goes public here by design.
+    pts.emplace_back(done[k], out.share.reveal());
   }
   return crypto::interpolate_at(*cfg_.grp, pts, 0);
 }

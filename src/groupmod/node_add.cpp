@@ -43,12 +43,12 @@ void NodeAddNode::on_message(sim::Context& ctx, sim::NodeId from, const sim::Mes
 core::DkgOutput NodeAddNode::combine(sim::Context& ctx, const core::NodeSet& q) {
   const crypto::Group& grp = *params_.vss.grp;
   std::vector<std::uint64_t> xs(q.begin(), q.end());
-  Scalar subshare = Scalar::zero(grp);
+  crypto::SecretScalar subshare = crypto::SecretScalar::zero(grp);
   std::vector<Scalar> lambdas;
   lambdas.reserve(q.size());
   for (std::size_t k = 0; k < q.size(); ++k) {
     lambdas.push_back(crypto::lagrange_coeff(grp, xs, k, new_node_));
-    subshare += lambdas.back() * vss_output(q[k]).share;
+    subshare += vss_output(q[k]).share * lambdas.back();
   }
   // h-commitment coefficients: one multi-exp per l (see renewal.cpp).
   std::vector<Element> vec;
@@ -64,7 +64,9 @@ core::DkgOutput NodeAddNode::combine(sim::Context& ctx, const core::NodeSet& q) 
   // share: node addition does not renew (§6.2).
   ctx.send(new_node_, std::make_shared<SubshareMsg>(
                           params_.tau, std::make_shared<const FeldmanVector>(FeldmanVector(vec)),
-                          std::make_shared<const FeldmanVector>(state_.commitment), subshare));
+                          std::make_shared<const FeldmanVector>(state_.commitment),
+                          // reveal-ok: s_{i,new} is the joining node's subshare, addressed to it.
+                          subshare.reveal()));
 
   core::DkgOutput out;
   out.share = state_.share;  // unchanged
@@ -98,7 +100,8 @@ void JoiningNode::on_message(sim::Context&, sim::NodeId from, const sim::Message
   b.group_vec = m->group_vec;
   b.points.emplace_back(from, m->subshare);
   if (b.points.size() >= t_ + 1) {
-    share_ = crypto::interpolate_at(*grp_, b.points, 0);
+    // The interpolated value is this node's long-term key share: taint it.
+    share_ = crypto::SecretScalar::from_scalar(crypto::interpolate_at(*grp_, b.points, 0));
     group_vec_ = b.group_vec;
   }
 }

@@ -54,7 +54,7 @@ class JoiningNode : public sim::Node {
   void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
 
   bool has_share() const { return share_.has_value(); }
-  const crypto::Scalar& share() const { return *share_; }
+  const crypto::SecretScalar& share() const { return *share_; }
   const crypto::FeldmanVector& group_vec() const { return *group_vec_; }
   std::uint64_t rejected() const { return rejected_; }
 
@@ -71,7 +71,7 @@ class JoiningNode : public sim::Node {
     std::set<sim::NodeId> senders;
   };
   std::map<Bytes, Bucket> buckets_;
-  std::optional<crypto::Scalar> share_;
+  std::optional<crypto::SecretScalar> share_;
   std::shared_ptr<const crypto::FeldmanVector> group_vec_;
   std::uint64_t rejected_ = 0;
 };

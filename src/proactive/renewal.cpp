@@ -66,12 +66,12 @@ void RenewalNode::begin_resharing(sim::Context& ctx) {
 core::DkgOutput RenewalNode::combine(sim::Context&, const core::NodeSet& q) {
   const crypto::Group& grp = *params_.vss.grp;
   std::vector<std::uint64_t> xs(q.begin(), q.end());
-  Scalar share = Scalar::zero(grp);
+  crypto::SecretScalar share = crypto::SecretScalar::zero(grp);
   std::vector<Scalar> lambdas;
   lambdas.reserve(q.size());
   for (std::size_t k = 0; k < q.size(); ++k) {
     lambdas.push_back(crypto::lagrange_coeff(grp, xs, k, 0));
-    share += lambdas.back() * vss_output(q[k]).share;
+    share += vss_output(q[k]).share * lambdas.back();
   }
   // V_new[l] = prod_k C_k[l,0]^{lambda_k}: one multi-exp per coefficient.
   std::vector<Element> vec;

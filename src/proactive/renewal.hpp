@@ -18,7 +18,7 @@ namespace dkg::proactive {
 
 /// A node's durable sharing state between phases.
 struct ShareState {
-  crypto::Scalar share;
+  crypto::SecretScalar share;
   crypto::FeldmanVector commitment;  // V: g^{s_i} = prod V_l^{i^l}
 };
 

@@ -17,29 +17,32 @@ void put_sid(Writer& w, const SessionId& sid) {
   w.u32(sid.tau);
 }
 
-/// Non-symmetric bivariate dealing used by AVSS: full (t+1)^2 coefficients.
+/// Non-symmetric bivariate dealing used by AVSS: full (t+1)^2 coefficients,
+/// held in the secret domain like BiPolynomial's triangle.
 struct FullBiPoly {
   std::size_t t;
-  std::vector<Scalar> c;  // row-major, c[j*(t+1)+l] multiplies x^j y^l
+  std::vector<crypto::SecretScalar> c;  // row-major, c[j*(t+1)+l] multiplies x^j y^l
 
   static FullBiPoly random(const Scalar& secret, std::size_t t, crypto::Drbg& rng) {
     const crypto::Group& grp = secret.group();
     FullBiPoly f{t, {}};
     f.c.reserve((t + 1) * (t + 1));
-    for (std::size_t k = 0; k < (t + 1) * (t + 1); ++k) f.c.push_back(Scalar::random(grp, rng));
-    f.c[0] = secret;
+    for (std::size_t k = 0; k < (t + 1) * (t + 1); ++k) {
+      f.c.push_back(crypto::SecretScalar::random(grp, rng));
+    }
+    f.c[0] = crypto::SecretScalar::from_scalar(secret);
     return f;
   }
 
   Polynomial row(std::uint64_t i) const {  // a_i(y) = f(i, y)
     const crypto::Group& grp = c.front().group();
     Scalar x = Scalar::from_u64(grp, i);
-    std::vector<Scalar> out;
+    std::vector<crypto::SecretScalar> out;
     out.reserve(t + 1);
     for (std::size_t l = 0; l <= t; ++l) {
-      Scalar acc = c[t * (t + 1) + l];
+      crypto::SecretScalar acc = c[t * (t + 1) + l];
       for (std::size_t j = t; j-- > 0;) acc = acc * x + c[j * (t + 1) + l];
-      out.push_back(acc);
+      out.push_back(std::move(acc));
     }
     return Polynomial(std::move(out));
   }
@@ -47,12 +50,12 @@ struct FullBiPoly {
   Polynomial col(std::uint64_t i) const {  // b_i(x) = f(x, i)
     const crypto::Group& grp = c.front().group();
     Scalar y = Scalar::from_u64(grp, i);
-    std::vector<Scalar> out;
+    std::vector<crypto::SecretScalar> out;
     out.reserve(t + 1);
     for (std::size_t j = 0; j <= t; ++j) {
-      Scalar acc = c[j * (t + 1) + t];
+      crypto::SecretScalar acc = c[j * (t + 1) + t];
       for (std::size_t l = t; l-- > 0;) acc = acc * y + c[j * (t + 1) + l];
-      out.push_back(acc);
+      out.push_back(std::move(acc));
     }
     return Polynomial(std::move(out));
   }
@@ -90,7 +93,8 @@ void AvssInstance::deal(sim::Context& ctx, const Scalar& secret) {
   FullBiPoly f = FullBiPoly::random(secret, params_.t, ctx.rng());
   std::vector<Element> entries;
   entries.reserve(f.c.size());
-  for (const Scalar& s : f.c) entries.push_back(Element::exp_g(s));
+  // Dealer-side: secret coefficients commit through constant-time commit_to.
+  for (const crypto::SecretScalar& s : f.c) entries.push_back(s.commit_to());
   auto commitment =
       std::make_shared<const FeldmanMatrix>(FeldmanMatrix::from_entries(params_.t, std::move(entries)));
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
@@ -133,8 +137,9 @@ void AvssInstance::on_send(sim::Context& ctx, sim::NodeId from, const AvssSendMs
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
     // To P_j: alpha' = a_i(j) = f(i, j) (P_j checks against its column) and
     // beta' = b_i(j) = f(j, i) (P_j checks against its row).
-    ctx.send(j, std::make_shared<AvssEchoMsg>(sid_, m.commitment, m.row.eval_at(j),
-                                              m.col.eval_at(j)));
+    // reveal-ok: both echo points are addressed to P_j, who is entitled to them.
+    ctx.send(j, std::make_shared<AvssEchoMsg>(sid_, m.commitment, m.row.eval_at(j).reveal(),
+                                              m.col.eval_at(j).reveal()));
   }
 }
 
@@ -187,8 +192,9 @@ void AvssInstance::send_ready_round(sim::Context& ctx, PerCommit& pc) {
     pc.row = crypto::interpolate(*params_.grp, betas);
   }
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
-    ctx.send(j, std::make_shared<AvssReadyMsg>(sid_, pc.commitment, pc.row->eval_at(j),
-                                               pc.col->eval_at(j)));
+    // reveal-ok: ready points a_i(j), b_i(j) are addressed to P_j (AVSS ready round).
+    ctx.send(j, std::make_shared<AvssReadyMsg>(sid_, pc.commitment, pc.row->eval_at(j).reveal(),
+                                               pc.col->eval_at(j).reveal()));
   }
 }
 

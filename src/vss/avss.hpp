@@ -67,7 +67,7 @@ struct AvssReadyMsg : VssMessage {
 class AvssInstance {
  public:
   using SharedHandler =
-      std::function<void(sim::Context&, const crypto::Scalar& share,
+      std::function<void(sim::Context&, const crypto::SecretScalar& share,
                          const std::shared_ptr<const crypto::FeldmanMatrix>&)>;
 
   AvssInstance(AvssParams params, SessionId sid, sim::NodeId self);
@@ -78,7 +78,7 @@ class AvssInstance {
   bool handle(sim::Context& ctx, sim::NodeId from, const sim::Message& msg);
 
   bool has_shared() const { return share_.has_value(); }
-  const crypto::Scalar& share() const { return *share_; }
+  const crypto::SecretScalar& share() const { return *share_; }
 
  private:
   struct PerCommit {
@@ -113,7 +113,7 @@ class AvssInstance {
   bool got_send_ = false;
   std::set<sim::NodeId> seen_echo_;
   std::set<sim::NodeId> seen_ready_;
-  std::optional<crypto::Scalar> share_;
+  std::optional<crypto::SecretScalar> share_;
   SharedHandler on_shared_;
 };
 

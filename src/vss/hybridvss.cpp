@@ -95,7 +95,9 @@ void VssInstance::on_send(sim::Context& ctx, sim::NodeId from, const SendMsg& m)
   }
   // Echo a(j) = f(i, j) to every P_j.
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
-    Scalar alpha = m.row->eval_at(j);
+    // reveal-ok: the echo point f(i, j) is addressed to P_j, who is entitled
+    // to it (Fig 1 echo round).
+    Scalar alpha = m.row->eval_at(j).reveal();
     auto echo = std::make_shared<EchoMsg>(
         sid_, params_.mode == CommitmentMode::Full ? m.commitment : nullptr, digest,
         std::move(alpha));
@@ -212,7 +214,9 @@ void VssInstance::send_ready_round(sim::Context& ctx, const Bytes& digest, PerCo
     sig = params_.keyring->sign_as(self_, ready_sig_payload(sid_, digest));
   }
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
-    Scalar alpha = pc.row->eval_at(j);
+    // reveal-ok: the ready point a_i(j) is addressed to P_j, who is entitled
+    // to it (Fig 1 ready round).
+    Scalar alpha = pc.row->eval_at(j).reveal();
     auto ready = std::make_shared<ReadyMsg>(
         sid_, params_.mode == CommitmentMode::Full ? pc.commitment : nullptr, digest,
         std::move(alpha), sig);
@@ -271,14 +275,15 @@ void VssInstance::recover(sim::Context& ctx) {
 void VssInstance::start_reconstruct(sim::Context& ctx) {
   if (!shared_ || reconstructing_) return;
   reconstructing_ = true;
+  // reveal-ok: protocol Rec publishes s_i to all peers by design.
   ctx.multicast(peers_, std::make_shared<RecShareMsg>(sid_, shared_->commitment->digest(),
-                                                      shared_->share));
+                                                      shared_->share.reveal()));
 }
 
 void VssInstance::on_rec_share(sim::Context& ctx, sim::NodeId from, const RecShareMsg& m) {
   if (!shared_ || reconstructed_) return;
   if (!seen_rec_.insert(from).second) return;
-  if (!bytes_equal(m.digest, shared_->commitment->digest())) {
+  if (!ct_equal(m.digest, shared_->commitment->digest())) {
     ++rejected_;
     return;
   }

@@ -56,7 +56,7 @@ struct VssParams {
 struct SharedOutput {
   SessionId sid;
   std::shared_ptr<const crypto::FeldmanMatrix> commitment;
-  crypto::Scalar share;
+  crypto::SecretScalar share;
   std::vector<ReadySig> ready_proof;  // n-t-f signed readys when sign_ready
 };
 

@@ -33,11 +33,11 @@ struct DkgFixture : ::testing::Test {
     }
   }
 
-  Scalar share(std::size_t i) const { return shares_.at(i - 1); }
+  const crypto::SecretScalar& share(std::size_t i) const { return shares_.at(i - 1); }
 
   std::unique_ptr<core::DkgRunner> runner_;
   std::optional<crypto::FeldmanVector> vec_;
-  std::vector<Scalar> shares_;
+  std::vector<crypto::SecretScalar> shares_;
 };
 
 using ThresholdElGamal = DkgFixture;
@@ -122,7 +122,7 @@ struct ThresholdSchnorrFixture : DkgFixture {
 
   std::unique_ptr<core::DkgRunner> nonce_runner_;
   std::optional<crypto::FeldmanVector> nonce_vec_;
-  std::vector<Scalar> nonce_shares_;
+  std::vector<crypto::SecretScalar> nonce_shares_;
 };
 
 using ThresholdSchnorr = ThresholdSchnorrFixture;

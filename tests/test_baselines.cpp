@@ -31,7 +31,7 @@ TEST(Avss, AllNodesCompleteAndAgree) {
   for (sim::NodeId i = 1; i <= 7; ++i) {
     auto& node = dynamic_cast<vss::AvssNode&>(sim.node(i));
     ASSERT_TRUE(node.instance(sid).has_shared()) << "node " << i;
-    if (pts.size() < 3) pts.emplace_back(i, node.instance(sid).share());
+    if (pts.size() < 3) pts.emplace_back(i, node.instance(sid).share().reveal());
   }
   EXPECT_EQ(crypto::interpolate_at(grp, pts, 0), secret);
 }
@@ -105,7 +105,7 @@ TEST(JointFeldman, HonestRunProducesConsistentKey) {
   }
   // Shares interpolate to the discrete log of the public key.
   std::vector<std::pair<std::uint64_t, Scalar>> pts;
-  for (sim::NodeId i = 1; i <= 3; ++i) pts.emplace_back(i, outs[i]->share);
+  for (sim::NodeId i = 1; i <= 3; ++i) pts.emplace_back(i, outs[i]->share.reveal());
   EXPECT_EQ(Element::exp_g(crypto::interpolate_at(grp, pts, 0)), outs[1]->public_key);
 }
 
@@ -122,7 +122,7 @@ TEST(JointFeldman, BadSharesResolvedByReveal) {
     EXPECT_EQ(outs[i]->public_key, outs[1]->public_key);
   }
   std::vector<std::pair<std::uint64_t, Scalar>> pts;
-  for (sim::NodeId i = 4; i <= 6; ++i) pts.emplace_back(i, outs[i]->share);
+  for (sim::NodeId i = 4; i <= 6; ++i) pts.emplace_back(i, outs[i]->share.reveal());
   EXPECT_EQ(Element::exp_g(crypto::interpolate_at(grp, pts, 0)), outs[1]->public_key);
 }
 
@@ -166,7 +166,7 @@ TEST(Gennaro, HonestRunProducesConsistentKey) {
     EXPECT_EQ(o.qual.size(), 7u);
   }
   std::vector<std::pair<std::uint64_t, Scalar>> pts;
-  for (sim::NodeId i = 1; i <= 3; ++i) pts.emplace_back(i, outs[i - 1].share);
+  for (sim::NodeId i = 1; i <= 3; ++i) pts.emplace_back(i, outs[i - 1].share.reveal());
   EXPECT_EQ(Element::exp_g(crypto::interpolate_at(grp, pts, 0)), outs[0].public_key);
 }
 
@@ -186,7 +186,7 @@ TEST(Gennaro, ExtractionCheaterIsExposedAndKeyStaysCorrect) {
   // Feldman lie is caught; the public key still matches the shared secret.
   for (const auto& o : outs) EXPECT_EQ(o.public_key, outs[0].public_key);
   std::vector<std::pair<std::uint64_t, Scalar>> pts;
-  for (sim::NodeId i = 1; i <= 3; ++i) pts.emplace_back(i, outs[i - 1].share);
+  for (sim::NodeId i = 1; i <= 3; ++i) pts.emplace_back(i, outs[i - 1].share.reveal());
   EXPECT_EQ(Element::exp_g(crypto::interpolate_at(grp, pts, 0)), outs[0].public_key);
 }
 

@@ -38,8 +38,8 @@ TEST_P(FeldmanDegrees, VerifyPointMatchesEvaluations) {
   FeldmanMatrix c = FeldmanMatrix::commit(f);
   for (std::uint64_t i = 1; i <= t + 1; ++i) {
     for (std::uint64_t m = 0; m <= t + 1; ++m) {
-      EXPECT_TRUE(c.verify_point(i, m, f.eval_at(m, i)));
-      EXPECT_FALSE(c.verify_point(i, m, f.eval_at(m, i) + Scalar::one(grp())));
+      EXPECT_TRUE(c.verify_point(i, m, f.eval_at(m, i).reveal()));
+      EXPECT_FALSE(c.verify_point(i, m, f.eval_at(m, i).reveal() + Scalar::one(grp())));
     }
   }
 }
@@ -87,8 +87,8 @@ TEST(Feldman, ShareVectorVerifiesShares) {
   BiPolynomial f = BiPolynomial::random(Scalar::from_u64(grp(), 55), 3, rng);
   FeldmanVector v = FeldmanMatrix::commit(f).share_vector();
   for (std::uint64_t i = 1; i <= 5; ++i) {
-    EXPECT_TRUE(v.verify_share(i, f.eval_at(i, 0)));
-    EXPECT_FALSE(v.verify_share(i, f.eval_at(i, 1)));
+    EXPECT_TRUE(v.verify_share(i, f.eval_at(i, 0).reveal()));
+    EXPECT_FALSE(v.verify_share(i, f.eval_at(i, 1).reveal()));
   }
   EXPECT_EQ(v.c0(), Element::exp_g(Scalar::from_u64(grp(), 55)));
 }
@@ -98,7 +98,7 @@ TEST(Feldman, VectorCommitAndEval) {
   Polynomial p = Polynomial::random(grp(), 3, rng);
   FeldmanVector v = FeldmanVector::commit(p);
   for (std::uint64_t i = 0; i <= 6; ++i) {
-    EXPECT_EQ(v.eval_commit(i), Element::exp_g(p.eval_at(i)));
+    EXPECT_EQ(v.eval_commit(i), Element::exp_g(p.eval_at(i).reveal()));
   }
   auto back = FeldmanVector::from_bytes(grp(), v.to_bytes(), 3);
   ASSERT_TRUE(back.has_value());
@@ -137,9 +137,9 @@ TEST(Pedersen, VerifyPolyAndPoint) {
     EXPECT_TRUE(c.verify_poly(i, d.f.row(i), d.f_prime.row(i)));
     EXPECT_FALSE(c.verify_poly(i, d.f_prime.row(i), d.f.row(i)));
     for (std::uint64_t m = 1; m <= t + 1; ++m) {
-      EXPECT_TRUE(c.verify_point(i, m, d.f.eval_at(m, i), d.f_prime.eval_at(m, i)));
-      EXPECT_FALSE(c.verify_point(i, m, d.f.eval_at(m, i) + Scalar::one(grp()),
-                                  d.f_prime.eval_at(m, i)));
+      EXPECT_TRUE(c.verify_point(i, m, d.f.eval_at(m, i).reveal(), d.f_prime.eval_at(m, i).reveal()));
+      EXPECT_FALSE(c.verify_point(i, m, d.f.eval_at(m, i).reveal() + Scalar::one(grp()),
+                                  d.f_prime.eval_at(m, i).reveal()));
     }
   }
 }

@@ -25,9 +25,9 @@ TEST(Bytes, EmptyHex) {
 }
 
 TEST(Bytes, Equality) {
-  EXPECT_TRUE(bytes_equal(bytes_of("abc"), bytes_of("abc")));
-  EXPECT_FALSE(bytes_equal(bytes_of("abc"), bytes_of("abd")));
-  EXPECT_FALSE(bytes_equal(bytes_of("abc"), bytes_of("abcd")));
+  EXPECT_TRUE(ct_equal(bytes_of("abc"), bytes_of("abc")));
+  EXPECT_FALSE(ct_equal(bytes_of("abc"), bytes_of("abd")));
+  EXPECT_FALSE(ct_equal(bytes_of("abc"), bytes_of("abcd")));
 }
 
 TEST(Serialize, IntegerRoundTrip) {

@@ -108,9 +108,9 @@ TEST(Dkg, SharesVerifyAgainstAggregatedCommitment) {
   ASSERT_TRUE(out0.share_vec.has_value());
   for (sim::NodeId i = 1; i <= cfg.n; ++i) {
     const DkgOutput& out = runner.dkg_node(i).output();
-    EXPECT_TRUE(out0.share_vec->verify_share(i, out.share)) << "node " << i;
+    EXPECT_TRUE(out0.share_vec->verify_share(i, out.share.reveal())) << "node " << i;
     // The matrix-based check agrees with the vector-based one.
-    EXPECT_TRUE(out.commitment->verify_point(0, i, out.share));
+    EXPECT_TRUE(out.commitment->verify_point(0, i, out.share.reveal()));
   }
 }
 

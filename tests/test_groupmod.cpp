@@ -169,7 +169,7 @@ TEST_F(NodeAddTest, NewShareLiesOnOldPolynomial) {
   ASSERT_TRUE(joining_->has_share());
   // The new node's share is F_old(8): it verifies against the old group
   // commitment vector at index 8.
-  EXPECT_TRUE(group_vec_->verify_share(8, joining_->share()));
+  EXPECT_TRUE(group_vec_->verify_share(8, joining_->share().reveal()));
 }
 
 TEST_F(NodeAddTest, NewShareExtendsReconstruction) {
@@ -177,8 +177,8 @@ TEST_F(NodeAddTest, NewShareExtendsReconstruction) {
   ASSERT_TRUE(joining_->has_share());
   // Secret reconstructable from the NEW node's share plus t old shares
   // (old shares still work — addition does not renew, §6.2).
-  std::vector<std::pair<std::uint64_t, Scalar>> pts{{1, old_states_[1].share},
-                                                    {8, joining_->share()}};
+  std::vector<std::pair<std::uint64_t, Scalar>> pts{{1, old_states_[1].share.reveal()},
+                                                    {8, joining_->share().reveal()}};
   EXPECT_EQ(crypto::interpolate_at(crypto::Group::tiny256(), pts, 0), secret_);
   EXPECT_EQ(Element::exp_g(secret_), group_vec_->c0());
   // The joining node learned the authentic group verification vector.
@@ -205,7 +205,7 @@ TEST(NodeAdd, SubshareVerificationRejectsGarbage) {
   crypto::Polynomial h_bad = crypto::Polynomial::random(grp, 2, rng);
   auto hc = std::make_shared<const crypto::FeldmanVector>(crypto::FeldmanVector::commit(h_bad));
   auto gv = std::make_shared<const crypto::FeldmanVector>(group_vec);
-  sim.post_operator(1, std::make_shared<SubshareMsg>(3, hc, gv, h_bad.eval_at(1)), 0);
+  sim.post_operator(1, std::make_shared<SubshareMsg>(3, hc, gv, h_bad.eval_at(1).reveal()), 0);
   ASSERT_TRUE(sim.run());
   EXPECT_FALSE(joining.has_share());
   EXPECT_GT(joining.rejected(), 0u);

@@ -100,8 +100,8 @@ TEST_P(VssSweep, ConsistencySharesInterpolateToSecret) {
   for (sim::NodeId i = 1; i <= GetParam().n; ++i) {
     const SharedOutput& out = h.node(i).instance(h.sid).shared();
     EXPECT_EQ(out.commitment->digest(), digest0);
-    EXPECT_TRUE(out.commitment->verify_point(0, i, out.share)) << "share of node " << i;
-    if (pts.size() <= GetParam().t) pts.emplace_back(i, out.share);
+    EXPECT_TRUE(out.commitment->verify_point(0, i, out.share.reveal())) << "share of node " << i;
+    if (pts.size() <= GetParam().t) pts.emplace_back(i, out.share.reveal());
   }
   EXPECT_EQ(crypto::interpolate_at(grp, pts, 0), secret);
 }
@@ -185,18 +185,18 @@ TEST(HybridVss, PrivacyTSharesAreUnderdetermined) {
   // Adversary view: t shares. Any candidate secret is consistent with them.
   std::vector<std::pair<std::uint64_t, Scalar>> view;
   for (sim::NodeId i = 1; i <= cfg.t; ++i) {
-    view.emplace_back(i, h.node(i).instance(h.sid).shared().share);
+    view.emplace_back(i, h.node(i).instance(h.sid).shared().share.reveal());
   }
   for (std::uint64_t guess : {1ull, 99ull, 12345ull}) {
     auto pts = view;
     pts.emplace_back(0, Scalar::from_u64(grp, guess));
     crypto::Polynomial q = crypto::interpolate(grp, pts);  // always succeeds
-    EXPECT_EQ(q.eval_at(0), Scalar::from_u64(grp, guess));
-    for (const auto& [x, y] : view) EXPECT_EQ(q.eval_at(x), y);
+    EXPECT_EQ(q.eval_at(0).reveal(), Scalar::from_u64(grp, guess));
+    for (const auto& [x, y] : view) EXPECT_EQ(q.eval_at(x).reveal(), y);
   }
   // And t+1 shares pin it down exactly.
   auto pts = view;
-  pts.emplace_back(cfg.t + 1, h.node(cfg.t + 1).instance(h.sid).shared().share);
+  pts.emplace_back(cfg.t + 1, h.node(cfg.t + 1).instance(h.sid).shared().share.reveal());
   EXPECT_EQ(crypto::interpolate_at(grp, pts, 0), secret);
 }
 
@@ -284,8 +284,8 @@ TEST(HybridVss, TwoConcurrentSessionsStayIsolated) {
   ASSERT_TRUE(h.sim.run());
   std::vector<std::pair<std::uint64_t, Scalar>> p1, p2;
   for (sim::NodeId i = 1; i <= cfg.t + 1; ++i) {
-    p1.emplace_back(i, h.node(i).instance(h.sid).shared().share);
-    p2.emplace_back(i, h.node(i).instance(sid2).shared().share);
+    p1.emplace_back(i, h.node(i).instance(h.sid).shared().share.reveal());
+    p2.emplace_back(i, h.node(i).instance(sid2).shared().share.reveal());
   }
   EXPECT_EQ(crypto::interpolate_at(grp, p1, 0), s1);
   EXPECT_EQ(crypto::interpolate_at(grp, p2, 0), s2);

@@ -212,7 +212,7 @@ TEST(Multiexp, VerifyShareBatch) {
   Polynomial a = Polynomial::random(grp, 3, rng);
   FeldmanVector vec = FeldmanVector::commit(a);
   std::vector<std::pair<std::uint64_t, Scalar>> shares;
-  for (std::uint64_t i = 1; i <= 6; ++i) shares.emplace_back(i, a.eval_at(i));
+  for (std::uint64_t i = 1; i <= 6; ++i) shares.emplace_back(i, a.eval_at(i).reveal());
   Drbg batch_rng(331);
   EXPECT_TRUE(vec.verify_share_batch(shares, batch_rng));
   EXPECT_TRUE(vec.verify_share_batch({}, batch_rng));

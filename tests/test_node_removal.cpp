@@ -37,11 +37,11 @@ TEST(NodeRemoval, RemovedNodeLosesAccessAfterRenewal) {
   EXPECT_EQ(runner.reconstruct(), secret);
 
   // The removed node's share no longer verifies against the new commitment.
-  EXPECT_FALSE(runner.states()[1].commitment.verify_share(8, removed_state.share));
+  EXPECT_FALSE(runner.states()[1].commitment.verify_share(8, removed_state.share.reveal()));
   // Nor can it be combined with a fresh share to reconstruct: old and new
   // shares lie on unrelated polynomials.
-  std::vector<std::pair<std::uint64_t, Scalar>> mixed{{8, removed_state.share},
-                                                      {1, runner.states()[1].share}};
+  std::vector<std::pair<std::uint64_t, Scalar>> mixed{{8, removed_state.share.reveal()},
+                                                      {1, runner.states()[1].share.reveal()}};
   EXPECT_NE(crypto::interpolate_at(*config(0).grp, mixed, 0), secret);
 }
 
@@ -52,7 +52,7 @@ TEST(NodeRemoval, MidPhaseRemovalIsImpossibleByConstruction) {
   ProactiveRunner runner(config(502));
   ASSERT_TRUE(runner.run_dkg());
   ASSERT_TRUE(runner.remove_node(8));
-  EXPECT_TRUE(runner.states()[8].commitment.verify_share(8, runner.states()[8].share));
+  EXPECT_TRUE(runner.states()[8].commitment.verify_share(8, runner.states()[8].share.reveal()));
 }
 
 TEST(NodeRemoval, RefusesRemovalBreakingQuorum) {

@@ -22,10 +22,10 @@ TEST_P(PolyDegrees, EvalMatchesDirectExpansion) {
   Scalar expected = Scalar::zero(grp());
   Scalar xpow = Scalar::one(grp());
   for (std::size_t j = 0; j <= t; ++j) {
-    expected += p.coeff(j) * xpow;
+    expected += p.coeff(j).reveal() * xpow;
     xpow = xpow * x;
   }
-  EXPECT_EQ(p.eval(x), expected);
+  EXPECT_EQ(p.eval(x).reveal(), expected);
 }
 
 TEST_P(PolyDegrees, InterpolationRecoversPolynomial) {
@@ -33,11 +33,11 @@ TEST_P(PolyDegrees, InterpolationRecoversPolynomial) {
   Drbg rng(100 + t);
   Polynomial p = Polynomial::random(grp(), t, rng);
   std::vector<std::pair<std::uint64_t, Scalar>> pts;
-  for (std::uint64_t i = 1; i <= t + 1; ++i) pts.emplace_back(i, p.eval_at(i));
+  for (std::uint64_t i = 1; i <= t + 1; ++i) pts.emplace_back(i, p.eval_at(i).reveal());
   Polynomial q = interpolate(grp(), pts);
   EXPECT_EQ(q, p);
-  EXPECT_EQ(interpolate_at(grp(), pts, 0), p.coeff(0));
-  EXPECT_EQ(interpolate_at(grp(), pts, 42), p.eval_at(42));
+  EXPECT_EQ(interpolate_at(grp(), pts, 0), p.coeff(0).reveal());
+  EXPECT_EQ(interpolate_at(grp(), pts, 42), p.eval_at(42).reveal());
 }
 
 TEST_P(PolyDegrees, TPointsDoNotDetermineSecret) {
@@ -48,14 +48,14 @@ TEST_P(PolyDegrees, TPointsDoNotDetermineSecret) {
   Drbg rng(200 + t);
   Polynomial p = Polynomial::random(grp(), t, rng);
   std::vector<std::pair<std::uint64_t, Scalar>> pts;
-  for (std::uint64_t i = 1; i <= t; ++i) pts.emplace_back(i, p.eval_at(i));
+  for (std::uint64_t i = 1; i <= t; ++i) pts.emplace_back(i, p.eval_at(i).reveal());
   // For an arbitrary candidate secret z, the t points plus (0, z) always
   // interpolate to a valid degree-t polynomial through the adversary's view.
   for (std::uint64_t z = 1; z <= 3; ++z) {
     auto with_guess = pts;
     with_guess.emplace_back(0, Scalar::from_u64(grp(), z * 31337));
     Polynomial q = interpolate(grp(), with_guess);
-    for (const auto& [x, y] : pts) EXPECT_EQ(q.eval_at(x), y);
+    for (const auto& [x, y] : pts) EXPECT_EQ(q.eval_at(x).reveal(), y);
   }
 }
 
@@ -63,7 +63,7 @@ TEST(Polynomial, RandomWithConstantPinsSecret) {
   Drbg rng(5);
   Scalar s = Scalar::from_u64(grp(), 777);
   Polynomial p = Polynomial::random_with_constant(s, 4, rng);
-  EXPECT_EQ(p.eval_at(0), s);
+  EXPECT_EQ(p.eval_at(0).reveal(), s);
   EXPECT_EQ(p.degree(), 4u);
 }
 
@@ -72,7 +72,7 @@ TEST(Polynomial, AdditionIsPointwise) {
   Polynomial p = Polynomial::random(grp(), 3, rng);
   Polynomial q = Polynomial::random(grp(), 3, rng);
   Polynomial r = p + q;
-  EXPECT_EQ(r.eval_at(9), p.eval_at(9) + q.eval_at(9));
+  EXPECT_EQ(r.eval_at(9).reveal(), p.eval_at(9).reveal() + q.eval_at(9).reveal());
 }
 
 TEST(Polynomial, SerializationRoundTrip) {
@@ -107,7 +107,7 @@ TEST_P(BiPolyDegrees, IsSymmetric) {
   BiPolynomial f = BiPolynomial::random(Scalar::from_u64(grp(), 99), t, rng);
   for (std::uint64_t x = 0; x <= t + 2; ++x) {
     for (std::uint64_t y = 0; y <= t + 2; ++y) {
-      EXPECT_EQ(f.eval_at(x, y), f.eval_at(y, x));
+      EXPECT_EQ(f.eval_at(x, y).reveal(), f.eval_at(y, x).reveal());
     }
   }
 }
@@ -119,7 +119,7 @@ TEST_P(BiPolyDegrees, RowMatchesEvaluation) {
   for (std::uint64_t i = 1; i <= 4; ++i) {
     Polynomial a = f.row(i);
     EXPECT_EQ(a.degree(), t);
-    for (std::uint64_t y = 0; y <= t + 1; ++y) EXPECT_EQ(a.eval_at(y), f.eval_at(i, y));
+    for (std::uint64_t y = 0; y <= t + 1; ++y) EXPECT_EQ(a.eval_at(y).reveal(), f.eval_at(i, y).reveal());
   }
 }
 
@@ -128,11 +128,11 @@ TEST_P(BiPolyDegrees, SecretIsConstantTerm) {
   Drbg rng(500 + t);
   Scalar s = Scalar::from_u64(grp(), 123456);
   BiPolynomial f = BiPolynomial::random(s, t, rng);
-  EXPECT_EQ(f.secret(), s);
-  EXPECT_EQ(f.eval_at(0, 0), s);
+  EXPECT_EQ(f.secret().reveal(), s);
+  EXPECT_EQ(f.eval_at(0, 0).reveal(), s);
   // Shares s_i = f(i, 0) interpolate back to s.
   std::vector<std::pair<std::uint64_t, Scalar>> pts;
-  for (std::uint64_t i = 1; i <= t + 1; ++i) pts.emplace_back(i, f.eval_at(i, 0));
+  for (std::uint64_t i = 1; i <= t + 1; ++i) pts.emplace_back(i, f.eval_at(i, 0).reveal());
   EXPECT_EQ(interpolate_at(grp(), pts, 0), s);
 }
 

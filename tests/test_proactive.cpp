@@ -36,7 +36,7 @@ TEST(Renewal, ChangesEveryShare) {
   std::vector<ShareState> before = runner.states();
   ASSERT_TRUE(runner.run_renewal());
   for (sim::NodeId i = 1; i <= 7; ++i) {
-    EXPECT_NE(runner.states()[i].share, before[i].share) << "node " << i;
+    EXPECT_NE(runner.states()[i].share.reveal(), before[i].share.reveal()) << "node " << i;
   }
 }
 
@@ -49,7 +49,7 @@ TEST(Renewal, OldSharesAreUselessAgainstNewCommitment) {
   ASSERT_TRUE(runner.run_renewal());
   std::size_t still_valid = 0;
   for (sim::NodeId i = 1; i <= 7; ++i) {
-    if (runner.states()[i].commitment.verify_share(i, before[i].share)) ++still_valid;
+    if (runner.states()[i].commitment.verify_share(i, before[i].share.reveal())) ++still_valid;
   }
   EXPECT_EQ(still_valid, 0u);
 }
@@ -70,9 +70,9 @@ TEST(Renewal, MixedPhaseSharesDoNotReconstructSecret) {
   ASSERT_TRUE(runner.run_renewal());
   // Mixture interpolation does NOT produce the secret.
   std::vector<std::pair<std::uint64_t, Scalar>> mixed{
-      {1, old_states[1].share},
-      {2, old_states[2].share},
-      {3, runner.states()[3].share}};
+      {1, old_states[1].share.reveal()},
+      {2, old_states[2].share.reveal()},
+      {3, runner.states()[3].share.reveal()}};
   EXPECT_NE(crypto::interpolate_at(*cfg.grp, mixed, 0), secret);
 }
 
@@ -97,7 +97,7 @@ TEST(Renewal, SurvivesCrashRecoveryDuringPhase) {
   ASSERT_TRUE(runner.run_renewal({7}));
   EXPECT_EQ(runner.reconstruct(), secret);
   EXPECT_TRUE(runner.shares_consistent());
-  EXPECT_TRUE(runner.states()[7].commitment.verify_share(7, runner.states()[7].share));
+  EXPECT_TRUE(runner.states()[7].commitment.verify_share(7, runner.states()[7].share.reveal()));
 }
 
 TEST(Renewal, ResharingWrongValueIsRejected) {

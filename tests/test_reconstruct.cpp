@@ -25,9 +25,9 @@ struct ReconstructFixture : ::testing::Test {
 
 TEST_F(ReconstructFixture, RecoverFromExactThreshold) {
   SecretReconstructor rec(*vec, 2);
-  for (std::uint64_t i = 1; i <= 3; ++i) EXPECT_TRUE(rec.add_share(i, poly->eval_at(i)));
+  for (std::uint64_t i = 1; i <= 3; ++i) EXPECT_TRUE(rec.add_share(i, poly->eval_at(i).reveal()));
   ASSERT_TRUE(rec.complete());
-  EXPECT_EQ(*rec.secret(), poly->eval_at(0));
+  EXPECT_EQ(*rec.secret(), poly->eval_at(0).reveal());
 }
 
 TEST_F(ReconstructFixture, PublicKeyFromAnyQuorumInTheExponent) {
@@ -39,40 +39,40 @@ TEST_F(ReconstructFixture, PublicKeyFromAnyQuorumInTheExponent) {
 
 TEST_F(ReconstructFixture, IncompleteBelowThreshold) {
   SecretReconstructor rec(*vec, 2);
-  rec.add_share(1, poly->eval_at(1));
-  rec.add_share(2, poly->eval_at(2));
+  rec.add_share(1, poly->eval_at(1).reveal());
+  rec.add_share(2, poly->eval_at(2).reveal());
   EXPECT_FALSE(rec.complete());
   EXPECT_FALSE(rec.secret().has_value());
 }
 
 TEST_F(ReconstructFixture, RejectsInvalidShares) {
   SecretReconstructor rec(*vec, 2);
-  EXPECT_FALSE(rec.add_share(1, poly->eval_at(2)));  // wrong index
-  EXPECT_FALSE(rec.add_share(1, poly->eval_at(1) + Scalar::one(Group::tiny256())));
+  EXPECT_FALSE(rec.add_share(1, poly->eval_at(2).reveal()));  // wrong index
+  EXPECT_FALSE(rec.add_share(1, poly->eval_at(1).reveal() + Scalar::one(Group::tiny256())));
   EXPECT_EQ(rec.rejected_count(), 2u);
   EXPECT_EQ(rec.valid_count(), 0u);
 }
 
 TEST_F(ReconstructFixture, IgnoresDuplicateIndices) {
   SecretReconstructor rec(*vec, 2);
-  EXPECT_TRUE(rec.add_share(1, poly->eval_at(1)));
-  EXPECT_FALSE(rec.add_share(1, poly->eval_at(1)));  // duplicate
+  EXPECT_TRUE(rec.add_share(1, poly->eval_at(1).reveal()));
+  EXPECT_FALSE(rec.add_share(1, poly->eval_at(1).reveal()));  // duplicate
   EXPECT_EQ(rec.valid_count(), 1u);
 }
 
 TEST_F(ReconstructFixture, ExtraSharesDontChangeResult) {
   SecretReconstructor rec(*vec, 2);
-  for (std::uint64_t i = 1; i <= 7; ++i) rec.add_share(i, poly->eval_at(i));
-  EXPECT_EQ(*rec.secret(), poly->eval_at(0));
+  for (std::uint64_t i = 1; i <= 7; ++i) rec.add_share(i, poly->eval_at(i).reveal());
+  EXPECT_EQ(*rec.secret(), poly->eval_at(0).reveal());
 }
 
 TEST_F(ReconstructFixture, MixedValidAndInvalid) {
   SecretReconstructor rec(*vec, 2);
-  Scalar bad = poly->eval_at(1) + Scalar::one(Group::tiny256());
+  Scalar bad = poly->eval_at(1).reveal() + Scalar::one(Group::tiny256());
   rec.add_share(1, bad);
-  for (std::uint64_t i = 2; i <= 4; ++i) rec.add_share(i, poly->eval_at(i));
+  for (std::uint64_t i = 2; i <= 4; ++i) rec.add_share(i, poly->eval_at(i).reveal());
   ASSERT_TRUE(rec.complete());
-  EXPECT_EQ(*rec.secret(), poly->eval_at(0));
+  EXPECT_EQ(*rec.secret(), poly->eval_at(0).reveal());
   EXPECT_EQ(rec.rejected_count(), 1u);
 }
 

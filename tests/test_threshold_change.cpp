@@ -42,8 +42,8 @@ TEST(ThresholdChange, IncreasedThresholdActuallyBinds) {
   Scalar secret = runner.reconstruct();
   ASSERT_TRUE(runner.set_thresholds(2, 1));
   ASSERT_TRUE(runner.run_renewal());
-  std::vector<std::pair<std::uint64_t, Scalar>> two{{1, runner.states()[1].share},
-                                                    {2, runner.states()[2].share}};
+  std::vector<std::pair<std::uint64_t, Scalar>> two{{1, runner.states()[1].share.reveal()},
+                                                    {2, runner.states()[2].share.reveal()}};
   EXPECT_NE(crypto::interpolate_at(*config(10, 1, 1, 0).grp, two, 0), secret);
 }
 

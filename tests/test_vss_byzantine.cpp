@@ -67,7 +67,7 @@ TEST(ByzantineDealer, InconsistentRowsNeverYieldInconsistentShares) {
     for (sim::NodeId i : done) {
       const SharedOutput& out = h.node(i).instance(h.sid).shared();
       EXPECT_EQ(out.commitment->digest(), digest);
-      EXPECT_TRUE(out.commitment->verify_point(0, i, out.share));
+      EXPECT_TRUE(out.commitment->verify_point(0, i, out.share.reveal()));
     }
   }
   // Nodes with bad rows must have registered rejections.
@@ -121,7 +121,7 @@ TEST(ByzantinePeer, GarbagePointsAreRejectedAndSharingSucceeds) {
   // Consistency unaffected.
   std::vector<std::pair<std::uint64_t, Scalar>> pts;
   for (sim::NodeId i : done) {
-    if (pts.size() < 2) pts.emplace_back(i, h.node(i).instance(h.sid).shared().share);
+    if (pts.size() < 2) pts.emplace_back(i, h.node(i).instance(h.sid).shared().share.reveal());
   }
   EXPECT_EQ(crypto::interpolate_at(Group::tiny256(), pts, 0),
             Scalar::from_u64(Group::tiny256(), 21));
@@ -155,7 +155,7 @@ TEST(ByzantinePeer, ReconstructionToleratesBadShares) {
     BadRecNode(SessionId s, SharedOutput o, std::size_t nn) : sid(s), out(std::move(o)), n(nn) {}
     void on_start(sim::Context& ctx) override {
       Bytes digest = out.commitment->digest();
-      crypto::Scalar bad = out.share + crypto::Scalar::one(out.share.group());
+      crypto::Scalar bad = out.share.reveal() + crypto::Scalar::one(out.share.group());
       for (sim::NodeId j = 1; j <= n; ++j) {
         ctx.send(j, std::make_shared<RecShareMsg>(sid, digest, bad));
       }

@@ -179,7 +179,7 @@ void run_fanout_vs_unicast(vss::CommitmentMode mode) {
     const core::DkgOutput& uo = unicast.dkg_node(i).output();
     EXPECT_TRUE(fo.q == uo.q);
     EXPECT_EQ(fo.public_key, uo.public_key);
-    EXPECT_TRUE(fo.share == uo.share);
+    EXPECT_TRUE(fo.share.ct_eq(uo.share));
     ASSERT_NE(fo.commitment, nullptr);
     ASSERT_NE(uo.commitment, nullptr);
     EXPECT_EQ(fo.commitment->digest(), uo.commitment->digest());

@@ -1,0 +1,316 @@
+// ctgrind-style constant-time verification harness (tools/ctcheck).
+//
+// Drives the secret-domain hot paths — ChaCha20, Schnorr signing, share
+// evaluation, ct_equal — plus a deliberately leaky negative control, under
+// two interchangeable checkers:
+//
+//   --mode poison   Arms the DKG_CTCHECK taint plumbing (crypto/secret.hpp):
+//                   secret buffers are marked undefined via valgrind client
+//                   requests (or MSan), so running this binary under
+//                   `valgrind --error-exitcode=99` flags ANY secret-dependent
+//                   branch or table index anywhere in the op's call graph.
+//                   Without a checker attached the poison is inert and the
+//                   run is a smoke test.
+//
+//   --mode timing   A dudect-style statistical check that needs no external
+//                   tooling: each op is timed over two interleaved input
+//                   classes (fixed secret vs fresh random secret), outliers
+//                   are cropped at the 99th percentile, and Welch's t-test
+//                   compares the class means. |t| above the threshold means
+//                   the running time depends on the secret value. The
+//                   `leaky` op is the negative control proving the detector
+//                   actually fires (its ctest entry is WILL_FAIL).
+//
+// Ops: chacha20 | schnorr_sign | share_eval | ct_equal | leaky
+//
+// Exit codes: 0 pass, 1 leak detected (timing), 2 usage error. Poison-mode
+// failures surface as the checker's own exit code.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/polynomial.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/secret.hpp"
+
+namespace {
+
+using namespace dkg;
+using namespace dkg::crypto;
+
+volatile std::uint8_t g_sink;  // data-flow sink: consumes results branch-free
+
+std::uint64_t now_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// One measurable operation. prepare(class_b) refreshes the secret input
+/// (outside the timed region); run() executes `reps` iterations of the op.
+struct Op {
+  std::function<void(bool class_b, Drbg& rng)> prepare;
+  std::function<void()> run;
+  int reps;  // inner repetitions per timed sample (lifts ns ops above timer noise)
+};
+
+Op make_chacha20() {
+  auto key = std::make_shared<std::array<std::uint8_t, 32>>();
+  auto op = Op{};
+  op.prepare = [key](bool class_b, Drbg& rng) {
+    if (class_b) {
+      rng.fill(key->data(), key->size());
+    } else {
+      key->fill(0x42);
+    }
+    ct_poison(key->data(), key->size());
+  };
+  op.run = [key] {
+    std::array<std::uint8_t, 12> nonce{};
+    std::array<std::uint8_t, 64> block = chacha20_block(*key, nonce, 1);
+    ct_unpoison(block.data(), block.size());
+    g_sink = g_sink ^ block[0];
+  };
+  op.reps = 64;
+  return op;
+}
+
+Op make_schnorr_sign() {
+  const Group& grp = Group::tiny256();
+  auto kp = std::make_shared<KeyPair>();
+  Bytes msg = {'c', 't', 'c', 'h', 'e', 'c', 'k'};
+  auto op = Op{};
+  op.prepare = [kp, &grp](bool class_b, Drbg& rng) {
+    if (class_b) {
+      *kp = schnorr_keygen(grp, rng);
+    } else {
+      Drbg fixed(7);
+      *kp = schnorr_keygen(grp, fixed);
+    }
+  };
+  op.run = [kp, msg] {
+    Signature sig = schnorr_sign(*kp, msg);
+    g_sink = g_sink ^ sig.s.to_bytes()[0];
+  };
+  op.reps = 1;
+  return op;
+}
+
+Op make_share_eval() {
+  const Group& grp = Group::tiny256();
+  auto poly = std::make_shared<std::unique_ptr<Polynomial>>();
+  auto op = Op{};
+  op.prepare = [poly, &grp](bool class_b, Drbg& rng) {
+    if (class_b) {
+      *poly = std::make_unique<Polynomial>(Polynomial::random(grp, 8, rng));
+    } else {
+      Drbg fixed(11);
+      *poly = std::make_unique<Polynomial>(Polynomial::random(grp, 8, fixed));
+    }
+  };
+  op.run = [poly] {
+    SecretScalar y = (*poly)->eval_at(7);  // result stays secret; wiped on drop
+    g_sink = g_sink ^ static_cast<std::uint8_t>(y.empty());
+  };
+  op.reps = 4;
+  return op;
+}
+
+Op make_ct_equal() {
+  auto a = std::make_shared<Bytes>(64, 0);
+  auto b = std::make_shared<Bytes>(64, 0);
+  auto op = Op{};
+  op.prepare = [a, b](bool class_b, Drbg& rng) {
+    rng.fill(a->data(), a->size());
+    *b = *a;
+    // Class A: equal. Class B: differ in the FIRST byte — the classic
+    // early-exit comparison leak shows up as a large timing delta here.
+    if (class_b) (*b)[0] ^= 0xff;
+    ct_poison(a->data(), a->size());
+    ct_poison(b->data(), b->size());
+  };
+  op.run = [a, b] {
+    bool eq = ct_equal(*a, *b);
+    g_sink = g_sink ^ static_cast<std::uint8_t>(eq);  // data flow, no branch
+  };
+  op.reps = 256;
+  return op;
+}
+
+/// Negative control: branches on the secret AND does secret-dependent work,
+/// so the poison checker reports a conditional jump on tainted data and the
+/// timing checker sees a huge class separation.
+Op make_leaky() {
+  auto secret = std::make_shared<Bytes>(32, 0);
+  auto op = Op{};
+  op.prepare = [secret](bool class_b, Drbg& rng) {
+    if (class_b) {
+      rng.fill(secret->data(), secret->size());
+      (*secret)[0] |= 1;  // ensure the slow path is taken for class B
+    } else {
+      std::fill(secret->begin(), secret->end(), 0);
+    }
+    ct_poison(secret->data(), secret->size());
+  };
+  op.run = [secret] {
+    std::uint32_t acc = 1;
+    if ((*secret)[0] & 1) {  // secret-dependent branch (the bug ctcheck exists to catch)
+      for (int i = 0; i < 20000; ++i) acc = acc * 1664525u + 1013904223u;
+    }
+    g_sink = g_sink ^ static_cast<std::uint8_t>(acc);
+  };
+  op.reps = 1;
+  return op;
+}
+
+Op make_op(const std::string& name) {
+  if (name == "chacha20") return make_chacha20();
+  if (name == "schnorr_sign") return make_schnorr_sign();
+  if (name == "share_eval") return make_share_eval();
+  if (name == "ct_equal") return make_ct_equal();
+  if (name == "leaky") return make_leaky();
+  std::fprintf(stderr, "ctcheck: unknown op '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// Welch's t statistic over the two cropped sample sets.
+double welch_t(const std::vector<double>& x, const std::vector<double>& y) {
+  auto stats = [](const std::vector<double>& s) {
+    double m = 0;
+    for (double v : s) m += v;
+    m /= static_cast<double>(s.size());
+    double var = 0;
+    for (double v : s) var += (v - m) * (v - m);
+    var /= static_cast<double>(s.size() - 1);
+    return std::pair<double, double>(m, var);
+  };
+  auto [mx, vx] = stats(x);
+  auto [my, vy] = stats(y);
+  double denom = std::sqrt(vx / static_cast<double>(x.size()) +
+                           vy / static_cast<double>(y.size()));
+  if (denom == 0.0) return 0.0;
+  return (mx - my) / denom;
+}
+
+int run_timing(Op& op, int samples, double threshold) {
+  Drbg rng(20090612);
+  Drbg order_rng(577);
+  std::vector<double> cls[2];
+  cls[0].reserve(static_cast<std::size_t>(samples));
+  cls[1].reserve(static_cast<std::size_t>(samples));
+  // Warmup: fault in code paths and caches for both classes.
+  for (int c = 0; c < 2; ++c) {
+    op.prepare(c == 1, rng);
+    for (int r = 0; r < op.reps; ++r) op.run();
+  }
+  while (cls[0].size() < static_cast<std::size_t>(samples) ||
+         cls[1].size() < static_cast<std::size_t>(samples)) {
+    // Interleave classes in DRBG order so drift affects both equally.
+    std::uint8_t coin;
+    order_rng.fill(&coin, 1);
+    int c = coin & 1;
+    if (cls[c].size() >= static_cast<std::size_t>(samples)) c ^= 1;
+    op.prepare(c == 1, rng);
+    std::uint64_t t0 = now_ns();
+    for (int r = 0; r < op.reps; ++r) op.run();
+    cls[c].push_back(static_cast<double>(now_ns() - t0));
+  }
+  // Crop the common tail (scheduler blips) at the pooled 99th percentile.
+  std::vector<double> pooled = cls[0];
+  pooled.insert(pooled.end(), cls[1].begin(), cls[1].end());
+  double cut = percentile(pooled, 0.99);
+  std::vector<double> a, b;
+  for (double v : cls[0])
+    if (v <= cut) a.push_back(v);
+  for (double v : cls[1])
+    if (v <= cut) b.push_back(v);
+  if (a.size() < 8 || b.size() < 8) {
+    std::fprintf(stderr, "ctcheck: too few samples after cropping\n");
+    return 2;
+  }
+  double t = welch_t(a, b);
+  std::printf("ctcheck: timing t=%.2f (threshold %.1f, %zu/%zu samples)\n", t, threshold,
+              a.size(), b.size());
+  if (std::fabs(t) > threshold) {
+    std::printf("ctcheck: LEAK — running time depends on the secret class\n");
+    return 1;
+  }
+  std::printf("ctcheck: PASS — no secret-dependent timing detected\n");
+  return 0;
+}
+
+int run_poison(Op& op, int samples) {
+  // Under valgrind/MSan with a DKG_CTCHECK build, any secret-dependent
+  // branch inside op.run aborts via the checker; standalone this is a smoke
+  // run of the same code path.
+  Drbg rng(20090612);
+  for (int i = 0; i < samples; ++i) {
+    op.prepare(i % 2 == 1, rng);
+    op.run();
+  }
+  std::printf("ctcheck: poison run complete (checker reports leaks, if any)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string opname, mode = "timing";
+  int samples = 0;
+  double threshold = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ctcheck: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--op") {
+      opname = next();
+    } else if (arg == "--mode") {
+      mode = next();
+    } else if (arg == "--samples") {
+      samples = std::stoi(next());
+    } else if (arg == "--threshold") {
+      threshold = std::stod(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: dkg_ctcheck --op <chacha20|schnorr_sign|share_eval|ct_equal|leaky>"
+                   " [--mode timing|poison] [--samples N] [--threshold T]\n");
+      return 2;
+    }
+  }
+  if (opname.empty()) {
+    std::fprintf(stderr, "ctcheck: --op is required\n");
+    return 2;
+  }
+  Op op = make_op(opname);
+  if (mode == "timing") {
+    if (samples == 0) samples = 1000;
+    return run_timing(op, samples, threshold);
+  }
+  if (mode == "poison") {
+    if (samples == 0) samples = 8;
+    return run_poison(op, samples);
+  }
+  std::fprintf(stderr, "ctcheck: unknown mode '%s'\n", mode.c_str());
+  return 2;
+}

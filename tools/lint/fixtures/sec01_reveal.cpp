@@ -1,0 +1,34 @@
+// SEC01 fixture: declassification sites with and without justification.
+// Not compiled — consumed by `secret_lint.py --self-test`.
+#include "crypto/secret.hpp"
+
+namespace dkg::fixture {
+
+void leaky(const crypto::SecretScalar& share, crypto::Scalar& out) {
+  out = share.reveal();  // EXPECT-SEC01
+}
+
+void leaky_bytes(const crypto::SecretScalar& share, Bytes& out) {
+  out = share.reveal_bytes();  // EXPECT-SEC01
+}
+
+void justified_same_line(const crypto::SecretScalar& share, crypto::Scalar& out) {
+  out = share.reveal();  // reveal-ok: fixture — published by protocol design.
+}
+
+void justified_above(const crypto::SecretScalar& share, crypto::Scalar& out) {
+  // reveal-ok: fixture — the value is addressed to its owner.
+  out = share.reveal();
+}
+
+void justified_too_far(const crypto::SecretScalar& share, crypto::Scalar& out) {
+  // reveal-ok: fixture — this comment is OUT OF the 3-line window below,
+  // so the reveal must still be flagged: drive-by justifications that
+  // drift away from their call site stop counting.
+  int filler_a = 0;
+  int filler_b = filler_a;
+  (void)filler_b;
+  out = share.reveal();  // EXPECT-SEC01
+}
+
+}  // namespace dkg::fixture

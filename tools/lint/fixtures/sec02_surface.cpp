@@ -1,0 +1,20 @@
+// SEC02 fixture: this file's `sec02_` prefix marks it as serializer/metrics
+// surface, where taint types must never appear. Not compiled.
+#include "common/serialize.hpp"
+#include "crypto/secret.hpp"
+
+namespace dkg::fixture {
+
+void write_share(Writer& w, const crypto::SecretScalar& share);  // EXPECT-SEC02
+
+struct MetricsRow {
+  crypto::SecretBytes seed;  // EXPECT-SEC02
+};
+
+// KeyPair is deliberately NOT banned on this surface (bench signatures
+// take one); only the raw taint types are.
+void bench_arg(const crypto::KeyPair& kp);
+
+void write_public(Writer& w, const crypto::Scalar& value);
+
+}  // namespace dkg::fixture

@@ -1,0 +1,19 @@
+// SEC03 fixture: wire-facing code must deserialize commitments through the
+// _checked/_interned variants. Not compiled.
+#include "crypto/feldman.hpp"
+#include "crypto/pedersen.hpp"
+
+namespace dkg::fixture {
+
+void decode_wire(const crypto::Group& grp, const Bytes& b, std::size_t t) {
+  auto m1 = crypto::FeldmanMatrix::from_bytes(grp, b, t);      // EXPECT-SEC03
+  auto v1 = crypto::FeldmanVector::from_bytes(grp, b, t);      // EXPECT-SEC03
+  auto p1 = crypto::PedersenMatrix::from_bytes(grp, b, t, t);  // EXPECT-SEC03
+
+  auto m2 = crypto::FeldmanMatrix::from_bytes_checked(grp, b, t);
+  auto v2 = crypto::FeldmanVector::from_bytes_checked(grp, b, t);
+  auto m3 = crypto::FeldmanMatrix::from_bytes_interned(grp, b, t);
+  (void)m1, (void)v1, (void)p1, (void)m2, (void)v2, (void)m3;
+}
+
+}  // namespace dkg::fixture

@@ -1,0 +1,19 @@
+// SEC04 fixture: Message type() strings must be unique and registered in
+// the fixture registry (message_types.txt next to this file). Not compiled.
+#include "sim/message.hpp"
+
+namespace dkg::fixture {
+
+struct GoodMsg : sim::Message {
+  std::string_view type() const override { return "fixture.good"; }
+};
+
+struct RogueMsg : sim::Message {
+  std::string_view type() const override { return "fixture.rogue"; }  // EXPECT-SEC04
+};
+
+struct AliasedMsg : sim::Message {
+  std::string_view type() const override { return "fixture.good"; }  // EXPECT-SEC04
+};
+
+}  // namespace dkg::fixture

@@ -1,0 +1,25 @@
+// SEC05 fixture: adversary-timed comparisons must go through ct_equal.
+// Not compiled.
+#include <cstring>
+
+#include "common/bytes.hpp"
+
+namespace dkg::fixture {
+
+bool check_digest(const Bytes& a, const Bytes& b, const Bytes& expected) {
+  if (std::memcmp(a.data(), b.data(), a.size()) == 0) return true;  // EXPECT-SEC05
+  if (bytes_equal(a, b)) return true;                               // EXPECT-SEC05
+  return ct_equal(a, expected);
+}
+
+struct Commitment {
+  Bytes digest() const;
+};
+
+bool check_commitment(const Commitment& c, const Bytes& claimed) {
+  if (claimed == c.digest()) return true;  // EXPECT-SEC05
+  if (c.digest() != claimed) return false;  // EXPECT-SEC05
+  return ct_equal(claimed, c.digest());
+}
+
+}  // namespace dkg::fixture

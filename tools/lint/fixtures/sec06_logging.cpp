@@ -1,0 +1,25 @@
+// SEC06 fixture: taint types must never reach streams or hex dumps.
+// Not compiled.
+#include <iostream>
+
+#include "crypto/secret.hpp"
+
+namespace dkg::fixture {
+
+void debug_dump(const crypto::SecretScalar& share, std::ostream& os) {
+  os << "share=" << crypto::SecretScalar(share).group().name();  // EXPECT-SEC06
+}
+
+void dump_typed(std::ostream& os) {
+  os << sizeof(crypto::SecretScalar);  // EXPECT-SEC06
+}
+
+std::string hex_of_seed(const crypto::SecretBytes& seed) {  // declaration alone is fine
+  return to_hex(crypto::SecretBytes(seed).reveal());  // EXPECT-SEC01 EXPECT-SEC06
+}
+
+void fine(std::ostream& os, const Bytes& public_digest) {
+  os << to_hex(public_digest);
+}
+
+}  // namespace dkg::fixture

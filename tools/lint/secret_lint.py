@@ -1,0 +1,510 @@
+#!/usr/bin/env python3
+"""Secret-hygiene lint fleet for the DKG codebase.
+
+Enforces the taint-type discipline introduced with crypto/secret.hpp: secret
+material (SecretScalar / SecretBytes) may only be declassified at audited
+call sites, may never reach the wire/metrics/log surface, and the untrusted
+deserialization and message-registry invariants the wire layer depends on
+hold tree-wide.
+
+Rules
+-----
+  SEC01  every ``.reveal()`` / ``.reveal_bytes()`` in src/ carries a
+         ``// reveal-ok: <reason>`` justification on the same line or one of
+         the three lines above it. tests/, bench/, examples/ and tools/ are
+         auto-allowlisted (they hold no long-lived secrets).
+  SEC02  secret types (SecretScalar, SecretBytes, KeyPair) must not appear
+         in the serializer / Metrics / logging / bench surface
+         (src/common/serialize.*, src/sim/*, bench/*) — secrets reach those
+         layers only as already-declassified public values.
+  SEC03  outside src/crypto/, commitment deserialization must use the
+         ``from_bytes_checked`` / ``from_bytes_interned`` variants; the
+         unchecked ``from_bytes`` skips subgroup/shape validation and is
+         reserved for trusted-local callers inside the crypto layer.
+  SEC04  every sim::Message subclass ``type()`` string is unique and listed
+         in tools/lint/message_types.txt (and the registry holds no stale
+         entries), so wire-format dispatch can never alias two messages.
+  SEC05  no variable-time comparisons of adversary-timed material:
+         ``memcmp`` / ``bytes_equal`` / ``==`` on digest() results are
+         banned in src/ — use dkg::ct_equal.
+  SEC06  secret types must not be streamed or hex-dumped (``<<`` /
+         ``to_hex``) in src/.
+
+Engines
+-------
+Two interchangeable engines produce candidate sites; the rule logic
+(allowlists, registries) is shared:
+
+  * ``clang``  — libclang (python3 clang.cindex) over compile_commands.json:
+    resolves member calls by cursor, so aliases/macros can't hide a reveal.
+  * ``text``   — dependency-free tokenizing fallback with comment-aware
+    line scanning. Used automatically when libclang or the compilation
+    database is unavailable (e.g. minimal containers).
+
+``--engine auto`` (default) picks clang when importable, else text.
+
+Self-test
+---------
+``--self-test`` runs every rule over tools/lint/fixtures/, where each known-
+bad snippet line carries an ``EXPECT-SECnn`` marker. The self-test fails if
+any marked line is NOT flagged (a rule went blind) or any unmarked line IS
+flagged (a rule went trigger-happy). This is wired into ctest under the
+``lint`` label.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+# --------------------------------------------------------------------------
+# configuration
+
+RULES = {
+    "SEC01": "unjustified reveal() — add `// reveal-ok: <reason>`",
+    "SEC02": "secret type on the serializer/metrics/log/bench surface",
+    "SEC03": "unchecked from_bytes on untrusted wire data — use _checked/_interned",
+    "SEC04": "Message type() string not unique / not registered",
+    "SEC05": "variable-time comparison — use dkg::ct_equal",
+    "SEC06": "secret type streamed or hex-dumped",
+}
+
+SECRET_TYPES = ("SecretScalar", "SecretBytes", "KeyPair")
+# KeyPair is allowed on the bench surface (signing benchmarks need one); the
+# raw taint types never are.
+SURFACE_TYPES = ("SecretScalar", "SecretBytes")
+
+# SEC02: globs (relative to repo root) forming the public surface where
+# secret types are banned outright.
+SURFACE_PREFIXES = ("src/common/serialize", "src/sim/", "bench/")
+
+# SEC03: unchecked deserializers of wire commitments.
+UNCHECKED_FROM_BYTES = re.compile(
+    r"\b(FeldmanMatrix|FeldmanVector|PedersenMatrix)::from_bytes\(")
+
+REVEAL_CALL = re.compile(r"\.\s*reveal(_bytes)?\s*\(")
+REVEAL_OK = re.compile(r"//.*reveal-ok\s*:")
+REVEAL_OK_LOOKBACK = 3  # lines above a reveal that may carry the comment
+
+TYPE_OVERRIDE = re.compile(
+    r"type\(\)\s*const\s*override\s*\{\s*return\s*\"([^\"]+)\"")
+
+MEMCMP = re.compile(r"\b(memcmp|bytes_equal)\s*\(")
+DIGEST_EQ = re.compile(r"(==|!=)\s*[A-Za-z_][\w.\->]*digest\(\)|digest\(\)\s*(==|!=)")
+
+STREAM_OR_HEX = re.compile(r"<<|\bto_hex\s*\(")
+
+SRC_EXTS = (".cpp", ".hpp", ".h", ".cc")
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str  # repo-relative
+    line: int  # 1-based
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.detail}"
+
+
+# --------------------------------------------------------------------------
+# comment-aware line model (shared by both engines)
+
+def split_code_comment(lines: List[str]) -> List[Tuple[str, str]]:
+    """Returns (code, comment) per line, tracking /* */ across lines.
+
+    String literals are blanked from the code part so tokens inside quotes
+    don't trigger rules; the comment part keeps its text for reveal-ok.
+    """
+    out: List[Tuple[str, str]] = []
+    in_block = False
+    for raw in lines:
+        code_chars: List[str] = []
+        comment_chars: List[str] = []
+        i, n = 0, len(raw)
+        in_str: Optional[str] = None
+        while i < n:
+            c = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if in_block:
+                comment_chars.append(c)
+                if c == "*" and nxt == "/":
+                    comment_chars.append(nxt)
+                    in_block = False
+                    i += 2
+                    continue
+                i += 1
+                continue
+            if in_str:
+                if c == "\\":
+                    i += 2
+                    continue
+                if c == in_str:
+                    in_str = None
+                code_chars.append(" ")
+                i += 1
+                continue
+            if c in "\"'":
+                in_str = c
+                code_chars.append(" ")
+                i += 1
+                continue
+            if c == "/" and nxt == "/":
+                comment_chars.extend(raw[i:])
+                break
+            if c == "/" and nxt == "*":
+                in_block = True
+                comment_chars.append("/*")
+                i += 2
+                continue
+            code_chars.append(c)
+            i += 1
+        out.append(("".join(code_chars), "".join(comment_chars)))
+    return out
+
+
+# For SEC04 the registry strings live inside quotes, so run the pattern on
+# the raw line instead of the blanked code part.
+def type_strings(raw_lines: List[str], code_comment: List[Tuple[str, str]]
+                 ) -> List[Tuple[int, str]]:
+    got = []
+    for idx, raw in enumerate(raw_lines):
+        code, _ = code_comment[idx]
+        # Require the structural tokens to be real code (not commented out).
+        if "type()" not in code:
+            continue
+        m = TYPE_OVERRIDE.search(raw)
+        if m:
+            got.append((idx + 1, m.group(1)))
+    return got
+
+
+# --------------------------------------------------------------------------
+# file inventory
+
+@dataclass
+class SourceFile:
+    path: str              # repo-relative, forward slashes
+    raw: List[str]
+    cc: List[Tuple[str, str]]
+
+    @property
+    def in_src(self) -> bool:
+        return self.path.startswith("src/")
+
+    @property
+    def in_crypto(self) -> bool:
+        return self.path.startswith("src/crypto/")
+
+    @property
+    def on_surface(self) -> bool:
+        return any(self.path.startswith(p) for p in SURFACE_PREFIXES)
+
+
+def load_file(root: str, rel: str) -> SourceFile:
+    with open(os.path.join(root, rel), "r", encoding="utf-8", errors="replace") as f:
+        raw = f.read().splitlines()
+    return SourceFile(rel.replace(os.sep, "/"), raw, split_code_comment(raw))
+
+
+def walk_sources(root: str, subdirs: Iterable[str]) -> List[SourceFile]:
+    files: List[SourceFile] = []
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(SRC_EXTS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    files.append(load_file(root, rel))
+    return files
+
+
+# --------------------------------------------------------------------------
+# the rules (engine-independent logic; takes candidate reveal sites)
+
+def rule_sec01(f: SourceFile, reveal_lines: Iterable[int]) -> List[Finding]:
+    out = []
+    for ln in reveal_lines:  # 1-based
+        window = range(max(1, ln - REVEAL_OK_LOOKBACK), ln + 1)
+        justified = any(REVEAL_OK.search(f.cc[i - 1][1]) for i in window)
+        if not justified:
+            out.append(Finding("SEC01", f.path, ln, RULES["SEC01"]))
+    return out
+
+
+def rule_sec02(f: SourceFile) -> List[Finding]:
+    out = []
+    for idx, (code, _) in enumerate(f.cc):
+        for t in SURFACE_TYPES:
+            if re.search(rf"\b{t}\b", code):
+                out.append(Finding("SEC02", f.path, idx + 1,
+                                   f"{RULES['SEC02']} ({t})"))
+                break
+    return out
+
+
+def rule_sec03(f: SourceFile, unchecked_lines: Iterable[int]) -> List[Finding]:
+    return [Finding("SEC03", f.path, ln, RULES["SEC03"]) for ln in unchecked_lines]
+
+
+def rule_sec05(f: SourceFile) -> List[Finding]:
+    out = []
+    for idx, (code, _) in enumerate(f.cc):
+        if MEMCMP.search(code) or DIGEST_EQ.search(code):
+            out.append(Finding("SEC05", f.path, idx + 1, RULES["SEC05"]))
+    return out
+
+
+def rule_sec06(f: SourceFile) -> List[Finding]:
+    out = []
+    for idx, (code, _) in enumerate(f.cc):
+        if not STREAM_OR_HEX.search(code):
+            continue
+        # Shift operators inside arithmetic are fine; only flag when a
+        # secret type token is on the same code line.
+        if any(re.search(rf"\b{t}\b", code) for t in SECRET_TYPES):
+            out.append(Finding("SEC06", f.path, idx + 1, RULES["SEC06"]))
+    return out
+
+
+def rule_sec04(files: List[SourceFile], registry_path: str,
+               registry_rel: str) -> List[Finding]:
+    out: List[Finding] = []
+    registered: Dict[str, int] = {}
+    if os.path.exists(registry_path):
+        with open(registry_path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                entry = line.split("#", 1)[0].strip()
+                if entry:
+                    registered[entry] = lineno
+    seen: Dict[str, Tuple[str, int]] = {}
+    used = set()
+    for sf in files:
+        for ln, s in type_strings(sf.raw, sf.cc):
+            if s in seen:
+                first = seen[s]
+                out.append(Finding("SEC04", sf.path, ln,
+                                   f'duplicate type() string "{s}" '
+                                   f"(first at {first[0]}:{first[1]})"))
+            else:
+                seen[s] = (sf.path, ln)
+            if s not in registered:
+                out.append(Finding("SEC04", sf.path, ln,
+                                   f'type() string "{s}" not in {registry_rel}'))
+            used.add(s)
+    for s, lineno in sorted(registered.items(), key=lambda kv: kv[1]):
+        if s not in used:
+            out.append(Finding("SEC04", registry_rel, lineno,
+                               f'stale registry entry "{s}" (no type() override found)'))
+    return out
+
+
+# --------------------------------------------------------------------------
+# engines: produce reveal / unchecked-from_bytes candidate lines per file
+
+class TextEngine:
+    name = "text"
+
+    def reveal_sites(self, f: SourceFile) -> List[int]:
+        return [i + 1 for i, (code, _) in enumerate(f.cc) if REVEAL_CALL.search(code)]
+
+    def unchecked_from_bytes(self, f: SourceFile) -> List[int]:
+        return [i + 1 for i, (code, _) in enumerate(f.cc)
+                if UNCHECKED_FROM_BYTES.search(code)]
+
+
+class ClangEngine:
+    """libclang-backed engine: resolves calls from the AST, so a reveal hidden
+    behind `auto fn = &SecretScalar::reveal;` or a macro still surfaces."""
+
+    name = "clang"
+
+    def __init__(self, root: str):
+        import clang.cindex as ci  # noqa: deferred import
+        self.ci = ci
+        self.index = ci.Index.create()
+        db_dir = None
+        for cand in (os.path.join(root, "build"), root):
+            if os.path.exists(os.path.join(cand, "compile_commands.json")):
+                db_dir = cand
+                break
+        if db_dir is None:
+            raise RuntimeError("compile_commands.json not found")
+        self.db = ci.CompilationDatabase.fromDirectory(db_dir)
+        self.root = root
+        self._cache: Dict[str, Tuple[List[int], List[int]]] = {}
+
+    def _analyze(self, f: SourceFile) -> Tuple[List[int], List[int]]:
+        if f.path in self._cache:
+            return self._cache[f.path]
+        abspath = os.path.join(self.root, f.path)
+        cmds = self.db.getCompileCommands(abspath)
+        args: List[str] = []
+        if cmds:
+            it = list(cmds[0].arguments)[1:-1]  # strip compiler and filename
+            args = [a for a in it if a not in ("-c", "-o") and not a.endswith(".o")]
+        tu = self.index.parse(abspath, args=args)
+        reveals: List[int] = []
+        unchecked: List[int] = []
+        ci = self.ci
+        for cur in tu.cursor.walk_preorder():
+            if cur.location.file is None or \
+                    os.path.realpath(cur.location.file.name) != os.path.realpath(abspath):
+                continue
+            if cur.kind == ci.CursorKind.CALL_EXPR:
+                ref = cur.referenced
+                if ref is None:
+                    continue
+                if ref.spelling in ("reveal", "reveal_bytes") and \
+                        ref.semantic_parent is not None and \
+                        ref.semantic_parent.spelling in ("SecretScalar", "SecretBytes"):
+                    reveals.append(cur.location.line)
+                if ref.spelling == "from_bytes" and \
+                        ref.semantic_parent is not None and \
+                        ref.semantic_parent.spelling in (
+                            "FeldmanMatrix", "FeldmanVector", "PedersenMatrix"):
+                    unchecked.append(cur.location.line)
+        got = (sorted(set(reveals)), sorted(set(unchecked)))
+        self._cache[f.path] = got
+        return got
+
+    def reveal_sites(self, f: SourceFile) -> List[int]:
+        try:
+            return self._analyze(f)[0]
+        except Exception:
+            return TextEngine().reveal_sites(f)
+
+    def unchecked_from_bytes(self, f: SourceFile) -> List[int]:
+        try:
+            return self._analyze(f)[1]
+        except Exception:
+            return TextEngine().unchecked_from_bytes(f)
+
+
+def make_engine(kind: str, root: str):
+    if kind in ("clang", "auto"):
+        try:
+            return ClangEngine(root)
+        except Exception as e:  # ImportError, missing DB, ...
+            if kind == "clang":
+                sys.stderr.write(f"secret_lint: clang engine unavailable: {e}\n")
+                sys.exit(2)
+            sys.stderr.write(f"secret_lint: falling back to text engine ({e})\n")
+    return TextEngine()
+
+
+# --------------------------------------------------------------------------
+# drivers
+
+def lint_tree(root: str, engine) -> List[Finding]:
+    findings: List[Finding] = []
+    src_files = walk_sources(root, ["src"])
+    surface_extra = walk_sources(root, ["bench"])
+    for f in src_files:
+        findings += rule_sec01(f, engine.reveal_sites(f))
+        if f.on_surface:
+            findings += rule_sec02(f)
+        if not f.in_crypto:
+            findings += rule_sec03(f, engine.unchecked_from_bytes(f))
+        findings += rule_sec05(f)
+        findings += rule_sec06(f)
+    for f in surface_extra:
+        findings += rule_sec02(f)
+    findings += rule_sec04(
+        src_files,
+        os.path.join(root, "tools/lint/message_types.txt"),
+        "tools/lint/message_types.txt")
+    return findings
+
+
+EXPECT = re.compile(r"EXPECT-(SEC\d\d)")
+
+
+def self_test(root: str, engine) -> int:
+    """Every EXPECT-SECnn line must be flagged with that rule; no other line
+    may be flagged. Fixture filenames opt into rule contexts:
+    ``sec02_*`` is treated as surface, everything is treated as src/."""
+    fixdir = os.path.join(root, "tools/lint/fixtures")
+    files = walk_sources(fixdir, ["."])
+    findings: List[Finding] = []
+    for f in files:
+        name = os.path.basename(f.path)
+        findings += rule_sec01(f, TextEngine().reveal_sites(f))
+        if name.startswith("sec02"):
+            findings += rule_sec02(f)
+        findings += rule_sec03(f, TextEngine().unchecked_from_bytes(f))
+        findings += rule_sec05(f)
+        findings += rule_sec06(f)
+    findings += rule_sec04(
+        files,
+        os.path.join(fixdir, "message_types.txt"),
+        "message_types.txt")
+
+    expected = set()  # (path, line, rule)
+    for f in files:
+        for idx, raw in enumerate(f.raw):
+            for m in EXPECT.finditer(raw):
+                expected.add((f.path, idx + 1, m.group(1)))
+    reg = os.path.join(fixdir, "message_types.txt")
+    if os.path.exists(reg):
+        with open(reg, encoding="utf-8") as fh:
+            for idx, raw in enumerate(fh):
+                for m in EXPECT.finditer(raw):
+                    expected.add(("message_types.txt", idx + 1, m.group(1)))
+
+    actual = {(f.path, f.line, f.rule) for f in findings}
+    missed = sorted(expected - actual)
+    surprise = sorted(actual - expected)
+    for p, ln, rule in missed:
+        print(f"self-test: {p}:{ln}: {rule} expected but NOT reported (rule went blind)")
+    for p, ln, rule in surprise:
+        print(f"self-test: {p}:{ln}: {rule} reported but NOT expected (false positive)")
+    ok = not missed and not surprise
+    print(f"self-test: {len(expected)} expected findings, "
+          f"{len(actual)} reported, engine={engine.name}: "
+          f"{'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--engine", choices=["auto", "clang", "text"], default="auto")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the rules over tools/lint/fixtures/")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}  {desc}")
+        return 0
+
+    root = args.root or os.path.realpath(
+        os.path.join(os.path.dirname(__file__), "..", ".."))
+    engine = make_engine(args.engine, root)
+
+    if args.self_test:
+        # Self-test exercises the rule logic itself; the text candidate
+        # generator is used so the result is identical in every environment.
+        return self_test(root, engine)
+
+    findings = lint_tree(root, engine)
+    for f in findings:
+        print(f)
+    n_files = len(walk_sources(root, ["src"]))
+    print(f"secret_lint: {len(findings)} finding(s) over {n_files} src file(s), "
+          f"engine={engine.name}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
