@@ -5,8 +5,10 @@
 
 #include "bench_gbench_main.hpp"
 #include "crypto/element.hpp"
+#include "crypto/keyring.hpp"
 #include "crypto/lagrange.hpp"
 #include "crypto/schnorr.hpp"
+#include "crypto/sigverify.hpp"
 
 using namespace dkg::crypto;
 
@@ -76,6 +78,68 @@ void BM_SchnorrVerify(benchmark::State& state) {
   state.SetLabel(grp.name());
 }
 
+// The proof-set batch path (crypto/sigverify.hpp): k signatures of one
+// shared payload, per-signer comb tables prebuilt, one shared inversion.
+// Compare per-item cost against BM_SchnorrVerify.
+void BM_SchnorrVerifyBatch(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  Drbg rng(7);
+  dkg::Bytes msg = dkg::bytes_of("benchmark batch payload");
+  std::vector<KeyPair> kps;
+  std::vector<Signature> sigs;
+  std::vector<std::unique_ptr<const FixedBaseTable>> tables;
+  for (std::size_t i = 0; i < k; ++i) {
+    kps.push_back(schnorr_keygen(grp, rng));
+    sigs.push_back(schnorr_sign(kps.back(), msg));
+    tables.push_back(FixedBaseTable::build(grp, kps.back().pk.value()));
+  }
+  std::vector<SigCheck> checks;
+  for (std::size_t i = 0; i < k; ++i) {
+    checks.push_back(SigCheck{&kps[i].pk, &msg, &sigs[i], tables[i].get()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr_verify_batch(grp, checks));
+  }
+  state.SetLabel(grp.name() + " k=" + std::to_string(k));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * k));
+}
+
+// Keyring verify with the engine warm: after the first verify the
+// signature is in the ring's VerifiedSigCache, so the steady state is one
+// key hash + one set lookup — the per-receiver cost of a ready sig already
+// seen by another receiver of the same process.
+void BM_SchnorrVerifyCached(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  auto ring = Keyring::generate(grp, 4, 42);
+  dkg::Bytes msg = dkg::bytes_of("benchmark cached payload");
+  Signature sig = ring->sign_as(1, msg);
+  ring->verify_from(1, msg, sig);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring->verify_from(1, msg, sig));
+  }
+  state.SetLabel(grp.name());
+}
+
+// Keyring verify with the cache disabled but the signer's comb table built:
+// isolates the pk^c comb win inside schnorr_verify.
+void BM_SchnorrVerifyComb(benchmark::State& state) {
+  const Group& grp = group_for(static_cast<int>(state.range(0)));
+  auto ring = Keyring::generate(grp, 4, 43);
+  dkg::Bytes msg = dkg::bytes_of("benchmark comb payload");
+  Signature sig = ring->sign_as(1, msg);
+  for (std::uint32_t i = 0; i < SignerTables::kBuildThreshold + 1; ++i) {
+    ring->verify_from(1, msg, sig);  // cross the table-build threshold
+  }
+  bool was_cache = sig_cache_enabled();
+  set_sig_cache(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring->verify_from(1, msg, sig));
+  }
+  set_sig_cache(was_cache);
+  state.SetLabel(grp.name());
+}
+
 void BM_Interpolate(benchmark::State& state) {
   const Group& grp = Group::small512();
   Drbg rng(6);
@@ -96,6 +160,11 @@ BENCHMARK(BM_ElementPow)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ScalarMul)->DenseRange(0, 3)->Unit(benchmark::kNanosecond);
 BENCHMARK(BM_SchnorrSign)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SchnorrVerify)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SchnorrVerifyBatch)
+    ->ArgsProduct({{0, 1, 2, 3}, {5, 11, 21}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SchnorrVerifyCached)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SchnorrVerifyComb)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Interpolate)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) { return dkg::bench::run_gbench_main(argc, argv); }

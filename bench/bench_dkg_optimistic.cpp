@@ -18,10 +18,13 @@ namespace {
 // series ships a (t+1)^2 matrix in every echo/ready (bytes ~ n^5); it used
 // to stop at 31 because every message RE-SERIALIZED that matrix per
 // recipient, but the interned wire layer (FeldmanMatrix::canonical_bytes +
-// shared-payload fan-out) serializes each commitment once, so the series
-// now reaches n = 64 — byte totals at the old grid points are unchanged.
+// shared-payload fan-out) serializes each commitment once, and the
+// signature-verification engine (crypto/sigverify.hpp: per-process verified
+// cache + batch proof verification) cuts the remaining ~n^3 Schnorr
+// verifies to ~n^2, so the series now reaches n = 128 — byte totals at the
+// old grid points are unchanged.
 constexpr std::size_t kNs[] = {4, 7, 10, 13, 16, 19, 25, 31, 50};
-constexpr std::size_t kFullNs[] = {4, 7, 10, 13, 16, 19, 25, 31, 50, 64};
+constexpr std::size_t kFullNs[] = {4, 7, 10, 13, 16, 19, 25, 31, 50, 64, 96, 128};
 constexpr std::size_t kModNs[] = {10, 16};
 constexpr std::size_t kBigNs[] = {7};
 

@@ -56,10 +56,10 @@ class Element {
   friend Element multiexp(const Group& grp, const std::vector<const Element*>& bases,
                           const std::vector<Scalar>& exps);
   friend Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
-                                std::uint64_t i);
+                                std::uint64_t i, bool order_q_bases);
   friend Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
                                 const std::vector<const mpz_class*>& mont,
-                                const MontgomeryCtx& ctx, std::uint64_t i);
+                                const MontgomeryCtx& ctx, std::uint64_t i, bool order_q_bases);
 
   const Group* grp_ = nullptr;
   mpz_class v_;

@@ -44,12 +44,13 @@ FeldmanMatrix FeldmanMatrix::commit(const BiPolynomial& f) {
   for (std::size_t j = 0; j <= t; ++j) {
     for (std::size_t l = 0; l <= t; ++l) entries.push_back(upper_at(j, l));
   }
-  return FeldmanMatrix(t, std::move(entries));
+  // g^{f_jl} lies in <g>, which has order q.
+  return FeldmanMatrix(t, std::move(entries), /*order_q=*/true);
 }
 
 FeldmanMatrix FeldmanMatrix::identity(const Group& grp, std::size_t t) {
   std::vector<Element> entries((t + 1) * (t + 1), Element::identity(grp));
-  return FeldmanMatrix(t, std::move(entries));
+  return FeldmanMatrix(t, std::move(entries), /*order_q=*/true);
 }
 
 FeldmanMatrix FeldmanMatrix::from_entries(std::size_t t, std::vector<Element> entries) {
@@ -66,7 +67,7 @@ const Element& FeldmanMatrix::entry(std::size_t j, std::size_t l) const {
 bool FeldmanMatrix::verify_poly(std::uint64_t i, const Polynomial& a) const {
   if (a.degree() != t_) return false;
   const Group& grp = group();
-  IndexBases col(grp, t_ + 1, mont_.get(grp, entries_));
+  IndexBases col(grp, t_ + 1, mont_.get(grp, entries_), order_q_);
   for (std::size_t l = 0; l <= t_; ++l) {
     for (std::size_t j = 0; j <= t_; ++j) col.assign(j, entry(j, l), j * (t_ + 1) + l);
     // reveal-ok: verify-poly re-derives the public commitment g^{a_l} of a
@@ -80,7 +81,7 @@ bool FeldmanMatrix::verify_poly(std::uint64_t i, const Polynomial& a) const {
 bool FeldmanMatrix::verify_poly_col(std::uint64_t i, const Polynomial& b) const {
   if (b.degree() != t_) return false;
   const Group& grp = group();
-  IndexBases row(grp, t_ + 1, mont_.get(grp, entries_));
+  IndexBases row(grp, t_ + 1, mont_.get(grp, entries_), order_q_);
   for (std::size_t j = 0; j <= t_; ++j) {
     for (std::size_t l = 0; l <= t_; ++l) row.assign(l, entry(j, l), j * (t_ + 1) + l);
     // reveal-ok: verify-poly-col re-derives the public commitment of a
@@ -94,24 +95,25 @@ FeldmanVector FeldmanMatrix::row_commitment(std::uint64_t i) const {
   const Group& grp = group();
   std::vector<Element> v;
   v.reserve(t_ + 1);
-  IndexBases row(grp, t_ + 1, mont_.get(grp, entries_));
+  IndexBases row(grp, t_ + 1, mont_.get(grp, entries_), order_q_);
   for (std::size_t j = 0; j <= t_; ++j) {
     for (std::size_t l = 0; l <= t_; ++l) row.assign(l, entry(j, l), j * (t_ + 1) + l);
     v.push_back(row.product(i));
   }
-  return FeldmanVector(std::move(v));
+  // Products of order-q entries stay order-q.
+  return FeldmanVector(std::move(v), order_q_);
 }
 
 FeldmanVector FeldmanMatrix::col_commitment(std::uint64_t m) const {
   const Group& grp = group();
-  IndexBases col(grp, t_ + 1, mont_.get(grp, entries_));
+  IndexBases col(grp, t_ + 1, mont_.get(grp, entries_), order_q_);
   std::vector<Element> v;
   v.reserve(t_ + 1);
   for (std::size_t l = 0; l <= t_; ++l) {
     for (std::size_t j = 0; j <= t_; ++j) col.assign(j, entry(j, l), j * (t_ + 1) + l);
     v.push_back(col.product(m));
   }
-  return FeldmanVector(std::move(v));
+  return FeldmanVector(std::move(v), order_q_);
 }
 
 Element FeldmanMatrix::eval_commit(std::uint64_t m, std::uint64_t i) const {
@@ -129,14 +131,14 @@ FeldmanMatrix FeldmanMatrix::operator*(const FeldmanMatrix& o) const {
   std::vector<Element> entries;
   entries.reserve(entries_.size());
   for (std::size_t k = 0; k < entries_.size(); ++k) entries.push_back(entries_[k] * o.entries_[k]);
-  return FeldmanMatrix(t_, std::move(entries));
+  return FeldmanMatrix(t_, std::move(entries), order_q_ && o.order_q_);
 }
 
 FeldmanVector FeldmanMatrix::share_vector() const {
   std::vector<Element> v;
   v.reserve(t_ + 1);
   for (std::size_t j = 0; j <= t_; ++j) v.push_back(entry(j, 0));
-  return FeldmanVector(std::move(v));
+  return FeldmanVector(std::move(v), order_q_);
 }
 
 Bytes FeldmanMatrix::encode() const {
@@ -172,7 +174,8 @@ std::optional<FeldmanMatrix> FeldmanMatrix::from_bytes(const Group& grp, const B
       entries.push_back(std::move(e));
     }
     if (!r.done()) return std::nullopt;
-    return FeldmanMatrix(t, std::move(entries));
+    // A subgroup-checked decode certifies order q for every entry.
+    return FeldmanMatrix(t, std::move(entries), /*order_q=*/check_subgroup);
   } catch (const std::out_of_range&) {
     return std::nullopt;
   }
@@ -248,7 +251,8 @@ std::shared_ptr<const FeldmanMatrix> FeldmanMatrix::from_bytes_interned(const Gr
   return shared;
 }
 
-FeldmanVector::FeldmanVector(std::vector<Element> entries) : entries_(std::move(entries)) {
+FeldmanVector::FeldmanVector(std::vector<Element> entries, bool order_q_entries)
+    : entries_(std::move(entries)), order_q_(order_q_entries) {
   if (entries_.empty()) throw std::invalid_argument("FeldmanVector: empty");
 }
 
@@ -257,12 +261,12 @@ FeldmanVector FeldmanVector::commit(const Polynomial& a) {
   v.reserve(a.degree() + 1);
   // Dealer-side: constant-time exponentiation of secret coefficients.
   for (std::size_t l = 0; l <= a.degree(); ++l) v.push_back(a.coeff(l).commit_to());
-  return FeldmanVector(std::move(v));
+  return FeldmanVector(std::move(v), /*order_q_entries=*/true);
 }
 
 Element FeldmanVector::eval_commit(std::uint64_t i) const {
   const Group& grp = group();
-  IndexBases bases(grp, entries_.size(), mont_.get(grp, entries_));
+  IndexBases bases(grp, entries_.size(), mont_.get(grp, entries_), order_q_);
   for (std::size_t l = 0; l < entries_.size(); ++l) bases.assign(l, entries_[l], l);
   return bases.product(i);
 }
@@ -320,7 +324,7 @@ std::optional<FeldmanVector> FeldmanVector::from_bytes(const Group& grp, const B
       entries.push_back(std::move(e));
     }
     if (!r.done()) return std::nullopt;
-    return FeldmanVector(std::move(entries));
+    return FeldmanVector(std::move(entries), /*order_q_entries=*/check_subgroup);
   } catch (const std::out_of_range&) {
     return std::nullopt;
   }

@@ -108,14 +108,21 @@ class FeldmanMatrix {
 
   bool operator==(const FeldmanMatrix& o) const { return t_ == o.t_ && entries_ == o.entries_; }
 
+  /// Whether every entry is known to lie in the order-q subgroup: true for
+  /// dealer-built commitments, subgroup-checked decodes and products of
+  /// such matrices. Lets the verify paths take the Horner index-product
+  /// chain for any index (multiexp.hpp `order_q_bases`).
+  bool order_q_entries() const { return order_q_; }
+
  private:
-  FeldmanMatrix(std::size_t t, std::vector<Element> entries)
-      : t_(t), entries_(std::move(entries)) {}
+  FeldmanMatrix(std::size_t t, std::vector<Element> entries, bool order_q = false)
+      : t_(t), entries_(std::move(entries)), order_q_(order_q) {}
 
   Bytes encode() const;  // the canonical wire encoding (uncached)
 
   std::size_t t_;
   std::vector<Element> entries_;  // row-major (t+1)x(t+1)
+  bool order_q_ = false;          // see order_q_entries()
   // A commitment is one shared object checked by every receiver; this keeps
   // its entries in the REDC domain across all those verify-poly/projection
   // calls (built on first use, invisible in results and in operator==).
@@ -129,7 +136,10 @@ class FeldmanVector {
  public:
   /// V_l = g^{a_l} for a univariate polynomial a.
   static FeldmanVector commit(const Polynomial& a);
-  explicit FeldmanVector(std::vector<Element> entries);
+  /// `order_q_entries = true` asserts every entry lies in the order-q
+  /// subgroup (see FeldmanMatrix::order_q_entries) — only pass it for
+  /// entries that are subgroup-checked or products/powers of such.
+  explicit FeldmanVector(std::vector<Element> entries, bool order_q_entries = false);
 
   std::size_t degree() const { return entries_.size() - 1; }
   const Group& group() const { return entries_.front().group(); }
@@ -163,10 +173,14 @@ class FeldmanVector {
 
   bool operator==(const FeldmanVector& o) const { return entries_ == o.entries_; }
 
+  /// See FeldmanMatrix::order_q_entries.
+  bool order_q_entries() const { return order_q_; }
+
  private:
   Bytes encode() const;  // the canonical wire encoding (uncached)
 
   std::vector<Element> entries_;
+  bool order_q_ = false;  // see order_q_entries()
   MontDomainBases mont_;  // see FeldmanMatrix::mont_
   WireMemo wire_;         // see FeldmanMatrix::wire_
 };

@@ -28,9 +28,79 @@ Signature Keyring::sign_as(std::uint32_t node, const Bytes& msg) const {
   return schnorr_sign(key_pair(node), msg);
 }
 
+const FixedBaseTable* Keyring::table_for(std::uint32_t node) const {
+  return tables_.for_slot(node - 1, *grp_, pairs_[node - 1].pk);
+}
+
 bool Keyring::verify_from(std::uint32_t node, const Bytes& msg, const Signature& sig) const {
   if (node == 0 || node > pairs_.size()) return false;
-  return schnorr_verify(pairs_[node - 1].pk, msg, sig);
+  const bool use_cache = sig_cache_enabled();
+  Bytes key;
+  if (use_cache) {
+    key = VerifiedSigCache::key(node, msg, sig);
+    if (cache_.contains(key)) {
+      sig_stats_count_cache_hit();
+      return true;
+    }
+    sig_stats_count_cache_miss();
+  }
+  if (!schnorr_verify(pairs_[node - 1].pk, msg, sig, table_for(node))) return false;
+  if (use_cache) cache_.insert(key);
+  return true;
+}
+
+bool Keyring::verify_many(const std::vector<SignerRef>& sigs, const Bytes& payload,
+                          std::vector<std::uint32_t>* bad) const {
+  bool all = true;
+  const bool use_cache = sig_cache_enabled();
+  // Misses collected for one batch pass; parallel arrays keep the cache key
+  // paired with its check so positives are recorded under the right digest.
+  std::vector<SigCheck> checks;
+  std::vector<Bytes> keys;
+  std::vector<std::uint32_t> signers;
+  for (const SignerRef& ref : sigs) {
+    if (ref.signer == 0 || ref.signer > pairs_.size() || ref.sig == nullptr) {
+      all = false;
+      if (bad != nullptr) bad->push_back(ref.signer);
+      continue;
+    }
+    Bytes key;
+    if (use_cache) {
+      key = VerifiedSigCache::key(ref.signer, payload, *ref.sig);
+      if (cache_.contains(key)) {
+        sig_stats_count_cache_hit();
+        continue;
+      }
+      sig_stats_count_cache_miss();
+    }
+    checks.push_back(SigCheck{&pairs_[ref.signer - 1].pk, &payload, ref.sig,
+                              table_for(ref.signer)});
+    keys.push_back(std::move(key));
+    signers.push_back(ref.signer);
+  }
+
+  std::vector<std::size_t> bad_idx;
+  if (sig_batch_enabled() && checks.size() >= 2) {
+    if (!schnorr_verify_batch(*grp_, checks, &bad_idx)) all = false;
+  } else {
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      if (!schnorr_verify(*checks[i].pk, *checks[i].msg, *checks[i].sig, checks[i].pk_table)) {
+        bad_idx.push_back(i);
+        all = false;
+      }
+    }
+  }
+  std::vector<bool> failed(checks.size(), false);
+  for (std::size_t i : bad_idx) {
+    failed[i] = true;
+    if (bad != nullptr) bad->push_back(signers[i]);
+  }
+  if (use_cache) {
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      if (!failed[i]) cache_.insert(keys[i]);
+    }
+  }
+  return all;
 }
 
 std::shared_ptr<const Keyring> Keyring::with_added_node(std::uint64_t seed) const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "crypto/schnorr.hpp"
+#include "crypto/sigverify.hpp"
 
 namespace dkg::crypto {
 
@@ -25,7 +26,26 @@ class Keyring {
   const KeyPair& key_pair(std::uint32_t node) const;
 
   Signature sign_as(std::uint32_t node, const Bytes& msg) const;
+
+  /// Engine-backed verification (crypto/sigverify.hpp): consults the ring's
+  /// verified-signature cache when enabled, runs the Schnorr check through
+  /// the signer's comb table once built, and records positive results.
+  /// Verdicts are bit-identical to plain schnorr_verify in every mode.
   bool verify_from(std::uint32_t node, const Bytes& msg, const Signature& sig) const;
+
+  /// One signature of a shared payload, for verify_many.
+  struct SignerRef {
+    std::uint32_t signer = 0;
+    const Signature* sig = nullptr;
+  };
+
+  /// Verifies a proof set's signatures over one shared payload: cache hits
+  /// are skipped, the misses go through schnorr_verify_batch (one shared
+  /// inversion), and positives are recorded. Returns true iff ALL entries
+  /// are valid; invalid or out-of-range signers are appended to `bad` when
+  /// non-null (per-item fallback attribution).
+  bool verify_many(const std::vector<SignerRef>& sigs, const Bytes& payload,
+                   std::vector<std::uint32_t>* bad = nullptr) const;
 
   /// Extends the ring with a key pair for one more node (group modification,
   /// §6.2 node addition). Returns the new ring; existing keys are shared.
@@ -33,10 +53,17 @@ class Keyring {
 
  private:
   Keyring(const Group& grp, std::vector<KeyPair> pairs)
-      : grp_(&grp), pairs_(std::move(pairs)) {}
+      : grp_(&grp), pairs_(std::move(pairs)), tables_(pairs_.size()) {}
+
+  const FixedBaseTable* table_for(std::uint32_t node) const;
 
   const Group* grp_;
   std::vector<KeyPair> pairs_;
+  // Per-ring engine state (mutable: verification is logically const). One
+  // Keyring is shared by every simulated receiver of a run, so the cache is
+  // exactly the per-process dedup the n^3 -> n^2 win needs.
+  mutable SignerTables tables_;
+  mutable VerifiedSigCache cache_;
 };
 
 }  // namespace dkg::crypto

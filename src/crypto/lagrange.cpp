@@ -62,30 +62,43 @@ Element exp_interpolate_at(const Group& grp,
 
 Polynomial interpolate(const Group& grp,
                        const std::vector<std::pair<std::uint64_t, Scalar>>& pts) {
-  // Build sum_k y_k * prod_{j != k} (x - x_j)/(x_k - x_j) in coefficient form.
+  // Build sum_k y_k * prod_{j != k} (x - x_j)/(x_k - x_j) in coefficient
+  // form. The per-k numerators all divide the master product
+  // N(x) = prod_j (x - x_j), so build N once and peel each numerator off by
+  // synthetic division — O(n^2) where rebuilding every numerator from
+  // scratch is O(n^3) (this runs once per (node, dealer) ready round, n^2
+  // times per DKG, and was the next cpu_ms term after verify-point at
+  // n >= 64). The interpolating polynomial is unique over Z_q, so the
+  // coefficients are bit-identical to the naive expansion's.
   std::size_t n = pts.size();
   if (n == 0) throw std::invalid_argument("interpolate: no points");
+  std::vector<Scalar> xs;
+  xs.reserve(n);
+  for (const auto& [x, y] : pts) xs.push_back(Scalar::from_u64(grp, x));
+  // N(x) = prod_j (x - x_j), degree n, built low-to-high.
+  std::vector<Scalar> master(n + 1, Scalar::zero(grp));
+  master[0] = Scalar::one(grp);
+  for (std::size_t j = 0; j < n; ++j) {
+    Scalar neg_xj = xs[j].negate();
+    for (std::size_t d = j + 1; d-- > 0;) {
+      master[d + 1] += master[d];
+      master[d] = master[d] * neg_xj;
+    }
+  }
   std::vector<Scalar> acc(n, Scalar::zero(grp));
+  std::vector<Scalar> numer(n, Scalar::zero(grp));
   for (std::size_t k = 0; k < n; ++k) {
-    // numerator polynomial prod_{j != k} (x - x_j), built incrementally.
-    std::vector<Scalar> numer{Scalar::one(grp)};
+    // numer = N / (x - x_k) by synthetic division (exact: x_k is a root).
+    numer[n - 1] = master[n];
+    for (std::size_t d = n - 1; d-- > 0;) numer[d] = master[d + 1] + xs[k] * numer[d + 1];
     Scalar denom = Scalar::one(grp);
-    Scalar xk = Scalar::from_u64(grp, pts[k].first);
     for (std::size_t j = 0; j < n; ++j) {
       if (j == k) continue;
-      Scalar xj = Scalar::from_u64(grp, pts[j].first);
-      if (xk == xj) throw std::invalid_argument("interpolate: duplicate abscissa");
-      denom = denom * (xk - xj);
-      // numer *= (x - xj)
-      std::vector<Scalar> next(numer.size() + 1, Scalar::zero(grp));
-      for (std::size_t d = 0; d < numer.size(); ++d) {
-        next[d + 1] += numer[d];
-        next[d] += numer[d] * xj.negate();
-      }
-      numer = std::move(next);
+      if (xs[k] == xs[j]) throw std::invalid_argument("interpolate: duplicate abscissa");
+      denom = denom * (xs[k] - xs[j]);
     }
     Scalar w = pts[k].second * denom.inverse();
-    for (std::size_t d = 0; d < numer.size(); ++d) acc[d] += numer[d] * w;
+    for (std::size_t d = 0; d < n; ++d) acc[d] += numer[d] * w;
   }
   return Polynomial(std::move(acc));
 }

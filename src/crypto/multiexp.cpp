@@ -259,7 +259,7 @@ namespace {
 /// Returns the product residue (Element semantics belong to the wrappers).
 mpz_class index_product(const Group& grp, const std::vector<const Element*>& bases,
                         std::uint64_t i, const MontgomeryCtx* ctx,
-                        const std::vector<const mpz_class*>* mont) {
+                        const std::vector<const mpz_class*>* mont, bool order_q_bases) {
   const std::size_t t = bases.size() - 1;
   if (i == 1) {
     if (ctx != nullptr && mont != nullptr && t >= 2) {
@@ -279,12 +279,18 @@ mpz_class index_product(const Group& grp, const std::vector<const Element*>& bas
   unsigned ibits = 0;
   for (std::uint64_t v = i; v != 0; v >>= 1) ++ibits;
   std::size_t qbits = mpz_sizeinbase(grp.q().get_mpz_t(), 2);
-  if (t * ibits <= qbits - 1) {
+  if (order_q_bases || t * ibits <= qbits - 1) {
     // i^t < 2^(qbits-1) <= q: the integer exponents i^j equal their mod-q
     // reductions, so Horner in the exponent is bit-identical to the naive
     // reduced-power product for ALL inputs. The chain runs in the working
     // domain; each base folds in pre-entered (cache) or pays one fused
     // entry conversion.
+    //
+    // order_q_bases widens the regime past that integer bound: for bases of
+    // order dividing q, B^e depends only on e mod q, so the chain's integer
+    // exponents i^j and the naive reduced powers name the same element even
+    // when i^t wraps — the caller vouches for the subgroup membership
+    // (multiexp.hpp).
     DomainAcc acc(grp, ctx);
     if (mont != nullptr) {
       acc.set(*(*mont)[t]);
@@ -322,30 +328,31 @@ mpz_class index_product(const Group& grp, const std::vector<const Element*>& bas
 }  // namespace
 
 Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
-                       std::uint64_t i) {
+                       std::uint64_t i, bool order_q_bases) {
   check_operands(grp, bases, nullptr);
   if (bases.empty()) return Element::identity(grp);
   if (i == 0) return *bases[0];  // ipow = 1, 0, 0, ... (0^0 = 1 convention)
-  return Element(grp, index_product(grp, bases, i, engine_ctx(grp), nullptr));
+  return Element(grp, index_product(grp, bases, i, engine_ctx(grp), nullptr, order_q_bases));
 }
 
 Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
                        const std::vector<const mpz_class*>& mont, const MontgomeryCtx& ctx,
-                       std::uint64_t i) {
+                       std::uint64_t i, bool order_q_bases) {
   check_operands(grp, bases, nullptr);
   if (mont.size() != bases.size()) {
     throw std::invalid_argument("multiexp_index: bases/mont size mismatch");
   }
   if (bases.empty()) return Element::identity(grp);
   if (i == 0) return *bases[0];
-  return Element(grp, index_product(grp, bases, i, &ctx, &mont));
+  return Element(grp, index_product(grp, bases, i, &ctx, &mont, order_q_bases));
 }
 
-Element multiexp_index(const Group& grp, const std::vector<Element>& bases, std::uint64_t i) {
+Element multiexp_index(const Group& grp, const std::vector<Element>& bases, std::uint64_t i,
+                       bool order_q_bases) {
   std::vector<const Element*> ptrs;
   ptrs.reserve(bases.size());
   for (const Element& b : bases) ptrs.push_back(&b);
-  return multiexp_index(grp, ptrs, i);
+  return multiexp_index(grp, ptrs, i, order_q_bases);
 }
 
 // --- MontDomainBases -------------------------------------------------------
@@ -433,6 +440,15 @@ Element FixedBaseTable::pow(const Scalar& e) const {
 
 std::size_t FixedBaseTable::memory_bytes() const {
   return table_.size() * grp_.p_bytes();
+}
+
+std::unique_ptr<const FixedBaseTable> FixedBaseTable::build(const Group& grp,
+                                                            const mpz_class& base) {
+  // Caller-owned table, outside the global (group, base) cache: a keyring of
+  // n public keys would evict the g/h tables from the bounded cache at
+  // n = 128, so per-signer tables (crypto/sigverify.hpp) own their storage
+  // and scope their lifetime to the ring.
+  return std::unique_ptr<const FixedBaseTable>(new FixedBaseTable(grp, base));
 }
 
 const FixedBaseTable* FixedBaseTable::lookup(const Group& grp, const mpz_class& base) {

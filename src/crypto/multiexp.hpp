@@ -72,9 +72,19 @@ void multiexp_set_montgomery(bool on);
 /// Straus with reduced index powers. Bit-identical to the naive path in
 /// both regimes (in the Horner regime the integer exponents i^j equal their
 /// mod-q reductions, so equality holds for ALL inputs, subgroup or not).
+///
+/// `order_q_bases = true` asserts every base lies in the order-q subgroup
+/// (dealer-built commitments, or entries that passed in_subgroup at the
+/// wire boundary — from_bytes_checked). For such bases B^(i^j) == B^(i^j
+/// mod q) identically, so the Horner chain stays exact even when i^t wraps
+/// past q and the Straus fallback is never needed. tiny256's 64-bit q makes
+/// this the difference between O(t log i) and full-width Straus for every
+/// verify-point from n ~ 50 up (t * bitlen(i) > 63). Passing true for a
+/// base of unknown order is a correctness bug, not just a perf choice.
 Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
-                       std::uint64_t i);
-Element multiexp_index(const Group& grp, const std::vector<Element>& bases, std::uint64_t i);
+                       std::uint64_t i, bool order_q_bases = false);
+Element multiexp_index(const Group& grp, const std::vector<Element>& bases, std::uint64_t i,
+                       bool order_q_bases = false);
 
 /// Lazily built Montgomery images of a fixed base set — the "commitment
 /// stays in Montgomery domain end-to-end" piece. A commitment matrix is one
@@ -127,7 +137,7 @@ class MontDomainBases {
 /// multiexp_index(grp, bases, i).
 Element multiexp_index(const Group& grp, const std::vector<const Element*>& bases,
                        const std::vector<const mpz_class*>& mont, const MontgomeryCtx& ctx,
-                       std::uint64_t i);
+                       std::uint64_t i, bool order_q_bases = false);
 
 /// Reusable operand row for repeated multiexp_index calls over the
 /// rows/columns of a cached commitment: pairs each base Element with its
@@ -137,8 +147,12 @@ Element multiexp_index(const Group& grp, const std::vector<const Element*>& base
 /// mismatch at the call sites (Feldman/Pedersen verify and projections).
 class IndexBases {
  public:
-  IndexBases(const Group& grp, std::size_t terms, const MontDomainBases::Image* img)
-      : grp_(grp), img_(img), elems_(terms), mont_(img != nullptr ? terms : 0) {}
+  /// `order_q_bases` carries the owning commitment's subgroup provenance
+  /// into every product() call (see multiexp_index above).
+  IndexBases(const Group& grp, std::size_t terms, const MontDomainBases::Image* img,
+             bool order_q_bases = false)
+      : grp_(grp), img_(img), order_q_(order_q_bases), elems_(terms),
+        mont_(img != nullptr ? terms : 0) {}
 
   /// Slot k <- base element; img_index is its position in the owning
   /// commitment's entry order (ignored when no image is built).
@@ -149,13 +163,14 @@ class IndexBases {
 
   /// prod_k elems[k]^(i^k) through the matching multiexp_index overload.
   Element product(std::uint64_t i) const {
-    return img_ != nullptr ? multiexp_index(grp_, elems_, mont_, *img_->ctx, i)
-                           : multiexp_index(grp_, elems_, i);
+    return img_ != nullptr ? multiexp_index(grp_, elems_, mont_, *img_->ctx, i, order_q_)
+                           : multiexp_index(grp_, elems_, i, order_q_);
   }
 
  private:
   const Group& grp_;
   const MontDomainBases::Image* img_;
+  bool order_q_ = false;
   std::vector<const Element*> elems_;
   std::vector<const mpz_class*> mont_;
 };
@@ -174,6 +189,11 @@ class FixedBaseTable {
   /// than kMaxCachedTables distinct (group, base) pairs.
   static const FixedBaseTable* for_g(const Group& grp);
   static const FixedBaseTable* for_h(const Group& grp);
+
+  /// A caller-owned table for an arbitrary fixed base (per-signer public
+  /// keys in crypto/sigverify.hpp). Unlike for_g/for_h this never touches
+  /// the bounded global cache — the caller scopes the table's lifetime.
+  static std::unique_ptr<const FixedBaseTable> build(const Group& grp, const mpz_class& base);
 
   /// base^e — bit-identical to powm(base, e.value(), p).
   Element pow(const Scalar& e) const;

@@ -1,12 +1,12 @@
 #include "crypto/schnorr.hpp"
 
 #include "common/serialize.hpp"
+#include "crypto/multiexp.hpp"
 #include "crypto/sha256.hpp"
 
 namespace dkg::crypto {
 
-namespace {
-Scalar challenge(const Element& r, const Element& pk, const Bytes& msg) {
+Scalar schnorr_challenge(const Element& r, const Element& pk, const Bytes& msg) {
   Writer w;
   w.str("hybriddkg/schnorr/v1");
   w.blob(r.to_bytes());
@@ -14,7 +14,6 @@ Scalar challenge(const Element& r, const Element& pk, const Bytes& msg) {
   w.blob(msg);
   return Scalar::hash_to_scalar(pk.group(), w.data());
 }
-}  // namespace
 
 Bytes Signature::to_bytes() const {
   Writer w;
@@ -41,7 +40,7 @@ Signature schnorr_sign(const KeyPair& kp, const Bytes& msg) {
   SecretScalar k = SecretScalar::derive(grp, "hybriddkg/schnorr/nonce", kp.sk, {&msg});
   k.one_if_zero();  // vanishing-nonce guard, branch-free
   Element r = k.commit_to();
-  Scalar c = challenge(r, kp.pk, msg);
+  Scalar c = schnorr_challenge(r, kp.pk, msg);
   // reveal-ok: s = k + x*c is the published signature response.
   Scalar s = (k + kp.sk * c).reveal();
   return Signature{c, s};
@@ -53,7 +52,15 @@ bool schnorr_verify(const Element& pk, const Bytes& msg, const Signature& sig) {
   // (a two-term Straus fold measured slower: plain mul+mod squarings lose
   // to GMP's REDC at full exponent width — see bench_multiexp).
   Element r = Element::exp_g(sig.s) * pk.pow(sig.c).inverse();
-  return challenge(r, pk, msg) == sig.c;
+  return schnorr_challenge(r, pk, msg) == sig.c;
+}
+
+bool schnorr_verify(const Element& pk, const Bytes& msg, const Signature& sig,
+                    const FixedBaseTable* pk_table) {
+  if (pk_table == nullptr) return schnorr_verify(pk, msg, sig);
+  if (pk.empty() || sig.c.empty() || sig.s.empty()) return false;
+  Element r = Element::exp_g(sig.s) * pk_table->pow(sig.c).inverse();
+  return schnorr_challenge(r, pk, msg) == sig.c;
 }
 
 std::size_t signature_bytes(const Group& grp) { return 2 * grp.q_bytes(); }

@@ -37,6 +37,20 @@ Signature schnorr_sign(const KeyPair& kp, const Bytes& msg);
 /// Verifies: R' = g^s * pk^{-c}; accept iff c == H(R' || pk || msg).
 bool schnorr_verify(const Element& pk, const Bytes& msg, const Signature& sig);
 
+class FixedBaseTable;
+
+/// schnorr_verify with the pk^c powm served by a prebuilt per-signer comb
+/// table (crypto/sigverify.hpp). `pk_table` must have been built for exactly
+/// `pk`'s (group, value); nullptr falls through to the plain overload.
+/// Bit-identical verdicts either way.
+bool schnorr_verify(const Element& pk, const Bytes& msg, const Signature& sig,
+                    const FixedBaseTable* pk_table);
+
+/// The Fiat-Shamir challenge c = H(R || pk || msg) under the
+/// "hybriddkg/schnorr/v1" tag — exposed for the batch verifier
+/// (crypto/sigverify.hpp), which recomputes per-item commitments itself.
+Scalar schnorr_challenge(const Element& r, const Element& pk, const Bytes& msg);
+
 /// Serialized signature width for a group (2 scalars).
 std::size_t signature_bytes(const Group& grp);
 

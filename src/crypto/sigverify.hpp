@@ -1,0 +1,174 @@
+// Batch + cached Schnorr-signature verification engine (the E4 lever).
+//
+// With the wire layer interned (PR 5), E4 full-commitment CPU is dominated
+// by ~n^3 ready-signature verifies: every receiver independently re-verifies
+// the same ~n^2 distinct (signer, payload) signatures carried in ready
+// rounds and in DealerProof / ProposalProof / lead-ch certificates. Three
+// pieces collapse that redundancy without touching a single wire byte:
+//
+//  * VerifiedSigCache — a bounded, thread-safe set of digests of
+//    (signer, payload-digest, signature-bytes) tuples that verified TRUE.
+//    One keyring is shared by every receiver of a run, so each distinct
+//    ready-sig is verified once per process instead of once per receiver
+//    (n^3 -> n^2). Negative results are never cached: a forged signature is
+//    re-checked (and re-rejected) on every sight, so the cache cannot be
+//    poisoned into accepting or into denying a valid signature.
+//  * SignerTables — lazily built per-signer fixed-base comb tables
+//    (FixedBaseTable::build) for keyring public keys, which are long-lived
+//    and hit by every verify. They turn the pk^c Montgomery powm inside
+//    schnorr_verify into a comb lookup (the same ~4-5x Element::exp_g
+//    enjoys). Tables build after a small per-signer use threshold so
+//    short-lived rings never pay the table construction.
+//  * schnorr_verify_batch — the k signatures of one proof set verified in
+//    one pass: per-signer comb lookups for every pk^c, and the k modular
+//    inversions of the R-recovery collapsed to ONE via Montgomery's
+//    batch-inversion trick. (c, s)-form Schnorr pins the challenge to the
+//    *recomputed* commitment R_i = g^{s_i} pk_i^{-c_i}, so the random-
+//    linear-combination screen that lets (R, s)-form batches share one
+//    multi-exp (the verify_poly_batch pattern) cannot skip the per-item
+//    recoveries — the batch win here is amortized inversion plus comb
+//    lookups, and every item gets an individual verdict. On batch failure
+//    each failing item is re-run through the independent per-item
+//    schnorr_verify path, so a bad signature inside an otherwise-valid
+//    batch is still attributed to its signer.
+//
+// Results are bit-identical to per-item schnorr_verify in every mode; the
+// set_sig_cache / set_sig_batch knobs exist for the A/B equality tests and
+// the bench on/off series (the multiexp_set_montgomery pattern).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "crypto/multiexp.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace dkg::crypto {
+
+/// Process-wide counters for the engine (reset + snapshot, the
+/// multiexp_set_montgomery toggle pattern). SEC02: the stats surface carries
+/// counts only — cache keys are digests and never leave the cache.
+struct SigVerifyStats {
+  std::uint64_t cache_hits = 0;       // verifies served from a VerifiedSigCache
+  std::uint64_t cache_misses = 0;     // cache consulted, full verify performed
+  std::uint64_t cache_inserts = 0;    // positive results recorded
+  std::uint64_t batch_calls = 0;      // schnorr_verify_batch invocations
+  std::uint64_t batch_items = 0;      // signatures routed through batches
+  std::uint64_t batch_fallbacks = 0;  // items re-verified per-item after a failed batch
+  std::uint64_t comb_pows = 0;        // pk^c served by a per-signer comb table
+  std::uint64_t powm_pows = 0;        // pk^c by plain Montgomery powm
+  std::uint64_t comb_builds = 0;      // per-signer tables constructed
+  // The share-point side of the engine (vss::VssInstance::accept_point):
+  // a sender's echo and ready rounds carry the SAME evaluation f(m, i), so
+  // the second verify-point of an identical (sender, value) pair is served
+  // from the per-commitment memo of positively verified points.
+  std::uint64_t point_memo_hits = 0;    // verify-point skipped via the memo
+  std::uint64_t point_memo_misses = 0;  // verify-point executed in full
+};
+
+SigVerifyStats sig_verify_stats();
+void sig_verify_reset_stats();
+
+/// A/B knobs: verification *results* are identical in all four on/off
+/// combinations (pinned by tests/test_sig_engine.cpp); only CPU moves.
+bool sig_cache_enabled();
+void set_sig_cache(bool on);
+bool sig_batch_enabled();
+void set_sig_batch(bool on);
+/// The verified-point memo (accept_point's echo/ready dedup); results are
+/// identical either way — a differing or unverified point always re-runs
+/// the full verify-point, so the memo cannot admit a forged point.
+bool point_memo_enabled();
+void set_point_memo(bool on);
+
+/// Hit/miss tallies for the cache's *users* (the cache itself cannot tell a
+/// probe that will be followed by a verify from one that will not) — called
+/// by Keyring::verify_from / verify_many.
+void sig_stats_count_cache_hit();
+void sig_stats_count_cache_miss();
+/// Ditto for the VSS layer's verified-point memo.
+void sig_stats_count_point_hit();
+void sig_stats_count_point_miss();
+
+/// Bounded FIFO set of digests of positively-verified signatures.
+/// Thread-safe (the TSan leg races first touch); value keys only — the
+/// cache never stores payloads, public keys or signatures themselves.
+class VerifiedSigCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit VerifiedSigCache(std::size_t capacity = kDefaultCapacity) : cap_(capacity) {}
+
+  /// The cache key: sha256 over (signer, sha256(payload), signature bytes).
+  /// Keying by payload *digest* reuses the PR 5 digest machinery — ready
+  /// payloads already embed the interned commitment digest — and keeps keys
+  /// fixed-width regardless of payload size.
+  static Bytes key(std::uint32_t signer, const Bytes& payload, const Signature& sig);
+
+  bool contains(const Bytes& key) const;
+  /// Records a POSITIVE verification. Never call for a failed verify — the
+  /// no-negatives rule is what makes the cache unpoisonable.
+  void insert(const Bytes& key);
+  std::size_t size() const;
+
+ private:
+  std::size_t cap_;
+  mutable std::mutex mu_;
+  std::set<Bytes> keys_;
+  std::deque<Bytes> order_;  // FIFO eviction, decode-cache style
+};
+
+/// Lazily built per-signer comb tables for one keyring's public keys.
+/// Slot i (0-based) builds its table on the use that crosses
+/// kBuildThreshold, behind a mutex; lookups are a single acquire load, so
+/// concurrent first touch is safe (raced by the TSan leg).
+class SignerTables {
+ public:
+  explicit SignerTables(std::size_t n) : slots_(n) {}
+
+  /// Build after this many engine verifies of one signer: a table costs
+  /// ~rows x (2^w - 1) multiplications, worth it once a pk is verified
+  /// repeatedly (every signer in a DKG run is) but not for one-shot rings.
+  static constexpr std::uint32_t kBuildThreshold = 8;
+
+  /// The comb table for slot `idx`, or nullptr while below the threshold.
+  /// `pk` must be the same immutable element on every call (the keyring's).
+  const FixedBaseTable* for_slot(std::size_t idx, const Group& grp, const Element& pk) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> uses{0};
+    std::atomic<const FixedBaseTable*> table{nullptr};
+  };
+
+  mutable std::mutex mu_;  // serializes builds; lookups are lock-free
+  mutable std::vector<Slot> slots_;
+  mutable std::vector<std::unique_ptr<const FixedBaseTable>> owned_;
+};
+
+/// One signature check for schnorr_verify_batch. `pk_table` is the
+/// signer's comb table or nullptr (plain powm fallback).
+struct SigCheck {
+  const Element* pk = nullptr;
+  const Bytes* msg = nullptr;
+  const Signature* sig = nullptr;
+  const FixedBaseTable* pk_table = nullptr;
+};
+
+/// Verifies every check in one pass (shared batch inversion, per-signer
+/// combs). Returns true iff ALL signatures are valid. When `bad` is
+/// non-null the indices of invalid items are appended — each failing item
+/// is re-confirmed through the independent per-item schnorr_verify path
+/// before being attributed, so a batch containing one forged signature
+/// still names exactly the forging signer. Bit-identical verdicts to
+/// calling schnorr_verify per item. Throws std::logic_error on empty or
+/// group-mixed operands (the multiexp contract).
+bool schnorr_verify_batch(const Group& grp, const std::vector<SigCheck>& checks,
+                          std::vector<std::size_t>* bad = nullptr);
+
+}  // namespace dkg::crypto

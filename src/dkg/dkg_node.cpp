@@ -194,12 +194,15 @@ void DkgNode::on_echo(sim::Context& ctx, sim::NodeId from, const DkgEchoMsg& m) 
   if (output_ || m.view < view_) return;
   if (!seen_echo_[m.view].insert(from).second) return;
   const crypto::Keyring& ring = *params_.vss.keyring;
-  if (!ring.verify_from(from, dkg_echo_payload(params_.tau, m.view, m.q), m.sig)) {
+  auto key = std::make_pair(m.view, node_set_bytes(m.q));
+  Tally& tally = tallies_[key];
+  if (tally.echo_payload.empty()) {
+    tally.echo_payload = dkg_echo_payload(params_.tau, m.view, m.q);
+  }
+  if (!ring.verify_from(from, tally.echo_payload, m.sig)) {
     ++rejected_;
     return;
   }
-  auto key = std::make_pair(m.view, node_set_bytes(m.q));
-  Tally& tally = tallies_[key];
   tally_sets_[key] = m.q;
   tally.echo_signers.insert(from);
   tally.echo_sigs.push_back(SignerSig{from, m.sig});
@@ -212,7 +215,10 @@ void DkgNode::on_echo(sim::Context& ctx, sim::NodeId from, const DkgEchoMsg& m) 
     proof.q = m.q;
     proof.sigs = tally.echo_sigs;
     adopt_certificate(m.q, proof);
-    crypto::Signature sig = ring.sign_as(self_, dkg_ready_payload(params_.tau, m.view, m.q));
+    if (tally.ready_payload.empty()) {
+      tally.ready_payload = dkg_ready_payload(params_.tau, m.view, m.q);
+    }
+    crypto::Signature sig = ring.sign_as(self_, tally.ready_payload);
     auto ready = std::make_shared<DkgReadyMsg>(params_.tau, m.view, m.q, std::move(sig));
     multicast_buffered(ctx, ready);
   }
@@ -222,12 +228,15 @@ void DkgNode::on_ready(sim::Context& ctx, sim::NodeId from, const DkgReadyMsg& m
   if (output_ || m.view < view_) return;
   if (!seen_ready_[m.view].insert(from).second) return;
   const crypto::Keyring& ring = *params_.vss.keyring;
-  if (!ring.verify_from(from, dkg_ready_payload(params_.tau, m.view, m.q), m.sig)) {
+  auto key = std::make_pair(m.view, node_set_bytes(m.q));
+  Tally& tally = tallies_[key];
+  if (tally.ready_payload.empty()) {
+    tally.ready_payload = dkg_ready_payload(params_.tau, m.view, m.q);
+  }
+  if (!ring.verify_from(from, tally.ready_payload, m.sig)) {
     ++rejected_;
     return;
   }
-  auto key = std::make_pair(m.view, node_set_bytes(m.q));
-  Tally& tally = tallies_[key];
   tally_sets_[key] = m.q;
   tally.ready_signers.insert(from);
   tally.ready_sigs.push_back(SignerSig{from, m.sig});
@@ -241,7 +250,7 @@ void DkgNode::on_ready(sim::Context& ctx, sim::NodeId from, const DkgReadyMsg& m
     proof.q = m.q;
     proof.sigs = tally.ready_sigs;
     adopt_certificate(m.q, proof);
-    crypto::Signature sig = ring.sign_as(self_, dkg_ready_payload(params_.tau, m.view, m.q));
+    crypto::Signature sig = ring.sign_as(self_, tally.ready_payload);
     auto ready = std::make_shared<DkgReadyMsg>(params_.tau, m.view, m.q, std::move(sig));
     multicast_buffered(ctx, ready);
   } else if (tally.ready_signers.size() == params_.ready_quorum()) {

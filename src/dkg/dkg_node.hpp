@@ -130,6 +130,11 @@ class DkgNode : public sim::Node {
     std::set<sim::NodeId> ready_signers;
     std::vector<SignerSig> echo_sigs;
     std::vector<SignerSig> ready_sigs;
+    /// Memoized dkg_echo_payload / dkg_ready_payload for this (view, Q):
+    /// every signer of the tally signs the same bytes, so encode once —
+    /// the engine's sig-cache then hashes identical payloads per message.
+    Bytes echo_payload;
+    Bytes ready_payload;
   };
   std::map<std::pair<std::uint64_t, Bytes>, Tally> tallies_;
   std::map<std::pair<std::uint64_t, Bytes>, NodeSet> tally_sets_;

@@ -36,15 +36,19 @@ void DealerProof::serialize(Writer& w) const {
 }
 
 bool verify_dealer_proof(const crypto::Keyring& ring, std::uint32_t tau, const DealerProof& proof,
-                         std::size_t quorum) {
+                         std::size_t quorum, std::vector<sim::NodeId>* bad_signers) {
   Bytes payload =
       vss::ready_sig_payload(vss::SessionId{proof.dealer, tau}, proof.commit_digest);
+  // First occurrence per signer counts, duplicates are skipped — same
+  // dedup the per-item loop applied. The engine verifies the unique set in
+  // one batch pass (shared inversion + comb tables + cache).
   std::set<sim::NodeId> signers;
+  std::vector<crypto::Keyring::SignerRef> refs;
   for (const vss::ReadySig& s : proof.sigs) {
     if (!signers.insert(s.signer).second) continue;
-    if (!ring.verify_from(s.signer, payload, s.sig)) return false;
+    refs.push_back({s.signer, &s.sig});
   }
-  return signers.size() >= quorum;
+  return ring.verify_many(refs, payload, bad_signers) && signers.size() >= quorum;
 }
 
 void ProposalProof::serialize(Writer& w) const {
@@ -85,32 +89,36 @@ Bytes lead_ch_payload(std::uint32_t tau, std::uint64_t target_view) {
   return w.take();
 }
 
+namespace {
+/// Dedup + batch verify for the SignerSig-shaped proof sets.
+bool verify_signer_sigs(const crypto::Keyring& ring, const std::vector<SignerSig>& sigs,
+                        const Bytes& payload, std::size_t quorum,
+                        std::vector<sim::NodeId>* bad_signers) {
+  std::set<sim::NodeId> signers;
+  std::vector<crypto::Keyring::SignerRef> refs;
+  for (const SignerSig& s : sigs) {
+    if (!signers.insert(s.signer).second) continue;
+    refs.push_back({s.signer, &s.sig});
+  }
+  return ring.verify_many(refs, payload, bad_signers) && signers.size() >= quorum;
+}
+}  // namespace
+
 bool verify_proposal_proof(const crypto::Keyring& ring, std::uint32_t tau,
                            const ProposalProof& proof, const NodeSet& q, std::size_t echo_quorum,
-                           std::size_t t_plus_1) {
+                           std::size_t t_plus_1, std::vector<sim::NodeId>* bad_signers) {
   if (proof.empty() || !(proof.q == q)) return false;
   Bytes payload = proof.kind == ProposalProof::Kind::Echo
                       ? dkg_echo_payload(tau, proof.view, q)
                       : dkg_ready_payload(tau, proof.view, q);
-  std::set<sim::NodeId> signers;
-  for (const SignerSig& s : proof.sigs) {
-    if (!signers.insert(s.signer).second) continue;
-    if (!ring.verify_from(s.signer, payload, s.sig)) return false;
-  }
   std::size_t need = proof.kind == ProposalProof::Kind::Echo ? echo_quorum : t_plus_1;
-  return signers.size() >= need;
+  return verify_signer_sigs(ring, proof.sigs, payload, need, bad_signers);
 }
 
 bool verify_lead_ch_proof(const crypto::Keyring& ring, std::uint32_t tau,
                           std::uint64_t target_view, const std::vector<SignerSig>& sigs,
-                          std::size_t quorum) {
-  Bytes payload = lead_ch_payload(tau, target_view);
-  std::set<sim::NodeId> signers;
-  for (const SignerSig& s : sigs) {
-    if (!signers.insert(s.signer).second) continue;
-    if (!ring.verify_from(s.signer, payload, s.sig)) return false;
-  }
-  return signers.size() >= quorum;
+                          std::size_t quorum, std::vector<sim::NodeId>* bad_signers) {
+  return verify_signer_sigs(ring, sigs, lead_ch_payload(tau, target_view), quorum, bad_signers);
 }
 
 }  // namespace dkg::core

@@ -44,8 +44,11 @@ struct DealerProof {
 /// R-hat: per-dealer proofs.
 using DealerProofMap = std::map<sim::NodeId, DealerProof>;
 
+/// When `bad_signers` is non-null, the signers whose signatures failed
+/// verification are appended (Byzantine attribution via the engine's
+/// per-item fallback) — empty on a proof that merely misses quorum.
 bool verify_dealer_proof(const crypto::Keyring& ring, std::uint32_t tau, const DealerProof& proof,
-                         std::size_t quorum);
+                         std::size_t quorum, std::vector<sim::NodeId>* bad_signers = nullptr);
 
 /// One signer's signature over a DKG echo/ready/lead-ch payload.
 struct SignerSig {
@@ -74,11 +77,11 @@ Bytes lead_ch_payload(std::uint32_t tau, std::uint64_t target_view);
 /// the right payload. Echo proofs need `echo_quorum`, ready proofs t+1.
 bool verify_proposal_proof(const crypto::Keyring& ring, std::uint32_t tau,
                            const ProposalProof& proof, const NodeSet& q, std::size_t echo_quorum,
-                           std::size_t t_plus_1);
+                           std::size_t t_plus_1, std::vector<sim::NodeId>* bad_signers = nullptr);
 
 /// Verifies n-t-f distinct lead-ch signatures for `target_view`.
 bool verify_lead_ch_proof(const crypto::Keyring& ring, std::uint32_t tau,
                           std::uint64_t target_view, const std::vector<SignerSig>& sigs,
-                          std::size_t quorum);
+                          std::size_t quorum, std::vector<sim::NodeId>* bad_signers = nullptr);
 
 }  // namespace dkg::core

@@ -76,4 +76,30 @@ void GarbagePointNode::on_message(sim::Context& ctx, sim::NodeId from, const sim
   }
 }
 
+void EquivocatingPointNode::on_message(sim::Context& ctx, sim::NodeId from,
+                                       const sim::MessagePtr& msg) {
+  const crypto::Group& grp = *params_.grp;
+  if (const auto* m = dynamic_cast<const SendMsg*>(msg.get());
+      m && from == m->sid.dealer && m->row) {
+    // Honest echo round: the true points f(self, j) verify at every
+    // receiver and land in its verified-point memo under this sender.
+    for (sim::NodeId j = 1; j <= params_.n; ++j) {
+      ctx.send(j, std::make_shared<EchoMsg>(m->sid, m->commitment,
+                                            m->commitment ? m->commitment->digest() : Bytes{},
+                                            // reveal-ok: Byzantine test node leaking its own
+                                            // received row point on the wire, as the protocol does
+                                            m->row->eval_at(j).reveal()));
+    }
+    return;
+  }
+  if (const auto* m = dynamic_cast<const EchoMsg*>(msg.get()); m && !sent_ready_) {
+    // Equivocate in the ready round: same sender, different value.
+    sent_ready_ = true;
+    for (sim::NodeId j = 1; j <= params_.n; ++j) {
+      ctx.send(j, std::make_shared<ReadyMsg>(m->sid, m->commitment, m->digest,
+                                             crypto::Scalar::random(grp, ctx.rng()), std::nullopt));
+    }
+  }
+}
+
 }  // namespace dkg::vss

@@ -50,6 +50,24 @@ class GarbagePointNode : public sim::Node {
   sim::NodeId self_;
 };
 
+/// A participant that echoes its TRUE points (they verify and prime the
+/// receivers' verified-point memo) but sends a *different*, garbage point in
+/// its ready round. The pair targets the memo head-on: the ready value
+/// differs from the memoized echo value, so it must take the full
+/// verify-point path and be rejected — a memo that keyed on sender alone
+/// would wave it through.
+class EquivocatingPointNode : public sim::Node {
+ public:
+  EquivocatingPointNode(VssParams params, sim::NodeId self) : params_(params), self_(self) {}
+
+  void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
+
+ private:
+  VssParams params_;
+  sim::NodeId self_;
+  bool sent_ready_ = false;
+};
+
 /// A node that simply never sends anything (fail-silent Byzantine).
 class SilentNode : public sim::Node {
  public:

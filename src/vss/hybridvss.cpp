@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/lagrange.hpp"
+#include "crypto/sigverify.hpp"
 
 namespace dkg::vss {
 
@@ -77,6 +78,11 @@ bool VssInstance::handle(sim::Context& ctx, sim::NodeId from, const sim::Message
 
 VssInstance::PerCommit& VssInstance::per_commit(const Bytes& digest) { return commits_[digest]; }
 
+const Bytes& VssInstance::ready_payload(const Bytes& digest, PerCommit& pc) const {
+  if (pc.ready_payload.empty()) pc.ready_payload = ready_sig_payload(sid_, digest);
+  return pc.ready_payload;
+}
+
 void VssInstance::on_send(sim::Context& ctx, sim::NodeId from, const SendMsg& m) {
   // Only the dealer's first send counts (Fig 1 "from P_d (first time)").
   if (from != sid_.dealer || got_send_) return;
@@ -129,7 +135,7 @@ void VssInstance::on_ready(sim::Context& ctx, sim::NodeId from, const ReadyMsg& 
   if (m.commitment) learn_commitment(ctx, digest, m.commitment);
   if (params_.sign_ready) {
     if (!m.sig ||
-        !params_.keyring->verify_from(from, ready_sig_payload(sid_, digest), *m.sig)) {
+        !params_.keyring->verify_from(from, ready_payload(digest, pc), *m.sig)) {
       ++rejected_;
       return;
     }
@@ -170,10 +176,30 @@ void VssInstance::accept_point(sim::Context& ctx, const Bytes& digest, PerCommit
   if (shared_) return;
   // verify-point(C, i, m, alpha): alpha must equal f(m, i) — checked against
   // the cached row projection (bit-identical to verify_point, (t+1) exps).
-  if (!pc.row_proj) pc.row_proj = pc.commitment->row_commitment(self_);
-  if (!pc.row_proj->verify_share(from, alpha)) {
-    ++rejected_;
-    return;
+  // A sender's echo and ready carry the SAME evaluation, so when `from`
+  // already delivered a positively verified point with the same value the
+  // recheck is a byte-identical recomputation and the engine's point memo
+  // skips it. A differing value (an equivocating sender) misses the memo
+  // and runs — and fails — the full verify, so the memo admits nothing a
+  // fresh verify would not.
+  bool memoized = false;
+  if (crypto::point_memo_enabled() && pc.point_senders.count(from) != 0) {
+    for (const auto& [sender, value] : pc.points) {
+      if (sender == from) {
+        memoized = value == alpha;
+        break;
+      }
+    }
+  }
+  if (memoized) {
+    crypto::sig_stats_count_point_hit();
+  } else {
+    crypto::sig_stats_count_point_miss();
+    if (!pc.row_proj) pc.row_proj = pc.commitment->row_commitment(self_);
+    if (!pc.row_proj->verify_share(from, alpha)) {
+      ++rejected_;
+      return;
+    }
   }
   // The echo and ready points of one sender are the same evaluation f(m, i);
   // keep one copy so interpolation abscissas stay distinct.
@@ -211,7 +237,7 @@ void VssInstance::send_ready_round(sim::Context& ctx, const Bytes& digest, PerCo
   }
   std::optional<crypto::Signature> sig;
   if (params_.sign_ready) {
-    sig = params_.keyring->sign_as(self_, ready_sig_payload(sid_, digest));
+    sig = params_.keyring->sign_as(self_, ready_payload(digest, pc));
   }
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
     // reveal-ok: the ready point a_i(j) is addressed to P_j, who is entitled

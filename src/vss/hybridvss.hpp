@@ -122,6 +122,10 @@ class VssInstance {
     std::size_t readys = 0;
     std::vector<ReadySig> ready_sigs;
     std::optional<crypto::Polynomial> row;  // interpolated a_i
+    /// Memoized ready_sig_payload(sid, digest): every signed ready this
+    /// commitment sees signs/verifies the same payload bytes, and the
+    /// engine's sig-cache keys hash them once per message otherwise.
+    Bytes ready_payload;
     bool sent_ready = false;
     bool requested_commitment = false;
   };
@@ -135,6 +139,8 @@ class VssInstance {
   void on_rec_share(sim::Context& ctx, sim::NodeId from, const RecShareMsg& m);
 
   PerCommit& per_commit(const Bytes& digest);
+  /// The memoized signed-ready payload for (sid_, digest).
+  const Bytes& ready_payload(const Bytes& digest, PerCommit& pc) const;
   void learn_commitment(sim::Context& ctx, const Bytes& digest,
                         std::shared_ptr<const crypto::FeldmanMatrix> c);
   /// Verifies and accounts one point; fires transitions.

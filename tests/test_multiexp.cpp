@@ -223,6 +223,38 @@ TEST(Multiexp, VerifyShareBatch) {
   }
 }
 
+TEST(Multiexp, OrderQHornerMatchesReducedFallback) {
+  // tiny256's q is 64-bit, so t=20 bases at i=100 (7 index bits) blow the
+  // integer-Horner budget: t * ibits = 140 > 63 and plain multiexp_index
+  // must take the reduced-power fallback. order_q_bases=true widens the
+  // gate — legal exactly because these bases are order-q (exp_g outputs),
+  // where B^e depends only on e mod q. Both paths, and the per-term
+  // reduced-power reference, must agree bit-for-bit.
+  Drbg rng(77);
+  const Group& grp = Group::tiny256();
+  constexpr std::size_t kTerms = 21;
+  std::vector<Element> bases = random_bases(grp, kTerms, rng);
+  MontDomainBases mont;
+  for (std::uint64_t i : {2ull, 63ull, 100ull, 4096ull}) {
+    Element expect = Element::identity(grp);
+    Scalar ipow = Scalar::one(grp);
+    Scalar is = Scalar::from_u64(grp, i);
+    for (std::size_t k = 0; k < kTerms; ++k) {
+      expect *= bases[k].pow(ipow);
+      ipow = ipow * is;
+    }
+    EXPECT_EQ(multiexp_index(grp, bases, i), expect) << i;
+    EXPECT_EQ(multiexp_index(grp, bases, i, /*order_q_bases=*/true), expect) << i;
+    // Same contract through IndexBases, with and without a Montgomery image.
+    const MontDomainBases::Image* imgs[] = {mont.get(grp, bases), nullptr};
+    for (const MontDomainBases::Image* img : imgs) {
+      IndexBases ib(grp, kTerms, img, /*order_q_bases=*/true);
+      for (std::size_t k = 0; k < kTerms; ++k) ib.assign(k, bases[k], k);
+      EXPECT_EQ(ib.product(i), expect) << i << (img != nullptr ? " mont" : " plain");
+    }
+  }
+}
+
 TEST(Multiexp, FixedBaseTableIsThreadSafe) {
   // A fresh (group, base) cache entry built under concurrent first use: a
   // distinct Group value (tiny256's subgroup generated by h instead of g)

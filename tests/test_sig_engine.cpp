@@ -1,0 +1,427 @@
+// Signature-verification engine tests (ctest label `sig`):
+//  * VerifiedSigCache key/insert/eviction semantics and the no-negatives
+//    rule (a forged signature is re-verified on every sight — the cache
+//    cannot be poisoned into accepting or denying);
+//  * comb-table and batch-path parity with plain schnorr_verify, including
+//    Byzantine attribution: one forged signature inside an otherwise-valid
+//    DealerProof / ProposalProof names exactly the forging signer;
+//  * the set_sig_cache / set_sig_batch A/B knobs: a full DKG run produces
+//    bit-identical Metrics and outputs in every on/off combination;
+//  * engine stats: a DKG run's cache hit rate reflects the n^3 -> n^2
+//    dedup (each distinct ready-sig verifies once per process);
+//  * concurrent first touch of the per-ring cache and comb tables (the
+//    TSan leg).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "crypto/keyring.hpp"
+#include "crypto/sigverify.hpp"
+#include "dkg/proofs.hpp"
+#include "dkg/runner.hpp"
+#include "vss/vss_messages.hpp"
+
+namespace dkg {
+namespace {
+
+using crypto::Drbg;
+using crypto::FixedBaseTable;
+using crypto::Group;
+using crypto::KeyPair;
+using crypto::Keyring;
+using crypto::schnorr_keygen;
+using crypto::schnorr_sign;
+using crypto::schnorr_verify;
+using crypto::schnorr_verify_batch;
+using crypto::SigCheck;
+using crypto::Signature;
+using crypto::SignerTables;
+using crypto::VerifiedSigCache;
+
+const Group& grp() { return Group::tiny256(); }
+
+/// Restores the engine knobs and resets stats around each test that
+/// touches process-global state.
+struct EngineGuard {
+  bool cache = crypto::sig_cache_enabled();
+  bool batch = crypto::sig_batch_enabled();
+  bool memo = crypto::point_memo_enabled();
+  EngineGuard() { crypto::sig_verify_reset_stats(); }
+  ~EngineGuard() {
+    crypto::set_sig_cache(cache);
+    crypto::set_sig_batch(batch);
+    crypto::set_point_memo(memo);
+  }
+};
+
+// --- VerifiedSigCache -------------------------------------------------------
+
+TEST(SigEngine, CacheKeyIsDistinctPerComponent) {
+  Drbg rng(1);
+  KeyPair kp = schnorr_keygen(grp(), rng);
+  Bytes msg_a = bytes_of("payload a");
+  Bytes msg_b = bytes_of("payload b");
+  Signature sig_a = schnorr_sign(kp, msg_a);
+  Signature sig_b = schnorr_sign(kp, msg_b);
+
+  Bytes base = VerifiedSigCache::key(1, msg_a, sig_a);
+  EXPECT_EQ(base, VerifiedSigCache::key(1, msg_a, sig_a));  // deterministic
+  EXPECT_NE(base, VerifiedSigCache::key(2, msg_a, sig_a));  // signer
+  EXPECT_NE(base, VerifiedSigCache::key(1, msg_b, sig_a));  // payload
+  EXPECT_NE(base, VerifiedSigCache::key(1, msg_a, sig_b));  // signature
+  // SEC02: keys are fixed-width digests, never the payload itself.
+  EXPECT_EQ(base.size(), 32u);
+}
+
+TEST(SigEngine, CacheFifoEviction) {
+  VerifiedSigCache cache(2);
+  Drbg rng(2);
+  KeyPair kp = schnorr_keygen(grp(), rng);
+  Bytes k1 = VerifiedSigCache::key(1, bytes_of("m1"), schnorr_sign(kp, bytes_of("m1")));
+  Bytes k2 = VerifiedSigCache::key(2, bytes_of("m2"), schnorr_sign(kp, bytes_of("m2")));
+  Bytes k3 = VerifiedSigCache::key(3, bytes_of("m3"), schnorr_sign(kp, bytes_of("m3")));
+  cache.insert(k1);
+  cache.insert(k1);  // duplicate insert is a no-op, not a second FIFO slot
+  cache.insert(k2);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.insert(k3);  // bound is 2: the oldest (k1) falls out
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.contains(k1));
+  EXPECT_TRUE(cache.contains(k2));
+  EXPECT_TRUE(cache.contains(k3));
+}
+
+TEST(SigEngine, NegativeVerifyIsNeverCached) {
+  EngineGuard guard;
+  auto ring = Keyring::generate(grp(), 4, 7);
+  Bytes msg = bytes_of("the payload");
+  Signature good = ring->sign_as(1, msg);
+  Signature forged = ring->sign_as(1, bytes_of("something else"));
+
+  // The forged signature fails every time — including after a success for
+  // the same (signer, payload) landed in the cache — and a failure never
+  // blocks the genuine signature.
+  EXPECT_FALSE(ring->verify_from(1, msg, forged));
+  EXPECT_TRUE(ring->verify_from(1, msg, good));
+  EXPECT_FALSE(ring->verify_from(1, msg, forged));
+  EXPECT_TRUE(ring->verify_from(1, msg, good));  // served from cache
+  crypto::SigVerifyStats stats = crypto::sig_verify_stats();
+  EXPECT_EQ(stats.cache_inserts, 1u);  // only the positive went in
+  EXPECT_GE(stats.cache_hits, 1u);
+}
+
+// --- comb tables and the batch path ----------------------------------------
+
+TEST(SigEngine, CombTableVerifyMatchesPlain) {
+  Drbg rng(3);
+  KeyPair kp = schnorr_keygen(grp(), rng);
+  Bytes msg = bytes_of("comb parity");
+  Signature sig = schnorr_sign(kp, msg);
+  Signature bad = schnorr_sign(kp, bytes_of("other"));
+  auto table = FixedBaseTable::build(grp(), kp.pk.value());
+
+  EXPECT_TRUE(schnorr_verify(kp.pk, msg, sig));
+  EXPECT_TRUE(schnorr_verify(kp.pk, msg, sig, table.get()));
+  EXPECT_TRUE(schnorr_verify(kp.pk, msg, sig, nullptr));  // falls through
+  EXPECT_FALSE(schnorr_verify(kp.pk, msg, bad));
+  EXPECT_FALSE(schnorr_verify(kp.pk, msg, bad, table.get()));
+}
+
+TEST(SigEngine, SignerTablesBuildAfterThreshold) {
+  EngineGuard guard;
+  Drbg rng(4);
+  KeyPair kp = schnorr_keygen(grp(), rng);
+  SignerTables tables(1);
+  for (std::uint32_t i = 0; i + 1 < SignerTables::kBuildThreshold; ++i) {
+    EXPECT_EQ(tables.for_slot(0, grp(), kp.pk), nullptr);
+  }
+  const FixedBaseTable* t = tables.for_slot(0, grp(), kp.pk);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(tables.for_slot(0, grp(), kp.pk), t);  // stable afterwards
+  EXPECT_EQ(crypto::sig_verify_stats().comb_builds, 1u);
+}
+
+TEST(SigEngine, BatchAllValid) {
+  EngineGuard guard;
+  Drbg rng(5);
+  Bytes msg = bytes_of("shared proof payload");
+  std::vector<KeyPair> kps;
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 5; ++i) {
+    kps.push_back(schnorr_keygen(grp(), rng));
+    sigs.push_back(schnorr_sign(kps.back(), msg));
+  }
+  std::vector<SigCheck> checks;
+  for (int i = 0; i < 5; ++i) checks.push_back(SigCheck{&kps[i].pk, &msg, &sigs[i], nullptr});
+
+  std::vector<std::size_t> bad;
+  EXPECT_TRUE(schnorr_verify_batch(grp(), checks, &bad));
+  EXPECT_TRUE(bad.empty());
+  EXPECT_EQ(crypto::sig_verify_stats().batch_fallbacks, 0u);
+  EXPECT_TRUE(schnorr_verify_batch(grp(), {}));  // empty batch is vacuous
+}
+
+TEST(SigEngine, BatchAttributesForgedItems) {
+  EngineGuard guard;
+  Drbg rng(6);
+  Bytes msg = bytes_of("shared proof payload");
+  std::vector<KeyPair> kps;
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 5; ++i) {
+    kps.push_back(schnorr_keygen(grp(), rng));
+    sigs.push_back(schnorr_sign(kps.back(), msg));
+  }
+  sigs[2] = schnorr_sign(kps[2], bytes_of("forged"));  // wrong payload
+  sigs[4].s = sigs[4].c;                               // mangled response
+  std::vector<SigCheck> checks;
+  for (int i = 0; i < 5; ++i) checks.push_back(SigCheck{&kps[i].pk, &msg, &sigs[i], nullptr});
+
+  std::vector<std::size_t> bad;
+  EXPECT_FALSE(schnorr_verify_batch(grp(), checks, &bad));
+  EXPECT_EQ(bad, (std::vector<std::size_t>{2, 4}));
+  // Each failing item was re-confirmed through the per-item path.
+  EXPECT_EQ(crypto::sig_verify_stats().batch_fallbacks, 2u);
+}
+
+TEST(SigEngine, VerifyManyMatchesPerItemInEveryMode) {
+  for (bool cache_on : {true, false}) {
+    for (bool batch_on : {true, false}) {
+      EngineGuard guard;
+      crypto::set_sig_cache(cache_on);
+      crypto::set_sig_batch(batch_on);
+      auto ring = Keyring::generate(grp(), 6, 11);
+      Bytes msg = bytes_of("verify_many payload");
+      std::vector<Signature> sigs;
+      for (std::uint32_t i = 1; i <= 6; ++i) sigs.push_back(ring->sign_as(i, msg));
+      sigs[3] = ring->sign_as(4, bytes_of("forged"));
+
+      std::vector<Keyring::SignerRef> refs;
+      for (std::uint32_t i = 1; i <= 6; ++i) refs.push_back({i, &sigs[i - 1]});
+      refs.push_back({99, &sigs[0]});  // out-of-range signer
+
+      std::vector<std::uint32_t> bad;
+      EXPECT_FALSE(ring->verify_many(refs, msg, &bad))
+          << "cache=" << cache_on << " batch=" << batch_on;
+      ASSERT_EQ(bad.size(), 2u);
+      EXPECT_EQ(bad[0], 99u);  // structural rejects are reported first
+      EXPECT_EQ(bad[1], 4u);
+
+      // The valid five still verify — individually and as a set.
+      refs.resize(6);
+      refs.erase(refs.begin() + 3);
+      EXPECT_TRUE(ring->verify_many(refs, msg));
+      for (std::uint32_t i = 1; i <= 6; ++i) {
+        EXPECT_EQ(ring->verify_from(i, msg, sigs[i - 1]), i != 4);
+      }
+    }
+  }
+}
+
+// --- Byzantine attribution through the proof layer --------------------------
+
+TEST(SigEngine, ForgedSigInDealerProofIsAttributedAndCacheStaysClean) {
+  EngineGuard guard;
+  const std::uint32_t tau = 1;
+  auto ring = Keyring::generate(grp(), 7, 21);
+  core::DealerProof proof;
+  proof.dealer = 3;
+  proof.commit_digest = bytes_of("0123456789abcdef0123456789abcdef");
+  Bytes payload = vss::ready_sig_payload(vss::SessionId{proof.dealer, tau}, proof.commit_digest);
+  for (std::uint32_t s = 1; s <= 5; ++s) {
+    proof.sigs.push_back(vss::ReadySig{s, ring->sign_as(s, payload)});
+  }
+  Signature genuine = proof.sigs[3].sig;
+  proof.sigs[3].sig = ring->sign_as(4, bytes_of("forged ready"));
+
+  std::vector<sim::NodeId> bad;
+  EXPECT_FALSE(core::verify_dealer_proof(*ring, tau, proof, 5, &bad));
+  EXPECT_EQ(bad, (std::vector<sim::NodeId>{4}));
+
+  // No poisoning in either direction: the failed proof did not cache the
+  // forgery as valid, and did not block signer 4's genuine signature.
+  EXPECT_FALSE(ring->verify_from(4, payload, proof.sigs[3].sig));
+  proof.sigs[3].sig = genuine;
+  EXPECT_TRUE(core::verify_dealer_proof(*ring, tau, proof, 5));
+  // The honest signers' sigs were cached by the failed attempt (positives
+  // only), so the retry re-verified at most signer 4.
+  EXPECT_GE(crypto::sig_verify_stats().cache_hits, 4u);
+}
+
+TEST(SigEngine, ForgedSigInProposalProofIsAttributed) {
+  EngineGuard guard;
+  const std::uint32_t tau = 2;
+  auto ring = Keyring::generate(grp(), 7, 22);
+  core::NodeSet q{1, 2, 3};
+  core::ProposalProof proof;
+  proof.kind = core::ProposalProof::Kind::Echo;
+  proof.view = 1;
+  proof.q = q;
+  Bytes payload = core::dkg_echo_payload(tau, proof.view, q);
+  for (std::uint32_t s = 1; s <= 5; ++s) {
+    proof.sigs.push_back(core::SignerSig{s, ring->sign_as(s, payload)});
+  }
+  proof.sigs[1].sig = ring->sign_as(2, core::dkg_ready_payload(tau, proof.view, q));
+
+  std::vector<sim::NodeId> bad;
+  EXPECT_FALSE(core::verify_proposal_proof(*ring, tau, proof, q, 5, 2, &bad));
+  EXPECT_EQ(bad, (std::vector<sim::NodeId>{2}));
+
+  std::vector<core::SignerSig> lead_sigs;
+  Bytes lead_payload = core::lead_ch_payload(tau, 3);
+  for (std::uint32_t s = 1; s <= 5; ++s) {
+    lead_sigs.push_back(core::SignerSig{s, ring->sign_as(s, lead_payload)});
+  }
+  lead_sigs[4].sig = lead_sigs[0].sig;  // signer 5 replaying signer 1's sig
+  bad.clear();
+  EXPECT_FALSE(core::verify_lead_ch_proof(*ring, tau, 3, lead_sigs, 5, &bad));
+  EXPECT_EQ(bad, (std::vector<sim::NodeId>{5}));
+}
+
+// --- A/B knobs: engine on/off is invisible in results -----------------------
+
+void expect_metrics_equal(const sim::Metrics& a, const sim::Metrics& b) {
+  ASSERT_EQ(a.by_type().size(), b.by_type().size());
+  for (const auto& [type, stats] : a.by_type()) {
+    auto it = b.by_type().find(type);
+    ASSERT_NE(it, b.by_type().end()) << type;
+    EXPECT_EQ(stats.count, it->second.count) << type;
+    EXPECT_EQ(stats.bytes, it->second.bytes) << type;
+  }
+  EXPECT_EQ(a.dropped_messages(), b.dropped_messages());
+  EXPECT_EQ(a.invalid_messages(), b.invalid_messages());
+}
+
+TEST(SigEngine, DkgRunIdenticalWithEngineOff) {
+  EngineGuard guard;
+  core::RunnerConfig cfg;
+  cfg.n = 7;
+  cfg.t = 1;
+  cfg.f = 1;
+  cfg.seed = 424242;
+
+  core::DkgRunner engine_on(cfg);
+  engine_on.start_all();
+  ASSERT_TRUE(engine_on.run_to_completion());
+
+  crypto::set_sig_cache(false);
+  crypto::set_sig_batch(false);
+  crypto::set_point_memo(false);
+  core::DkgRunner engine_off(cfg);
+  engine_off.start_all();
+  ASSERT_TRUE(engine_off.run_to_completion());
+
+  // The engine only removes redundant verification work: counts, byte
+  // totals, the simulated clock and every protocol output must match.
+  expect_metrics_equal(engine_on.simulator().metrics(), engine_off.simulator().metrics());
+  EXPECT_EQ(engine_on.simulator().now(), engine_off.simulator().now());
+  ASSERT_EQ(engine_on.completed_nodes().size(), cfg.n);
+  ASSERT_EQ(engine_off.completed_nodes().size(), cfg.n);
+  for (sim::NodeId i = 1; i <= cfg.n; ++i) {
+    const core::DkgOutput& on = engine_on.dkg_node(i).output();
+    const core::DkgOutput& off = engine_off.dkg_node(i).output();
+    EXPECT_TRUE(on.q == off.q);
+    EXPECT_EQ(on.public_key, off.public_key);
+    EXPECT_TRUE(on.share.ct_eq(off.share));
+  }
+}
+
+TEST(SigEngine, DkgRunPointMemoHitsReflectEchoReadyOverlap) {
+  // Each sender's ready point repeats its echo point f(m, i), so with the
+  // memo on roughly half the accept-point verifies are served from the
+  // positive memo; off, every point pays a full verify-share.
+  EngineGuard guard;
+  core::RunnerConfig cfg;
+  cfg.n = 7;
+  cfg.t = 1;
+  cfg.f = 1;
+  cfg.seed = 90210;
+  core::DkgRunner memo_on(cfg);
+  memo_on.start_all();
+  ASSERT_TRUE(memo_on.run_to_completion());
+  crypto::SigVerifyStats stats = crypto::sig_verify_stats();
+  EXPECT_GT(stats.point_memo_hits, 0u);
+  EXPECT_GT(stats.point_memo_misses, 0u);
+  EXPECT_GE(2 * stats.point_memo_hits, stats.point_memo_misses);
+
+  crypto::sig_verify_reset_stats();
+  crypto::set_point_memo(false);
+  core::DkgRunner memo_off(cfg);
+  memo_off.start_all();
+  ASSERT_TRUE(memo_off.run_to_completion());
+  crypto::SigVerifyStats off = crypto::sig_verify_stats();
+  EXPECT_EQ(off.point_memo_hits, 0u);
+  EXPECT_GT(off.point_memo_misses, stats.point_memo_misses);
+  expect_metrics_equal(memo_on.simulator().metrics(), memo_off.simulator().metrics());
+}
+
+// --- stats over a full DKG run ----------------------------------------------
+
+TEST(SigEngine, DkgRunCacheHitRateReflectsSharedVerifies) {
+  EngineGuard guard;
+  core::RunnerConfig cfg;
+  cfg.n = 7;
+  cfg.t = 1;
+  cfg.f = 1;
+  cfg.seed = 31337;
+  core::DkgRunner runner(cfg);
+  runner.start_all();
+  ASSERT_TRUE(runner.run_to_completion());
+
+  crypto::SigVerifyStats stats = crypto::sig_verify_stats();
+  // Every distinct (signer, payload, sig) verifies once (a miss) and is
+  // then served from the ring's cache for the other ~n receivers and every
+  // proof-set re-check: the hit rate is the n^3 -> n^2 collapse. With the
+  // cache on, the batch path stays idle — proof signatures are all
+  // cache-resident by the time certificates are checked.
+  EXPECT_GT(stats.cache_misses, 0u);
+  EXPECT_GE(stats.cache_hits, 2 * stats.cache_misses);
+  EXPECT_EQ(stats.cache_inserts, stats.cache_misses);  // all verifies succeeded
+  EXPECT_EQ(stats.batch_fallbacks, 0u);
+
+  // Cache off: certificate verification must route the proof sets through
+  // the batch path instead (and still never fall back on honest sigs).
+  crypto::sig_verify_reset_stats();
+  crypto::set_sig_cache(false);
+  core::DkgRunner uncached(cfg);
+  uncached.start_all();
+  ASSERT_TRUE(uncached.run_to_completion());
+  stats = crypto::sig_verify_stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_GT(stats.batch_calls, 0u);
+  EXPECT_GT(stats.batch_items, stats.batch_calls);  // proof sets, not singles
+  EXPECT_EQ(stats.batch_fallbacks, 0u);
+}
+
+// --- concurrent first touch (the TSan leg) ----------------------------------
+
+TEST(SigEngine, ConcurrentFirstTouchOfCacheAndCombTables) {
+  constexpr int kThreads = 8;
+  EngineGuard guard;
+  auto ring = Keyring::generate(grp(), 4, 77);
+  Bytes msg = bytes_of("raced payload");
+  Signature sig = ring->sign_as(2, msg);
+  Signature bad = ring->sign_as(2, bytes_of("not the payload"));
+
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  threads.reserve(kThreads);
+  for (int k = 0; k < kThreads; ++k) {
+    threads.emplace_back([&, k] {
+      bool good = true;
+      // Enough iterations that every thread crosses the comb-table build
+      // threshold: first touch of the cache entry AND the table race here.
+      for (std::uint32_t i = 0; i < SignerTables::kBuildThreshold + 4; ++i) {
+        good = good && ring->verify_from(2, msg, sig);
+        good = good && !ring->verify_from(2, msg, bad);
+      }
+      ok[k] = good ? 1 : 0;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int k = 0; k < kThreads; ++k) EXPECT_EQ(ok[k], 1) << "thread " << k;
+  EXPECT_EQ(crypto::sig_verify_stats().cache_inserts, 1u);
+  EXPECT_EQ(crypto::sig_verify_stats().comb_builds, 1u);
+}
+
+}  // namespace
+}  // namespace dkg

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/lagrange.hpp"
+#include "crypto/sigverify.hpp"
 #include "sim/simulator.hpp"
 #include "vss/byzantine_dealer.hpp"
 
@@ -125,6 +126,36 @@ TEST(ByzantinePeer, GarbagePointsAreRejectedAndSharingSucceeds) {
   }
   EXPECT_EQ(crypto::interpolate_at(Group::tiny256(), pts, 0),
             Scalar::from_u64(Group::tiny256(), 21));
+}
+
+TEST(ByzantinePeer, EquivocatingPointCannotPoisonVerifiedPointMemo) {
+  // Node 4 echoes its TRUE points (priming every receiver's verified-point
+  // memo under sender 4) and then sends garbage ready points. The memo is
+  // keyed on (sender, value): the differing ready value must miss it, pay
+  // the full verify-point, and be rejected — with identical accept/reject
+  // behaviour when the memo is disabled.
+  auto run = [](bool memo_on) {
+    crypto::set_point_memo(memo_on);
+    Harness h(7, 1, 1, /*seed=*/9);
+    h.sim.set_node(4, std::make_unique<EquivocatingPointNode>(h.params, 4));
+    h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, Scalar::from_u64(Group::tiny256(), 33)));
+    EXPECT_TRUE(h.sim.run());
+    std::uint64_t rejects = 0;
+    for (sim::NodeId i = 1; i <= 7; ++i) {
+      if (i == 4) continue;
+      rejects += h.node(i).instance(h.sid).rejected();
+    }
+    return std::pair<std::size_t, std::uint64_t>(h.completed(7, 4).size(), rejects);
+  };
+  bool memo_was_on = crypto::point_memo_enabled();
+  crypto::sig_verify_reset_stats();
+  auto with_memo = run(true);
+  EXPECT_GT(crypto::sig_verify_stats().point_memo_hits, 0u);  // echoes primed it
+  auto without_memo = run(false);
+  crypto::set_point_memo(memo_was_on);
+  EXPECT_EQ(with_memo, without_memo);
+  EXPECT_EQ(with_memo.first, 6u);  // honest sharing completes
+  EXPECT_GT(with_memo.second, 0u);  // forged ready points were caught
 }
 
 TEST(ByzantinePeer, SilentParticipantsWithinBoundDontBlock) {
