@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   using namespace dkg;
   bench::JsonEmitter json("bench_ablation_timeout", argc, argv);
   if (!json.args_ok()) return 1;
+  json.configure_verify_pool();
   bench::print_header("E11  Ablation: timeout choice vs leader-change waste",
                       "optimistic-first design: timeouts are a liveness backstop, "
                       "never a safety input  [Sec 2.1, Sec 4]");

@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   using namespace dkg;
   bench::JsonEmitter json("bench_baseline_dkg", argc, argv);
   if (!json.args_ok()) return 1;
+  json.configure_verify_pool();
   bench::print_header("E6c  Asynchronous DKG vs synchronous baselines",
                       "what the asynchronous/hybrid model costs over synchronous "
                       "broadcast-channel DKGs  [Sec 1, Sec 2]");

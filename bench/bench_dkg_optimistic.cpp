@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
   using namespace dkg;
   bench::JsonEmitter json("bench_dkg_optimistic", argc, argv);
   if (!json.args_ok()) return 1;
+  json.configure_verify_pool();
   bench::print_header("E4  DKG optimistic phase complexity (honest leader)",
                       "O(t d n^3) messages / O(kappa t d n^4) bits; leader broadcast "
                       "adds only O(n^2)/O(kappa n^3)  [Sec 4]");

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace dkg;
   bench::JsonEmitter json("bench_dkg_pessimistic", argc, argv);
   if (!json.args_ok()) return 1;
+  json.configure_verify_pool();
   bench::print_header("E5  DKG pessimistic phase: consecutive faulty leaders",
                       "O(d) leader changes, O(n^2) messages each; worst case "
                       "O(t d n^2 (n+d)) msgs  [Sec 4]");

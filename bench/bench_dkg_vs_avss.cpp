@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace dkg;
   bench::JsonEmitter json("bench_dkg_vs_avss", argc, argv);
   if (!json.args_ok()) return 1;
+  json.configure_verify_pool();
   const crypto::Group& grp = crypto::Group::tiny256();
   // One sweep covers all three tables: paired hvss/avss specs per n, then
   // the Byzantine-only DKG axis.

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   using namespace dkg;
   bench::JsonEmitter json("bench_latency", argc, argv);
   if (!json.args_ok()) return 1;
+  json.configure_verify_pool();
   bench::print_header("E10  Completion latency under adversarial link delays",
                       "adversarial delays on corrupted links do not slow the honest "
                       "path  [Sec 2.1]");

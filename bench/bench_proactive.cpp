@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace dkg;
   bench::JsonEmitter json("bench_proactive", argc, argv);
   if (!json.args_ok()) return 1;
+  json.configure_verify_pool();
   engine::SweepDriver driver;
   driver.add_axis(std::vector<std::size_t>{4, 7, 10, 13, 16}, [](std::size_t n) {
     std::size_t t = (n - 1) / 3;

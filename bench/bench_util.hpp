@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "engine/sweep.hpp"
+#include "engine/verify_pool.hpp"
 
 namespace dkg::bench {
 
@@ -138,6 +139,15 @@ class JsonEmitter {
         }
       } else if (arg.rfind("--jobs=", 0) == 0 && arg.size() > 7) {
         parse_jobs(arg.substr(7));
+      } else if (arg == "--verify-jobs") {
+        if (i + 1 < argc) {
+          parse_verify_jobs(argv[++i]);
+        } else {
+          std::fprintf(stderr, "bench: --verify-jobs requires a count argument\n");
+          arg_error_ = true;
+        }
+      } else if (arg.rfind("--verify-jobs=", 0) == 0 && arg.size() > 14) {
+        parse_verify_jobs(arg.substr(14));
       } else {
         std::fprintf(stderr, "bench: unrecognized argument: %s\n", arg.c_str());
         arg_error_ = true;
@@ -154,6 +164,19 @@ class JsonEmitter {
   const std::string& path() const { return path_; }
   /// SweepDriver thread count from `--jobs N` (0 = hardware_concurrency).
   unsigned jobs() const { return jobs_; }
+  /// Verify-pool thread cap from `--verify-jobs N` (0 = cooperative auto:
+  /// hardware threads left over after the SweepDriver claims `jobs()`).
+  unsigned verify_jobs() const { return verify_jobs_; }
+  /// Sizes the process-wide VerifyPool for this bench run: an explicit
+  /// `--verify-jobs N` wins; otherwise the pool takes the cores the sweep
+  /// leaves idle (1 on saturated sweeps — intra-scenario parallelism only
+  /// pays when cores outnumber concurrent scenarios). Simulated metrics are
+  /// bit-identical for every value; only cpu_ms moves.
+  void configure_verify_pool() const {
+    unsigned jobs = verify_jobs_ != 0 ? verify_jobs_
+                                      : engine::VerifyPool::cooperative_jobs(jobs_);
+    engine::VerifyPool::instance().configure(jobs);
+  }
   /// False after a malformed command line; mains should bail out before
   /// running the workload: `if (!json.args_ok()) return 1;`.
   bool args_ok() const { return !arg_error_; }
@@ -192,9 +215,23 @@ class JsonEmitter {
     jobs_ = static_cast<unsigned>(parsed);
   }
 
+  void parse_verify_jobs(const std::string& v) {
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(v.c_str(), &end, 10);
+    if (v.empty() || v[0] == '-' || end == v.c_str() || *end != '\0') {
+      std::fprintf(stderr, "bench: --verify-jobs wants a non-negative integer, got: %s\n",
+                   v.c_str());
+      arg_error_ = true;
+      return;
+    }
+    // 0 is the documented "cooperative auto" default.
+    verify_jobs_ = static_cast<unsigned>(parsed);
+  }
+
   std::string bench_name_;
   std::string path_;
   unsigned jobs_ = 0;
+  unsigned verify_jobs_ = 0;
   bool arg_error_ = false;
   bool needs_flush_ = false;
   std::vector<MetricRow> rows_;

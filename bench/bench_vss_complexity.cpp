@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   using namespace dkg;
   bench::JsonEmitter json("bench_vss_complexity", argc, argv);
   if (!json.args_ok()) return 1;
+  json.configure_verify_pool();
   bench::print_header("E1  HybridVSS message/communication complexity (no crashes)",
                       "O(n^2) messages, O(kappa n^4) bits  [Sec 3]");
   engine::SweepDriver driver;

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   using namespace dkg;
   bench::JsonEmitter json("bench_vss_hashed", argc, argv);
   if (!json.args_ok()) return 1;
+  json.configure_verify_pool();
   bench::print_header("E2  Full vs hash-compressed commitments",
                       "O(kappa n^4) -> O(kappa n^3) bits  [Sec 3 / AVSS Sec 3.4]");
   // Paired grid: spec 2i runs full mode, spec 2i+1 the hashed contrast.

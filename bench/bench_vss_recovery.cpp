@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace dkg;
   bench::JsonEmitter json("bench_vss_recovery", argc, argv);
   if (!json.args_ok()) return 1;
+  json.configure_verify_pool();
   bench::print_header("E3  HybridVSS under crash/recovery cycles",
                       "O(t d n^2) messages, O(kappa t d n^3) bits  [Sec 3]");
   const std::size_t n = 13, t = 3, f = 1;  // 13 >= 3*3 + 2*1 + 1

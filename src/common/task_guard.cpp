@@ -1,0 +1,15 @@
+#include "common/task_guard.hpp"
+
+namespace dkg::common {
+
+namespace {
+thread_local bool t_in_worker_task = false;
+}  // namespace
+
+bool in_worker_task() noexcept { return t_in_worker_task; }
+
+WorkerTaskGuard::WorkerTaskGuard() noexcept : prev_(t_in_worker_task) { t_in_worker_task = true; }
+
+WorkerTaskGuard::~WorkerTaskGuard() { t_in_worker_task = prev_; }
+
+}  // namespace dkg::common

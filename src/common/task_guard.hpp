@@ -1,0 +1,31 @@
+// Thread-local "inside a verify-pool task" marker, kept in src/common so the
+// simulator can assert on it without depending on the engine layer. The
+// verify pool (engine/verify_pool.hpp) sets the flag around every task it
+// runs; the simulator's send/timer entry points throw when called under it —
+// verification work dispatched to the pool must be PURE (no transcript
+// effects), otherwise message order would depend on worker scheduling and
+// the bit-identical A/B guarantee would silently break.
+#pragma once
+
+namespace dkg::common {
+
+/// True while the calling thread is executing a verify-pool task (including
+/// tasks a scope owner runs inline during join, and tasks run eagerly in
+/// inline mode — the purity contract is the same either way).
+bool in_worker_task() noexcept;
+
+/// RAII setter. Nesting is allowed (inline sub-scopes run their tasks
+/// immediately on the already-marked thread); the flag clears when the
+/// outermost guard unwinds.
+class WorkerTaskGuard {
+ public:
+  WorkerTaskGuard() noexcept;
+  ~WorkerTaskGuard();
+  WorkerTaskGuard(const WorkerTaskGuard&) = delete;
+  WorkerTaskGuard& operator=(const WorkerTaskGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace dkg::common

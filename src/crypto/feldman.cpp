@@ -91,6 +91,59 @@ bool FeldmanMatrix::verify_poly_col(std::uint64_t i, const Polynomial& b) const 
   return true;
 }
 
+bool FeldmanMatrix::verify_poly_range(std::uint64_t i, const Polynomial& a, std::size_t l_lo,
+                                      std::size_t l_hi) const {
+  if (a.degree() != t_) return false;
+  const Group& grp = group();
+  IndexBases col(grp, t_ + 1, mont_.get(grp, entries_), order_q_);
+  for (std::size_t l = l_lo; l < l_hi; ++l) {
+    for (std::size_t j = 0; j <= t_; ++j) col.assign(j, entry(j, l), j * (t_ + 1) + l);
+    // reveal-ok: range split of verify_poly — same public-commitment
+    // re-derivation of a row this node already holds (see verify_poly).
+    if (Element::exp_g(a.coeff(l).reveal()) != col.product(i)) return false;
+  }
+  return true;
+}
+
+bool FeldmanMatrix::verify_poly_col_range(std::uint64_t i, const Polynomial& b, std::size_t j_lo,
+                                          std::size_t j_hi) const {
+  if (b.degree() != t_) return false;
+  const Group& grp = group();
+  IndexBases row(grp, t_ + 1, mont_.get(grp, entries_), order_q_);
+  for (std::size_t j = j_lo; j < j_hi; ++j) {
+    for (std::size_t l = 0; l <= t_; ++l) row.assign(l, entry(j, l), j * (t_ + 1) + l);
+    // reveal-ok: range split of verify_poly_col (see verify_poly_col).
+    if (Element::exp_g(b.coeff(j).reveal()) != row.product(i)) return false;
+  }
+  return true;
+}
+
+std::vector<Element> FeldmanMatrix::row_commitment_entries(std::uint64_t i, std::size_t j_lo,
+                                                           std::size_t j_hi) const {
+  const Group& grp = group();
+  std::vector<Element> v;
+  v.reserve(j_hi - j_lo);
+  IndexBases row(grp, t_ + 1, mont_.get(grp, entries_), order_q_);
+  for (std::size_t j = j_lo; j < j_hi; ++j) {
+    for (std::size_t l = 0; l <= t_; ++l) row.assign(l, entry(j, l), j * (t_ + 1) + l);
+    v.push_back(row.product(i));
+  }
+  return v;
+}
+
+std::vector<Element> FeldmanMatrix::col_commitment_entries(std::uint64_t m, std::size_t l_lo,
+                                                           std::size_t l_hi) const {
+  const Group& grp = group();
+  IndexBases col(grp, t_ + 1, mont_.get(grp, entries_), order_q_);
+  std::vector<Element> v;
+  v.reserve(l_hi - l_lo);
+  for (std::size_t l = l_lo; l < l_hi; ++l) {
+    for (std::size_t j = 0; j <= t_; ++j) col.assign(j, entry(j, l), j * (t_ + 1) + l);
+    v.push_back(col.product(m));
+  }
+  return v;
+}
+
 FeldmanVector FeldmanMatrix::row_commitment(std::uint64_t i) const {
   const Group& grp = group();
   std::vector<Element> v;
@@ -289,6 +342,16 @@ bool FeldmanVector::verify_share_batch(
     lhs += r * s;
   }
   return Element::exp_g(lhs) == multiexp(grp, entries_, exps);
+}
+
+bool FeldmanVector::verify_share_batch_range(
+    const std::vector<std::pair<std::uint64_t, Scalar>>& shares, std::size_t lo, std::size_t hi,
+    Drbg& rng) const {
+  if (lo >= hi) return true;
+  std::vector<std::pair<std::uint64_t, Scalar>> chunk(
+      shares.begin() + static_cast<std::ptrdiff_t>(lo),
+      shares.begin() + static_cast<std::ptrdiff_t>(hi));
+  return verify_share_batch(chunk, rng);
 }
 
 Bytes FeldmanVector::encode() const {

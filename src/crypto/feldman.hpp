@@ -43,6 +43,14 @@ class FeldmanMatrix {
   /// Column variant for non-symmetric matrices (AVSS): checks b(x) = f(x, i)
   /// via g^{b_j} == prod_l C_{jl}^{i^l}.
   bool verify_poly_col(std::uint64_t i, const Polynomial& b) const;
+  /// Column sub-range [l_lo, l_hi) of verify_poly: the t+1 column checks are
+  /// independent, so the verify pool splits them across workers and ANDs the
+  /// range verdicts — same result as verify_poly (which merely early-exits).
+  bool verify_poly_range(std::uint64_t i, const Polynomial& a, std::size_t l_lo,
+                         std::size_t l_hi) const;
+  /// Row sub-range [j_lo, j_hi) of verify_poly_col.
+  bool verify_poly_col_range(std::uint64_t i, const Polynomial& b, std::size_t j_lo,
+                             std::size_t j_hi) const;
   /// Paper predicate verify-point(C, i, m, alpha): alpha == f(m, i).
   bool verify_point(std::uint64_t i, std::uint64_t m, const Scalar& alpha) const;
   /// Commitment to the evaluation f(m, i) = prod_{jl} C_{jl}^{m^j i^l}.
@@ -60,6 +68,14 @@ class FeldmanMatrix {
   /// prod_j C_{jl}^{m^j}. The fixed-m mirror of row_commitment (the two
   /// coincide for the symmetric matrices of HybridVSS, not for AVSS).
   FeldmanVector col_commitment(std::uint64_t m) const;
+  /// Entries [j_lo, j_hi) of row_commitment(i): each entry is an independent
+  /// index-power product, so the pool computes disjoint ranges concurrently
+  /// and reassembles the full vector (identical entries, identical order).
+  std::vector<Element> row_commitment_entries(std::uint64_t i, std::size_t j_lo,
+                                              std::size_t j_hi) const;
+  /// Entries [l_lo, l_hi) of col_commitment(m).
+  std::vector<Element> col_commitment_entries(std::uint64_t m, std::size_t l_lo,
+                                              std::size_t l_hi) const;
 
   /// g^s where s = f(0,0) — the public key fragment this dealing carries.
   const Element& c00() const { return entry(0, 0); }
@@ -159,6 +175,13 @@ class FeldmanVector {
   /// to per-share verify_share to identify the offender).
   bool verify_share_batch(const std::vector<std::pair<std::uint64_t, Scalar>>& shares,
                           Drbg& rng) const;
+  /// Sub-range [lo, hi) of a batch check, with its own coefficient stream —
+  /// the pool's chunked entry point. Each chunk is a complete RLC check of
+  /// its shares, so the AND over disjoint chunks accepts exactly the honest
+  /// inputs verify_share_batch accepts (both sides are whp-sound screens
+  /// backed by the same per-share fallback on reject).
+  bool verify_share_batch_range(const std::vector<std::pair<std::uint64_t, Scalar>>& shares,
+                                std::size_t lo, std::size_t hi, Drbg& rng) const;
 
   /// See FeldmanMatrix::canonical_bytes / digest.
   const Bytes& canonical_bytes() const;

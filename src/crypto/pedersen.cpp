@@ -40,6 +40,21 @@ bool PedersenMatrix::verify_poly(std::uint64_t i, const Polynomial& a,
   return true;
 }
 
+bool PedersenMatrix::verify_poly_range(std::uint64_t i, const Polynomial& a,
+                                       const Polynomial& a_prime, std::size_t l_lo,
+                                       std::size_t l_hi) const {
+  if (a.degree() != t_ || a_prime.degree() != t_) return false;
+  const Group& grp = group();
+  IndexBases col(grp, t_ + 1, mont_.get(grp, entries_));
+  for (std::size_t l = l_lo; l < l_hi; ++l) {
+    for (std::size_t j = 0; j <= t_; ++j) col.assign(j, entry(j, l), j * (t_ + 1) + l);
+    // reveal-ok: range split of verify_poly (see verify_poly above).
+    Element lhs = Element::exp_g(a.coeff(l).reveal()) * Element::exp_h(a_prime.coeff(l).reveal());
+    if (lhs != col.product(i)) return false;
+  }
+  return true;
+}
+
 bool PedersenMatrix::verify_point(std::uint64_t i, std::uint64_t m, const Scalar& alpha,
                                   const Scalar& alpha_prime) const {
   const Group& grp = group();

@@ -31,6 +31,10 @@ class PedersenMatrix {
   /// verify-poly for the pair (a, a') of row polynomials:
   /// g^{a_l} h^{a'_l} == prod_j C_{jl}^{i^j}.
   bool verify_poly(std::uint64_t i, const Polynomial& a, const Polynomial& a_prime) const;
+  /// Column sub-range [l_lo, l_hi) of verify_poly — the verify pool's split
+  /// entry point (see FeldmanMatrix::verify_poly_range).
+  bool verify_poly_range(std::uint64_t i, const Polynomial& a, const Polynomial& a_prime,
+                         std::size_t l_lo, std::size_t l_hi) const;
   /// verify-point for the pair (alpha, alpha').
   bool verify_point(std::uint64_t i, std::uint64_t m, const Scalar& alpha,
                     const Scalar& alpha_prime) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/verify_pool.hpp"
+
 namespace dkg::core {
 
 using crypto::FeldmanMatrix;
@@ -160,12 +162,49 @@ void DkgNode::on_send(sim::Context& ctx, sim::NodeId from, const DkgSendMsg& m) 
       valid = verify_proposal_proof(ring, params_.tau, m.proposal_proof, m.q,
                                     params_.echo_quorum(), params_.t() + 1);
     } else {
-      for (sim::NodeId d : m.q) {
-        auto it = m.dealer_proofs.find(d);
-        if (it == m.dealer_proofs.end() ||
-            !verify_dealer_proof(ring, params_.tau, it->second, params_.ready_quorum())) {
-          valid = false;
-          break;
+      engine::VerifyScope scope;
+      if (scope.parallel()) {
+        // Independent per-dealer proof sets verify concurrently (each one
+        // additionally chunks inside verify_dealer_proof; nested scopes run
+        // inline on workers). The sequential first-failure break only saved
+        // CPU — the `valid` verdict is the same AND either way.
+        std::vector<char> oks;
+        oks.reserve(m.q.size());
+        std::vector<const DealerProof*> proofs;
+        proofs.reserve(m.q.size());
+        for (sim::NodeId d : m.q) {
+          auto it = m.dealer_proofs.find(d);
+          if (it == m.dealer_proofs.end()) {
+            valid = false;
+            break;
+          }
+          proofs.push_back(&it->second);
+        }
+        if (valid) {
+          oks.assign(proofs.size(), 0);
+          const crypto::Keyring* ringp = &ring;
+          const std::uint32_t tau = params_.tau;
+          const std::size_t quorum = params_.ready_quorum();
+          for (std::size_t w = 0; w < proofs.size(); ++w) {
+            const DealerProof* proof = proofs[w];
+            char* ok = &oks[w];
+            scope.push([ringp, tau, proof, quorum, ok] {
+              *ok = verify_dealer_proof(*ringp, tau, *proof, quorum) ? 1 : 0;
+            });
+          }
+          scope.join();
+          for (char ok : oks) {
+            if (ok == 0) valid = false;
+          }
+        }
+      } else {
+        for (sim::NodeId d : m.q) {
+          auto it = m.dealer_proofs.find(d);
+          if (it == m.dealer_proofs.end() ||
+              !verify_dealer_proof(ring, params_.tau, it->second, params_.ready_quorum())) {
+            valid = false;
+            break;
+          }
         }
       }
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "engine/parallel_verify.hpp"
+
 namespace dkg::core {
 
 Bytes node_set_bytes(const NodeSet& q) {
@@ -48,7 +50,10 @@ bool verify_dealer_proof(const crypto::Keyring& ring, std::uint32_t tau, const D
     if (!signers.insert(s.signer).second) continue;
     refs.push_back({s.signer, &s.sig});
   }
-  return ring.verify_many(refs, payload, bad_signers) && signers.size() >= quorum;
+  // Chunked across the verify pool; bad_signers order and verdict are
+  // identical to the sequential verify_many.
+  return engine::parallel_verify_many(ring, refs, payload, bad_signers) &&
+         signers.size() >= quorum;
 }
 
 void ProposalProof::serialize(Writer& w) const {
@@ -100,7 +105,8 @@ bool verify_signer_sigs(const crypto::Keyring& ring, const std::vector<SignerSig
     if (!signers.insert(s.signer).second) continue;
     refs.push_back({s.signer, &s.sig});
   }
-  return ring.verify_many(refs, payload, bad_signers) && signers.size() >= quorum;
+  return engine::parallel_verify_many(ring, refs, payload, bad_signers) &&
+         signers.size() >= quorum;
 }
 }  // namespace
 

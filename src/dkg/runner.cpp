@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/lagrange.hpp"
+#include "engine/parallel_verify.hpp"
 
 namespace dkg::core {
 
@@ -107,7 +108,7 @@ bool DkgRunner::outputs_consistent() const {
   // (which here means genuine inconsistency — the check still fails, but
   // via the path that pinpoints the offender deterministically).
   crypto::Drbg rng(cfg_.seed ^ 0x76657269667921ULL);  // "verify!"
-  if (vec.verify_share_batch(shares, rng)) return true;
+  if (engine::parallel_verify_share_batch(vec, shares, rng)) return true;
   for (const auto& [id, share] : shares) {
     if (!vec.verify_share(id, share)) return false;
   }

@@ -1,0 +1,198 @@
+#include "engine/parallel_verify.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "engine/verify_pool.hpp"
+
+namespace dkg::engine {
+
+namespace {
+
+/// Contiguous [lo, hi) ranges splitting `total` items into at most `jobs`
+/// near-equal chunks (first chunks one longer when it does not divide).
+std::vector<std::pair<std::size_t, std::size_t>> split_ranges(std::size_t total, unsigned jobs) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  std::size_t parts = std::min<std::size_t>(jobs, total);
+  if (parts == 0) return out;
+  std::size_t base = total / parts, rem = total % parts, lo = 0;
+  for (std::size_t w = 0; w < parts; ++w) {
+    std::size_t hi = lo + base + (w < rem ? 1 : 0);
+    out.emplace_back(lo, hi);
+    lo = hi;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool parallel_verify_poly(const crypto::FeldmanMatrix& c, std::uint64_t i,
+                          const crypto::Polynomial& a) {
+  VerifyScope scope;
+  if (!scope.parallel()) return c.verify_poly(i, a);
+  auto ranges = split_ranges(c.degree() + 1, scope.jobs());
+  std::vector<char> ok(ranges.size(), 1);
+  for (std::size_t w = 0; w < ranges.size(); ++w) {
+    auto [lo, hi] = ranges[w];
+    scope.push([&c, i, &a, lo, hi, &ok, w] { ok[w] = c.verify_poly_range(i, a, lo, hi) ? 1 : 0; });
+  }
+  scope.join();
+  return std::all_of(ok.begin(), ok.end(), [](char v) { return v != 0; });
+}
+
+bool parallel_verify_poly_col(const crypto::FeldmanMatrix& c, std::uint64_t i,
+                              const crypto::Polynomial& b) {
+  VerifyScope scope;
+  if (!scope.parallel()) return c.verify_poly_col(i, b);
+  auto ranges = split_ranges(c.degree() + 1, scope.jobs());
+  std::vector<char> ok(ranges.size(), 1);
+  for (std::size_t w = 0; w < ranges.size(); ++w) {
+    auto [lo, hi] = ranges[w];
+    scope.push(
+        [&c, i, &b, lo, hi, &ok, w] { ok[w] = c.verify_poly_col_range(i, b, lo, hi) ? 1 : 0; });
+  }
+  scope.join();
+  return std::all_of(ok.begin(), ok.end(), [](char v) { return v != 0; });
+}
+
+bool parallel_verify_poly(const crypto::PedersenMatrix& c, std::uint64_t i,
+                          const crypto::Polynomial& a, const crypto::Polynomial& a_prime) {
+  VerifyScope scope;
+  if (!scope.parallel()) return c.verify_poly(i, a, a_prime);
+  auto ranges = split_ranges(c.degree() + 1, scope.jobs());
+  std::vector<char> ok(ranges.size(), 1);
+  for (std::size_t w = 0; w < ranges.size(); ++w) {
+    auto [lo, hi] = ranges[w];
+    scope.push([&c, i, &a, &a_prime, lo, hi, &ok, w] {
+      ok[w] = c.verify_poly_range(i, a, a_prime, lo, hi) ? 1 : 0;
+    });
+  }
+  scope.join();
+  return std::all_of(ok.begin(), ok.end(), [](char v) { return v != 0; });
+}
+
+namespace {
+
+crypto::FeldmanVector parallel_projection(const crypto::FeldmanMatrix& c, std::uint64_t idx,
+                                          bool row) {
+  VerifyScope scope;
+  if (!scope.parallel()) return row ? c.row_commitment(idx) : c.col_commitment(idx);
+  auto ranges = split_ranges(c.degree() + 1, scope.jobs());
+  std::vector<std::vector<crypto::Element>> parts(ranges.size());
+  for (std::size_t w = 0; w < ranges.size(); ++w) {
+    auto [lo, hi] = ranges[w];
+    scope.push([&c, idx, row, lo, hi, &parts, w] {
+      parts[w] = row ? c.row_commitment_entries(idx, lo, hi) : c.col_commitment_entries(idx, lo, hi);
+    });
+  }
+  scope.join();
+  std::vector<crypto::Element> entries;
+  entries.reserve(c.degree() + 1);
+  for (auto& p : parts) {
+    for (auto& e : p) entries.push_back(std::move(e));
+  }
+  return crypto::FeldmanVector(std::move(entries), c.order_q_entries());
+}
+
+}  // namespace
+
+crypto::FeldmanVector parallel_row_commitment(const crypto::FeldmanMatrix& c, std::uint64_t i) {
+  return parallel_projection(c, i, /*row=*/true);
+}
+
+crypto::FeldmanVector parallel_col_commitment(const crypto::FeldmanMatrix& c, std::uint64_t m) {
+  return parallel_projection(c, m, /*row=*/false);
+}
+
+std::vector<crypto::Scalar> parallel_eval_row(const crypto::Polynomial& row, std::size_t n) {
+  std::vector<crypto::Scalar> out(n);
+  VerifyScope scope;
+  auto ranges = split_ranges(n, scope.parallel() ? scope.jobs() : 1);
+  for (auto [lo, hi] : ranges) {
+    scope.push([&row, &out, lo, hi] {
+      for (std::size_t k = lo; k < hi; ++k) {
+        // reveal-ok: each evaluation row(j) is an echo/ready point addressed
+        // to recipient P_j, who is entitled to it (Fig 1 echo/ready rounds);
+        // the sequential call sites carried the same justification.
+        out[k] = row.eval_at(k + 1).reveal();
+      }
+    });
+  }
+  scope.join();
+  return out;
+}
+
+bool parallel_verify_share_batch(
+    const crypto::FeldmanVector& vec,
+    const std::vector<std::pair<std::uint64_t, crypto::Scalar>>& shares, crypto::Drbg& rng) {
+  VerifyScope scope;
+  if (!scope.parallel() || shares.size() < 2) return vec.verify_share_batch(shares, rng);
+  // Fixed chunk size, not jobs-derived: the chunk layout (and so the RLC
+  // coefficient streams) must not depend on --verify-jobs, or a 2-thread and
+  // an 8-thread run could disagree on a malicious input.
+  constexpr std::size_t kChunk = 16;
+  std::size_t chunks = (shares.size() + kChunk - 1) / kChunk;
+  std::vector<char> ok(chunks, 1);
+  std::vector<crypto::Drbg> rngs;
+  rngs.reserve(chunks);
+  for (std::size_t w = 0; w < chunks; ++w) {
+    rngs.push_back(rng.fork("verify-pool/vsb/" + std::to_string(w)));
+  }
+  for (std::size_t w = 0; w < chunks; ++w) {
+    std::size_t lo = w * kChunk, hi = std::min(shares.size(), lo + kChunk);
+    scope.push([&vec, &shares, lo, hi, &ok, &rngs, w] {
+      ok[w] = vec.verify_share_batch_range(shares, lo, hi, rngs[w]) ? 1 : 0;
+    });
+  }
+  scope.join();
+  return std::all_of(ok.begin(), ok.end(), [](char v) { return v != 0; });
+}
+
+bool parallel_verify_many(const crypto::Keyring& ring,
+                          const std::vector<crypto::Keyring::SignerRef>& refs,
+                          const Bytes& payload, std::vector<std::uint32_t>* bad) {
+  VerifyScope scope;
+  if (!scope.parallel() || refs.size() < 8) return ring.verify_many(refs, payload, bad);
+  auto ranges = split_ranges(refs.size(), scope.jobs());
+  std::vector<char> ok(ranges.size(), 1);
+  std::vector<std::vector<std::uint32_t>> bads(ranges.size());
+  for (std::size_t w = 0; w < ranges.size(); ++w) {
+    auto [lo, hi] = ranges[w];
+    scope.push([&ring, &refs, &payload, lo, hi, &ok, &bads, w] {
+      std::vector<crypto::Keyring::SignerRef> chunk(
+          refs.begin() + static_cast<std::ptrdiff_t>(lo),
+          refs.begin() + static_cast<std::ptrdiff_t>(hi));
+      ok[w] = ring.verify_many(chunk, payload, &bads[w]) ? 1 : 0;
+    });
+  }
+  scope.join();
+  bool all = std::all_of(ok.begin(), ok.end(), [](char v) { return v != 0; });
+  if (bad != nullptr) {
+    // Rebuild the sequential emission order: out-of-range refs in scan order
+    // first, then failed signers in check order. A chunk's bad list is its
+    // own (oor ++ failed); the oor prefix length is recomputable from the
+    // refs themselves, so the two sequences concatenate exactly.
+    auto is_oor = [&ring](const crypto::Keyring::SignerRef& r) {
+      return r.signer == 0 || r.signer > ring.size() || r.sig == nullptr;
+    };
+    for (std::size_t w = 0; w < ranges.size(); ++w) {
+      auto [lo, hi] = ranges[w];
+      std::size_t oor = 0;
+      for (std::size_t k = lo; k < hi; ++k) {
+        if (is_oor(refs[k])) ++oor;
+      }
+      for (std::size_t k = 0; k < oor; ++k) bad->push_back(bads[w][k]);
+    }
+    for (std::size_t w = 0; w < ranges.size(); ++w) {
+      auto [lo, hi] = ranges[w];
+      std::size_t oor = 0;
+      for (std::size_t k = lo; k < hi; ++k) {
+        if (is_oor(refs[k])) ++oor;
+      }
+      for (std::size_t k = oor; k < bads[w].size(); ++k) bad->push_back(bads[w][k]);
+    }
+  }
+  return all;
+}
+
+}  // namespace dkg::engine

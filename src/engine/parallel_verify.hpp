@@ -1,0 +1,59 @@
+// Pool-backed helpers over the crypto layer's splittable verification entry
+// points (feldman/pedersen range checks, chunked batch verifies, chunked
+// verify_many). Every helper is a drop-in for its sequential counterpart:
+// when the pool is inactive (knob off, jobs <= 1, or already inside a pool
+// task) it calls the exact sequential code path, and when active it splits
+// the work across a VerifyScope and merges results in deterministic spec
+// order — verdicts, bad_signers attribution and all observable effects are
+// identical either way. See verify_pool.hpp for the purity contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/feldman.hpp"
+#include "crypto/keyring.hpp"
+#include "crypto/pedersen.hpp"
+
+namespace dkg::engine {
+
+/// verify_poly with the t+1 column checks split across the pool.
+bool parallel_verify_poly(const crypto::FeldmanMatrix& c, std::uint64_t i,
+                          const crypto::Polynomial& a);
+/// verify_poly_col with the t+1 row checks split across the pool.
+bool parallel_verify_poly_col(const crypto::FeldmanMatrix& c, std::uint64_t i,
+                              const crypto::Polynomial& b);
+/// PedersenMatrix::verify_poly, column-split.
+bool parallel_verify_poly(const crypto::PedersenMatrix& c, std::uint64_t i,
+                          const crypto::Polynomial& a, const crypto::Polynomial& a_prime);
+
+/// row_commitment / col_commitment with the t+1 entry products split across
+/// the pool (identical entries, identical order).
+crypto::FeldmanVector parallel_row_commitment(const crypto::FeldmanMatrix& c, std::uint64_t i);
+crypto::FeldmanVector parallel_col_commitment(const crypto::FeldmanMatrix& c, std::uint64_t m);
+
+/// The echo/ready fan-out evaluations row(1..n), revealed for their
+/// recipients, computed index-parallel. out[j-1] = row(j). Pure function of
+/// (row, n): identical values in any mode.
+std::vector<crypto::Scalar> parallel_eval_row(const crypto::Polynomial& row, std::size_t n);
+
+/// verify_share_batch, chunked. Pool-off runs the exact sequential RLC over
+/// `rng`; pool-on splits into fixed-size chunks with fork()-derived
+/// coefficient streams (layout independent of the job count, so the verdict
+/// does not depend on --verify-jobs). Both sides accept every honest input
+/// and reject bad input whp; callers already per-share-fallback on reject.
+/// The caller must not rely on `rng`'s position afterwards.
+bool parallel_verify_share_batch(const crypto::FeldmanVector& vec,
+                                 const std::vector<std::pair<std::uint64_t, crypto::Scalar>>& shares,
+                                 crypto::Drbg& rng);
+
+/// Keyring::verify_many, chunked across the pool. The merged `bad` list is
+/// provably identical to the sequential one for any chunking: verify_many
+/// emits out-of-range refs in scan order first, then failed signers in check
+/// order, and concatenating contiguous chunks preserves both orders.
+bool parallel_verify_many(const crypto::Keyring& ring,
+                          const std::vector<crypto::Keyring::SignerRef>& refs,
+                          const Bytes& payload, std::vector<std::uint32_t>* bad);
+
+}  // namespace dkg::engine

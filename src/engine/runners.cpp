@@ -10,6 +10,7 @@
 #include "baseline/joint_feldman.hpp"
 #include "baseline/sync_network.hpp"
 #include "dkg/runner.hpp"
+#include "engine/verify_pool.hpp"
 #include "groupmod/node_add.hpp"
 #include "proactive/runner.hpp"
 #include "vss/avss.hpp"
@@ -287,6 +288,13 @@ const ScenarioRunner& runner_for(Variant v) {
   return dkg;
 }
 
-ScenarioResult run_scenario(const ScenarioSpec& spec) { return runner_for(spec.variant).run(spec); }
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  // The spec's verify-jobs cap rides a thread-local so every verification
+  // site under this harness run (and nothing outside it) sees it — the
+  // SweepDriver's workers each run whole scenarios, so scoping per-run is
+  // exactly per-thread.
+  ScopedVerifyJobs jobs(spec.verify_jobs);
+  return runner_for(spec.variant).run(spec);
+}
 
 }  // namespace dkg::engine

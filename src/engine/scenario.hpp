@@ -82,6 +82,13 @@ struct ScenarioSpec {
   std::uint64_t max_events = 50'000'000;
   std::size_t max_rounds = 64;
 
+  /// Intra-scenario verification parallelism (engine/verify_pool.hpp): the
+  /// scenario's cap on verify threads. 0 inherits the process-wide
+  /// VerifyPool::configure() value; 1 forces sequential verification for
+  /// this scenario regardless of pool size. Simulated metrics are
+  /// bit-identical for every value — only cpu_ms moves.
+  unsigned verify_jobs = 0;
+
   /// Stable per-scenario seed: mixes `seed` with the scenario's identity
   /// (variant, group, n/t/f, mode, label and an optional caller domain) so
   /// grids can derive distinct, reproducible sub-seeds without hand-picking

@@ -1,0 +1,211 @@
+#include "engine/verify_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace dkg::engine {
+
+namespace {
+std::atomic<bool> g_pool_on{true};
+thread_local unsigned t_verify_jobs = 0;
+}  // namespace
+
+bool verify_pool_enabled() { return g_pool_on.load(std::memory_order_relaxed); }
+void set_verify_pool(bool on) { g_pool_on.store(on, std::memory_order_relaxed); }
+
+unsigned current_verify_jobs() { return t_verify_jobs; }
+
+ScopedVerifyJobs::ScopedVerifyJobs(unsigned jobs) : prev_(t_verify_jobs) { t_verify_jobs = jobs; }
+ScopedVerifyJobs::~ScopedVerifyJobs() { t_verify_jobs = prev_; }
+
+// --- scope state ------------------------------------------------------------
+
+/// All synchronization runs through the pool's one mutex: tasks are tens of
+/// microseconds of modular arithmetic, so a ~100ns lock per claim is noise,
+/// and a single lock order makes the owner/worker/destructor interplay easy
+/// to reason about (and for TSan to certify).
+struct VerifyScope::State {
+  std::vector<std::function<void()>> fns;
+  std::size_t next = 0;      // first unclaimed task
+  std::size_t finished = 0;  // tasks fully executed
+  std::exception_ptr err;    // first task exception (rethrown at join)
+  std::condition_variable done_cv;
+};
+
+struct VerifyPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::vector<std::shared_ptr<VerifyScope::State>> active;  // scopes with (possible) work
+  std::vector<std::thread> workers;
+  bool stop = false;
+  unsigned jobs = 1;
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      std::shared_ptr<VerifyScope::State> st;
+      for (const auto& s : active) {
+        if (s->next < s->fns.size()) {
+          st = s;
+          break;
+        }
+      }
+      if (st == nullptr) {
+        if (stop) return;
+        work_cv.wait(lock);
+        continue;
+      }
+      run_one(*st, lock);
+    }
+  }
+
+  /// Claims and runs one task of `st`. Called with `lock` held; releases it
+  /// around the task body.
+  void run_one(VerifyScope::State& st, std::unique_lock<std::mutex>& lock) {
+    std::size_t idx = st.next++;
+    std::function<void()> fn = std::move(st.fns[idx]);
+    lock.unlock();
+    std::exception_ptr err;
+    {
+      common::WorkerTaskGuard guard;
+      try {
+        fn();
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    lock.lock();
+    if (err && !st.err) st.err = err;
+    if (++st.finished == st.fns.size()) st.done_cv.notify_all();
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+    workers.clear();
+    stop = false;
+  }
+};
+
+VerifyPool& VerifyPool::instance() {
+  static VerifyPool pool;
+  return pool;
+}
+
+VerifyPool::Impl& VerifyPool::impl() {
+  static Impl* impl = new Impl;  // leaked: workers may outlive static dtors
+  return *impl;
+}
+
+VerifyPool::~VerifyPool() { impl().stop_workers(); }
+
+void VerifyPool::configure(unsigned jobs) {
+  Impl& im = impl();
+  if (jobs < 1) jobs = 1;
+  im.stop_workers();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.jobs = jobs;
+  }
+  for (unsigned i = 0; i + 1 < jobs; ++i) {
+    im.workers.emplace_back([&im] { im.worker_loop(); });
+  }
+}
+
+unsigned VerifyPool::configured_jobs() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.jobs;
+}
+
+unsigned VerifyPool::cooperative_jobs(unsigned sweep_jobs) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (sweep_jobs == 0) sweep_jobs = hw;  // SweepDriver's own default
+  unsigned share = hw / sweep_jobs;
+  return share > 1 ? share : 1;
+}
+
+namespace {
+unsigned effective_jobs() {
+  unsigned configured = VerifyPool::instance().configured_jobs();
+  unsigned wanted = current_verify_jobs();
+  if (wanted == 0 || wanted > configured) wanted = configured;
+  return wanted;
+}
+}  // namespace
+
+bool verify_parallel_active() {
+  return verify_pool_enabled() && effective_jobs() > 1 && !common::in_worker_task();
+}
+
+// --- VerifyScope ------------------------------------------------------------
+
+VerifyScope::VerifyScope() {
+  if (!verify_parallel_active()) return;
+  parallel_ = true;
+  jobs_ = effective_jobs();
+  state_ = std::make_shared<State>();
+  VerifyPool::Impl& im = VerifyPool::impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.active.push_back(state_);
+}
+
+VerifyScope::~VerifyScope() {
+  if (!parallel_) return;
+  try {
+    join();
+  } catch (...) {
+    // A task exception surfacing only at destruction has no handler to go
+    // to; join() already guaranteed no task still runs.
+  }
+  VerifyPool::Impl& im = VerifyPool::impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.active.erase(std::remove(im.active.begin(), im.active.end(), state_), im.active.end());
+}
+
+void VerifyScope::push(std::function<void()> fn) {
+  if (!parallel_) {
+    // Inline mode: run now, on the caller, under the same purity guard the
+    // workers use — byte-identical effects, sequential order.
+    common::WorkerTaskGuard guard;
+    fn();
+    return;
+  }
+  joined_ = false;
+  VerifyPool::Impl& im = VerifyPool::impl();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    state_->fns.push_back(std::move(fn));
+  }
+  im.work_cv.notify_one();
+}
+
+void VerifyScope::join() {
+  if (!parallel_ || joined_) return;
+  joined_ = true;
+  VerifyPool::Impl& im = VerifyPool::impl();
+  std::unique_lock<std::mutex> lock(im.mu);
+  // Help drain our own queue: the owner is one of the pool's `jobs` threads.
+  while (state_->next < state_->fns.size()) im.run_one(*state_, lock);
+  state_->done_cv.wait(lock, [&] { return state_->finished == state_->fns.size(); });
+  std::exception_ptr err = state_->err;
+  state_->err = nullptr;
+  state_->fns.clear();
+  state_->next = 0;
+  state_->finished = 0;
+  if (err) {
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace dkg::engine

@@ -1,0 +1,121 @@
+// VerifyPool: intra-scenario parallel verification (the post-PR-7 E4 lever).
+//
+// The SweepDriver parallelizes ACROSS scenarios, but one big scenario (E4
+// full-commitment n=64) is a single-threaded event loop whose CPU is almost
+// entirely commitment/share/signature verification — pure, commutative
+// checks with no transcript effects. This pool fans exactly those checks out
+// across worker threads while the event loop stays sequential:
+//
+//  * VerifyPool — one process-wide worker set, sized by `configure(jobs)`
+//    (the bench `--verify-jobs N` knob; `cooperative_jobs()` divides the
+//    hardware by the SweepDriver's `--jobs` so sweep x pool stays bounded).
+//  * VerifyScope — a fork-join region: handlers push independent pure
+//    closures and join before acting on any verdict. Workers steal pushed
+//    tasks; join() claims whatever is still queued and runs it on the owner
+//    thread, so a scope can never deadlock even with zero free workers.
+//    Scopes opened from inside a pool task degrade to immediate inline
+//    execution (no nested fan-out, no lock-ordering hazards).
+//  * set_verify_pool(false) — the A/B pin (the set_shared_fanout pattern):
+//    transcripts, message/byte counts, Metrics and JSON must be
+//    bit-identical pool on/off, modulo cpu_ms. tests/test_verify_pool.cpp
+//    holds that line; the tsan CI leg races the pool against every engine
+//    cache (Montgomery images, combs, decode, sig cache, point memo).
+//
+// Determinism contract for callers: tasks must be pure with respect to the
+// simulation (no ctx.send, no Metrics, no shared mutable protocol state);
+// all observable effects happen on the event thread after join(), merged in
+// spec order. The simulator enforces the send half of this by throwing from
+// any send/timer call made under common::in_worker_task().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/task_guard.hpp"
+
+namespace dkg::engine {
+
+/// A/B knob: when off, every VerifyScope runs its tasks inline at push time
+/// regardless of pool configuration. Default on (a pool configured with
+/// jobs <= 1 is equally inert, which is the usual state).
+bool verify_pool_enabled();
+void set_verify_pool(bool on);
+
+/// Per-thread verify-jobs override (ScenarioSpec::verify_jobs): 0 inherits
+/// the process-wide configure() value. The effective parallelism of a scope
+/// is min(override-or-configured, configured) — a scenario can restrict
+/// itself below the pool size but cannot conjure workers that do not exist.
+unsigned current_verify_jobs();
+
+class ScopedVerifyJobs {
+ public:
+  explicit ScopedVerifyJobs(unsigned jobs);
+  ~ScopedVerifyJobs();
+  ScopedVerifyJobs(const ScopedVerifyJobs&) = delete;
+  ScopedVerifyJobs& operator=(const ScopedVerifyJobs&) = delete;
+
+ private:
+  unsigned prev_;
+};
+
+class VerifyPool {
+ public:
+  static VerifyPool& instance();
+
+  /// Sizes the pool to `jobs` total verify threads (the caller counts as
+  /// one, so jobs-1 workers are spawned). jobs <= 1 stops all workers.
+  /// Reconfiguring joins the old workers first; do not call with scopes in
+  /// flight (benches configure once, up front).
+  void configure(unsigned jobs);
+  unsigned configured_jobs() const;
+
+  /// Cooperative sizing against the SweepDriver: with `sweep_jobs` scenario
+  /// threads each opening scopes, give each scenario its fair slice of the
+  /// hardware so sweep x pool never oversubscribes by design.
+  static unsigned cooperative_jobs(unsigned sweep_jobs);
+
+  ~VerifyPool();
+
+ private:
+  friend class VerifyScope;
+  VerifyPool() = default;
+  struct Impl;
+  static Impl& impl();
+};
+
+/// True when a scope opened right now on this thread would actually fan out
+/// (knob on, workers alive, effective jobs > 1, not already inside a task).
+/// Handlers use this to pick between the sequential code path and the
+/// deferred/parallel one.
+bool verify_parallel_active();
+
+/// One fork-join region. Tasks pushed after construction run on pool
+/// workers (or inline, see header comment); join() blocks until every task
+/// finished and rethrows the first task exception. The destructor joins.
+class VerifyScope {
+ public:
+  VerifyScope();
+  ~VerifyScope();
+  VerifyScope(const VerifyScope&) = delete;
+  VerifyScope& operator=(const VerifyScope&) = delete;
+
+  /// Whether this scope dispatches to workers (fixed at construction).
+  bool parallel() const { return parallel_; }
+  /// Effective job count for chunking decisions: 1 when inline.
+  unsigned jobs() const { return jobs_; }
+
+  void push(std::function<void()> fn);
+  void join();
+
+ private:
+  friend class VerifyPool;
+  struct State;
+  std::shared_ptr<State> state_;  // null when inline
+  bool parallel_ = false;
+  unsigned jobs_ = 1;
+  bool joined_ = false;
+};
+
+}  // namespace dkg::engine

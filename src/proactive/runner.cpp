@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/lagrange.hpp"
+#include "engine/parallel_verify.hpp"
 
 namespace dkg::proactive {
 
@@ -167,7 +168,7 @@ bool ProactiveRunner::shares_consistent() const {
   }
   if (vec == nullptr) return true;
   crypto::Drbg rng(cfg_.seed ^ 0x70726f61637469ULL);  // "proacti"
-  if (vec->verify_share_batch(shares, rng)) return true;
+  if (engine::parallel_verify_share_batch(*vec, shares, rng)) return true;
   for (const auto& [i, share] : shares) {
     if (!vec->verify_share(i, share)) return false;
   }

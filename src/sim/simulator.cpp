@@ -3,7 +3,22 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/task_guard.hpp"
+
 namespace dkg::sim {
+
+namespace {
+// Verify-pool tasks must be pure: a send or timer scheduled from a worker
+// would be ordered by OS scheduling, not by the deterministic event queue,
+// and would race the queue itself. Throwing here turns such a bug into a
+// loud failure instead of a silently nondeterministic transcript.
+void reject_worker_task(const char* what) {
+  if (common::in_worker_task()) {
+    throw std::logic_error(std::string("Simulator: ") + what +
+                           " called from inside a verify-pool task");
+  }
+}
+}  // namespace
 
 class Simulator::NodeContext : public Context {
  public:
@@ -75,6 +90,7 @@ void Simulator::schedule_recover(NodeId id, Time at) {
 }
 
 void Simulator::internal_send(NodeId from, NodeId to, MessagePtr msg) {
+  reject_worker_task("send");
   if (to == 0 || to >= nodes_.size()) return;  // tolerate stale membership views
   metrics_.record_send(msg->type(), msg->wire_size());
   Time d = delay_->delay(from, to, msg, now_, rng_);
@@ -84,6 +100,7 @@ void Simulator::internal_send(NodeId from, NodeId to, MessagePtr msg) {
 
 void Simulator::internal_multicast(NodeId from, const std::vector<NodeId>& to,
                                    const MessagePtr& msg) {
+  reject_worker_task("multicast");
   if (!shared_fanout_) {
     for (NodeId j : to) internal_send(from, j, msg);
     return;
@@ -107,6 +124,7 @@ void Simulator::internal_multicast(NodeId from, const std::vector<NodeId>& to,
 }
 
 void Simulator::internal_start_timer(NodeId who, TimerId id, Time after) {
+  reject_worker_task("start_timer");
   std::uint64_t gen = ++timer_gen_[{who, id}];
   if (after == 0) after = 1;
   queue_.push(Event{now_ + after, seq_++, EventKind::Timer, who, 0, nullptr, id, gen});

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "crypto/lagrange.hpp"
+#include "engine/parallel_verify.hpp"
+#include "engine/verify_pool.hpp"
 
 namespace dkg::vss {
 
@@ -125,8 +127,10 @@ void AvssInstance::on_send(sim::Context& ctx, sim::NodeId from, const AvssSendMs
   if (from != sid_.dealer || got_send_) return;
   if (!m.commitment || m.commitment->degree() != params_.t) return;
   got_send_ = true;
-  // verify row against columns of C and column against rows.
-  if (!m.commitment->verify_poly(self_, m.row) || !m.commitment->verify_poly_col(self_, m.col)) {
+  // verify row against columns of C and column against rows (column splits
+  // across the verify pool; sequential short-circuit order preserved).
+  if (!engine::parallel_verify_poly(*m.commitment, self_, m.row) ||
+      !engine::parallel_verify_poly_col(*m.commitment, self_, m.col)) {
     return;
   }
   Bytes digest = m.commitment->digest();
@@ -134,12 +138,14 @@ void AvssInstance::on_send(sim::Context& ctx, sim::NodeId from, const AvssSendMs
   pc.commitment = m.commitment;
   pc.row = m.row;
   pc.col = m.col;
+  // To P_j: alpha' = a_i(j) = f(i, j) (P_j checks against its column) and
+  // beta' = b_i(j) = f(j, i) (P_j checks against its row). Evaluations split
+  // across the pool; sends stay on the event thread in recipient order.
+  std::vector<Scalar> alphas = engine::parallel_eval_row(m.row, params_.n);
+  std::vector<Scalar> betas = engine::parallel_eval_row(m.col, params_.n);
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
-    // To P_j: alpha' = a_i(j) = f(i, j) (P_j checks against its column) and
-    // beta' = b_i(j) = f(j, i) (P_j checks against its row).
-    // reveal-ok: both echo points are addressed to P_j, who is entitled to them.
-    ctx.send(j, std::make_shared<AvssEchoMsg>(sid_, m.commitment, m.row.eval_at(j).reveal(),
-                                              m.col.eval_at(j).reveal()));
+    ctx.send(j, std::make_shared<AvssEchoMsg>(sid_, m.commitment, std::move(alphas[j - 1]),
+                                              std::move(betas[j - 1])));
   }
 }
 
@@ -152,10 +158,27 @@ void AvssInstance::on_point(sim::Context& ctx, sim::NodeId from,
   if (!pc.commitment) pc.commitment = c;
   // alpha claims f(m, i); beta claims f(i, m). Both verify against cached
   // fixed-i projections of C (bit-identical to verify_point, (t+1) exps).
-  if (!pc.row_proj) pc.row_proj = pc.commitment->row_commitment(self_);
-  if (!pc.col_proj) pc.col_proj = pc.commitment->col_commitment(self_);
-  if (!pc.row_proj->verify_share(from, alpha)) return;
-  if (!pc.col_proj->verify_share(from, beta)) return;
+  // The two independent checks run as one fork-join scope (intra-event
+  // parallelism only: AVSS keeps no cross-event backlog because each check
+  // is a fixed pair — there is no per-event flood to amortize, and the
+  // rejection path must stay silent in the same event either way).
+  if (!pc.row_proj) pc.row_proj = engine::parallel_row_commitment(*pc.commitment, self_);
+  if (!pc.col_proj) pc.col_proj = engine::parallel_col_commitment(*pc.commitment, self_);
+  {
+    engine::VerifyScope scope;
+    if (scope.parallel()) {
+      char a_ok = 0, b_ok = 0;
+      const crypto::FeldmanVector* rp = &*pc.row_proj;
+      const crypto::FeldmanVector* cp = &*pc.col_proj;
+      scope.push([rp, from, &alpha, &a_ok] { a_ok = rp->verify_share(from, alpha) ? 1 : 0; });
+      scope.push([cp, from, &beta, &b_ok] { b_ok = cp->verify_share(from, beta) ? 1 : 0; });
+      scope.join();
+      if (a_ok == 0 || b_ok == 0) return;
+    } else {
+      if (!pc.row_proj->verify_share(from, alpha)) return;
+      if (!pc.col_proj->verify_share(from, beta)) return;
+    }
+  }
   if (pc.point_senders.insert(from).second) pc.points.emplace_back(from, alpha, beta);
   if (is_ready) {
     pc.readys += 1;
@@ -191,10 +214,13 @@ void AvssInstance::send_ready_round(sim::Context& ctx, PerCommit& pc) {
     pc.col = crypto::interpolate(*params_.grp, alphas);
     pc.row = crypto::interpolate(*params_.grp, betas);
   }
+  // Ready points a_i(j), b_i(j) evaluated across the pool; sends stay on
+  // the event thread in recipient order.
+  std::vector<Scalar> alphas = engine::parallel_eval_row(*pc.row, params_.n);
+  std::vector<Scalar> betas = engine::parallel_eval_row(*pc.col, params_.n);
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
-    // reveal-ok: ready points a_i(j), b_i(j) are addressed to P_j (AVSS ready round).
-    ctx.send(j, std::make_shared<AvssReadyMsg>(sid_, pc.commitment, pc.row->eval_at(j).reveal(),
-                                               pc.col->eval_at(j).reveal()));
+    ctx.send(j, std::make_shared<AvssReadyMsg>(sid_, pc.commitment, std::move(alphas[j - 1]),
+                                               std::move(betas[j - 1])));
   }
 }
 

@@ -2,8 +2,11 @@
 
 #include <stdexcept>
 
+#include "crypto/drbg.hpp"
 #include "crypto/lagrange.hpp"
 #include "crypto/sigverify.hpp"
+#include "engine/parallel_verify.hpp"
+#include "engine/verify_pool.hpp"
 
 namespace dkg::vss {
 
@@ -11,6 +14,69 @@ using crypto::BiPolynomial;
 using crypto::FeldmanMatrix;
 using crypto::Polynomial;
 using crypto::Scalar;
+
+namespace {
+
+// Context stub for post-run backlog drains (rejected() / ~VssInstance).
+// A drain can never fire a transition: poke_deferred folds the moment the
+// OPTIMISTIC tallies (verified + in-flight) cross a Fig-1 threshold, and
+// optimistic counts dominate true counts pointwise — so if the backlog still
+// exists at drain time, its optimistic tallies are below every threshold,
+// and the true tallies after folding are bounded by them. Sends or timers
+// from a drain therefore indicate a logic bug; throw loudly rather than
+// fabricate events outside the simulator's deterministic queue.
+class DrainContext : public sim::Context {
+ public:
+  DrainContext(sim::NodeId self, std::size_t n) : self_(self), n_(n), rng_(0) {}
+
+  sim::NodeId self() const override { return self_; }
+  std::size_t node_count() const override { return n_; }
+  sim::Time now() const override { return 0; }
+  void send(sim::NodeId, sim::MessagePtr) override {
+    throw std::logic_error("HybridVSS: send from deferred-verification drain");
+  }
+  void start_timer(sim::TimerId, sim::Time) override {
+    throw std::logic_error("HybridVSS: timer from deferred-verification drain");
+  }
+  void stop_timer(sim::TimerId) override {}
+  crypto::Drbg& rng() override { return rng_; }
+
+ private:
+  sim::NodeId self_;
+  std::size_t n_;
+  crypto::Drbg rng_;
+};
+
+}  // namespace
+
+VssInstance::PerCommit::PerCommit() = default;
+VssInstance::PerCommit::~PerCommit() = default;
+
+VssInstance::~VssInstance() {
+  // Fold any still-deferred checks so observable counters (rejected_, the
+  // engine's point-memo stats) match the sequential run even for instances
+  // that never complete — a DKG run tears its nodes down with backlogs in
+  // flight, and run_scenario snapshots stats after teardown.
+  try {
+    drain_deferred();
+  } catch (...) {
+    // Never throw out of a destructor; the DrainContext throw path means a
+    // logic bug that dedicated tests catch via rejected().
+  }
+}
+
+std::uint64_t VssInstance::rejected() {
+  drain_deferred();
+  return rejected_;
+}
+
+void VssInstance::drain_deferred() {
+  for (auto& [digest, pc] : commits_) {
+    if (pc.deferred.empty()) continue;
+    DrainContext ctx(self_, params_.n);
+    fold_deferred(ctx, digest, pc);
+  }
+}
 
 VssInstance::VssInstance(VssParams params, SessionId sid, sim::NodeId self)
     : params_(params), sid_(sid), self_(self), buffer_(params.n + 1) {
@@ -93,20 +159,19 @@ void VssInstance::on_send(sim::Context& ctx, sim::NodeId from, const SendMsg& m)
   got_send_ = true;
   Bytes digest = m.commitment->digest();
   learn_commitment(ctx, digest, m.commitment);
-  if (!m.row || !m.commitment->verify_poly(self_, *m.row)) {
+  if (!m.row || !engine::parallel_verify_poly(*m.commitment, self_, *m.row)) {
     // Renewal retransmissions legitimately omit the row; a mismatching row
     // is a faulty dealer. Either way no echo round is triggered.
     if (m.row) ++rejected_;
     return;
   }
-  // Echo a(j) = f(i, j) to every P_j.
+  // Echo a(j) = f(i, j) to every P_j (evaluations split across the pool;
+  // sends stay on the event thread in recipient order).
+  std::vector<Scalar> alphas = engine::parallel_eval_row(*m.row, params_.n);
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
-    // reveal-ok: the echo point f(i, j) is addressed to P_j, who is entitled
-    // to it (Fig 1 echo round).
-    Scalar alpha = m.row->eval_at(j).reveal();
     auto echo = std::make_shared<EchoMsg>(
         sid_, params_.mode == CommitmentMode::Full ? m.commitment : nullptr, digest,
-        std::move(alpha));
+        std::move(alphas[j - 1]));
     send_buffered(ctx, j, std::move(echo));
   }
 }
@@ -125,6 +190,11 @@ void VssInstance::on_echo(sim::Context& ctx, sim::NodeId from, const EchoMsg& m)
     }
     return;
   }
+  if (engine::verify_parallel_active() && !shared_) {
+    deferred_accept(ctx, digest, pc, from, m.point, /*is_ready=*/false, std::nullopt,
+                    /*sig_checked=*/true);
+    return;
+  }
   accept_point(ctx, digest, pc, from, m.point, /*is_ready=*/false, std::nullopt);
 }
 
@@ -133,9 +203,17 @@ void VssInstance::on_ready(sim::Context& ctx, sim::NodeId from, const ReadyMsg& 
   Bytes digest = m.commitment ? m.commitment->digest() : m.digest;
   PerCommit& pc = per_commit(digest);
   if (m.commitment) learn_commitment(ctx, digest, m.commitment);
+  // Pool mode defers the signature check only when the commitment is known
+  // and the instance is live: the commitment-unknown path must verify inline
+  // so the CommitmentReq/buffer transcript stays byte-identical, and a
+  // missing signature rejects inline in both modes (no verify runs at all).
+  const bool pooled = engine::verify_parallel_active() && pc.commitment != nullptr && !shared_;
   if (params_.sign_ready) {
-    if (!m.sig ||
-        !params_.keyring->verify_from(from, ready_payload(digest, pc), *m.sig)) {
+    if (!m.sig) {
+      ++rejected_;
+      return;
+    }
+    if (!pooled && !params_.keyring->verify_from(from, ready_payload(digest, pc), *m.sig)) {
       ++rejected_;
       return;
     }
@@ -146,6 +224,11 @@ void VssInstance::on_ready(sim::Context& ctx, sim::NodeId from, const ReadyMsg& 
       pc.requested_commitment = true;
       ctx.send(from, std::make_shared<CommitmentReq>(sid_, digest));
     }
+    return;
+  }
+  if (pooled) {
+    deferred_accept(ctx, digest, pc, from, m.point, /*is_ready=*/true, m.sig,
+                    /*sig_checked=*/false);
     return;
   }
   accept_point(ctx, digest, pc, from, m.point, /*is_ready=*/true, m.sig);
@@ -162,17 +245,134 @@ void VssInstance::learn_commitment(sim::Context& ctx, const Bytes& digest,
   if (pc.commitment) return;
   pc.commitment = std::move(c);
   // Flush buffered hashed-mode points now that verification is possible.
+  // Buffered ready signatures were already verified inline on arrival, so
+  // the pool path defers only the point checks (sig_checked).
   std::vector<PerCommit::Pending> pend = std::move(pc.pending);
   pc.pending.clear();
   for (const auto& p : pend) {
-    accept_point(ctx, digest, pc, p.from, p.point, p.is_ready, p.sig);
+    if (engine::verify_parallel_active() && !shared_) {
+      deferred_accept(ctx, digest, pc, p.from, p.point, p.is_ready, p.sig,
+                      /*sig_checked=*/true);
+    } else {
+      accept_point(ctx, digest, pc, p.from, p.point, p.is_ready, p.sig);
+    }
     if (shared_) break;
   }
 }
 
+void VssInstance::deferred_accept(sim::Context& ctx, const Bytes& digest, PerCommit& pc,
+                                  sim::NodeId from, const Scalar& alpha, bool is_ready,
+                                  const std::optional<crypto::Signature>& sig, bool sig_checked) {
+  if (!pc.scope) pc.scope = std::make_unique<engine::VerifyScope>();
+  if (!pc.row_proj) pc.row_proj = engine::parallel_row_commitment(*pc.commitment, self_);
+  pc.deferred.emplace_back();
+  PerCommit::Deferred& e = pc.deferred.back();
+  e.from = from;
+  e.point = alpha;
+  e.is_ready = is_ready;
+  e.sig = sig;
+  if (is_ready && params_.sign_ready && !sig_checked) {
+    // Payload bytes are memoized on the event thread; the task only verifies.
+    const Bytes* payload = &ready_payload(digest, pc);
+    const crypto::Keyring* ring = params_.keyring.get();
+    PerCommit::Deferred* ep = &e;
+    e.sig_deferred = true;
+    pc.scope->push(
+        [ring, ep, payload] { ep->sig_ok = ring->verify_from(ep->from, *payload, *ep->sig); });
+  }
+  // Skip the point task when the verdict is already determined:
+  //  * folded memo hit — a positively verified point from `from` with this
+  //    exact value sits in pc.points, so accept_point's memo branch resolves
+  //    the entry at fold time (entries only ever accumulate, so a hit now is
+  //    still a hit then);
+  //  * backlog link — an earlier deferred entry with the same (from, value)
+  //    owns a task whose verdict doubles as ours (same projection, same
+  //    inputs ⇒ same deterministic result).
+  bool folded_equal = false;
+  if (crypto::point_memo_enabled() && pc.point_senders.count(from) != 0) {
+    for (const auto& [sender, value] : pc.points) {
+      if (sender == from) {
+        folded_equal = value == alpha;
+        break;
+      }
+    }
+  }
+  if (!folded_equal) {
+    const PerCommit::Deferred* root = nullptr;
+    for (const PerCommit::Deferred& prev : pc.deferred) {
+      if (&prev == &e) break;
+      if (prev.from == from && prev.point == alpha) {
+        // The first matching entry either owns a task or links to the entry
+        // that does (a task-less, link-less match would have been a folded
+        // memo hit, in which case so are we — handled above).
+        root = prev.link != nullptr ? prev.link : &prev;
+        break;
+      }
+    }
+    if (root != nullptr) {
+      e.link = root;
+    } else {
+      e.has_point_task = true;
+      const crypto::FeldmanVector* proj = &*pc.row_proj;
+      PerCommit::Deferred* ep = &e;
+      pc.scope->push([proj, ep] { ep->point_ok = proj->verify_share(ep->from, ep->point); });
+    }
+  }
+  if (is_ready) {
+    pc.pend_readys += 1;
+  } else {
+    pc.pend_echoes += 1;
+  }
+  poke_deferred(ctx, digest, pc);
+}
+
+void VssInstance::poke_deferred(sim::Context& ctx, const Bytes& digest, PerCommit& pc) {
+  // Fold when the optimistic tallies cross any Fig-1 threshold. Optimistic
+  // counts dominate true counts pointwise, so every event where the
+  // sequential run crosses a threshold folds here too — and a fold replays
+  // exact sequential semantics in arrival order, so the transition fires on
+  // the same event with the same content. Extra folds (optimism deflated by
+  // failing checks) merely shorten the backlog; they change nothing
+  // observable. The points >= t+1 interpolation gate is deliberately
+  // ignored: it only restricts firing, never triggers it.
+  std::size_t opt_echoes = pc.echoes + pc.pend_echoes;
+  std::size_t opt_readys = pc.readys + pc.pend_readys;
+  bool trigger =
+      !pc.sent_ready && (opt_echoes >= params_.echo_quorum() || opt_readys >= params_.t + 1);
+  if (opt_readys >= params_.ready_quorum()) trigger = true;
+  if (trigger) fold_deferred(ctx, digest, pc);
+}
+
+void VssInstance::fold_deferred(sim::Context& ctx, const Bytes& digest, PerCommit& pc) {
+  if (pc.deferred.empty()) return;
+  pc.scope->join();
+  for (const PerCommit::Deferred& e : pc.deferred) {
+    // Mirrors the sequential learn_commitment flush: entries past a
+    // completion are dropped without any accounting.
+    if (shared_) break;
+    if (e.sig_deferred && !e.sig_ok) {
+      // Sequential on_ready rejects a bad signature before any point logic —
+      // no memo stats, no point bookkeeping.
+      ++rejected_;
+      continue;
+    }
+    const bool* verdict = nullptr;
+    if (e.has_point_task) {
+      verdict = &e.point_ok;
+    } else if (e.link != nullptr) {
+      verdict = &e.link->point_ok;
+    }
+    accept_point(ctx, digest, pc, e.from, e.point, e.is_ready, e.sig, verdict);
+  }
+  pc.deferred.clear();
+  pc.pend_echoes = 0;
+  pc.pend_readys = 0;
+}
+
 void VssInstance::accept_point(sim::Context& ctx, const Bytes& digest, PerCommit& pc,
                                sim::NodeId from, const Scalar& alpha, bool is_ready,
-                               const std::optional<crypto::Signature>& sig) {
+                               const std::optional<crypto::Signature>& sig,
+                               const bool* verdict) {
   if (shared_) return;
   // verify-point(C, i, m, alpha): alpha must equal f(m, i) — checked against
   // the cached row projection (bit-identical to verify_point, (t+1) exps).
@@ -196,7 +396,10 @@ void VssInstance::accept_point(sim::Context& ctx, const Bytes& digest, PerCommit
   } else {
     crypto::sig_stats_count_point_miss();
     if (!pc.row_proj) pc.row_proj = pc.commitment->row_commitment(self_);
-    if (!pc.row_proj->verify_share(from, alpha)) {
+    // A non-null verdict carries this exact check's result, computed by a
+    // pool task against the same cached projection (fold path).
+    bool ok = verdict != nullptr ? *verdict : pc.row_proj->verify_share(from, alpha);
+    if (!ok) {
       ++rejected_;
       return;
     }
@@ -239,13 +442,13 @@ void VssInstance::send_ready_round(sim::Context& ctx, const Bytes& digest, PerCo
   if (params_.sign_ready) {
     sig = params_.keyring->sign_as(self_, ready_payload(digest, pc));
   }
+  // Ready points a_i(j) evaluated across the pool; sends stay on the event
+  // thread in recipient order.
+  std::vector<Scalar> alphas = engine::parallel_eval_row(*pc.row, params_.n);
   for (sim::NodeId j = 1; j <= params_.n; ++j) {
-    // reveal-ok: the ready point a_i(j) is addressed to P_j, who is entitled
-    // to it (Fig 1 ready round).
-    Scalar alpha = pc.row->eval_at(j).reveal();
     auto ready = std::make_shared<ReadyMsg>(
         sid_, params_.mode == CommitmentMode::Full ? pc.commitment : nullptr, digest,
-        std::move(alpha), sig);
+        std::move(alphas[j - 1]), sig);
     send_buffered(ctx, j, std::move(ready));
   }
 }

@@ -12,6 +12,7 @@
 //   completion    n-t-f readys      -> s_i = a_i(0), output shared
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -24,6 +25,10 @@
 #include "crypto/keyring.hpp"
 #include "sim/node.hpp"
 #include "vss/vss_messages.hpp"
+
+namespace dkg::engine {
+class VerifyScope;  // engine/verify_pool.hpp — held by pointer, cpp-only dep
+}  // namespace dkg::engine
 
 namespace dkg::vss {
 
@@ -98,8 +103,14 @@ class VssInstance {
   bool has_reconstructed() const { return reconstructed_.has_value(); }
   const crypto::Scalar& reconstructed() const { return *reconstructed_; }
 
-  /// Number of invalid/ignored adversarial inputs seen (for tests).
-  std::uint64_t rejected() const { return rejected_; }
+  /// Number of invalid/ignored adversarial inputs seen (for tests). Folds
+  /// any verification still deferred to the pool first, so the count equals
+  /// the sequential run's at any observation point (non-const for exactly
+  /// that reason).
+  std::uint64_t rejected();
+
+  ~VssInstance();
+  VssInstance(VssInstance&&) = default;
 
  private:
   // Per-commitment bookkeeping (the paper's A_C, e_C, r_C keyed by C).
@@ -128,6 +139,42 @@ class VssInstance {
     Bytes ready_payload;
     bool sent_ready = false;
     bool requested_commitment = false;
+
+    /// Deferred-verification backlog (pool mode only — empty otherwise).
+    /// Echo/ready point (and ready-signature) checks run on pool workers
+    /// across events; entries fold back in arrival order the moment their
+    /// OPTIMISTIC tallies (verified + in-flight) cross a Fig-1 threshold.
+    /// Optimistic counts dominate true counts pointwise, so any event where
+    /// the sequential run crosses a threshold folds here too — and a fold
+    /// replays exact sequential accept_point semantics in arrival order, so
+    /// every transition, send and rejection lands on the same event with
+    /// the same content as the sequential run (tests/test_verify_pool.cpp).
+    struct Deferred {
+      sim::NodeId from = 0;
+      crypto::Scalar point;
+      bool is_ready = false;
+      std::optional<crypto::Signature> sig;
+      bool sig_deferred = false;  // signature verdict comes from a task
+      // Task outputs: each written by exactly one pool task before the
+      // fold's join, read only after it.
+      bool sig_ok = false;
+      bool point_ok = false;
+      bool has_point_task = false;
+      /// Earlier backlog entry with the same (from, value): its task's
+      /// verdict doubles as ours (same projection, same inputs), mirroring
+      /// the point memo's echo/ready dedup without a second verify task.
+      const Deferred* link = nullptr;
+    };
+    std::deque<Deferred> deferred;  // deque: stable addresses for link/tasks
+    std::size_t pend_echoes = 0;
+    std::size_t pend_readys = 0;
+    /// Fork-join scope owning this backlog's tasks. Declared LAST so its
+    /// destructor joins in-flight tasks before any field they touch dies.
+    std::unique_ptr<engine::VerifyScope> scope;
+
+    PerCommit();
+    ~PerCommit();
+    PerCommit(PerCommit&&) = default;
   };
 
   void on_send(sim::Context& ctx, sim::NodeId from, const SendMsg& m);
@@ -143,10 +190,30 @@ class VssInstance {
   const Bytes& ready_payload(const Bytes& digest, PerCommit& pc) const;
   void learn_commitment(sim::Context& ctx, const Bytes& digest,
                         std::shared_ptr<const crypto::FeldmanMatrix> c);
-  /// Verifies and accounts one point; fires transitions.
+  /// Verifies and accounts one point; fires transitions. When `verdict` is
+  /// non-null it carries a pool task's precomputed verify_share result and
+  /// replaces the inline check (memo lookups still run first, so point-memo
+  /// stats are counted in the same order as the sequential run).
   void accept_point(sim::Context& ctx, const Bytes& digest, PerCommit& pc, sim::NodeId from,
                     const crypto::Scalar& alpha, bool is_ready,
-                    const std::optional<crypto::Signature>& sig);
+                    const std::optional<crypto::Signature>& sig,
+                    const bool* verdict = nullptr);
+  /// Pool mode: queue one echo/ready point for cross-event verification and
+  /// poke the fold trigger. `sig_checked` marks a signature already verified
+  /// inline (commitment-request flush path).
+  void deferred_accept(sim::Context& ctx, const Bytes& digest, PerCommit& pc, sim::NodeId from,
+                       const crypto::Scalar& alpha, bool is_ready,
+                       const std::optional<crypto::Signature>& sig, bool sig_checked);
+  /// Folds the backlog iff optimistic (verified + in-flight) tallies cross a
+  /// Fig-1 threshold; superset of the sequential trigger events.
+  void poke_deferred(sim::Context& ctx, const Bytes& digest, PerCommit& pc);
+  /// Joins the scope and replays the backlog through accept_point in arrival
+  /// order (exact sequential semantics, task verdicts injected).
+  void fold_deferred(sim::Context& ctx, const Bytes& digest, PerCommit& pc);
+  /// Folds every commitment's backlog with a context that forbids sends
+  /// (a drain can never fire a transition — see the .cpp proof); called from
+  /// rejected() and the destructor so pool-mode counters match sequential.
+  void drain_deferred();
   void check_transitions(sim::Context& ctx, const Bytes& digest, PerCommit& pc);
   void send_ready_round(sim::Context& ctx, const Bytes& digest, PerCommit& pc);
   void complete(sim::Context& ctx, const Bytes& digest, PerCommit& pc);

@@ -1,0 +1,278 @@
+// Verify-pool determinism suite (the intra-scenario parallel verification
+// engine, engine/verify_pool.hpp): with the pool on, every simulated
+// observable — transcripts (message counts/bytes), completion times, harness
+// extras, protocol verdicts, bad-signer attribution, point-memo statistics —
+// must be bit-identical to the sequential run; only wall-clock may move.
+// The `pool` ctest label routes this binary through the TSan CI leg, where
+// the concurrency hammer drives every process-wide crypto cache from many
+// worker threads at once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/task_guard.hpp"
+#include "crypto/bipolynomial.hpp"
+#include "crypto/feldman.hpp"
+#include "crypto/keyring.hpp"
+#include "crypto/sigverify.hpp"
+#include "engine/parallel_verify.hpp"
+#include "engine/runner.hpp"
+#include "engine/sweep.hpp"
+#include "engine/verify_pool.hpp"
+#include "sim/simulator.hpp"
+
+namespace dkg {
+namespace {
+
+class VerifyPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine::set_verify_pool(true);
+    engine::VerifyPool::instance().configure(4);
+    crypto::sig_verify_reset_stats();
+  }
+  void TearDown() override {
+    engine::set_verify_pool(true);
+    engine::VerifyPool::instance().configure(1);
+  }
+};
+
+engine::ScenarioSpec base_spec(engine::Variant v, std::size_t n, std::size_t t,
+                               vss::CommitmentMode mode, std::uint64_t seed) {
+  engine::ScenarioSpec spec;
+  spec.label = std::string(engine::variant_name(v)) + " n=" + std::to_string(n);
+  spec.variant = v;
+  spec.n = n;
+  spec.t = t;
+  spec.f = 0;
+  spec.mode = mode;
+  spec.seed = seed;
+  return spec;
+}
+
+/// The grid the A/B tests sweep: every pool-adopting harness, both
+/// commitment modes where they differ.
+std::vector<engine::ScenarioSpec> ab_grid() {
+  std::vector<engine::ScenarioSpec> specs;
+  specs.push_back(base_spec(engine::Variant::Dkg, 7, 2, vss::CommitmentMode::Full, 41));
+  specs.push_back(base_spec(engine::Variant::Dkg, 7, 2, vss::CommitmentMode::Hashed, 42));
+  specs.push_back(base_spec(engine::Variant::HybridVss, 7, 2, vss::CommitmentMode::Full, 43));
+  specs.push_back(base_spec(engine::Variant::HybridVss, 7, 2, vss::CommitmentMode::Hashed, 44));
+  specs.push_back(base_spec(engine::Variant::Avss, 7, 2, vss::CommitmentMode::Full, 45));
+  specs.push_back(base_spec(engine::Variant::Proactive, 7, 2, vss::CommitmentMode::Hashed, 46));
+  return specs;
+}
+
+/// Everything except the measured cpu_ms (the one nondeterministic field).
+void expect_same_simulated_metrics(const engine::ScenarioResult& a,
+                                   const engine::ScenarioResult& b, const std::string& label) {
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.ok, b.ok) << label;
+  EXPECT_EQ(a.messages, b.messages) << label;
+  EXPECT_EQ(a.bytes, b.bytes) << label;
+  EXPECT_EQ(a.completion_time, b.completion_time) << label;
+  ASSERT_EQ(a.extras.size(), b.extras.size()) << label;
+  for (std::size_t i = 0; i < a.extras.size(); ++i) {
+    EXPECT_EQ(a.extras[i].first, b.extras[i].first) << label;
+    EXPECT_EQ(a.extras[i].second, b.extras[i].second) << label << " / " << a.extras[i].first;
+  }
+}
+
+TEST_F(VerifyPoolTest, AbBitIdenticalAcrossVariants) {
+  for (const engine::ScenarioSpec& spec : ab_grid()) {
+    engine::set_verify_pool(false);
+    crypto::sig_verify_reset_stats();
+    engine::ScenarioResult off = engine::run_scenario(spec);
+    crypto::SigVerifyStats stats_off = crypto::sig_verify_stats();
+
+    engine::set_verify_pool(true);
+    crypto::sig_verify_reset_stats();
+    engine::ScenarioResult on = engine::run_scenario(spec);
+    crypto::SigVerifyStats stats_on = crypto::sig_verify_stats();
+
+    expect_same_simulated_metrics(off, on, spec.label);
+    // Point-memo traffic is counted at fold time in sequential arrival
+    // order, so the totals must match exactly. (Sig-cache hit/miss tallies
+    // are deliberately NOT asserted: concurrent workers may race a cache
+    // insert and re-verify — the verdicts and transcripts stay identical.)
+    EXPECT_EQ(stats_off.point_memo_hits, stats_on.point_memo_hits) << spec.label;
+    EXPECT_EQ(stats_off.point_memo_misses, stats_on.point_memo_misses) << spec.label;
+  }
+}
+
+TEST_F(VerifyPoolTest, VerifyJobsOneMatchesPoolOff) {
+  engine::ScenarioSpec spec = base_spec(engine::Variant::Dkg, 7, 2, vss::CommitmentMode::Full, 7);
+  engine::set_verify_pool(false);
+  engine::ScenarioResult off = engine::run_scenario(spec);
+  engine::set_verify_pool(true);
+  spec.verify_jobs = 1;  // per-scenario sequential pin, pool stays configured
+  engine::ScenarioResult one = engine::run_scenario(spec);
+  expect_same_simulated_metrics(off, one, spec.label);
+}
+
+TEST_F(VerifyPoolTest, EventBudgetAccountingIdentical) {
+  engine::ScenarioSpec spec =
+      base_spec(engine::Variant::Dkg, 7, 2, vss::CommitmentMode::Hashed, 11);
+  spec.max_events = 400;  // tight enough to exhaust mid-protocol
+  engine::set_verify_pool(false);
+  engine::ScenarioResult off = engine::run_scenario(spec);
+  engine::set_verify_pool(true);
+  engine::ScenarioResult on = engine::run_scenario(spec);
+  EXPECT_FALSE(off.completed);
+  expect_same_simulated_metrics(off, on, "budget-exhausted dkg");
+}
+
+TEST_F(VerifyPoolTest, BadSignersOrderingMatchesSequential) {
+  const crypto::Group& grp = crypto::Group::tiny256();
+  auto ring = crypto::Keyring::generate(grp, 12, 99);
+  Bytes payload = bytes_of("verify-pool bad-signer ordering");
+  Bytes wrong = bytes_of("a different payload entirely");
+
+  std::vector<crypto::Signature> sigs;
+  sigs.reserve(12);
+  for (std::uint32_t i = 1; i <= 12; ++i) sigs.push_back(ring->sign_as(i, payload));
+  crypto::Signature forged3 = ring->sign_as(3, wrong);
+  crypto::Signature forged9 = ring->sign_as(9, wrong);
+
+  // Mixed batch: in-range valid, in-range invalid, out-of-range ids, a null
+  // sig, and duplicates — enough refs to take the chunked path.
+  std::vector<crypto::Keyring::SignerRef> refs;
+  refs.push_back({1, &sigs[0]});
+  refs.push_back({0, &sigs[0]});       // out of range (id 0)
+  refs.push_back({3, &forged3});       // invalid
+  refs.push_back({4, &sigs[3]});
+  refs.push_back({99, &sigs[0]});      // out of range (id 99)
+  refs.push_back({5, &sigs[4]});
+  refs.push_back({6, nullptr});        // null sig counts as out of range
+  refs.push_back({9, &forged9});       // invalid
+  refs.push_back({9, &forged9});       // duplicate invalid
+  refs.push_back({10, &sigs[9]});
+  refs.push_back({11, &sigs[10]});
+  refs.push_back({12, &sigs[11]});
+
+  std::vector<std::uint32_t> bad_seq;
+  bool ok_seq = ring->verify_many(refs, payload, &bad_seq);
+
+  engine::ScopedVerifyJobs jobs(4);
+  ASSERT_TRUE(engine::verify_parallel_active());
+  std::vector<std::uint32_t> bad_par;
+  bool ok_par = engine::parallel_verify_many(*ring, refs, payload, &bad_par);
+
+  EXPECT_EQ(ok_seq, ok_par);
+  EXPECT_FALSE(ok_par);
+  EXPECT_EQ(bad_seq, bad_par);  // same ids in the same emission order
+}
+
+TEST_F(VerifyPoolTest, SweepJobsTimesVerifyJobsOversubscribed) {
+  // SweepDriver worker threads and verify-pool workers share the machine;
+  // on a small host this oversubscribes the cores — metrics must not care.
+  auto grid = [] {
+    engine::SweepDriver driver;
+    driver.add(base_spec(engine::Variant::Dkg, 7, 2, vss::CommitmentMode::Hashed, 21));
+    driver.add(base_spec(engine::Variant::Dkg, 4, 1, vss::CommitmentMode::Full, 22));
+    driver.add(base_spec(engine::Variant::HybridVss, 7, 2, vss::CommitmentMode::Hashed, 23));
+    driver.add(base_spec(engine::Variant::Avss, 7, 2, vss::CommitmentMode::Full, 24));
+    return driver;
+  };
+
+  engine::set_verify_pool(false);
+  engine::SweepDriver seq = grid();
+  std::vector<engine::ScenarioResult> base = seq.run(1);
+
+  engine::set_verify_pool(true);
+  engine::SweepDriver par = grid();
+  std::vector<engine::ScenarioResult> results = par.run(2);
+
+  ASSERT_EQ(base.size(), results.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    expect_same_simulated_metrics(base[i], results[i], seq.specs()[i].label);
+  }
+}
+
+TEST_F(VerifyPoolTest, ConcurrentKeyringAndProjectionHammer) {
+  // TSan target: many worker threads hit one keyring's verified-sig cache,
+  // signer comb tables and stats counters, plus one FeldmanVector's
+  // Montgomery-domain caches, all at once. Correctness assert is just "every
+  // verdict right"; the value of the test is the data-race-free execution.
+  engine::VerifyPool::instance().configure(8);
+  engine::ScopedVerifyJobs jobs(8);
+  ASSERT_TRUE(engine::verify_parallel_active());
+
+  const crypto::Group& grp = crypto::Group::tiny256();
+  auto ring = crypto::Keyring::generate(grp, 8, 7);
+  Bytes payload = bytes_of("hammer payload");
+  std::vector<crypto::Signature> sigs;
+  for (std::uint32_t i = 1; i <= 8; ++i) sigs.push_back(ring->sign_as(i, payload));
+
+  crypto::Drbg rng(17);
+  crypto::BiPolynomial f =
+      crypto::BiPolynomial::random(crypto::Scalar::random(grp, rng), 3, rng);
+  crypto::FeldmanMatrix c = crypto::FeldmanMatrix::commit(f);
+  crypto::FeldmanVector proj = c.row_commitment(2);
+  crypto::Polynomial row = f.row(2);
+  std::vector<crypto::Scalar> points;
+  for (std::uint64_t j = 1; j <= 8; ++j) points.push_back(row.eval_at(j).reveal());
+
+  std::atomic<int> failures{0};
+  for (int scope_round = 0; scope_round < 8; ++scope_round) {
+    engine::VerifyScope scope;
+    ASSERT_TRUE(scope.parallel());
+    for (int k = 0; k < 32; ++k) {
+      std::uint32_t id = static_cast<std::uint32_t>(k % 8) + 1;
+      const crypto::Signature* sig = &sigs[id - 1];
+      const crypto::Keyring* r = ring.get();
+      scope.push([r, id, &payload, sig, &failures] {
+        if (!r->verify_from(id, payload, *sig)) failures.fetch_add(1);
+      });
+      const crypto::FeldmanVector* p = &proj;
+      const crypto::Scalar* pt = &points[id - 1];
+      scope.push([p, id, pt, &failures] {
+        if (!p->verify_share(id, *pt)) failures.fetch_add(1);
+      });
+    }
+    scope.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// --- worker-task purity guard ----------------------------------------------
+
+struct PokeMsg : sim::Message {
+  std::string_view type() const override { return "test.poke"; }
+  void serialize(Writer&) const override {}
+};
+
+/// A buggy "protocol" that tries to send from inside a verify-pool task.
+struct RogueNode : sim::Node {
+  void on_message(sim::Context& ctx, sim::NodeId, const sim::MessagePtr&) override {
+    engine::VerifyScope scope;
+    scope.push([&ctx] { ctx.send(1, std::make_shared<PokeMsg>()); });
+    scope.join();  // rethrows the simulator's purity rejection
+  }
+};
+
+TEST_F(VerifyPoolTest, SendFromWorkerTaskThrows) {
+  ASSERT_TRUE(engine::verify_parallel_active());
+  sim::Simulator sim(2, std::make_unique<sim::FixedDelay>(5), 1);
+  sim.set_node(1, std::make_unique<RogueNode>());
+  sim.set_node(2, std::make_unique<RogueNode>());
+  sim.post_operator(1, std::make_shared<PokeMsg>(), 0);
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST_F(VerifyPoolTest, WorkerTaskFlagTracksExecution) {
+  EXPECT_FALSE(common::in_worker_task());
+  std::atomic<bool> saw_flag{false};
+  engine::VerifyScope scope;
+  scope.push([&saw_flag] { saw_flag.store(common::in_worker_task()); });
+  scope.join();
+  EXPECT_TRUE(saw_flag.load());
+  EXPECT_FALSE(common::in_worker_task());
+}
+
+}  // namespace
+}  // namespace dkg
