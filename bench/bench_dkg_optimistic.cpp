@@ -106,6 +106,7 @@ int main(int argc, char** argv) {
   driver.add_axis(kBigNs, [](std::size_t n) {
     return make_spec(crypto::Group::big2048(), n, vss::CommitmentMode::Hashed, "hashed");
   });
+  json.apply_adversary(driver);
   std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   emit_table(driver.specs(), results,
              "hash-compressed commitments (the paper's accounting regime)", "hashed", 0,

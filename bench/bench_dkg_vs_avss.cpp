@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
     spec.seed = 3000 + n;
     return spec;
   });
+  json.apply_adversary(driver);
   std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
 
   bench::print_header("E6a  HybridVSS (symmetric dealing) vs AVSS (full bivariate)",

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <initializer_list>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -148,6 +149,15 @@ class JsonEmitter {
         }
       } else if (arg.rfind("--verify-jobs=", 0) == 0 && arg.size() > 14) {
         parse_verify_jobs(arg.substr(14));
+      } else if (arg == "--adversary") {
+        if (i + 1 < argc) {
+          parse_adversary(argv[++i]);
+        } else {
+          std::fprintf(stderr, "bench: --adversary requires a strategy name\n");
+          arg_error_ = true;
+        }
+      } else if (arg.rfind("--adversary=", 0) == 0 && arg.size() > 12) {
+        parse_adversary(arg.substr(12));
       } else {
         std::fprintf(stderr, "bench: unrecognized argument: %s\n", arg.c_str());
         arg_error_ = true;
@@ -177,6 +187,20 @@ class JsonEmitter {
                                       : engine::VerifyPool::cooperative_jobs(jobs_);
     engine::VerifyPool::instance().configure(jobs);
   }
+  /// The `--adversary NAME` axis: stamps the named strategy onto every
+  /// expanded spec of the sweep, so any bench grid reruns under any
+  /// adversary (labels gain " adv=NAME" so rows never collide with the
+  /// honest baseline's). No flag / "none" leaves the sweep untouched —
+  /// including derived_seed, so recorded baselines stay bit-identical.
+  void apply_adversary(engine::SweepDriver& driver) const {
+    if (!adversary_ || *adversary_ == engine::AdversaryKind::None) return;
+    const std::string tag = engine::adversary_name(*adversary_);
+    for (engine::ScenarioSpec& spec : driver.mutable_specs()) {
+      spec.adversary.kind = *adversary_;
+      spec.label += " adv=" + tag;
+    }
+  }
+
   /// False after a malformed command line; mains should bail out before
   /// running the workload: `if (!json.args_ok()) return 1;`.
   bool args_ok() const { return !arg_error_; }
@@ -228,8 +252,24 @@ class JsonEmitter {
     verify_jobs_ = static_cast<unsigned>(parsed);
   }
 
+  void parse_adversary(const std::string& v) {
+    std::optional<engine::AdversaryKind> kind = engine::adversary_from_name(v);
+    if (!kind) {
+      std::string names = "none";
+      for (engine::AdversaryKind k : engine::all_adversary_kinds()) {
+        names += std::string(", ") + engine::adversary_name(k);
+      }
+      std::fprintf(stderr, "bench: unknown --adversary %s (one of: %s)\n", v.c_str(),
+                   names.c_str());
+      arg_error_ = true;
+      return;
+    }
+    adversary_ = *kind;
+  }
+
   std::string bench_name_;
   std::string path_;
+  std::optional<engine::AdversaryKind> adversary_;
   unsigned jobs_ = 0;
   unsigned verify_jobs_ = 0;
   bool arg_error_ = false;

@@ -14,6 +14,15 @@ void ByzantineLeaderNode::send_proposal(sim::Context& ctx) {
       for (sim::NodeId j = 1; j <= params_.n(); ++j) ctx.send(j, msg);
       return;
     }
+    case LeaderFault::SelectiveSend: {
+      // The genuine, fully-proved proposal — delivered to too few nodes to
+      // ever assemble an echo quorum.
+      auto msg = make_proposal();
+      std::size_t quorum = params_.echo_quorum();
+      std::size_t recipients = quorum > 1 ? quorum - 1 : 0;
+      for (sim::NodeId j = 1; j <= params_.n() && j <= recipients; ++j) ctx.send(j, msg);
+      return;
+    }
     case LeaderFault::Equivocate: {
       // Two overlapping-but-different proposals, each with a forged empty
       // proof set; echo quorum intersection must prevent dual agreement.

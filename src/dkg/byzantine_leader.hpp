@@ -16,6 +16,11 @@ enum class LeaderFault {
   /// Sends different (valid-looking) Q sets to different nodes; agreement
   /// must still converge on at most one Q.
   Equivocate,
+  /// Selective delivery: sends its *genuine* proposal to one node short of
+  /// the echo quorum and silence to the rest — no view-1 agreement is
+  /// possible, so liveness must come from timeouts + lead-ch, and safety
+  /// from the quorum intersection with the next view's proposal.
+  SelectiveSend,
 };
 
 class ByzantineLeaderNode : public DkgNode {

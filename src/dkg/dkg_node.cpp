@@ -118,23 +118,26 @@ void DkgNode::maybe_act_on_quorum(sim::Context& ctx) {
   }
 }
 
-void DkgNode::send_proposal(sim::Context& ctx) {
-  NodeSet q;
+std::shared_ptr<DkgSendMsg> DkgNode::make_proposal() {
   auto msg = [&]() -> std::shared_ptr<DkgSendMsg> {
     if (!q_bar_.empty()) {
       auto m = std::make_shared<DkgSendMsg>(params_.tau, view_, q_bar_);
       m->proposal_proof = m_bar_;
       return m;
     }
-    q.assign(q_hat_.begin(),
-             q_hat_.begin() + static_cast<std::ptrdiff_t>(
-                                  std::min(q_hat_.size(), params_.q_size())));
+    NodeSet q(q_hat_.begin(),
+              q_hat_.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min(q_hat_.size(), params_.q_size())));
     auto m = std::make_shared<DkgSendMsg>(params_.tau, view_, q);
-    for (sim::NodeId d : q) m->dealer_proofs[d] = r_hat_.at(d);
+    for (sim::NodeId d : m->q) m->dealer_proofs[d] = r_hat_.at(d);
     return m;
   }();
   msg->lead_ch_proof = my_lead_ch_proof_;
-  multicast_buffered(ctx, msg);
+  return msg;
+}
+
+void DkgNode::send_proposal(sim::Context& ctx) {
+  multicast_buffered(ctx, make_proposal());
 }
 
 void DkgNode::on_send(sim::Context& ctx, sim::NodeId from, const DkgSendMsg& m) {

@@ -79,6 +79,11 @@ class DkgNode : public sim::Node {
   /// variants can override it.
   virtual void send_proposal(sim::Context& ctx);
 
+  /// Builds the honest proposal message (Q-bar/M when a certificate is
+  /// adopted, else Q-hat/R-hat) without sending it — Byzantine leader
+  /// variants use it to deliver a *genuine* proposal selectively.
+  std::shared_ptr<DkgSendMsg> make_proposal();
+
   /// Combines the VSS outputs of the agreed set Q into this node's DKG
   /// output. Base: share summation and entrywise commitment product (Fig 2).
   /// The proactive layer overrides with Lagrange combination (§5.2); node

@@ -22,11 +22,15 @@ DkgRunner::DkgRunner(RunnerConfig cfg) : cfg_(cfg) {
   params_.timeout_base =
       cfg_.timeout_base != 0 ? cfg_.timeout_base : (cfg_.delay_hi + 1) * 60;
 
-  std::unique_ptr<sim::DelayModel> delay =
-      std::make_unique<sim::UniformDelay>(cfg_.delay_lo, cfg_.delay_hi);
-  if (!cfg_.slow_nodes.empty() && cfg_.slow_penalty > 0) {
-    delay = std::make_unique<sim::AdversarialDelay>(std::move(delay), cfg_.slow_nodes,
-                                                    cfg_.slow_penalty);
+  std::unique_ptr<sim::DelayModel> delay;
+  if (cfg_.delay_factory) {
+    delay = cfg_.delay_factory();
+  } else {
+    delay = std::make_unique<sim::UniformDelay>(cfg_.delay_lo, cfg_.delay_hi);
+    if (!cfg_.slow_nodes.empty() && cfg_.slow_penalty > 0) {
+      delay = std::make_unique<sim::AdversarialDelay>(std::move(delay), cfg_.slow_nodes,
+                                                      cfg_.slow_penalty);
+    }
   }
   sim_ = std::make_unique<sim::Simulator>(cfg_.n, std::move(delay), cfg_.seed);
   for (sim::NodeId i = 1; i <= cfg_.n; ++i) {

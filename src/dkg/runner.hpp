@@ -4,6 +4,7 @@
 // examples so each stays a few lines long.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <set>
 #include <vector>
@@ -32,6 +33,13 @@ struct RunnerConfig {
   sim::Time slow_penalty = 0;
   /// 0 = derive from delay_hi (comfortably above an honest VSS round trip).
   sim::Time timeout_base = 0;
+
+  /// Optional delay-model factory. When set it overrides the fields above
+  /// (the engine layer uses it to thread adversarial delay models —
+  /// partitions, adaptive stalling — into every simulator this config
+  /// spawns, including the proactive renewal's). Null keeps the built-in
+  /// UniformDelay/AdversarialDelay construction.
+  std::function<std::unique_ptr<sim::DelayModel>()> delay_factory;
 };
 
 class DkgRunner {

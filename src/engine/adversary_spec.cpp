@@ -1,0 +1,181 @@
+#include "engine/adversary_spec.hpp"
+
+#include <algorithm>
+
+#include "engine/scenario.hpp"
+#include "sim/adversary.hpp"
+
+namespace dkg::engine {
+
+const char* adversary_name(AdversaryKind k) {
+  switch (k) {
+    case AdversaryKind::None: return "none";
+    case AdversaryKind::SilentDealer: return "silent-dealer";
+    case AdversaryKind::EquivocatingDealer: return "equivocating-dealer";
+    case AdversaryKind::InconsistentDealer: return "inconsistent-dealer";
+    case AdversaryKind::SelectiveDealer: return "selective-dealer";
+    case AdversaryKind::SilentLeader: return "silent-leader";
+    case AdversaryKind::SelectiveLeader: return "selective-leader";
+    case AdversaryKind::Collusion: return "collusion";
+    case AdversaryKind::AdaptiveDelay: return "adaptive-delay";
+    case AdversaryKind::Partition: return "partition";
+    case AdversaryKind::ChurnStorm: return "churn-storm";
+  }
+  return "unknown";
+}
+
+std::optional<AdversaryKind> adversary_from_name(std::string_view name) {
+  for (AdversaryKind k : all_adversary_kinds()) {
+    if (name == adversary_name(k)) return k;
+  }
+  if (name == "none") return AdversaryKind::None;
+  return std::nullopt;
+}
+
+const std::vector<AdversaryKind>& all_adversary_kinds() {
+  static const std::vector<AdversaryKind> kinds = {
+      AdversaryKind::SilentDealer,   AdversaryKind::EquivocatingDealer,
+      AdversaryKind::InconsistentDealer, AdversaryKind::SelectiveDealer,
+      AdversaryKind::SilentLeader,   AdversaryKind::SelectiveLeader,
+      AdversaryKind::Collusion,      AdversaryKind::AdaptiveDelay,
+      AdversaryKind::Partition,      AdversaryKind::ChurnStorm,
+  };
+  return kinds;
+}
+
+bool adversary_replaces_nodes(AdversaryKind k) {
+  switch (k) {
+    case AdversaryKind::SilentDealer:
+    case AdversaryKind::EquivocatingDealer:
+    case AdversaryKind::InconsistentDealer:
+    case AdversaryKind::SelectiveDealer:
+    case AdversaryKind::SilentLeader:
+    case AdversaryKind::SelectiveLeader:
+    case AdversaryKind::Collusion:
+      return true;
+    case AdversaryKind::None:
+    case AdversaryKind::AdaptiveDelay:
+    case AdversaryKind::Partition:
+    case AdversaryKind::ChurnStorm:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+std::set<sim::NodeId> highest_ids(std::size_t n, std::size_t count) {
+  std::set<sim::NodeId> out;
+  for (std::size_t k = 0; k < count && k < n; ++k) out.insert(n - k);
+  return out;
+}
+
+}  // namespace
+
+std::set<sim::NodeId> adversary_corrupted(const ScenarioSpec& spec) {
+  const AdversarySpec& adv = spec.adversary;
+  if (!adv.corrupted.empty()) return adv.corrupted;
+  switch (adv.kind) {
+    case AdversaryKind::SilentDealer:
+    case AdversaryKind::EquivocatingDealer:
+    case AdversaryKind::InconsistentDealer:
+    case AdversaryKind::SelectiveDealer:
+    case AdversaryKind::SilentLeader:
+    case AdversaryKind::SelectiveLeader:
+      return {1};  // the VSS dealer / view-1 leader
+    case AdversaryKind::Collusion:
+      return highest_ids(spec.n, spec.t);
+    case AdversaryKind::AdaptiveDelay:
+      return highest_ids(spec.n, std::max<std::size_t>(1, spec.t));
+    case AdversaryKind::Partition: {
+      std::size_t side = std::min(spec.t + spec.f, spec.n > 0 ? (spec.n - 1) / 2 : 0);
+      return highest_ids(spec.n, std::max<std::size_t>(1, side));
+    }
+    case AdversaryKind::None:
+    case AdversaryKind::ChurnStorm:
+      return {};
+  }
+  return {};
+}
+
+bool adversary_expects_liveness(const ScenarioSpec& spec) {
+  switch (spec.adversary.kind) {
+    case AdversaryKind::SilentDealer:
+    case AdversaryKind::EquivocatingDealer:
+    case AdversaryKind::InconsistentDealer:
+    case AdversaryKind::SelectiveDealer:
+    case AdversaryKind::SilentLeader:
+    case AdversaryKind::SelectiveLeader:
+      // A Byzantine dealer voids the VSS liveness promise (§3: liveness
+      // only for honest dealers) — and a lone sharing has no leader role,
+      // so the leader kinds degrade to a fail-silent dealer there. On the
+      // DKG-family grids the corrupted node is merely one dealer among n
+      // (or one leader among n candidate leaders), and the remaining
+      // honest nodes carry completion.
+      return spec.variant != Variant::HybridVss && spec.variant != Variant::Avss;
+    case AdversaryKind::ChurnStorm:
+      // AVSS has no recovery/help flow: a crashed node loses messages for
+      // good, so only HybridVSS-family protocols promise completion under
+      // churn (the paper's §3 recovery argument).
+      return spec.variant != Variant::Avss;
+    case AdversaryKind::None:
+    case AdversaryKind::Collusion:
+    case AdversaryKind::AdaptiveDelay:
+    case AdversaryKind::Partition:
+      return true;
+  }
+  return true;
+}
+
+std::unique_ptr<sim::DelayModel> make_delay_model(const ScenarioSpec& spec) {
+  std::unique_ptr<sim::DelayModel> d =
+      std::make_unique<sim::UniformDelay>(spec.delay_lo, spec.delay_hi);
+  if (!spec.slow_nodes.empty() && spec.slow_penalty > 0) {
+    d = std::make_unique<sim::AdversarialDelay>(std::move(d), spec.slow_nodes,
+                                                spec.slow_penalty);
+  }
+  const AdversarySpec& adv = spec.adversary;
+  switch (adv.kind) {
+    case AdversaryKind::AdaptiveDelay:
+      d = std::make_unique<sim::AdaptiveDelay>(std::move(d), adversary_corrupted(spec),
+                                               adv.penalty);
+      break;
+    case AdversaryKind::Partition: {
+      sim::Time heal = adv.heal_at != 0 ? adv.heal_at : (spec.delay_hi + 1) * 3;
+      d = std::make_unique<sim::PartitionDelay>(std::move(d), adversary_corrupted(spec),
+                                                adv.split_at, heal);
+      break;
+    }
+    default:
+      break;
+  }
+  return d;
+}
+
+sim::FaultPlan churn_storm_plan(const ScenarioSpec& spec) {
+  const AdversarySpec& adv = spec.adversary;
+  // Node 1 (dealer / view-1 leader) is spared so churn composes with the
+  // protocol-critical roles instead of degenerating into a dealer fault.
+  std::vector<sim::NodeId> candidates;
+  for (sim::NodeId i = 2; i <= spec.n; ++i) candidates.push_back(i);
+  std::size_t total = adv.storm_crashes != 0 ? adv.storm_crashes : 2 * spec.f;
+  sim::Time horizon = adv.storm_horizon != 0 ? adv.storm_horizon : (spec.delay_hi + 1) * 4;
+  crypto::Drbg rng(spec.derived_seed("adversary/churn"));
+  return sim::FaultPlan::random(candidates, spec.f, total, horizon,
+                                /*min_outage=*/spec.delay_hi + 1,
+                                /*max_outage=*/(spec.delay_hi + 1) * 6, rng);
+}
+
+void set_adversary_verdicts(const ScenarioSpec& spec, ScenarioResult& res,
+                            std::size_t honest_done, std::size_t honest_total, bool agreement) {
+  bool liveness =
+      !adversary_expects_liveness(spec) || (res.completed && honest_done == honest_total);
+  res.set_extra("adversary", std::string(adversary_name(spec.adversary.kind)));
+  res.set_extra("honest_completed", static_cast<std::uint64_t>(honest_done));
+  res.set_extra("honest_total", static_cast<std::uint64_t>(honest_total));
+  res.set_extra("safety_ok", agreement);
+  res.set_extra("liveness_ok", liveness);
+  res.ok = agreement && liveness;
+}
+
+}  // namespace dkg::engine

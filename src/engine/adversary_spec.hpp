@@ -1,0 +1,128 @@
+// Engine-level adversary selection: an AdversarySpec on ScenarioSpec picks
+// one composable strategy from the library (sim/adversary.hpp + the
+// Byzantine node implementations in vss/ and dkg/) and parameterizes it.
+// Every ScenarioRunner threads the spec through its harness, so each bench
+// grid can run under each adversary with transcripts that stay a pure
+// function of ScenarioSpec::derived_seed.
+//
+// Strategy -> paper-claim map (details in EXPERIMENTS.md):
+//  * equivocating/inconsistent/selective/silent dealers — §3 VSS safety
+//    (E11 agreement under equivocation; bad-dealer disqualification);
+//  * silent/selective-delivery leaders — §4 Fig 3 leader change liveness;
+//  * colluding t-subsets (Coalition) — §2.2 secrecy: the union of t views
+//    must not determine the secret;
+//  * adaptive delay — §2.1/E10: stalling the adversary's own frontier links
+//    must not slow the honest mesh;
+//  * healing partition — weak liveness: stall while split, finish after;
+//  * churn storm — §2.2 crash/recovery budget (f concurrent, d(kappa)
+//    lifetime) under the §3/§5.3 recovery flows.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "sim/faultplan.hpp"
+
+namespace dkg::engine {
+
+struct ScenarioSpec;
+struct ScenarioResult;
+
+enum class AdversaryKind {
+  None,
+  SilentDealer,        // dealer never sends (VSS grids; fail-silent dealer elsewhere)
+  EquivocatingDealer,  // k-way commitment equivocation (classes knob)
+  InconsistentDealer,  // wrong-polynomial rows to a victim set
+  SelectiveDealer,     // valid send to a chosen few, silence to the rest
+  SilentLeader,        // DKG leader never proposes (timeout + lead-ch path)
+  SelectiveLeader,     // genuine proposal to one short of the echo quorum
+  Collusion,           // silent t-subset pooling received state (Coalition)
+  AdaptiveDelay,       // frontier-phase stalling on corrupted links (E10)
+  Partition,           // network split with a scheduled heal
+  ChurnStorm,          // crash/recover storm within the f / d(kappa) budget
+};
+
+/// Parameter block for one adversary strategy. All fields have derivable
+/// defaults (0 / empty = "derive from the scenario"), so a bare kind is a
+/// complete spec. Inactive specs (kind == None) leave every scenario
+/// bit-identical to the pre-adversary engine, including derived_seed.
+struct AdversarySpec {
+  AdversaryKind kind = AdversaryKind::None;
+
+  /// Nodes the adversary controls / targets. Empty = derive per kind:
+  /// dealer and leader kinds take node 1 (the dealer / view-1 leader),
+  /// Collusion and AdaptiveDelay the t highest ids, Partition a minority
+  /// side of min(t+f, (n-1)/2) highest ids, ChurnStorm none (its victims
+  /// crash and recover; they are never Byzantine).
+  std::set<sim::NodeId> corrupted;
+
+  /// EquivocatingDealer: distinct commitments dealt round-robin (>= 2).
+  std::size_t classes = 2;
+  /// InconsistentDealer: victim count (0 = legacy even-id victim set).
+  std::size_t victims = 0;
+  /// SelectiveDealer: recipients of the valid send (0 = t+1).
+  std::size_t recipients = 0;
+
+  /// AdaptiveDelay: penalty added to frontier-phase corrupted links.
+  sim::Time penalty = 100'000;
+
+  /// Partition: split/heal schedule. heal_at == 0 derives both: split at
+  /// time 0, heal at (delay_hi + 1) * 3 — mid-protocol for every grid.
+  sim::Time split_at = 0;
+  sim::Time heal_at = 0;
+
+  /// ChurnStorm: lifetime crash budget (0 = 2f) and placement horizon
+  /// (0 = (delay_hi + 1) * 4).
+  std::size_t storm_crashes = 0;
+  sim::Time storm_horizon = 0;
+
+  bool active() const { return kind != AdversaryKind::None; }
+};
+
+/// Stable CLI/JSON name of a kind ("silent-dealer", "adaptive-delay", ...).
+const char* adversary_name(AdversaryKind k);
+/// Inverse of adversary_name; nullopt for unknown names.
+std::optional<AdversaryKind> adversary_from_name(std::string_view name);
+/// Every kind except None, in declaration order (bench grid axis).
+const std::vector<AdversaryKind>& all_adversary_kinds();
+
+/// True for kinds that physically replace nodes with Byzantine
+/// implementations (dealer/leader kinds, Collusion) — replaced nodes are
+/// excluded from honest-output checks. Delay/partition/churn targets stay
+/// honest protocol participants.
+bool adversary_replaces_nodes(AdversaryKind k);
+
+/// The resolved corrupted/target set for this scenario (explicit override
+/// or the per-kind derivation documented on AdversarySpec::corrupted).
+std::set<sim::NodeId> adversary_corrupted(const ScenarioSpec& spec);
+
+/// Whether the hybrid model still promises completion of the whole honest
+/// mesh under this spec's adversary. False only where the paper makes no
+/// liveness claim: Byzantine dealers (and the leader kinds, which degrade
+/// to a fail-silent dealer) on the VSS grids — liveness is promised for
+/// honest dealers only — and churn on AVSS (which, unlike HybridVSS, has
+/// no §3/§5.3 recovery flow — exactly the paper's argument for it).
+bool adversary_expects_liveness(const ScenarioSpec& spec);
+
+/// The scenario's delay model: UniformDelay, wrapped by AdversarialDelay
+/// when slow_nodes/slow_penalty are set, wrapped by the adversary's
+/// AdaptiveDelay/PartitionDelay when one of those kinds is active.
+std::unique_ptr<sim::DelayModel> make_delay_model(const ScenarioSpec& spec);
+
+/// The ChurnStorm fault plan: storm_crashes windows over nodes 2..n, at
+/// most f concurrently down, seeded from derived_seed("adversary/churn").
+sim::FaultPlan churn_storm_plan(const ScenarioSpec& spec);
+
+/// Appends the safety/liveness verdict columns every adversarial run emits
+/// ("adversary", "honest_completed", "honest_total", "safety_ok",
+/// "liveness_ok") and folds them into res.ok. `honest_done` of
+/// `honest_total` honest nodes finished; `agreement` is the runner's
+/// variant-specific honest-output agreement predicate.
+void set_adversary_verdicts(const ScenarioSpec& spec, ScenarioResult& res,
+                            std::size_t honest_done, std::size_t honest_total, bool agreement);
+
+}  // namespace dkg::engine

@@ -55,6 +55,23 @@ std::uint64_t ScenarioSpec::derived_seed(std::string_view domain) const {
   mix_u64(h, f);
   mix_u64(h, static_cast<std::uint64_t>(mode));
   mix_str(h, label);
+  // Adversarial parameters join the identity only when a strategy is
+  // active, so every pre-adversary spec keeps its historical seed (and all
+  // committed baselines their transcripts).
+  if (adversary.active()) {
+    mix_str(h, "adversary");
+    mix_u64(h, static_cast<std::uint64_t>(adversary.kind));
+    mix_u64(h, adversary.corrupted.size());
+    for (sim::NodeId id : adversary.corrupted) mix_u64(h, id);
+    mix_u64(h, adversary.classes);
+    mix_u64(h, adversary.victims);
+    mix_u64(h, adversary.recipients);
+    mix_u64(h, adversary.penalty);
+    mix_u64(h, adversary.split_at);
+    mix_u64(h, adversary.heal_at);
+    mix_u64(h, adversary.storm_crashes);
+    mix_u64(h, adversary.storm_horizon);
+  }
   mix_str(h, domain);
   return h;
 }

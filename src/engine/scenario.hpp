@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "crypto/group.hpp"
+#include "engine/adversary_spec.hpp"
 #include "sim/message.hpp"
 #include "vss/hybridvss.hpp"
 
@@ -76,6 +77,11 @@ struct ScenarioSpec {
   std::size_t min_outputs = 0;
   /// Proactive only: nodes crashed (and later recovered) mid-renewal.
   std::vector<sim::NodeId> renewal_crashed;
+  /// Adversary strategy for this run (engine/adversary_spec.hpp). Inactive
+  /// (kind == None) specs behave — and seed — exactly as before the
+  /// adversary layer existed; active ones add the safety/liveness verdict
+  /// extras and mix their parameters into derived_seed.
+  AdversarySpec adversary;
 
   /// Event budget for discrete-event runs / round budget for the
   /// synchronous baselines. Exhaustion marks the result !completed.

@@ -36,6 +36,9 @@ class SweepDriver {
   }
 
   const std::vector<ScenarioSpec>& specs() const { return specs_; }
+  /// Mutable access for post-expansion rewrites (the bench `--adversary`
+  /// axis stamps an AdversarySpec onto every expanded spec).
+  std::vector<ScenarioSpec>& mutable_specs() { return specs_; }
   std::size_t size() const { return specs_.size(); }
 
   /// Executes every spec and returns results in spec order. `jobs` threads

@@ -70,7 +70,10 @@ bool ProactiveRunner::run_renewal(const std::vector<sim::NodeId>& crashed,
     pending_q_size_ = 0;
   }
 
-  sim::Simulator sim(cfg.n, std::make_unique<sim::UniformDelay>(cfg.delay_lo, cfg.delay_hi),
+  sim::Simulator sim(cfg.n,
+                     cfg.delay_factory
+                         ? cfg.delay_factory()
+                         : std::make_unique<sim::UniformDelay>(cfg.delay_lo, cfg.delay_hi),
                      cfg.seed);
   // Removed nodes (§6.3) are simply not included in the renewal: they get
   // a mute placeholder, receive no clock tick, and end the phase with only

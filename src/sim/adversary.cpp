@@ -1,0 +1,47 @@
+#include "sim/adversary.hpp"
+
+#include <algorithm>
+
+namespace dkg::sim {
+
+Time PartitionDelay::delay(NodeId from, NodeId to, const MessagePtr& msg, Time now,
+                           crypto::Drbg& rng) {
+  // Always draw the base delay so the DRBG stream advances identically for
+  // every routed message — partition or not, the transcript stays a pure
+  // function of the seed.
+  Time base = base_->delay(from, to, msg, now, rng);
+  bool split = now >= split_at_ && now < heal_at_;
+  bool crosses = (side_.count(from) != 0) != (side_.count(to) != 0);
+  if (split && crosses) return (heal_at_ - now) + base;
+  return base;
+}
+
+int AdaptiveDelay::phase_rank(std::string_view type) {
+  if (type == "vss.send") return 1;
+  if (type == "vss.echo") return 2;
+  if (type == "vss.ready") return 3;
+  if (type == "dkg.send") return 4;
+  if (type == "dkg.echo") return 5;
+  if (type == "dkg.ready") return 6;
+  if (type == "dkg.lead-ch") return 7;
+  return 0;
+}
+
+Time AdaptiveDelay::delay(NodeId from, NodeId to, const MessagePtr& msg, Time now,
+                          crypto::Drbg& rng) {
+  Time base = base_->delay(from, to, msg, now, rng);
+  int rank = msg ? phase_rank(msg->type()) : 0;
+  frontier_ = std::max(frontier_, rank);
+  // Stall only frontier-phase traffic touching a corrupted endpoint:
+  // messages from already-passed phases are let through (delaying them
+  // gains the adversary nothing), and the honest mesh is never slowed.
+  bool corrupted_link = corrupted_.count(from) != 0 || corrupted_.count(to) != 0;
+  if (corrupted_link && rank != 0 && rank >= frontier_) return base + penalty_;
+  return base;
+}
+
+void CollusionNode::on_message(sim::Context& ctx, NodeId from, const MessagePtr& msg) {
+  coalition_->record(self_, from, ctx.now(), msg);
+}
+
+}  // namespace dkg::sim

@@ -4,41 +4,63 @@
 
 namespace dkg::sim {
 
+namespace {
+
+/// Instant-wise concurrency at time `at` if one more window covering `at`
+/// joined `windows` (a window covers [crash_at, recover_at), with
+/// recover_at == 0 meaning "forever").
+std::size_t concurrency_at(const std::vector<CrashWindow>& windows, Time at) {
+  std::size_t conc = 1;  // the candidate itself covers `at` whenever we ask
+  for (const CrashWindow& o : windows) {
+    bool covers = o.crash_at <= at && (o.recover_at == 0 || at < o.recover_at);
+    if (covers) ++conc;
+  }
+  return conc;
+}
+
+}  // namespace
+
 FaultPlan FaultPlan::random(const std::vector<NodeId>& candidates, std::size_t f,
                             std::size_t total_crashes, Time horizon, Time min_outage,
                             Time max_outage, crypto::Drbg& rng) {
-  std::vector<CrashWindow> windows;
-  if (candidates.empty() || f == 0 || total_crashes == 0) return FaultPlan(std::move(windows));
-  // Greedy placement: sample start times, keep a window only if adding it
-  // leaves at most f nodes concurrently crashed and the node is not already
-  // down during the window.
+  FaultPlan plan;
+  plan.requested_ = total_crashes;
+  if (candidates.empty() || f == 0 || total_crashes == 0) return plan;
+  std::vector<CrashWindow>& windows = plan.windows_;
+  // Greedy placement: sample start times, keep a window only if the node is
+  // not already down during it and the *instant-wise* maximum concurrency
+  // stays <= f. Within the candidate's span the concurrency only steps up at
+  // crash instants, so evaluating it at the candidate's own start and at
+  // every overlapping window's start is a complete sweep-line maximum —
+  // pairwise-overlap counting would over-reject (three mutually staggered
+  // windows can pairwise-overlap a fourth without ever being concurrent).
   std::size_t attempts = 0;
   while (windows.size() < total_crashes && attempts < total_crashes * 50) {
     ++attempts;
     NodeId node = candidates[rng.uniform(candidates.size())];
-    Time start = rng.uniform(horizon);
+    Time start = horizon > 0 ? rng.uniform(horizon) : 0;
     Time outage = min_outage + (max_outage > min_outage ? rng.uniform(max_outage - min_outage + 1) : 0);
+    if (outage == 0) outage = 1;  // recover_at == crash_at would mean "down forever"
     CrashWindow w{node, start, start + outage};
     bool ok = true;
-    std::size_t concurrent = 0;
+    std::size_t peak = concurrency_at(windows, w.crash_at);
     for (const CrashWindow& o : windows) {
       bool overlap = !(w.recover_at <= o.crash_at || o.recover_at <= w.crash_at);
-      if (overlap) {
-        if (o.node == w.node) { ok = false; break; }
-        if (++concurrent >= f) { ok = false; break; }
-      }
+      if (!overlap) continue;
+      if (o.node == w.node) { ok = false; break; }
+      if (o.crash_at > w.crash_at) peak = std::max(peak, concurrency_at(windows, o.crash_at));
     }
-    if (ok) windows.push_back(w);
+    if (ok && peak <= f) windows.push_back(w);
   }
   std::sort(windows.begin(), windows.end(),
             [](const CrashWindow& a, const CrashWindow& b) { return a.crash_at < b.crash_at; });
-  return FaultPlan(std::move(windows));
+  return plan;
 }
 
 void FaultPlan::apply(Simulator& sim) const {
   for (const CrashWindow& w : windows_) {
     sim.schedule_crash(w.node, w.crash_at);
-    sim.schedule_recover(w.node, w.recover_at);
+    if (w.recover_at != 0) sim.schedule_recover(w.node, w.recover_at);
   }
 }
 

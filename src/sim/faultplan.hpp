@@ -11,6 +11,8 @@
 
 namespace dkg::sim {
 
+/// One crash/recover window. recover_at == 0 means the node stays down for
+/// the rest of the run (the same contract as engine::CrashSpec).
 struct CrashWindow {
   NodeId node;
   Time crash_at;
@@ -20,24 +22,37 @@ struct CrashWindow {
 class FaultPlan {
  public:
   /// Randomly picks `total_crashes` crash/recover windows among nodes in
-  /// `candidates`, never exceeding `f` concurrent crashes. Windows start in
-  /// [0, horizon) and last [min_outage, max_outage] ticks.
+  /// `candidates`, never exceeding `f` *instant-wise* concurrent crashes
+  /// (sweep-line check, not pairwise overlap counting). Windows start in
+  /// [0, horizon) and last [min_outage, max_outage] ticks (clamped to >= 1
+  /// so a random window never degenerates into a stays-down-forever one).
+  /// The placement is greedy, so infeasible requests fill partially:
+  /// shortfall() reports how many requested windows could not be placed.
   static FaultPlan random(const std::vector<NodeId>& candidates, std::size_t f,
                           std::size_t total_crashes, Time horizon, Time min_outage,
                           Time max_outage, crypto::Drbg& rng);
 
   /// Explicit plan.
-  explicit FaultPlan(std::vector<CrashWindow> windows) : windows_(std::move(windows)) {}
+  explicit FaultPlan(std::vector<CrashWindow> windows)
+      : windows_(std::move(windows)), requested_(windows_.size()) {}
   FaultPlan() = default;
 
   const std::vector<CrashWindow>& windows() const { return windows_; }
   std::size_t crash_count() const { return windows_.size(); }
+  /// How many windows random() was asked for (== crash_count() for
+  /// explicit plans).
+  std::size_t requested() const { return requested_; }
+  /// Requested-but-unplaced window count: non-zero surfaces an under-filled
+  /// plan instead of silently dropping crashes.
+  std::size_t shortfall() const { return requested_ - windows_.size(); }
 
-  /// Registers all crash/recover events with the simulator.
+  /// Registers all crash/recover events with the simulator. Windows with
+  /// recover_at == 0 schedule no recovery: the node stays down.
   void apply(Simulator& sim) const;
 
  private:
   std::vector<CrashWindow> windows_;
+  std::size_t requested_ = 0;
 };
 
 }  // namespace dkg::sim

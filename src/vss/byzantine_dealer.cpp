@@ -14,40 +14,63 @@ void ByzantineDealerNode::on_message(sim::Context& ctx, sim::NodeId from,
   deal_faulty(ctx, share->sid, share->secret);
 }
 
+DealerStrategy DealerStrategy::from_fault(DealerFault f) {
+  DealerStrategy s;
+  switch (f) {
+    case DealerFault::Silent: s.kind = Kind::Silent; break;
+    case DealerFault::InconsistentRows: s.kind = Kind::InconsistentRows; break;
+    case DealerFault::Equivocate: s.kind = Kind::Equivocate; break;
+    case DealerFault::PartialSend: s.kind = Kind::SelectiveSend; break;
+  }
+  return s;
+}
+
 void ByzantineDealerNode::deal_faulty(sim::Context& ctx, const SessionId& sid,
                                       const Scalar& secret) {
   const crypto::Group& grp = *params_.grp;
-  switch (fault_) {
-    case DealerFault::Silent:
+  switch (strategy_.kind) {
+    case DealerStrategy::Kind::Silent:
       return;
-    case DealerFault::InconsistentRows: {
+    case DealerStrategy::Kind::InconsistentRows: {
       BiPolynomial f = BiPolynomial::random(secret, params_.t, ctx.rng());
-      BiPolynomial wrong = BiPolynomial::random(Scalar::random(grp, ctx.rng()), params_.t, ctx.rng());
+      Scalar wrong_secret = Scalar::random(grp, ctx.rng());
+      BiPolynomial wrong = BiPolynomial::random(wrong_secret, params_.t, ctx.rng());
       auto commitment = std::make_shared<const FeldmanMatrix>(FeldmanMatrix::commit(f));
       for (sim::NodeId j = 1; j <= params_.n; ++j) {
-        const BiPolynomial& src = (j % 2 == 0) ? wrong : f;
+        bool victim = strategy_.victims == 0 ? (j % 2 == 0)
+                                             : (j + strategy_.victims > params_.n);
+        const BiPolynomial& src = victim ? wrong : f;
         ctx.send(j, std::make_shared<SendMsg>(sid, commitment, src.row(j)));
       }
       return;
     }
-    case DealerFault::Equivocate: {
-      BiPolynomial f1 = BiPolynomial::random(secret, params_.t, ctx.rng());
-      BiPolynomial f2 = BiPolynomial::random(Scalar::random(grp, ctx.rng()), params_.t, ctx.rng());
-      auto c1 = std::make_shared<const FeldmanMatrix>(FeldmanMatrix::commit(f1));
-      auto c2 = std::make_shared<const FeldmanMatrix>(FeldmanMatrix::commit(f2));
+    case DealerStrategy::Kind::Equivocate: {
+      // `classes` distinct bivariate polynomials, each with its own
+      // commitment, dealt round-robin: node j sees only class (j-1) %
+      // classes. Quorum intersection must keep at most one class
+      // completable no matter how many classes the dealer runs.
+      std::size_t classes = std::max<std::size_t>(2, strategy_.classes);
+      std::vector<BiPolynomial> polys;
+      std::vector<std::shared_ptr<const FeldmanMatrix>> commits;
+      polys.reserve(classes);
+      commits.reserve(classes);
+      for (std::size_t c = 0; c < classes; ++c) {
+        Scalar s = c == 0 ? secret : Scalar::random(grp, ctx.rng());
+        polys.push_back(BiPolynomial::random(s, params_.t, ctx.rng()));
+        commits.push_back(
+            std::make_shared<const FeldmanMatrix>(FeldmanMatrix::commit(polys.back())));
+      }
       for (sim::NodeId j = 1; j <= params_.n; ++j) {
-        if (j % 2 == 1) {
-          ctx.send(j, std::make_shared<SendMsg>(sid, c1, f1.row(j)));
-        } else {
-          ctx.send(j, std::make_shared<SendMsg>(sid, c2, f2.row(j)));
-        }
+        std::size_t c = (j - 1) % classes;
+        ctx.send(j, std::make_shared<SendMsg>(sid, commits[c], polys[c].row(j)));
       }
       return;
     }
-    case DealerFault::PartialSend: {
+    case DealerStrategy::Kind::SelectiveSend: {
       BiPolynomial f = BiPolynomial::random(secret, params_.t, ctx.rng());
       auto commitment = std::make_shared<const FeldmanMatrix>(FeldmanMatrix::commit(f));
-      for (sim::NodeId j = 1; j <= params_.n && j <= params_.t + 1; ++j) {
+      std::size_t recipients = strategy_.recipients != 0 ? strategy_.recipients : params_.t + 1;
+      for (sim::NodeId j = 1; j <= params_.n && j <= recipients; ++j) {
         ctx.send(j, std::make_shared<SendMsg>(sid, commitment, f.row(j)));
       }
       return;

@@ -20,12 +20,38 @@ enum class DealerFault {
   Silent,
 };
 
-/// A dealer that misbehaves per `fault` when given ShareOp, and otherwise
-/// stays mute (it does not participate honestly in echo/ready either).
+/// Parameterized Byzantine dealing strategy — the generalization of the
+/// four hardcoded DealerFault modes. Defaults reproduce the legacy
+/// behaviours exactly; the knobs open the strategy space (k-way
+/// equivocation, chosen victim counts, chosen delivery sets) for the
+/// adversary library.
+struct DealerStrategy {
+  enum class Kind { Silent, InconsistentRows, Equivocate, SelectiveSend };
+  Kind kind = Kind::Silent;
+  /// Equivocate: number of distinct commitments dealt round-robin — node j
+  /// receives class (j - 1) % classes. 2 reproduces the legacy odd/even
+  /// split (class 0 = odd ids).
+  std::size_t classes = 2;
+  /// InconsistentRows: the `victims` highest node ids receive rows from a
+  /// wrong polynomial. 0 = legacy even-id victim set.
+  std::size_t victims = 0;
+  /// SelectiveSend: the `recipients` lowest node ids receive the valid
+  /// send; everyone else gets silence. 0 = legacy t+1 (strictly below the
+  /// echo quorum, so no honest node may complete).
+  std::size_t recipients = 0;
+
+  static DealerStrategy from_fault(DealerFault f);
+};
+
+/// A dealer that misbehaves per its strategy when given ShareOp, and
+/// otherwise stays mute (it does not participate honestly in echo/ready
+/// either).
 class ByzantineDealerNode : public sim::Node {
  public:
+  ByzantineDealerNode(VssParams params, sim::NodeId self, DealerStrategy strategy)
+      : params_(params), self_(self), strategy_(strategy) {}
   ByzantineDealerNode(VssParams params, sim::NodeId self, DealerFault fault)
-      : params_(params), self_(self), fault_(fault) {}
+      : ByzantineDealerNode(params, self, DealerStrategy::from_fault(fault)) {}
 
   void on_message(sim::Context& ctx, sim::NodeId from, const sim::MessagePtr& msg) override;
 
@@ -34,7 +60,7 @@ class ByzantineDealerNode : public sim::Node {
 
   VssParams params_;
   sim::NodeId self_;
-  DealerFault fault_;
+  DealerStrategy strategy_;
 };
 
 /// An honest-looking participant that injects garbage echo/ready points for

@@ -2,6 +2,7 @@
 // timers, crash semantics and metrics accounting.
 #include <gtest/gtest.h>
 
+#include "property_test.hpp"
 #include "sim/faultplan.hpp"
 #include "sim/simulator.hpp"
 
@@ -231,18 +232,109 @@ TEST(FaultPlan, RespectsConcurrencyBound) {
   FaultPlan plan = FaultPlan::random(nodes, /*f=*/2, /*total=*/10, /*horizon=*/1000,
                                      /*min_outage=*/50, /*max_outage=*/200, rng);
   EXPECT_GT(plan.crash_count(), 0u);
-  // At every window start, count overlapping windows.
+  // The bound is instant-wise: at every window start (the only points where
+  // concurrency can increase), no more than f nodes may be down at once.
+  // The old pairwise-overlap count understated this — three windows can
+  // overlap pairwise-disjointly in time yet still share one instant.
   for (const CrashWindow& w : plan.windows()) {
-    std::size_t concurrent = 0;
+    std::size_t down = 0;
     for (const CrashWindow& o : plan.windows()) {
-      if (&w == &o) continue;
-      if (!(w.recover_at <= o.crash_at || o.recover_at <= w.crash_at)) {
-        EXPECT_NE(w.node, o.node);  // no double-crash of one node
-        ++concurrent;
+      bool covers = o.crash_at <= w.crash_at && (o.recover_at == 0 || w.crash_at < o.recover_at);
+      if (covers) {
+        if (&w != &o) {
+          EXPECT_NE(w.node, o.node);  // no double-crash of one node
+        }
+        ++down;
       }
     }
-    EXPECT_LE(concurrent + 1, 2u);
+    EXPECT_LE(down, 2u);
   }
+}
+
+// Instant-wise maximum concurrency of a window set (recover_at == 0 covers
+// forever); it only steps up at crash instants, so sampling those suffices.
+std::size_t max_concurrency(const std::vector<CrashWindow>& windows) {
+  std::size_t peak = 0;
+  for (const CrashWindow& w : windows) {
+    std::size_t down = 0;
+    for (const CrashWindow& o : windows) {
+      if (o.crash_at <= w.crash_at && (o.recover_at == 0 || w.crash_at < o.recover_at)) ++down;
+    }
+    peak = std::max(peak, down);
+  }
+  return peak;
+}
+
+TEST(FaultPlanProperty, InstantWiseBoundUnderOverlapPressure) {
+  // Long outages over a short horizon force heavy window stacking — the
+  // regime where pairwise-overlap counting used to admit f+1 nodes down at
+  // one instant (three mutually staggered windows all covering a fourth's
+  // start). The instant-wise bound must hold for every draw.
+  crypto::Drbg rng(dkg::testprop::property_seed());
+  std::vector<NodeId> nodes{1, 2, 3, 4, 5, 6, 7, 8};
+  for (std::size_t rep = 0; rep < dkg::testprop::property_cases(50); ++rep) {
+    std::size_t f = 1 + rng.uniform(3);
+    FaultPlan plan = FaultPlan::random(nodes, f, /*total=*/12, /*horizon=*/120,
+                                       /*min_outage=*/60, /*max_outage=*/200, rng);
+    EXPECT_LE(max_concurrency(plan.windows()), f) << "rep " << rep << " f=" << f;
+    EXPECT_EQ(plan.requested(), 12u);
+    EXPECT_EQ(plan.shortfall(), plan.requested() - plan.crash_count());
+  }
+}
+
+TEST(FaultPlanProperty, ExactFillWhenFeasible) {
+  // A wide horizon with short outages leaves the concurrency bound slack:
+  // the greedy fill must place every requested window and report no
+  // shortfall.
+  crypto::Drbg rng(dkg::testprop::property_seed());
+  std::vector<NodeId> nodes{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  for (std::size_t rep = 0; rep < dkg::testprop::property_cases(20); ++rep) {
+    FaultPlan plan = FaultPlan::random(nodes, /*f=*/3, /*total=*/6, /*horizon=*/100'000,
+                                       /*min_outage=*/5, /*max_outage=*/20, rng);
+    EXPECT_EQ(plan.crash_count(), 6u) << "rep " << rep;
+    EXPECT_EQ(plan.shortfall(), 0u) << "rep " << rep;
+  }
+}
+
+TEST(FaultPlan, ZeroHorizonPinsStartsAndSurfacesShortfall) {
+  // horizon == 0 means "everything starts at once" (and used to divide by
+  // zero): every window starts at 0, so the f bound caps the fill at f and
+  // the under-fill is visible through shortfall() instead of silent.
+  crypto::Drbg rng(3);
+  std::vector<NodeId> nodes{1, 2, 3, 4, 5};
+  FaultPlan plan = FaultPlan::random(nodes, /*f=*/2, /*total=*/5, /*horizon=*/0,
+                                     /*min_outage=*/10, /*max_outage=*/10, rng);
+  EXPECT_EQ(plan.crash_count(), 2u);
+  EXPECT_EQ(plan.requested(), 5u);
+  EXPECT_EQ(plan.shortfall(), 3u);
+  for (const CrashWindow& w : plan.windows()) EXPECT_EQ(w.crash_at, 0u);
+}
+
+TEST(FaultPlan, ZeroOutageDrawIsClampedToOneTick) {
+  // min_outage == max_outage == 0 must not emit recover_at == crash_at,
+  // which the CrashWindow contract would read as "down forever".
+  crypto::Drbg rng(5);
+  std::vector<NodeId> nodes{1, 2, 3};
+  FaultPlan plan = FaultPlan::random(nodes, /*f=*/1, /*total=*/2, /*horizon=*/100,
+                                     /*min_outage=*/0, /*max_outage=*/0, rng);
+  ASSERT_GT(plan.crash_count(), 0u);
+  for (const CrashWindow& w : plan.windows()) EXPECT_EQ(w.recover_at, w.crash_at + 1);
+}
+
+TEST(FaultPlan, StaysDownWindowNeverSchedulesRecovery) {
+  // recover_at == 0 is the "stays down" contract: apply() must not schedule
+  // a recovery at time 0 (which, being <= crash_at, would resurrect the
+  // node out of order or crash-recover it before the crash).
+  Simulator sim(3, std::make_unique<FixedDelay>(5), 1);
+  for (NodeId i = 1; i <= 3; ++i) sim.set_node(i, std::make_unique<RecorderNode>());
+  FaultPlan plan(std::vector<CrashWindow>{{2, 10, 0}});
+  EXPECT_EQ(plan.requested(), 1u);
+  EXPECT_EQ(plan.shortfall(), 0u);
+  plan.apply(sim);
+  sim.post_operator(1, std::make_shared<PingMsg>(0), 50);
+  ASSERT_TRUE(sim.run());
+  EXPECT_TRUE(sim.is_crashed(2));
+  EXPECT_FALSE(sim.is_crashed(1));
 }
 
 }  // namespace

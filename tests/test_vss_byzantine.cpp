@@ -5,8 +5,10 @@
 
 #include "crypto/lagrange.hpp"
 #include "crypto/sigverify.hpp"
+#include "sim/adversary.hpp"
 #include "sim/simulator.hpp"
 #include "vss/byzantine_dealer.hpp"
+#include "vss/vss_messages.hpp"
 
 namespace dkg::vss {
 namespace {
@@ -105,6 +107,122 @@ TEST(ByzantineDealer, PartialSendCannotReachEchoQuorumAlone) {
   h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, Scalar::from_u64(Group::tiny256(), 2)));
   ASSERT_TRUE(h.sim.run());
   EXPECT_TRUE(h.completed(7, 1).empty());
+}
+
+TEST(DealerStrategy, ThreeWayEquivocationCannotCompleteAnyClass) {
+  // classes=3 splits the 6 non-dealer nodes into commitment classes of two:
+  // no class can reach the echo quorum ceil((n+t+1)/2) = 5, so nothing
+  // completes — and trivially no two digests coexist. Safety AND liveness
+  // verdicts: safety holds (<= 1 digest), liveness is not promised for a
+  // Byzantine dealer.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Harness h(7, 1, 1, seed);
+    DealerStrategy strat;
+    strat.kind = DealerStrategy::Kind::Equivocate;
+    strat.classes = 3;
+    h.sim.set_node(1, std::make_unique<ByzantineDealerNode>(h.params, 1, strat));
+    h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, Scalar::from_u64(Group::tiny256(), 9)));
+    ASSERT_TRUE(h.sim.run());
+    std::set<Bytes> digests;
+    for (sim::NodeId i : h.completed(7, 1)) {
+      digests.insert(h.node(i).instance(h.sid).shared().commitment->digest());
+    }
+    EXPECT_LE(digests.size(), 1u) << "seed " << seed;
+    EXPECT_TRUE(h.completed(7, 1).empty()) << "seed " << seed;
+  }
+}
+
+TEST(DealerStrategy, SelectiveSendCompletesExactlyAtEchoQuorum) {
+  // recipients=6 reaches 5 honest recipients (the dealer ignores its own
+  // send) — exactly the echo quorum — so ALL honest nodes complete, even
+  // node 7 which never saw a send (it interpolates its row from echo
+  // points). recipients=5 leaves 4 honest recipients and nothing completes.
+  {
+    Harness h(7, 1, 1);
+    DealerStrategy strat;
+    strat.kind = DealerStrategy::Kind::SelectiveSend;
+    strat.recipients = 6;
+    h.sim.set_node(1, std::make_unique<ByzantineDealerNode>(h.params, 1, strat));
+    h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, Scalar::from_u64(Group::tiny256(), 2)));
+    ASSERT_TRUE(h.sim.run());
+    auto done = h.completed(7, 1);
+    EXPECT_EQ(done.size(), 6u);  // liveness: the whole honest mesh
+    Bytes digest = h.node(done[0]).instance(h.sid).shared().commitment->digest();
+    for (sim::NodeId i : done) {
+      const SharedOutput& out = h.node(i).instance(h.sid).shared();
+      EXPECT_EQ(out.commitment->digest(), digest);  // safety: one commitment
+      EXPECT_TRUE(out.commitment->verify_point(0, i, out.share.reveal()));
+    }
+  }
+  {
+    Harness h(7, 1, 1);
+    DealerStrategy strat;
+    strat.kind = DealerStrategy::Kind::SelectiveSend;
+    strat.recipients = 5;  // 4 honest recipients < echo quorum 5
+    h.sim.set_node(1, std::make_unique<ByzantineDealerNode>(h.params, 1, strat));
+    h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, Scalar::from_u64(Group::tiny256(), 2)));
+    ASSERT_TRUE(h.sim.run());
+    EXPECT_TRUE(h.completed(7, 1).empty());
+  }
+}
+
+TEST(DealerStrategy, InconsistentVictimCountGatesCompletion) {
+  // victims=1 poisons only node 7's row: the other five honest nodes carry
+  // the echo quorum and node 7 recovers its TRUE row from echo points —
+  // everyone completes with consistent shares. victims=2 drops the valid
+  // recipients below the quorum and nothing completes.
+  Scalar secret = Scalar::from_u64(Group::tiny256(), 5);
+  {
+    Harness h(7, 1, 1);
+    DealerStrategy strat;
+    strat.kind = DealerStrategy::Kind::InconsistentRows;
+    strat.victims = 1;
+    h.sim.set_node(1, std::make_unique<ByzantineDealerNode>(h.params, 1, strat));
+    h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, secret));
+    ASSERT_TRUE(h.sim.run());
+    auto done = h.completed(7, 1);
+    EXPECT_EQ(done.size(), 6u);
+    EXPECT_GT(h.node(7).instance(h.sid).rejected(), 0u);  // its own row was bad
+    std::vector<std::pair<std::uint64_t, Scalar>> pts;
+    for (sim::NodeId i : done) {
+      const SharedOutput& out = h.node(i).instance(h.sid).shared();
+      EXPECT_TRUE(out.commitment->verify_point(0, i, out.share.reveal()));
+      if (pts.size() < 2) pts.emplace_back(i, out.share.reveal());
+    }
+    EXPECT_EQ(crypto::interpolate_at(Group::tiny256(), pts, 0), secret);
+  }
+  {
+    Harness h(7, 1, 1);
+    DealerStrategy strat;
+    strat.kind = DealerStrategy::Kind::InconsistentRows;
+    strat.victims = 2;  // only 4 honest nodes hold valid rows
+    h.sim.set_node(1, std::make_unique<ByzantineDealerNode>(h.params, 1, strat));
+    h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, secret));
+    ASSERT_TRUE(h.sim.run());
+    EXPECT_TRUE(h.completed(7, 1).empty());
+  }
+}
+
+TEST(Coalition, PooledViewOfTNodesCannotDetermineTheSecret) {
+  // Honest dealer, one colluding node (t=1) recording every message it
+  // receives. Liveness: the honest mesh completes around it. Secrecy: the
+  // pooled view spans at most t distinct members — strictly fewer than the
+  // t+1 rows interpolation needs (§2.2's union-of-views argument).
+  Harness h(7, 1, 1);
+  auto coalition = std::make_shared<sim::Coalition>(std::set<sim::NodeId>{7});
+  h.sim.set_node(7, std::make_unique<sim::CollusionNode>(coalition, 7));
+  h.sim.post_operator(1, std::make_shared<ShareOp>(h.sid, Scalar::from_u64(Group::tiny256(), 13)));
+  ASSERT_TRUE(h.sim.run());
+  EXPECT_EQ(h.completed(7, 7).size(), 6u);  // liveness around the colluder
+  ASSERT_FALSE(coalition->observations().empty());
+  std::set<sim::NodeId> members_seen;
+  for (const sim::Coalition::Observation& obs : coalition->observations()) {
+    EXPECT_TRUE(coalition->members().count(obs.member));
+    members_seen.insert(obs.member);
+  }
+  // The union of views covers at most t rows of f(x, y): below the t+1
+  // interpolation threshold, so the pool leaks nothing about f(0, 0).
+  EXPECT_LE(members_seen.size(), h.params.t);
 }
 
 TEST(ByzantinePeer, GarbagePointsAreRejectedAndSharingSucceeds) {
