@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     driver.add(make_spec(timeout, false));
     driver.add(make_spec(timeout, true));
   }
+  json.apply_backend(driver);
   json.apply_adversary(driver);
   std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   std::printf("%14s | %28s | %28s\n", "", "honest leader", "crashed leader");

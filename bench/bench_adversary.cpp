@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
       driver.add(make_spec(v, kind));
     }
   }
+  json.apply_backend(driver);
   std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
 
   std::printf("%-40s %8s %9s %6s %10s %10s\n", "scenario", "safety", "liveness", "honest",

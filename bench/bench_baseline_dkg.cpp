@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     spec.seed = 7200 + n;
     driver.add(spec);
   }
+  json.apply_backend(driver);
   json.apply_adversary(driver);
   std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   std::printf("%4s %4s | %10s %12s | %10s %12s | %10s %12s\n", "n", "t", "jf-msgs", "jf-bytes",

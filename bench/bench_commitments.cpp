@@ -13,7 +13,14 @@ using namespace dkg::crypto;
 
 namespace {
 
-const Group& grp() { return Group::small512(); }
+// small512 by default; `--backend ec256` reruns the whole suite on the
+// curve backend (same benchmark names — the document lands in its own
+// BENCH_commitments_ec256.json baseline).
+const Group*& bench_group() {
+  static const Group* g = &Group::small512();
+  return g;
+}
+const Group& grp() { return *bench_group(); }
 
 struct FeldmanFixtureData {
   BiPolynomial f;
@@ -104,4 +111,9 @@ BENCHMARK(BM_PedersenVerifyPoly)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Unit(benchmar
 BENCHMARK(BM_FeldmanVerifyPoint)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PedersenVerifyPoint)->Arg(1)->Arg(3)->Arg(5)->Arg(10)->Unit(benchmark::kMicrosecond);
 
-int main(int argc, char** argv) { return dkg::bench::run_gbench_main(argc, argv); }
+int main(int argc, char** argv) {
+  if (dkg::bench::consume_backend_flag(argc, argv) == "ec256") {
+    bench_group() = &Group::ec256();
+  }
+  return dkg::bench::run_gbench_main(argc, argv);
+}

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
     spec.min_outputs = n - std::max(f, k);
     return spec;
   });
+  json.apply_backend(driver);
   json.apply_adversary(driver);
   std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   std::printf("%10s %10s %14s %10s %10s %12s\n", "k-faulty", "msgs", "bytes", "lead-ch",

@@ -18,7 +18,6 @@ int main(int argc, char** argv) {
   bench::JsonEmitter json("bench_dkg_vs_avss", argc, argv);
   if (!json.args_ok()) return 1;
   json.configure_verify_pool();
-  const crypto::Group& grp = crypto::Group::tiny256();
   // One sweep covers all three tables: paired hvss/avss specs per n, then
   // the Byzantine-only DKG axis.
   engine::SweepDriver driver;
@@ -48,6 +47,7 @@ int main(int argc, char** argv) {
     spec.seed = 3000 + n;
     return spec;
   });
+  json.apply_backend(driver);
   json.apply_adversary(driver);
   std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
 
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     // Every protocol message of both schemes ships the same (t+1)^2 matrix;
     // the symmetric-dealing saving lives in the remaining payload (one
     // point/polynomial instead of two). Subtract the common matrix bytes.
-    std::uint64_t matrix = 4 + (spec.t + 1) * (spec.t + 1) * grp.p_bytes();
+    std::uint64_t matrix = 4 + (spec.t + 1) * (spec.t + 1) * spec.grp->element_bytes();
     std::uint64_t hv_payload = hv.bytes - hv.messages * matrix;
     std::uint64_t av_payload = av.bytes - av.messages * matrix;
     bench::MetricRow row("vss-vs-avss n=" + std::to_string(spec.n));

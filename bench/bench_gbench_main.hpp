@@ -11,6 +11,31 @@
 
 namespace dkg::bench {
 
+/// Consumes a `--backend NAME` / `--backend=NAME` flag from the command
+/// line (the same backend axis the sweep benches accept) before benchmark::
+/// Initialize sees — and rejects — it. Returns the backend name, or "" when
+/// the flag is absent. The gbench mains use it to register extra backend
+/// series at runtime, so a flagless run's benchmark name set (what the
+/// bench-delta comparison pins) is untouched.
+inline std::string consume_backend_flag(int& argc, char** argv) {
+  std::string backend;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--backend" && i + 1 < argc) {
+      backend = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--backend=", 0) == 0 && arg.size() > 10) {
+      backend = arg.substr(10);
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  return backend;
+}
+
 inline int run_gbench_main(int argc, char** argv) {
   std::vector<std::string> args(argv, argv + argc);
   for (std::size_t i = 1; i < args.size(); ++i) {

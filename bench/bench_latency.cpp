@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     driver.add(make_spec({9, 10}, penalty, "adv"));
     driver.add(make_spec({1, 2}, penalty, "honest"));
   }
+  json.apply_backend(driver);
   json.apply_adversary(driver);
   std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   std::printf("%12s %22s %26s\n", "penalty", "adv-links-slowed", "2-honest-links-slowed");

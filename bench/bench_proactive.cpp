@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
     spec.delay_hi = 40;
     return spec;
   });
+  json.apply_backend(driver);
   json.apply_adversary(driver);
   std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
 

@@ -14,11 +14,13 @@
 #include <fstream>
 #include <initializer_list>
 #include <optional>
+#include <set>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "crypto/group.hpp"
 #include "engine/sweep.hpp"
 #include "engine/verify_pool.hpp"
 
@@ -158,6 +160,15 @@ class JsonEmitter {
         }
       } else if (arg.rfind("--adversary=", 0) == 0 && arg.size() > 12) {
         parse_adversary(arg.substr(12));
+      } else if (arg == "--backend") {
+        if (i + 1 < argc) {
+          parse_backend(argv[++i]);
+        } else {
+          std::fprintf(stderr, "bench: --backend requires a backend name\n");
+          arg_error_ = true;
+        }
+      } else if (arg.rfind("--backend=", 0) == 0 && arg.size() > 10) {
+        parse_backend(arg.substr(10));
       } else {
         std::fprintf(stderr, "bench: unrecognized argument: %s\n", arg.c_str());
         arg_error_ = true;
@@ -198,6 +209,38 @@ class JsonEmitter {
     for (engine::ScenarioSpec& spec : driver.mutable_specs()) {
       spec.adversary.kind = *adversary_;
       spec.label += " adv=" + tag;
+    }
+  }
+
+  /// The target group of `--backend NAME`, or nullptr when the flag is
+  /// absent (grids run on their native groups).
+  const crypto::Group* backend() const { return backend_; }
+  /// The `--backend ec256` axis: re-runs any bench grid on another crypto
+  /// backend by remapping every expanded spec's group in place. The remap
+  /// is count- and order-preserving — the bench tables index results
+  /// positionally (pairs, triples, section offsets) — so a spec that lands
+  /// on an already-present grid point (e.g. E4's mod1024 rows collapsing
+  /// onto the tiny256 rows' (mode, n) coordinates) is kept and marked with
+  /// its origin group rather than dropped. Labels swap the native group
+  /// name for the backend's (or append it), so the remapped rows never
+  /// collide with the native series' recorded baselines. No flag leaves the
+  /// sweep untouched — labels, groups and derived seeds included, so the
+  /// committed mod-p baselines stay bit-identical.
+  void apply_backend(engine::SweepDriver& driver) const {
+    if (backend_ == nullptr) return;
+    std::set<std::string> seen;
+    for (engine::ScenarioSpec& spec : driver.mutable_specs()) {
+      const std::string old_name = spec.grp->name();
+      std::string label = spec.label;
+      std::size_t at = label.find(old_name);
+      if (at != std::string::npos) {
+        label.replace(at, old_name.size(), backend_->name());
+      } else {
+        label += " " + backend_->name();
+      }
+      if (!seen.insert(label).second) label += " [was " + old_name + "]";
+      spec.grp = backend_;
+      spec.label = std::move(label);
     }
   }
 
@@ -267,8 +310,20 @@ class JsonEmitter {
     adversary_ = *kind;
   }
 
+  void parse_backend(const std::string& v) {
+    if (v == "ec256") {
+      backend_ = &crypto::Group::ec256();
+    } else if (v == "modp" || v == "none") {
+      backend_ = nullptr;  // explicit default: grids keep their native groups
+    } else {
+      std::fprintf(stderr, "bench: unknown --backend %s (one of: ec256, modp)\n", v.c_str());
+      arg_error_ = true;
+    }
+  }
+
   std::string bench_name_;
   std::string path_;
+  const crypto::Group* backend_ = nullptr;
   std::optional<engine::AdversaryKind> adversary_;
   unsigned jobs_ = 0;
   unsigned verify_jobs_ = 0;

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
                   [](std::size_t n) { return make_spec(crypto::Group::mod1024(), n); });
   driver.add_axis(std::vector<std::size_t>{7},
                   [](std::size_t n) { return make_spec(crypto::Group::big2048(), n); });
+  json.apply_backend(driver);
   json.apply_adversary(driver);
   std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   std::printf("%-16s %4s %4s %10s %14s %12s %14s %10s\n", "group", "n", "t", "messages", "bytes",

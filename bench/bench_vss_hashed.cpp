@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     driver.add(make_spec(n, vss::CommitmentMode::Full));
     driver.add(make_spec(n, vss::CommitmentMode::Hashed));
   }
+  json.apply_backend(driver);
   json.apply_adversary(driver);
   std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   std::printf("%4s %4s %14s %14s %8s %14s %14s\n", "n", "t", "full-bytes", "hash-bytes",

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
     }
     return spec;
   });
+  json.apply_backend(driver);
   json.apply_adversary(driver);
   std::vector<engine::ScenarioResult> results = driver.run(json.jobs());
   std::printf("%4s %10s %14s %12s %14s %10s\n", "d", "messages", "bytes", "extra-msgs",

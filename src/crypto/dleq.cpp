@@ -58,6 +58,11 @@ bool dleq_verify(const Element& g1, const Element& h1, const Element& g2, const 
 }
 
 Element hash_to_group(const Group& grp, const Bytes& data) {
+  if (grp.backend() == GroupBackend::Ec256) {
+    // Cofactor 1: any curve point is already in the prime-order group, so
+    // try-and-increment replaces the (p-1)/q exponentiation cofactor clear.
+    return Element::from_point(grp, ec256::hash_to_curve("hybriddkg/hash-to-group/v1", data));
+  }
   mpz_class r = (grp.p() - 1) / grp.q();
   std::size_t width = grp.p_bytes();
   for (std::uint32_t ctr = 0;; ++ctr) {

@@ -1,0 +1,778 @@
+#include "crypto/ec256.hpp"
+
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+// The limb code below indexes fixed 4-limb arrays with public loop indices
+// and folds carries/borrows with masks, never with value-dependent control
+// flow, so the same primitives are safe under the constant-time ladder.
+static_assert(GMP_NUMB_BITS == 64, "ec256.cpp requires 64-bit nail-free GMP limbs");
+
+namespace dkg::crypto::ec256 {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// secp256k1: p = 2^256 - 2^32 - 977, so 2^256 ≡ kC (mod p) with a 33-bit
+// fold constant — the whole reduction is two mul-by-kC passes.
+constexpr Fe kP = {0xFFFFFFFEFFFFFC2FULL, 0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL,
+                   0xFFFFFFFFFFFFFFFFULL};
+constexpr u64 kC = 0x1000003D1ULL;
+constexpr Fe kOne = {1, 0, 0, 0};
+
+const char kFieldPHex[] = "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f";
+const char kOrderNHex[] = "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141";
+const char kGxHex[] = "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798";
+const char kGyHex[] = "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8";
+
+// --- limb utilities (branch-free) -------------------------------------------
+
+inline u64 nonzero_bit(u64 x) { return (x | (0 - x)) >> 63; }
+inline u64 mask_bit(u64 bit) { return 0 - bit; }  // bit in {0,1} -> 0 / ~0
+
+inline u64 fe_nonzero(const Fe& a) { return nonzero_bit(a[0] | a[1] | a[2] | a[3]); }
+inline u64 fe_is_zero_mask(const Fe& a) { return mask_bit(1 ^ fe_nonzero(a)); }
+
+/// r = m ? a : r for a full mask m (0 or ~0).
+inline void fe_csel(Fe& r, const Fe& a, u64 m) {
+  for (int i = 0; i < 4; ++i) r[i] = (r[i] & ~m) | (a[i] & m);
+}
+
+/// r -= p if r >= p (r < 2p on entry).
+inline void fe_cond_sub_p(Fe& r) {
+  Fe t;
+  u64 bw = 0;
+  for (int i = 0; i < 4; ++i) {
+    u64 d = r[i] - bw;
+    u64 b1 = static_cast<u64>(r[i] < bw);
+    t[i] = d - kP[i];
+    bw = b1 | static_cast<u64>(d < kP[i]);
+  }
+  fe_csel(r, t, mask_bit(1 ^ bw));  // keep the subtraction iff it didn't borrow
+}
+
+inline void fe_add(Fe& r, const Fe& a, const Fe& b) {
+  Fe s;
+  u128 c = 0;
+  for (int i = 0; i < 4; ++i) {
+    c += static_cast<u128>(a[i]) + b[i];
+    s[i] = static_cast<u64>(c);
+    c >>= 64;
+  }
+  u64 cy = static_cast<u64>(c);
+  Fe t;
+  u64 bw = 0;
+  for (int i = 0; i < 4; ++i) {
+    u64 d = s[i] - bw;
+    u64 b1 = static_cast<u64>(s[i] < bw);
+    t[i] = d - kP[i];
+    bw = b1 | static_cast<u64>(d < kP[i]);
+  }
+  r = s;
+  fe_csel(r, t, mask_bit(cy | (1 ^ bw)));
+}
+
+inline void fe_sub(Fe& r, const Fe& a, const Fe& b) {
+  Fe s;
+  u64 bw = 0;
+  for (int i = 0; i < 4; ++i) {
+    u64 d = a[i] - bw;
+    u64 b1 = static_cast<u64>(a[i] < bw);
+    s[i] = d - b[i];
+    bw = b1 | static_cast<u64>(d < b[i]);
+  }
+  Fe t;
+  u128 c = 0;
+  for (int i = 0; i < 4; ++i) {
+    c += static_cast<u128>(s[i]) + kP[i];
+    t[i] = static_cast<u64>(c);
+    c >>= 64;
+  }
+  r = s;
+  fe_csel(r, t, mask_bit(bw));
+}
+
+inline void fe_neg(Fe& r, const Fe& a) {
+  Fe z{};
+  fe_sub(r, z, a);
+}
+
+/// 192-bit accumulator multiply-accumulate for the comba product scan.
+// Fully unrolled operand-scanning schoolbook: row i adds a[i]*b into
+// t[i..i+4] with the carry riding in the high half of a u128 accumulator.
+// Each step is carry(<2^64) + product(<=(2^64-1)^2) + limb(<2^64), whose
+// maximum is exactly 2^128 - 1 — no u128 overflow. Straight-line and
+// branch-free (shared by the constant-time ladder).
+inline void mul_wide(u64 t[8], const Fe& a, const Fe& b) {
+  u128 c;
+  c = static_cast<u128>(a[0]) * b[0];
+  t[0] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[0]) * b[1];
+  t[1] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[0]) * b[2];
+  t[2] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[0]) * b[3];
+  t[3] = static_cast<u64>(c);
+  t[4] = static_cast<u64>(c >> 64);
+
+  c = static_cast<u128>(a[1]) * b[0] + t[1];
+  t[1] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[1]) * b[1] + t[2];
+  t[2] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[1]) * b[2] + t[3];
+  t[3] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[1]) * b[3] + t[4];
+  t[4] = static_cast<u64>(c);
+  t[5] = static_cast<u64>(c >> 64);
+
+  c = static_cast<u128>(a[2]) * b[0] + t[2];
+  t[2] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[2]) * b[1] + t[3];
+  t[3] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[2]) * b[2] + t[4];
+  t[4] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[2]) * b[3] + t[5];
+  t[5] = static_cast<u64>(c);
+  t[6] = static_cast<u64>(c >> 64);
+
+  c = static_cast<u128>(a[3]) * b[0] + t[3];
+  t[3] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[3]) * b[1] + t[4];
+  t[4] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[3]) * b[2] + t[5];
+  t[5] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[3]) * b[3] + t[6];
+  t[6] = static_cast<u64>(c);
+  t[7] = static_cast<u64>(c >> 64);
+}
+
+// Dedicated squaring: 6 cross products doubled by a limb shift plus the 4
+// diagonal squares — 10 wide multiplications against mul_wide's 16. Same
+// straight-line/branch-free property.
+inline void sqr_wide(u64 t[8], const Fe& a) {
+  u128 c;
+  c = static_cast<u128>(a[0]) * a[1];
+  t[1] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[0]) * a[2];
+  t[2] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[0]) * a[3];
+  t[3] = static_cast<u64>(c);
+  t[4] = static_cast<u64>(c >> 64);
+
+  c = static_cast<u128>(a[1]) * a[2] + t[3];
+  t[3] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[1]) * a[3] + t[4];
+  t[4] = static_cast<u64>(c);
+  t[5] = static_cast<u64>(c >> 64);
+
+  c = static_cast<u128>(a[2]) * a[3] + t[5];
+  t[5] = static_cast<u64>(c);
+  t[6] = static_cast<u64>(c >> 64);
+
+  t[7] = t[6] >> 63;
+  t[6] = (t[6] << 1) | (t[5] >> 63);
+  t[5] = (t[5] << 1) | (t[4] >> 63);
+  t[4] = (t[4] << 1) | (t[3] >> 63);
+  t[3] = (t[3] << 1) | (t[2] >> 63);
+  t[2] = (t[2] << 1) | (t[1] >> 63);
+  t[1] = t[1] << 1;
+
+  c = static_cast<u128>(a[0]) * a[0];
+  t[0] = static_cast<u64>(c);
+  c = (c >> 64) + t[1];
+  t[1] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[1]) * a[1] + t[2];
+  t[2] = static_cast<u64>(c);
+  c = (c >> 64) + t[3];
+  t[3] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[2]) * a[2] + t[4];
+  t[4] = static_cast<u64>(c);
+  c = (c >> 64) + t[5];
+  t[5] = static_cast<u64>(c);
+  c = (c >> 64) + static_cast<u128>(a[3]) * a[3] + t[6];
+  t[6] = static_cast<u64>(c);
+  t[7] += static_cast<u64>(c >> 64);  // < 2^512 total: cannot overflow
+}
+
+/// Reduces a 512-bit product to canonical [0, p) by folding the high half
+/// through 2^256 ≡ kC twice (see the bound analysis inline).
+inline void fe_reduce(Fe& r, const u64 t[8]) {
+  // m = t_hi * kC (5 limbs, m[4] < 2^33).
+  u64 m[5];
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 pr = static_cast<u128>(t[4 + i]) * kC + carry;
+    m[i] = static_cast<u64>(pr);
+    carry = static_cast<u64>(pr >> 64);
+  }
+  m[4] = carry;
+  // r = t_lo + m[0..3]; hi = m[4] + carry-out <= 2^33.
+  u128 s = 0;
+  for (int i = 0; i < 4; ++i) {
+    s += static_cast<u128>(t[i]) + m[i];
+    r[i] = static_cast<u64>(s);
+    s >>= 64;
+  }
+  u64 hi = m[4] + static_cast<u64>(s);
+  // Fold hi: value = r + hi * 2^256 ≡ r + hi * kC, hi * kC < 2^67.
+  u128 f = static_cast<u128>(hi) * kC;
+  u64 f0 = static_cast<u64>(f), f1 = static_cast<u64>(f >> 64);
+  u128 s2 = static_cast<u128>(r[0]) + f0;
+  r[0] = static_cast<u64>(s2);
+  s2 = (s2 >> 64) + r[1] + f1;
+  r[1] = static_cast<u64>(s2);
+  s2 = (s2 >> 64) + r[2];
+  r[2] = static_cast<u64>(s2);
+  s2 = (s2 >> 64) + r[3];
+  r[3] = static_cast<u64>(s2);
+  u64 cy = static_cast<u64>(s2 >> 64);
+  // If that overflowed 2^256 the wrapped value is < 2^67, so one more
+  // masked +kC cannot carry; either way r < 2p afterwards.
+  u64 add0 = kC & mask_bit(cy);
+  u64 o = static_cast<u64>((r[0] += add0) < add0);
+  o = static_cast<u64>((r[1] += o) < o);
+  o = static_cast<u64>((r[2] += o) < o);
+  r[3] += o;  // cannot overflow (see bound above)
+  fe_cond_sub_p(r);
+}
+
+inline void fe_mul(Fe& r, const Fe& a, const Fe& b) {
+  u64 t[8];
+  mul_wide(t, a, b);
+  fe_reduce(r, t);
+}
+
+inline void fe_sqr(Fe& r, const Fe& a) {
+  u64 t[8];
+  sqr_wide(t, a);
+  fe_reduce(r, t);
+}
+
+inline u64 fe_eq_mask(const Fe& a, const Fe& b) {
+  u64 d = (a[0] ^ b[0]) | (a[1] ^ b[1]) | (a[2] ^ b[2]) | (a[3] ^ b[3]);
+  return mask_bit(1 ^ nonzero_bit(d));
+}
+
+// --- derived constants (parsed once from the hex strings) -------------------
+
+inline Fe fe_from_mpz(const mpz_class& v) {
+  Fe r{};
+  std::size_t count = 0;
+  mpz_export(r.data(), &count, -1, sizeof(u64), 0, 0, v.get_mpz_t());
+  return r;
+}
+
+inline mpz_class fe_to_mpz(const Fe& a) {
+  mpz_class v;
+  mpz_import(v.get_mpz_t(), 4, -1, sizeof(u64), 0, 0, a.data());
+  return v;
+}
+
+struct Consts {
+  mpz_class p_mpz{kFieldPHex, 16};
+  mpz_class n_mpz{kOrderNHex, 16};
+  Fe pm2 = fe_from_mpz(p_mpz - 2);            // Fermat inversion exponent
+  Fe sqrt_e = fe_from_mpz((p_mpz + 1) / 4);   // p ≡ 3 (mod 4) square root
+  Fe b7 = {7, 0, 0, 0};
+};
+
+const Consts& consts() {
+  static const Consts c;
+  return c;
+}
+
+/// a^e for a PUBLIC constant exponent (inversion / square-root chains):
+/// branching on the fixed exponent bits is data-independent.
+inline void fe_pow_const(Fe& r, const Fe& a, const Fe& e) {
+  Fe acc = kOne;
+  bool started = false;
+  for (int i = 255; i >= 0; --i) {
+    if (started) fe_sqr(acc, acc);
+    if ((e[i >> 6] >> (i & 63)) & 1) {
+      if (started) {
+        fe_mul(acc, acc, a);
+      } else {
+        acc = a;
+        started = true;
+      }
+    }
+  }
+  r = started ? acc : kOne;
+}
+
+/// Constant-time inversion (0 -> 0), for the ladder's final normalization.
+inline void fe_inv_ct(Fe& r, const Fe& a) { fe_pow_const(r, a, consts().pm2); }
+
+/// Variable-time inversion for public data (mpz binary xgcd is several
+/// times faster than the 255-squaring Fermat chain at this size).
+inline void fe_inv_var(Fe& r, const Fe& a) {
+  mpz_class v = fe_to_mpz(a);
+  if (v == 0) {
+    r = Fe{};
+    return;
+  }
+  mpz_class inv;
+  mpz_invert(inv.get_mpz_t(), v.get_mpz_t(), consts().p_mpz.get_mpz_t());
+  r = fe_from_mpz(inv);
+}
+
+inline void fe_from_be(Fe& r, const std::uint8_t* b) {
+  for (int i = 0; i < 4; ++i) {
+    u64 limb = 0;
+    for (int j = 0; j < 8; ++j) limb = (limb << 8) | b[(3 - i) * 8 + j];
+    r[i] = limb;
+  }
+}
+
+inline void fe_to_be(std::uint8_t* b, const Fe& a) {
+  for (int i = 0; i < 4; ++i) {
+    u64 limb = a[3 - i];
+    for (int j = 7; j >= 0; --j) {
+      b[i * 8 + j] = static_cast<std::uint8_t>(limb);
+      limb >>= 8;
+    }
+  }
+}
+
+/// x < p, variable time (wire decoding of public data).
+inline bool fe_canonical(const Fe& a) {
+  for (int i = 3; i >= 0; --i) {
+    if (a[i] < kP[i]) return true;
+    if (a[i] > kP[i]) return false;
+  }
+  return false;
+}
+
+// --- point primitives -------------------------------------------------------
+
+/// Branch-free Jacobian doubling (dbl-2009-l, a = 0). Z = 0 propagates.
+Jac dbl(const Jac& P) {
+  Fe A, B, C, D, E, F, t;
+  Jac r;
+  fe_sqr(A, P.X);
+  fe_sqr(B, P.Y);
+  fe_sqr(C, B);
+  fe_add(t, P.X, B);
+  fe_sqr(t, t);
+  fe_sub(t, t, A);
+  fe_sub(t, t, C);
+  fe_add(D, t, t);
+  fe_add(E, A, A);
+  fe_add(E, E, A);
+  fe_sqr(F, E);
+  fe_sub(r.X, F, D);
+  fe_sub(r.X, r.X, D);
+  fe_sub(t, D, r.X);
+  fe_mul(r.Y, E, t);
+  fe_add(C, C, C);
+  fe_add(C, C, C);
+  fe_add(C, C, C);
+  fe_sub(r.Y, r.Y, C);
+  fe_mul(r.Z, P.Y, P.Z);
+  fe_add(r.Z, r.Z, r.Z);
+  return r;
+}
+
+/// Generic mixed-add body (madd-2007-bl shape): assumes a and b finite and
+/// a != ±b; H and R are exported so complete wrappers can mask the special
+/// cases. Branch-free. When H == 0 the result's Z is 0 (infinity), which is
+/// already the correct answer for b == -a.
+void madd_core(Jac& r, Fe& H, Fe& R, const Jac& a, const Point& b) {
+  Fe Z1Z1, U2, S2, H2, H3, V, t;
+  fe_sqr(Z1Z1, a.Z);
+  fe_mul(U2, b.x, Z1Z1);
+  fe_mul(S2, a.Z, Z1Z1);
+  fe_mul(S2, S2, b.y);
+  fe_sub(H, U2, a.X);
+  fe_sub(R, S2, a.Y);
+  fe_sqr(H2, H);
+  fe_mul(H3, H2, H);
+  fe_mul(V, a.X, H2);
+  fe_sqr(r.X, R);
+  fe_sub(r.X, r.X, H3);
+  fe_sub(r.X, r.X, V);
+  fe_sub(r.X, r.X, V);
+  fe_sub(t, V, r.X);
+  fe_mul(r.Y, R, t);
+  fe_mul(t, a.Y, H3);
+  fe_sub(r.Y, r.Y, t);
+  fe_mul(r.Z, a.Z, H);
+}
+
+inline void jac_csel(Jac& r, const Jac& a, u64 m) {
+  fe_csel(r.X, a.X, m);
+  fe_csel(r.Y, a.Y, m);
+  fe_csel(r.Z, a.Z, m);
+}
+
+/// Complete constant-time mixed add: any combination of infinities and the
+/// a == ±b cases resolved with masks (the ladder's accumulator step).
+Jac ct_add_mixed(const Jac& a, const Point& b) {
+  Jac gen, r;
+  Fe H, R;
+  madd_core(gen, H, R, a, b);
+  Jac d = dbl(a);
+  const u64 m_a_inf = fe_is_zero_mask(a.Z);
+  const u64 m_b_inf = mask_bit(b.inf);
+  const u64 m_h0 = fe_is_zero_mask(H);
+  const u64 m_r0 = fe_is_zero_mask(R);
+  r = gen;  // covers the generic case AND b == -a (gen.Z == 0 there)
+  jac_csel(r, d, m_h0 & m_r0 & ~m_a_inf & ~m_b_inf);  // b == a: double
+  Jac jb;
+  jb.X = b.x;
+  jb.Y = b.y;
+  jb.Z = Fe{u64{1} & ~b.inf, 0, 0, 0};
+  jac_csel(r, jb, m_a_inf);            // a infinite: result is b
+  jac_csel(r, a, m_b_inf & ~m_a_inf);  // b infinite: result is a
+  return r;
+}
+
+Point to_affine_var(const Jac& a) {
+  if (!fe_nonzero(a.Z)) return Point{};
+  Fe zi, zi2, zi3;
+  Point r;
+  fe_inv_var(zi, a.Z);
+  fe_sqr(zi2, zi);
+  fe_mul(zi3, zi2, zi);
+  fe_mul(r.x, a.X, zi2);
+  fe_mul(r.y, a.Y, zi3);
+  r.inf = 0;
+  return r;
+}
+
+/// Masked scan of the full 16-entry window table (digit is secret).
+void ct_select(Point& r, const Point tbl[16], u64 digit) {
+  Fe x{}, y{};
+  u64 inf = 0;
+  for (u64 j = 0; j < 16; ++j) {
+    const u64 m = mask_bit(1 ^ nonzero_bit(j ^ digit));
+    for (int i = 0; i < 4; ++i) {
+      x[i] |= tbl[j].x[i] & m;
+      y[i] |= tbl[j].y[i] & m;
+    }
+    inf |= tbl[j].inf & m;
+  }
+  r.x = x;
+  r.y = y;
+  r.inf = inf;
+}
+
+}  // namespace
+
+// --- public surface ---------------------------------------------------------
+
+const char* field_p_hex() { return kFieldPHex; }
+const char* order_n_hex() { return kOrderNHex; }
+
+const Point& generator() {
+  static const Point g = [] {
+    Point p;
+    p.x = fe_from_mpz(mpz_class(kGxHex, 16));
+    p.y = fe_from_mpz(mpz_class(kGyHex, 16));
+    p.inf = 0;
+    return p;
+  }();
+  return g;
+}
+
+const Point& pedersen_h() {
+  static const Point h = hash_to_curve("hybriddkg/pedersen-h/ec256/v1", Bytes{});
+  return h;
+}
+
+bool on_curve(const Point& a) {
+  if (a.inf) return true;
+  Fe lhs, rhs;
+  fe_sqr(lhs, a.y);
+  fe_sqr(rhs, a.x);
+  fe_mul(rhs, rhs, a.x);
+  fe_add(rhs, rhs, consts().b7);
+  return fe_eq_mask(lhs, rhs) != 0;
+}
+
+bool eq(const Point& a, const Point& b) {
+  if (a.inf || b.inf) return a.inf == b.inf;
+  return (fe_eq_mask(a.x, b.x) & fe_eq_mask(a.y, b.y)) != 0;
+}
+
+Bytes encode(const Point& a) {
+  Bytes b(kEncodedBytes, 0);
+  if (a.inf) return b;
+  b[0] = static_cast<std::uint8_t>(0x02 | (a.y[0] & 1));
+  fe_to_be(b.data() + 1, a.x);
+  return b;
+}
+
+bool decode(Point& out, const std::uint8_t* b, std::size_t len) {
+  if (len != kEncodedBytes) return false;
+  if (b[0] == 0) {
+    // Identity: all 33 bytes zero is the only canonical form.
+    for (std::size_t i = 1; i < kEncodedBytes; ++i) {
+      if (b[i] != 0) return false;
+    }
+    out = Point{};
+    return true;
+  }
+  if (b[0] != 0x02 && b[0] != 0x03) return false;
+  Fe x;
+  fe_from_be(x, b + 1);
+  if (!fe_canonical(x)) return false;
+  Fe rhs, y, chk;
+  fe_sqr(rhs, x);
+  fe_mul(rhs, rhs, x);
+  fe_add(rhs, rhs, consts().b7);
+  fe_pow_const(y, rhs, consts().sqrt_e);
+  fe_sqr(chk, y);
+  if (!fe_eq_mask(chk, rhs)) return false;  // x is off the curve
+  if ((y[0] & 1) != (b[0] & 1)) fe_neg(y, y);
+  // Prime odd order means no 2-torsion, so y != 0 and both parities are
+  // reachable; this is defensive only.
+  if ((y[0] & 1) != static_cast<u64>(b[0] & 1)) return false;
+  out.x = x;
+  out.y = y;
+  out.inf = 0;
+  return true;
+}
+
+Jac to_jac(const Point& a) {
+  Jac r;
+  r.X = a.x;
+  r.Y = a.y;
+  r.Z = Fe{u64{1} & ~a.inf, 0, 0, 0};
+  return r;
+}
+
+Point to_affine(const Jac& a) { return to_affine_var(a); }
+
+void batch_to_affine(const std::vector<Jac>& in, std::vector<Point>& out) {
+  const std::size_t k = in.size();
+  out.assign(k, Point{});
+  std::vector<Fe> prefix(k);
+  Fe run = kOne;
+  for (std::size_t i = 0; i < k; ++i) {
+    prefix[i] = run;
+    if (fe_nonzero(in[i].Z)) fe_mul(run, run, in[i].Z);
+  }
+  Fe inv;
+  fe_inv_var(inv, run);
+  for (std::size_t i = k; i-- > 0;) {
+    if (!fe_nonzero(in[i].Z)) continue;  // out[i] stays the identity
+    Fe zi, zi2, zi3;
+    fe_mul(zi, inv, prefix[i]);
+    fe_mul(inv, inv, in[i].Z);
+    fe_sqr(zi2, zi);
+    fe_mul(zi3, zi2, zi);
+    fe_mul(out[i].x, in[i].X, zi2);
+    fe_mul(out[i].y, in[i].Y, zi3);
+    out[i].inf = 0;
+  }
+}
+
+Jac jac_double(const Jac& a) { return dbl(a); }
+
+Jac jac_add_mixed(const Jac& a, const Point& b) {
+  if (b.inf) return a;
+  if (!fe_nonzero(a.Z)) return to_jac(b);
+  Jac r;
+  Fe H, R;
+  madd_core(r, H, R, a, b);
+  if (!fe_nonzero(H)) {
+    if (!fe_nonzero(R)) return dbl(a);
+    return Jac{};  // b == -a
+  }
+  return r;
+}
+
+Jac jac_add(const Jac& a, const Jac& b) {
+  if (!fe_nonzero(a.Z)) return b;
+  if (!fe_nonzero(b.Z)) return a;
+  Fe Z1Z1, Z2Z2, U1, U2, S1, S2, H, R, H2, H3, V, t;
+  fe_sqr(Z1Z1, a.Z);
+  fe_sqr(Z2Z2, b.Z);
+  fe_mul(U1, a.X, Z2Z2);
+  fe_mul(U2, b.X, Z1Z1);
+  fe_mul(S1, a.Y, b.Z);
+  fe_mul(S1, S1, Z2Z2);
+  fe_mul(S2, b.Y, a.Z);
+  fe_mul(S2, S2, Z1Z1);
+  fe_sub(H, U2, U1);
+  fe_sub(R, S2, S1);
+  if (!fe_nonzero(H)) {
+    if (!fe_nonzero(R)) return dbl(a);
+    return Jac{};
+  }
+  Jac r;
+  fe_sqr(H2, H);
+  fe_mul(H3, H2, H);
+  fe_mul(V, U1, H2);
+  fe_sqr(r.X, R);
+  fe_sub(r.X, r.X, H3);
+  fe_sub(r.X, r.X, V);
+  fe_sub(r.X, r.X, V);
+  fe_sub(t, V, r.X);
+  fe_mul(r.Y, R, t);
+  fe_mul(t, S1, H3);
+  fe_sub(r.Y, r.Y, t);
+  fe_mul(r.Z, a.Z, b.Z);
+  fe_mul(r.Z, r.Z, H);
+  return r;
+}
+
+Jac jac_mul_u64(const Jac& a, std::uint64_t e) {
+  if (e == 0 || !fe_nonzero(a.Z)) return Jac{};
+  int top = 63;
+  while (((e >> top) & 1) == 0) --top;
+  Jac acc = a;
+  for (int i = top - 1; i >= 0; --i) {
+    acc = dbl(acc);
+    if ((e >> i) & 1) acc = jac_add(acc, a);
+  }
+  return acc;
+}
+
+Jac jac_negate(const Jac& a) {
+  Jac r = a;
+  fe_neg(r.Y, a.Y);
+  return r;
+}
+
+bool jac_eq(const Jac& a, const Jac& b) {
+  // X/Z^2 and Y/Z^3 compare by cross-multiplication, so neither side pays
+  // an inversion. Z == 0 (the identity) short-circuits: the projective
+  // ratios are undefined there and the masks below would lie.
+  const bool a_inf = !fe_nonzero(a.Z);
+  const bool b_inf = !fe_nonzero(b.Z);
+  if (a_inf || b_inf) return a_inf == b_inf;
+  Fe za, zb, l, r;
+  fe_sqr(za, a.Z);
+  fe_sqr(zb, b.Z);
+  fe_mul(l, a.X, zb);
+  fe_mul(r, b.X, za);
+  if (!fe_eq_mask(l, r)) return false;
+  fe_mul(za, za, a.Z);
+  fe_mul(zb, zb, b.Z);
+  fe_mul(l, a.Y, zb);
+  fe_mul(r, b.Y, za);
+  return fe_eq_mask(l, r) != 0;
+}
+
+Point add(const Point& a, const Point& b) {
+  return to_affine_var(jac_add_mixed(to_jac(a), b));
+}
+
+Point negate(const Point& a) {
+  Point r = a;
+  fe_neg(r.y, a.y);
+  return r;
+}
+
+Point scalar_mul_u64(const Point& a, std::uint64_t e) {
+  return to_affine_var(jac_mul_u64(to_jac(a), e));
+}
+
+Point scalar_mul(const Point& a, const mpz_class& e) {
+  mpz_class red = mod(e, consts().n_mpz);
+  if (red == 0 || a.inf) return Point{};
+  Fe el = fe_from_mpz(red);
+  // 4-bit fixed windows over a batch-normalized odd-and-even table: the
+  // table build is 14 mixed adds + one shared inversion, and every window
+  // step is then a cheap mixed add.
+  std::vector<Jac> jt(16, Jac{});
+  jt[1] = to_jac(a);
+  for (int j = 2; j < 16; ++j) jt[j] = jac_add_mixed(jt[j - 1], a);
+  std::vector<Point> tbl;
+  batch_to_affine(jt, tbl);
+  Jac acc{};
+  bool any = false;
+  for (int w = 63; w >= 0; --w) {
+    if (any) {
+      acc = dbl(acc);
+      acc = dbl(acc);
+      acc = dbl(acc);
+      acc = dbl(acc);
+    }
+    const u64 d = (el[w >> 4] >> ((w & 15) * 4)) & 0xF;
+    if (d != 0) {
+      acc = jac_add_mixed(acc, tbl[d]);
+      any = true;
+    }
+  }
+  return to_affine_var(acc);
+}
+
+Point scalar_mul_ct(const Point& base, const mp_limb_t* e, std::size_t en) {
+  // The window table depends only on the PUBLIC base; variable-time build,
+  // one shared inversion, then the contents are public values scanned with
+  // masks below.
+  std::vector<Jac> jt(16, Jac{});
+  jt[1] = to_jac(base);
+  for (int j = 2; j < 16; ++j) jt[j] = jac_add_mixed(jt[j - 1], base);
+  std::vector<Point> norm;
+  batch_to_affine(jt, norm);
+  Point tbl[16];
+  for (int j = 0; j < 16; ++j) tbl[j] = norm[static_cast<std::size_t>(j)];
+
+  // Fixed schedule: every window costs 4 doublings, one full-table masked
+  // scan and one complete masked add, independent of the exponent bits.
+  Jac acc{};
+  const std::size_t windows = (en * 64 + 3) / 4;
+  for (std::size_t w = windows; w-- > 0;) {
+    acc = dbl(acc);
+    acc = dbl(acc);
+    acc = dbl(acc);
+    acc = dbl(acc);
+    const u64 limb = static_cast<u64>(e[w >> 4]);
+    const u64 d = (limb >> ((w & 15) * 4)) & 0xF;
+    Point sel;
+    ct_select(sel, tbl, d);
+    acc = ct_add_mixed(acc, sel);
+  }
+
+  // Constant-time normalization: Fermat inversion maps Z = 0 to 0, and the
+  // infinity verdict is folded in with masks.
+  Fe zi, zi2, zi3;
+  fe_inv_ct(zi, acc.Z);
+  fe_sqr(zi2, zi);
+  fe_mul(zi3, zi2, zi);
+  Point r;
+  fe_mul(r.x, acc.X, zi2);
+  fe_mul(r.y, acc.Y, zi3);
+  const u64 m_inf = fe_is_zero_mask(acc.Z);
+  const Fe z{};
+  fe_csel(r.x, z, m_inf);
+  fe_csel(r.y, z, m_inf);
+  r.inf = m_inf & 1;
+  return r;
+}
+
+Point hash_to_curve(std::string_view domain, const Bytes& data) {
+  for (std::uint32_t ctr = 0;; ++ctr) {
+    Writer w;
+    w.str(domain);
+    w.blob(data);
+    w.u32(ctr);
+    Bytes h = sha256(w.data());
+    Fe x;
+    fe_from_be(x, h.data());
+    if (!fe_canonical(x)) continue;
+    Fe rhs, y, chk;
+    fe_sqr(rhs, x);
+    fe_mul(rhs, rhs, x);
+    fe_add(rhs, rhs, consts().b7);
+    fe_pow_const(y, rhs, consts().sqrt_e);
+    fe_sqr(chk, y);
+    if (!fe_eq_mask(chk, rhs)) continue;  // ~half of all x are non-residues
+    if (y[0] & 1) fe_neg(y, y);           // deterministic: always the even root
+    Point r;
+    r.x = x;
+    r.y = y;
+    r.inf = 0;
+    return r;
+  }
+}
+
+}  // namespace dkg::crypto::ec256

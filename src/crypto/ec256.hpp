@@ -1,0 +1,119 @@
+// ec256 backend engine: secp256k1 (y^2 = x^3 + 7 over GF(p), p = 2^256 -
+// 2^32 - 977), the short-Weierstrass prime-order curve behind the
+// GroupBackend::Ec256 parameter set. The paper argues its protocols for
+// generic kappa-bit discrete-log groups (§2.3); this backend instantiates
+// them on a curve group where an element is 33 bytes instead of p_bytes and
+// a field element is four 64-bit limbs on the stack — no heap per element.
+//
+// Representation choices, in the order they matter:
+//  * Fe: a fixed std::array of 4 little-endian limbs, always canonical in
+//    [0, p). All field arithmetic is branch-free (masked folds of the
+//    pseudo-Mersenne tail 2^256 = 2^32 + 977 mod p), so the same primitives
+//    serve both the variable-time public paths and the constant-time secret
+//    ladder without a second implementation.
+//  * Point: affine + an explicit infinity flag; the canonical, hashable,
+//    encodable form every crypto::Element holds. Compressed encoding is 33
+//    bytes (0x02/0x03 || big-endian x; the identity is 33 zero bytes),
+//    decode rejects off-curve x, non-canonical field encodings and junk
+//    prefixes — the curve has cofactor 1, so "on curve" IS the subgroup
+//    check that costs a full powm in the mod-p backend.
+//  * Jac: Jacobian projective coordinates (Z == 0 encodes infinity) for the
+//    hot chains. multiexp/multiexp_index/FixedBaseTable accumulate in Jac
+//    and normalize once at the end (batch_to_affine shares a single field
+//    inversion across any number of results).
+//
+// Constant time: scalar_mul_ct is the SecretScalar ladder — fixed 4-bit
+// windows over the full 256-bit limb width, a masked scan of the whole
+// precomputed (public-base) table per digit, and a complete masked add that
+// handles the infinity and P == Q cases with limb masks instead of
+// branches. It is exercised by tools/ctcheck (timing + valgrind poison).
+#pragma once
+
+#include <gmp.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/mpz.hpp"
+
+namespace dkg::crypto::ec256 {
+
+/// Field element of GF(p): 4 little-endian 64-bit limbs, canonical [0, p).
+using Fe = std::array<std::uint64_t, 4>;
+
+/// Affine point; `inf == 1` is the identity (x and y are then zero).
+struct Point {
+  Fe x{};
+  Fe y{};
+  std::uint64_t inf = 1;
+};
+
+/// Jacobian point (X/Z^2, Y/Z^3); Z == 0 encodes the identity.
+struct Jac {
+  Fe X{};
+  Fe Y{};
+  Fe Z{};
+};
+
+/// Compressed encoding width: prefix byte + 32-byte big-endian x.
+constexpr std::size_t kEncodedBytes = 33;
+
+/// Curve parameters as hex strings (no 0x prefix) for Group construction:
+/// the field prime p and the (prime) group order n.
+const char* field_p_hex();
+const char* order_n_hex();
+
+/// The standard base point G and the derived Pedersen second generator h
+/// (hash-to-curve with an independent domain tag; dlog_G(h) unknown).
+const Point& generator();
+const Point& pedersen_h();
+
+bool on_curve(const Point& a);
+bool eq(const Point& a, const Point& b);
+
+/// 33-byte compressed encoding (see header comment for the format).
+Bytes encode(const Point& a);
+/// Strict decode: exactly 33 bytes, canonical x < p, point on curve, and
+/// the identity only as all-zero bytes. Returns false on any failure.
+bool decode(Point& out, const std::uint8_t* b, std::size_t len);
+
+/// Complete variable-time group law on public points.
+Point add(const Point& a, const Point& b);
+Point negate(const Point& a);
+Point scalar_mul(const Point& a, const mpz_class& e);  // e taken mod n
+Point scalar_mul_u64(const Point& a, std::uint64_t e);
+
+/// Constant-time scalar multiplication for the SecretScalar domain: `base`
+/// is public, the exponent limbs (little-endian, value < n, en limbs) are
+/// secret. Runtime depends only on `en`, never on the exponent's value.
+Point scalar_mul_ct(const Point& base, const mp_limb_t* e, std::size_t en);
+
+/// Deterministic try-and-increment hash onto the curve (the EC counterpart
+/// of the mod-p hash-to-subgroup): sha256 counter stream -> x candidates,
+/// first valid x wins, y is the even square root. dlog of the result is
+/// unknown for any non-trivially-chosen data.
+Point hash_to_curve(std::string_view domain, const Bytes& data);
+
+// --- Jacobian toolkit (the multiexp/sigverify accumulation layer) ----------
+
+Jac to_jac(const Point& a);
+Point to_affine(const Jac& a);
+/// Normalizes every input with ONE shared field inversion (Montgomery's
+/// batch-inversion trick); out.size() == in.size() on return.
+void batch_to_affine(const std::vector<Jac>& in, std::vector<Point>& out);
+
+Jac jac_double(const Jac& a);
+Jac jac_add(const Jac& a, const Jac& b);
+/// Mixed addition (affine b, including b == identity); complete.
+Jac jac_add_mixed(const Jac& a, const Point& b);
+Jac jac_mul_u64(const Jac& a, std::uint64_t e);
+Jac jac_negate(const Jac& a);
+/// Variable-time equality of the group elements two Jacobian points name
+/// (cross-multiplied ratio compare — no inversion, no normalization).
+bool jac_eq(const Jac& a, const Jac& b);
+
+}  // namespace dkg::crypto::ec256

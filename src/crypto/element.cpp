@@ -6,6 +6,10 @@
 
 namespace dkg::crypto {
 
+namespace {
+inline bool is_ec(const Group& grp) { return grp.backend() == GroupBackend::Ec256; }
+}  // namespace
+
 const Group& Element::group() const {
   if (grp_ == nullptr) throw std::logic_error("Element: empty");
   return *grp_;
@@ -16,32 +20,57 @@ void Element::check_same(const Element& o) const {
   if (!(*grp_ == *o.grp_)) throw std::logic_error("Element: mixed groups");
 }
 
-Element Element::identity(const Group& grp) { return Element(grp, 1); }
+Element::Element(const Group& grp, const ec256::Point& pt)
+    : grp_(&grp), v_(mpz_from_bytes(ec256::encode(pt))), pt_(pt) {}
 
-Element Element::generator(const Group& grp) { return Element(grp, grp.g()); }
+Element Element::identity(const Group& grp) {
+  if (is_ec(grp)) return Element(grp, ec256::Point{});
+  return Element(grp, 1);
+}
 
-Element Element::pedersen_h(const Group& grp) { return Element(grp, grp.h()); }
+Element Element::generator(const Group& grp) {
+  if (is_ec(grp)) return Element(grp, ec256::generator());
+  return Element(grp, grp.g());
+}
+
+Element Element::pedersen_h(const Group& grp) {
+  if (is_ec(grp)) return Element(grp, ec256::pedersen_h());
+  return Element(grp, grp.h());
+}
 
 Element Element::exp_g(const Scalar& x) {
   const Group& grp = x.group();
   if (const FixedBaseTable* t = FixedBaseTable::for_g(grp)) return t->pow(x);
+  if (is_ec(grp)) return Element(grp, ec256::scalar_mul(ec256::generator(), x.value()));
   return Element(grp, powm(grp.g(), x.value(), grp.p()));
 }
 
 Element Element::exp_h(const Scalar& x) {
   const Group& grp = x.group();
   if (const FixedBaseTable* t = FixedBaseTable::for_h(grp)) return t->pow(x);
+  if (is_ec(grp)) return Element(grp, ec256::scalar_mul(ec256::pedersen_h(), x.value()));
   return Element(grp, powm(grp.h(), x.value(), grp.p()));
 }
 
 Element Element::from_bytes(const Group& grp, const Bytes& b) {
+  if (is_ec(grp)) {
+    ec256::Point pt;
+    if (!ec256::decode(pt, b.data(), b.size())) return Element{};
+    return Element(grp, pt);
+  }
   mpz_class v = mpz_from_bytes(b);
   if (v <= 0 || v >= grp.p()) return Element{};
   return Element(grp, std::move(v));
 }
 
+Element Element::from_point(const Group& grp, const ec256::Point& pt) {
+  if (!is_ec(grp)) throw std::logic_error("Element: from_point on a mod-p group");
+  return Element(grp, pt);
+}
+
 Element Element::operator*(const Element& o) const {
   check_same(o);
+  if (is_ec(*grp_)) return Element(*grp_, ec256::add(pt_, o.pt_));
   return Element(*grp_, mod(v_ * o.v_, grp_->p()));
 }
 
@@ -52,11 +81,13 @@ Element& Element::operator*=(const Element& o) {
 
 Element Element::pow(const Scalar& e) const {
   if (grp_ == nullptr) throw std::logic_error("Element: empty");
+  if (is_ec(*grp_)) return Element(*grp_, ec256::scalar_mul(pt_, e.value()));
   return Element(*grp_, powm(v_, e.value(), grp_->p()));
 }
 
 Element Element::pow_u64(std::uint64_t e) const {
   if (grp_ == nullptr) throw std::logic_error("Element: empty");
+  if (is_ec(*grp_)) return Element(*grp_, ec256::scalar_mul_u64(pt_, e));
   mpz_class ez;
   mpz_import(ez.get_mpz_t(), 1, 1, 8, 0, 0, &e);
   return Element(*grp_, powm(v_, ez, grp_->p()));
@@ -64,21 +95,34 @@ Element Element::pow_u64(std::uint64_t e) const {
 
 Element Element::inverse() const {
   if (grp_ == nullptr) throw std::logic_error("Element: empty");
+  if (is_ec(*grp_)) return Element(*grp_, ec256::negate(pt_));
   return Element(*grp_, invmod(v_, grp_->p()));
+}
+
+bool Element::is_identity() const {
+  if (grp_ == nullptr) return false;
+  if (is_ec(*grp_)) return pt_.inf != 0;
+  return v_ == 1;
 }
 
 bool Element::in_subgroup() const {
   if (grp_ == nullptr) return false;
+  // Cofactor-1 curve points are on-curve by construction (checked decode or
+  // internal arithmetic), and "on the curve" is the whole subgroup story.
+  if (is_ec(*grp_)) return true;
   return grp_->in_subgroup(v_);
 }
 
 bool Element::operator==(const Element& o) const {
   if (grp_ == nullptr || o.grp_ == nullptr) return grp_ == o.grp_;
+  // v_ is a canonical value key in both backends (residue / encoding).
   return *grp_ == *o.grp_ && v_ == o.v_;
 }
 
 Bytes Element::to_bytes() const {
-  return mpz_to_bytes(v_, group().p_bytes());
+  const Group& grp = group();
+  if (is_ec(grp)) return ec256::encode(pt_);
+  return mpz_to_bytes(v_, grp.p_bytes());
 }
 
 }  // namespace dkg::crypto

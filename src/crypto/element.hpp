@@ -1,11 +1,21 @@
-// Element: a member of the order-q subgroup of Z_p*. Commitment entries and
-// public keys are Elements. Value type with the same group-tagging rules as
-// Scalar.
+// Element: a member of the prime-order group — a residue in the order-q
+// subgroup of Z_p* (GroupBackend::ModP) or a secp256k1 curve point
+// (GroupBackend::Ec256). Commitment entries and public keys are Elements.
+// Value type with the same group-tagging rules as Scalar.
+//
+// Representation invariant per backend:
+//  * ModP:  v_ is the canonical residue in [1, p); pt_ is unused.
+//  * Ec256: pt_ is the canonical affine point (the fast representation all
+//    arithmetic runs on) and v_ is the mpz view of its 33-byte compressed
+//    encoding — so value() stays a stable, canonical, backend-agnostic VALUE
+//    KEY (equality, FixedBaseTable/cache keys, to_bytes) for both backends.
+//    value() of an Ec256 element is NOT a residue to do modular math with.
 #pragma once
 
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "crypto/ec256.hpp"
 #include "crypto/scalar.hpp"
 
 namespace dkg::crypto {
@@ -22,14 +32,22 @@ class Element {
   static Element exp_g(const Scalar& x);
   /// h^x.
   static Element exp_h(const Scalar& x);
-  /// Decodes a fixed-width (p_bytes) encoding. Returns an empty Element on
-  /// range failure. Does NOT check subgroup membership (expensive); callers
-  /// handling adversarial input use `in_subgroup()` where it matters.
+  /// Decodes a fixed-width (element_bytes) encoding. Returns an empty
+  /// Element on failure. ModP checks the residue range only (subgroup
+  /// membership is expensive; callers handling adversarial input use
+  /// `in_subgroup()` where it matters); Ec256 decoding is fully checked —
+  /// on-curve, canonical x, strict identity form — because on a cofactor-1
+  /// curve that IS the subgroup check.
   static Element from_bytes(const Group& grp, const Bytes& b);
+  /// Ec256 engine entry: wraps a curve point the caller computed itself
+  /// (multiexp / comb / ladder results). Must be on the curve.
+  static Element from_point(const Group& grp, const ec256::Point& pt);
 
   bool empty() const { return grp_ == nullptr; }
   const Group& group() const;
   const mpz_class& value() const { return v_; }
+  /// Ec256 only: the affine point (the representation arithmetic uses).
+  const ec256::Point& point() const { return pt_; }
 
   Element operator*(const Element& o) const;
   Element& operator*=(const Element& o);
@@ -38,16 +56,18 @@ class Element {
   Element pow_u64(std::uint64_t e) const;
   Element inverse() const;
 
-  bool is_identity() const { return grp_ != nullptr && v_ == 1; }
+  bool is_identity() const;
   bool in_subgroup() const;
   bool operator==(const Element& o) const;
   bool operator!=(const Element& o) const { return !(*this == o); }
 
-  /// Fixed-width (group().p_bytes()) big-endian encoding.
+  /// Fixed-width (group().element_bytes()) encoding: big-endian residue or
+  /// compressed point.
   Bytes to_bytes() const;
 
  private:
   Element(const Group& grp, mpz_class v) : grp_(&grp), v_(std::move(v)) {}
+  Element(const Group& grp, const ec256::Point& pt);
   void check_same(const Element& o) const;
 
   // The multi-exponentiation engine (crypto/multiexp.hpp) constructs
@@ -63,6 +83,7 @@ class Element {
 
   const Group* grp_ = nullptr;
   mpz_class v_;
+  ec256::Point pt_;  // Ec256 backend only (see header comment)
 };
 
 }  // namespace dkg::crypto

@@ -10,6 +10,186 @@
 
 namespace dkg::crypto {
 
+// --- EcShareGrid -----------------------------------------------------------
+//
+// The ec256 verify paths all reduce to comparing g^{claimed} against the
+// grid value B(a, b) = g^{f(a, b)} = prod_{jl} C_{jl}^{a^j b^l}. A fresh
+// index-power product per check costs ~t point operations per Horner STEP
+// (t steps of double-and-add by the index); the grid instead grows the
+// value table by finite differences: in the exponent every row/column of
+// B is a degree-t polynomial over Z_q, and every curve point has order
+// dividing q (cofactor 1), so the (t+1)-th forward difference of any grid
+// line is the identity and each new value costs exactly t point additions.
+//
+// Build order: a (t+1)^2 seed block via Horner (coefficient vectors
+// E_j(b) = prod_l C_{jl}^{b^l}, batch-normalized, then evaluated at
+// a = 0..t), then per-line difference columns. Columns b <= t seed from
+// the block; a column b > t seeds from the t+1 row tracks extended along
+// b. Every value is the exact group element eval_commit(a, b) names —
+// same verdicts, same encodings — reached by additions instead of
+// exponentiations.
+class EcShareGrid {
+ public:
+  EcShareGrid(std::size_t t, const std::vector<Element>& entries) : t_(t) {
+    c_.reserve(entries.size());
+    for (const Element& e : entries) c_.push_back(e.point());
+  }
+
+  /// g^{f(a, b)} as a Jacobian point (a copy: growth may reallocate).
+  /// Thread-safe; any query order is served.
+  ec256::Jac value(std::uint64_t a, std::uint64_t b) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (a > kMaxCached || b > kMaxCached) return direct(a, b);
+    seed();
+    Track& col = ensure_col(b);
+    extend(col, a);
+    return col.vals[static_cast<std::size_t>(a)];
+  }
+
+ private:
+  /// Indices past this bound (possible only for adversarially large wire
+  /// ids — simulations use node ids <= n) are answered by an uncached
+  /// bivariate Horner so the grid's memory stays bounded by real use.
+  static constexpr std::uint64_t kMaxCached = 2048;
+
+  /// One FD-extended line of the grid: its values from index 0 up to the
+  /// current frontier, plus the backward-aligned difference column
+  /// fd[k] = Delta^k v(M - k) used to append the next value.
+  struct Track {
+    std::vector<ec256::Jac> vals;
+    std::vector<ec256::Jac> fd;
+  };
+
+  /// E_j(b) = prod_l C_{jl}^{b^l} — coefficient j of the univariate column
+  /// polynomial f(., b) — by Horner over the affine matrix entries.
+  ec256::Jac coeff_at(std::size_t j, std::uint64_t b) const {
+    const ec256::Point* row = &c_[j * (t_ + 1)];
+    ec256::Jac acc = ec256::to_jac(row[t_]);
+    for (std::size_t l = t_; l-- > 0;) {
+      acc = ec256::jac_mul_u64(acc, b);
+      acc = ec256::jac_add_mixed(acc, row[l]);
+    }
+    return acc;
+  }
+
+  /// Uncached bivariate Horner for out-of-bound indices.
+  ec256::Jac direct(std::uint64_t a, std::uint64_t b) const {
+    std::vector<ec256::Jac> e(t_ + 1);
+    for (std::size_t j = 0; j <= t_; ++j) e[j] = coeff_at(j, b);
+    ec256::Jac acc = e[t_];
+    for (std::size_t j = t_; j-- > 0;) {
+      acc = ec256::jac_mul_u64(acc, a);
+      acc = ec256::jac_add(acc, e[j]);
+    }
+    return acc;
+  }
+
+  /// The (t+1)^2 seed block B(a, b) for a, b in [0, t], plus the row and
+  /// column difference tracks over it. Built once, on the first cached
+  /// query.
+  void seed() {
+    if (seeded_) return;
+    seeded_ = true;
+    const std::size_t d = t_ + 1;
+    std::vector<ec256::Jac> ej(d * d);
+    for (std::size_t b = 0; b < d; ++b) {
+      for (std::size_t j = 0; j < d; ++j) ej[b * d + j] = coeff_at(j, b);
+    }
+    // One shared inversion turns the whole coefficient block affine, so the
+    // d^2 seed evaluations below run on mixed adds.
+    std::vector<ec256::Point> ea;
+    ec256::batch_to_affine(ej, ea);
+    cols_.resize(d);
+    for (std::size_t b = 0; b < d; ++b) {
+      Track& col = cols_[b];
+      col.vals.resize(d);
+      const ec256::Point* e = &ea[b * d];
+      for (std::size_t a = 0; a < d; ++a) {
+        ec256::Jac acc = ec256::to_jac(e[t_]);
+        for (std::size_t j = t_; j-- > 0;) {
+          acc = ec256::jac_mul_u64(acc, a);
+          acc = ec256::jac_add_mixed(acc, e[j]);
+        }
+        col.vals[a] = acc;
+      }
+      init_fd(col);
+    }
+    rows_.resize(d);
+    for (std::size_t a = 0; a < d; ++a) {
+      Track& row = rows_[a];
+      row.vals.resize(d);
+      for (std::size_t b = 0; b < d; ++b) row.vals[b] = cols_[b].vals[a];
+      init_fd(row);
+    }
+  }
+
+  /// Difference column from the last entry of each level of the forward
+  /// difference triangle over tr.vals (which holds exactly t+1 seeds here).
+  void init_fd(Track& tr) {
+    std::vector<ec256::Jac> level = tr.vals;
+    tr.fd.assign(t_ + 1, ec256::Jac{});
+    tr.fd[0] = level.back();
+    for (std::size_t k = 1; k <= t_; ++k) {
+      for (std::size_t i = 0; i + 1 < level.size(); ++i) {
+        level[i] = ec256::jac_add(level[i + 1], ec256::jac_negate(level[i]));
+      }
+      level.pop_back();
+      tr.fd[k] = level.back();
+    }
+  }
+
+  /// Grow a line to cover index `to`: per new value, t additions update the
+  /// difference column (fd[t] is constant for a degree-t exponent line) and
+  /// fd[0] becomes the value.
+  void extend(Track& tr, std::uint64_t to) {
+    while (tr.vals.size() <= to) {
+      for (std::size_t k = t_; k-- > 0;) tr.fd[k] = ec256::jac_add(tr.fd[k], tr.fd[k + 1]);
+      tr.vals.push_back(tr.fd[0]);
+    }
+  }
+
+  Track& ensure_col(std::uint64_t b) {
+    std::size_t bi = static_cast<std::size_t>(b);
+    if (bi < cols_.size() && !cols_[bi].vals.empty()) return cols_[bi];
+    // b > t: seed the column from the row tracks extended along b.
+    if (bi >= cols_.size()) cols_.resize(bi + 1);
+    for (Track& row : rows_) extend(row, b);
+    Track& col = cols_[bi];
+    col.vals.resize(t_ + 1);
+    for (std::size_t a = 0; a <= t_; ++a) col.vals[a] = rows_[a].vals[bi];
+    init_fd(col);
+    return col;
+  }
+
+  std::mutex mu_;
+  std::size_t t_;
+  std::vector<ec256::Point> c_;  // affine copies of the matrix entries
+  bool seeded_ = false;
+  std::vector<Track> cols_;  // cols_[b]: B(., b), indexed by a
+  std::vector<Track> rows_;  // rows_[a]: B(a, .) for a <= t, indexed by b
+};
+
+EcGridSlot::EcGridSlot() = default;
+EcGridSlot::EcGridSlot(const EcGridSlot&) noexcept : EcGridSlot() {}
+EcGridSlot::EcGridSlot(EcGridSlot&&) noexcept : EcGridSlot() {}
+EcGridSlot& EcGridSlot::operator=(const EcGridSlot&) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  grid_.reset();
+  return *this;
+}
+EcGridSlot& EcGridSlot::operator=(EcGridSlot&&) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  grid_.reset();
+  return *this;
+}
+EcGridSlot::~EcGridSlot() = default;
+
+EcShareGrid& EcGridSlot::get(std::size_t t, const std::vector<Element>& entries) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (grid_ == nullptr) grid_ = std::make_unique<EcShareGrid>(t, entries);
+  return *grid_;
+}
+
 namespace {
 // Powers 1, i, i^2, ..., i^t of an index, as Scalars mod q.
 std::vector<Scalar> index_powers(const Group& grp, std::uint64_t i, std::size_t t) {
@@ -67,6 +247,29 @@ const Element& FeldmanMatrix::entry(std::size_t j, std::size_t l) const {
 bool FeldmanMatrix::verify_poly(std::uint64_t i, const Polynomial& a) const {
   if (a.degree() != t_) return false;
   const Group& grp = group();
+  if (grp.backend() == GroupBackend::Ec256) {
+    if (const FixedBaseTable* tab = FixedBaseTable::for_g(grp)) {
+      // Value check instead of coefficient check: a and the committed row
+      // f(i, .) are both degree-t polynomials over Z_q, so they are equal
+      // iff they agree at the t+1 distinct points m = 1..t+1 — the same
+      // verdict as the coefficient-wise product check for every input, at
+      // t+1 grid reads + comb exps instead of (t+1)^2 exponentiations.
+      EcShareGrid& grid = ec_grid_.get(t_, entries_);
+      std::vector<Scalar> pub;
+      pub.reserve(t_ + 1);
+      // reveal-ok: the same per-coefficient declassification as the mod-p
+      // branch below (g^{a_l} is public) — the t+1 evaluations then run in
+      // the public domain instead of paying wiped secret-limb arithmetic.
+      for (std::size_t l = 0; l <= t_; ++l) pub.push_back(a.coeff(l).reveal());
+      for (std::uint64_t m = 1; m <= t_ + 1; ++m) {
+        Scalar x = Scalar::from_u64(grp, m);
+        Scalar am = pub[t_];
+        for (std::size_t l = t_; l-- > 0;) am = am * x + pub[l];
+        if (!ec256::jac_eq(tab->pow_jac(am), grid.value(i, m))) return false;
+      }
+      return true;
+    }
+  }
   IndexBases col(grp, t_ + 1, mont_.get(grp, entries_), order_q_);
   for (std::size_t l = 0; l <= t_; ++l) {
     for (std::size_t j = 0; j <= t_; ++j) col.assign(j, entry(j, l), j * (t_ + 1) + l);
@@ -81,6 +284,24 @@ bool FeldmanMatrix::verify_poly(std::uint64_t i, const Polynomial& a) const {
 bool FeldmanMatrix::verify_poly_col(std::uint64_t i, const Polynomial& b) const {
   if (b.degree() != t_) return false;
   const Group& grp = group();
+  if (grp.backend() == GroupBackend::Ec256) {
+    if (const FixedBaseTable* tab = FixedBaseTable::for_g(grp)) {
+      // Value check of b against f(., i) at m = 1..t+1 (see verify_poly).
+      EcShareGrid& grid = ec_grid_.get(t_, entries_);
+      std::vector<Scalar> pub;
+      pub.reserve(t_ + 1);
+      // reveal-ok: same per-coefficient declassification as verify_poly
+      // (and the mod-p branch below).
+      for (std::size_t j = 0; j <= t_; ++j) pub.push_back(b.coeff(j).reveal());
+      for (std::uint64_t m = 1; m <= t_ + 1; ++m) {
+        Scalar x = Scalar::from_u64(grp, m);
+        Scalar bm = pub[t_];
+        for (std::size_t j = t_; j-- > 0;) bm = bm * x + pub[j];
+        if (!ec256::jac_eq(tab->pow_jac(bm), grid.value(m, i))) return false;
+      }
+      return true;
+    }
+  }
   IndexBases row(grp, t_ + 1, mont_.get(grp, entries_), order_q_);
   for (std::size_t j = 0; j <= t_; ++j) {
     for (std::size_t l = 0; l <= t_; ++l) row.assign(l, entry(j, l), j * (t_ + 1) + l);
@@ -170,12 +391,24 @@ FeldmanVector FeldmanMatrix::col_commitment(std::uint64_t m) const {
 }
 
 Element FeldmanMatrix::eval_commit(std::uint64_t m, std::uint64_t i) const {
+  if (group().backend() == GroupBackend::Ec256) {
+    // The grid names the exact element the product below would: one
+    // normalization instead of two index-power multi-exponentiations.
+    return Element::from_point(group(), ec256::to_affine(ec_grid_.get(t_, entries_).value(m, i)));
+  }
   // prod_l (prod_j C_{jl}^{m^j})^{i^l} — the column projection evaluated at
   // i; both levels are index-power multi-exponentiations.
   return col_commitment(m).eval_commit(i);
 }
 
 bool FeldmanMatrix::verify_point(std::uint64_t i, std::uint64_t m, const Scalar& alpha) const {
+  const Group& grp = group();
+  if (grp.backend() == GroupBackend::Ec256) {
+    if (const FixedBaseTable* tab = FixedBaseTable::for_g(grp)) {
+      // Jacobian-domain compare: neither side pays an affine normalization.
+      return ec256::jac_eq(tab->pow_jac(alpha), ec_grid_.get(t_, entries_).value(m, i));
+    }
+  }
   return Element::exp_g(alpha) == eval_commit(m, i);
 }
 
@@ -219,7 +452,7 @@ std::optional<FeldmanMatrix> FeldmanMatrix::from_bytes(const Group& grp, const B
     std::vector<Element> entries;
     entries.reserve((t + 1) * (t + 1));
     for (std::size_t k = 0; k < std::size_t(t + 1) * (t + 1); ++k) {
-      Bytes eb(grp.p_bytes());
+      Bytes eb(grp.element_bytes());
       for (auto& byte : eb) byte = r.u8();
       Element e = Element::from_bytes(grp, eb);
       if (e.empty()) return std::nullopt;
@@ -379,7 +612,7 @@ std::optional<FeldmanVector> FeldmanVector::from_bytes(const Group& grp, const B
     std::vector<Element> entries;
     entries.reserve(t + 1);
     for (std::size_t k = 0; k <= t; ++k) {
-      Bytes eb(grp.p_bytes());
+      Bytes eb(grp.element_bytes());
       for (auto& byte : eb) byte = r.u8();
       Element e = Element::from_bytes(grp, eb);
       if (e.empty()) return std::nullopt;

@@ -9,6 +9,8 @@
 //    combination produced by share renewal / node addition, §5.2/§6.2).
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -22,6 +24,36 @@
 namespace dkg::crypto {
 
 class FeldmanVector;
+
+/// Per-commitment grid of ec256 share values g^{f(a, b)}, grown by bivariate
+/// finite differences in Jacobian coordinates (defined in feldman.cpp). The
+/// curve backend's verify-point / verify-poly / eval-commit read from it
+/// instead of re-running an index-power product per check.
+class EcShareGrid;
+
+/// Value-semantic slot holding the lazily built grid — same copy/move
+/// semantics and rationale as MontDomainBases: copies and assignments start
+/// empty (the owner's entries were duplicated), the grid is built at most
+/// once behind a mutex, and its address stays stable for the owner's
+/// lifetime.
+class EcGridSlot {
+ public:
+  EcGridSlot();
+  EcGridSlot(const EcGridSlot&) noexcept;
+  EcGridSlot(EcGridSlot&&) noexcept;
+  EcGridSlot& operator=(const EcGridSlot&) noexcept;
+  EcGridSlot& operator=(EcGridSlot&&) noexcept;
+  ~EcGridSlot();
+
+  /// The grid over `entries` (built on first use). `entries` must be the
+  /// owning commitment's immutable row-major (t+1)x(t+1) entry vector, the
+  /// same on every call.
+  EcShareGrid& get(std::size_t t, const std::vector<Element>& entries) const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<EcShareGrid> grid_;
+};
 
 class FeldmanMatrix {
  public:
@@ -146,6 +178,9 @@ class FeldmanMatrix {
   // Likewise for the wire side: one canonical encoding + digest shared by
   // every message/signature that carries this commitment.
   WireMemo wire_;
+  // ec256 only: the share-value grid behind the curve backend's verify
+  // paths (built on first EC verify; invisible in results and operator==).
+  EcGridSlot ec_grid_;
 };
 
 class FeldmanVector {

@@ -1,5 +1,6 @@
 #include "crypto/group.hpp"
 
+#include "crypto/ec256.hpp"
 #include "crypto/sha256.hpp"
 
 namespace dkg::crypto {
@@ -79,6 +80,7 @@ Group::Group(std::string name, const std::string& p_hex, const std::string& q_he
   h_ = derive_h(p_, q_);
   p_bytes_ = byte_width(p_);
   q_bytes_ = byte_width(q_);
+  element_bytes_ = p_bytes_;
   kappa_ = mpz_sizeinbase(q_.get_mpz_t(), 2);
 }
 
@@ -102,8 +104,38 @@ const Group& Group::big2048() {
   return grp;
 }
 
+const Group& Group::ec256() {
+  static const Group grp = [] {
+    Group g;
+    g.name_ = "ec256";
+    g.backend_ = GroupBackend::Ec256;
+    g.p_ = mpz_class(ec256::field_p_hex(), 16);
+    g.q_ = mpz_class(ec256::order_n_hex(), 16);
+    // mpz views of the compressed generator encodings: canonical value keys
+    // for the backend-generic (group, base) caches, NOT residues.
+    g.g_ = mpz_from_bytes(ec256::encode(ec256::generator()));
+    g.h_ = mpz_from_bytes(ec256::encode(ec256::pedersen_h()));
+    g.p_bytes_ = byte_width(g.p_);
+    g.q_bytes_ = byte_width(g.q_);
+    g.element_bytes_ = ec256::kEncodedBytes;
+    g.kappa_ = mpz_sizeinbase(g.q_.get_mpz_t(), 2);
+    return g;
+  }();
+  return grp;
+}
+
 bool Group::valid() const {
   if (!probably_prime(p_) || !probably_prime(q_)) return false;
+  if (backend_ == GroupBackend::Ec256) {
+    // Cofactor-1 curve: generators on the curve and killed by the order.
+    const ec256::Point& gen = ec256::generator();
+    const ec256::Point& ped = ec256::pedersen_h();
+    if (!ec256::on_curve(gen) || gen.inf) return false;
+    if (!ec256::on_curve(ped) || ped.inf) return false;
+    if (!ec256::scalar_mul(gen, q_).inf) return false;
+    if (!ec256::scalar_mul(ped, q_).inf) return false;
+    return !ec256::eq(gen, ped);
+  }
   if (mod(p_ - 1, q_) != 0) return false;
   if (g_ <= 1 || g_ >= p_) return false;
   if (powm(g_, q_, p_) != 1) return false;
@@ -112,6 +144,14 @@ bool Group::valid() const {
 }
 
 bool Group::in_subgroup(const mpz_class& v) const {
+  if (backend_ == GroupBackend::Ec256) {
+    // v is the mpz view of a compressed encoding; a strict decode IS the
+    // subgroup check on a cofactor-1 curve (the identity included).
+    if (v < 0 || byte_width(v) > ec256::kEncodedBytes) return false;
+    Bytes b = mpz_to_bytes(v, ec256::kEncodedBytes);
+    ec256::Point pt;
+    return ec256::decode(pt, b.data(), b.size());
+  }
   if (v <= 0 || v >= p_) return false;
   return powm(v, q_, p_) == 1;
 }

@@ -37,7 +37,7 @@ bool Keyring::verify_from(std::uint32_t node, const Bytes& msg, const Signature&
   const bool use_cache = sig_cache_enabled();
   Bytes key;
   if (use_cache) {
-    key = VerifiedSigCache::key(node, msg, sig);
+    key = VerifiedSigCache::key(*grp_, node, msg, sig);
     if (cache_.contains(key)) {
       sig_stats_count_cache_hit();
       return true;
@@ -66,7 +66,7 @@ bool Keyring::verify_many(const std::vector<SignerRef>& sigs, const Bytes& paylo
     }
     Bytes key;
     if (use_cache) {
-      key = VerifiedSigCache::key(ref.signer, payload, *ref.sig);
+      key = VerifiedSigCache::key(*grp_, ref.signer, payload, *ref.sig);
       if (cache_.contains(key)) {
         sig_stats_count_cache_hit();
         continue;

@@ -205,6 +205,9 @@ mpz_class MontgomeryCtx::from_mont(const mpz_class& a) const {
 }
 
 const MontgomeryCtx* MontgomeryCtx::for_group(const Group& grp) {
+  // REDC residues are a mod-p representation; curve backends never enter
+  // the domain (their p is odd, so the parity test alone would not gate).
+  if (grp.backend() != GroupBackend::ModP) return nullptr;
   if (mpz_odd_p(grp.p().get_mpz_t()) == 0) return nullptr;
   // Same shape as FixedBaseTable::lookup: value-keyed (moduli, not Group
   // addresses), mutex-guarded growth, unique_ptr entries so returned

@@ -205,6 +205,43 @@ Element multiexp(const Group& grp, const std::vector<const Element*>& bases,
     }
   }
   if (bits == 0) return Element::identity(grp);  // no terms, or all exponents zero
+  if (grp.backend() == GroupBackend::Ec256) {
+    if (bases.size() == 1) {
+      return Element::from_point(grp, ec256::scalar_mul(bases[0]->point(), exps[0].value()));
+    }
+    // Straus over Jacobian accumulation: per-base digit tables are built
+    // with mixed adds and ALL tables share one batch normalization, the
+    // squaring chain becomes point doublings shared across every term, and
+    // each nonzero digit costs a single mixed add. The window policy
+    // minimizes the same per-base cost expression as mod-p.
+    const unsigned w = multiexp_window(bits);
+    const std::size_t tlen = std::size_t{1} << w;
+    std::vector<ec256::Jac> jt(bases.size() * tlen);  // slot 0 per row unused
+    for (std::size_t k = 0; k < bases.size(); ++k) {
+      const ec256::Point& b = bases[k]->point();
+      ec256::Jac* row = &jt[k * tlen];
+      row[1] = ec256::to_jac(b);
+      for (std::size_t j = 2; j < tlen; ++j) row[j] = ec256::jac_add_mixed(row[j - 1], b);
+    }
+    std::vector<ec256::Point> tab;
+    ec256::batch_to_affine(jt, tab);
+    const std::size_t digits = (bits + w - 1) / w;
+    ec256::Jac acc{};
+    bool any = false;
+    for (std::size_t pos = digits; pos-- > 0;) {
+      if (any) {
+        for (unsigned s = 0; s < w; ++s) acc = ec256::jac_double(acc);
+      }
+      for (std::size_t k = 0; k < bases.size(); ++k) {
+        unsigned d = digit_at(exps[k].value(), pos, w);
+        if (d != 0) {
+          acc = ec256::jac_add_mixed(acc, tab[k * tlen + d]);
+          any = true;
+        }
+      }
+    }
+    return Element::from_point(grp, ec256::to_affine(acc));
+  }
   if (bases.size() == 1) {
     // Straus degenerates to plain windowed exponentiation; GMP's powm
     // (Montgomery + sliding window) is strictly better there.
@@ -252,6 +289,23 @@ Element multiexp(const Group& grp, const std::vector<Element>& bases,
 }
 
 namespace {
+
+/// The Ec256 index-power product for i >= 1: Horner over point arithmetic,
+///   (((B_t * i) + B_{t-1}) * i + ...) * i + B_0,
+/// accumulated in Jacobian with mixed adds and normalized once. On a
+/// prime-order curve every point's order divides q, so the chain is exact
+/// for ALL i and bases — the order_q_bases escape hatch and the Straus
+/// fallback of the mod-p path are simply never needed here.
+Element ec_index_product(const Group& grp, const std::vector<const Element*>& bases,
+                         std::uint64_t i) {
+  const std::size_t t = bases.size() - 1;
+  ec256::Jac acc = ec256::to_jac(bases[t]->point());
+  for (std::size_t j = t; j-- > 0;) {
+    acc = ec256::jac_mul_u64(acc, i);
+    acc = ec256::jac_add_mixed(acc, bases[j]->point());
+  }
+  return Element::from_point(grp, ec256::to_affine(acc));
+}
 
 /// The shared multiexp_index core for i >= 1 and non-empty bases. `ctx` is
 /// the working domain; when `mont` is non-null it holds pre-entered images
@@ -332,6 +386,7 @@ Element multiexp_index(const Group& grp, const std::vector<const Element*>& base
   check_operands(grp, bases, nullptr);
   if (bases.empty()) return Element::identity(grp);
   if (i == 0) return *bases[0];  // ipow = 1, 0, 0, ... (0^0 = 1 convention)
+  if (grp.backend() == GroupBackend::Ec256) return ec_index_product(grp, bases, i);
   return Element(grp, index_product(grp, bases, i, engine_ctx(grp), nullptr, order_q_bases));
 }
 
@@ -344,6 +399,9 @@ Element multiexp_index(const Group& grp, const std::vector<const Element*>& base
   }
   if (bases.empty()) return Element::identity(grp);
   if (i == 0) return *bases[0];
+  // Unreachable for Ec256 in practice (MontDomainBases::get returns nullptr
+  // there), but dispatch anyway so the overloads stay interchangeable.
+  if (grp.backend() == GroupBackend::Ec256) return ec_index_product(grp, bases, i);
   return Element(grp, index_product(grp, bases, i, &ctx, &mont, order_q_bases));
 }
 
@@ -388,18 +446,49 @@ void MontDomainBases::reset() {
 
 // --- FixedBaseTable --------------------------------------------------------
 
-FixedBaseTable::FixedBaseTable(const Group& grp, const mpz_class& base)
-    : grp_(grp), base_(base), mont_(engine_ctx(grp)) {
-  // The whole table lives in the working domain fixed at build time
-  // (Montgomery for odd p): pow() then runs its entire digit walk on REDC
-  // muls and pays a single exit conversion — entry conversion happens once
-  // per TABLE, here, not per exponentiation.
-  DomainAcc acc(grp_, mont_);
+FixedBaseTable::FixedBaseTable(const Group& grp, const mpz_class& base, unsigned w)
+    : grp_(grp), base_(base), mont_(engine_ctx(grp)), w_(w) {
   // Exponents are Scalars in [0, q); one extra row absorbs the top digit
   // when |q| is not a multiple of w.
   std::size_t qbits = mpz_sizeinbase(grp_.q().get_mpz_t(), 2);
   rows_ = (qbits + w_ - 1) / w_;
   const std::size_t row_len = (std::size_t{1} << w_) - 1;  // j in [1, 2^w)
+  if (grp_.backend() == GroupBackend::Ec256) {
+    // `base` is the mpz view of a compressed encoding (the backend-generic
+    // cache key); recover the point, then build the comb entirely in
+    // Jacobian with two shared inversions: one normalizing the per-row
+    // bases B^(2^(i*w)), one normalizing all rows_ * row_len entries.
+    Bytes be = mpz_to_bytes(base, ec256::kEncodedBytes);
+    ec256::Point b;
+    if (!ec256::decode(b, be.data(), be.size())) {
+      throw std::logic_error("FixedBaseTable: invalid ec256 base encoding");
+    }
+    std::vector<ec256::Jac> rbj(rows_);
+    ec256::Jac cur = ec256::to_jac(b);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      rbj[i] = cur;
+      if (i + 1 < rows_) {
+        for (unsigned s = 0; s < w_; ++s) cur = ec256::jac_double(cur);
+      }
+    }
+    std::vector<ec256::Point> rb;
+    ec256::batch_to_affine(rbj, rb);
+    std::vector<ec256::Jac> jt(rows_ * row_len);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      ec256::Jac e = ec256::to_jac(rb[i]);
+      for (std::size_t j = 0; j < row_len; ++j) {
+        jt[i * row_len + j] = e;
+        if (j + 1 < row_len) e = ec256::jac_add_mixed(e, rb[i]);
+      }
+    }
+    ec256::batch_to_affine(jt, ec_rows_);
+    return;
+  }
+  // The whole table lives in the working domain fixed at build time
+  // (Montgomery for odd p): pow() then runs its entire digit walk on REDC
+  // muls and pays a single exit conversion — entry conversion happens once
+  // per TABLE, here, not per exponentiation.
+  DomainAcc acc(grp_, mont_);
   table_.resize(rows_ * row_len);
   acc.set_entered(base);
   for (std::size_t i = 0; i < rows_; ++i) {
@@ -418,11 +507,27 @@ FixedBaseTable::FixedBaseTable(const Group& grp, const mpz_class& base)
   }
 }
 
+ec256::Jac FixedBaseTable::pow_jac(const Scalar& e) const {
+  if (grp_.backend() != GroupBackend::Ec256) {
+    throw std::logic_error("FixedBaseTable::pow_jac: mod-p table");
+  }
+  const std::size_t row_len = (std::size_t{1} << w_) - 1;
+  ec256::Jac acc{};
+  for (std::size_t i = 0; i < rows_; ++i) {
+    unsigned d = digit_at(e.value(), i, w_);
+    if (d != 0) acc = ec256::jac_add_mixed(acc, ec_rows_[i * row_len + (d - 1)]);
+  }
+  return acc;
+}
+
 Element FixedBaseTable::pow(const Scalar& e) const {
+  const std::size_t row_len = (std::size_t{1} << w_) - 1;
+  if (grp_.backend() == GroupBackend::Ec256) {
+    return Element::from_point(grp_, ec256::to_affine(pow_jac(e)));
+  }
   // mont_ records the domain the table was BUILT in; the process-wide
   // engine toggle must not reinterpret existing entries.
   DomainAcc acc(grp_, mont_);
-  const std::size_t row_len = (std::size_t{1} << w_) - 1;
   bool started = false;
   for (std::size_t i = 0; i < rows_; ++i) {
     unsigned d = digit_at(e.value(), i, w_);
@@ -439,6 +544,7 @@ Element FixedBaseTable::pow(const Scalar& e) const {
 }
 
 std::size_t FixedBaseTable::memory_bytes() const {
+  if (grp_.backend() == GroupBackend::Ec256) return ec_rows_.size() * sizeof(ec256::Point);
   return table_.size() * grp_.p_bytes();
 }
 
@@ -448,10 +554,10 @@ std::unique_ptr<const FixedBaseTable> FixedBaseTable::build(const Group& grp,
   // n public keys would evict the g/h tables from the bounded cache at
   // n = 128, so per-signer tables (crypto/sigverify.hpp) own their storage
   // and scope their lifetime to the ring.
-  return std::unique_ptr<const FixedBaseTable>(new FixedBaseTable(grp, base));
+  return std::unique_ptr<const FixedBaseTable>(new FixedBaseTable(grp, base, kWindow));
 }
 
-const FixedBaseTable* FixedBaseTable::lookup(const Group& grp, const mpz_class& base) {
+const FixedBaseTable* FixedBaseTable::lookup(const Group& grp, const mpz_class& base, unsigned w) {
   // Keyed by (group, base) VALUE, not address: the four canonical groups are
   // function-local statics but callers may also pass their own Group
   // instances, whose lifetime we must not depend on. unique_ptr entries keep
@@ -463,9 +569,18 @@ const FixedBaseTable* FixedBaseTable::lookup(const Group& grp, const mpz_class& 
     if (t->grp_ == grp && t->base_ == base) return t.get();
   }
   if (cache.size() >= kMaxCachedTables) return nullptr;
-  cache.push_back(std::unique_ptr<FixedBaseTable>(new FixedBaseTable(grp, base)));
+  cache.push_back(std::unique_ptr<FixedBaseTable>(new FixedBaseTable(grp, base, w)));
   return cache.back().get();
 }
+
+namespace {
+// The cached-generator comb width is a pure function of the backend, so the
+// (group, base)-keyed cache never holds two widths for one key.
+unsigned generator_window(const Group& grp) {
+  return grp.backend() == GroupBackend::Ec256 ? FixedBaseTable::kWindowEc
+                                              : FixedBaseTable::kWindow;
+}
+}  // namespace
 
 // exp_g/exp_h are the hottest operations in the repo and SweepDriver workers
 // issue them concurrently, so the mutex-guarded cache scan must not sit on
@@ -476,14 +591,14 @@ const FixedBaseTable* FixedBaseTable::lookup(const Group& grp, const mpz_class& 
 const FixedBaseTable* FixedBaseTable::for_g(const Group& grp) {
   thread_local const FixedBaseTable* memo = nullptr;
   if (memo != nullptr && memo->matches(grp, grp.g())) return memo;
-  memo = lookup(grp, grp.g());
+  memo = lookup(grp, grp.g(), generator_window(grp));
   return memo;
 }
 
 const FixedBaseTable* FixedBaseTable::for_h(const Group& grp) {
   thread_local const FixedBaseTable* memo = nullptr;
   if (memo != nullptr && memo->matches(grp, grp.h())) return memo;
-  memo = lookup(grp, grp.h());
+  memo = lookup(grp, grp.h(), generator_window(grp));
   return memo;
 }
 

@@ -197,6 +197,11 @@ class FixedBaseTable {
 
   /// base^e — bit-identical to powm(base, e.value(), p).
   Element pow(const Scalar& e) const;
+  /// base^e accumulated in Jacobian form WITHOUT the affine normalization —
+  /// the EC verify hot path compares the result against another Jacobian
+  /// point via ec256::jac_eq, so pow()'s exit inversion is pure waste there.
+  /// Ec256 tables only (throws std::logic_error for mod-p groups).
+  ec256::Jac pow_jac(const Scalar& e) const;
 
   unsigned window() const { return w_; }
   /// Table footprint (entry count x p_bytes), for the docs' memory table.
@@ -209,11 +214,17 @@ class FixedBaseTable {
   /// |q|=256) per cached base — the knee of the curve; w = 8 saves ~10%
   /// mults for 2x the memory.
   static constexpr unsigned kWindow = 7;
+  /// The g/h comb width for the ec256 backend: a 72-byte affine point costs
+  /// far less memory per entry than a 1024/2048-bit residue, so the curve
+  /// tables afford w = 12 (22 mixed adds per exp over |q| = 256, 6.5 MB per
+  /// cached base). Caller-owned tables (build(): per-signer keys, of which
+  /// a keyring holds n) stay at kWindow.
+  static constexpr unsigned kWindowEc = 12;
   static constexpr std::size_t kMaxCachedTables = 64;
 
  private:
-  FixedBaseTable(const Group& grp, const mpz_class& base);
-  static const FixedBaseTable* lookup(const Group& grp, const mpz_class& base);
+  FixedBaseTable(const Group& grp, const mpz_class& base, unsigned w);
+  static const FixedBaseTable* lookup(const Group& grp, const mpz_class& base, unsigned w);
   /// True if this table was built for exactly (grp, base) — a handful of
   /// mpz value compares, the cheap revalidation behind the thread-local
   /// memo that keeps the steady-state exp_g/exp_h path lock-free.
@@ -229,7 +240,11 @@ class FixedBaseTable {
   const MontgomeryCtx* mont_ = nullptr;
   unsigned w_ = kWindow;
   std::size_t rows_ = 0;
-  std::vector<mpz_class> table_;  // row-major, (2^w - 1) entries per row
+  std::vector<mpz_class> table_;  // ModP: row-major, (2^w - 1) entries per row
+  /// Ec256 comb storage: the same row-major layout as table_ but affine
+  /// points (batch-normalized at build — two shared inversions total), so
+  /// pow() is a chain of mixed adds with one final normalization.
+  std::vector<ec256::Point> ec_rows_;
 };
 
 }  // namespace dkg::crypto

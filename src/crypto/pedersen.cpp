@@ -93,7 +93,7 @@ std::optional<PedersenMatrix> PedersenMatrix::from_bytes(const Group& grp, const
     std::vector<Element> entries;
     entries.reserve((t + 1) * (t + 1));
     for (std::size_t k = 0; k < std::size_t(t + 1) * (t + 1); ++k) {
-      Bytes eb(grp.p_bytes());
+      Bytes eb(grp.element_bytes());
       for (auto& byte : eb) byte = r.u8();
       Element e = Element::from_bytes(grp, eb);
       if (e.empty()) return std::nullopt;

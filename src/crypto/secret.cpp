@@ -335,6 +335,12 @@ Element SecretScalar::commit_to() const {
 Element SecretScalar::commit_to(const Element& base) const {
   const Group& grp = group();
   if (!(base.group() == grp)) throw std::logic_error("SecretScalar: mixed groups");
+  if (grp.backend() == GroupBackend::Ec256) {
+    if (base.is_identity()) throw std::logic_error("SecretScalar: commit to zero base");
+    ec256::Point r = ec256::scalar_mul_ct(base.point(), v_.data(), v_.size());
+    ct_unpoison(&r, sizeof(r));  // g^x is a public commitment
+    return Element::from_point(grp, r);
+  }
   const mpz_class& p = grp.p();
   std::size_t pn = nlimbs_of(p);
   std::size_t bn = nlimbs_of(base.value());

@@ -83,9 +83,12 @@ void sig_stats_count_point_miss() { stats().point_memo_misses.fetch_add(1, kRela
 
 // --- VerifiedSigCache -------------------------------------------------------
 
-Bytes VerifiedSigCache::key(std::uint32_t signer, const Bytes& payload, const Signature& sig) {
+Bytes VerifiedSigCache::key(const Group& grp, std::uint32_t signer, const Bytes& payload,
+                            const Signature& sig) {
   Writer w;
-  w.str("hybriddkg/sigcache/v1");
+  w.str("hybriddkg/sigcache/v2");
+  w.u8(static_cast<std::uint8_t>(grp.backend()));
+  w.str(grp.name());
   w.u32(signer);
   w.blob(sha256(payload));
   w.raw(sig.to_bytes());
@@ -163,7 +166,9 @@ bool schnorr_verify_batch(const Group& grp, const std::vector<SigCheck>& checks,
   // Deterministic structural rejects mirror schnorr_verify exactly.
   std::vector<bool> ok(k, true);
   bool all = true;
-  std::vector<mpz_class> t_pow(k);  // pk_i^{c_i}, canonical residues
+  const bool ec = grp.backend() == GroupBackend::Ec256;
+  std::vector<mpz_class> t_pow(ec ? 0 : k);  // ModP: pk_i^{c_i} residues
+  std::vector<Element> t_el(ec ? k : 0);     // Ec256: pk_i^{c_i} points
   for (std::size_t i = 0; i < k; ++i) {
     const SigCheck& c = checks[i];
     if (c.sig->c.empty() || c.sig->s.empty()) {
@@ -171,7 +176,40 @@ bool schnorr_verify_batch(const Group& grp, const std::vector<SigCheck>& checks,
       all = false;
       continue;
     }
-    t_pow[i] = pk_pow(c).value();
+    Element t = pk_pow(c);
+    if (ec) {
+      t_el[i] = std::move(t);
+    } else {
+      t_pow[i] = t.value();
+    }
+  }
+
+  if (ec) {
+    // On the curve an inverse is a sign flip on y — Montgomery's shared-
+    // inversion amortization below has nothing to amortize, so each item
+    // recomputes R_i = g^{s_i} - pk_i^{c_i} directly.
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!ok[i]) continue;
+      Element r_elem = Element::exp_g(checks[i].sig->s) * t_el[i].inverse();
+      if (!(schnorr_challenge(r_elem, *checks[i].pk, *checks[i].msg) == checks[i].sig->c)) {
+        ok[i] = false;
+        all = false;
+      }
+    }
+    if (all) return true;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (ok[i]) continue;
+      stats().batch_fallbacks.fetch_add(1, kRelaxed);
+      if (schnorr_verify(*checks[i].pk, *checks[i].msg, *checks[i].sig)) {
+        ok[i] = true;  // trust the per-item verdict (defensive; unreachable)
+      } else if (bad != nullptr) {
+        bad->push_back(i);
+      }
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!ok[i]) return false;
+    }
+    return true;
   }
 
   // Montgomery's batch-inversion trick: ONE modular inverse for the whole

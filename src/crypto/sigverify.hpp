@@ -104,11 +104,15 @@ class VerifiedSigCache {
 
   explicit VerifiedSigCache(std::size_t capacity = kDefaultCapacity) : cap_(capacity) {}
 
-  /// The cache key: sha256 over (signer, sha256(payload), signature bytes).
-  /// Keying by payload *digest* reuses the PR 5 digest machinery — ready
-  /// payloads already embed the interned commitment digest — and keeps keys
-  /// fixed-width regardless of payload size.
-  static Bytes key(std::uint32_t signer, const Bytes& payload, const Signature& sig);
+  /// The cache key: sha256 over (backend, group name, signer, sha256(payload),
+  /// signature bytes). Keying by payload *digest* reuses the PR 5 digest
+  /// machinery — ready payloads already embed the interned commitment digest —
+  /// and keeps keys fixed-width regardless of payload size. The backend/group
+  /// tag keeps identical (signer, payload, sig-bytes) tuples from colliding
+  /// across parameter sets — e.g. big2048 and ec256 share a 32-byte scalar
+  /// width, so their serialized signatures are interchangeable byte strings.
+  static Bytes key(const Group& grp, std::uint32_t signer, const Bytes& payload,
+                   const Signature& sig);
 
   bool contains(const Bytes& key) const;
   /// Records a POSITIVE verification. Never call for a failed verify — the

@@ -28,6 +28,10 @@ std::vector<std::pair<std::size_t, std::size_t>> split_ranges(std::size_t total,
 
 bool parallel_verify_poly(const crypto::FeldmanMatrix& c, std::uint64_t i,
                           const crypto::Polynomial& a) {
+  // ec256 verify_poly is a short chain of reads from the matrix's shared
+  // share grid (one lock); a column split would only serialize on that lock,
+  // so keep it on the event thread — the verdict is identical either way.
+  if (c.group().backend() == crypto::GroupBackend::Ec256) return c.verify_poly(i, a);
   VerifyScope scope;
   if (!scope.parallel()) return c.verify_poly(i, a);
   auto ranges = split_ranges(c.degree() + 1, scope.jobs());
@@ -42,6 +46,8 @@ bool parallel_verify_poly(const crypto::FeldmanMatrix& c, std::uint64_t i,
 
 bool parallel_verify_poly_col(const crypto::FeldmanMatrix& c, std::uint64_t i,
                               const crypto::Polynomial& b) {
+  // See parallel_verify_poly: the ec256 path stays sequential by design.
+  if (c.group().backend() == crypto::GroupBackend::Ec256) return c.verify_poly_col(i, b);
   VerifyScope scope;
   if (!scope.parallel()) return c.verify_poly_col(i, b);
   auto ranges = split_ranges(c.degree() + 1, scope.jobs());

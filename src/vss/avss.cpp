@@ -162,11 +162,34 @@ void AvssInstance::on_point(sim::Context& ctx, sim::NodeId from,
   // parallelism only: AVSS keeps no cross-event backlog because each check
   // is a fixed pair — there is no per-event flood to amortize, and the
   // rejection path must stay silent in the same event either way).
-  if (!pc.row_proj) pc.row_proj = engine::parallel_row_commitment(*pc.commitment, self_);
-  if (!pc.col_proj) pc.col_proj = engine::parallel_col_commitment(*pc.commitment, self_);
+  const bool ec = pc.commitment->group().backend() == crypto::GroupBackend::Ec256;
+  if (!ec) {
+    if (!pc.row_proj) pc.row_proj = engine::parallel_row_commitment(*pc.commitment, self_);
+    if (!pc.col_proj) pc.col_proj = engine::parallel_col_commitment(*pc.commitment, self_);
+  }
   {
     engine::VerifyScope scope;
-    if (scope.parallel()) {
+    if (ec) {
+      // ec256: both checks read the matrix's shared share grid directly —
+      // alpha against f(from, self), beta against f(self, from) — the same
+      // predicates the cached projections encode (crypto/feldman.cpp).
+      const crypto::FeldmanMatrix* c = pc.commitment.get();
+      const sim::NodeId self = self_;
+      if (scope.parallel()) {
+        char a_ok = 0, b_ok = 0;
+        scope.push([c, self, from, &alpha, &a_ok] {
+          a_ok = c->verify_point(self, from, alpha) ? 1 : 0;
+        });
+        scope.push([c, self, from, &beta, &b_ok] {
+          b_ok = c->verify_point(from, self, beta) ? 1 : 0;
+        });
+        scope.join();
+        if (a_ok == 0 || b_ok == 0) return;
+      } else {
+        if (!c->verify_point(self, from, alpha)) return;
+        if (!c->verify_point(from, self, beta)) return;
+      }
+    } else if (scope.parallel()) {
       char a_ok = 0, b_ok = 0;
       const crypto::FeldmanVector* rp = &*pc.row_proj;
       const crypto::FeldmanVector* cp = &*pc.col_proj;

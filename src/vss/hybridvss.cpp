@@ -264,7 +264,10 @@ void VssInstance::deferred_accept(sim::Context& ctx, const Bytes& digest, PerCom
                                   sim::NodeId from, const Scalar& alpha, bool is_ready,
                                   const std::optional<crypto::Signature>& sig, bool sig_checked) {
   if (!pc.scope) pc.scope = std::make_unique<engine::VerifyScope>();
-  if (!pc.row_proj) pc.row_proj = engine::parallel_row_commitment(*pc.commitment, self_);
+  const bool ec = pc.commitment->group().backend() == crypto::GroupBackend::Ec256;
+  if (!ec && !pc.row_proj) {
+    pc.row_proj = engine::parallel_row_commitment(*pc.commitment, self_);
+  }
   pc.deferred.emplace_back();
   PerCommit::Deferred& e = pc.deferred.back();
   e.from = from;
@@ -313,9 +316,17 @@ void VssInstance::deferred_accept(sim::Context& ctx, const Bytes& digest, PerCom
       e.link = root;
     } else {
       e.has_point_task = true;
-      const crypto::FeldmanVector* proj = &*pc.row_proj;
       PerCommit::Deferred* ep = &e;
-      pc.scope->push([proj, ep] { ep->point_ok = proj->verify_share(ep->from, ep->point); });
+      if (ec) {
+        // ec256 tasks check against the matrix's shared share grid (its
+        // internal lock serializes concurrent growth; verdicts identical).
+        const crypto::FeldmanMatrix* c = pc.commitment.get();
+        const sim::NodeId self = self_;
+        pc.scope->push([c, self, ep] { ep->point_ok = c->verify_point(self, ep->from, ep->point); });
+      } else {
+        const crypto::FeldmanVector* proj = &*pc.row_proj;
+        pc.scope->push([proj, ep] { ep->point_ok = proj->verify_share(ep->from, ep->point); });
+      }
     }
   }
   if (is_ready) {
@@ -395,10 +406,19 @@ void VssInstance::accept_point(sim::Context& ctx, const Bytes& digest, PerCommit
     crypto::sig_stats_count_point_hit();
   } else {
     crypto::sig_stats_count_point_miss();
-    if (!pc.row_proj) pc.row_proj = pc.commitment->row_commitment(self_);
-    // A non-null verdict carries this exact check's result, computed by a
-    // pool task against the same cached projection (fold path).
-    bool ok = verdict != nullptr ? *verdict : pc.row_proj->verify_share(from, alpha);
+    bool ok;
+    if (verdict != nullptr) {
+      // A non-null verdict carries this exact check's result, computed by a
+      // pool task against the same cached state (fold path).
+      ok = *verdict;
+    } else if (pc.commitment->group().backend() == crypto::GroupBackend::Ec256) {
+      // ec256: the matrix's share-value grid makes verify_point itself the
+      // fast path (crypto/feldman.cpp) — no row projection is materialized.
+      ok = pc.commitment->verify_point(self_, from, alpha);
+    } else {
+      if (!pc.row_proj) pc.row_proj = pc.commitment->row_commitment(self_);
+      ok = pc.row_proj->verify_share(from, alpha);
+    }
     if (!ok) {
       ++rejected_;
       return;

@@ -1,0 +1,155 @@
+// Cross-backend cache-poisoning suite: every value/digest-keyed cache in
+// the crypto layer is fed identical byte strings (or identical-looking
+// keys) through both the mod-p and ec256 backends and must keep the two
+// worlds fully isolated. The dangerous coincidences are real: big2048 and
+// ec256 share q_bytes = 32, so serialized scalars and signatures are
+// interchangeable byte strings, and every Element value() is "just" an mpz.
+// Audited caches:
+//  * FixedBaseTable global cache + for_g/for_h thread-local memos —
+//    value-keyed through Group::operator== (which compares backend_ and h_;
+//    see group.hpp);
+//  * MontgomeryCtx::for_group — modulus-keyed, backend-gated to ModP;
+//  * FeldmanMatrix::from_bytes_interned — digest-keyed, revalidated by
+//    group identity;
+//  * VerifiedSigCache — digest key now tags (backend, group name).
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/bipolynomial.hpp"
+#include "crypto/ec256.hpp"
+#include "crypto/feldman.hpp"
+#include "crypto/keyring.hpp"
+#include "crypto/montgomery.hpp"
+#include "crypto/multiexp.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sigverify.hpp"
+#include "property_test.hpp"
+
+namespace dkg::crypto {
+namespace {
+
+TEST(BackendCrosstalk, GroupEqualityDiscriminatesBackends) {
+  // No mod-p group may ever compare equal to the curve group, and a value
+  // copy of the curve group (what FixedBaseTable entries hold) must.
+  const Group& ec = Group::ec256();
+  for (const Group* g :
+       {&Group::tiny256(), &Group::small512(), &Group::mod1024(), &Group::big2048()}) {
+    EXPECT_FALSE(*g == ec);
+    EXPECT_FALSE(ec == *g);
+  }
+  Group copy = ec;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(copy == ec);
+}
+
+TEST(BackendCrosstalk, FixedBaseMemoSwitchesCleanlyBetweenBackends) {
+  // Interleave exp_g across backends on ONE thread: the thread-local comb
+  // memo is revalidated by value (group incl. backend), so each call must
+  // land on its own backend's table and produce that backend's result.
+  const Group& ec = Group::ec256();
+  const Group& mp = Group::mod1024();
+  Drbg rng(testprop::property_seed() ^ 0xc0551a1);
+  for (int i = 0; i < 4; ++i) {
+    Scalar a = Scalar::random(ec, rng);
+    Scalar b = Scalar::random(mp, rng);
+    Element ea = Element::exp_g(a);
+    Element eb = Element::exp_g(b);
+    EXPECT_EQ(ea, Element::generator(ec).pow(a));
+    EXPECT_EQ(eb, Element::generator(mp).pow(b));
+    EXPECT_EQ(ea.to_bytes().size(), ec.element_bytes());
+    EXPECT_EQ(eb.to_bytes().size(), mp.element_bytes());
+  }
+}
+
+TEST(BackendCrosstalk, MixedBackendElementArithmeticThrows) {
+  Drbg rng(testprop::property_seed() ^ 0xc0551a2);
+  Element a = Element::exp_g(Scalar::random(Group::ec256(), rng));
+  Element b = Element::exp_g(Scalar::random(Group::big2048(), rng));
+  EXPECT_THROW(a * b, std::logic_error);
+  EXPECT_THROW(b * a, std::logic_error);
+}
+
+TEST(BackendCrosstalk, SameScalarBytesStayInTheirGroups) {
+  // big2048 and ec256 share q_bytes = 32: one 32-byte string decodes under
+  // both. The two scalars must be independent, group-tagged values.
+  Bytes sb(32, 0);
+  sb[31] = 7;
+  Scalar s_ec = Scalar::from_bytes(Group::ec256(), sb);
+  Scalar s_mp = Scalar::from_bytes(Group::big2048(), sb);
+  ASSERT_FALSE(s_ec.empty());
+  ASSERT_FALSE(s_mp.empty());
+  EXPECT_EQ(s_ec.value(), s_mp.value());
+  EXPECT_THROW(s_ec + s_mp, std::logic_error);
+  // And the commitments they drive live on different cached tables.
+  EXPECT_NE(Element::exp_g(s_ec).to_bytes(), Element::exp_g(s_mp).to_bytes());
+}
+
+TEST(BackendCrosstalk, SigCacheKeysNeverCollideAcrossBackends) {
+  // The poisoning scenario the key's backend tag exists for: the SAME wire
+  // bytes deserialize into valid Signature objects under big2048 and ec256
+  // (equal scalar widths), with the same signer and payload. A shared
+  // digest key would let a verification recorded under one backend satisfy
+  // the other; the keys must differ.
+  Drbg rng(testprop::property_seed() ^ 0xc0551a3);
+  KeyPair kp = schnorr_keygen(Group::big2048(), rng);
+  Bytes payload = bytes_of("crosstalk payload");
+  Signature sig = schnorr_sign(kp, payload);
+  Bytes wire = sig.to_bytes();
+  std::optional<Signature> sig_ec = Signature::from_bytes(Group::ec256(), wire);
+  ASSERT_TRUE(sig_ec.has_value());
+  EXPECT_EQ(sig_ec->to_bytes(), wire);  // byte-identical on both sides
+  Bytes k_mp = VerifiedSigCache::key(Group::big2048(), 1, payload, sig);
+  Bytes k_ec = VerifiedSigCache::key(Group::ec256(), 1, payload, *sig_ec);
+  EXPECT_NE(k_mp, k_ec);
+  // Isolation end-to-end: inserting under one backend's key must not make
+  // the other's lookup hit.
+  VerifiedSigCache cache;
+  cache.insert(k_mp);
+  EXPECT_TRUE(cache.contains(k_mp));
+  EXPECT_FALSE(cache.contains(k_ec));
+}
+
+TEST(BackendCrosstalk, InternedDecodeIsNotServedAcrossBackends) {
+  Drbg rng(testprop::property_seed() ^ 0xc0551a4);
+  const Group& ec = Group::ec256();
+  std::size_t t = 2;
+  BiPolynomial f = BiPolynomial::random(Scalar::random(ec, rng), t, rng);
+  FeldmanMatrix mat = FeldmanMatrix::commit(f);
+  Bytes frame = mat.to_bytes();
+  std::shared_ptr<const FeldmanMatrix> first = FeldmanMatrix::from_bytes_interned(ec, frame, t);
+  ASSERT_NE(first, nullptr);
+  // The same byte string under every mod-p group: the digest collides with
+  // the cached entry by construction, so this exercises the revalidation
+  // path. 33-byte elements never frame correctly as p_bytes residues, so
+  // the decode must fail — and must NOT be served the ec256 object.
+  for (const Group* g :
+       {&Group::tiny256(), &Group::small512(), &Group::mod1024(), &Group::big2048()}) {
+    EXPECT_EQ(FeldmanMatrix::from_bytes_interned(*g, frame, t), nullptr) << g->name();
+  }
+  // The cache entry survives the cross-backend probes intact.
+  std::shared_ptr<const FeldmanMatrix> again = FeldmanMatrix::from_bytes_interned(ec, frame, t);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(*again, *first);
+  EXPECT_TRUE(again->entry(0, 0) == mat.entry(0, 0));
+}
+
+TEST(BackendCrosstalk, MontgomeryContextIsModPOnly) {
+  EXPECT_EQ(Group::ec256().montgomery(), nullptr);
+  EXPECT_NE(Group::mod1024().montgomery(), nullptr);
+}
+
+TEST(BackendCrosstalk, IdentityEncodingsDoNotCross) {
+  // ec256's identity is 33 zero bytes; under a mod-p group a zero residue
+  // is junk. Neither backend may accept the other's identity framing.
+  Bytes zid(Group::ec256().element_bytes(), 0);
+  EXPECT_FALSE(Element::from_bytes(Group::ec256(), zid).empty());
+  EXPECT_TRUE(Element::from_bytes(Group::tiny256(), Bytes(32, 0)).empty());
+  // The mod-p identity residue (1) is a 32-byte big-endian 1 under
+  // tiny256; the same bytes under ec256 are a wrong-length frame.
+  Bytes one(32, 0);
+  one[31] = 1;
+  EXPECT_FALSE(Element::from_bytes(Group::tiny256(), one).empty());
+  EXPECT_TRUE(Element::from_bytes(Group::ec256(), one).empty());
+}
+
+}  // namespace
+}  // namespace dkg::crypto

@@ -1,0 +1,307 @@
+// Differential property suite for the ec256 (secp256k1) backend: every
+// fast path — Straus multiexp, Horner index products, the fixed-base comb,
+// the constant-time ladder — is checked against the naive group-law
+// evaluation on random inputs, the protocol-level algebra (Lagrange in the
+// scalar field and in the exponent, Feldman verification, Schnorr/DLEQ) is
+// exercised end-to-end on the curve group, and the strict 33-byte decoder
+// faces both targeted malformed vectors and randomized byte-stream mutation
+// of whole commitment frames (the test_robustness treatment; CI runs this
+// under ASan+UBSan where Reader/limb overreads would trip).
+//
+// Seeded via DKG_PROPERTY_SEED, scaled via DKG_PROPERTY_REPEAT (ctest
+// label `property`; see tests/property_test.hpp).
+#include <gtest/gtest.h>
+
+#include "crypto/bipolynomial.hpp"
+#include "crypto/dleq.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/ec256.hpp"
+#include "crypto/feldman.hpp"
+#include "crypto/lagrange.hpp"
+#include "crypto/multiexp.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sigverify.hpp"
+#include "property_test.hpp"
+
+namespace dkg::crypto {
+namespace {
+
+const Group& grp() { return Group::ec256(); }
+
+Element random_element(Drbg& rng) { return Element::exp_g(Scalar::random(grp(), rng)); }
+
+// --- curve engine ----------------------------------------------------------
+
+TEST(Ec256Curve, ParametersAreValidAndStandard) {
+  EXPECT_TRUE(grp().valid());
+  EXPECT_EQ(grp().element_bytes(), ec256::kEncodedBytes);
+  EXPECT_EQ(grp().kappa(), 256u);
+  // The standard compressed secp256k1 base point pins the whole encoding
+  // pipeline (fe_to_be, parity prefix) to the published constant.
+  EXPECT_EQ(to_hex(Element::generator(grp()).to_bytes()),
+            "0279be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+}
+
+TEST(Ec256Curve, GroupLawIsComplete) {
+  const ec256::Point& g = ec256::generator();
+  ec256::Point inf{};
+  EXPECT_TRUE(ec256::eq(ec256::add(inf, g), g));        // 0 + P
+  EXPECT_TRUE(ec256::eq(ec256::add(g, inf), g));        // P + 0
+  EXPECT_TRUE(ec256::add(g, ec256::negate(g)).inf);     // P + (-P)
+  EXPECT_TRUE(ec256::eq(ec256::add(g, g),               // P + P == [2]P
+                        ec256::scalar_mul_u64(g, 2)));
+  EXPECT_TRUE(ec256::scalar_mul(g, grp().q()).inf);     // [n]G = 0
+  EXPECT_TRUE(ec256::eq(ec256::scalar_mul(g, grp().q() - 1), ec256::negate(g)));
+}
+
+TEST(Ec256Curve, HashToCurveIsDeterministicAndSeparated) {
+  Bytes data = bytes_of("ec256 htc probe");
+  ec256::Point a = ec256::hash_to_curve("domain/a", data);
+  ec256::Point b = ec256::hash_to_curve("domain/a", data);
+  ec256::Point c = ec256::hash_to_curve("domain/b", data);
+  EXPECT_TRUE(ec256::on_curve(a));
+  EXPECT_FALSE(a.inf);
+  EXPECT_TRUE(ec256::eq(a, b));
+  EXPECT_FALSE(ec256::eq(a, c));
+}
+
+TEST(Ec256Curve, ScalarMulMatchesRepeatedAddition) {
+  Drbg rng(testprop::property_seed());
+  ec256::Point base = Element::exp_g(Scalar::random(grp(), rng)).point();
+  ec256::Point acc{};
+  for (std::uint64_t e = 0; e <= 17; ++e) {
+    EXPECT_TRUE(ec256::eq(ec256::scalar_mul_u64(base, e), acc)) << "e=" << e;
+    acc = ec256::add(acc, base);
+  }
+}
+
+// --- differential fast paths ----------------------------------------------
+
+TEST(Ec256Property, MultiexpMatchesNaiveProduct) {
+  Drbg rng(testprop::property_seed() ^ 0xec256001);
+  for (std::size_t iter = 0; iter < testprop::property_cases(8); ++iter) {
+    std::size_t k = 1 + rng.uniform(6);
+    std::vector<Element> bases;
+    std::vector<Scalar> exps;
+    Element naive = Element::identity(grp());
+    for (std::size_t i = 0; i < k; ++i) {
+      bases.push_back(random_element(rng));
+      // Mix degenerate exponents in: zero and q-1 hit the skip paths.
+      Scalar e = rng.uniform(4) == 0 ? Scalar::zero(grp()) : Scalar::random(grp(), rng);
+      exps.push_back(e);
+      naive *= bases.back().pow(e);
+    }
+    EXPECT_EQ(multiexp(grp(), bases, exps), naive);
+  }
+}
+
+TEST(Ec256Property, MultiexpIndexMatchesNaiveHorner) {
+  Drbg rng(testprop::property_seed() ^ 0xec256002);
+  for (std::size_t iter = 0; iter < testprop::property_cases(8); ++iter) {
+    std::size_t k = 1 + rng.uniform(5);
+    std::vector<Element> bases;
+    for (std::size_t i = 0; i < k; ++i) bases.push_back(random_element(rng));
+    // Indices beyond any n the engine uses, including ones whose powers
+    // wrap q many times over — Horner must stay exact on the prime-order
+    // curve with no order_q_bases escort.
+    std::uint64_t idx = 1 + rng.uniform(1u << 20);
+    Element naive = Element::identity(grp());
+    Scalar ip = Scalar::one(grp());
+    Scalar x = Scalar::from_u64(grp(), idx);
+    for (std::size_t j = 0; j < k; ++j) {
+      naive *= bases[j].pow(ip);
+      ip = ip * x;
+    }
+    EXPECT_EQ(multiexp_index(grp(), bases, idx), naive);
+    EXPECT_EQ(multiexp_index(grp(), bases, idx, /*order_q_bases=*/true), naive);
+  }
+}
+
+TEST(Ec256Property, FixedBaseCombMatchesPow) {
+  Drbg rng(testprop::property_seed() ^ 0xec256003);
+  Element base = random_element(rng);
+  std::unique_ptr<const FixedBaseTable> tab = FixedBaseTable::build(grp(), base.value());
+  for (std::size_t iter = 0; iter < testprop::property_cases(16); ++iter) {
+    Scalar e = iter == 0 ? Scalar::zero(grp()) : Scalar::random(grp(), rng);
+    EXPECT_EQ(tab->pow(e), base.pow(e));
+  }
+}
+
+TEST(Ec256Property, CtLadderMatchesVariableTime) {
+  Drbg rng(testprop::property_seed() ^ 0xec256004);
+  Element base = random_element(rng);
+  for (std::size_t iter = 0; iter < testprop::property_cases(12); ++iter) {
+    SecretScalar x = SecretScalar::random(grp(), rng);
+    Scalar xr = x.reveal();
+    EXPECT_EQ(x.commit_to(), Element::exp_g(xr));
+    EXPECT_EQ(x.commit_to(base), base.pow(xr));
+  }
+}
+
+// --- protocol algebra on the curve ----------------------------------------
+
+TEST(Ec256Property, LagrangeRoundTrips) {
+  Drbg rng(testprop::property_seed() ^ 0xec256005);
+  for (std::size_t iter = 0; iter < testprop::property_cases(4); ++iter) {
+    std::size_t t = 1 + rng.uniform(5);
+    Polynomial a = Polynomial::random(grp(), t, rng);
+    Scalar a0 = a.eval_at(0).reveal();
+    std::vector<std::pair<std::uint64_t, Scalar>> pts;
+    std::vector<std::pair<std::uint64_t, Element>> epts;
+    for (std::uint64_t i = 1; i <= t + 1; ++i) {
+      Scalar s = a.eval_at(i).reveal();
+      pts.emplace_back(i, s);
+      epts.emplace_back(i, Element::exp_g(s));
+    }
+    EXPECT_EQ(interpolate_at(grp(), pts, 0), a0);
+    // Lagrange in the exponent drives a Straus multiexp on the curve.
+    EXPECT_EQ(exp_interpolate_at(grp(), epts, 0), Element::exp_g(a0));
+  }
+}
+
+TEST(Ec256Property, FeldmanVerifyRoundTrips) {
+  Drbg rng(testprop::property_seed() ^ 0xec256006);
+  std::size_t t = 3;
+  BiPolynomial f = BiPolynomial::random(Scalar::random(grp(), rng), t, rng);
+  FeldmanMatrix mat = FeldmanMatrix::commit(f);
+  for (std::uint64_t i = 1; i <= 2 * t + 1; ++i) {
+    EXPECT_TRUE(mat.verify_poly(i, f.row(i)));
+    for (std::uint64_t m = 1; m <= t + 1; ++m) {
+      EXPECT_TRUE(mat.verify_point(i, m, f.eval_at(m, i).reveal()));
+    }
+  }
+  EXPECT_FALSE(mat.verify_poly(1, f.row(2)));
+  FeldmanVector vec = FeldmanVector::commit(f.row(1));
+  for (std::uint64_t i = 1; i <= 2 * t + 1; ++i) {
+    EXPECT_TRUE(vec.verify_share(i, f.eval_at(1, i).reveal()));
+  }
+  EXPECT_FALSE(vec.verify_share(1, f.eval_at(1, 2).reveal()));
+}
+
+TEST(Ec256Property, SchnorrSignVerifyAndBatchAttribution) {
+  Drbg rng(testprop::property_seed() ^ 0xec256007);
+  std::vector<KeyPair> kps;
+  std::vector<Bytes> msgs;
+  std::vector<Signature> sigs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    kps.push_back(schnorr_keygen(grp(), rng));
+    msgs.push_back(rng.bytes(24));
+    sigs.push_back(schnorr_sign(kps.back(), msgs.back()));
+    EXPECT_TRUE(schnorr_verify(kps.back().pk, msgs.back(), sigs.back()));
+  }
+  sigs[3].s = sigs[3].s + Scalar::one(grp());  // forge one response
+  std::vector<SigCheck> checks;
+  for (std::size_t i = 0; i < kps.size(); ++i) {
+    checks.push_back({&kps[i].pk, &msgs[i], &sigs[i], nullptr});
+  }
+  std::vector<std::size_t> bad;
+  EXPECT_FALSE(schnorr_verify_batch(grp(), checks, &bad));
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], 3u);
+}
+
+TEST(Ec256Property, DleqProvesAndRejects) {
+  Drbg rng(testprop::property_seed() ^ 0xec256008);
+  Element g1 = Element::generator(grp());
+  Element g2 = hash_to_group(grp(), bytes_of("ec256 dleq second base"));
+  SecretScalar x = SecretScalar::random(grp(), rng);
+  Element h1 = x.commit_to(g1);
+  Element h2 = x.commit_to(g2);
+  DleqProof proof = dleq_prove(g1, h1, g2, h2, x);
+  EXPECT_TRUE(dleq_verify(g1, h1, g2, h2, proof));
+  EXPECT_FALSE(dleq_verify(g1, h2, g2, h1, proof));
+}
+
+// --- strict decoder --------------------------------------------------------
+
+TEST(Ec256Curve, DecodeRejectsMalformedVectors) {
+  Bytes g = Element::generator(grp()).to_bytes();
+  ec256::Point out;
+  // Frame length: only exactly 33 bytes may decode.
+  EXPECT_FALSE(ec256::decode(out, g.data(), 32));
+  EXPECT_FALSE(ec256::decode(out, g.data(), 0));
+  Bytes wide = g;
+  wide.push_back(0);
+  EXPECT_FALSE(ec256::decode(out, wide.data(), wide.size()));
+  // Junk prefixes, including uncompressed-style 0x04.
+  for (std::uint8_t prefix : {0x00, 0x01, 0x04, 0x05, 0xff}) {
+    Bytes b = g;
+    b[0] = prefix;
+    EXPECT_FALSE(ec256::decode(out, b.data(), b.size())) << int(prefix);
+  }
+  // The identity is ONLY the all-zero frame; a zero x with a point prefix
+  // must stand on its own merits and a nonzero tail under prefix 0 is junk.
+  Bytes zid(ec256::kEncodedBytes, 0);
+  ASSERT_TRUE(ec256::decode(out, zid.data(), zid.size()));
+  EXPECT_TRUE(out.inf);
+  zid[32] = 1;
+  EXPECT_FALSE(ec256::decode(out, zid.data(), zid.size()));
+  // Non-canonical x >= p (here x = p and x = 2^256 - 1).
+  Bytes xp = mpz_to_bytes(grp().p(), 32);
+  Bytes b(1, 0x02);
+  b.insert(b.end(), xp.begin(), xp.end());
+  EXPECT_FALSE(ec256::decode(out, b.data(), b.size()));
+  Bytes ff(ec256::kEncodedBytes, 0xff);
+  ff[0] = 0x03;
+  EXPECT_FALSE(ec256::decode(out, ff.data(), ff.size()));
+}
+
+TEST(Ec256Property, DecodeSurvivesMutationAndStaysCanonical) {
+  Drbg rng(testprop::property_seed() ^ 0xec256009);
+  for (std::size_t iter = 0; iter < testprop::property_cases(64); ++iter) {
+    Bytes frame = random_element(rng).to_bytes();
+    // Random byte/bit damage anywhere in the frame.
+    std::size_t at = rng.uniform(frame.size());
+    frame[at] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    Element e = Element::from_bytes(grp(), frame);
+    if (e.empty()) continue;  // rejected — fine
+    // Anything accepted must be a genuine canonical group member: on the
+    // curve, in the (whole) group, and re-encoding bit-exactly.
+    EXPECT_TRUE(e.in_subgroup());
+    EXPECT_TRUE(e.is_identity() || ec256::on_curve(e.point()));
+    EXPECT_EQ(e.to_bytes(), frame);
+  }
+}
+
+TEST(Ec256Property, CommitmentFramesRejectOrDecodeCleanly) {
+  Drbg rng(testprop::property_seed() ^ 0xec25600a);
+  std::size_t t = 2;
+  BiPolynomial f = BiPolynomial::random(Scalar::random(grp(), rng), t, rng);
+  FeldmanMatrix mat = FeldmanMatrix::commit(f);
+  const Bytes& frame = mat.to_bytes();
+  EXPECT_EQ(frame.size(), 4 + (t + 1) * (t + 1) * grp().element_bytes());
+  ASSERT_TRUE(FeldmanMatrix::from_bytes_checked(grp(), frame, t).has_value());
+  for (std::size_t iter = 0; iter < testprop::property_cases(64); ++iter) {
+    Bytes b = frame;
+    switch (rng.uniform(4)) {
+      case 0:
+        b[rng.uniform(b.size())] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+        break;
+      case 1:
+        b.resize(rng.uniform(b.size() + 1));
+        break;
+      case 2:
+        b.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+        break;
+      default: {
+        std::size_t at = rng.uniform(b.size());
+        std::size_t len = 1 + rng.uniform(std::min<std::size_t>(16, b.size() - at));
+        for (std::size_t j = 0; j < len; ++j) {
+          b[at + j] = static_cast<std::uint8_t>(rng.uniform(256));
+        }
+        break;
+      }
+    }
+    std::optional<FeldmanMatrix> m = FeldmanMatrix::from_bytes_checked(grp(), b, t);
+    if (!m.has_value()) continue;
+    EXPECT_EQ(m->degree(), t);
+    for (std::size_t j = 0; j <= t; ++j) {
+      for (std::size_t l = 0; l <= t; ++l) {
+        EXPECT_TRUE(m->entry(j, l).in_subgroup());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dkg::crypto

@@ -1,5 +1,6 @@
 // Unit tests: group parameter validity, Z_q field laws, subgroup element
-// algebra, canonical encodings — parameterized over all four groups.
+// algebra, canonical encodings — parameterized over all five parameter sets
+// (four mod-p groups plus the ec256 curve backend).
 #include <gtest/gtest.h>
 
 #include "crypto/element.hpp"
@@ -13,7 +14,8 @@ class GroupSuite : public ::testing::TestWithParam<const Group*> {};
 
 INSTANTIATE_TEST_SUITE_P(AllGroups, GroupSuite,
                          ::testing::Values(&Group::tiny256(), &Group::small512(),
-                                           &Group::mod1024(), &Group::big2048()),
+                                           &Group::mod1024(), &Group::big2048(),
+                                           &Group::ec256()),
                          [](const auto& info) { return info.param->name(); });
 
 TEST_P(GroupSuite, ParametersAreValid) {
@@ -79,13 +81,22 @@ TEST_P(GroupSuite, ElementEncodingRoundTrip) {
   Element e = Element::exp_g(Scalar::random(grp, rng));
   Element back = Element::from_bytes(grp, e.to_bytes());
   EXPECT_EQ(back, e);
-  EXPECT_EQ(e.to_bytes().size(), grp.p_bytes());
+  EXPECT_EQ(e.to_bytes().size(), grp.element_bytes());
 }
 
 TEST_P(GroupSuite, FromBytesRejectsOutOfRange) {
   const Group& grp = *GetParam();
-  EXPECT_TRUE(Element::from_bytes(grp, Bytes(grp.p_bytes(), 0)).empty());       // zero
-  EXPECT_TRUE(Element::from_bytes(grp, Bytes(grp.p_bytes() + 8, 0xff)).empty());  // >= p
+  Bytes zero(grp.element_bytes(), 0);
+  if (grp.backend() == GroupBackend::Ec256) {
+    // All-zero is the canonical identity encoding on the curve, not junk.
+    Element id = Element::from_bytes(grp, zero);
+    ASSERT_FALSE(id.empty());
+    EXPECT_TRUE(id.is_identity());
+  } else {
+    EXPECT_TRUE(Element::from_bytes(grp, zero).empty());  // zero residue
+  }
+  // Too wide: >= p for mod-p, wrong frame length for the curve.
+  EXPECT_TRUE(Element::from_bytes(grp, Bytes(grp.element_bytes() + 8, 0xff)).empty());
 }
 
 TEST_P(GroupSuite, PowU64MatchesScalarPow) {

@@ -64,11 +64,14 @@ TEST(SigEngine, CacheKeyIsDistinctPerComponent) {
   Signature sig_a = schnorr_sign(kp, msg_a);
   Signature sig_b = schnorr_sign(kp, msg_b);
 
-  Bytes base = VerifiedSigCache::key(1, msg_a, sig_a);
-  EXPECT_EQ(base, VerifiedSigCache::key(1, msg_a, sig_a));  // deterministic
-  EXPECT_NE(base, VerifiedSigCache::key(2, msg_a, sig_a));  // signer
-  EXPECT_NE(base, VerifiedSigCache::key(1, msg_b, sig_a));  // payload
-  EXPECT_NE(base, VerifiedSigCache::key(1, msg_a, sig_b));  // signature
+  Bytes base = VerifiedSigCache::key(grp(), 1, msg_a, sig_a);
+  EXPECT_EQ(base, VerifiedSigCache::key(grp(), 1, msg_a, sig_a));  // deterministic
+  EXPECT_NE(base, VerifiedSigCache::key(grp(), 2, msg_a, sig_a));  // signer
+  EXPECT_NE(base, VerifiedSigCache::key(grp(), 1, msg_b, sig_a));  // payload
+  EXPECT_NE(base, VerifiedSigCache::key(grp(), 1, msg_a, sig_b));  // signature
+  // Backend/group tag: an identical (signer, payload, sig) tuple under a
+  // different parameter set must land on a different key.
+  EXPECT_NE(base, VerifiedSigCache::key(Group::ec256(), 1, msg_a, sig_a));
   // SEC02: keys are fixed-width digests, never the payload itself.
   EXPECT_EQ(base.size(), 32u);
 }
@@ -77,9 +80,9 @@ TEST(SigEngine, CacheFifoEviction) {
   VerifiedSigCache cache(2);
   Drbg rng(2);
   KeyPair kp = schnorr_keygen(grp(), rng);
-  Bytes k1 = VerifiedSigCache::key(1, bytes_of("m1"), schnorr_sign(kp, bytes_of("m1")));
-  Bytes k2 = VerifiedSigCache::key(2, bytes_of("m2"), schnorr_sign(kp, bytes_of("m2")));
-  Bytes k3 = VerifiedSigCache::key(3, bytes_of("m3"), schnorr_sign(kp, bytes_of("m3")));
+  Bytes k1 = VerifiedSigCache::key(grp(), 1, bytes_of("m1"), schnorr_sign(kp, bytes_of("m1")));
+  Bytes k2 = VerifiedSigCache::key(grp(), 2, bytes_of("m2"), schnorr_sign(kp, bytes_of("m2")));
+  Bytes k3 = VerifiedSigCache::key(grp(), 3, bytes_of("m3"), schnorr_sign(kp, bytes_of("m3")));
   cache.insert(k1);
   cache.insert(k1);  // duplicate insert is a no-op, not a second FIFO slot
   cache.insert(k2);

@@ -104,6 +104,32 @@ TEST_F(VerifyPoolTest, AbBitIdenticalAcrossVariants) {
   }
 }
 
+TEST_F(VerifyPoolTest, Ec256AbBitIdenticalAcrossVariants) {
+  // The ec256 backend verifies through a per-commitment share grid that is
+  // SHARED across every receiving node (the interned decode cache hands all
+  // n receivers one FeldmanMatrix), so pool workers contend on the grid
+  // mutex while it grows — this A/B sweep is the TSan hammer for that path,
+  // and the determinism contract is the same as the mod-p one: only
+  // wall-clock may move.
+  for (engine::ScenarioSpec spec : ab_grid()) {
+    spec.grp = &crypto::Group::ec256();
+    spec.label += " ec256";
+    engine::set_verify_pool(false);
+    crypto::sig_verify_reset_stats();
+    engine::ScenarioResult off = engine::run_scenario(spec);
+    crypto::SigVerifyStats stats_off = crypto::sig_verify_stats();
+
+    engine::set_verify_pool(true);
+    crypto::sig_verify_reset_stats();
+    engine::ScenarioResult on = engine::run_scenario(spec);
+    crypto::SigVerifyStats stats_on = crypto::sig_verify_stats();
+
+    expect_same_simulated_metrics(off, on, spec.label);
+    EXPECT_EQ(stats_off.point_memo_hits, stats_on.point_memo_hits) << spec.label;
+    EXPECT_EQ(stats_off.point_memo_misses, stats_on.point_memo_misses) << spec.label;
+  }
+}
+
 TEST_F(VerifyPoolTest, VerifyJobsOneMatchesPoolOff) {
   engine::ScenarioSpec spec = base_spec(engine::Variant::Dkg, 7, 2, vss::CommitmentMode::Full, 7);
   engine::set_verify_pool(false);

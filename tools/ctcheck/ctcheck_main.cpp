@@ -21,7 +21,7 @@
 //                   `leaky` op is the negative control proving the detector
 //                   actually fires (its ctest entry is WILL_FAIL).
 //
-// Ops: chacha20 | schnorr_sign | share_eval | ct_equal | leaky
+// Ops: chacha20 | schnorr_sign | share_eval | ct_equal | ec_ladder | leaky
 //
 // Exit codes: 0 pass, 1 leak detected (timing), 2 usage error. Poison-mode
 // failures surface as the checker's own exit code.
@@ -37,6 +37,8 @@
 #include <vector>
 
 #include "crypto/chacha20.hpp"
+#include "crypto/element.hpp"
+#include "crypto/group.hpp"
 #include "crypto/polynomial.hpp"
 #include "crypto/schnorr.hpp"
 #include "crypto/secret.hpp"
@@ -146,6 +148,30 @@ Op make_ct_equal() {
   return op;
 }
 
+Op make_ec_ladder() {
+  const Group& grp = Group::ec256();
+  auto sec = std::make_shared<std::unique_ptr<SecretScalar>>();
+  auto op = Op{};
+  op.prepare = [sec, &grp](bool class_b, Drbg& rng) {
+    if (class_b) {
+      *sec = std::make_unique<SecretScalar>(SecretScalar::random(grp, rng));
+    } else {
+      Drbg fixed(13);
+      *sec = std::make_unique<SecretScalar>(SecretScalar::random(grp, fixed));
+    }
+  };
+  op.run = [sec] {
+    // g^x through ec256::scalar_mul_ct — the fixed-window secp256k1 ladder.
+    // SecretScalar limbs carry the taint, so poison mode flags any
+    // value-dependent branch or table index inside the ladder; timing mode
+    // compares a pinned exponent against fresh ones.
+    Element e = (*sec)->commit_to();
+    g_sink = g_sink ^ e.to_bytes()[0];
+  };
+  op.reps = 1;
+  return op;
+}
+
 /// Negative control: branches on the secret AND does secret-dependent work,
 /// so the poison checker reports a conditional jump on tainted data and the
 /// timing checker sees a huge class separation.
@@ -177,6 +203,7 @@ Op make_op(const std::string& name) {
   if (name == "schnorr_sign") return make_schnorr_sign();
   if (name == "share_eval") return make_share_eval();
   if (name == "ct_equal") return make_ct_equal();
+  if (name == "ec_ladder") return make_ec_ladder();
   if (name == "leaky") return make_leaky();
   std::fprintf(stderr, "ctcheck: unknown op '%s'\n", name.c_str());
   std::exit(2);
@@ -293,7 +320,7 @@ int main(int argc, char** argv) {
       threshold = std::stod(next());
     } else {
       std::fprintf(stderr,
-                   "usage: dkg_ctcheck --op <chacha20|schnorr_sign|share_eval|ct_equal|leaky>"
+                   "usage: dkg_ctcheck --op <chacha20|schnorr_sign|share_eval|ct_equal|ec_ladder|leaky>"
                    " [--mode timing|poison] [--samples N] [--threshold T]\n");
       return 2;
     }

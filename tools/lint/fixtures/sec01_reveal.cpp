@@ -21,6 +21,20 @@ void justified_above(const crypto::SecretScalar& share, crypto::Scalar& out) {
   out = share.reveal();
 }
 
+// --- ec256 backend cases ---------------------------------------------------
+// SecretScalar is backend-agnostic, so the rule needs no curve knowledge;
+// these pin the EC shapes: declassifying a share to feed the variable-time
+// ec256::scalar_mul is exactly the bug commit_to()'s constant-time ladder
+// exists to prevent, and staying in the taint domain needs no marker.
+
+void ladder_bypass(const crypto::SecretScalar& ec_share, crypto::Scalar& out) {
+  out = ec_share.reveal();  // EXPECT-SEC01
+}
+
+void ladder_kept_secret(const crypto::SecretScalar& ec_share, crypto::Element& out) {
+  out = ec_share.commit_to();  // constant-time ladder; nothing declassified
+}
+
 void justified_too_far(const crypto::SecretScalar& share, crypto::Scalar& out) {
   // reveal-ok: fixture — this comment is OUT OF the 3-line window below,
   // so the reveal must still be flagged: drive-by justifications that

@@ -17,4 +17,11 @@ void bench_arg(const crypto::KeyPair& kp);
 
 void write_public(Writer& w, const crypto::Scalar& value);
 
+// ec256 backend: a curve-backed share is the same taint type, banned from
+// the wire surface exactly like a mod-p one; the 33-byte compressed point
+// encodings it commits to are public values and ship freely.
+void write_curve_share(Writer& w, const crypto::SecretScalar& ec_share);  // EXPECT-SEC02
+
+void write_compressed_point(Writer& w, const Bytes& point33);
+
 }  // namespace dkg::fixture

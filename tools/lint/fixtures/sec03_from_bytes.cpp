@@ -16,4 +16,14 @@ void decode_wire(const crypto::Group& grp, const Bytes& b, std::size_t t) {
   (void)m1, (void)v1, (void)p1, (void)m2, (void)v2, (void)m3;
 }
 
+void decode_curve_wire(const Bytes& b, std::size_t t) {
+  // Backend-generic rule: an ec256-group commitment off the wire needs the
+  // checked decoder just like a mod-p one — the _checked path is what runs
+  // the strict 33-byte canonical / on-curve validation.
+  const crypto::Group& grp = crypto::Group::ec256();
+  auto m1 = crypto::FeldmanMatrix::from_bytes(grp, b, t);  // EXPECT-SEC03
+  auto m2 = crypto::FeldmanMatrix::from_bytes_interned(grp, b, t);
+  (void)m1, (void)m2;
+}
+
 }  // namespace dkg::fixture

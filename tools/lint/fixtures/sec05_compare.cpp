@@ -22,4 +22,12 @@ bool check_commitment(const Commitment& c, const Bytes& claimed) {
   return ct_equal(claimed, c.digest());
 }
 
+bool check_point_encoding(const Bytes& point_a, const Bytes& point_b) {
+  // ec256: compressed 33-byte point encodings are adversary-timed material
+  // on the verify path, same as digests — memcmp leaks the first differing
+  // byte's position.
+  if (std::memcmp(point_a.data(), point_b.data(), 33) == 0) return true;  // EXPECT-SEC05
+  return ct_equal(point_a, point_b);
+}
+
 }  // namespace dkg::fixture
